@@ -1,0 +1,71 @@
+//! Ablations of the §5 design choices: backoff policy, loop-entry
+//! detection, closure key strategy, and the table strategy itself, on a
+//! tight loop where monitoring costs are maximally visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
+use sct_interp::{Machine, MachineConfig, SemanticsMode, Value};
+use sct_lang::compile_program;
+
+const SUM: &str = "
+(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))";
+
+fn run_sum(prog: &sct_lang::ast::Program, config: MachineConfig, n: i64) {
+    let mut m = Machine::new(prog, config);
+    m.run().unwrap();
+    let f = m.global("sum").unwrap();
+    let v = m.call(f, vec![Value::int(n), Value::int(0)]).unwrap();
+    assert_eq!(v, Value::int(n * (n + 1) / 2));
+}
+
+fn ablation(c: &mut Criterion) {
+    let prog = compile_program(SUM).unwrap();
+    let n = 10_000i64;
+    let mut group = c.benchmark_group("ablation/sum");
+    group.sample_size(10);
+
+    let base = MachineConfig {
+        mode: SemanticsMode::Monitored,
+        monitor: MonitorConfig::default(),
+        ..MachineConfig::default()
+    };
+
+    group.bench_function("monitored-baseline", |b| {
+        b.iter(|| run_sum(&prog, base.clone(), n));
+    });
+    group.bench_function("backoff-exponential", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.backoff = BackoffPolicy::Exponential { factor: 2 };
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.bench_function("loop-entries-only", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.loop_entries_only = true;
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.bench_function("backoff-plus-loop-entries", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.backoff = BackoffPolicy::Exponential { factor: 2 };
+        cfg.monitor.loop_entries_only = true;
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.bench_function("key-lambda-only", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.key_strategy = KeyStrategy::LambdaOnly;
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.bench_function("key-allocation", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.key_strategy = KeyStrategy::Allocation;
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.bench_function("strategy-continuation-mark", |b| {
+        let mut cfg = base.clone();
+        cfg.monitor.strategy = TableStrategy::ContinuationMark;
+        b.iter(|| run_sum(&prog, cfg.clone(), n));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

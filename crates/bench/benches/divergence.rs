@@ -1,0 +1,21 @@
+//! Criterion measurements behind §5.1.2: time from program start to the
+//! size-change error on the diverging corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_bench::time_to_detection;
+use sct_core::monitor::TableStrategy;
+use sct_corpus::diverging;
+
+fn detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("divergence/detect");
+    group.sample_size(10);
+    for p in diverging::all() {
+        group.bench_function(p.id, |b| {
+            b.iter(|| time_to_detection(&p, TableStrategy::Imperative));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detection);
+criterion_main!(benches);

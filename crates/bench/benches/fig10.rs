@@ -1,0 +1,39 @@
+//! Criterion measurements behind Figure 10: each workload at a fixed
+//! representative size under the three configurations. The report binary
+//! (`report_fig10`) sweeps sizes; this bench gives statistically solid
+//! numbers at one point per curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_bench::{CompiledWorkload, Setup};
+use sct_corpus::workloads;
+
+fn bench_size(id: &str) -> u64 {
+    match id {
+        "fact" => 300,
+        "sum" => 10_000,
+        "msort" => 400,
+        "interp-fact" => 60,
+        "interp-sum" => 150,
+        "interp-msort" => 64,
+        _ => 100,
+    }
+}
+
+fn fig10(c: &mut Criterion) {
+    for w in workloads::fig10() {
+        let n = bench_size(w.id);
+        let id = w.id;
+        let compiled = CompiledWorkload::new(w);
+        let mut group = c.benchmark_group(format!("fig10/{id}"));
+        group.sample_size(10);
+        for setup in Setup::all() {
+            group.bench_with_input(BenchmarkId::new(setup.label(), n), &n, |b, &n| {
+                b.iter(|| compiled.run_once(n, setup));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

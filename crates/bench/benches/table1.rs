@@ -1,0 +1,43 @@
+//! Criterion measurements behind Table 1: dynamic-check latency on
+//! representative corpus rows and static-verification latency on the
+//! paper's running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_core::monitor::TableStrategy;
+use sct_corpus::{run_dynamic, table1};
+use sct_symbolic::{verify_function, SymDomain, VerifyConfig};
+
+fn dynamic_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/dynamic");
+    group.sample_size(10);
+    for id in ["sct-3", "lh-merge", "nfa", "scheme"] {
+        let p = table1::all().into_iter().find(|p| p.id == id).unwrap();
+        group.bench_function(id, |b| {
+            b.iter(|| run_dynamic(&p, TableStrategy::Imperative).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn static_ack(c: &mut Criterion) {
+    let p = table1::all().into_iter().find(|p| p.id == "sct-3").unwrap();
+    let prog = sct_lang::compile_program(p.source).unwrap();
+    let mut group = c.benchmark_group("table1/static");
+    group.sample_size(10);
+    group.bench_function("verify-ack", |b| {
+        b.iter(|| {
+            let v = verify_function(
+                &prog,
+                "ack",
+                &[SymDomain::Nat, SymDomain::Nat],
+                SymDomain::Nat,
+                &VerifyConfig::default(),
+            );
+            assert!(v.is_verified());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dynamic_rows, static_ack);
+criterion_main!(benches);

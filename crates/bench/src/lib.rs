@@ -1,0 +1,149 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print paper-shaped reports:
+//!
+//! * `report_table1` — Table 1 (dynamic + static verdicts vs. the paper's).
+//! * `report_fig10` — Figure 10 (monitoring slowdown across input sizes
+//!   for the six workloads under unchecked / continuation-mark /
+//!   imperative configurations).
+//! * `report_divergence` — §5.1.2 (steps and time to catch divergence).
+//!
+//! The Criterion benches in `benches/` measure the same configurations
+//! with statistical rigor; the reports favor breadth and readability.
+
+use sct_core::monitor::TableStrategy;
+use sct_corpus::workloads::Workload;
+use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
+use sct_lang::ast::Program;
+use std::time::{Duration, Instant};
+
+/// The three Figure-10 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Standard semantics, no monitoring.
+    Unchecked,
+    /// Monitored with the persistent continuation-mark table.
+    ContinuationMark,
+    /// Monitored with the imperative table plus restore frames.
+    Imperative,
+}
+
+impl Setup {
+    /// All three, in the figure's legend order.
+    pub fn all() -> [Setup; 3] {
+        [Setup::Unchecked, Setup::ContinuationMark, Setup::Imperative]
+    }
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setup::Unchecked => "unchecked",
+            Setup::ContinuationMark => "continuation-mark",
+            Setup::Imperative => "imperative",
+        }
+    }
+}
+
+/// A workload compiled once, runnable many times.
+pub struct CompiledWorkload {
+    /// The workload metadata (entry name, input builder, checker).
+    pub workload: Workload,
+    /// The compiled program.
+    pub program: Program,
+}
+
+impl CompiledWorkload {
+    /// Compiles a Figure-10 workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload source fails to compile (corpus bug).
+    pub fn new(workload: Workload) -> CompiledWorkload {
+        let program = sct_lang::compile_program(&workload.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.id));
+        CompiledWorkload { workload, program }
+    }
+
+    fn config(&self, setup: Setup) -> MachineConfig {
+        let (mode, strategy) = match setup {
+            Setup::Unchecked => (SemanticsMode::Standard, TableStrategy::Imperative),
+            Setup::ContinuationMark => (SemanticsMode::Monitored, TableStrategy::ContinuationMark),
+            Setup::Imperative => (SemanticsMode::Monitored, TableStrategy::Imperative),
+        };
+        MachineConfig {
+            mode,
+            order: self.workload.order.handle(),
+            ..MachineConfig::monitored(strategy)
+        }
+    }
+
+    /// Runs once at size `n`, returning the wall time of the entry call
+    /// (setup excluded) and the machine stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if evaluation fails or the result check rejects the output.
+    pub fn run_once(&self, n: u64, setup: Setup) -> (Duration, Stats) {
+        let mut m = Machine::new(&self.program, self.config(setup));
+        m.run().unwrap_or_else(|e| panic!("{}: program body failed: {e}", self.workload.id));
+        let f = m
+            .global(self.workload.entry)
+            .unwrap_or_else(|| panic!("{}: no entry {}", self.workload.id, self.workload.entry));
+        let args = (self.workload.make_args)(n);
+        let start = Instant::now();
+        let v = m
+            .call(f, args)
+            .unwrap_or_else(|e| panic!("{} (n={n}, {setup:?}): {e}", self.workload.id));
+        let elapsed = start.elapsed();
+        assert!(
+            (self.workload.check)(n, &v),
+            "{} (n={n}, {setup:?}): wrong result {}",
+            self.workload.id,
+            v.to_write_string()
+        );
+        (elapsed, m.stats)
+    }
+}
+
+/// Runs a diverging corpus program under monitoring, returning the time
+/// and machine steps until the size-change error fires.
+///
+/// # Panics
+///
+/// Panics if the program is *not* caught (that would falsify §5.1.2).
+pub fn time_to_detection(
+    program: &sct_corpus::CorpusProgram,
+    strategy: TableStrategy,
+) -> (Duration, u64) {
+    let prog = sct_lang::compile_program(program.source).expect("diverging program compiles");
+    let config = MachineConfig {
+        mode: SemanticsMode::Monitored,
+        order: program.order.handle(),
+        ..MachineConfig::monitored(strategy)
+    };
+    let mut m = Machine::new(&prog, config);
+    let start = Instant::now();
+    let r = m.run();
+    let elapsed = start.elapsed();
+    match r {
+        Err(EvalError::Sc(_)) => (elapsed, m.stats.steps),
+        other => panic!("{}: expected errorSC, got {other:?}", program.id),
+    }
+}
+
+/// Formats a duration in the paper's milliseconds-with-log-axis spirit.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 1.0 {
+        format!("{:.3}ms", ms)
+    } else if ms < 100.0 {
+        format!("{:.2}ms", ms)
+    } else {
+        format!("{:.0}ms", ms)
+    }
+}
+
+/// Result checker used by tests: value must be truthy.
+pub fn check_truthy(v: &Value) -> bool {
+    v.is_truthy()
+}

@@ -1,0 +1,420 @@
+//! Sign-magnitude arbitrary-precision integer.
+
+use crate::mag;
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// The sign of a [`BigInt`]. Zero is always [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Negative.
+    Minus,
+    /// Zero or positive.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Internally sign-magnitude with little-endian base-2³² limbs; the zero
+/// value has an empty magnitude and positive sign, so equality is structural.
+///
+/// # Examples
+///
+/// ```
+/// use sct_bignum::BigInt;
+///
+/// let a: BigInt = "123456789012345678901234567890".parse()?;
+/// let b = BigInt::from(-42i64);
+/// assert_eq!((&a * &b).to_string(), "-5185185138518518513851851851380");
+/// # Ok::<(), sct_bignum::ParseBigIntError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The zero value.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Plus, mag: Vec::new() }
+    }
+
+    fn from_mag(sign: Sign, mag: Vec<u32>) -> BigInt {
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// True when this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The sign; zero reports [`Sign::Plus`].
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: if self.sign == Sign::Plus { Sign::Minus } else { Sign::Plus },
+                mag: self.mag.clone(),
+            }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+    }
+
+    /// Compares absolute values — the well-founded measure of the paper's
+    /// default partial order on integers (Figure 5: `n1 ≺ n2` iff `|n1| < |n2|`).
+    pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        mag::cmp(&self.mag, &other.mag)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.sign == other.sign {
+            BigInt::from_mag(self.sign, mag::add(&self.mag, &other.mag))
+        } else {
+            match mag::cmp(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.sign, mag::sub(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_mag(other.sign, mag::sub(&other.mag, &self.mag))
+                }
+            }
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_mag(sign, mag::mul(&self.mag, &other.mag))
+    }
+
+    /// Truncating division, Scheme's `quotient`/`remainder` convention:
+    /// the quotient rounds toward zero and the remainder takes the sign of
+    /// the dividend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (q, r) = mag::divrem(&self.mag, &other.mag);
+        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        (BigInt::from_mag(q_sign, q), BigInt::from_mag(self.sign, r))
+    }
+
+    /// Flooring modulo, Scheme's `modulo`: the result takes the sign of the
+    /// divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn modulo(&self, other: &BigInt) -> BigInt {
+        let (_, r) = self.divrem(other);
+        if r.is_zero() || r.sign == other.sign {
+            r
+        } else {
+            r.add(other)
+        }
+    }
+
+    /// Converts to `i64` when in range.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let v = self.mag[0] as i64;
+                Some(if self.sign == Sign::Minus { -v } else { v })
+            }
+            2 => {
+                let v = ((self.mag[1] as u64) << 32) | self.mag[0] as u64;
+                match self.sign {
+                    Sign::Plus if v <= i64::MAX as u64 => Some(v as i64),
+                    Sign::Minus if v <= i64::MAX as u64 + 1 => Some((v as i64).wrapping_neg()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of limbs; a cheap size proxy for tests.
+    pub fn limb_count(&self) -> usize {
+        self.mag.len()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(n: i64) -> BigInt {
+        let sign = if n < 0 { Sign::Minus } else { Sign::Plus };
+        let mut u = n.unsigned_abs();
+        let mut mag = Vec::new();
+        while u > 0 {
+            mag.push(u as u32);
+            u >>= 32;
+        }
+        BigInt { sign, mag }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(n: i32) -> BigInt {
+        BigInt::from(n as i64)
+    }
+}
+
+impl std::ops::Add for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        BigInt::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        BigInt::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        BigInt::neg(self)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => mag::cmp(&self.mag, &other.mag),
+            (Sign::Minus, Sign::Minus) => mag::cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        // Repeated division by 10^9 produces 9-digit chunks.
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = mag::divrem_limb(&mag, 1_000_000_000);
+            chunks.push(r);
+            mag = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.iter().rev() {
+            write!(f, "{c:09}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a [`BigInt`] out of text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    /// Lowercase description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    /// Parses an optionally-signed decimal integer.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError { message: format!("invalid integer literal {s:?}") });
+        }
+        let mut mag: Vec<u32> = Vec::new();
+        // Consume 9 digits at a time: mag = mag * 10^k + chunk.
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(9);
+            let chunk: u32 = digits[i..i + take].parse().unwrap();
+            let scale = 10u32.pow(take as u32);
+            // mag = mag * scale + chunk
+            let mut carry = chunk as u64;
+            for w in mag.iter_mut() {
+                let t = *w as u64 * scale as u64 + carry;
+                *w = t as u32;
+                carry = t >> 32;
+            }
+            while carry > 0 {
+                mag.push(carry as u32);
+                carry >>= 32;
+            }
+            i += take;
+        }
+        mag::normalize(&mut mag);
+        Ok(BigInt::from_mag(sign, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigInt {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn from_i64_roundtrip() {
+        for n in [0i64, 1, -1, 42, i64::MAX, i64::MIN, i64::MIN + 1, 1 << 32, -(1 << 32)] {
+            let b = BigInt::from(n);
+            assert_eq!(b.to_i64(), Some(n), "roundtrip {n}");
+            assert_eq!(b.to_string(), n.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in [
+            "0",
+            "-1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+            "-98765432109876543210987654321098765432109",
+        ] {
+            assert_eq!(big(s).to_string(), s);
+        }
+        assert_eq!(big("+7").to_string(), "7");
+        assert_eq!(big("-0").to_string(), "0");
+        assert_eq!(big("007").to_string(), "7");
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("--2".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let a = big("100000000000000000000");
+        let b = big("-3");
+        assert_eq!(a.add(&b).to_string(), "99999999999999999997");
+        assert_eq!(a.sub(&b).to_string(), "100000000000000000003");
+        assert_eq!(a.mul(&b).to_string(), "-300000000000000000000");
+        assert_eq!(b.mul(&b).to_string(), "9");
+        assert_eq!(a.add(&a.neg()), BigInt::zero());
+    }
+
+    #[test]
+    fn quotient_remainder_conventions() {
+        // Scheme: quotient truncates toward zero, remainder follows the
+        // dividend, modulo (floored) follows the divisor.
+        for (a, b) in [(7i64, 2i64), (-7, 2), (7, -2), (-7, -2), (0, 5), (100, 7)] {
+            let (q, r) = BigInt::from(a).divrem(&BigInt::from(b));
+            assert_eq!(q.to_i64().unwrap(), a / b, "quotient {a}/{b}");
+            assert_eq!(r.to_i64().unwrap(), a % b, "remainder {a}%{b}");
+        }
+        for (a, b, m) in [(-7i64, 2i64, 1i64), (7, -2, -1), (-7, -2, -1), (7, 2, 1), (6, 3, 0)] {
+            assert_eq!(BigInt::from(a).modulo(&BigInt::from(b)).to_i64().unwrap(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigInt::from(1i64).divrem(&BigInt::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("-5") < big("3"));
+        assert!(big("-5") < big("-3"));
+        assert!(big("100000000000000000000") > big("99999999999999999999"));
+        assert_eq!(big("12").cmp(&big("12")), Ordering::Equal);
+    }
+
+    #[test]
+    fn abs_comparison() {
+        assert_eq!(big("-7").cmp_abs(&big("5")), Ordering::Greater);
+        assert_eq!(big("-5").cmp_abs(&big("7")), Ordering::Less);
+        assert_eq!(big("-7").cmp_abs(&big("7")), Ordering::Equal);
+    }
+
+    #[test]
+    fn big_factorial() {
+        let mut fact = BigInt::from(1i64);
+        for i in 1..=50i64 {
+            fact = fact.mul(&BigInt::from(i));
+        }
+        assert_eq!(
+            fact.to_string(),
+            "30414093201713378043612608166064768844377641568960512000000000000"
+        );
+        // And dividing back down recovers 1.
+        let mut back = fact.clone();
+        for i in (1..=50i64).rev() {
+            let (q, r) = back.divrem(&BigInt::from(i));
+            assert!(r.is_zero());
+            back = q;
+        }
+        assert_eq!(back.to_i64(), Some(1));
+    }
+}

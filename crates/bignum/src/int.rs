@@ -1,0 +1,370 @@
+//! [`Int`]: a fixnum with automatic bignum promotion, mirroring Racket's
+//! exact-integer tower.
+
+use crate::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::rc::Rc;
+use std::str::FromStr;
+
+/// An exact integer: an `i64` fixnum that transparently promotes to a
+/// heap-allocated [`BigInt`] on overflow and demotes when results fit again.
+///
+/// The canonical-form invariant — the `Big` representation is used only for
+/// values outside `i64` — makes derived structural equality and hashing
+/// correct.
+///
+/// # Examples
+///
+/// ```
+/// use sct_bignum::Int;
+///
+/// let big = &Int::from(i64::MAX) + &Int::from(1i64);
+/// assert_eq!(big.to_string(), "9223372036854775808");
+/// assert_eq!((&big - &Int::from(1i64)), Int::from(i64::MAX));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Int {
+    /// A fixnum.
+    Small(i64),
+    /// A bignum outside `i64` range (canonical-form invariant).
+    Big(Rc<BigInt>),
+}
+
+impl Int {
+    /// Zero.
+    pub fn zero() -> Int {
+        Int::Small(0)
+    }
+
+    /// One.
+    pub fn one() -> Int {
+        Int::Small(1)
+    }
+
+    /// Canonicalizes a [`BigInt`] into an [`Int`], demoting when it fits.
+    pub fn from_big(b: BigInt) -> Int {
+        match b.to_i64() {
+            Some(n) => Int::Small(n),
+            None => Int::Big(Rc::new(b)),
+        }
+    }
+
+    /// Expands to a [`BigInt`] (allocates only for fixnums).
+    pub fn to_big(&self) -> BigInt {
+        match self {
+            Int::Small(n) => BigInt::from(*n),
+            Int::Big(b) => (**b).clone(),
+        }
+    }
+
+    /// Returns the fixnum value when in range.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self {
+            Int::Small(n) => Some(*n),
+            Int::Big(_) => None,
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Int::Small(0))
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        match self {
+            Int::Small(n) => *n < 0,
+            Int::Big(b) => b.is_negative(),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        match self {
+            Int::Small(n) => match n.checked_abs() {
+                Some(a) => Int::Small(a),
+                None => Int::from_big(BigInt::from(*n).abs()),
+            },
+            Int::Big(b) => Int::from_big(b.abs()),
+        }
+    }
+
+    /// Compares absolute values: the measure of the paper's default
+    /// well-founded order on integers (Figure 5).
+    ///
+    /// ```
+    /// # use sct_bignum::Int;
+    /// # use std::cmp::Ordering;
+    /// assert_eq!(Int::from(-5i64).cmp_abs(&Int::from(3i64)), Ordering::Greater);
+    /// ```
+    pub fn cmp_abs(&self, other: &Int) -> Ordering {
+        match (self, other) {
+            (Int::Small(a), Int::Small(b)) => a.unsigned_abs().cmp(&b.unsigned_abs()),
+            // A canonical Big always exceeds any fixnum in magnitude...
+            (Int::Small(_), Int::Big(_)) => Ordering::Less,
+            (Int::Big(_), Int::Small(_)) => Ordering::Greater,
+            (Int::Big(a), Int::Big(b)) => a.cmp_abs(b),
+        }
+    }
+
+    /// Truncating quotient (Scheme `quotient`); `None` on zero divisor.
+    pub fn checked_quotient(&self, other: &Int) -> Option<Int> {
+        if other.is_zero() {
+            return None;
+        }
+        match (self, other) {
+            (Int::Small(a), Int::Small(b)) => match a.checked_div(*b) {
+                Some(q) => Some(Int::Small(q)),
+                None => Some(Int::from_big(BigInt::from(*a).divrem(&BigInt::from(*b)).0)),
+            },
+            _ => Some(Int::from_big(self.to_big().divrem(&other.to_big()).0)),
+        }
+    }
+
+    /// Truncating remainder (Scheme `remainder`); `None` on zero divisor.
+    pub fn checked_remainder(&self, other: &Int) -> Option<Int> {
+        if other.is_zero() {
+            return None;
+        }
+        match (self, other) {
+            (Int::Small(a), Int::Small(b)) => match a.checked_rem(*b) {
+                Some(r) => Some(Int::Small(r)),
+                None => Some(Int::Small(0)), // i64::MIN % -1 == 0
+            },
+            _ => Some(Int::from_big(self.to_big().divrem(&other.to_big()).1)),
+        }
+    }
+
+    /// Flooring modulo (Scheme `modulo`); `None` on zero divisor.
+    pub fn checked_modulo(&self, other: &Int) -> Option<Int> {
+        let r = self.checked_remainder(other)?;
+        if r.is_zero() || r.is_negative() == other.is_negative() {
+            Some(r)
+        } else {
+            Some(&r + other)
+        }
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.checked_remainder(&b).expect("nonzero divisor");
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+}
+
+impl From<i64> for Int {
+    fn from(n: i64) -> Int {
+        Int::Small(n)
+    }
+}
+
+impl From<i32> for Int {
+    fn from(n: i32) -> Int {
+        Int::Small(n as i64)
+    }
+}
+
+impl From<BigInt> for Int {
+    fn from(b: BigInt) -> Int {
+        Int::from_big(b)
+    }
+}
+
+impl FromStr for Int {
+    type Err = crate::ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Ok(n) = s.parse::<i64>() {
+            // Reject forms BigInt's parser would reject (e.g. "1_0").
+            if s.parse::<BigInt>().is_ok() {
+                return Ok(Int::Small(n));
+            }
+        }
+        s.parse::<BigInt>().map(Int::from_big)
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+
+    fn add(self, rhs: &Int) -> Int {
+        match (self, rhs) {
+            (Int::Small(a), Int::Small(b)) => match a.checked_add(*b) {
+                Some(s) => Int::Small(s),
+                None => Int::from_big(BigInt::from(*a).add(&BigInt::from(*b))),
+            },
+            _ => Int::from_big(self.to_big().add(&rhs.to_big())),
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+
+    fn sub(self, rhs: &Int) -> Int {
+        match (self, rhs) {
+            (Int::Small(a), Int::Small(b)) => match a.checked_sub(*b) {
+                Some(s) => Int::Small(s),
+                None => Int::from_big(BigInt::from(*a).sub(&BigInt::from(*b))),
+            },
+            _ => Int::from_big(self.to_big().sub(&rhs.to_big())),
+        }
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+
+    fn mul(self, rhs: &Int) -> Int {
+        match (self, rhs) {
+            (Int::Small(a), Int::Small(b)) => match a.checked_mul(*b) {
+                Some(s) => Int::Small(s),
+                None => Int::from_big(BigInt::from(*a).mul(&BigInt::from(*b))),
+            },
+            _ => Int::from_big(self.to_big().mul(&rhs.to_big())),
+        }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+
+    fn neg(self) -> Int {
+        match self {
+            Int::Small(n) => match n.checked_neg() {
+                Some(m) => Int::Small(m),
+                None => Int::from_big(BigInt::from(*n).neg()),
+            },
+            Int::Big(b) => Int::from_big(b.neg()),
+        }
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Int::Small(a), Int::Small(b)) => a.cmp(b),
+            // Canonical Big is out of i64 range, so its sign decides.
+            (Int::Small(_), Int::Big(b)) => {
+                if b.is_negative() {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Int::Big(a), Int::Small(_)) => {
+                if a.is_negative() {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Int::Big(a), Int::Big(b)) => a.as_ref().cmp(b.as_ref()),
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Int::Small(n) => write!(f, "{n}"),
+            Int::Big(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(s: &str) -> Int {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonical_form() {
+        // Parsing a value in range gives Small even via the BigInt path.
+        assert!(matches!(int("9223372036854775807"), Int::Small(_)));
+        assert!(matches!(int("9223372036854775808"), Int::Big(_)));
+        assert!(matches!(int("-9223372036854775808"), Int::Small(_)));
+        assert!(matches!(int("-9223372036854775809"), Int::Big(_)));
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let max = Int::from(i64::MAX);
+        let one = Int::one();
+        let big = &max + &one;
+        assert!(matches!(big, Int::Big(_)));
+        let back = &big - &one;
+        assert!(matches!(back, Int::Small(_)));
+        assert_eq!(back, max);
+
+        let min = Int::from(i64::MIN);
+        assert!(matches!(-&min, Int::Big(_)));
+        assert_eq!(&(-&min) + &min, Int::zero());
+    }
+
+    #[test]
+    fn mixed_arithmetic() {
+        let a = int("123456789012345678901234567890");
+        let b = Int::from(-2i64);
+        assert_eq!((&a * &b).to_string(), "-246913578024691357802469135780");
+        assert_eq!(a.checked_quotient(&b).unwrap().to_string(), "-61728394506172839450617283945");
+        assert_eq!(&a + &(-&a), Int::zero());
+    }
+
+    #[test]
+    fn division_conventions() {
+        assert_eq!(Int::from(-7i64).checked_quotient(&Int::from(2i64)), Some(Int::from(-3i64)));
+        assert_eq!(Int::from(-7i64).checked_remainder(&Int::from(2i64)), Some(Int::from(-1i64)));
+        assert_eq!(Int::from(-7i64).checked_modulo(&Int::from(2i64)), Some(Int::from(1i64)));
+        assert_eq!(Int::from(7i64).checked_modulo(&Int::from(-2i64)), Some(Int::from(-1i64)));
+        assert_eq!(Int::from(1i64).checked_quotient(&Int::zero()), None);
+        assert_eq!(Int::from(1i64).checked_remainder(&Int::zero()), None);
+        assert_eq!(Int::from(1i64).checked_modulo(&Int::zero()), None);
+        // i64::MIN / -1 overflows i64; must promote.
+        let q = Int::from(i64::MIN).checked_quotient(&Int::from(-1i64)).unwrap();
+        assert_eq!(q.to_string(), "9223372036854775808");
+    }
+
+    #[test]
+    fn ordering_across_reprs() {
+        let big_pos = int("99999999999999999999");
+        let big_neg = int("-99999999999999999999");
+        assert!(big_neg < Int::from(0i64));
+        assert!(Int::from(0i64) < big_pos);
+        assert!(big_neg < big_pos);
+        assert!(Int::from(i64::MAX) < big_pos);
+    }
+
+    #[test]
+    fn abs_and_cmp_abs() {
+        assert_eq!(Int::from(i64::MIN).abs().to_string(), "9223372036854775808");
+        assert_eq!(Int::from(-3i64).cmp_abs(&Int::from(3i64)), Ordering::Equal);
+        assert_eq!(int("-99999999999999999999").cmp_abs(&Int::from(5i64)), Ordering::Greater);
+        assert_eq!(Int::from(5i64).cmp_abs(&int("99999999999999999999")), Ordering::Less);
+    }
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(Int::from(12i64).gcd(&Int::from(18i64)), Int::from(6i64));
+        assert_eq!(Int::from(-12i64).gcd(&Int::from(18i64)), Int::from(6i64));
+        assert_eq!(Int::from(0i64).gcd(&Int::from(5i64)), Int::from(5i64));
+        assert_eq!(int("123456789012345678901234567890").gcd(&Int::from(9i64)), Int::from(9i64));
+    }
+}

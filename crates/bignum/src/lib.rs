@@ -1,0 +1,28 @@
+//! Arbitrary-precision integer arithmetic for λSCT.
+//!
+//! The paper's implementation runs on Racket, whose numeric tower silently
+//! promotes fixnums to bignums; the `factorial` benchmark of Figure 10 relies
+//! on this (multiplying ever-larger bignums is the "significant work between
+//! recursive calls" that makes monitoring overhead negligible). This crate is
+//! the corresponding substrate: a sign-magnitude bignum ([`BigInt`]) plus a
+//! fixnum/bignum sum type ([`Int`]) with automatic promotion and demotion,
+//! exactly the arithmetic surface the interpreter's primitives need.
+//!
+//! # Examples
+//!
+//! ```
+//! use sct_bignum::Int;
+//!
+//! let mut fact = Int::from(1i64);
+//! for i in 1..=30i64 {
+//!     fact = &fact * &Int::from(i);
+//! }
+//! assert_eq!(fact.to_string(), "265252859812191058636308480000000");
+//! ```
+
+mod bigint;
+mod int;
+mod mag;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use int::Int;

@@ -1,0 +1,242 @@
+//! Magnitude (unsigned, little-endian base-2³² limb vector) arithmetic.
+//!
+//! All functions maintain the invariant that magnitudes have no trailing
+//! zero limbs; the empty vector represents zero.
+
+use std::cmp::Ordering;
+
+pub(crate) const BASE_BITS: u32 = 32;
+
+/// Drops trailing zero limbs in place.
+pub(crate) fn normalize(mag: &mut Vec<u32>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+/// Compares two normalized magnitudes.
+pub(crate) fn cmp(a: &[u32], b: &[u32]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        }
+        other => other,
+    }
+}
+
+/// `a + b`.
+pub(crate) fn add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        out.push(s as u32);
+        carry = s >> BASE_BITS;
+    }
+    if carry > 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b`; requires `a >= b`.
+pub(crate) fn sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "mag::sub underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << BASE_BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    normalize(&mut out);
+    out
+}
+
+/// Schoolbook `a * b`.
+pub(crate) fn mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> BASE_BITS;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> BASE_BITS;
+            k += 1;
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Divides by a single limb, returning (quotient, remainder).
+pub(crate) fn divrem_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+    debug_assert!(d != 0);
+    let mut q = vec![0u32; a.len()];
+    let mut rem = 0u64;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << BASE_BITS) | a[i] as u64;
+        q[i] = (cur / d as u64) as u32;
+        rem = cur % d as u64;
+    }
+    normalize(&mut q);
+    (q, rem as u32)
+}
+
+/// Index of the highest set bit (0-based); requires non-zero input.
+fn bit_len(a: &[u32]) -> usize {
+    debug_assert!(!a.is_empty());
+    (a.len() - 1) * BASE_BITS as usize + (BASE_BITS - a.last().unwrap().leading_zeros()) as usize
+}
+
+fn get_bit(a: &[u32], i: usize) -> bool {
+    let limb = i / BASE_BITS as usize;
+    let off = i % BASE_BITS as usize;
+    a.get(limb).map_or(false, |&w| (w >> off) & 1 == 1)
+}
+
+fn set_bit(a: &mut Vec<u32>, i: usize) {
+    let limb = i / BASE_BITS as usize;
+    let off = i % BASE_BITS as usize;
+    if a.len() <= limb {
+        a.resize(limb + 1, 0);
+    }
+    a[limb] |= 1 << off;
+}
+
+/// Shifts left by one bit in place and ORs in `low`.
+fn shl1_or(a: &mut Vec<u32>, low: bool) {
+    let mut carry = low as u32;
+    for w in a.iter_mut() {
+        let next = *w >> (BASE_BITS - 1);
+        *w = (*w << 1) | carry;
+        carry = next;
+    }
+    if carry != 0 {
+        a.push(carry);
+    }
+}
+
+/// General `a / b` via binary long division; returns (quotient, remainder).
+///
+/// O(bits(a) · limbs(b)) — acceptable because multi-limb divisors are rare in
+/// the corpus (divisions are by small constants or near-fixnum values).
+pub(crate) fn divrem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero magnitude");
+    if cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    if b.len() == 1 {
+        let (q, r) = divrem_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    let n = bit_len(a);
+    let mut q: Vec<u32> = Vec::new();
+    let mut r: Vec<u32> = Vec::new();
+    for i in (0..n).rev() {
+        shl1_or(&mut r, get_bit(a, i));
+        if cmp(&r, b) != Ordering::Less {
+            r = sub(&r, b);
+            set_bit(&mut q, i);
+        }
+    }
+    normalize(&mut q);
+    normalize(&mut r);
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(mut n: u128) -> Vec<u32> {
+        let mut v = Vec::new();
+        while n > 0 {
+            v.push(n as u32);
+            n >>= 32;
+        }
+        v
+    }
+
+    fn to_u128(v: &[u32]) -> u128 {
+        v.iter().rev().fold(0u128, |acc, &w| (acc << 32) | w as u128)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = from_u128(0xffff_ffff_ffff_ffff_ffff);
+        let b = from_u128(0x1_0000_0001);
+        let s = add(&a, &b);
+        assert_eq!(to_u128(&s), 0xffff_ffff_ffff_ffff_ffff + 0x1_0000_0001);
+        assert_eq!(to_u128(&sub(&s, &b)), to_u128(&a));
+        assert_eq!(sub(&a, &a), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn mul_known() {
+        let a = from_u128(0xffff_ffff);
+        let b = from_u128(0xffff_ffff);
+        assert_eq!(to_u128(&mul(&a, &b)), 0xffff_ffff * 0xffff_ffffu128);
+        assert_eq!(mul(&a, &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn divrem_limb_known() {
+        let a = from_u128(1_000_000_000_000_000_000_000u128);
+        let (q, r) = divrem_limb(&a, 7);
+        assert_eq!(to_u128(&q), 1_000_000_000_000_000_000_000u128 / 7);
+        assert_eq!(r as u128, 1_000_000_000_000_000_000_000u128 % 7);
+    }
+
+    #[test]
+    fn divrem_general() {
+        let a = from_u128(0xdead_beef_dead_beef_dead_beef_dead_beef);
+        let b = from_u128(0x1234_5678_9abc_def0_1234);
+        let (q, r) = divrem(&a, &b);
+        let (qa, qb) = (to_u128(&a), to_u128(&b));
+        assert_eq!(to_u128(&q), qa / qb);
+        assert_eq!(to_u128(&r), qa % qb);
+    }
+
+    #[test]
+    fn divrem_smaller_dividend() {
+        let a = from_u128(5);
+        let b = from_u128(0x1_0000_0000_0000);
+        let (q, r) = divrem(&a, &b);
+        assert!(q.is_empty());
+        assert_eq!(to_u128(&r), 5);
+    }
+
+    #[test]
+    fn cmp_orders() {
+        assert_eq!(cmp(&from_u128(5), &from_u128(6)), Ordering::Less);
+        assert_eq!(cmp(&from_u128(6), &from_u128(5)), Ordering::Greater);
+        assert_eq!(cmp(&from_u128(1 << 40), &from_u128(1 << 40)), Ordering::Equal);
+        assert_eq!(cmp(&[], &from_u128(1)), Ordering::Less);
+    }
+}

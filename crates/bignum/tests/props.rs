@@ -1,0 +1,92 @@
+//! Property tests validating bignum arithmetic against `i128` reference
+//! arithmetic and algebraic laws that hold beyond `i128` range.
+
+use proptest::prelude::*;
+use sct_bignum::{BigInt, Int};
+
+fn big(n: i128) -> BigInt {
+    n.to_string().parse().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let expect = a as i128 + b as i128;
+        prop_assert_eq!(BigInt::from(a).add(&BigInt::from(b)), big(expect));
+        prop_assert_eq!((&Int::from(a) + &Int::from(b)).to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let expect = a as i128 - b as i128;
+        prop_assert_eq!(BigInt::from(a).sub(&BigInt::from(b)), big(expect));
+        prop_assert_eq!((&Int::from(a) - &Int::from(b)).to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let expect = a as i128 * b as i128;
+        prop_assert_eq!(BigInt::from(a).mul(&BigInt::from(b)), big(expect));
+        prop_assert_eq!((&Int::from(a) * &Int::from(b)).to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn divrem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let (q, r) = BigInt::from(a).divrem(&BigInt::from(b));
+        prop_assert_eq!(q, big(a as i128 / b as i128));
+        prop_assert_eq!(r, big(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a_str in "-?[1-9][0-9]{0,40}", b_str in "-?[1-9][0-9]{0,20}") {
+        // a = q*b + r with |r| < |b| and sign(r) = sign(a), far beyond i128.
+        let a: BigInt = a_str.parse().unwrap();
+        let b: BigInt = b_str.parse().unwrap();
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a.clone());
+        prop_assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+        prop_assert!(r.is_zero() || r.is_negative() == a.is_negative());
+    }
+
+    #[test]
+    fn parse_display_roundtrip(s in "-?[1-9][0-9]{0,60}") {
+        let b: BigInt = s.parse().unwrap();
+        prop_assert_eq!(b.to_string(), s);
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), (a as i128).cmp(&(b as i128)));
+        prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+        prop_assert_eq!(
+            Int::from(a).cmp_abs(&Int::from(b)),
+            (a as i128).unsigned_abs().cmp(&(b as i128).unsigned_abs())
+        );
+    }
+
+    #[test]
+    fn associativity_beyond_i128(a_str in "[1-9][0-9]{30,50}", b in any::<i64>(), c in any::<i64>()) {
+        let a: Int = a_str.parse().unwrap();
+        let b = Int::from(b);
+        let c = Int::from(c);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // Distributivity.
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn modulo_in_divisor_range(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let m = Int::from(a).checked_modulo(&Int::from(b)).unwrap();
+        let m128 = (a as i128).rem_euclid((b as i128).abs()) * if b < 0 && (a as i128).rem_euclid((b as i128).abs()) != 0 { 1 } else { 1 };
+        // Floored modulo: same sign as divisor (or zero), |m| < |b|.
+        prop_assert!(m.is_zero() || m.is_negative() == (b < 0));
+        prop_assert!(m.cmp_abs(&Int::from(b)) == std::cmp::Ordering::Less);
+        // And congruent to a mod |b|.
+        let diff = &Int::from(a) - &m;
+        prop_assert!(diff.checked_remainder(&Int::from(b)).unwrap().is_zero());
+        let _ = m128;
+    }
+}

@@ -1,0 +1,76 @@
+//! Blame labels for termination contracts (§2.3).
+//!
+//! Each `terminating/c` use marks a blame party; when a wrapped function
+//! fails to maintain the size-change principle, that party is reported.
+//! As the paper notes, "no sophisticated run-time machinery is required":
+//! a label travels with the wrapper and surfaces in the error.
+
+use std::fmt;
+
+/// Identifies the party responsible for a termination-contract violation.
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::blame::BlameLabel;
+///
+/// let blame = BlameLabel::new("module alpha").at("alpha.rkt:12");
+/// assert_eq!(blame.to_string(), "module alpha (at alpha.rkt:12)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlameLabel {
+    party: String,
+    site: Option<String>,
+}
+
+impl BlameLabel {
+    /// Creates a blame label naming a party.
+    pub fn new(party: impl Into<String>) -> BlameLabel {
+        BlameLabel { party: party.into(), site: None }
+    }
+
+    /// Attaches a source location to the label.
+    #[must_use]
+    pub fn at(mut self, site: impl Into<String>) -> BlameLabel {
+        self.site = Some(site.into());
+        self
+    }
+
+    /// The blamed party's name.
+    pub fn party(&self) -> &str {
+        &self.party
+    }
+
+    /// The source location, if recorded.
+    pub fn site(&self) -> Option<&str> {
+        self.site.as_deref()
+    }
+}
+
+impl fmt::Display for BlameLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.site {
+            Some(site) => write!(f, "{} (at {})", self.party, site),
+            None => f.write_str(&self.party),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BlameLabel::new("main").to_string(), "main");
+        assert_eq!(BlameLabel::new("main").at("prog:3").to_string(), "main (at prog:3)");
+    }
+
+    #[test]
+    fn accessors() {
+        let b = BlameLabel::new("lib").at("lib.sct:9");
+        assert_eq!(b.party(), "lib");
+        assert_eq!(b.site(), Some("lib.sct:9"));
+        assert_eq!(BlameLabel::new("x").site(), None);
+    }
+}

@@ -1,0 +1,424 @@
+//! Size-change graphs and their composition (Figure 4 of the paper).
+//!
+//! A size-change graph describes how argument sizes relate between a call
+//! and a subsequent call of the same function: arc `i ↓ j` says the `j`-th
+//! argument of the later call is *strictly smaller* than the `i`-th argument
+//! of the earlier call; `i ⇣ j` says it *never ascends* (here: is equal,
+//! since at run time we observe concrete values — Figure 4's `graph`
+//! function emits `→=` exactly on equality).
+
+use crate::order::{SizeChange, WellFoundedOrder};
+use std::fmt;
+
+/// The label on a size-change arc: the paper's `r ::= → | →=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Change {
+    /// `→=`: the target argument never ascends relative to the source.
+    NonAscend,
+    /// `→` (strict): the target argument strictly descends.
+    Descend,
+}
+
+/// One arc of a size-change graph: source parameter index, change kind,
+/// target parameter index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Parameter index in the earlier call.
+    pub from: usize,
+    /// Strict descent or non-ascent.
+    pub change: Change,
+    /// Parameter index in the later call.
+    pub to: usize,
+}
+
+/// Cell values of the dense matrix: absence, non-ascent, or strict descent.
+/// `Descend` dominates `NonAscend` dominates `None` — the "max" of the
+/// composition semiring.
+const EMPTY: u8 = 0;
+const NON_ASCEND: u8 = 1;
+const DESCEND: u8 = 2;
+
+/// A size-change graph between a call with `rows` arguments and a later
+/// call with `cols` arguments, stored densely (one byte per parameter
+/// pair; arities in practice are tiny).
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::graph::{Change, ScGraph};
+///
+/// // The graph for (ack m n) ↝ (ack (- m 1) 1): {(m → m)}.
+/// let g = ScGraph::from_arcs(2, 2, [(0, Change::Descend, 0)]);
+/// assert!(g.has_arc(0, 0));
+/// assert_eq!(g.get(0, 0), Some(Change::Descend));
+/// assert_eq!(g.get(0, 1), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ScGraph {
+    rows: u16,
+    cols: u16,
+    cells: Box<[u8]>,
+}
+
+impl ScGraph {
+    /// The empty graph (no arcs) between arities `rows` and `cols`.
+    pub fn empty(rows: usize, cols: usize) -> ScGraph {
+        ScGraph {
+            rows: rows as u16,
+            cols: cols as u16,
+            cells: vec![EMPTY; rows * cols].into_boxed_slice(),
+        }
+    }
+
+    /// Builds a graph from explicit arcs `(from, change, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arc index is out of bounds.
+    pub fn from_arcs(
+        rows: usize,
+        cols: usize,
+        arcs: impl IntoIterator<Item = (usize, Change, usize)>,
+    ) -> ScGraph {
+        let mut g = ScGraph::empty(rows, cols);
+        for (i, c, j) in arcs {
+            g.add_arc(i, c, j);
+        }
+        g
+    }
+
+    /// Figure 4's `graph(⃗v, ⃗v′)`: compares argument lists pairwise under a
+    /// well-founded order, emitting `↓` where `v′_j ≺ v_i` and `⇣` where
+    /// `v′_j = v_i`.
+    ///
+    /// ```
+    /// use sct_core::graph::{Change, ScGraph};
+    /// use sct_core::order::AbsIntOrder;
+    ///
+    /// let g = ScGraph::from_args(&AbsIntOrder, &[2i64, 0], &[1, 1]);
+    /// assert_eq!(g.get(0, 0), Some(Change::Descend));   // 1 ≺ 2
+    /// assert_eq!(g.get(0, 1), Some(Change::Descend));   // 1 ≺ 2
+    /// assert_eq!(g.get(1, 0), None);                    // 1 vs 0: ascent
+    /// ```
+    pub fn from_args<V, O: WellFoundedOrder<V> + ?Sized>(
+        order: &O,
+        old: &[V],
+        new: &[V],
+    ) -> ScGraph {
+        let mut g = ScGraph::empty(old.len(), new.len());
+        for (i, vi) in old.iter().enumerate() {
+            for (j, vj) in new.iter().enumerate() {
+                match order.relate(vi, vj) {
+                    SizeChange::Descend => g.add_arc(i, Change::Descend, j),
+                    SizeChange::Equal => g.add_arc(i, Change::NonAscend, j),
+                    SizeChange::Unknown => {}
+                }
+            }
+        }
+        g
+    }
+
+    /// Arity of the earlier call.
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Arity of the later call.
+    pub fn cols(&self) -> usize {
+        self.cols as usize
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows as usize && j < self.cols as usize);
+        i * self.cols as usize + j
+    }
+
+    /// Adds an arc, keeping the stronger of the existing and new labels.
+    pub fn add_arc(&mut self, i: usize, c: Change, j: usize) {
+        let cell = match c {
+            Change::NonAscend => NON_ASCEND,
+            Change::Descend => DESCEND,
+        };
+        let at = self.idx(i, j);
+        if self.cells[at] < cell {
+            self.cells[at] = cell;
+        }
+    }
+
+    /// The label between parameters `i` and `j`, if any.
+    pub fn get(&self, i: usize, j: usize) -> Option<Change> {
+        match self.cells[self.idx(i, j)] {
+            NON_ASCEND => Some(Change::NonAscend),
+            DESCEND => Some(Change::Descend),
+            _ => None,
+        }
+    }
+
+    /// True when any arc (of either kind) connects `i` to `j`.
+    pub fn has_arc(&self, i: usize, j: usize) -> bool {
+        self.cells[self.idx(i, j)] != EMPTY
+    }
+
+    /// True when the graph has no arcs at all.
+    pub fn is_empty_graph(&self) -> bool {
+        self.cells.iter().all(|&c| c == EMPTY)
+    }
+
+    /// Iterates over all arcs.
+    pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
+        (0..self.rows as usize).flat_map(move |i| {
+            (0..self.cols as usize).filter_map(move |j| {
+                self.get(i, j).map(|change| Arc { from: i, change, to: j })
+            })
+        })
+    }
+
+    /// Sequential composition `self ; other` (Figure 4): arc `i ↓ k` when a
+    /// path `i r j`, `j r k` exists with at least one strict step; `i ⇣ k`
+    /// when a path exists but only through non-ascent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arities don't line up (`self.cols() != other.rows()`);
+    /// callers in the monitor guarantee this because a single closure's
+    /// composites are chained in call order.
+    ///
+    /// ```
+    /// use sct_core::graph::{Change, ScGraph};
+    ///
+    /// // {(m→m)} ; {(m→=m),(n→n)} = {(m→m)} — the §2.1 worked example.
+    /// let a = ScGraph::from_arcs(2, 2, [(0, Change::Descend, 0)]);
+    /// let b = ScGraph::from_arcs(2, 2, [(0, Change::NonAscend, 0), (1, Change::Descend, 1)]);
+    /// assert_eq!(a.compose(&b), a);
+    /// ```
+    pub fn compose(&self, other: &ScGraph) -> ScGraph {
+        assert_eq!(
+            self.cols, other.rows,
+            "composition arity mismatch: {}x{} ; {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = ScGraph::empty(self.rows as usize, other.cols as usize);
+        let n = self.cols as usize;
+        for i in 0..self.rows as usize {
+            for k in 0..other.cols as usize {
+                let mut best = EMPTY;
+                for j in 0..n {
+                    let a = self.cells[self.idx(i, j)];
+                    let b = other.cells[other.idx(j, k)];
+                    if a == EMPTY || b == EMPTY {
+                        continue;
+                    }
+                    // Path strength: strict if either step is strict.
+                    let strength = if a == DESCEND || b == DESCEND { DESCEND } else { NON_ASCEND };
+                    if strength > best {
+                        best = strength;
+                        if best == DESCEND {
+                            break;
+                        }
+                    }
+                }
+                out.cells[out.idx(i, k)] = best;
+            }
+        }
+        out
+    }
+
+    /// True when `self ; self == self` (requires a square graph; non-square
+    /// graphs are never idempotent).
+    pub fn is_idempotent(&self) -> bool {
+        self.rows == self.cols && self.compose(self) == *self
+    }
+
+    /// True when some parameter strictly descends to itself.
+    pub fn has_self_descent(&self) -> bool {
+        self.rows == self.cols
+            && (0..self.rows as usize).any(|i| self.get(i, i) == Some(Change::Descend))
+    }
+
+    /// Figure 4's `desc?`: a graph is acceptable unless it is idempotent yet
+    /// lacks a strict self-descent arc — such a graph witnesses a loop that
+    /// could repeat forever without progress.
+    ///
+    /// ```
+    /// use sct_core::graph::{Change, ScGraph};
+    ///
+    /// let good = ScGraph::from_arcs(1, 1, [(0, Change::Descend, 0)]);
+    /// assert!(good.desc_ok());
+    /// let bad = ScGraph::from_arcs(1, 1, [(0, Change::NonAscend, 0)]);
+    /// assert!(!bad.desc_ok());
+    /// ```
+    pub fn desc_ok(&self) -> bool {
+        !self.is_idempotent() || self.has_self_descent()
+    }
+
+    /// Renders the graph with parameter names, e.g. `{(m→m), (n→=n)}`.
+    pub fn display_with(&self, from_names: &[&str], to_names: &[&str]) -> String {
+        let name = |names: &[&str], i: usize| -> String {
+            names.get(i).map_or_else(|| format!("x{i}"), |s| s.to_string())
+        };
+        let mut parts = Vec::new();
+        for arc in self.arcs() {
+            let sym = match arc.change {
+                Change::Descend => "→",
+                Change::NonAscend => "→=",
+            };
+            parts.push(format!(
+                "({}{}{})",
+                name(from_names, arc.from),
+                sym,
+                name(to_names, arc.to)
+            ));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Debug for ScGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScGraph[{}x{}]{}", self.rows, self.cols, self.display_with(&[], &[]))
+    }
+}
+
+impl fmt::Display for ScGraph {
+    /// Prints with positional names `x0, x1, ...`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(&[], &[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::AbsIntOrder;
+
+    fn d(i: usize, j: usize) -> (usize, Change, usize) {
+        (i, Change::Descend, j)
+    }
+
+    fn e(i: usize, j: usize) -> (usize, Change, usize) {
+        (i, Change::NonAscend, j)
+    }
+
+    #[test]
+    fn paper_worked_composition() {
+        // §2.1: {(m→m)};{(m→=m),(n→n)} = {(m→m)}.
+        let g_line3 = ScGraph::from_arcs(2, 2, [d(0, 0)]);
+        let g_line5 = ScGraph::from_arcs(2, 2, [e(0, 0), d(1, 1)]);
+        assert_eq!(g_line3.compose(&g_line5), g_line3);
+        // Other direction: {(m→=m),(n→n)};{(m→m)} = {(m→m)}.
+        assert_eq!(g_line5.compose(&g_line3), g_line3);
+    }
+
+    #[test]
+    fn ack_graphs_satisfy_desc() {
+        let g_line3 = ScGraph::from_arcs(2, 2, [d(0, 0)]);
+        let g_line5 = ScGraph::from_arcs(2, 2, [e(0, 0), d(1, 1)]);
+        assert!(g_line3.desc_ok());
+        assert!(g_line5.desc_ok());
+        assert!(g_line3.is_idempotent());
+        assert!(g_line5.is_idempotent());
+    }
+
+    #[test]
+    fn buggy_ack_graph_fails_desc() {
+        // §2.1's buggy Ackermann: {(m→=m),(n→=m)} is idempotent, no descent.
+        let g = ScGraph::from_arcs(2, 2, [e(0, 0), e(1, 0)]);
+        assert!(g.is_idempotent());
+        assert!(!g.has_self_descent());
+        assert!(!g.desc_ok());
+    }
+
+    #[test]
+    fn strict_propagates_through_composition() {
+        // i ↓ j ; j ⇣ k gives i ↓ k; i ⇣ j ; j ↓ k gives i ↓ k.
+        let a = ScGraph::from_arcs(1, 1, [d(0, 0)]);
+        let b = ScGraph::from_arcs(1, 1, [e(0, 0)]);
+        assert_eq!(a.compose(&b).get(0, 0), Some(Change::Descend));
+        assert_eq!(b.compose(&a).get(0, 0), Some(Change::Descend));
+        assert_eq!(b.compose(&b).get(0, 0), Some(Change::NonAscend));
+    }
+
+    #[test]
+    fn best_path_wins() {
+        // Two paths from 0 to 0: one strict (via 1), one non-ascending
+        // (via 0); the strict one must win.
+        let a = ScGraph::from_arcs(2, 2, [e(0, 0), d(0, 1)]);
+        let b = ScGraph::from_arcs(2, 2, [e(0, 0), e(1, 0)]);
+        assert_eq!(a.compose(&b).get(0, 0), Some(Change::Descend));
+    }
+
+    #[test]
+    fn no_path_no_arc() {
+        let a = ScGraph::from_arcs(2, 2, [d(0, 1)]);
+        let b = ScGraph::from_arcs(2, 2, [d(0, 1)]);
+        // 0 → 1 then nothing leaves 1 in b except 0→1, so only path is 0→1→?:
+        // b has arc only from 0; composing yields no arcs.
+        assert!(a.compose(&b).is_empty_graph());
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_bad() {
+        // The empty square graph is idempotent and has no self-descent:
+        // it represents a call that may repeat with no evidence of progress.
+        let g = ScGraph::empty(2, 2);
+        assert!(g.is_idempotent());
+        assert!(!g.desc_ok());
+    }
+
+    #[test]
+    fn non_square_graphs_pass_desc() {
+        let g = ScGraph::from_arcs(2, 3, [e(0, 0)]);
+        assert!(!g.is_idempotent());
+        assert!(g.desc_ok());
+    }
+
+    #[test]
+    fn from_args_matches_figure_1() {
+        // (ack 2 0) ↝ (ack 1 1): {(m→m),(m→n)}.
+        let g = ScGraph::from_args(&AbsIntOrder, &[2i64, 0], &[1, 1]);
+        assert_eq!(g.get(0, 0), Some(Change::Descend));
+        assert_eq!(g.get(0, 1), Some(Change::Descend));
+        assert_eq!(g.get(1, 0), None);
+        assert_eq!(g.get(1, 1), None);
+
+        // (ack 1 1) ↝ (ack 1 0): {(m→=m),(m→n),(n→=m),(n→n)}.
+        let g = ScGraph::from_args(&AbsIntOrder, &[1i64, 1], &[1, 0]);
+        assert_eq!(g.get(0, 0), Some(Change::NonAscend));
+        assert_eq!(g.get(0, 1), Some(Change::Descend));
+        assert_eq!(g.get(1, 0), Some(Change::NonAscend));
+        assert_eq!(g.get(1, 1), Some(Change::Descend));
+    }
+
+    #[test]
+    fn add_arc_keeps_stronger() {
+        let mut g = ScGraph::empty(1, 1);
+        g.add_arc(0, Change::Descend, 0);
+        g.add_arc(0, Change::NonAscend, 0);
+        assert_eq!(g.get(0, 0), Some(Change::Descend), "descend not downgraded");
+    }
+
+    #[test]
+    fn display_names() {
+        let g = ScGraph::from_arcs(2, 2, [d(0, 0), e(1, 1)]);
+        assert_eq!(g.display_with(&["m", "n"], &["m", "n"]), "{(m→m), (n→=n)}");
+        assert_eq!(g.to_string(), "{(x0→x0), (x1→=x1)}");
+    }
+
+    #[test]
+    fn arcs_iterator_complete() {
+        let g = ScGraph::from_arcs(3, 2, [d(0, 1), e(2, 0)]);
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs.len(), 2);
+        assert!(arcs.contains(&Arc { from: 0, change: Change::Descend, to: 1 }));
+        assert!(arcs.contains(&Arc { from: 2, change: Change::NonAscend, to: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "composition arity mismatch")]
+    fn mismatched_compose_panics() {
+        let a = ScGraph::empty(2, 3);
+        let b = ScGraph::empty(2, 2);
+        let _ = a.compose(&b);
+    }
+}

@@ -1,0 +1,70 @@
+//! Size-change termination as a contract — the core library.
+//!
+//! This crate implements the heart of the PLDI'19 paper: the size-change
+//! machinery of §3 (Figures 3–5) in a form usable both by the *dynamic*
+//! monitor (the λSCT interpreter in `sct-interp`) and by the *static*
+//! verifier (`sct-symbolic`):
+//!
+//! * [`ScGraph`] — size-change graphs `g ∈ 𝒫(ℕ × r × ℕ)` with the two arc
+//!   kinds `↓` (strict descent, the paper's `→` with overdot) and `⇣`
+//!   (non-ascent, `→=`), represented densely and composed with the
+//!   three-valued semiring of Figure 4.
+//! * [`CallSeq`] — the sequence of graphs `⃗g` per monitored function, with
+//!   the `prog?` check implemented incrementally: the set of composites of
+//!   contiguous suffixes is maintained and only *new* composites are tested
+//!   with `desc?`, which is equivalent to re-testing every contiguous
+//!   subsequence (previously seen composites already passed) and is what
+//!   makes per-call monitoring affordable.
+//! * [`order`] — the well-founded partial order `≺` of Figure 5 as a trait,
+//!   so users can "replace the default order with an appropriate one" (§3.3)
+//!   as needed by e.g. `lh-range` or `acl2-fig-2` in Table 1.
+//! * [`table`] — the size-change table `m ∈ v ⇀ ⃗v × ⃗g`, in two flavors
+//!   matching §5's implementation strategies: a persistent table (for the
+//!   continuation-mark strategy, which preserves proper tail calls) and a
+//!   mutable table with undo records (the imperative strategy, which breaks
+//!   them).
+//! * [`closure_check`](ljb::closure_check) — the classic Lee–Jones–Ben-Amram
+//!   criterion on a *set* of graphs, used by the static verifier once
+//!   symbolic execution has enumerated how a function may call itself
+//!   (Figure 9).
+//! * [`monitor`] — configuration for the §5 optimizations: exponential
+//!   backoff, loop-entry-only monitoring, closure key strategies.
+//! * [`blame`] — Findler–Felleisen blame labels for `terminating/c` (§2.3).
+//!
+//! # Examples
+//!
+//! Monitoring the Ackermann descent of Figure 1 by hand:
+//!
+//! ```
+//! use sct_core::graph::ScGraph;
+//! use sct_core::order::AbsIntOrder;
+//! use sct_core::seq::CallSeq;
+//!
+//! // (ack 2 0) ↝ (ack 1 1) ↝ (ack 1 0): every step must keep prog?.
+//! let order = AbsIntOrder;
+//! let g1 = ScGraph::from_args(&order, &[2i64, 0], &[1, 1]);
+//! let g2 = ScGraph::from_args(&order, &[1i64, 1], &[1, 0]);
+//! let seq = CallSeq::new();
+//! let seq = seq.push(g1).expect("first call maintains prog?");
+//! let _seq = seq.push(g2).expect("second call maintains prog?");
+//!
+//! // But a non-descending self-call is rejected immediately:
+//! let bad = ScGraph::from_args(&order, &[1i64, 1], &[1, 2]);
+//! assert!(CallSeq::new().push(bad).is_err());
+//! ```
+
+pub mod blame;
+pub mod graph;
+pub mod ljb;
+pub mod monitor;
+pub mod order;
+pub mod seq;
+pub mod table;
+
+pub use blame::BlameLabel;
+pub use graph::{Arc, Change, ScGraph};
+pub use ljb::{closure_check, ClosureResult};
+pub use monitor::{Backoff, BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
+pub use order::{AbsIntOrder, FnOrder, SizeChange, WellFoundedOrder};
+pub use seq::{CallSeq, ScViolation};
+pub use table::{FnEntry, MutScTable, ScTable, TableUndo};

@@ -1,0 +1,179 @@
+//! The Lee–Jones–Ben-Amram closure criterion on a *set* of graphs.
+//!
+//! The dynamic monitor checks `prog?` over a concrete call sequence; the
+//! static verifier (§4) instead collects the finitely many ways a function
+//! may call itself — Figure 9 shows the two graphs for `ack` — and asks
+//! whether *any* composition drawn from that set can violate the
+//! size-change principle. That is exactly the classic criterion of Lee,
+//! Jones, and Ben-Amram (POPL'01): close the set under sequential
+//! composition; the program has the size-change property iff every
+//! idempotent graph in the closure has a strict self-descent arc.
+
+use crate::graph::ScGraph;
+use crate::seq::ScViolation;
+
+/// Outcome of [`closure_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClosureResult {
+    /// Every idempotent composite has a self-descent: SCT holds.
+    Ok {
+        /// Size of the computed closure (for reporting).
+        closure_size: usize,
+    },
+    /// A witness composite is idempotent without self-descent.
+    Violation(ScViolation),
+    /// The closure exceeded `max_size`; treat as "not verified".
+    Overflow,
+}
+
+impl ClosureResult {
+    /// True for [`ClosureResult::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ClosureResult::Ok { .. })
+    }
+}
+
+/// Closes `graphs` under composition and checks the LJB criterion.
+///
+/// Only dimension-compatible pairs are composed (for a single function's
+/// self-call graphs all graphs are square with equal arity, so every pair
+/// composes). The closure is capped at `max_size` distinct graphs to bound
+/// work; [`ClosureResult::Overflow`] means "could not verify", never
+/// "verified".
+///
+/// # Examples
+///
+/// The `ack` graph set of Figure 9 passes:
+///
+/// ```
+/// use sct_core::graph::{Change, ScGraph};
+/// use sct_core::ljb::{closure_check, ClosureResult};
+///
+/// let g1 = ScGraph::from_arcs(2, 2, [(0, Change::Descend, 0)]);
+/// let g2 = ScGraph::from_arcs(2, 2, [(0, Change::NonAscend, 0), (1, Change::Descend, 1)]);
+/// assert!(closure_check(&[g1, g2], 10_000).is_ok());
+/// ```
+pub fn closure_check(graphs: &[ScGraph], max_size: usize) -> ClosureResult {
+    let mut closure: Vec<ScGraph> = Vec::new();
+    let mut worklist: Vec<ScGraph> = Vec::new();
+
+    let add = |g: ScGraph, closure: &mut Vec<ScGraph>, worklist: &mut Vec<ScGraph>| -> Option<ClosureResult> {
+        if closure.contains(&g) {
+            return None;
+        }
+        if !g.desc_ok() {
+            return Some(ClosureResult::Violation(ScViolation { witness: g }));
+        }
+        if closure.len() >= max_size {
+            return Some(ClosureResult::Overflow);
+        }
+        closure.push(g.clone());
+        worklist.push(g);
+        None
+    };
+
+    for g in graphs {
+        if let Some(res) = add(g.clone(), &mut closure, &mut worklist) {
+            return res;
+        }
+    }
+
+    while let Some(g) = worklist.pop() {
+        // Compose with everything currently in the closure, both ways.
+        let snapshot: Vec<ScGraph> = closure.clone();
+        for h in &snapshot {
+            if g.cols() == h.rows() {
+                if let Some(res) = add(g.compose(h), &mut closure, &mut worklist) {
+                    return res;
+                }
+            }
+            if h.cols() == g.rows() {
+                if let Some(res) = add(h.compose(&g), &mut closure, &mut worklist) {
+                    return res;
+                }
+            }
+        }
+    }
+
+    ClosureResult::Ok { closure_size: closure.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Change;
+
+    fn d(i: usize, j: usize) -> (usize, Change, usize) {
+        (i, Change::Descend, j)
+    }
+
+    fn e(i: usize, j: usize) -> (usize, Change, usize) {
+        (i, Change::NonAscend, j)
+    }
+
+    #[test]
+    fn ack_set_passes() {
+        // Figure 9: {(m→m)} and {(m→=m),(n→n)}.
+        let g1 = ScGraph::from_arcs(2, 2, [d(0, 0)]);
+        let g2 = ScGraph::from_arcs(2, 2, [e(0, 0), d(1, 1)]);
+        let res = closure_check(&[g1, g2], 10_000);
+        assert!(res.is_ok(), "{res:?}");
+    }
+
+    #[test]
+    fn buggy_ack_set_fails() {
+        // Replacing (- m 1) with m on line 4 yields {(m→=m)} among the
+        // graphs; it is idempotent with no descent.
+        let g1 = ScGraph::from_arcs(2, 2, [d(0, 0)]);
+        let g_bad = ScGraph::from_arcs(2, 2, [e(0, 0)]);
+        match closure_check(&[g1, g_bad], 10_000) {
+            ClosureResult::Violation(v) => {
+                assert!(v.witness.is_idempotent());
+                assert!(!v.witness.has_self_descent());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexicographic_descent_passes() {
+        // merge(xs, ys) descends one of two params per call:
+        // {x→x, y→=y} and {x→=x, y→y} — classic LJB-provable set.
+        let g1 = ScGraph::from_arcs(2, 2, [d(0, 0), e(1, 1)]);
+        let g2 = ScGraph::from_arcs(2, 2, [e(0, 0), d(1, 1)]);
+        assert!(closure_check(&[g1, g2], 10_000).is_ok());
+    }
+
+    #[test]
+    fn permuted_params_pass() {
+        // LJB example: f swaps parameters while descending one — needs
+        // composition to expose the eventual descent: g = {0→1, 1→=0}.
+        let g = ScGraph::from_arcs(2, 2, [d(0, 1), e(1, 0)]);
+        assert!(closure_check(&[g], 10_000).is_ok());
+    }
+
+    #[test]
+    fn pure_swap_fails() {
+        // Swapping without any descent: {0→=1, 1→=0}; its square is the
+        // identity — idempotent, no descent.
+        let g = ScGraph::from_arcs(2, 2, [e(0, 1), e(1, 0)]);
+        assert!(matches!(closure_check(&[g], 10_000), ClosureResult::Violation(_)));
+    }
+
+    #[test]
+    fn empty_input_passes() {
+        // A function never observed to self-call has nothing to refute.
+        assert!(closure_check(&[], 10_000).is_ok());
+    }
+
+    #[test]
+    fn overflow_is_conservative() {
+        let g1 = ScGraph::from_arcs(3, 3, [d(0, 1), e(1, 2), d(2, 0)]);
+        let g2 = ScGraph::from_arcs(3, 3, [e(0, 2), d(1, 0), d(2, 1)]);
+        // Cap tiny: must refuse rather than claim success.
+        match closure_check(&[g1, g2], 2) {
+            ClosureResult::Overflow | ClosureResult::Violation(_) => {}
+            ClosureResult::Ok { .. } => panic!("must not verify under a 2-graph cap"),
+        }
+    }
+}

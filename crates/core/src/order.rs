@@ -1,0 +1,136 @@
+//! Well-founded partial orders on values (Figure 5).
+//!
+//! The `graph` function of Figure 4 needs to know, for each pair of an old
+//! and a new argument, whether the new one *strictly descends* (`v′ ≺ v`) or
+//! *stays equal* (`v′ = v`) under some well-founded order. §3.3 fixes a
+//! default order — integers compare by absolute value, a field of a data
+//! structure is smaller than the structure — but explicitly allows the user
+//! to "replace the default order with an appropriate one", which several
+//! Table-1 benchmarks (`lh-range`, `acl2-fig-2`) require. This module
+//! provides that extension point as the [`WellFoundedOrder`] trait.
+
+/// The observed size relation between an old argument and a new argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeChange {
+    /// The new value is strictly smaller: emits a `→` arc.
+    Descend,
+    /// The values are equal: emits a `→=` arc.
+    Equal,
+    /// No relation established: no arc. Always sound (§2.1: "it is always
+    /// safe to omit graph arcs").
+    Unknown,
+}
+
+/// A well-founded partial order on values of type `V`.
+///
+/// Implementations must guarantee well-foundedness: there is no infinite
+/// chain `v₀ ≻ v₁ ≻ v₂ ≻ ⋯` where `relate(vᵢ, vᵢ₊₁) == Descend`. The
+/// soundness of termination monitoring (Theorem 3.1) depends on it.
+///
+/// # Examples
+///
+/// A custom order proving `lh-range`-style *ascending* loops terminate by
+/// measuring distance to a bound:
+///
+/// ```
+/// use sct_core::order::{SizeChange, WellFoundedOrder};
+///
+/// /// Orders (lo, hi) pairs by the gap hi - lo, clamped at zero.
+/// struct GapOrder;
+///
+/// impl WellFoundedOrder<(i64, i64)> for GapOrder {
+///     fn relate(&self, old: &(i64, i64), new: &(i64, i64)) -> SizeChange {
+///         let gap = |p: &(i64, i64)| (p.1 - p.0).max(0);
+///         match gap(new).cmp(&gap(old)) {
+///             std::cmp::Ordering::Less => SizeChange::Descend,
+///             std::cmp::Ordering::Equal => SizeChange::Equal,
+///             std::cmp::Ordering::Greater => SizeChange::Unknown,
+///         }
+///     }
+/// }
+///
+/// assert_eq!(GapOrder.relate(&(0, 10), &(1, 10)), SizeChange::Descend);
+/// ```
+pub trait WellFoundedOrder<V: ?Sized> {
+    /// Relates an argument of the previous call (`old`) to an argument of
+    /// the new call (`new`).
+    fn relate(&self, old: &V, new: &V) -> SizeChange;
+}
+
+/// Figure 5's order restricted to machine integers: `n₁ ≺ n₂ iff |n₁| < |n₂|`.
+///
+/// The full default order of the interpreter (which also descends into
+/// pairs) lives in `sct-interp`, where the value type is defined; this one
+/// is used by the core's own tests, docs, and the LJB harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsIntOrder;
+
+impl WellFoundedOrder<i64> for AbsIntOrder {
+    fn relate(&self, old: &i64, new: &i64) -> SizeChange {
+        if new == old {
+            SizeChange::Equal
+        } else if new.unsigned_abs() < old.unsigned_abs() {
+            SizeChange::Descend
+        } else {
+            SizeChange::Unknown
+        }
+    }
+}
+
+/// Wraps a closure as an order, for quick experimentation and tests.
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::order::{FnOrder, SizeChange, WellFoundedOrder};
+///
+/// let by_len = FnOrder::new(|old: &Vec<u8>, new: &Vec<u8>| {
+///     match new.len().cmp(&old.len()) {
+///         std::cmp::Ordering::Less => SizeChange::Descend,
+///         std::cmp::Ordering::Equal => SizeChange::Equal,
+///         std::cmp::Ordering::Greater => SizeChange::Unknown,
+///     }
+/// });
+/// assert_eq!(by_len.relate(&vec![1, 2], &vec![1]), SizeChange::Descend);
+/// ```
+pub struct FnOrder<F> {
+    f: F,
+}
+
+impl<F> FnOrder<F> {
+    /// Wraps `f` as a [`WellFoundedOrder`].
+    pub fn new(f: F) -> FnOrder<F> {
+        FnOrder { f }
+    }
+}
+
+impl<V, F: Fn(&V, &V) -> SizeChange> WellFoundedOrder<V> for FnOrder<F> {
+    fn relate(&self, old: &V, new: &V) -> SizeChange {
+        (self.f)(old, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_int_order() {
+        assert_eq!(AbsIntOrder.relate(&5, &4), SizeChange::Descend);
+        assert_eq!(AbsIntOrder.relate(&5, &5), SizeChange::Equal);
+        assert_eq!(AbsIntOrder.relate(&5, &6), SizeChange::Unknown);
+        // Absolute values: -5 and 5 are the same size but not equal.
+        assert_eq!(AbsIntOrder.relate(&-5, &5), SizeChange::Unknown);
+        assert_eq!(AbsIntOrder.relate(&-5, &4), SizeChange::Descend);
+        assert_eq!(AbsIntOrder.relate(&-5, &-4), SizeChange::Descend);
+        assert_eq!(AbsIntOrder.relate(&4, &-5), SizeChange::Unknown);
+        assert_eq!(AbsIntOrder.relate(&0, &0), SizeChange::Equal);
+        assert_eq!(AbsIntOrder.relate(&i64::MIN, &i64::MAX), SizeChange::Descend);
+    }
+
+    #[test]
+    fn fn_order_wraps() {
+        let ord = FnOrder::new(|old: &i64, new: &i64| AbsIntOrder.relate(old, new));
+        assert_eq!(ord.relate(&3, &2), SizeChange::Descend);
+    }
+}

@@ -1,0 +1,253 @@
+//! Call sequences and the incremental `prog?` check (Figure 4).
+//!
+//! `prog?(gₙ…g₁) = ⋀_{1≤i≤j≤n} desc?(gᵢ;…;gⱼ)` — every contiguous
+//! subsequence of the graphs observed so far, composed, must pass `desc?`.
+//! Re-checking all O(n²) subsequences on every call would be hopeless, so
+//! [`CallSeq`] maintains the *set* of composite graphs of contiguous
+//! suffixes: when graph `gₙ` arrives,
+//!
+//! ```text
+//! Sₙ = { c ; gₙ | c ∈ Sₙ₋₁ } ∪ { gₙ }
+//! ```
+//!
+//! and only the members of `Sₙ` need a `desc?` check — subsequences ending
+//! earlier were checked when they were the suffix. Because graphs over a
+//! fixed arity form a *finite* set, `Sₙ` is bounded and deduplicated, so a
+//! long-running loop reaches a fixed point and monitoring cost per call
+//! stops growing. The equivalence with the naive definition is tested by
+//! property tests in `tests/seq_props.rs`.
+
+use crate::graph::ScGraph;
+use sct_persist::PSet;
+use std::fmt;
+
+/// Witness that a call sequence violates the size-change principle: a
+/// composite graph that is idempotent yet lacks a strict self-descent arc,
+/// i.e. a loop shape that could repeat forever without progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScViolation {
+    /// The offending composite graph.
+    pub witness: ScGraph,
+}
+
+impl fmt::Display for ScViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "size-change violation: composite graph {} is idempotent with no self-descending arc",
+            self.witness
+        )
+    }
+}
+
+impl std::error::Error for ScViolation {}
+
+/// The per-function sequence of size-change graphs `⃗g`, kept as the
+/// deduplicated set of suffix composites (see module docs).
+///
+/// `CallSeq` is a persistent value: [`push`](CallSeq::push) returns a new
+/// sequence and the old one remains valid, which is what the
+/// continuation-mark table strategy requires.
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::graph::{Change, ScGraph};
+/// use sct_core::seq::CallSeq;
+///
+/// let descend = ScGraph::from_arcs(1, 1, [(0, Change::Descend, 0)]);
+/// let stay = ScGraph::from_arcs(1, 1, [(0, Change::NonAscend, 0)]);
+///
+/// // Strict descent forever is fine...
+/// let mut seq = CallSeq::new();
+/// for _ in 0..100 {
+///     seq = seq.push(descend.clone()).expect("descent maintains prog?");
+/// }
+/// // ...but one stagnating self-call is caught at once.
+/// assert!(seq.push(stay).is_err());
+/// ```
+#[derive(Clone)]
+pub struct CallSeq {
+    suffix_composites: PSet<ScGraph>,
+    len: usize,
+}
+
+impl Default for CallSeq {
+    fn default() -> Self {
+        CallSeq::new()
+    }
+}
+
+impl CallSeq {
+    /// The empty sequence (`⃗g = []`, stored for a function's first call).
+    pub fn new() -> CallSeq {
+        CallSeq { suffix_composites: PSet::new(), len: 0 }
+    }
+
+    /// Number of graphs pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no graph has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct suffix composites currently tracked; bounded by
+    /// the (finite) number of graphs at this arity.
+    pub fn composite_count(&self) -> usize {
+        self.suffix_composites.len()
+    }
+
+    /// Iterates over the current suffix composites in unspecified order.
+    pub fn composites(&self) -> impl Iterator<Item = &ScGraph> {
+        self.suffix_composites.iter()
+    }
+
+    fn extend_with(&self, g: ScGraph) -> PSet<ScGraph> {
+        let mut next = PSet::new().insert(g.clone());
+        for c in self.suffix_composites.iter() {
+            if c.cols() == g.rows() {
+                next = next.insert(c.compose(&g));
+            }
+        }
+        next
+    }
+
+    /// Appends a graph *with* the `prog?` check — the `upd` path of
+    /// Figure 4. Returns the extended sequence, or the violation witness.
+    ///
+    /// # Errors
+    ///
+    /// [`ScViolation`] when some contiguous subsequence composes to an
+    /// idempotent graph with no strict self-descent.
+    pub fn push(&self, g: ScGraph) -> Result<CallSeq, ScViolation> {
+        let next = self.extend_with(g);
+        for c in next.iter() {
+            if !c.desc_ok() {
+                return Err(ScViolation { witness: c.clone() });
+            }
+        }
+        Ok(CallSeq { suffix_composites: next, len: self.len + 1 })
+    }
+
+    /// Appends a graph *without* checking — the `ext` function of the
+    /// call-sequence semantics (Figure 6), used to state completeness.
+    pub fn push_unchecked(&self, g: ScGraph) -> CallSeq {
+        CallSeq { suffix_composites: self.extend_with(g), len: self.len + 1 }
+    }
+
+    /// Checks `prog?` over the suffix composites currently tracked.
+    ///
+    /// # Errors
+    ///
+    /// [`ScViolation`] carrying the first failing composite found.
+    pub fn check(&self) -> Result<(), ScViolation> {
+        for c in self.suffix_composites.iter() {
+            if !c.desc_ok() {
+                return Err(ScViolation { witness: c.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CallSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CallSeq(len={}, composites={:?})", self.len, self.suffix_composites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Change;
+    use crate::order::AbsIntOrder;
+
+    fn g(arcs: &[(usize, Change, usize)]) -> ScGraph {
+        ScGraph::from_arcs(2, 2, arcs.iter().copied())
+    }
+
+    #[test]
+    fn ack_2_0_full_trace_passes() {
+        // Figure 1's left spine plus the post-return sibling call.
+        let steps: [(&[i64; 2], &[i64; 2]); 3] =
+            [(&[2, 0], &[1, 1]), (&[1, 1], &[1, 0]), (&[1, 0], &[0, 1])];
+        let mut seq = CallSeq::new();
+        for (old, new) in steps {
+            let graph = ScGraph::from_args(&AbsIntOrder, old, new);
+            seq = seq.push(graph).expect("ack trace maintains prog?");
+        }
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn buggy_ack_caught() {
+        // §2.1: (ack 2 0) ↝ (ack 1 1) ↝ (ack 1 2) — last graph is
+        // {(m→=m),(n→=m)}: idempotent, no self-descent.
+        let seq = CallSeq::new();
+        let seq = seq.push(ScGraph::from_args(&AbsIntOrder, &[2i64, 0], &[1, 1])).unwrap();
+        let err = seq
+            .push(ScGraph::from_args(&AbsIntOrder, &[1i64, 1], &[1, 2]))
+            .expect_err("non-descending call must violate");
+        assert!(err.witness.is_idempotent());
+        assert!(!err.witness.has_self_descent());
+    }
+
+    #[test]
+    fn composites_reach_fixed_point() {
+        // A two-graph alternation closes to finitely many composites and
+        // the count stops growing.
+        let a = g(&[(0, Change::Descend, 0), (1, Change::NonAscend, 1)]);
+        let b = g(&[(0, Change::NonAscend, 0), (1, Change::Descend, 1)]);
+        let mut seq = CallSeq::new();
+        for i in 0..64 {
+            let next = if i % 2 == 0 { a.clone() } else { b.clone() };
+            seq = seq.push(next).unwrap();
+        }
+        assert!(seq.composite_count() <= 4, "composites stay bounded");
+        assert_eq!(seq.len(), 64);
+    }
+
+    #[test]
+    fn violation_found_across_composition() {
+        // Each individual graph passes desc?, but their composition is the
+        // identity-shaped swap loop: g_ab swaps 0→=1, 1→=0 — g;g is
+        // idempotent with no descent.
+        let swap = g(&[(0, Change::NonAscend, 1), (1, Change::NonAscend, 0)]);
+        assert!(swap.desc_ok(), "swap alone passes desc? (not idempotent)");
+        let seq = CallSeq::new().push(swap.clone()).unwrap();
+        // Second swap: composite swap;swap = {0→=0, 1→=1} fails.
+        assert!(seq.push(swap).is_err());
+    }
+
+    #[test]
+    fn unchecked_extension_then_check() {
+        let stay = g(&[(0, Change::NonAscend, 0)]);
+        let seq = CallSeq::new().push_unchecked(stay);
+        assert!(seq.check().is_err(), "ext records the violation for later inspection");
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn persistence() {
+        let descend = g(&[(0, Change::Descend, 0)]);
+        let stay = g(&[(0, Change::NonAscend, 0)]);
+        let s0 = CallSeq::new();
+        let s1 = s0.push(descend).unwrap();
+        let _err = s1.push(stay.clone()).unwrap_err();
+        // s1 unchanged by the failed push; s0 still empty.
+        assert_eq!(s1.len(), 1);
+        assert!(s0.is_empty());
+        assert!(s1.check().is_ok());
+    }
+
+    #[test]
+    fn violation_display() {
+        let stay = g(&[(0, Change::NonAscend, 0)]);
+        let err = CallSeq::new().push(stay).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("size-change violation"), "got: {msg}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the size-change core.
+//!
+//! The key one checks that the incremental suffix-composite implementation
+//! of `prog?` in [`CallSeq`] is *equivalent* to the naive Figure-4
+//! definition (`⋀_{1≤i≤j≤n} desc?(gᵢ;…;gⱼ)` recomputed from scratch at
+//! every step): both must reject at exactly the same call index.
+
+use proptest::prelude::*;
+use sct_core::graph::{Change, ScGraph};
+use sct_core::ljb::{closure_check, ClosureResult};
+use sct_core::seq::CallSeq;
+
+const ARITY: usize = 2;
+
+fn graph_strategy() -> impl Strategy<Value = ScGraph> {
+    // Each of the 4 cells independently empty / non-ascend / descend.
+    proptest::collection::vec(0u8..3, ARITY * ARITY).prop_map(|cells| {
+        let mut g = ScGraph::empty(ARITY, ARITY);
+        for (k, &c) in cells.iter().enumerate() {
+            let (i, j) = (k / ARITY, k % ARITY);
+            match c {
+                1 => g.add_arc(i, Change::NonAscend, j),
+                2 => g.add_arc(i, Change::Descend, j),
+                _ => {}
+            }
+        }
+        g
+    })
+}
+
+/// Naive `prog?`: composes every contiguous subsequence from scratch.
+fn naive_prog(graphs: &[ScGraph]) -> bool {
+    for i in 0..graphs.len() {
+        let mut acc = graphs[i].clone();
+        if !acc.desc_ok() {
+            return false;
+        }
+        for g in &graphs[i + 1..] {
+            acc = acc.compose(g);
+            if !acc.desc_ok() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Index of the first call whose naive `prog?` fails, if any.
+fn naive_first_failure(graphs: &[ScGraph]) -> Option<usize> {
+    (0..graphs.len()).find(|&n| !naive_prog(&graphs[..=n]))
+}
+
+/// Index of the first call the incremental `CallSeq` rejects, if any.
+fn incremental_first_failure(graphs: &[ScGraph]) -> Option<usize> {
+    let mut seq = CallSeq::new();
+    for (n, g) in graphs.iter().enumerate() {
+        match seq.push(g.clone()) {
+            Ok(next) => seq = next,
+            Err(_) => return Some(n),
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn incremental_prog_matches_naive(graphs in proptest::collection::vec(graph_strategy(), 0..12)) {
+        prop_assert_eq!(
+            incremental_first_failure(&graphs),
+            naive_first_failure(&graphs),
+            "incremental and naive prog? disagree on {:?}",
+            graphs
+        );
+    }
+
+    #[test]
+    fn composition_is_associative(a in graph_strategy(), b in graph_strategy(), c in graph_strategy()) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn composition_monotone_in_strength(a in graph_strategy(), b in graph_strategy()) {
+        // Strict arcs in a;b require a path; dropping all strictness from a
+        // (downgrade to non-ascend) never *adds* arcs to the composite.
+        let mut weaker = ScGraph::empty(ARITY, ARITY);
+        for arc in a.arcs() {
+            weaker.add_arc(arc.from, Change::NonAscend, arc.to);
+        }
+        let strong = a.compose(&b);
+        let weak = weaker.compose(&b);
+        for arc in weak.arcs() {
+            prop_assert!(strong.has_arc(arc.from, arc.to),
+                "weakening created arc {:?}", arc);
+        }
+    }
+
+    #[test]
+    fn violating_sequence_always_caught_by_closure(graphs in proptest::collection::vec(graph_strategy(), 1..6)) {
+        // If any finite sequence drawn from a set violates prog?, the LJB
+        // closure of that set must not report Ok: dynamic rejection implies
+        // static rejection when the static graphs cover the dynamic ones.
+        let seq_fails = incremental_first_failure(&graphs).is_some();
+        if seq_fails {
+            let res = closure_check(&graphs, 100_000);
+            prop_assert!(!matches!(res, ClosureResult::Ok { .. }),
+                "dynamic violation but LJB closure passed: {:?}", graphs);
+        }
+    }
+
+    #[test]
+    fn pure_descent_never_fails(n in 1usize..200) {
+        let g = ScGraph::from_arcs(1, 1, [(0, Change::Descend, 0)]);
+        let mut seq = CallSeq::new();
+        for _ in 0..n {
+            seq = seq.push(g.clone()).expect("pure descent maintains prog?");
+        }
+        prop_assert_eq!(seq.len(), n);
+        prop_assert_eq!(seq.composite_count(), 1);
+    }
+}

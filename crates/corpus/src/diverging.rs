@@ -1,0 +1,166 @@
+//! The diverging programs of §5.1.2: sabotaged versions of correct
+//! programs, plus the decades-old `nfa` bug the paper's static analysis
+//! was the first to find.
+//!
+//! "Because violation of the size-change principle tends to show up in
+//! early iterations, our dynamic contracts catch the error very early" —
+//! the divergence harness measures exactly that (machine steps from start
+//! to `errorSC`).
+
+use crate::{CorpusProgram, OrderSpec, PaperRow, Verdict};
+
+const DIVERGING_ROW: PaperRow = PaperRow {
+    dynamic: Verdict::Pass, // "pass" here means: divergence caught
+    static_: Verdict::Pass,
+    liquid_haskell: Verdict::NotReported,
+    isabelle: Verdict::NotReported,
+    acl2: Verdict::NotReported,
+};
+
+/// §2.1's sometimes-buggy Ackermann: `(ack m …)` instead of
+/// `(ack (- m 1) …)` on line 4.
+pub const BUGGY_ACK: CorpusProgram = CorpusProgram {
+    id: "buggy-ack",
+    description: "Ackermann with the §2.1 bug: line 4 fails to decrement m",
+    source: "
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack m (ack m (- n 1)))]))
+(ack 2 0)",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// The buggy `nfa` of §5.1.2: `(state1 input)` without consuming input in
+/// the `c` branch. On a `c`-leading input it loops forever.
+pub const BUGGY_NFA: CorpusProgram = CorpusProgram {
+    id: "buggy-nfa",
+    description: "the historic nfa bug: state1 re-enters without consuming input",
+    source: "
+(define (state1 input)
+  (and (not (null? input))
+       (or (and (char=? (car input) #\\a) (state1 (cdr input)))
+           (and (char=? (car input) #\\c) (state1 input))
+           (state2 input))))
+(define (state2 input)
+  (and (not (null? input)) (char=? (car input) #\\b) (state3 (cdr input))))
+(define (state3 input)
+  (and (not (null? input)) (char=? (car input) #\\c) (state4 (cdr input))))
+(define (state4 input)
+  (and (not (null? input)) (char=? (car input) #\\d) (null? (cdr input))))
+(state1 (list #\\c #\\b #\\c #\\d))",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// A sum loop that forgets to decrement.
+pub const BUGGY_SUM: CorpusProgram = CorpusProgram {
+    id: "buggy-sum",
+    description: "sum that never decrements its counter",
+    source: "
+(define (sum i acc) (if (zero? i) acc (sum i (+ acc i))))
+(sum 10 0)",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// A merge that drops neither list in one branch.
+pub const BUGGY_MERGE: CorpusProgram = CorpusProgram {
+    id: "buggy-merge",
+    description: "merge that forgets to take cdr in the else branch",
+    source: "
+(define (merge xs ys)
+  (cond [(null? xs) ys]
+        [(null? ys) xs]
+        [(< (car xs) (car ys)) (cons (car xs) (merge (cdr xs) ys))]
+        [else (cons (car ys) (merge xs ys))]))
+(merge '(1 3 5) '(2 4 6))",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// Mutual recursion that ping-pongs forever.
+pub const PING_PONG: CorpusProgram = CorpusProgram {
+    id: "ping-pong",
+    description: "mutual recursion with no descent",
+    source: "
+(define (ping x) (pong x))
+(define (pong x) (ping x))
+(ping '(a b))",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// Figure 2's diverging compiled term: `(λx. x x)(λy. y y)` interpreted by
+/// the compiler-interpreter — caught when the compiled closure re-enters
+/// with an identical argument (§2.4's `c2`).
+pub const OMEGA_INTERPRETED: CorpusProgram = CorpusProgram {
+    id: "omega-interpreted",
+    description: "Figure 2's c2: compiled Ω diverges inside the interpreter",
+    source: "
+(define (comp e)
+  (cond [(symbol? e) (lambda (rho) (hash-ref rho e))]
+        [(eq? (car e) 'lam)
+         (comp-lam (car (cdr e)) (comp (caddr e)))]
+        [else (comp-app (comp (car e)) (comp (cadr e)))]))
+(define (comp-lam x c)
+  (lambda (rho) (lambda (z) (c (hash-set rho x z)))))
+(define (comp-app c1 c2)
+  (lambda (rho) ((c1 rho) (c2 rho))))
+(define c2 (comp '((lam x (x x)) (lam y (y y)))))
+(c2 (hash))",
+    order: OrderSpec::Default,
+    expected: None,
+    paper: DIVERGING_ROW,
+    static_spec: None,
+};
+
+/// All diverging programs.
+pub fn all() -> Vec<CorpusProgram> {
+    vec![BUGGY_ACK, BUGGY_NFA, BUGGY_SUM, BUGGY_MERGE, PING_PONG, OMEGA_INTERPRETED]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_dynamic, run_standard};
+    use sct_core::monitor::TableStrategy;
+    use sct_interp::EvalError;
+
+    #[test]
+    fn all_diverge_unmonitored() {
+        for p in all() {
+            let r = run_standard(&p, Some(2_000_000));
+            assert!(
+                matches!(r, Err(EvalError::OutOfFuel)),
+                "{} should exhaust fuel unmonitored, got {r:?}",
+                p.id
+            );
+        }
+    }
+
+    #[test]
+    fn all_caught_by_monitor_both_strategies() {
+        for p in all() {
+            for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+                let r = run_dynamic(&p, strategy);
+                assert!(
+                    matches!(r, Err(EvalError::Sc(_))),
+                    "{} under {strategy:?}: expected errorSC, got {r:?}",
+                    p.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 1, dynamic column: every terminating corpus program must run to
+//! its value under full monitoring (with its declared order), matching the
+//! paper's ✓ verdicts; and the programs that need a custom order must
+//! *fail* under the default order (that is why the paper annotates them).
+
+use sct_core::monitor::TableStrategy;
+use sct_corpus::{run_dynamic, run_standard, table1, CorpusProgram, OrderSpec};
+use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode};
+use sct_lang::compile_program;
+
+fn strategies() -> [TableStrategy; 2] {
+    [TableStrategy::Imperative, TableStrategy::ContinuationMark]
+}
+
+#[test]
+fn every_row_terminates_standard() {
+    for p in table1::all() {
+        let v = run_standard(&p, Some(200_000_000))
+            .unwrap_or_else(|e| panic!("{} failed standard evaluation: {e}", p.id));
+        if let Some(expected) = p.expected {
+            assert_eq!(v.to_write_string(), expected, "{}", p.id);
+        }
+    }
+}
+
+#[test]
+fn dynamic_column_matches_paper() {
+    for p in table1::all() {
+        for strategy in strategies() {
+            let got = run_dynamic(&p, strategy);
+            assert!(
+                got.is_ok(),
+                "{} (paper: {}): dynamic check rejected a terminating program under {strategy:?}: {}",
+                p.id,
+                p.paper.dynamic.cell(),
+                got.unwrap_err()
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_agrees_with_standard_value() {
+    // Soundness (Theorem 3.2): when the monitored run produces a value, it
+    // is the value the standard semantics produces.
+    for p in table1::all() {
+        let standard = run_standard(&p, Some(200_000_000)).unwrap();
+        let monitored = run_dynamic(&p, TableStrategy::Imperative).unwrap();
+        assert!(
+            sct_interp::equal(&standard, &monitored),
+            "{}: standard {} != monitored {}",
+            p.id,
+            standard.to_write_string(),
+            monitored.to_write_string()
+        );
+    }
+}
+
+#[test]
+fn custom_order_rows_need_their_order() {
+    // acl2-fig-2 and lh-range carry the `O` annotation: under the default
+    // Figure-5 order the monitor (correctly) rejects their ascent.
+    for p in table1::all() {
+        if p.order != OrderSpec::ReverseInt {
+            continue;
+        }
+        let with_default = CorpusProgram { order: OrderSpec::Default, ..p };
+        let got = run_dynamic(&with_default, TableStrategy::Imperative);
+        assert!(
+            matches!(got, Err(EvalError::Sc(_))),
+            "{} should violate under the default order, got {got:?}",
+            p.id
+        );
+    }
+}
+
+#[test]
+fn call_sequence_semantics_clean_on_default_order_rows() {
+    // Rows that pass with the default order record no violations under the
+    // unenforced call-sequence semantics either (completeness, Lemma 3.4/3.5).
+    for p in table1::all() {
+        if p.order != OrderSpec::Default {
+            continue;
+        }
+        let prog = compile_program(p.source).unwrap();
+        let config = MachineConfig {
+            mode: SemanticsMode::CallSeqCollect,
+            order: p.order.handle(),
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(&prog, config);
+        m.run().unwrap_or_else(|e| panic!("{}: {e}", p.id));
+        assert!(
+            m.violations.is_empty(),
+            "{}: call-sequence semantics recorded violations: {}",
+            p.id,
+            m.violations[0]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Environments `ρ` as linked frames of mutable slots.
+
+use crate::value::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One environment frame: the slots bound by a lambda, `let`, or `letrec`.
+#[derive(Debug)]
+pub struct Frame {
+    slots: RefCell<Vec<Value>>,
+    parent: Env,
+}
+
+/// An environment: a chain of frames, innermost first. `None` is the empty
+/// environment (top level; globals live in the machine, not here).
+pub type Env = Option<Rc<Frame>>;
+
+impl Frame {
+    /// Pushes a new frame with the given slot values.
+    pub fn extend(parent: &Env, slots: Vec<Value>) -> Env {
+        Some(Rc::new(Frame { slots: RefCell::new(slots), parent: parent.clone() }))
+    }
+
+    /// Pushes a frame of `n` undefined slots (for `letrec`).
+    pub fn extend_undefined(parent: &Env, n: usize) -> Env {
+        Frame::extend(parent, vec![Value::Undefined; n])
+    }
+}
+
+/// Reads the slot at `depth` frames out.
+///
+/// # Panics
+///
+/// Panics if the address is out of range — the resolver guarantees validity,
+/// so this indicates a compiler bug, not a user error.
+pub fn lookup(env: &Env, depth: u16, slot: u16) -> Value {
+    let mut frame = env.as_ref().expect("variable lookup in empty environment");
+    for _ in 0..depth {
+        frame = frame.parent.as_ref().expect("variable depth out of range");
+    }
+    frame.slots.borrow()[slot as usize].clone()
+}
+
+/// Writes the slot at `depth` frames out (for `set!` and `letrec` init).
+///
+/// # Panics
+///
+/// Panics if the address is out of range (compiler bug).
+pub fn assign(env: &Env, depth: u16, slot: u16, value: Value) {
+    let mut frame = env.as_ref().expect("assignment in empty environment");
+    for _ in 0..depth {
+        frame = frame.parent.as_ref().expect("variable depth out of range");
+    }
+    frame.slots.borrow_mut()[slot as usize] = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_across_frames() {
+        let e0 = Frame::extend(&None, vec![Value::int(10), Value::int(20)]);
+        let e1 = Frame::extend(&e0, vec![Value::int(30)]);
+        assert_eq!(lookup(&e1, 0, 0), Value::int(30));
+        assert_eq!(lookup(&e1, 1, 0), Value::int(10));
+        assert_eq!(lookup(&e1, 1, 1), Value::int(20));
+        assert_eq!(lookup(&e0, 0, 1), Value::int(20));
+    }
+
+    #[test]
+    fn assignment_is_shared() {
+        let e0 = Frame::extend(&None, vec![Value::int(1)]);
+        let e1 = Frame::extend(&e0, vec![]);
+        assign(&e1, 1, 0, Value::int(99));
+        assert_eq!(lookup(&e0, 0, 0), Value::int(99), "frames are shared, not copied");
+    }
+
+    #[test]
+    fn letrec_frames_start_undefined() {
+        let e = Frame::extend_undefined(&None, 2);
+        assert!(matches!(lookup(&e, 0, 1), Value::Undefined));
+    }
+}

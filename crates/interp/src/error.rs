@@ -1,0 +1,128 @@
+//! Evaluation answers and errors (Figure 3's `α ::= a | errorSC`).
+
+use sct_core::seq::ScViolation;
+use std::fmt;
+use std::rc::Rc;
+
+/// A standard run-time error (`errorRT`): type errors, arity errors,
+/// division by zero, user `(error …)` calls, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtError {
+    /// Lowercase description.
+    pub message: String,
+}
+
+impl RtError {
+    /// Creates a run-time error.
+    pub fn new(message: impl Into<String>) -> RtError {
+        RtError { message: message.into() }
+    }
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// A size-change termination error (`errorSC`) with blame information.
+#[derive(Debug, Clone)]
+pub struct ScErrorInfo {
+    /// The blame party from the innermost enclosing `terminating/c`
+    /// contract, or `None` for whole-program monitoring.
+    pub blame: Option<Rc<str>>,
+    /// Name of the function whose call sequence violated the principle.
+    pub function: String,
+    /// The violation witness.
+    pub violation: ScViolation,
+}
+
+impl fmt::Display for ScErrorInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in calls to {}", self.violation, self.function)?;
+        if let Some(b) = &self.blame {
+            write!(f, "; blaming {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A contract violation from the partial-correctness contracts (`flat/c`,
+/// `->/c`) that compose with `terminating/c` into contracts for total
+/// correctness.
+#[derive(Debug, Clone)]
+pub struct ContractErrorInfo {
+    /// The blamed party.
+    pub blame: Rc<str>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ContractErrorInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "contract violation: {}; blaming {}", self.message, self.blame)
+    }
+}
+
+/// The ways evaluation can end without producing a value.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// `errorRT`.
+    Rt(RtError),
+    /// `errorSC` — the size-change monitor stopped the program.
+    Sc(ScErrorInfo),
+    /// A partial-correctness contract failed.
+    Contract(ContractErrorInfo),
+    /// The configured fuel ran out (used to bound *unmonitored* runs of
+    /// diverging programs; monitored runs stop via [`EvalError::Sc`]).
+    OutOfFuel,
+}
+
+impl EvalError {
+    /// Convenience: true when this is a size-change error.
+    pub fn is_sc(&self) -> bool {
+        matches!(self, EvalError::Sc(_))
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Rt(e) => write!(f, "run-time error: {e}"),
+            EvalError::Sc(e) => write!(f, "termination contract violation: {e}"),
+            EvalError::Contract(e) => write!(f, "{e}"),
+            EvalError::OutOfFuel => f.write_str("out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<RtError> for EvalError {
+    fn from(e: RtError) -> Self {
+        EvalError::Rt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::graph::ScGraph;
+
+    #[test]
+    fn displays() {
+        let rt = EvalError::Rt(RtError::new("car: expected pair"));
+        assert!(rt.to_string().contains("car"));
+        let sc = EvalError::Sc(ScErrorInfo {
+            blame: Some(Rc::from("main")),
+            function: "loop".into(),
+            violation: ScViolation { witness: ScGraph::empty(1, 1) },
+        });
+        assert!(sc.is_sc());
+        let shown = sc.to_string();
+        assert!(shown.contains("loop") && shown.contains("main"), "got {shown}");
+        assert!(!EvalError::OutOfFuel.is_sc());
+    }
+}

@@ -1,0 +1,80 @@
+//! The λSCT interpreter: dynamic size-change termination monitoring as an
+//! operational semantics, per the PLDI'19 paper.
+//!
+//! A single CEK-style [`Machine`] runs the paper's three semantics — the
+//! standard ⇓ (with `terminating/c` extents, λCSCT), the fully monitored ⬇
+//! (λSCT, Figure 3), and the call-sequence ↓↓ (Figure 6) — under either of
+//! §5's table-maintenance strategies (imperative or continuation-mark),
+//! with the §5 optimizations (exponential backoff, loop-entry detection,
+//! closure key strategies, known-terminating whitelist) and a replaceable
+//! well-founded order (Figure 5).
+//!
+//! # Examples
+//!
+//! A diverging program is stopped by the monitor with a size-change error:
+//!
+//! ```
+//! use sct_core::monitor::TableStrategy;
+//! use sct_interp::{eval_str_monitored, EvalError};
+//!
+//! let result = eval_str_monitored("(define (loop x) (loop x)) (loop 1)",
+//!     TableStrategy::Imperative);
+//! assert!(matches!(result, Err(EvalError::Sc(_))));
+//! ```
+//!
+//! A terminating one runs to its value:
+//!
+//! ```
+//! use sct_core::monitor::TableStrategy;
+//! use sct_interp::{eval_str_monitored, Value};
+//!
+//! let v = eval_str_monitored(
+//!     "(define (ack m n)
+//!        (cond [(= 0 m) (+ 1 n)]
+//!              [(= 0 n) (ack (- m 1) 1)]
+//!              [else (ack (- m 1) (ack m (- n 1)))]))
+//!      (ack 2 3)",
+//!     TableStrategy::ContinuationMark,
+//! ).unwrap();
+//! assert_eq!(v, Value::int(9));
+//! ```
+
+pub mod env;
+pub mod error;
+pub mod machine;
+pub mod order;
+pub mod prims;
+pub mod value;
+
+pub use error::{ContractErrorInfo, EvalError, RtError, ScErrorInfo};
+pub use machine::{
+    datum_to_value, wrap_terminating, Machine, MachineConfig, SemanticsMode, Stats, TraceEvent,
+};
+pub use order::{CustomOrder, DefaultOrder, ExtendedOrder, OrderHandle, ReverseIntOrder};
+pub use value::{eq, equal, eqv, value_hash, value_size, Closure, Value};
+
+use sct_core::monitor::TableStrategy;
+use sct_lang::compile_program;
+
+/// Compiles and runs a program under the standard semantics ⇓.
+///
+/// # Errors
+///
+/// Returns the compile error message or the evaluation error, stringified
+/// on the compile side for convenience in tests and examples.
+pub fn eval_str(source: &str) -> Result<Value, EvalError> {
+    let prog = compile_program(source)
+        .map_err(|e| EvalError::Rt(RtError::new(format!("compile error: {e}"))))?;
+    Machine::new(&prog, MachineConfig::standard()).run()
+}
+
+/// Compiles and runs a program under the fully monitored semantics ⬇.
+///
+/// # Errors
+///
+/// As [`eval_str`], plus [`EvalError::Sc`] on size-change violations.
+pub fn eval_str_monitored(source: &str, strategy: TableStrategy) -> Result<Value, EvalError> {
+    let prog = compile_program(source)
+        .map_err(|e| EvalError::Rt(RtError::new(format!("compile error: {e}"))))?;
+    Machine::new(&prog, MachineConfig::monitored(strategy)).run()
+}

@@ -1,0 +1,864 @@
+//! Implementations of the primitive operations `o` of Figure 3.
+//!
+//! Every primitive is total up to run-time type errors (`errorRT`); none
+//! can diverge, which is why the monitor never instruments them (§5's
+//! whitelist of known-terminating functions covers all primitives by
+//! construction).
+//!
+//! `apply`, `contract`, and `terminating/c` need machine cooperation and
+//! are intercepted in `machine.rs` before reaching [`call_prim`].
+
+use crate::error::RtError;
+use crate::value::{eq, equal, eqv, ContractData, HashData, Value};
+use sct_bignum::Int;
+use sct_lang::Prim;
+use sct_persist::PMap;
+use std::rc::Rc;
+
+/// Result of a primitive call: a value, possibly with console output to
+/// append to the machine's output buffer.
+#[derive(Debug)]
+pub enum PrimEffect {
+    /// An ordinary result.
+    Value(Value),
+    /// Output text plus the result value.
+    Output(String, Value),
+}
+
+fn rt(msg: impl Into<String>) -> RtError {
+    RtError::new(msg)
+}
+
+fn want_int<'a>(p: Prim, v: &'a Value) -> Result<&'a Int, RtError> {
+    match v {
+        Value::Int(n) => Ok(n),
+        other => Err(rt(format!("{}: expected integer, got {}", p.name(), other.to_write_string()))),
+    }
+}
+
+fn want_char(p: Prim, v: &Value) -> Result<char, RtError> {
+    match v {
+        Value::Char(c) => Ok(*c),
+        other => Err(rt(format!("{}: expected char, got {}", p.name(), other.to_write_string()))),
+    }
+}
+
+fn want_str<'a>(p: Prim, v: &'a Value) -> Result<&'a Rc<str>, RtError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(rt(format!("{}: expected string, got {}", p.name(), other.to_write_string()))),
+    }
+}
+
+fn want_pair(p: Prim, v: &Value) -> Result<(Value, Value), RtError> {
+    match v {
+        Value::Pair(d) => Ok((d.car.clone(), d.cdr.clone())),
+        other => Err(rt(format!("{}: expected pair, got {}", p.name(), other.to_write_string()))),
+    }
+}
+
+fn want_list(p: Prim, v: &Value) -> Result<Vec<Value>, RtError> {
+    v.list_to_vec()
+        .ok_or_else(|| rt(format!("{}: expected a proper list, got {}", p.name(), v.to_write_string())))
+}
+
+fn want_hash<'a>(p: Prim, v: &'a Value) -> Result<&'a Rc<HashData>, RtError> {
+    match v {
+        Value::Hash(h) => Ok(h),
+        other => Err(rt(format!("{}: expected hash, got {}", p.name(), other.to_write_string()))),
+    }
+}
+
+fn arity(p: Prim, args: &[Value], n: usize) -> Result<(), RtError> {
+    if args.len() != n {
+        return Err(rt(format!("{}: expected {n} arguments, got {}", p.name(), args.len())));
+    }
+    Ok(())
+}
+
+fn at_least(p: Prim, args: &[Value], n: usize) -> Result<(), RtError> {
+    if args.len() < n {
+        return Err(rt(format!(
+            "{}: expected at least {n} arguments, got {}",
+            p.name(),
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn bool_val(b: bool) -> PrimEffect {
+    PrimEffect::Value(Value::Bool(b))
+}
+
+fn val(v: Value) -> PrimEffect {
+    PrimEffect::Value(v)
+}
+
+fn chained_int_cmp(
+    p: Prim,
+    args: &[Value],
+    cmp: impl Fn(&Int, &Int) -> bool,
+) -> Result<PrimEffect, RtError> {
+    at_least(p, args, 2)?;
+    for w in args.windows(2) {
+        if !cmp(want_int(p, &w[0])?, want_int(p, &w[1])?) {
+            return Ok(bool_val(false));
+        }
+    }
+    Ok(bool_val(true))
+}
+
+fn nth_cdr(p: Prim, v: &Value, path: &str) -> Result<Value, RtError> {
+    // path like "ad" means (car (cdr v)), applied right to left.
+    let mut cur = v.clone();
+    for c in path.chars().rev() {
+        let (car, cdr) = want_pair(p, &cur)?;
+        cur = if c == 'a' { car } else { cdr };
+    }
+    Ok(cur)
+}
+
+fn search_list(
+    p: Prim,
+    needle: &Value,
+    list: &Value,
+    same: impl Fn(&Value, &Value) -> bool,
+) -> Result<PrimEffect, RtError> {
+    let mut cur = list.clone();
+    loop {
+        match cur {
+            Value::Nil => return Ok(bool_val(false)),
+            Value::Pair(d) => {
+                if same(&d.car, needle) {
+                    return Ok(val(Value::Pair(d)));
+                }
+                cur = d.cdr.clone();
+            }
+            other => {
+                return Err(rt(format!(
+                    "{}: expected a proper list, got {}",
+                    p.name(),
+                    other.to_write_string()
+                )))
+            }
+        }
+    }
+}
+
+fn search_assoc(
+    p: Prim,
+    needle: &Value,
+    list: &Value,
+    same: impl Fn(&Value, &Value) -> bool,
+) -> Result<PrimEffect, RtError> {
+    let mut cur = list.clone();
+    loop {
+        match cur {
+            Value::Nil => return Ok(bool_val(false)),
+            Value::Pair(d) => {
+                let (key, _) = want_pair(p, &d.car)?;
+                if same(&key, needle) {
+                    return Ok(val(d.car.clone()));
+                }
+                cur = d.cdr.clone();
+            }
+            other => {
+                return Err(rt(format!(
+                    "{}: expected an association list, got {}",
+                    p.name(),
+                    other.to_write_string()
+                )))
+            }
+        }
+    }
+}
+
+/// Evaluates a primitive application.
+///
+/// # Errors
+///
+/// [`RtError`] on wrong arity, wrong argument types, division by zero,
+/// index out of range, or a user `(error …)` call.
+pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
+    match p {
+        // ----- numeric ---------------------------------------------------
+        Prim::Add => {
+            let mut acc = Int::zero();
+            for a in args {
+                acc = &acc + want_int(p, a)?;
+            }
+            Ok(val(Value::Int(acc)))
+        }
+        Prim::Sub => {
+            at_least(p, args, 1)?;
+            let first = want_int(p, &args[0])?.clone();
+            if args.len() == 1 {
+                return Ok(val(Value::Int(-&first)));
+            }
+            let mut acc = first;
+            for a in &args[1..] {
+                acc = &acc - want_int(p, a)?;
+            }
+            Ok(val(Value::Int(acc)))
+        }
+        Prim::Mul => {
+            let mut acc = Int::one();
+            for a in args {
+                acc = &acc * want_int(p, a)?;
+            }
+            Ok(val(Value::Int(acc)))
+        }
+        Prim::Quotient | Prim::Remainder | Prim::Modulo => {
+            arity(p, args, 2)?;
+            let a = want_int(p, &args[0])?;
+            let b = want_int(p, &args[1])?;
+            let r = match p {
+                Prim::Quotient => a.checked_quotient(b),
+                Prim::Remainder => a.checked_remainder(b),
+                _ => a.checked_modulo(b),
+            };
+            match r {
+                Some(n) => Ok(val(Value::Int(n))),
+                None => Err(rt(format!("{}: division by zero", p.name()))),
+            }
+        }
+        Prim::Abs => {
+            arity(p, args, 1)?;
+            Ok(val(Value::Int(want_int(p, &args[0])?.abs())))
+        }
+        Prim::Min | Prim::Max => {
+            at_least(p, args, 1)?;
+            let mut best = want_int(p, &args[0])?.clone();
+            for a in &args[1..] {
+                let n = want_int(p, a)?;
+                let take = if p == Prim::Min { n < &best } else { n > &best };
+                if take {
+                    best = n.clone();
+                }
+            }
+            Ok(val(Value::Int(best)))
+        }
+        Prim::Add1 => {
+            arity(p, args, 1)?;
+            Ok(val(Value::Int(want_int(p, &args[0])? + &Int::one())))
+        }
+        Prim::Sub1 => {
+            arity(p, args, 1)?;
+            Ok(val(Value::Int(want_int(p, &args[0])? - &Int::one())))
+        }
+        Prim::Gcd => {
+            let mut acc = Int::zero();
+            for a in args {
+                acc = acc.gcd(want_int(p, a)?);
+            }
+            Ok(val(Value::Int(acc)))
+        }
+        Prim::Expt => {
+            arity(p, args, 2)?;
+            let base = want_int(p, &args[0])?.clone();
+            let exp = want_int(p, &args[1])?;
+            if exp.is_negative() {
+                return Err(rt("expt: negative exponent on exact integer"));
+            }
+            let Some(mut e) = exp.to_i64() else {
+                return Err(rt("expt: exponent too large"));
+            };
+            let mut acc = Int::one();
+            let mut b = base;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = &acc * &b;
+                }
+                b = &b * &b;
+                e >>= 1;
+            }
+            Ok(val(Value::Int(acc)))
+        }
+        Prim::NumEq => chained_int_cmp(p, args, |a, b| a == b),
+        Prim::Lt => chained_int_cmp(p, args, |a, b| a < b),
+        Prim::Le => chained_int_cmp(p, args, |a, b| a <= b),
+        Prim::Gt => chained_int_cmp(p, args, |a, b| a > b),
+        Prim::Ge => chained_int_cmp(p, args, |a, b| a >= b),
+        Prim::IsZero => {
+            arity(p, args, 1)?;
+            Ok(bool_val(want_int(p, &args[0])?.is_zero()))
+        }
+        Prim::IsNegative => {
+            arity(p, args, 1)?;
+            Ok(bool_val(want_int(p, &args[0])?.is_negative()))
+        }
+        Prim::IsPositive => {
+            arity(p, args, 1)?;
+            let n = want_int(p, &args[0])?;
+            Ok(bool_val(!n.is_negative() && !n.is_zero()))
+        }
+        Prim::IsEven | Prim::IsOdd => {
+            arity(p, args, 1)?;
+            let n = want_int(p, &args[0])?;
+            let two = Int::from(2i64);
+            let rem = n.checked_remainder(&two).expect("2 is nonzero");
+            let even = rem.is_zero();
+            Ok(bool_val(if p == Prim::IsEven { even } else { !even }))
+        }
+        Prim::IsNumber | Prim::IsInteger => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Int(_))))
+        }
+
+        // ----- pairs and lists -------------------------------------------
+        Prim::Cons => {
+            arity(p, args, 2)?;
+            Ok(val(Value::cons(args[0].clone(), args[1].clone())))
+        }
+        Prim::Car => {
+            arity(p, args, 1)?;
+            Ok(val(want_pair(p, &args[0])?.0))
+        }
+        Prim::Cdr => {
+            arity(p, args, 1)?;
+            Ok(val(want_pair(p, &args[0])?.1))
+        }
+        Prim::Caar => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "aa")?))
+        }
+        Prim::Cadr => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "ad")?))
+        }
+        Prim::Cdar => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "da")?))
+        }
+        Prim::Cddr => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "dd")?))
+        }
+        Prim::Caddr => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "add")?))
+        }
+        Prim::Cdddr => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "ddd")?))
+        }
+        Prim::Cadddr => {
+            arity(p, args, 1)?;
+            Ok(val(nth_cdr(p, &args[0], "addd")?))
+        }
+        Prim::IsNull => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Nil)))
+        }
+        Prim::IsPair => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Pair(_))))
+        }
+        Prim::List => Ok(val(Value::list(args.to_vec()))),
+        Prim::Length => {
+            arity(p, args, 1)?;
+            let items = want_list(p, &args[0])?;
+            Ok(val(Value::int(items.len() as i64)))
+        }
+        Prim::Append => {
+            if args.is_empty() {
+                return Ok(val(Value::Nil));
+            }
+            let mut acc = args.last().unwrap().clone();
+            for a in args[..args.len() - 1].iter().rev() {
+                let items = want_list(p, a)?;
+                for item in items.into_iter().rev() {
+                    acc = Value::cons(item, acc);
+                }
+            }
+            Ok(val(acc))
+        }
+        Prim::Reverse => {
+            arity(p, args, 1)?;
+            let mut acc = Value::Nil;
+            for item in want_list(p, &args[0])? {
+                acc = Value::cons(item, acc);
+            }
+            Ok(val(acc))
+        }
+        Prim::ListRef | Prim::ListTail => {
+            arity(p, args, 2)?;
+            let n = want_int(p, &args[1])?
+                .to_i64()
+                .filter(|n| *n >= 0)
+                .ok_or_else(|| rt(format!("{}: bad index", p.name())))?;
+            let mut cur = args[0].clone();
+            for _ in 0..n {
+                cur = want_pair(p, &cur)?.1;
+            }
+            if p == Prim::ListRef {
+                Ok(val(want_pair(p, &cur)?.0))
+            } else {
+                Ok(val(cur))
+            }
+        }
+        Prim::Memq => {
+            arity(p, args, 2)?;
+            search_list(p, &args[0], &args[1], eq)
+        }
+        Prim::Memv => {
+            arity(p, args, 2)?;
+            search_list(p, &args[0], &args[1], eqv)
+        }
+        Prim::Member => {
+            arity(p, args, 2)?;
+            search_list(p, &args[0], &args[1], equal)
+        }
+        Prim::Assq => {
+            arity(p, args, 2)?;
+            search_assoc(p, &args[0], &args[1], eq)
+        }
+        Prim::Assv => {
+            arity(p, args, 2)?;
+            search_assoc(p, &args[0], &args[1], eqv)
+        }
+        Prim::Assoc => {
+            arity(p, args, 2)?;
+            search_assoc(p, &args[0], &args[1], equal)
+        }
+        Prim::IsList => {
+            arity(p, args, 1)?;
+            Ok(bool_val(args[0].list_to_vec().is_some()))
+        }
+
+        // ----- equality and type predicates -------------------------------
+        Prim::IsEq => {
+            arity(p, args, 2)?;
+            Ok(bool_val(eq(&args[0], &args[1])))
+        }
+        Prim::IsEqv => {
+            arity(p, args, 2)?;
+            Ok(bool_val(eqv(&args[0], &args[1])))
+        }
+        Prim::IsEqual => {
+            arity(p, args, 2)?;
+            Ok(bool_val(equal(&args[0], &args[1])))
+        }
+        Prim::Not => {
+            arity(p, args, 1)?;
+            Ok(bool_val(!args[0].is_truthy()))
+        }
+        Prim::IsBoolean => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Bool(_))))
+        }
+        Prim::IsSymbol => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Sym(_))))
+        }
+        Prim::IsString => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Str(_))))
+        }
+        Prim::IsChar => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Char(_))))
+        }
+        Prim::IsProcedure => {
+            arity(p, args, 1)?;
+            Ok(bool_val(args[0].is_procedure()))
+        }
+        Prim::IsVoid => {
+            arity(p, args, 1)?;
+            Ok(bool_val(matches!(args[0], Value::Void)))
+        }
+
+        // ----- characters --------------------------------------------------
+        Prim::CharEq => {
+            at_least(p, args, 2)?;
+            for w in args.windows(2) {
+                if want_char(p, &w[0])? != want_char(p, &w[1])? {
+                    return Ok(bool_val(false));
+                }
+            }
+            Ok(bool_val(true))
+        }
+        Prim::CharLt => {
+            at_least(p, args, 2)?;
+            for w in args.windows(2) {
+                if want_char(p, &w[0])? >= want_char(p, &w[1])? {
+                    return Ok(bool_val(false));
+                }
+            }
+            Ok(bool_val(true))
+        }
+        Prim::CharToInteger => {
+            arity(p, args, 1)?;
+            Ok(val(Value::int(want_char(p, &args[0])? as i64)))
+        }
+        Prim::IntegerToChar => {
+            arity(p, args, 1)?;
+            let n = want_int(p, &args[0])?
+                .to_i64()
+                .and_then(|n| u32::try_from(n).ok())
+                .and_then(char::from_u32)
+                .ok_or_else(|| rt("integer->char: not a valid code point"))?;
+            Ok(val(Value::Char(n)))
+        }
+
+        // ----- strings and symbols -----------------------------------------
+        Prim::StringEq => {
+            at_least(p, args, 2)?;
+            for w in args.windows(2) {
+                if want_str(p, &w[0])? != want_str(p, &w[1])? {
+                    return Ok(bool_val(false));
+                }
+            }
+            Ok(bool_val(true))
+        }
+        Prim::StringLt => {
+            at_least(p, args, 2)?;
+            for w in args.windows(2) {
+                if want_str(p, &w[0])?.as_ref() >= want_str(p, &w[1])?.as_ref() {
+                    return Ok(bool_val(false));
+                }
+            }
+            Ok(bool_val(true))
+        }
+        Prim::StringLength => {
+            arity(p, args, 1)?;
+            Ok(val(Value::int(want_str(p, &args[0])?.chars().count() as i64)))
+        }
+        Prim::StringAppend => {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(want_str(p, a)?);
+            }
+            Ok(val(Value::str(out)))
+        }
+        Prim::Substring => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(rt("substring: expected 2 or 3 arguments"));
+            }
+            let s = want_str(p, &args[0])?;
+            let chars: Vec<char> = s.chars().collect();
+            let start = want_int(p, &args[1])?
+                .to_i64()
+                .filter(|n| *n >= 0 && *n as usize <= chars.len())
+                .ok_or_else(|| rt("substring: start out of range"))? as usize;
+            let end = if args.len() == 3 {
+                want_int(p, &args[2])?
+                    .to_i64()
+                    .filter(|n| *n >= start as i64 && *n as usize <= chars.len())
+                    .ok_or_else(|| rt("substring: end out of range"))? as usize
+            } else {
+                chars.len()
+            };
+            Ok(val(Value::str(chars[start..end].iter().collect::<String>())))
+        }
+        Prim::StringRef => {
+            arity(p, args, 2)?;
+            let s = want_str(p, &args[0])?;
+            let i = want_int(p, &args[1])?
+                .to_i64()
+                .filter(|n| *n >= 0)
+                .ok_or_else(|| rt("string-ref: bad index"))? as usize;
+            s.chars()
+                .nth(i)
+                .map(|c| val(Value::Char(c)))
+                .ok_or_else(|| rt("string-ref: index out of range"))
+        }
+        Prim::StringToSymbol => {
+            arity(p, args, 1)?;
+            Ok(val(Value::Sym(want_str(p, &args[0])?.clone())))
+        }
+        Prim::SymbolToString => {
+            arity(p, args, 1)?;
+            match &args[0] {
+                Value::Sym(s) => Ok(val(Value::Str(s.clone()))),
+                other => Err(rt(format!(
+                    "symbol->string: expected symbol, got {}",
+                    other.to_write_string()
+                ))),
+            }
+        }
+        Prim::NumberToString => {
+            arity(p, args, 1)?;
+            Ok(val(Value::str(want_int(p, &args[0])?.to_string())))
+        }
+        Prim::StringToNumber => {
+            arity(p, args, 1)?;
+            match want_str(p, &args[0])?.parse::<Int>() {
+                Ok(n) => Ok(val(Value::Int(n))),
+                Err(_) => Ok(bool_val(false)),
+            }
+        }
+        Prim::StringToList => {
+            arity(p, args, 1)?;
+            let chars: Vec<Value> =
+                want_str(p, &args[0])?.chars().map(Value::Char).collect();
+            Ok(val(Value::list(chars)))
+        }
+        Prim::ListToString => {
+            arity(p, args, 1)?;
+            let mut out = String::new();
+            for c in want_list(p, &args[0])? {
+                out.push(want_char(p, &c)?);
+            }
+            Ok(val(Value::str(out)))
+        }
+
+        // ----- immutable hashes ---------------------------------------------
+        Prim::Hash => {
+            if args.len() % 2 != 0 {
+                return Err(rt("hash: expected an even number of arguments"));
+            }
+            let mut map = PMap::new();
+            for kv in args.chunks(2) {
+                map = map.insert(kv[0].clone(), kv[1].clone());
+            }
+            Ok(val(Value::Hash(Rc::new(HashData::new(map)))))
+        }
+        Prim::HashSet => {
+            arity(p, args, 3)?;
+            let h = want_hash(p, &args[0])?;
+            let map = h.map.insert(args[1].clone(), args[2].clone());
+            Ok(val(Value::Hash(Rc::new(HashData::new(map)))))
+        }
+        Prim::HashRef => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(rt("hash-ref: expected 2 or 3 arguments"));
+            }
+            let h = want_hash(p, &args[0])?;
+            match h.map.get(&args[1]) {
+                Some(v) => Ok(val(v.clone())),
+                None if args.len() == 3 => Ok(val(args[2].clone())),
+                None => Err(rt(format!(
+                    "hash-ref: no value for key {}",
+                    args[1].to_write_string()
+                ))),
+            }
+        }
+        Prim::HashHasKey => {
+            arity(p, args, 2)?;
+            let h = want_hash(p, &args[0])?;
+            Ok(bool_val(h.map.contains_key(&args[1])))
+        }
+        Prim::HashCount => {
+            arity(p, args, 1)?;
+            Ok(val(Value::int(want_hash(p, &args[0])?.map.len() as i64)))
+        }
+
+        // ----- output and control --------------------------------------------
+        Prim::Display => {
+            arity(p, args, 1)?;
+            Ok(PrimEffect::Output(args[0].to_display_string(), Value::Void))
+        }
+        Prim::Write => {
+            arity(p, args, 1)?;
+            Ok(PrimEffect::Output(args[0].to_write_string(), Value::Void))
+        }
+        Prim::Newline => {
+            arity(p, args, 0)?;
+            Ok(PrimEffect::Output("\n".into(), Value::Void))
+        }
+        Prim::Error => {
+            let mut msg = String::new();
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    msg.push(' ');
+                }
+                match a {
+                    Value::Str(s) => msg.push_str(s),
+                    Value::Sym(s) => {
+                        msg.push_str(s);
+                        if i == 0 {
+                            msg.push(':');
+                        }
+                    }
+                    other => msg.push_str(&other.to_write_string()),
+                }
+            }
+            Err(rt(if msg.is_empty() { "error".to_string() } else { msg }))
+        }
+        Prim::Void => Ok(val(Value::Void)),
+
+        // ----- contract constructors ------------------------------------------
+        Prim::FlatC => {
+            arity(p, args, 1)?;
+            Ok(val(Value::Contract(Rc::new(ContractData::Flat(args[0].clone())))))
+        }
+        Prim::ArrowC => {
+            at_least(p, args, 1)?;
+            let rng = args.last().unwrap().clone();
+            let doms = args[..args.len() - 1].to_vec();
+            Ok(val(Value::Contract(Rc::new(ContractData::Arrow { doms, rng }))))
+        }
+        Prim::AndC => Ok(val(Value::Contract(Rc::new(ContractData::And(args.to_vec()))))),
+
+        // Handled by the machine; reaching here is an internal error.
+        Prim::Apply | Prim::Contract | Prim::TerminatingC => {
+            Err(rt(format!("{}: internal: must be applied by the machine", p.name())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(effect: PrimEffect) -> Value {
+        match effect {
+            PrimEffect::Value(v) => v,
+            PrimEffect::Output(_, v) => v,
+        }
+    }
+
+    fn ints(ns: &[i64]) -> Vec<Value> {
+        ns.iter().map(|n| Value::int(*n)).collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(v(call_prim(Prim::Add, &ints(&[1, 2, 3])).unwrap()), Value::int(6));
+        assert_eq!(v(call_prim(Prim::Add, &[]).unwrap()), Value::int(0));
+        assert_eq!(v(call_prim(Prim::Sub, &ints(&[10, 1, 2])).unwrap()), Value::int(7));
+        assert_eq!(v(call_prim(Prim::Sub, &ints(&[5])).unwrap()), Value::int(-5));
+        assert_eq!(v(call_prim(Prim::Mul, &ints(&[2, 3, 4])).unwrap()), Value::int(24));
+        assert_eq!(v(call_prim(Prim::Quotient, &ints(&[-7, 2])).unwrap()), Value::int(-3));
+        assert_eq!(v(call_prim(Prim::Modulo, &ints(&[-7, 2])).unwrap()), Value::int(1));
+        assert!(call_prim(Prim::Quotient, &ints(&[1, 0])).is_err());
+        assert_eq!(v(call_prim(Prim::Expt, &ints(&[2, 10])).unwrap()), Value::int(1024));
+        assert_eq!(v(call_prim(Prim::Gcd, &ints(&[12, 18])).unwrap()), Value::int(6));
+        assert_eq!(v(call_prim(Prim::Max, &ints(&[1, 9, 4])).unwrap()), Value::int(9));
+    }
+
+    #[test]
+    fn comparisons_chain() {
+        assert_eq!(v(call_prim(Prim::Lt, &ints(&[1, 2, 3])).unwrap()), Value::Bool(true));
+        assert_eq!(v(call_prim(Prim::Lt, &ints(&[1, 3, 2])).unwrap()), Value::Bool(false));
+        assert_eq!(v(call_prim(Prim::NumEq, &ints(&[2, 2, 2])).unwrap()), Value::Bool(true));
+        assert!(call_prim(Prim::Lt, &ints(&[1])).is_err());
+    }
+
+    #[test]
+    fn list_ops() {
+        let l = Value::list(ints(&[1, 2, 3]));
+        assert_eq!(v(call_prim(Prim::Length, &[l.clone()]).unwrap()), Value::int(3));
+        assert_eq!(v(call_prim(Prim::Car, &[l.clone()]).unwrap()), Value::int(1));
+        assert_eq!(v(call_prim(Prim::Cadr, &[l.clone()]).unwrap()), Value::int(2));
+        assert_eq!(v(call_prim(Prim::Caddr, &[l.clone()]).unwrap()), Value::int(3));
+        let r = v(call_prim(Prim::Reverse, &[l.clone()]).unwrap());
+        assert_eq!(r.to_write_string(), "(3 2 1)");
+        let app = v(call_prim(Prim::Append, &[l.clone(), r]).unwrap());
+        assert_eq!(app.to_write_string(), "(1 2 3 3 2 1)");
+        assert_eq!(
+            v(call_prim(Prim::ListRef, &[l.clone(), Value::int(1)]).unwrap()),
+            Value::int(2)
+        );
+        assert!(call_prim(Prim::Car, &[Value::Nil]).is_err());
+        assert!(call_prim(Prim::Length, &[Value::cons(Value::int(1), Value::int(2))]).is_err());
+    }
+
+    #[test]
+    fn membership() {
+        let l = Value::list(vec![Value::sym("a"), Value::sym("b")]);
+        let hit = v(call_prim(Prim::Memq, &[Value::sym("b"), l.clone()]).unwrap());
+        assert_eq!(hit.to_write_string(), "(b)");
+        assert_eq!(
+            v(call_prim(Prim::Memq, &[Value::sym("z"), l.clone()]).unwrap()),
+            Value::Bool(false)
+        );
+        let alist = Value::list(vec![
+            Value::cons(Value::sym("x"), Value::int(1)),
+            Value::cons(Value::sym("y"), Value::int(2)),
+        ]);
+        let found = v(call_prim(Prim::Assq, &[Value::sym("y"), alist]).unwrap());
+        assert_eq!(found.to_write_string(), "(y . 2)");
+    }
+
+    #[test]
+    fn string_ops() {
+        let s = Value::str("hello");
+        assert_eq!(v(call_prim(Prim::StringLength, &[s.clone()]).unwrap()), Value::int(5));
+        assert_eq!(
+            v(call_prim(Prim::Substring, &[s.clone(), Value::int(1), Value::int(3)]).unwrap()),
+            Value::str("el")
+        );
+        assert_eq!(
+            v(call_prim(Prim::StringAppend, &[s.clone(), Value::str("!")]).unwrap()),
+            Value::str("hello!")
+        );
+        assert_eq!(
+            v(call_prim(Prim::StringLt, &[Value::str("abc"), Value::str("abd")]).unwrap()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            v(call_prim(Prim::StringToNumber, &[Value::str("42")]).unwrap()),
+            Value::int(42)
+        );
+        assert_eq!(
+            v(call_prim(Prim::StringToNumber, &[Value::str("nope")]).unwrap()),
+            Value::Bool(false)
+        );
+        let l = v(call_prim(Prim::StringToList, &[Value::str("ab")]).unwrap());
+        assert_eq!(l.to_write_string(), "(#\\a #\\b)");
+        assert_eq!(v(call_prim(Prim::ListToString, &[l]).unwrap()), Value::str("ab"));
+    }
+
+    #[test]
+    fn hash_ops() {
+        let h = v(call_prim(Prim::Hash, &[Value::sym("x"), Value::int(1)]).unwrap());
+        let h2 = v(call_prim(Prim::HashSet, &[h.clone(), Value::sym("y"), Value::int(2)]).unwrap());
+        assert_eq!(
+            v(call_prim(Prim::HashRef, &[h2.clone(), Value::sym("y")]).unwrap()),
+            Value::int(2)
+        );
+        assert_eq!(v(call_prim(Prim::HashCount, &[h]).unwrap()), Value::int(1));
+        assert_eq!(v(call_prim(Prim::HashCount, &[h2.clone()]).unwrap()), Value::int(2));
+        assert!(call_prim(Prim::HashRef, &[h2.clone(), Value::sym("z")]).is_err());
+        assert_eq!(
+            v(call_prim(Prim::HashRef, &[h2, Value::sym("z"), Value::int(0)]).unwrap()),
+            Value::int(0)
+        );
+    }
+
+    #[test]
+    fn output_prims() {
+        match call_prim(Prim::Display, &[Value::str("hi")]).unwrap() {
+            PrimEffect::Output(text, Value::Void) => assert_eq!(text, "hi"),
+            other => panic!("expected output, got {other:?}"),
+        }
+        match call_prim(Prim::Write, &[Value::str("hi")]).unwrap() {
+            PrimEffect::Output(text, _) => assert_eq!(text, "\"hi\""),
+            other => panic!("expected output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_prim() {
+        let e = call_prim(Prim::Error, &[Value::sym("car"), Value::str("bad pair")])
+            .unwrap_err();
+        assert_eq!(e.message, "car: bad pair");
+    }
+
+    #[test]
+    fn char_ops() {
+        assert_eq!(
+            v(call_prim(Prim::CharEq, &[Value::Char('a'), Value::Char('a')]).unwrap()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            v(call_prim(Prim::CharToInteger, &[Value::Char('A')]).unwrap()),
+            Value::int(65)
+        );
+        assert_eq!(
+            v(call_prim(Prim::IntegerToChar, &[Value::int(97)]).unwrap()),
+            Value::Char('a')
+        );
+    }
+
+    #[test]
+    fn type_errors_name_the_prim() {
+        let e = call_prim(Prim::Add, &[Value::str("x")]).unwrap_err();
+        assert!(e.message.contains('+'), "got {}", e.message);
+        let e = call_prim(Prim::Car, &[Value::int(1)]).unwrap_err();
+        assert!(e.message.contains("car"), "got {}", e.message);
+    }
+}

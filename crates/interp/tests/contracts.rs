@@ -1,0 +1,230 @@
+//! Contract-system tests: the λCSCT rules of Figure 7 / Figure 13, blame
+//! polarity, and composition with partial-correctness contracts.
+
+use sct_core::monitor::TableStrategy;
+use sct_interp::{eval_str, EvalError, Machine, MachineConfig, SemanticsMode, Value};
+use sct_lang::compile_program;
+
+fn run(src: &str) -> Result<Value, EvalError> {
+    eval_str(src)
+}
+
+// ---------------------------------------------------------------------
+// Wrapping rules ([Wrap-Lam], [Wrap-Prim]).
+// ---------------------------------------------------------------------
+
+#[test]
+fn wrap_lam_produces_wrapped_closure() {
+    let v = run("(terminating/c (lambda (x) x))").unwrap();
+    assert!(matches!(v, Value::Wrapped(_)));
+    assert!(v.is_procedure());
+}
+
+#[test]
+fn wrap_prim_returns_primitive_unchanged() {
+    // [Wrap-Prim]: primitives terminate by construction.
+    let v = run("(terminating/c cons)").unwrap();
+    assert!(matches!(v, Value::Prim(_)));
+}
+
+#[test]
+fn wrap_non_procedure_passes_through() {
+    assert_eq!(run("(terminating/c 5)").unwrap(), Value::int(5));
+    assert_eq!(run("(terminating/c 'a)").unwrap(), Value::sym("a"));
+}
+
+#[test]
+fn double_wrapping_is_fine() {
+    let v = run("
+(define f (terminating/c (terminating/c (lambda (n) (if (zero? n) 0 (f (- n 1)))))))
+(f 5)")
+    .unwrap();
+    assert_eq!(v, Value::int(0));
+}
+
+#[test]
+fn wrapped_closure_still_applies_normally() {
+    assert_eq!(
+        run("((terminating/c (lambda (a b) (+ a b))) 3 4)").unwrap(),
+        Value::int(7)
+    );
+    // Variadic wrapped closures keep their rest-arg behavior.
+    assert_eq!(
+        run("((terminating/c (lambda args (length args))) 1 2 3)").unwrap(),
+        Value::int(3)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Extent semantics ([App-Term] vs [SC-App-Term]).
+// ---------------------------------------------------------------------
+
+#[test]
+fn app_term_seeds_fresh_table_per_extent() {
+    // Sequential wrapped calls are separate extents: the second call's
+    // arguments are not compared against the first call's.
+    let v = run("
+(define (id x) x)
+(define w (terminating/c id))
+(begin (w 1) (w 1) (w 2) (w 2))")
+    .unwrap();
+    assert_eq!(v, Value::int(2));
+}
+
+#[test]
+fn sc_app_term_keeps_table_inside_monitored_extent() {
+    // Figure 13's [SC-App-Term]: inside a monitored extent, applying a
+    // wrapped closure continues with the *current* table. f's wrapped
+    // self-call with an identical argument must therefore be caught on
+    // the very first re-entry — with a fresh table it would spin.
+    let src = "
+(define (f x) (if (zero? x) 0 ((terminating/c f) x)))
+(f 1)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::monitored(TableStrategy::Imperative));
+    let err = m.run().unwrap_err();
+    assert!(err.is_sc(), "got {err}");
+    assert!(
+        m.stats.steps < 10_000,
+        "the violation must be found via the kept table, not after unbounded unfolding; \
+         took {} steps",
+        m.stats.steps
+    );
+}
+
+#[test]
+fn nested_extents_inside_standard_semantics() {
+    // An extent within an extent: the inner wrapped call continues the
+    // outer table ([SC-App-Term] under λCSCT too), so the non-descending
+    // inner call is caught and blames the inner label.
+    let src = "
+(define (g k) (if (< k 1) 0 (wg2 k)))
+(define wg (terminating/c g \"outer\"))
+(define wg2 (terminating/c g \"inner\"))
+(wg 3)";
+    let err = run(src).unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    assert_eq!(info.blame.as_deref(), Some("inner"));
+}
+
+#[test]
+fn descending_nested_extents_pass() {
+    let src = "
+(define (g k) (if (< k 1) 'done (wg2 (- k 1))))
+(define wg (terminating/c g \"outer\"))
+(define wg2 (terminating/c g \"inner\"))
+(wg 5)";
+    assert_eq!(run(src).unwrap(), Value::sym("done"));
+}
+
+#[test]
+fn monitoring_ends_when_extent_ends() {
+    // After a wrapped call returns, code runs unmonitored again: the
+    // ascending climb is fine outside, even though an earlier extent ran.
+    let src = "
+(define (down n) (if (zero? n) 0 (down (- n 1))))
+(define (climb n) (if (< n 3) (climb (+ n 1)) n))
+(begin ((terminating/c down) 5) (climb 0))";
+    assert_eq!(run(src).unwrap(), Value::int(3));
+}
+
+// ---------------------------------------------------------------------
+// Blame polarity for ->/c (Findler–Felleisen).
+// ---------------------------------------------------------------------
+
+#[test]
+fn arrow_arity_mismatch_blames_client() {
+    let src = "
+(define f (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) x) \"srv\" \"cli\"))
+(f 1 2)";
+    let EvalError::Contract(info) = run(src).unwrap_err() else { panic!() };
+    assert_eq!(info.blame.as_ref(), "cli");
+}
+
+#[test]
+fn higher_order_domain_swaps_blame() {
+    // f takes a function that must return integers; when the *server*
+    // calls the supplied function and it misbehaves, the fault is the
+    // client's (it supplied the bad function).
+    let src = "
+(define use
+  (contract (->/c (->/c (flat/c integer?) (flat/c integer?)) (flat/c integer?))
+            (lambda (g) (g 1))
+            \"srv\" \"cli\"))
+(use (lambda (x) 'nope))";
+    let EvalError::Contract(info) = run(src).unwrap_err() else { panic!() };
+    assert_eq!(info.blame.as_ref(), "cli");
+}
+
+#[test]
+fn and_c_checks_all_conjuncts_in_order() {
+    let pass = "
+(contract (and/c (flat/c integer?) (flat/c positive?)) 3 \"p\")";
+    assert_eq!(run(pass).unwrap(), Value::int(3));
+    let fail_first = "
+(contract (and/c (flat/c integer?) (flat/c positive?)) 'a \"p\")";
+    assert!(matches!(run(fail_first), Err(EvalError::Contract(_))));
+    let fail_second = "
+(contract (and/c (flat/c integer?) (flat/c positive?)) -3 \"p\")";
+    assert!(matches!(run(fail_second), Err(EvalError::Contract(_))));
+}
+
+#[test]
+fn bare_procedure_usable_as_flat_contract() {
+    assert_eq!(run("(contract integer? 4 \"p\")").unwrap(), Value::int(4));
+    assert_eq!(
+        run("(contract (lambda (x) (> x 2)) 4 \"p\")").unwrap(),
+        Value::int(4)
+    );
+    assert!(run("(contract (lambda (x) (> x 2)) 1 \"p\")").is_err());
+}
+
+#[test]
+fn non_contract_value_is_a_runtime_error() {
+    assert!(matches!(run("(contract 42 5 \"p\")"), Err(EvalError::Rt(_))));
+}
+
+#[test]
+fn range_check_runs_after_monitored_extent() {
+    // terminating/c and ->/c compose in either order.
+    let src = "
+(define f
+  (contract (and/c terminating/c (->/c (flat/c integer?) (flat/c integer?)))
+            (lambda (x) (if (zero? x) 0 (f (- x 1))))
+            \"srv\" \"cli\"))
+(f 4)";
+    assert_eq!(run(src).unwrap(), Value::int(0));
+}
+
+// ---------------------------------------------------------------------
+// Interaction with the CM strategy and tail calls.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cm_strategy_handles_contract_extents() {
+    let src = "
+(define (down n acc) (if (zero? n) acc (down (- n 1) (+ acc 1))))
+(define w (terminating/c down))
+(w 2000 0)";
+    let prog = compile_program(src).unwrap();
+    let mut cfg = MachineConfig::standard();
+    cfg.monitor.strategy = TableStrategy::ContinuationMark;
+    let mut m = Machine::new(&prog, cfg);
+    assert_eq!(m.run().unwrap(), Value::int(2000));
+    // The loop inside the extent is tail-recursive; marks must not grow.
+    assert!(m.stats.max_marks <= 2, "marks grew: {}", m.stats.max_marks);
+}
+
+#[test]
+fn contract_extent_with_callseq_mode_records_not_aborts() {
+    let src = "
+(define (climb n) (if (< n 3) (climb (+ n 1)) n))
+((terminating/c climb) 0)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+    );
+    assert_eq!(m.run().unwrap(), Value::int(3));
+    assert!(!m.violations.is_empty());
+}

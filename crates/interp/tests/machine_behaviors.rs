@@ -1,0 +1,193 @@
+//! Machine-level behavior battery: evaluation order, tail-call space,
+//! fuel accounting, the quote cache, closure fingerprints, and stats.
+
+use sct_core::monitor::TableStrategy;
+use sct_interp::{eval_str, EvalError, Machine, MachineConfig, SemanticsMode, Value};
+use sct_lang::compile_program;
+
+fn ev(src: &str) -> Value {
+    eval_str(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+#[test]
+fn left_to_right_evaluation_order() {
+    let v = ev("
+(define order '())
+(define (note x) (begin (set! order (cons x order)) x))
+(begin ((lambda (a b c) 0) (note 1) (note 2) (note 3))
+       (reverse order))");
+    assert_eq!(v.to_write_string(), "(1 2 3)");
+}
+
+#[test]
+fn operator_evaluated_before_operands() {
+    let v = ev("
+(define order '())
+(define (note x) (begin (set! order (cons x order)) x))
+(begin ((begin (note 'f) (lambda (a) 0)) (note 'a))
+       (reverse order))");
+    assert_eq!(v.to_write_string(), "(f a)");
+}
+
+#[test]
+fn if_evaluates_only_taken_branch() {
+    let v = ev("
+(define hits 0)
+(define (bump) (begin (set! hits (+ hits 1)) hits))
+(begin (if #t 'ok (bump))
+       (if #f (bump) 'ok)
+       hits)");
+    assert_eq!(v, Value::int(0));
+}
+
+#[test]
+fn tail_position_inventory() {
+    // All of these run 100k iterations in bounded continuation space:
+    // if-branches, let/letrec bodies, begin tails, cond arms.
+    let sources = [
+        "(define (f n) (if (zero? n) 'done (f (- n 1)))) (f 100000)",
+        "(define (f n) (cond [(zero? n) 'done] [else (f (- n 1))])) (f 100000)",
+        "(define (f n) (if (zero? n) 'done (let ([m (- n 1)]) (f m)))) (f 100000)",
+        "(define (f n) (if (zero? n) 'done (begin 'effect (f (- n 1))))) (f 100000)",
+        "(define (f n) (if (zero? n) 'done (letrec ([m (- n 1)]) (f m)))) (f 100000)",
+        "(define (f n) (if (zero? n) 'done (and #t (f (- n 1))))) (f 100000)",
+        "(define (f n) (if (zero? n) 'done (or #f (f (- n 1))))) (f 100000)",
+    ];
+    for src in sources {
+        let prog = compile_program(src).unwrap();
+        let mut m = Machine::new(&prog, MachineConfig::standard());
+        assert_eq!(m.run().unwrap(), Value::sym("done"), "{src}");
+        assert!(
+            m.stats.max_kont_depth < 24,
+            "{src}: continuation grew to {}",
+            m.stats.max_kont_depth
+        );
+    }
+}
+
+#[test]
+fn fuel_is_counted_per_step() {
+    let prog = compile_program("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 100)").unwrap();
+    let mut m = Machine::new(&prog, MachineConfig { fuel: Some(u64::MAX), ..MachineConfig::standard() });
+    m.run().unwrap();
+    let steps = m.stats.steps;
+    // With exactly that budget it succeeds; with one less it does not.
+    let mut ok = Machine::new(&prog, MachineConfig { fuel: Some(steps), ..MachineConfig::standard() });
+    assert!(ok.run().is_ok());
+    let mut short = Machine::new(
+        &prog,
+        MachineConfig { fuel: Some(steps - 1), ..MachineConfig::standard() },
+    );
+    assert!(matches!(short.run(), Err(EvalError::OutOfFuel)));
+}
+
+#[test]
+fn quoted_literals_are_shared_per_site() {
+    // The same quote site yields eq? values across evaluations (cache),
+    // distinct sites yield equal? but not eq? values.
+    let v = ev("
+(define (f) '(1 2))
+(eq? (f) (f))");
+    assert_eq!(v, Value::Bool(true));
+    let v = ev("(eq? '(1 2) '(1 2))");
+    assert_eq!(v, Value::Bool(false), "distinct quote sites are distinct allocations");
+}
+
+#[test]
+fn closure_fingerprints_depend_on_captures() {
+    // Same λ, different captured values → different table entries under
+    // structural keys; observed via the CPS pattern not being conflated.
+    let src = "
+(define (wrap v) (lambda () v))
+(define a (wrap 1))
+(define b (wrap 2))
+(cons (a) (b))";
+    assert_eq!(ev(src).to_write_string(), "(1 . 2)");
+}
+
+#[test]
+fn stats_count_applications_and_checks() {
+    let src = "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 10)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::monitored(TableStrategy::Imperative));
+    m.run().unwrap();
+    assert_eq!(m.stats.applications, 11, "11 calls of f");
+    assert_eq!(m.stats.monitored_calls, 11);
+    assert_eq!(m.stats.checks, 11);
+
+    // Standard mode: applications counted, nothing monitored.
+    let mut m = Machine::new(&prog, MachineConfig::standard());
+    m.run().unwrap();
+    assert_eq!(m.stats.applications, 11);
+    assert_eq!(m.stats.monitored_calls, 0);
+}
+
+#[test]
+fn call_api_reuses_final_global_environment() {
+    let src = "(define counter 0)
+               (define (bump) (begin (set! counter (+ counter 1)) counter))
+               (define (get) counter)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::standard());
+    m.run().unwrap();
+    let bump = m.global("bump").unwrap();
+    let get = m.global("get").unwrap();
+    assert_eq!(m.call(bump.clone(), vec![]).unwrap(), Value::int(1));
+    assert_eq!(m.call(bump, vec![]).unwrap(), Value::int(2));
+    assert_eq!(m.call(get, vec![]).unwrap(), Value::int(2));
+}
+
+#[test]
+fn output_interleaves_with_evaluation() {
+    let prog = compile_program(
+        "(begin (display 1) (display \"-\") (display '(a b)) (newline) (display 2))",
+    )
+    .unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::standard());
+    m.run().unwrap();
+    assert_eq!(m.output, "1-(a b)\n2");
+}
+
+#[test]
+fn mutual_recursion_deep_and_monitored() {
+    let src = "
+(define (pong n) (if (zero? n) 'pong (ping (- n 1))))
+(define (ping n) (if (zero? n) 'ping (pong (- n 1))))
+(ping 30001)";
+    for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+        let prog = compile_program(src).unwrap();
+        let mut m = Machine::new(&prog, MachineConfig::monitored(strategy));
+        assert_eq!(m.run().unwrap(), Value::sym("pong"), "{strategy:?}");
+    }
+}
+
+#[test]
+fn shadowed_special_form_names_are_calls() {
+    // A local binding named like a special form is an ordinary variable.
+    assert_eq!(ev("(define (quote x) (+ x 1)) (quote 4)"), Value::int(5));
+    assert_eq!(ev("(let ([if (lambda (a b c) 'shadowed)]) (if 1 2 3))"), Value::sym("shadowed"));
+}
+
+#[test]
+fn callseq_mode_restores_like_the_others() {
+    // ↓↓ threads tables with the same extent discipline: sibling calls do
+    // not see each other, so this sequential pattern records nothing.
+    let src = "
+(define (id x) x)
+(begin (id 1) (id 1) (id 1))";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+    );
+    m.run().unwrap();
+    assert!(m.violations.is_empty(), "sequential equal calls are separate extents");
+}
+
+#[test]
+fn undefined_letrec_reference_is_a_clean_error() {
+    let r = eval_str("(letrec ([x (+ x 1)]) x)");
+    assert!(matches!(r, Err(EvalError::Rt(_))));
+    let r = eval_str("(letrec ([f (lambda () g)] [g 1]) (f))");
+    assert!(r.is_ok(), "forward reference used only after initialization is fine");
+}

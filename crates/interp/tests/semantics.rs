@@ -1,0 +1,634 @@
+//! End-to-end semantics tests: the paper's worked examples (§2), the
+//! contract system (§2.3, §3.6), the two table strategies and their
+//! tail-call behavior (§5), and the monitoring optimizations.
+
+use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
+use sct_interp::{
+    eval_str, eval_str_monitored, EvalError, Machine, MachineConfig, OrderHandle,
+    ReverseIntOrder, SemanticsMode, Value,
+};
+use sct_lang::compile_program;
+
+const ACK: &str = "
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack (- m 1) (ack m (- n 1)))]))";
+
+/// §2.1's sometimes-buggy Ackermann: line 4's (- m 1) replaced by m.
+const BUGGY_ACK: &str = "
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack m (ack m (- n 1)))]))";
+
+/// §2.2's len in CPS: closures accumulate, but each is distinct.
+const LEN_CPS: &str = "
+(define (len l) (loop l (lambda (x) x)))
+(define (loop l k)
+  (cond [(empty? l) (k 0)]
+        [(cons? l) (loop (rest l) (lambda (n) (k (+ 1 n))))]))";
+
+fn run_standard(src: &str) -> Value {
+    eval_str(src).unwrap_or_else(|e| panic!("standard eval failed: {e}\nfor {src}"))
+}
+
+fn run_monitored(src: &str, strategy: TableStrategy) -> Result<Value, EvalError> {
+    eval_str_monitored(src, strategy)
+}
+
+fn both_strategies() -> [TableStrategy; 2] {
+    [TableStrategy::Imperative, TableStrategy::ContinuationMark]
+}
+
+// ---------------------------------------------------------------------
+// Plain evaluation (standard semantics).
+// ---------------------------------------------------------------------
+
+#[test]
+fn basic_arithmetic_and_forms() {
+    assert_eq!(run_standard("(+ 1 (* 2 3))"), Value::int(7));
+    assert_eq!(run_standard("(let ([x 2] [y 3]) (+ x y))"), Value::int(5));
+    assert_eq!(run_standard("(let* ([x 2] [y (* x x)]) y)"), Value::int(4));
+    assert_eq!(run_standard("(if (< 1 2) 'yes 'no)"), Value::sym("yes"));
+    assert_eq!(run_standard("(and 1 2 3)"), Value::int(3));
+    assert_eq!(run_standard("(or #f #f 9)"), Value::int(9));
+    assert_eq!(run_standard("(begin 1 2 3)"), Value::int(3));
+    assert_eq!(
+        run_standard("(case (+ 1 1) [(1) 'one] [(2 3) 'few] [else 'many])"),
+        Value::sym("few")
+    );
+}
+
+#[test]
+fn closures_and_state() {
+    assert_eq!(
+        run_standard(
+            "(define (make-adder n) (lambda (m) (+ n m)))
+             ((make-adder 3) 4)"
+        ),
+        Value::int(7)
+    );
+    assert_eq!(
+        run_standard(
+            "(define (counter)
+               (let ([n 0])
+                 (lambda () (set! n (+ n 1)) n)))
+             (define c (counter))
+             (c) (c) (c)"
+        ),
+        Value::int(3)
+    );
+}
+
+#[test]
+fn variadic_and_apply() {
+    assert_eq!(run_standard("((lambda args (length args)) 1 2 3)"), Value::int(3));
+    assert_eq!(
+        run_standard("((lambda (a . rest) (cons a (length rest))) 1 2 3)"),
+        Value::cons(Value::int(1), Value::int(2))
+    );
+    assert_eq!(run_standard("(apply + 1 2 '(3 4))"), Value::int(10));
+}
+
+#[test]
+fn named_let_and_recursion() {
+    assert_eq!(
+        run_standard("(let loop ([i 10] [acc 0]) (if (zero? i) acc (loop (- i 1) (+ acc i))))"),
+        Value::int(55)
+    );
+    assert_eq!(
+        run_standard(
+            "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+             (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+             (even? 100)"
+        ),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn quasiquote_and_lists() {
+    assert_eq!(
+        run_standard("(let ([x 5]) `(a ,x ,@(list 1 2)))").to_write_string(),
+        "(a 5 1 2)"
+    );
+    assert_eq!(run_standard("(reverse '(1 2 3))").to_write_string(), "(3 2 1)");
+}
+
+#[test]
+fn bignum_factorial() {
+    let v = run_standard(
+        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 25)",
+    );
+    assert_eq!(v.to_write_string(), "15511210043330985984000000");
+}
+
+#[test]
+fn output_is_captured() {
+    let prog = compile_program("(display \"hi\") (newline) (write \"hi\")").unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::standard());
+    m.run().unwrap();
+    assert_eq!(m.output, "hi\n\"hi\"");
+}
+
+#[test]
+fn runtime_errors() {
+    assert!(matches!(eval_str("(car 5)"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("(+ 'a 1)"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("(1 2)"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("((lambda (x) x) 1 2)"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("(quotient 1 0)"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("(error 'boom \"it broke\")"), Err(EvalError::Rt(_))));
+    assert!(matches!(eval_str("(letrec ([x x]) x)"), Err(EvalError::Rt(_))));
+    // Compile errors surface as Rt with a message.
+    assert!(matches!(eval_str("undefined-var"), Err(EvalError::Rt(_))));
+}
+
+#[test]
+fn deep_nontail_recursion_uses_heap_stack() {
+    // 200k-deep non-tail recursion: must not overflow the Rust stack.
+    let v = run_standard(
+        "(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1)))))
+         (count 200000)",
+    );
+    assert_eq!(v, Value::int(200_000));
+}
+
+#[test]
+fn fuel_stops_divergence_in_standard_mode() {
+    let prog = compile_program("(define (loop x) (loop x)) (loop 1)").unwrap();
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig { fuel: Some(100_000), ..MachineConfig::standard() },
+    );
+    assert!(matches!(m.run(), Err(EvalError::OutOfFuel)));
+}
+
+// ---------------------------------------------------------------------
+// Monitored semantics (⬇): §2.1 and §2.2.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ack_terminates_under_monitoring() {
+    for strategy in both_strategies() {
+        // Figure 1's tree bottoms out at (ack 0 2) = 3.
+        let v = run_monitored(&format!("{ACK} (ack 2 0)"), strategy).unwrap();
+        assert_eq!(v, Value::int(3), "{strategy:?}");
+        let v = run_monitored(&format!("{ACK} (ack 2 3)"), strategy).unwrap();
+        assert_eq!(v, Value::int(9), "{strategy:?}");
+    }
+}
+
+#[test]
+fn buggy_ack_caught_immediately() {
+    for strategy in both_strategies() {
+        let err = run_monitored(&format!("{BUGGY_ACK} (ack 2 0)"), strategy).unwrap_err();
+        let EvalError::Sc(info) = err else { panic!("expected Sc error, got {err}") };
+        assert_eq!(info.function, "ack");
+        assert!(info.violation.witness.is_idempotent());
+        assert!(!info.violation.witness.has_self_descent());
+    }
+}
+
+#[test]
+fn len_cps_closures_stay_distinct() {
+    // §2.2: "SCP is only checked between calls to the same closure" — the
+    // accumulated continuations each get their own table entry, so the
+    // ascending (k 0), (k 1), … calls do not trip the monitor.
+    for strategy in both_strategies() {
+        let v = run_monitored(&format!("{LEN_CPS} (len '(5 4 3 2 1))"), strategy).unwrap();
+        assert_eq!(v, Value::int(5), "{strategy:?}");
+    }
+}
+
+#[test]
+fn len_cps_fails_if_closures_conflated() {
+    // Under the LambdaOnly key strategy all continuations share one table
+    // entry — exactly the conflation a static control-flow graph must make
+    // (§2.2) — and the ascending arguments are a (spurious) violation.
+    let prog = compile_program(&format!("{LEN_CPS} (len '(3 2 1))")).unwrap();
+    let config = MachineConfig {
+        mode: SemanticsMode::Monitored,
+        monitor: MonitorConfig::default().with_key_strategy(KeyStrategy::LambdaOnly),
+        ..MachineConfig::default()
+    };
+    let err = Machine::new(&prog, config).run().unwrap_err();
+    assert!(err.is_sc(), "expected spurious violation, got {err}");
+}
+
+#[test]
+fn structural_keys_also_distinguish_cps_closures() {
+    // The continuations capture different environments, so structural
+    // fingerprints keep them apart too.
+    let prog = compile_program(&format!("{LEN_CPS} (len '(3 2 1))")).unwrap();
+    let config = MachineConfig {
+        mode: SemanticsMode::Monitored,
+        monitor: MonitorConfig::default().with_key_strategy(KeyStrategy::Structural),
+        ..MachineConfig::default()
+    };
+    assert_eq!(Machine::new(&prog, config).run().unwrap(), Value::int(3));
+}
+
+#[test]
+fn plain_divergence_caught() {
+    for strategy in both_strategies() {
+        for src in [
+            "(define (loop x) (loop x)) (loop 1)",
+            "(define (up n) (up (+ n 1))) (up 0)",
+            "(define (f x) (g x)) (define (g x) (f x)) (f 'a)",
+        ] {
+            let err = run_monitored(src, strategy).unwrap_err();
+            assert!(err.is_sc(), "{src} under {strategy:?}: got {err}");
+        }
+    }
+}
+
+#[test]
+fn y_combinator_terminates_monitored() {
+    // Self-application defeats type-based tools (Table 1's "not typable"
+    // rows) but the dynamic monitor handles it.
+    let src = "
+(define Y
+  (lambda (f)
+    ((lambda (x) (f (lambda (v) ((x x) v))))
+     (lambda (x) (f (lambda (v) ((x x) v)))))))
+(define fact
+  (Y (lambda (self)
+       (lambda (n) (if (zero? n) 1 (* n (self (- n 1))))))))
+(fact 6)";
+    for strategy in both_strategies() {
+        assert_eq!(run_monitored(src, strategy).unwrap(), Value::int(720));
+    }
+}
+
+#[test]
+fn nullary_recursion_has_no_descent_evidence() {
+    // A nullary self-call offers no arguments to descend on: the empty
+    // graph is idempotent with no self-descent, so even a loop that makes
+    // progress through mutation is (correctly, per the semantics)
+    // rejected — the size-change principle only sees arguments.
+    let by_mutation = "
+(define n 10)
+(define (tick)
+  (if (zero? n) 'done (begin (set! n (- n 1)) (tick))))
+(tick)";
+    assert_eq!(run_standard(by_mutation), Value::sym("done"));
+    for strategy in both_strategies() {
+        let err = run_monitored(by_mutation, strategy).unwrap_err();
+        assert!(err.is_sc(), "{strategy:?}");
+    }
+    // Threading the state as an argument restores the descent evidence.
+    let by_argument = "
+(define (tick n) (if (zero? n) 'done (tick (- n 1))))
+(tick 10)";
+    for strategy in both_strategies() {
+        assert_eq!(run_monitored(by_argument, strategy).unwrap(), Value::sym("done"));
+    }
+}
+
+#[test]
+fn ascending_but_terminating_is_a_false_positive() {
+    // Climbs 0,1,2,3 then stops: terminates, but violates the |n| order —
+    // the unavoidable wrinkle of enforcing a safety property (§1).
+    let src = "(define (climb n) (if (< n 3) (climb (+ n 1)) n)) (climb 0)";
+    assert_eq!(run_standard(src), Value::int(3));
+    for strategy in both_strategies() {
+        let err = run_monitored(src, strategy).unwrap_err();
+        assert!(err.is_sc());
+    }
+}
+
+#[test]
+fn custom_order_rescues_ascending_loop() {
+    // §3.3: replacing the default order (here: reversed integers) proves
+    // the climb loop — the lh-range / acl2-fig-2 pattern of Table 1.
+    let src = "(define (climb n) (if (< n 3) (climb (+ n 1)) n)) (climb 0)";
+    let prog = compile_program(src).unwrap();
+    for strategy in both_strategies() {
+        let config = MachineConfig {
+            mode: SemanticsMode::Monitored,
+            monitor: MonitorConfig { strategy, ..MonitorConfig::default() },
+            order: OrderHandle::new(ReverseIntOrder),
+            ..MachineConfig::default()
+        };
+        assert_eq!(Machine::new(&prog, config).run().unwrap(), Value::int(3));
+    }
+}
+
+#[test]
+fn list_descent_is_proved_by_subterm_order() {
+    let src = "
+(define (sum-list l) (if (null? l) 0 (+ (car l) (sum-list (cdr l)))))
+(sum-list '(1 2 3 4 5))";
+    for strategy in both_strategies() {
+        assert_eq!(run_monitored(src, strategy).unwrap(), Value::int(15));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tail calls and strategy trade-offs (§5, Figure 10's mechanism).
+// ---------------------------------------------------------------------
+
+#[test]
+fn continuation_marks_preserve_tail_calls() {
+    let src = "
+(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+(sum 5000 0)";
+    let prog = compile_program(src).unwrap();
+    let mut cm = Machine::new(&prog, MachineConfig::monitored(TableStrategy::ContinuationMark));
+    assert_eq!(cm.run().unwrap(), Value::int(12_502_500));
+    assert!(
+        cm.stats.max_kont_depth < 32,
+        "CM strategy must run tail loops in constant continuation space, got {}",
+        cm.stats.max_kont_depth
+    );
+    assert!(cm.stats.max_marks <= 2, "tail calls replace the mark, got {}", cm.stats.max_marks);
+
+    let mut imp = Machine::new(&prog, MachineConfig::monitored(TableStrategy::Imperative));
+    assert_eq!(imp.run().unwrap(), Value::int(12_502_500));
+    assert!(
+        imp.stats.max_kont_depth >= 5000,
+        "imperative restore frames break proper tail calls, got {}",
+        imp.stats.max_kont_depth
+    );
+}
+
+#[test]
+fn unmonitored_tail_calls_always_constant_space() {
+    let src = "
+(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+(sum 5000 0)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(&prog, MachineConfig::standard());
+    m.run().unwrap();
+    assert!(m.stats.max_kont_depth < 16, "got {}", m.stats.max_kont_depth);
+}
+
+// ---------------------------------------------------------------------
+// Monitoring optimizations (§5).
+// ---------------------------------------------------------------------
+
+#[test]
+fn backoff_reduces_checks_but_catches_divergence() {
+    let terminating = "
+(define (down n) (if (zero? n) 'done (down (- n 1))))
+(down 1000)";
+    let prog = compile_program(terminating).unwrap();
+    let strict = MachineConfig::monitored(TableStrategy::Imperative);
+    let mut m1 = Machine::new(&prog, strict.clone());
+    m1.run().unwrap();
+
+    let mut backoff_cfg = strict.clone();
+    backoff_cfg.monitor.backoff = BackoffPolicy::Exponential { factor: 2 };
+    let mut m2 = Machine::new(&prog, backoff_cfg.clone());
+    m2.run().unwrap();
+    assert!(
+        m2.stats.checks * 10 < m1.stats.checks,
+        "backoff should cut checks by ~100x: {} vs {}",
+        m2.stats.checks,
+        m1.stats.checks
+    );
+
+    // Divergence still caught (later, but surely).
+    let diverging = "(define (up n) (up (+ n 1))) (up 0)";
+    let prog = compile_program(diverging).unwrap();
+    let mut m3 = Machine::new(&prog, backoff_cfg);
+    assert!(m3.run().unwrap_err().is_sc());
+}
+
+#[test]
+fn loop_entry_detection_skips_non_loops() {
+    // even?/odd? mutual recursion: with loop-entry detection only the
+    // entry function accumulates graphs; divergence is still caught.
+    let src = "
+(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+(define (odd? n) (if (zero? n) #f (even? (- n 1))))
+(even? 400)";
+    let prog = compile_program(src).unwrap();
+    let mut base_cfg = MachineConfig::monitored(TableStrategy::Imperative);
+    let mut m1 = Machine::new(&prog, base_cfg.clone());
+    m1.run().unwrap();
+
+    base_cfg.monitor.loop_entries_only = true;
+    let mut m2 = Machine::new(&prog, base_cfg.clone());
+    m2.run().unwrap();
+    assert!(
+        m2.stats.checks < m1.stats.checks / 2 + 2,
+        "loop-entry mode should roughly halve checks: {} vs {}",
+        m2.stats.checks,
+        m1.stats.checks
+    );
+
+    let diverging = "
+(define (pingv n) (pongv n))
+(define (pongv n) (pingv n))
+(pingv 7)";
+    let prog = compile_program(diverging).unwrap();
+    let mut m3 = Machine::new(&prog, base_cfg);
+    assert!(m3.run().unwrap_err().is_sc());
+}
+
+#[test]
+fn whitelist_skips_monitoring() {
+    let src = "
+(define (helper n) (if (zero? n) 0 (helper (- n 1))))
+(helper 50)";
+    let prog = compile_program(src).unwrap();
+    let mut cfg = MachineConfig::monitored(TableStrategy::Imperative);
+    cfg.monitor = cfg.monitor.whitelisting("helper");
+    let mut m = Machine::new(&prog, cfg);
+    m.run().unwrap();
+    assert_eq!(m.stats.checks, 0, "whitelisted functions are never checked");
+    assert_eq!(m.stats.monitored_calls, 0);
+}
+
+// ---------------------------------------------------------------------
+// Contracts (§2.3, §3.6): terminating/c, blame, and composition with
+// partial-correctness contracts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn terminating_contract_selective_enforcement() {
+    // Only f is under contract; unmonitored g runs free. f diverges → Sc
+    // error blaming f's label.
+    let src = "
+(define f (terminating/c (lambda (x) (f x)) \"party-f\"))
+(f 1)";
+    let err = eval_str(src).unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    assert_eq!(info.blame.as_deref(), Some("party-f"));
+}
+
+#[test]
+fn terminating_contract_lets_terminating_run() {
+    let src = format!(
+        "{ACK}
+         (define checked-ack (terminating/c ack))
+         (checked-ack 2 3)"
+    );
+    assert_eq!(run_standard(&src), Value::int(9));
+}
+
+#[test]
+fn outside_contract_no_monitoring() {
+    // The same ascending loop that the monitor rejects is fine when run
+    // outside any contract under the standard semantics.
+    let src = "
+(define (climb n) (if (< n 3) (climb (+ n 1)) n))
+(define checked (terminating/c climb \"c\"))
+(climb 0)";
+    assert_eq!(run_standard(src), Value::int(3));
+    // But through the contract it trips.
+    let src2 = "
+(define (climb n) (if (< n 3) (climb (+ n 1)) n))
+(define checked (terminating/c climb \"c\"))
+(checked 0)";
+    let err = eval_str(src2).unwrap_err();
+    assert!(err.is_sc());
+}
+
+#[test]
+fn blame_names_innermost_contract() {
+    // g is wrapped inside f's extent; g's violation blames g's label —
+    // §2.3's "virtuous cycle": f protects itself by contracting g.
+    let src = "
+(define g-raw (lambda (x) (g-raw x)))
+(define g (terminating/c g-raw \"party-g\"))
+(define f (terminating/c (lambda (x) (g x)) \"party-f\"))
+(f 1)";
+    let err = eval_str(src).unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    assert_eq!(info.blame.as_deref(), Some("party-g"));
+}
+
+#[test]
+fn term_c_on_non_procedure_passes_through() {
+    assert_eq!(run_standard("(terminating/c 42)"), Value::int(42));
+    assert_eq!(run_standard("(terminating/c car)").to_write_string(), "#<primitive:car>");
+}
+
+#[test]
+fn flat_contracts_check_and_blame() {
+    assert_eq!(
+        run_standard("(contract (flat/c integer?) 5 \"server\")"),
+        Value::int(5)
+    );
+    let err = eval_str("(contract (flat/c integer?) 'five \"server\")").unwrap_err();
+    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    assert_eq!(info.blame.as_ref(), "server");
+    // User-defined predicates work too.
+    assert_eq!(
+        run_standard("(contract (flat/c (lambda (x) (> x 3))) 5 \"s\")"),
+        Value::int(5)
+    );
+    assert!(eval_str("(contract (flat/c (lambda (x) (> x 3))) 2 \"s\")").is_err());
+}
+
+#[test]
+fn arrow_contract_checks_domain_and_range() {
+    let src = "
+(define add3 (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) (+ x 3)) \"srv\" \"cli\"))
+(add3 4)";
+    assert_eq!(run_standard(src), Value::int(7));
+
+    // Bad argument blames the client.
+    let src = "
+(define add3 (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) (+ x 3)) \"srv\" \"cli\"))
+(add3 'a)";
+    let EvalError::Contract(info) = eval_str(src).unwrap_err() else { panic!() };
+    assert_eq!(info.blame.as_ref(), "cli");
+
+    // Bad result blames the server.
+    let src = "
+(define bad (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) 'oops) \"srv\" \"cli\"))
+(bad 4)";
+    let EvalError::Contract(info) = eval_str(src).unwrap_err() else { panic!() };
+    assert_eq!(info.blame.as_ref(), "srv");
+}
+
+#[test]
+fn total_correctness_contract_composes() {
+    // ->/c for partial correctness plus terminating/c for termination:
+    // the paper's "contracts for total correctness".
+    let src = "
+(define total
+  (contract (and/c (->/c (flat/c integer?) (flat/c integer?)) terminating/c)
+            (lambda (x) (if (zero? x) 0 (total (- x 1))))
+            \"total-party\"))
+(total 5)";
+    assert_eq!(run_standard(src), Value::int(0));
+
+    let src_diverge = "
+(define total
+  (contract (and/c (->/c (flat/c integer?) (flat/c integer?)) terminating/c)
+            (lambda (x) (total x))
+            \"total-party\"))
+(total 5)";
+    let err = eval_str(src_diverge).unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected Sc, got {err}") };
+    assert_eq!(info.blame.as_deref(), Some("total-party"));
+}
+
+// ---------------------------------------------------------------------
+// Call-sequence semantics ↓↓ (Figure 6) and completeness (§3.5).
+// ---------------------------------------------------------------------
+
+#[test]
+fn call_sequence_semantics_records_without_enforcing() {
+    // The climb program violates SCP but terminates: ↓↓ runs it to the
+    // value and records the violation the monitor would have raised.
+    let src = "(define (climb n) (if (< n 3) (climb (+ n 1)) n)) (climb 0)";
+    let prog = compile_program(src).unwrap();
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+    );
+    assert_eq!(m.run().unwrap(), Value::int(3));
+    assert!(!m.violations.is_empty(), "violation must be recorded");
+    assert_eq!(m.violations[0].function, "climb");
+}
+
+#[test]
+fn call_sequence_agrees_with_monitor_on_clean_runs() {
+    // Soundness + SCT-completeness corollary: a program that the monitor
+    // passes records no violations under ↓↓ and produces the same value.
+    for src in [
+        &format!("{ACK} (ack 2 3)") as &str,
+        "(define (down n) (if (zero? n) 'done (down (- n 1)))) (down 30)",
+        &format!("{LEN_CPS} (len '(9 8 7))"),
+    ] {
+        let prog = compile_program(src).unwrap();
+        let mut collect = Machine::new(
+            &prog,
+            MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+        );
+        let collected = collect.run().unwrap();
+        let monitored = run_monitored(src, TableStrategy::Imperative).unwrap();
+        let standard = run_standard(src);
+        assert_eq!(collected, monitored);
+        assert_eq!(collected, standard);
+        assert!(collect.violations.is_empty(), "{src}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracing (Figure 1).
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_records_figure_1_graphs() {
+    let prog = compile_program(&format!("{ACK} (ack 2 0)")).unwrap();
+    let mut cfg = MachineConfig::monitored(TableStrategy::Imperative);
+    cfg.trace = true;
+    let mut m = Machine::new(&prog, cfg);
+    m.run().unwrap();
+    let events: Vec<_> = m.trace_events.iter().filter(|e| e.function == "ack").collect();
+    // Figure 1: (ack 2 0) then 4 recursive calls.
+    assert_eq!(events.len(), 5, "events: {:?}", m.trace_events);
+    assert_eq!(events[0].args, vec!["2", "0"]);
+    assert!(events[0].graph.is_none(), "first call has no predecessor");
+    // (ack 2 0) ↝ (ack 1 1): {(m→m),(m→n)} in positional names.
+    let g1 = events[1].graph.as_deref().unwrap();
+    assert!(g1.contains("(x0→x0)") && g1.contains("(x0→x1)"), "got {g1}");
+}

@@ -1,0 +1,157 @@
+//! Property tests for the paper's §3.5 soundness/completeness statements
+//! over *randomly generated programs*.
+//!
+//! The generator produces two program families:
+//!
+//! * pure expressions (arithmetic, comparisons, pairs, conditionals) that
+//!   always terminate — possibly with a run-time error (car of an int,
+//!   division by zero), which is a legal standard-semantics answer;
+//! * structurally descending recursions `f(n, acc)` whose step strictly
+//!   decrements `n`, so they terminate and maintain the size-change
+//!   principle on the default order.
+//!
+//! Properties checked, for both table strategies:
+//!
+//! * **Soundness (Thm 3.2)**: if the monitored run yields a value, the
+//!   standard run yields the same value; run-time errors agree too.
+//! * **Completeness (Lem 3.4/3.5)**: when the call-sequence semantics ↓↓
+//!   records no violations, the monitored run does not raise `errorSC`
+//!   and produces the standard answer.
+
+use proptest::prelude::*;
+use sct_core::monitor::TableStrategy;
+use sct_interp::{equal, EvalError, Machine, MachineConfig, SemanticsMode, Value};
+use sct_lang::compile_program;
+
+/// Generates a pure expression over variables `n` and `acc`.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|n| n.to_string()),
+        Just("n".to_string()),
+        Just("acc".to_string()),
+        Just("#t".to_string()),
+        Just("#f".to_string()),
+        Just("'()".to_string()),
+        Just("'sym".to_string()),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(- {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(* {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(cons {a} {b})")),
+            inner.clone().prop_map(|a| format!("(car {a})")),
+            inner.clone().prop_map(|a| format!("(cdr {a})")),
+            inner.clone().prop_map(|a| format!("(zero? {a})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("(if {a} {b} {c})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("(if (< {a} {b}) {b} {c})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(let ([t {a}]) {b})")),
+        ]
+    })
+}
+
+/// A descending recursive program: f counts n down to zero, with random
+/// (possibly erroring, never diverging) base and step expressions.
+fn descending_program() -> impl Strategy<Value = String> {
+    (expr_strategy(), expr_strategy(), 0i64..12).prop_map(|(base, step, n0)| {
+        format!(
+            "(define (f n acc)
+               (if (<= n 0) {base} (f (- n 1) {step})))
+             (f {n0} 1)"
+        )
+    })
+}
+
+#[derive(Debug, PartialEq)]
+enum Answer {
+    Val(String),
+    RtError,
+    ScError,
+    Fuel,
+}
+
+fn classify(r: Result<Value, EvalError>) -> Answer {
+    match r {
+        Ok(v) => Answer::Val(v.to_write_string()),
+        Err(EvalError::Rt(_)) | Err(EvalError::Contract(_)) => Answer::RtError,
+        Err(EvalError::Sc(_)) => Answer::ScError,
+        Err(EvalError::OutOfFuel) => Answer::Fuel,
+    }
+}
+
+fn run_mode(src: &str, mode: SemanticsMode, strategy: TableStrategy) -> (Answer, usize) {
+    let prog = compile_program(src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+    let config = MachineConfig {
+        mode,
+        fuel: Some(5_000_000),
+        ..MachineConfig::monitored(strategy)
+    };
+    let mut m = Machine::new(&prog, config);
+    let r = m.run();
+    (classify(r), m.violations.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn soundness_on_pure_expressions(e in expr_strategy()) {
+        // Close the free variables.
+        let src = format!("(define n 3) (define acc '(1 2)) {e}");
+        let (standard, _) = run_mode(&src, SemanticsMode::Standard, TableStrategy::Imperative);
+        prop_assert_ne!(&standard, &Answer::Fuel, "pure expressions terminate");
+        for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+            let (monitored, _) = run_mode(&src, SemanticsMode::Monitored, strategy);
+            // No closures are applied, so monitoring cannot even trigger:
+            // answers must agree exactly.
+            prop_assert_eq!(&monitored, &standard, "strategy {:?} on {}", strategy, src);
+        }
+    }
+
+    #[test]
+    fn soundness_and_completeness_on_descending_recursion(src in descending_program()) {
+        let (standard, _) = run_mode(&src, SemanticsMode::Standard, TableStrategy::Imperative);
+        prop_assert_ne!(&standard, &Answer::Fuel, "descending recursion terminates: {}", src);
+
+        let (collected, violations) =
+            run_mode(&src, SemanticsMode::CallSeqCollect, TableStrategy::Imperative);
+        prop_assert_eq!(&collected, &standard, "call-sequence runs in lock-step: {}", src);
+
+        for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+            let (monitored, _) = run_mode(&src, SemanticsMode::Monitored, strategy);
+            match &monitored {
+                // Soundness: a monitored value/rt-error is the standard one.
+                Answer::Val(_) | Answer::RtError => {
+                    prop_assert_eq!(&monitored, &standard, "{}", src);
+                    // SCT-completeness direction: a clean monitored run can
+                    // only happen when ↓↓ recorded no violations.
+                    prop_assert_eq!(violations, 0, "{}", src);
+                }
+                // Completeness: errorSC implies ↓↓ recorded the violation.
+                Answer::ScError => prop_assert!(violations > 0, "{}", src),
+                Answer::Fuel => prop_assert!(false, "monitored runs terminate (Thm 3.1): {}", src),
+            }
+        }
+    }
+
+    #[test]
+    fn descending_recursion_on_n_is_never_rejected(
+        n0 in 0i64..15,
+        step in prop_oneof![Just("acc"), Just("(+ acc 1)"), Just("(cons n acc)"), Just("(* acc acc)")],
+    ) {
+        // The n-argument strictly descends every call, so whatever happens
+        // in acc, prog? holds (the self-descending arc is always there).
+        let src = format!(
+            "(define (f n acc) (if (<= n 0) acc (f (- n 1) {step}))) (f {n0} 1)"
+        );
+        for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+            let (monitored, _) = run_mode(&src, SemanticsMode::Monitored, strategy);
+            prop_assert!(
+                !matches!(monitored, Answer::ScError),
+                "spurious rejection of descending loop: {} ({:?})", src, strategy
+            );
+        }
+    }
+}

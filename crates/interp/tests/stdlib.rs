@@ -1,0 +1,227 @@
+//! Behavioral battery for the primitive library: every primitive exercised
+//! through the full pipeline (reader → desugarer → resolver → machine),
+//! including error behaviors. One assertion per distinct behavior.
+
+use sct_interp::{eval_str, EvalError, Value};
+
+fn ev(src: &str) -> String {
+    match eval_str(src) {
+        Ok(v) => v.to_write_string(),
+        Err(e) => panic!("{src} failed: {e}"),
+    }
+}
+
+fn ev_err(src: &str) -> EvalError {
+    eval_str(src).expect_err(&format!("{src} should fail"))
+}
+
+#[test]
+fn arithmetic_basics() {
+    assert_eq!(ev("(+)"), "0");
+    assert_eq!(ev("(+ 1 2 3 4)"), "10");
+    assert_eq!(ev("(- 10)"), "-10");
+    assert_eq!(ev("(- 10 3 2)"), "5");
+    assert_eq!(ev("(*)"), "1");
+    assert_eq!(ev("(* 2 3 7)"), "42");
+    assert_eq!(ev("(quotient 17 5)"), "3");
+    assert_eq!(ev("(remainder 17 5)"), "2");
+    assert_eq!(ev("(modulo -7 3)"), "2");
+    assert_eq!(ev("(abs -9)"), "9");
+    assert_eq!(ev("(min 3 1 2)"), "1");
+    assert_eq!(ev("(max 3 1 2)"), "3");
+    assert_eq!(ev("(add1 41)"), "42");
+    assert_eq!(ev("(sub1 43)"), "42");
+    assert_eq!(ev("(gcd 12 18 30)"), "6");
+    assert_eq!(ev("(expt 3 4)"), "81");
+    assert_eq!(ev("(expt 2 64)"), "18446744073709551616");
+}
+
+#[test]
+fn numeric_predicates() {
+    assert_eq!(ev("(= 2 2 2)"), "#t");
+    assert_eq!(ev("(= 2 2 3)"), "#f");
+    assert_eq!(ev("(< 1 2 3)"), "#t");
+    assert_eq!(ev("(<= 1 1 2)"), "#t");
+    assert_eq!(ev("(> 3 2 1)"), "#t");
+    assert_eq!(ev("(>= 3 3 1)"), "#t");
+    assert_eq!(ev("(zero? 0)"), "#t");
+    assert_eq!(ev("(negative? -1)"), "#t");
+    assert_eq!(ev("(positive? 0)"), "#f");
+    assert_eq!(ev("(even? 4)"), "#t");
+    assert_eq!(ev("(odd? -3)"), "#t");
+    assert_eq!(ev("(number? 1)"), "#t");
+    assert_eq!(ev("(integer? 'a)"), "#f");
+}
+
+#[test]
+fn bignum_promotion_through_the_language() {
+    assert_eq!(
+        ev("(* 123456789123456789 987654321987654321)"),
+        "121932631356500531347203169112635269"
+    );
+    assert_eq!(ev("(+ 9223372036854775807 1)"), "9223372036854775808");
+    assert_eq!(ev("(- (+ 9223372036854775807 1) 1)"), "9223372036854775807");
+    assert_eq!(ev("(quotient 123456789012345678901234567890 10)"), "12345678901234567890123456789");
+}
+
+#[test]
+fn pair_and_list_ops() {
+    assert_eq!(ev("(cons 1 2)"), "(1 . 2)");
+    assert_eq!(ev("(car '(a b))"), "a");
+    assert_eq!(ev("(cdr '(a b))"), "(b)");
+    assert_eq!(ev("(caar '((1) 2))"), "1");
+    assert_eq!(ev("(cadr '(1 2 3))"), "2");
+    assert_eq!(ev("(cdar '((1 x) 2))"), "(x)");
+    assert_eq!(ev("(cddr '(1 2 3))"), "(3)");
+    assert_eq!(ev("(caddr '(1 2 3))"), "3");
+    assert_eq!(ev("(cdddr '(1 2 3 4))"), "(4)");
+    assert_eq!(ev("(cadddr '(1 2 3 4))"), "4");
+    assert_eq!(ev("(list 1 'a \"s\")"), "(1 a \"s\")");
+    assert_eq!(ev("(length '())"), "0");
+    assert_eq!(ev("(length '(1 2 3))"), "3");
+    assert_eq!(ev("(append)"), "()");
+    assert_eq!(ev("(append '(1) '(2 3) '(4))"), "(1 2 3 4)");
+    assert_eq!(ev("(append '(1) 2)"), "(1 . 2)", "last argument may be improper");
+    assert_eq!(ev("(reverse '(1 2 3))"), "(3 2 1)");
+    assert_eq!(ev("(list-ref '(a b c) 2)"), "c");
+    assert_eq!(ev("(list-tail '(a b c) 1)"), "(b c)");
+    assert_eq!(ev("(null? '())"), "#t");
+    assert_eq!(ev("(pair? '(1))"), "#t");
+    assert_eq!(ev("(pair? '())"), "#f");
+    assert_eq!(ev("(list? '(1 2))"), "#t");
+    assert_eq!(ev("(list? (cons 1 2))"), "#f");
+}
+
+#[test]
+fn searching_lists() {
+    assert_eq!(ev("(memq 'b '(a b c))"), "(b c)");
+    assert_eq!(ev("(memq 'z '(a b c))"), "#f");
+    assert_eq!(ev("(memv 2 '(1 2 3))"), "(2 3)");
+    assert_eq!(ev("(member \"b\" '(\"a\" \"b\"))"), "(\"b\")");
+    assert_eq!(ev("(assq 'y '((x . 1) (y . 2)))"), "(y . 2)");
+    assert_eq!(ev("(assv 2 '((1 . a) (2 . b)))"), "(2 . b)");
+    assert_eq!(ev("(assoc '(k) '(((k) . hit)))"), "((k) . hit)");
+    assert_eq!(ev("(assq 'nope '((x . 1)))"), "#f");
+}
+
+#[test]
+fn equality_trio() {
+    assert_eq!(ev("(eq? 'a 'a)"), "#t");
+    assert_eq!(ev("(eq? '(1) '(1))"), "#f", "fresh allocations are not eq?");
+    assert_eq!(ev("(let ([l '(1)]) (eq? l l))"), "#t");
+    assert_eq!(ev("(eqv? 100000000000 100000000000)"), "#t");
+    assert_eq!(ev("(equal? '(1 (2 \"x\")) '(1 (2 \"x\")))"), "#t");
+    assert_eq!(ev("(equal? '(1 2) '(1 3))"), "#f");
+    assert_eq!(ev("(not #f)"), "#t");
+    assert_eq!(ev("(not '())"), "#f");
+}
+
+#[test]
+fn type_predicates() {
+    assert_eq!(ev("(boolean? #f)"), "#t");
+    assert_eq!(ev("(symbol? 'x)"), "#t");
+    assert_eq!(ev("(string? \"s\")"), "#t");
+    assert_eq!(ev("(char? #\\a)"), "#t");
+    assert_eq!(ev("(procedure? car)"), "#t");
+    assert_eq!(ev("(procedure? (lambda (x) x))"), "#t");
+    assert_eq!(ev("(procedure? 3)"), "#f");
+    assert_eq!(ev("(void? (void))"), "#t");
+}
+
+#[test]
+fn char_ops() {
+    assert_eq!(ev("(char=? #\\a #\\a #\\a)"), "#t");
+    assert_eq!(ev("(char<? #\\a #\\b)"), "#t");
+    assert_eq!(ev("(char->integer #\\A)"), "65");
+    assert_eq!(ev("(integer->char 10)"), "#\\newline");
+}
+
+#[test]
+fn string_ops() {
+    assert_eq!(ev("(string=? \"ab\" \"ab\")"), "#t");
+    assert_eq!(ev("(string<? \"ab\" \"b\")"), "#t");
+    assert_eq!(ev("(string-length \"héllo\")"), "5");
+    assert_eq!(ev("(string-append \"a\" \"b\" \"c\")"), "\"abc\"");
+    assert_eq!(ev("(substring \"hello\" 1 3)"), "\"el\"");
+    assert_eq!(ev("(substring \"hello\" 2)"), "\"llo\"");
+    assert_eq!(ev("(string-ref \"abc\" 1)"), "#\\b");
+    assert_eq!(ev("(string->symbol \"sym\")"), "sym");
+    assert_eq!(ev("(symbol->string 'sym)"), "\"sym\"");
+    assert_eq!(ev("(number->string 42)"), "\"42\"");
+    assert_eq!(ev("(string->number \"42\")"), "42");
+    assert_eq!(ev("(string->number \"4x\")"), "#f");
+    assert_eq!(ev("(string->list \"ab\")"), "(#\\a #\\b)");
+    assert_eq!(ev("(list->string '(#\\a #\\b))"), "\"ab\"");
+}
+
+#[test]
+fn hash_ops() {
+    assert_eq!(ev("(hash-count (hash))"), "0");
+    assert_eq!(ev("(hash-ref (hash 'a 1 'b 2) 'b)"), "2");
+    assert_eq!(ev("(hash-ref (hash) 'missing 'dflt)"), "dflt");
+    assert_eq!(ev("(hash-has-key? (hash 'a 1) 'a)"), "#t");
+    assert_eq!(ev("(hash-count (hash-set (hash 'a 1) 'b 2))"), "2");
+    // Persistence: the original is untouched.
+    assert_eq!(
+        ev("(let ([h (hash 'a 1)]) (begin (hash-set h 'a 99) (hash-ref h 'a)))"),
+        "1"
+    );
+    // Structural keys.
+    assert_eq!(ev("(hash-ref (hash '(1 2) 'hit) (list 1 2))"), "hit");
+}
+
+#[test]
+fn apply_and_higher_order() {
+    assert_eq!(ev("(apply + '(1 2 3))"), "6");
+    assert_eq!(ev("(apply max 1 '(5 3))"), "5");
+    assert_eq!(ev("(apply (lambda (a b) (cons a b)) '(1 2))"), "(1 . 2)");
+}
+
+#[test]
+fn error_behaviors() {
+    for src in [
+        "(car '())",
+        "(cdr 5)",
+        "(vector)",               // unbound: no vectors in λSCT
+        "(+ 'a)",
+        "(quotient 1 0)",
+        "(modulo 1 0)",
+        "(string-ref \"ab\" 9)",
+        "(substring \"ab\" 5)",
+        "(integer->char -1)",
+        "(list-ref '(1) 5)",
+        "(hash-ref (hash) 'k)",
+        "(apply + 1)",
+        "(length (cons 1 2))",
+        "(hash 'odd)",
+        "(expt 2 -1)",
+    ] {
+        let e = ev_err(src);
+        assert!(matches!(e, EvalError::Rt(_)), "{src}: got {e}");
+    }
+}
+
+#[test]
+fn display_write_roundtrip() {
+    // write-form output re-reads to an equal value.
+    assert_eq!(ev("(equal? '(1 \"a\" #\\b (c . 2)) '(1 \"a\" #\\b (c . 2)))"), "#t");
+}
+
+#[test]
+fn deep_structures() {
+    // Build and fold a 50k-element list entirely in-language.
+    assert_eq!(
+        ev("
+(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))
+(define (sum l acc) (if (null? l) acc (sum (cdr l) (+ acc (car l)))))
+(sum (iota 50000) 0)"),
+        "1250025000"
+    );
+}
+
+#[test]
+fn shadowing_prims_in_programs() {
+    // Users may rebind primitive names; resolution prefers the binding.
+    assert_eq!(ev("(define (car x) 'mine) (car '(1 2))"), "mine");
+    assert_eq!(ev("(let ([+ *]) (+ 3 4))"), "12");
+}

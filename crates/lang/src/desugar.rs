@@ -1,0 +1,705 @@
+//! Expansion of derived surface forms into kernel forms.
+//!
+//! The kernel the resolver understands is: `quote`, `lambda`, `if`,
+//! `begin`, `set!`, `let`, `letrec`, the internal `(" term/c" label e)`
+//! contract form, top-level `define`, and application. Everything else the
+//! corpus uses — `cond` (with `=>`), `case`, `and`, `or`, `when`,
+//! `unless`, `let*`, named `let`, internal defines, quasiquotation —
+//! expands here, Datum to Datum, so expansions stay printable and testable.
+//!
+//! The special-form names are reserved words: the corpus subset does not
+//! permit shadowing them with local bindings (as in the paper's Racket
+//! programs, where they are module-level bindings).
+
+use crate::LangError;
+use sct_sexpr::Datum;
+
+/// Internal head symbol for the desugared `terminating/c` form. The leading
+/// space makes it unwritable in source text.
+pub const TERM_C_HEAD: &str = " term/c";
+
+/// Desugars a whole top-level program.
+///
+/// # Errors
+///
+/// Returns [`LangError`] on malformed special forms.
+pub fn desugar_top_level(forms: &[Datum]) -> Result<Vec<Datum>, LangError> {
+    let mut d = Desugarer::new();
+    forms.iter().map(|f| d.top_form(f)).collect()
+}
+
+/// Desugars a single expression (used by tests and the REPL-style API).
+///
+/// # Errors
+///
+/// Returns [`LangError`] on malformed special forms.
+pub fn desugar_expr(form: &Datum) -> Result<Datum, LangError> {
+    Desugarer::new().expr(form)
+}
+
+struct Desugarer {
+    gensym_counter: u32,
+    term_c_counter: u32,
+}
+
+fn sym(s: &str) -> Datum {
+    Datum::Sym(s.to_string())
+}
+
+fn list(items: Vec<Datum>) -> Datum {
+    Datum::List(items)
+}
+
+fn err(msg: impl Into<String>) -> LangError {
+    LangError::new(msg)
+}
+
+impl Desugarer {
+    fn new() -> Desugarer {
+        Desugarer { gensym_counter: 0, term_c_counter: 0 }
+    }
+
+    fn gensym(&mut self, hint: &str) -> Datum {
+        let n = self.gensym_counter;
+        self.gensym_counter += 1;
+        // The leading space cannot appear in a parsed symbol, so generated
+        // temporaries can never capture user variables.
+        Datum::Sym(format!(" {hint}{n}"))
+    }
+
+    fn top_form(&mut self, form: &Datum) -> Result<Datum, LangError> {
+        if form.head_is("define") {
+            let items = form.as_list().unwrap();
+            match items {
+                [_, Datum::Sym(name), init] => {
+                    Ok(list(vec![sym("define"), sym(name), self.expr(init)?]))
+                }
+                [_, header @ (Datum::List(_) | Datum::Improper(..)), body @ ..]
+                    if !body.is_empty() =>
+                {
+                    let (name, lambda) = self.define_function(header, body)?;
+                    Ok(list(vec![sym("define"), Datum::Sym(name), lambda]))
+                }
+                _ => Err(err(format!("malformed define: {form}"))),
+            }
+        } else {
+            self.expr(form)
+        }
+    }
+
+    /// Expands `(define (f a b . r) body...)` headers, including curried
+    /// headers `(define ((f a) b) ...)` which Racket allows (unused by the
+    /// corpus but cheap to support by recursion).
+    fn define_function(&mut self, header: &Datum, body: &[Datum]) -> Result<(String, Datum), LangError> {
+        let (head, params): (&Datum, Vec<Datum>) = match header {
+            Datum::List(items) if !items.is_empty() => {
+                (&items[0], items[1..].to_vec())
+            }
+            Datum::Improper(items, tail) if !items.is_empty() => {
+                let mut ps = items[1..].to_vec();
+                ps.push(Datum::Improper(vec![], tail.clone()));
+                (&items[0], ps)
+            }
+            _ => return Err(err(format!("malformed define header: {header}"))),
+        };
+        // Rebuild the parameter datum for the lambda.
+        let param_datum = rebuild_params(&params);
+        match head {
+            Datum::Sym(name) => {
+                let lambda = self.lambda_from(param_datum, body)?;
+                Ok((name.clone(), lambda))
+            }
+            nested @ (Datum::List(_) | Datum::Improper(..)) => {
+                let inner = self.lambda_from(param_datum, body)?;
+                self.define_function(nested, std::slice::from_ref(&inner))
+            }
+            _ => Err(err(format!("malformed define header: {header}"))),
+        }
+    }
+
+    fn lambda_from(&mut self, params: Datum, body: &[Datum]) -> Result<Datum, LangError> {
+        let body_expr = self.body(body)?;
+        Ok(list(vec![sym("lambda"), params, body_expr]))
+    }
+
+    /// A body is zero or more internal defines followed by expressions;
+    /// defines become a `letrec` (letrec* order).
+    fn body(&mut self, forms: &[Datum]) -> Result<Datum, LangError> {
+        let mut defines: Vec<(Datum, Datum)> = Vec::new();
+        let mut rest = forms;
+        while let Some(first) = rest.first() {
+            if first.head_is("define") {
+                let d = self.top_form(first)?;
+                let items = d.as_list().unwrap();
+                defines.push((items[1].clone(), items[2].clone()));
+                rest = &rest[1..];
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            return Err(err("body has no expressions"));
+        }
+        let exprs: Vec<Datum> = rest.iter().map(|f| self.expr(f)).collect::<Result<_, _>>()?;
+        let body = if exprs.len() == 1 {
+            exprs.into_iter().next().unwrap()
+        } else {
+            let mut b = vec![sym("begin")];
+            b.extend(exprs);
+            list(b)
+        };
+        if defines.is_empty() {
+            Ok(body)
+        } else {
+            let bindings: Vec<Datum> =
+                defines.into_iter().map(|(n, e)| list(vec![n, e])).collect();
+            Ok(list(vec![sym("letrec"), list(bindings), body]))
+        }
+    }
+
+    fn expr(&mut self, form: &Datum) -> Result<Datum, LangError> {
+        let Some(items) = form.as_list() else {
+            // Atoms: self-evaluating literals and variables pass through.
+            return Ok(form.clone());
+        };
+        if items.is_empty() {
+            return Err(err("empty application ()"));
+        }
+        let head = items[0].as_sym();
+        match head {
+            Some("quote") => Ok(form.clone()),
+            Some("quasiquote") => {
+                let [_, inner] = items else {
+                    return Err(err(format!("malformed quasiquote: {form}")));
+                };
+                self.quasi(inner, 1)
+            }
+            Some("unquote") | Some("unquote-splicing") => {
+                Err(err(format!("{} outside quasiquote", head.unwrap())))
+            }
+            Some("lambda") | Some("λ") => {
+                let [_, params, body @ ..] = items else {
+                    return Err(err(format!("malformed lambda: {form}")));
+                };
+                if body.is_empty() {
+                    return Err(err(format!("lambda has no body: {form}")));
+                }
+                self.lambda_from(params.clone(), body)
+            }
+            Some("if") => match items {
+                [_, c, t] => Ok(list(vec![
+                    sym("if"),
+                    self.expr(c)?,
+                    self.expr(t)?,
+                    list(vec![sym("void")]),
+                ])),
+                [_, c, t, e] => Ok(list(vec![
+                    sym("if"),
+                    self.expr(c)?,
+                    self.expr(t)?,
+                    self.expr(e)?,
+                ])),
+                _ => Err(err(format!("malformed if: {form}"))),
+            },
+            Some("begin") => {
+                let [_, body @ ..] = items else { unreachable!() };
+                if body.is_empty() {
+                    return Ok(list(vec![sym("void")]));
+                }
+                self.body(body)
+            }
+            Some("set!") => match items {
+                [_, v @ Datum::Sym(_), e] => {
+                    Ok(list(vec![sym("set!"), v.clone(), self.expr(e)?]))
+                }
+                _ => Err(err(format!("malformed set!: {form}"))),
+            },
+            Some("let") => self.let_form(items, form),
+            Some("let*") => {
+                let [_, Datum::List(bindings), body @ ..] = items else {
+                    return Err(err(format!("malformed let*: {form}")));
+                };
+                if body.is_empty() {
+                    return Err(err(format!("let* has no body: {form}")));
+                }
+                match bindings.split_first() {
+                    None => self.body(body),
+                    Some((first, rest)) => {
+                        let mut inner = vec![sym("let*"), list(rest.to_vec())];
+                        inner.extend(body.iter().cloned());
+                        let inner = list(inner);
+                        self.expr(&list(vec![
+                            sym("let"),
+                            list(vec![first.clone()]),
+                            inner,
+                        ]))
+                    }
+                }
+            }
+            Some("letrec") | Some("letrec*") => {
+                let [_, Datum::List(bindings), body @ ..] = items else {
+                    return Err(err(format!("malformed letrec: {form}")));
+                };
+                if body.is_empty() {
+                    return Err(err(format!("letrec has no body: {form}")));
+                }
+                let bound: Vec<Datum> = bindings
+                    .iter()
+                    .map(|b| self.binding(b))
+                    .collect::<Result<_, _>>()?;
+                let body = self.body(body)?;
+                Ok(list(vec![sym("letrec"), list(bound), body]))
+            }
+            Some("cond") => self.cond(&items[1..], form),
+            Some("case") => self.case(&items[1..], form),
+            Some("and") => self.and(&items[1..]),
+            Some("or") => self.or(&items[1..]),
+            Some("when") => {
+                let [_, test, body @ ..] = items else {
+                    return Err(err(format!("malformed when: {form}")));
+                };
+                if body.is_empty() {
+                    return Err(err(format!("when has no body: {form}")));
+                }
+                let body = self.body(body)?;
+                Ok(list(vec![sym("if"), self.expr(test)?, body, list(vec![sym("void")])]))
+            }
+            Some("unless") => {
+                let [_, test, body @ ..] = items else {
+                    return Err(err(format!("malformed unless: {form}")));
+                };
+                if body.is_empty() {
+                    return Err(err(format!("unless has no body: {form}")));
+                }
+                let body = self.body(body)?;
+                Ok(list(vec![sym("if"), self.expr(test)?, list(vec![sym("void")]), body]))
+            }
+            Some("terminating/c") | Some("term/c") if items.len() >= 2 => {
+                let (expr, label) = match items {
+                    [_, e] => {
+                        let shown = e.to_string();
+                        let truncated: String = shown.chars().take(40).collect();
+                        let n = self.term_c_counter;
+                        self.term_c_counter += 1;
+                        (e, format!("terminating/c#{n} on {truncated}"))
+                    }
+                    [_, e, Datum::Str(label)] => (e, label.clone()),
+                    _ => return Err(err(format!("malformed terminating/c: {form}"))),
+                };
+                Ok(list(vec![sym(TERM_C_HEAD), Datum::Str(label), self.expr(expr)?]))
+            }
+            _ => {
+                // Application.
+                let parts: Vec<Datum> =
+                    items.iter().map(|i| self.expr(i)).collect::<Result<_, _>>()?;
+                Ok(list(parts))
+            }
+        }
+    }
+
+    fn binding(&mut self, b: &Datum) -> Result<Datum, LangError> {
+        match b.as_list() {
+            Some([name @ Datum::Sym(_), init]) => {
+                Ok(list(vec![name.clone(), self.expr(init)?]))
+            }
+            _ => Err(err(format!("malformed binding: {b}"))),
+        }
+    }
+
+    fn let_form(&mut self, items: &[Datum], form: &Datum) -> Result<Datum, LangError> {
+        match items {
+            // Named let: (let loop ([x e] ...) body...)
+            [_, Datum::Sym(name), Datum::List(bindings), body @ ..] if !body.is_empty() => {
+                let mut params = Vec::new();
+                let mut inits = Vec::new();
+                for b in bindings {
+                    let Some([Datum::Sym(p), init]) = b.as_list() else {
+                        return Err(err(format!("malformed named-let binding in {form}")));
+                    };
+                    params.push(sym(p));
+                    inits.push(init.clone());
+                }
+                // (letrec ([name (lambda (params) body)]) (name inits...))
+                let lambda = {
+                    let mut l = vec![sym("lambda"), list(params)];
+                    l.extend(body.iter().cloned());
+                    list(l)
+                };
+                let mut call = vec![sym(name)];
+                call.extend(inits);
+                let expanded = list(vec![
+                    sym("letrec"),
+                    list(vec![list(vec![sym(name), lambda])]),
+                    list(call),
+                ]);
+                self.expr(&expanded)
+            }
+            [_, Datum::List(bindings), body @ ..] if !body.is_empty() => {
+                let bound: Vec<Datum> = bindings
+                    .iter()
+                    .map(|b| self.binding(b))
+                    .collect::<Result<_, _>>()?;
+                let body = self.body(body)?;
+                Ok(list(vec![sym("let"), list(bound), body]))
+            }
+            _ => Err(err(format!("malformed let: {form}"))),
+        }
+    }
+
+    fn cond(&mut self, clauses: &[Datum], form: &Datum) -> Result<Datum, LangError> {
+        let Some((clause, rest)) = clauses.split_first() else {
+            return Ok(list(vec![sym("void")]));
+        };
+        let Some(parts) = clause.as_list() else {
+            return Err(err(format!("malformed cond clause in {form}")));
+        };
+        match parts {
+            [Datum::Sym(e), body @ ..] if e == "else" => {
+                if !rest.is_empty() {
+                    return Err(err(format!("cond: else clause not last in {form}")));
+                }
+                if body.is_empty() {
+                    return Err(err(format!("cond: empty else clause in {form}")));
+                }
+                self.body(body)
+            }
+            [test] => {
+                let t = self.gensym("t");
+                let rest_expr = self.cond(rest, form)?;
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![t.clone(), self.expr(test)?])]),
+                    list(vec![sym("if"), t.clone(), t, rest_expr]),
+                ]))
+            }
+            [test, Datum::Sym(arrow), f] if arrow == "=>" => {
+                let t = self.gensym("t");
+                let rest_expr = self.cond(rest, form)?;
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![t.clone(), self.expr(test)?])]),
+                    list(vec![
+                        sym("if"),
+                        t.clone(),
+                        list(vec![self.expr(f)?, t]),
+                        rest_expr,
+                    ]),
+                ]))
+            }
+            [test, body @ ..] => {
+                let rest_expr = self.cond(rest, form)?;
+                let body = self.body(body)?;
+                Ok(list(vec![sym("if"), self.expr(test)?, body, rest_expr]))
+            }
+            [] => Err(err(format!("empty cond clause in {form}"))),
+        }
+    }
+
+    fn case(&mut self, parts: &[Datum], form: &Datum) -> Result<Datum, LangError> {
+        let Some((scrutinee, clauses)) = parts.split_first() else {
+            return Err(err(format!("malformed case: {form}")));
+        };
+        let k = self.gensym("k");
+        let mut cond_clauses: Vec<Datum> = Vec::new();
+        for clause in clauses {
+            let Some(items) = clause.as_list() else {
+                return Err(err(format!("malformed case clause in {form}")));
+            };
+            match items {
+                [Datum::Sym(e), body @ ..] if e == "else" && !body.is_empty() => {
+                    let mut c = vec![sym("else")];
+                    c.extend(body.iter().cloned());
+                    cond_clauses.push(list(c));
+                }
+                [data @ Datum::List(_), body @ ..] if !body.is_empty() => {
+                    let test = list(vec![
+                        sym("memv"),
+                        k.clone(),
+                        list(vec![sym("quote"), data.clone()]),
+                    ]);
+                    let mut c = vec![test];
+                    c.extend(body.iter().cloned());
+                    cond_clauses.push(list(c));
+                }
+                _ => return Err(err(format!("malformed case clause in {form}"))),
+            }
+        }
+        let mut cond_form = vec![sym("cond")];
+        cond_form.extend(cond_clauses);
+        let expanded = list(vec![
+            sym("let"),
+            list(vec![list(vec![k, scrutinee.clone()])]),
+            list(cond_form),
+        ]);
+        self.expr(&expanded)
+    }
+
+    fn and(&mut self, args: &[Datum]) -> Result<Datum, LangError> {
+        match args {
+            [] => Ok(Datum::Bool(true)),
+            [e] => self.expr(e),
+            [e, rest @ ..] => {
+                let rest_expr = self.and(rest)?;
+                Ok(list(vec![sym("if"), self.expr(e)?, rest_expr, Datum::Bool(false)]))
+            }
+        }
+    }
+
+    fn or(&mut self, args: &[Datum]) -> Result<Datum, LangError> {
+        match args {
+            [] => Ok(Datum::Bool(false)),
+            [e] => self.expr(e),
+            [e, rest @ ..] => {
+                let t = self.gensym("t");
+                let rest_expr = self.or(rest)?;
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![t.clone(), self.expr(e)?])]),
+                    list(vec![sym("if"), t.clone(), t, rest_expr]),
+                ]))
+            }
+        }
+    }
+
+    /// Standard quasiquote expansion with nesting depth.
+    fn quasi(&mut self, d: &Datum, depth: u32) -> Result<Datum, LangError> {
+        if !has_unquote(d) {
+            return Ok(list(vec![sym("quote"), d.clone()]));
+        }
+        match d {
+            Datum::List(items) => match items.as_slice() {
+                [Datum::Sym(u), e] if u == "unquote" => {
+                    if depth == 1 {
+                        self.expr(e)
+                    } else {
+                        let inner = self.quasi(e, depth - 1)?;
+                        Ok(list(vec![
+                            sym("list"),
+                            list(vec![sym("quote"), sym("unquote")]),
+                            inner,
+                        ]))
+                    }
+                }
+                [Datum::Sym(u), e] if u == "quasiquote" => {
+                    let inner = self.quasi(e, depth + 1)?;
+                    Ok(list(vec![
+                        sym("list"),
+                        list(vec![sym("quote"), sym("quasiquote")]),
+                        inner,
+                    ]))
+                }
+                _ => self.quasi_seq(items, None, depth),
+            },
+            Datum::Improper(items, tail) => self.quasi_seq(items, Some(tail), depth),
+            atom => Ok(list(vec![sym("quote"), atom.clone()])),
+        }
+    }
+
+    fn quasi_seq(
+        &mut self,
+        items: &[Datum],
+        tail: Option<&Datum>,
+        depth: u32,
+    ) -> Result<Datum, LangError> {
+        let mut acc = match tail {
+            Some(t) => self.quasi(t, depth)?,
+            None => list(vec![sym("quote"), Datum::nil()]),
+        };
+        for item in items.iter().rev() {
+            let is_splice = depth == 1
+                && matches!(item.as_list(),
+                    Some([Datum::Sym(u), _]) if u == "unquote-splicing");
+            if is_splice {
+                let e = &item.as_list().unwrap()[1];
+                acc = list(vec![sym("append"), self.expr(e)?, acc]);
+            } else {
+                let head = self.quasi(item, depth)?;
+                acc = list(vec![sym("cons"), head, acc]);
+            }
+        }
+        Ok(acc)
+    }
+}
+
+fn rebuild_params(params: &[Datum]) -> Datum {
+    // `define_function` encodes a rest arg as a trailing Improper([], tail).
+    if let Some(Datum::Improper(items, tail)) = params.last() {
+        if items.is_empty() {
+            let fixed = params[..params.len() - 1].to_vec();
+            if fixed.is_empty() {
+                return (**tail).clone();
+            }
+            return Datum::Improper(fixed, tail.clone());
+        }
+    }
+    Datum::List(params.to_vec())
+}
+
+fn has_unquote(d: &Datum) -> bool {
+    match d {
+        Datum::List(items) => {
+            if let [Datum::Sym(u), _] = items.as_slice() {
+                if u == "unquote" || u == "unquote-splicing" {
+                    return true;
+                }
+            }
+            items.iter().any(has_unquote)
+        }
+        Datum::Improper(items, tail) => items.iter().any(has_unquote) || has_unquote(tail),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_sexpr::parse_one;
+
+    fn expand(src: &str) -> String {
+        desugar_expr(&parse_one(src).unwrap()).unwrap().to_string()
+    }
+
+    fn expand_top(src: &str) -> String {
+        let forms = sct_sexpr::parse_all(src).unwrap();
+        desugar_top_level(&forms)
+            .unwrap()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn define_function_sugar() {
+        assert_eq!(
+            expand_top("(define (f x y) (+ x y))"),
+            "(define f (lambda (x y) (+ x y)))"
+        );
+        assert_eq!(
+            expand_top("(define (f . args) args)"),
+            "(define f (lambda args args))"
+        );
+        assert_eq!(
+            expand_top("(define (f a . rest) rest)"),
+            "(define f (lambda (a . rest) rest))"
+        );
+    }
+
+    #[test]
+    fn if_gets_else_arm() {
+        assert_eq!(expand("(if a b)"), "(if a b (void))");
+        assert_eq!(expand("(if a b c)"), "(if a b c)");
+    }
+
+    #[test]
+    fn cond_expansion() {
+        assert_eq!(
+            expand("(cond [a 1] [else 2])"),
+            "(if a 1 2)"
+        );
+        assert_eq!(expand("(cond)"), "(void)");
+        // Single-test clause binds a temp.
+        let out = expand("(cond [a])");
+        assert!(out.starts_with("(let (( t0 a)) (if  t0  t0 (void)))"), "got: {out}");
+        // => clause applies the receiver.
+        let out = expand("(cond [a => f] [else 0])");
+        assert!(out.contains("(f  t0)"), "got: {out}");
+    }
+
+    #[test]
+    fn and_or_when_unless() {
+        assert_eq!(expand("(and)"), "#t");
+        assert_eq!(expand("(or)"), "#f");
+        assert_eq!(expand("(and a b)"), "(if a b #f)");
+        let or = expand("(or a b)");
+        assert!(or.contains("(if  t0  t0 b)"), "got: {or}");
+        assert_eq!(expand("(when a b)"), "(if a b (void))");
+        assert_eq!(expand("(unless a b)"), "(if a (void) b)");
+    }
+
+    #[test]
+    fn let_star_nests() {
+        assert_eq!(
+            expand("(let* ([a 1] [b a]) b)"),
+            "(let ((a 1)) (let ((b a)) b))"
+        );
+        assert_eq!(expand("(let* () 5)"), "5");
+    }
+
+    #[test]
+    fn named_let_becomes_letrec() {
+        let out = expand("(let loop ([i 10]) (if (zero? i) 0 (loop (- i 1))))");
+        assert!(out.starts_with("(letrec ((loop (lambda (i)"), "got: {out}");
+        assert!(out.ends_with("(loop 10))"), "got: {out}");
+    }
+
+    #[test]
+    fn internal_defines_become_letrec() {
+        let out = expand("(lambda (x) (define y 1) (define (g) y) (g))");
+        assert_eq!(out, "(lambda (x) (letrec ((y 1) (g (lambda () y))) (g)))");
+    }
+
+    #[test]
+    fn case_expands_to_memv() {
+        let out = expand("(case x [(1 2) 'a] [else 'b])");
+        assert!(out.contains("(memv  k0 (quote (1 2)))"), "got: {out}");
+        assert!(out.contains("(quote a)"), "got: {out}");
+    }
+
+    #[test]
+    fn quasiquote_simple() {
+        // No unquotes: collapses to plain quote.
+        assert_eq!(expand("`(a b c)"), "(quote (a b c))");
+        // Unquote splices an expression in.
+        assert_eq!(expand("`(a ,x)"), "(cons (quote a) (cons x (quote ())))");
+        // Splicing uses append.
+        assert_eq!(
+            expand("`(a ,@xs b)"),
+            "(cons (quote a) (append xs (cons (quote b) (quote ()))))"
+        );
+    }
+
+    #[test]
+    fn quasiquote_nested_depth() {
+        // Inner quasiquote increments depth; unquote at depth 2 is data.
+        let out = expand("``(,x)");
+        assert!(out.contains("(quote unquote)"), "got: {out}");
+        // Double unquote reaches code at depth 2.
+        let out = expand("`(a `(b ,(c ,x)))");
+        assert!(out.contains('x'), "got: {out}");
+    }
+
+    #[test]
+    fn terminating_c_gets_label() {
+        let out = expand("(terminating/c f)");
+        assert!(out.starts_with("( term/c \"terminating/c#0 on f\" f)"), "got: {out}");
+        let out2 = expand("(terminating/c f \"my-label\")");
+        assert!(out2.contains("my-label"), "got: {out2}");
+    }
+
+    #[test]
+    fn begin_empty_and_body_sequencing() {
+        assert_eq!(expand("(begin)"), "(void)");
+        assert_eq!(expand("(begin 1 2)"), "(begin 1 2)");
+        assert_eq!(expand("(lambda () 1 2)"), "(lambda () (begin 1 2))");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(desugar_expr(&parse_one("()").unwrap()).is_err());
+        assert!(desugar_expr(&parse_one("(lambda (x))").unwrap()).is_err());
+        assert!(desugar_expr(&parse_one("(set! 3 4)").unwrap()).is_err());
+        assert!(desugar_expr(&parse_one("(unquote x)").unwrap()).is_err());
+        assert!(desugar_expr(&parse_one("(cond [else 1] [a 2])").unwrap()).is_err());
+        let forms = sct_sexpr::parse_all("(define)").unwrap();
+        assert!(desugar_top_level(&forms).is_err());
+    }
+
+    #[test]
+    fn curried_define() {
+        assert_eq!(
+            expand_top("(define ((adder n) m) (+ n m))"),
+            "(define adder (lambda (n) (lambda (m) (+ n m))))"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! The primitive operations `o` of Figure 3.
+//!
+//! "No primitive in λSCT is allowed to cause divergence" — every primitive
+//! here is a total (up to run-time type errors) operation, so the monitor
+//! whitelists all of them by construction (§5: "functions that are known to
+//! terminate need no instrumentation").
+//!
+//! The behavior of each primitive is implemented in `sct-interp`; this
+//! module owns the *names* so the resolver can turn unshadowed references
+//! like `car` into direct [`Prim`] references.
+
+/// Identifies a primitive operation. The `u16` representation indexes
+/// dispatch tables in the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Prim {
+    // Numeric.
+    Add,
+    Sub,
+    Mul,
+    Quotient,
+    Remainder,
+    Modulo,
+    Abs,
+    Min,
+    Max,
+    Add1,
+    Sub1,
+    Gcd,
+    Expt,
+    NumEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    IsZero,
+    IsNegative,
+    IsPositive,
+    IsEven,
+    IsOdd,
+    IsNumber,
+    IsInteger,
+    // Pairs and lists.
+    Cons,
+    Car,
+    Cdr,
+    Caar,
+    Cadr,
+    Cdar,
+    Cddr,
+    Caddr,
+    Cdddr,
+    Cadddr,
+    IsNull,
+    IsPair,
+    List,
+    Length,
+    Append,
+    Reverse,
+    ListRef,
+    ListTail,
+    Memq,
+    Memv,
+    Member,
+    Assq,
+    Assv,
+    Assoc,
+    IsList,
+    // Equality and booleans.
+    IsEq,
+    IsEqv,
+    IsEqual,
+    Not,
+    IsBoolean,
+    IsSymbol,
+    IsString,
+    IsChar,
+    IsProcedure,
+    IsVoid,
+    // Characters.
+    CharEq,
+    CharLt,
+    CharToInteger,
+    IntegerToChar,
+    // Strings and symbols.
+    StringEq,
+    StringLt,
+    StringLength,
+    StringAppend,
+    Substring,
+    StringRef,
+    StringToSymbol,
+    SymbolToString,
+    NumberToString,
+    StringToNumber,
+    StringToList,
+    ListToString,
+    // Immutable hashes (Figure 2's compile example).
+    Hash,
+    HashSet,
+    HashRef,
+    HashHasKey,
+    HashCount,
+    // Output and control.
+    Display,
+    Write,
+    Newline,
+    Error,
+    Void,
+    Apply,
+    // Contract combinators (§2.3, §3.6).
+    TerminatingC,
+    FlatC,
+    ArrowC,
+    AndC,
+    Contract,
+}
+
+/// `(name, prim)` pairs for every primitive, in dispatch order.
+pub const PRIMS: &[(&str, Prim)] = &[
+    ("+", Prim::Add),
+    ("-", Prim::Sub),
+    ("*", Prim::Mul),
+    ("quotient", Prim::Quotient),
+    ("remainder", Prim::Remainder),
+    ("modulo", Prim::Modulo),
+    ("abs", Prim::Abs),
+    ("min", Prim::Min),
+    ("max", Prim::Max),
+    ("add1", Prim::Add1),
+    ("sub1", Prim::Sub1),
+    ("gcd", Prim::Gcd),
+    ("expt", Prim::Expt),
+    ("=", Prim::NumEq),
+    ("<", Prim::Lt),
+    ("<=", Prim::Le),
+    (">", Prim::Gt),
+    (">=", Prim::Ge),
+    ("zero?", Prim::IsZero),
+    ("negative?", Prim::IsNegative),
+    ("positive?", Prim::IsPositive),
+    ("even?", Prim::IsEven),
+    ("odd?", Prim::IsOdd),
+    ("number?", Prim::IsNumber),
+    ("integer?", Prim::IsInteger),
+    ("cons", Prim::Cons),
+    ("car", Prim::Car),
+    ("cdr", Prim::Cdr),
+    ("caar", Prim::Caar),
+    ("cadr", Prim::Cadr),
+    ("cdar", Prim::Cdar),
+    ("cddr", Prim::Cddr),
+    ("caddr", Prim::Caddr),
+    ("cdddr", Prim::Cdddr),
+    ("cadddr", Prim::Cadddr),
+    ("null?", Prim::IsNull),
+    ("empty?", Prim::IsNull),
+    ("pair?", Prim::IsPair),
+    ("cons?", Prim::IsPair),
+    ("list", Prim::List),
+    ("length", Prim::Length),
+    ("append", Prim::Append),
+    ("reverse", Prim::Reverse),
+    ("list-ref", Prim::ListRef),
+    ("list-tail", Prim::ListTail),
+    ("memq", Prim::Memq),
+    ("memv", Prim::Memv),
+    ("member", Prim::Member),
+    ("assq", Prim::Assq),
+    ("assv", Prim::Assv),
+    ("assoc", Prim::Assoc),
+    ("list?", Prim::IsList),
+    ("first", Prim::Car),
+    ("rest", Prim::Cdr),
+    ("eq?", Prim::IsEq),
+    ("eqv?", Prim::IsEqv),
+    ("equal?", Prim::IsEqual),
+    ("not", Prim::Not),
+    ("boolean?", Prim::IsBoolean),
+    ("symbol?", Prim::IsSymbol),
+    ("string?", Prim::IsString),
+    ("char?", Prim::IsChar),
+    ("procedure?", Prim::IsProcedure),
+    ("void?", Prim::IsVoid),
+    ("char=?", Prim::CharEq),
+    ("char<?", Prim::CharLt),
+    ("char->integer", Prim::CharToInteger),
+    ("integer->char", Prim::IntegerToChar),
+    ("string=?", Prim::StringEq),
+    ("string<?", Prim::StringLt),
+    ("string-length", Prim::StringLength),
+    ("string-append", Prim::StringAppend),
+    ("substring", Prim::Substring),
+    ("string-ref", Prim::StringRef),
+    ("string->symbol", Prim::StringToSymbol),
+    ("symbol->string", Prim::SymbolToString),
+    ("number->string", Prim::NumberToString),
+    ("string->number", Prim::StringToNumber),
+    ("string->list", Prim::StringToList),
+    ("list->string", Prim::ListToString),
+    ("hash", Prim::Hash),
+    ("hash-set", Prim::HashSet),
+    ("hash-ref", Prim::HashRef),
+    ("hash-has-key?", Prim::HashHasKey),
+    ("hash-count", Prim::HashCount),
+    ("display", Prim::Display),
+    ("write", Prim::Write),
+    ("newline", Prim::Newline),
+    ("error", Prim::Error),
+    ("void", Prim::Void),
+    ("apply", Prim::Apply),
+    ("terminating/c", Prim::TerminatingC),
+    ("flat/c", Prim::FlatC),
+    ("->/c", Prim::ArrowC),
+    ("and/c", Prim::AndC),
+    ("contract", Prim::Contract),
+];
+
+impl Prim {
+    /// Looks up a primitive by surface name.
+    ///
+    /// ```
+    /// use sct_lang::Prim;
+    /// assert_eq!(Prim::from_name("cons"), Some(Prim::Cons));
+    /// assert_eq!(Prim::from_name("rest"), Some(Prim::Cdr)); // Racket alias
+    /// assert_eq!(Prim::from_name("no-such"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Prim> {
+        PRIMS.iter().find(|(n, _)| *n == name).map(|(_, p)| *p)
+    }
+
+    /// The canonical surface name of this primitive.
+    pub fn name(self) -> &'static str {
+        PRIMS
+            .iter()
+            .find(|(_, p)| *p == self)
+            .map(|(n, _)| *n)
+            .expect("every prim has a name")
+    }
+}
+
+impl std::fmt::Display for Prim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        for (name, prim) in PRIMS {
+            assert_eq!(Prim::from_name(name), Some(*prim), "lookup {name}");
+        }
+        // Canonical names map back to themselves (aliases map to canon).
+        assert_eq!(Prim::Cdr.name(), "cdr");
+        assert_eq!(Prim::IsNull.name(), "null?");
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let mut names: Vec<&str> = PRIMS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PRIMS.len(), "duplicate prim name");
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(Prim::Add.to_string(), "+");
+        assert_eq!(Prim::TerminatingC.to_string(), "terminating/c");
+    }
+}

@@ -1,0 +1,534 @@
+//! Lexical resolution: kernel syntax → core AST.
+//!
+//! Performs scope analysis (locals become frame/slot addresses, top-level
+//! names become global indices, unshadowed primitive names become direct
+//! [`Prim`] references), rejects unbound variables and duplicate parameters,
+//! and computes each lambda's free-variable list for closure fingerprinting.
+
+use crate::ast::{Expr, GlobalIndex, LambdaDef, Program, TopForm, VarRef};
+use crate::desugar::TERM_C_HEAD;
+use crate::prims::Prim;
+use crate::LangError;
+use sct_sexpr::Datum;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Resolves a desugared top-level program.
+///
+/// # Errors
+///
+/// Returns [`LangError`] on unbound variables, malformed kernel forms,
+/// duplicate parameters, or `set!` of a primitive.
+pub fn resolve_program(forms: &[Datum]) -> Result<Program, LangError> {
+    let mut resolver = Resolver::new();
+    // First pass: collect all global names so mutual recursion resolves.
+    for form in forms {
+        if let Some([_, Datum::Sym(name), _]) = form.as_list().filter(|_| form.head_is("define")) {
+            resolver.intern_global(name);
+        }
+    }
+    let mut top_level = Vec::new();
+    for form in forms {
+        match form.as_list() {
+            Some([_, Datum::Sym(name), init]) if form.head_is("define") => {
+                let index = resolver.intern_global(name);
+                let expr = resolver.expr(init, Some(name))?;
+                top_level.push(TopForm::Define { index, expr });
+            }
+            _ => {
+                let expr = resolver.expr(form, None)?;
+                top_level.push(TopForm::Expr(expr));
+            }
+        }
+    }
+    Ok(Program {
+        global_names: resolver.globals,
+        top_level,
+        lambda_count: resolver.lambda_counter,
+    })
+}
+
+struct Resolver {
+    globals: Vec<String>,
+    /// Innermost scope last; each scope is a frame's slot names.
+    scopes: Vec<Vec<String>>,
+    lambda_counter: u32,
+}
+
+fn err(msg: impl Into<String>) -> LangError {
+    LangError::new(msg)
+}
+
+impl Resolver {
+    fn new() -> Resolver {
+        Resolver { globals: Vec::new(), scopes: Vec::new(), lambda_counter: 0 }
+    }
+
+    fn intern_global(&mut self, name: &str) -> GlobalIndex {
+        match self.globals.iter().position(|g| g == name) {
+            Some(i) => i as GlobalIndex,
+            None => {
+                self.globals.push(name.to_string());
+                (self.globals.len() - 1) as GlobalIndex
+            }
+        }
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<VarRef> {
+        for (depth, frame) in self.scopes.iter().rev().enumerate() {
+            if let Some(slot) = frame.iter().position(|n| n == name) {
+                return Some(VarRef { depth: depth as u16, slot: slot as u16 });
+            }
+        }
+        None
+    }
+
+    fn variable(&mut self, name: &str) -> Result<Expr, LangError> {
+        if let Some(v) = self.lookup_local(name) {
+            return Ok(Expr::Var(v));
+        }
+        if let Some(i) = self.globals.iter().position(|g| g == name) {
+            return Ok(Expr::Global(i as GlobalIndex));
+        }
+        if let Some(p) = Prim::from_name(name) {
+            return Ok(Expr::PrimRef(p));
+        }
+        Err(err(format!("unbound variable {name}")))
+    }
+
+    fn expr(&mut self, d: &Datum, name_hint: Option<&str>) -> Result<Expr, LangError> {
+        match d {
+            Datum::Int(_) | Datum::BigInt(_) | Datum::Bool(_) | Datum::Char(_) | Datum::Str(_) => {
+                Ok(Expr::Quote(Rc::new(d.clone())))
+            }
+            Datum::Sym(name) => self.variable(name),
+            Datum::Improper(..) => Err(err(format!("illegal dotted expression {d}"))),
+            Datum::List(items) => self.list_form(items, d, name_hint),
+        }
+    }
+
+    fn list_form(
+        &mut self,
+        items: &[Datum],
+        whole: &Datum,
+        name_hint: Option<&str>,
+    ) -> Result<Expr, LangError> {
+        if items.is_empty() {
+            return Err(err("empty application ()"));
+        }
+        // A special-form head only applies when the name is not shadowed.
+        if let Some(head) = items[0].as_sym() {
+            let shadowed = self.lookup_local(head).is_some()
+                || self.globals.iter().any(|g| g == head);
+            if !shadowed {
+                match head {
+                    "quote" => {
+                        let [_, datum] = items else {
+                            return Err(err(format!("malformed quote: {whole}")));
+                        };
+                        return Ok(Expr::Quote(Rc::new(datum.clone())));
+                    }
+                    "lambda" => {
+                        let [_, params, body] = items else {
+                            return Err(err(format!("malformed kernel lambda: {whole}")));
+                        };
+                        return self.lambda(params, body, name_hint);
+                    }
+                    "if" => {
+                        let [_, c, t, e] = items else {
+                            return Err(err(format!("malformed kernel if: {whole}")));
+                        };
+                        return Ok(Expr::If {
+                            cond: Rc::new(self.expr(c, None)?),
+                            then_branch: Rc::new(self.expr(t, None)?),
+                            else_branch: Rc::new(self.expr(e, None)?),
+                        });
+                    }
+                    "begin" => {
+                        let body: Vec<Expr> = items[1..]
+                            .iter()
+                            .map(|e| self.expr(e, None))
+                            .collect::<Result<_, _>>()?;
+                        if body.is_empty() {
+                            return Err(err("empty begin"));
+                        }
+                        return Ok(Expr::Seq(Rc::from(body)));
+                    }
+                    "set!" => {
+                        let [_, Datum::Sym(name), value] = items else {
+                            return Err(err(format!("malformed set!: {whole}")));
+                        };
+                        let value = Rc::new(self.expr(value, None)?);
+                        if let Some(var) = self.lookup_local(name) {
+                            return Ok(Expr::SetLocal { var, value });
+                        }
+                        if let Some(i) = self.globals.iter().position(|g| g == name) {
+                            return Ok(Expr::SetGlobal { index: i as GlobalIndex, value });
+                        }
+                        if Prim::from_name(name).is_some() {
+                            return Err(err(format!("cannot set! primitive {name}")));
+                        }
+                        return Err(err(format!("set! of unbound variable {name}")));
+                    }
+                    "let" => {
+                        let [_, Datum::List(bindings), body] = items else {
+                            return Err(err(format!("malformed kernel let: {whole}")));
+                        };
+                        return self.let_form(bindings, body, false);
+                    }
+                    "letrec" => {
+                        let [_, Datum::List(bindings), body] = items else {
+                            return Err(err(format!("malformed kernel letrec: {whole}")));
+                        };
+                        return self.let_form(bindings, body, true);
+                    }
+                    h if h == TERM_C_HEAD => {
+                        let [_, Datum::Str(label), body] = items else {
+                            return Err(err(format!("malformed terminating/c: {whole}")));
+                        };
+                        return Ok(Expr::TermC {
+                            body: Rc::new(self.expr(body, name_hint)?),
+                            label: Rc::from(label.as_str()),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Application.
+        let func = Rc::new(self.expr(&items[0], None)?);
+        let args: Vec<Expr> =
+            items[1..].iter().map(|e| self.expr(e, None)).collect::<Result<_, _>>()?;
+        Ok(Expr::App { func, args: Rc::from(args) })
+    }
+
+    fn let_form(
+        &mut self,
+        bindings: &[Datum],
+        body: &Datum,
+        recursive: bool,
+    ) -> Result<Expr, LangError> {
+        let mut names = Vec::with_capacity(bindings.len());
+        let mut init_data = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            let Some([Datum::Sym(name), init]) = b.as_list() else {
+                return Err(err(format!("malformed binding {b}")));
+            };
+            if names.contains(name) {
+                return Err(err(format!("duplicate binding {name}")));
+            }
+            names.push(name.clone());
+            init_data.push((name.clone(), init.clone()));
+        }
+        if recursive {
+            self.scopes.push(names);
+            let inits: Vec<Expr> = init_data
+                .iter()
+                .map(|(n, e)| self.expr(e, Some(n)))
+                .collect::<Result<_, _>>()?;
+            let body = self.expr(body, None)?;
+            self.scopes.pop();
+            Ok(Expr::LetRec { inits: Rc::from(inits), body: Rc::new(body) })
+        } else {
+            let inits: Vec<Expr> = init_data
+                .iter()
+                .map(|(n, e)| self.expr(e, Some(n)))
+                .collect::<Result<_, _>>()?;
+            self.scopes.push(names);
+            let body = self.expr(body, None)?;
+            self.scopes.pop();
+            Ok(Expr::Let { inits: Rc::from(inits), body: Rc::new(body) })
+        }
+    }
+
+    fn lambda(
+        &mut self,
+        params: &Datum,
+        body: &Datum,
+        name_hint: Option<&str>,
+    ) -> Result<Expr, LangError> {
+        let (names, variadic) = parse_params(params)?;
+        let required = names.len() - usize::from(variadic);
+        self.scopes.push(names);
+        let body = self.expr(body, None)?;
+        self.scopes.pop();
+
+        let mut free = BTreeSet::new();
+        collect_free(&body, 1, &mut free);
+
+        let id = self.lambda_counter;
+        self.lambda_counter += 1;
+        Ok(Expr::Lambda(Rc::new(LambdaDef {
+            id,
+            name: name_hint.map(|s| s.to_string()),
+            params: required as u16,
+            variadic,
+            body,
+            free: free.into_iter().collect(),
+        })))
+    }
+}
+
+/// Parses a lambda parameter spec: `(a b)`, `(a b . rest)`, or `args`.
+/// Returns slot names (rest last) and whether the lambda is variadic.
+fn parse_params(params: &Datum) -> Result<(Vec<String>, bool), LangError> {
+    let mut names: Vec<String> = Vec::new();
+    let push = |d: &Datum, names: &mut Vec<String>| -> Result<(), LangError> {
+        let Datum::Sym(s) = d else {
+            return Err(err(format!("parameter is not a symbol: {d}")));
+        };
+        if names.contains(s) {
+            return Err(err(format!("duplicate parameter {s}")));
+        }
+        names.push(s.clone());
+        Ok(())
+    };
+    match params {
+        Datum::Sym(_) => {
+            push(params, &mut names)?;
+            Ok((names, true))
+        }
+        Datum::List(items) => {
+            for p in items {
+                push(p, &mut names)?;
+            }
+            Ok((names, false))
+        }
+        Datum::Improper(items, tail) => {
+            for p in items {
+                push(p, &mut names)?;
+            }
+            push(tail, &mut names)?;
+            Ok((names, true))
+        }
+        _ => Err(err(format!("malformed parameter list: {params}"))),
+    }
+}
+
+/// Collects variable references escaping a lambda.
+///
+/// `boundary` counts the frames introduced between the lambda's defining
+/// environment and the current expression (the lambda's own parameter frame
+/// counts as 1 at body start). A reference at `depth ≥ boundary` escapes,
+/// and `depth - boundary` addresses it from the defining environment.
+fn collect_free(expr: &Expr, boundary: u16, out: &mut BTreeSet<VarRef>) {
+    match expr {
+        Expr::Var(v) => {
+            if v.depth >= boundary {
+                out.insert(VarRef { depth: v.depth - boundary, slot: v.slot });
+            }
+        }
+        Expr::SetLocal { var, value } => {
+            if var.depth >= boundary {
+                out.insert(VarRef { depth: var.depth - boundary, slot: var.slot });
+            }
+            collect_free(value, boundary, out);
+        }
+        Expr::Lambda(def) => {
+            // The nested lambda's free refs are relative to *this* point.
+            for fv in &def.free {
+                if fv.depth >= boundary {
+                    out.insert(VarRef { depth: fv.depth - boundary, slot: fv.slot });
+                }
+            }
+        }
+        Expr::Quote(_) | Expr::Global(_) | Expr::PrimRef(_) => {}
+        Expr::If { cond, then_branch, else_branch } => {
+            collect_free(cond, boundary, out);
+            collect_free(then_branch, boundary, out);
+            collect_free(else_branch, boundary, out);
+        }
+        Expr::App { func, args } => {
+            collect_free(func, boundary, out);
+            for a in args.iter() {
+                collect_free(a, boundary, out);
+            }
+        }
+        Expr::Seq(exprs) => {
+            for e in exprs.iter() {
+                collect_free(e, boundary, out);
+            }
+        }
+        Expr::SetGlobal { value, .. } => collect_free(value, boundary, out),
+        Expr::Let { inits, body } => {
+            for i in inits.iter() {
+                collect_free(i, boundary, out);
+            }
+            collect_free(body, boundary + 1, out);
+        }
+        Expr::LetRec { inits, body } => {
+            for i in inits.iter() {
+                collect_free(i, boundary + 1, out);
+            }
+            collect_free(body, boundary + 1, out);
+        }
+        Expr::TermC { body, .. } => collect_free(body, boundary, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_program;
+
+    fn compile(src: &str) -> Program {
+        compile_program(src).unwrap_or_else(|e| panic!("compile failed for {src}: {e}"))
+    }
+
+    fn first_expr(p: &Program) -> &Expr {
+        match &p.top_level[0] {
+            TopForm::Expr(e) => e,
+            TopForm::Define { expr, .. } => expr,
+        }
+    }
+
+    #[test]
+    fn literals_and_prims() {
+        let p = compile("(+ 1 2)");
+        let Expr::App { func, args } = first_expr(&p) else { panic!() };
+        assert!(matches!(**func, Expr::PrimRef(Prim::Add)));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn lexical_addressing() {
+        let p = compile("(lambda (x) (lambda (y) (x y)))");
+        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
+        let Expr::Lambda(inner) = &outer.body else { panic!() };
+        let Expr::App { func, args } = &inner.body else { panic!() };
+        // x is one frame up, y is local.
+        assert!(matches!(**func, Expr::Var(VarRef { depth: 1, slot: 0 })));
+        assert!(matches!(args[0], Expr::Var(VarRef { depth: 0, slot: 0 })));
+        // Inner lambda's free list: x at depth 0 of its defining env.
+        assert_eq!(inner.free, vec![VarRef { depth: 0, slot: 0 }]);
+        // Outer lambda captures nothing.
+        assert!(outer.free.is_empty());
+    }
+
+    #[test]
+    fn free_vars_through_let() {
+        let p = compile("(lambda (x) (let ((a 1)) (lambda (y) (+ a x))))");
+        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
+        let Expr::Let { body, .. } = &outer.body else { panic!() };
+        let Expr::Lambda(inner) = &**body else { panic!() };
+        // Inner sees a at depth 1 (let frame) → free depth 0; x at depth 2 → free depth 1.
+        assert_eq!(
+            inner.free,
+            vec![VarRef { depth: 0, slot: 0 }, VarRef { depth: 1, slot: 0 }]
+        );
+        assert!(outer.free.is_empty(), "x is outer's own parameter");
+    }
+
+    #[test]
+    fn nested_lambda_free_propagates() {
+        // z is free in the innermost lambda and must surface in the middle
+        // lambda's free list too.
+        let p = compile("(lambda (z) (lambda (a) (lambda (b) z)))");
+        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
+        let Expr::Lambda(middle) = &outer.body else { panic!() };
+        assert_eq!(middle.free, vec![VarRef { depth: 0, slot: 0 }]);
+        assert!(outer.free.is_empty());
+    }
+
+    #[test]
+    fn globals_and_mutual_recursion() {
+        let p = compile(
+            "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+             (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+             (even? 10)",
+        );
+        assert_eq!(p.global_names, vec!["even?", "odd?"]);
+        // The reference to odd? inside even? is Global(1) even though odd?
+        // is defined later.
+        let TopForm::Define { expr: Expr::Lambda(def), .. } = &p.top_level[0] else { panic!() };
+        assert_eq!(def.name.as_deref(), Some("even?"));
+        assert!(def.free.is_empty(), "globals are not captured");
+    }
+
+    #[test]
+    fn user_definitions_shadow_prims() {
+        let p = compile("(define (car x) x) (car 5)");
+        let TopForm::Expr(Expr::App { func, .. }) = &p.top_level[1] else { panic!() };
+        assert!(matches!(**func, Expr::Global(0)), "user car shadows the primitive");
+    }
+
+    #[test]
+    fn locals_shadow_globals_and_prims() {
+        let p = compile("(define x 1) (lambda (x) x)");
+        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else { panic!() };
+        assert!(matches!(def.body, Expr::Var(VarRef { depth: 0, slot: 0 })));
+    }
+
+    #[test]
+    fn variadic_params() {
+        let p = compile("(lambda args args)");
+        let Expr::Lambda(def) = first_expr(&p) else { panic!() };
+        assert_eq!(def.params, 0);
+        assert!(def.variadic);
+        assert_eq!(def.frame_size(), 1);
+
+        let p = compile("(lambda (a b . r) r)");
+        let Expr::Lambda(def) = first_expr(&p) else { panic!() };
+        assert_eq!(def.params, 2);
+        assert!(def.variadic);
+        assert_eq!(def.frame_size(), 3);
+    }
+
+    #[test]
+    fn letrec_scoping() {
+        let p = compile("(letrec ((f (lambda (n) (f n)))) f)");
+        let Expr::LetRec { inits, body } = first_expr(&p) else { panic!() };
+        let Expr::Lambda(def) = &inits[0] else { panic!() };
+        assert_eq!(def.name.as_deref(), Some("f"));
+        // f refers to itself through the letrec frame: free at depth 0.
+        assert_eq!(def.free, vec![VarRef { depth: 0, slot: 0 }]);
+        assert!(matches!(**body, Expr::Var(VarRef { depth: 0, slot: 0 })));
+    }
+
+    #[test]
+    fn term_c_resolves() {
+        let p = compile("(terminating/c (lambda (x) x))");
+        let Expr::TermC { label, body } = first_expr(&p) else { panic!() };
+        assert!(label.contains("terminating/c#0"), "got {label}");
+        assert!(matches!(**body, Expr::Lambda(_)));
+    }
+
+    #[test]
+    fn resolution_errors() {
+        assert!(compile_program("nope").is_err());
+        assert!(compile_program("(set! nope 1)").is_err());
+        assert!(compile_program("(set! car 1)").is_err());
+        assert!(compile_program("(lambda (x x) x)").is_err());
+        assert!(compile_program("(let ((x 1) (x 2)) x)").is_err());
+    }
+
+    #[test]
+    fn set_local_and_global() {
+        let p = compile("(define g 0) (lambda (x) (set! x 1)) (set! g 2)");
+        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else { panic!() };
+        assert!(matches!(def.body, Expr::SetLocal { .. }));
+        let TopForm::Expr(Expr::SetGlobal { index: 0, .. }) = &p.top_level[2] else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn quoted_data_preserved() {
+        let p = compile("'(1 2 (3 . 4))");
+        let Expr::Quote(d) = first_expr(&p) else { panic!() };
+        assert_eq!(d.to_string(), "(1 2 (3 . 4))");
+    }
+
+    #[test]
+    fn ack_compiles_end_to_end() {
+        let p = compile(
+            "(define (ack m n)
+               (cond [(= 0 m) (+ 1 n)]
+                     [(= 0 n) (ack (- m 1) 1)]
+                     [else (ack (- m 1) (ack m (- n 1)))]))
+             (ack 2 0)",
+        );
+        assert_eq!(p.lambda_count, 1);
+        assert_eq!(p.global_names, vec!["ack"]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Surface-language integration: desugaring + resolution round-trips
+//! through the pretty-printer, and the full sugar suite compiles to
+//! well-formed kernel programs.
+
+use sct_lang::{compile_program, pretty};
+
+/// Renders a compiled program back to kernel syntax and recompiles it —
+/// the output must be a valid program with the same shape.
+fn recompiles(src: &str) {
+    let p1 = compile_program(src).unwrap_or_else(|e| panic!("compile {src}: {e}"));
+    let rendered = pretty::program_to_datums(&p1)
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let p2 = compile_program(&rendered)
+        .unwrap_or_else(|e| panic!("recompile failed: {e}\nrendered:\n{rendered}"));
+    assert_eq!(p1.global_names, p2.global_names, "globals preserved for {src}");
+    assert_eq!(p1.lambda_count, p2.lambda_count, "lambda count preserved for {src}");
+}
+
+#[test]
+fn kernel_roundtrip_battery() {
+    for src in [
+        "(define (f x) (+ x 1)) (f 2)",
+        "(define (ack m n) (cond [(= 0 m) (+ 1 n)] [(= 0 n) (ack (- m 1) 1)] [else (ack (- m 1) (ack m (- n 1)))])) (ack 2 3)",
+        "(let loop ([i 10] [acc 0]) (if (zero? i) acc (loop (- i 1) (+ acc i))))",
+        "(define (f . args) (length args)) (f 1 2 3)",
+        "(lambda (a b . rest) (cons a rest))",
+        "(define x 1) (set! x 2) x",
+        "(letrec ([e? (lambda (n) (if (zero? n) #t (o? (- n 1))))] [o? (lambda (n) (if (zero? n) #f (e? (- n 1))))]) (e? 8))",
+        "(begin 1 2 (begin 3 4))",
+        "'(quoted (structure . here))",
+        "(terminating/c (lambda (x) x))",
+        "(case 2 [(1) 'one] [(2) 'two] [else 'many])",
+        "(when #t 'yes)",
+        "(unless #f 'yes)",
+        "`(a ,(+ 1 2) ,@(list 3 4))",
+    ] {
+        recompiles(src);
+    }
+}
+
+#[test]
+fn sugar_expands_to_monitorable_kernel() {
+    // Named let becomes a letrec-bound lambda: exactly one extra lambda.
+    let p = compile_program("(let loop ([i 3]) (if (zero? i) 0 (loop (- i 1))))").unwrap();
+    assert_eq!(p.lambda_count, 1);
+
+    // cond with many clauses nests ifs, no lambdas.
+    let p = compile_program("(cond [1 'a] [2 'b] [3 'c] [else 'd])").unwrap();
+    assert_eq!(p.lambda_count, 0);
+
+    // and/or expand without creating closures either.
+    let p = compile_program("(or (and 1 2) (and 3 4) 5)").unwrap();
+    assert_eq!(p.lambda_count, 0);
+}
+
+#[test]
+fn comments_and_blocks_everywhere() {
+    let src = "
+; line comment
+(define (f x) #| block |# x)
+#;(this whole form is ignored (even (nested)))
+(f 42)";
+    let p = compile_program(src).unwrap();
+    assert_eq!(p.top_level.len(), 2);
+}
+
+#[test]
+fn error_cases_are_reported_not_panicked() {
+    for bad in [
+        "(",                       // parse error
+        "(lambda)",                // malformed lambda
+        "(define)",                // malformed define
+        "(let ([x]) x)",           // malformed binding
+        "(unbound-name 1)",        // unbound
+        "(set! 5 1)",              // bad set! target
+        "(cond [else 1] [2 3])",   // else not last
+        "(lambda (a a) a)",        // duplicate params
+        "(quote)",                 // malformed quote
+        "(a . b)",                 // dotted expression
+    ] {
+        assert!(compile_program(bad).is_err(), "{bad} should fail to compile");
+    }
+}
+
+#[test]
+fn deeply_nested_sugar() {
+    // A tower of sugar: named let inside cond inside quasiquote unquote
+    // inside let* — must compile and preserve binding structure.
+    let src = "
+(define (go n)
+  (let* ([base (cond [(even? n) 'even] [else 'odd])]
+         [l (let collect ([i n] [acc '()])
+              (if (zero? i) acc (collect (- i 1) (cons i acc))))])
+    `(tag ,base ,@l)))
+(go 4)";
+    let p = compile_program(src).unwrap();
+    assert_eq!(p.global_names, vec!["go"]);
+    recompiles(src);
+}

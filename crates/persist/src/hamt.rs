@@ -1,0 +1,443 @@
+//! Hash array mapped trie with 32-way branching.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+const BITS: u32 = 5;
+const FANOUT: u32 = 1 << BITS; // 32
+const MASK: u64 = (FANOUT - 1) as u64;
+/// Levels before the 64-bit hash is exhausted and we fall back to a
+/// collision bucket.
+const MAX_DEPTH: u32 = 64 / BITS; // 12
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+enum Node<K, V> {
+    /// Interior node: `bitmap` has a bit per occupied slot; `children` holds
+    /// the occupied slots in slot order.
+    Branch { bitmap: u32, children: Vec<Rc<Node<K, V>>> },
+    /// One or more entries whose hashes collide down to this depth.
+    Leaf { hash: u64, entries: Vec<(K, V)> },
+}
+
+fn slot(hash: u64, depth: u32) -> u32 {
+    ((hash >> (depth * BITS)) & MASK) as u32
+}
+
+/// A persistent hash map: every mutating operation returns a new map that
+/// shares almost all structure with its parent.
+///
+/// Requires `K: Hash + Eq + Clone` and `V: Clone`; clones happen only along
+/// the modified path.
+///
+/// # Examples
+///
+/// ```
+/// use sct_persist::PMap;
+///
+/// let base: PMap<u32, &str> = PMap::new().insert(1, "one").insert(2, "two");
+/// let updated = base.insert(1, "uno");
+/// assert_eq!(base.get(&1), Some(&"one"));
+/// assert_eq!(updated.get(&1), Some(&"uno"));
+/// ```
+pub struct PMap<K, V> {
+    root: Option<Rc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap::new()
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> PMap<K, V> {
+        PMap { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        let h = hash_of(key);
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf { hash, entries } => {
+                    if *hash != h {
+                        return None;
+                    }
+                    return entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                }
+                Node::Branch { bitmap, children } => {
+                    let s = slot(h, depth);
+                    let bit = 1u32 << s;
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    let idx = (bitmap & (bit - 1)).count_ones() as usize;
+                    node = &children[idx];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns a map extended (or overwritten) with `key → value`.
+    #[must_use = "PMap is persistent; insert returns the new map"]
+    pub fn insert(&self, key: K, value: V) -> PMap<K, V> {
+        let h = hash_of(&key);
+        let (root, added) = match &self.root {
+            None => (Rc::new(Node::Leaf { hash: h, entries: vec![(key, value)] }), true),
+            Some(node) => insert_node(node, 0, h, key, value),
+        };
+        PMap { root: Some(root), len: self.len + usize::from(added) }
+    }
+
+    /// Returns a map without `key` (unchanged if absent).
+    #[must_use = "PMap is persistent; remove returns the new map"]
+    pub fn remove(&self, key: &K) -> PMap<K, V> {
+        let h = hash_of(key);
+        match &self.root {
+            None => self.clone(),
+            Some(node) => match remove_node(node, 0, h, key) {
+                RemoveResult::NotFound => self.clone(),
+                RemoveResult::Empty => PMap { root: None, len: self.len - 1 },
+                RemoveResult::Replaced(n) => PMap { root: Some(n), len: self.len - 1 },
+            },
+        }
+    }
+
+    /// Iterates over entries in unspecified order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        if let Some(r) = &self.root {
+            stack.push(NodeIter::new(r));
+        }
+        Iter { stack }
+    }
+
+    /// Iterates over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+enum NodeIter<'a, K, V> {
+    Branch(&'a [Rc<Node<K, V>>], usize),
+    Leaf(&'a [(K, V)], usize),
+}
+
+impl<'a, K, V> NodeIter<'a, K, V> {
+    fn new(node: &'a Node<K, V>) -> Self {
+        match node {
+            Node::Branch { children, .. } => NodeIter::Branch(children, 0),
+            Node::Leaf { entries, .. } => NodeIter::Leaf(entries, 0),
+        }
+    }
+}
+
+/// Iterator over a [`PMap`]'s entries. Order is unspecified.
+pub struct Iter<'a, K, V> {
+    stack: Vec<NodeIter<'a, K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                NodeIter::Leaf(entries, i) => {
+                    if *i < entries.len() {
+                        let (k, v) = &entries[*i];
+                        *i += 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                NodeIter::Branch(children, i) => {
+                    if *i < children.len() {
+                        let child = &children[*i];
+                        *i += 1;
+                        let it = NodeIter::new(child);
+                        self.stack.push(it);
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn insert_node<K: Hash + Eq + Clone, V: Clone>(
+    node: &Rc<Node<K, V>>,
+    depth: u32,
+    h: u64,
+    key: K,
+    value: V,
+) -> (Rc<Node<K, V>>, bool) {
+    match node.as_ref() {
+        Node::Leaf { hash, entries } => {
+            if *hash == h {
+                let mut entries = entries.clone();
+                match entries.iter_mut().find(|(k, _)| *k == key) {
+                    Some(entry) => {
+                        entry.1 = value;
+                        (Rc::new(Node::Leaf { hash: h, entries }), false)
+                    }
+                    None => {
+                        entries.push((key, value));
+                        (Rc::new(Node::Leaf { hash: h, entries }), true)
+                    }
+                }
+            } else if depth >= MAX_DEPTH {
+                // Hash exhausted but hashes differ — cannot happen, since
+                // equal slots at every level imply equal hashes; defensive:
+                let mut entries = entries.clone();
+                entries.push((key, value));
+                (Rc::new(Node::Leaf { hash: h, entries }), true)
+            } else {
+                // Split: push the existing leaf down one level and retry.
+                let old_slot = slot(*hash, depth);
+                let branch = Rc::new(Node::Branch {
+                    bitmap: 1 << old_slot,
+                    children: vec![node.clone()],
+                });
+                insert_node(&branch, depth, h, key, value)
+            }
+        }
+        Node::Branch { bitmap, children } => {
+            let s = slot(h, depth);
+            let bit = 1u32 << s;
+            let idx = (bitmap & (bit - 1)).count_ones() as usize;
+            if bitmap & bit != 0 {
+                let (new_child, added) = insert_node(&children[idx], depth + 1, h, key, value);
+                let mut children = children.clone();
+                children[idx] = new_child;
+                (Rc::new(Node::Branch { bitmap: *bitmap, children }), added)
+            } else {
+                let mut children = children.clone();
+                children.insert(idx, Rc::new(Node::Leaf { hash: h, entries: vec![(key, value)] }));
+                (Rc::new(Node::Branch { bitmap: bitmap | bit, children }), true)
+            }
+        }
+    }
+}
+
+enum RemoveResult<K, V> {
+    NotFound,
+    Empty,
+    Replaced(Rc<Node<K, V>>),
+}
+
+fn remove_node<K: Hash + Eq + Clone, V: Clone>(
+    node: &Rc<Node<K, V>>,
+    depth: u32,
+    h: u64,
+    key: &K,
+) -> RemoveResult<K, V> {
+    match node.as_ref() {
+        Node::Leaf { hash, entries } => {
+            if *hash != h {
+                return RemoveResult::NotFound;
+            }
+            let Some(pos) = entries.iter().position(|(k, _)| k == key) else {
+                return RemoveResult::NotFound;
+            };
+            if entries.len() == 1 {
+                RemoveResult::Empty
+            } else {
+                let mut entries = entries.clone();
+                entries.remove(pos);
+                RemoveResult::Replaced(Rc::new(Node::Leaf { hash: h, entries }))
+            }
+        }
+        Node::Branch { bitmap, children } => {
+            let s = slot(h, depth);
+            let bit = 1u32 << s;
+            if bitmap & bit == 0 {
+                return RemoveResult::NotFound;
+            }
+            let idx = (bitmap & (bit - 1)).count_ones() as usize;
+            match remove_node(&children[idx], depth + 1, h, key) {
+                RemoveResult::NotFound => RemoveResult::NotFound,
+                RemoveResult::Replaced(child) => {
+                    let mut children = children.clone();
+                    children[idx] = child;
+                    RemoveResult::Replaced(Rc::new(Node::Branch { bitmap: *bitmap, children }))
+                }
+                RemoveResult::Empty => {
+                    if children.len() == 1 {
+                        RemoveResult::Empty
+                    } else {
+                        let mut children = children.clone();
+                        children.remove(idx);
+                        // Collapse a single-leaf branch into the leaf itself.
+                        if children.len() == 1 {
+                            if let Node::Leaf { .. } = children[0].as_ref() {
+                                return RemoveResult::Replaced(children[0].clone());
+                            }
+                        }
+                        RemoveResult::Replaced(Rc::new(Node::Branch {
+                            bitmap: bitmap & !bit,
+                            children,
+                        }))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone + PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone + Eq> Eq for PMap<K, V> {}
+
+impl<K: Hash + Eq + Clone, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        iter.into_iter().fold(PMap::new(), |m, (k, v)| m.insert(k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map() {
+        let m: PMap<u64, u64> = PMap::new();
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let m = PMap::new().insert(1u64, "a").insert(2, "b");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&"a"));
+        let m2 = m.insert(1, "z");
+        assert_eq!(m2.len(), 2);
+        assert_eq!(m2.get(&1), Some(&"z"));
+        assert_eq!(m.get(&1), Some(&"a"), "old version unchanged");
+    }
+
+    #[test]
+    fn remove_cases() {
+        let m: PMap<u64, u64> = (0..100).map(|i| (i, i * i)).collect();
+        assert_eq!(m.len(), 100);
+        let m2 = m.remove(&50);
+        assert_eq!(m2.len(), 99);
+        assert_eq!(m2.get(&50), None);
+        assert_eq!(m.get(&50), Some(&2500));
+        let m3 = m2.remove(&50);
+        assert_eq!(m3.len(), 99, "removing absent key is identity");
+        let mut shrinking = m;
+        for i in 0..100 {
+            shrinking = shrinking.remove(&i);
+        }
+        assert!(shrinking.is_empty());
+    }
+
+    #[test]
+    fn many_keys() {
+        let n = 10_000u64;
+        let m: PMap<u64, u64> = (0..n).map(|i| (i, i + 1)).collect();
+        assert_eq!(m.len(), n as usize);
+        for i in (0..n).step_by(371) {
+            assert_eq!(m.get(&i), Some(&(i + 1)));
+        }
+        assert_eq!(m.iter().count(), n as usize);
+        let sum: u64 = m.values().sum();
+        assert_eq!(sum, (1..=n).sum());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a: PMap<u64, u64> = (0..50).map(|i| (i, i)).collect();
+        let b: PMap<u64, u64> = (0..50).rev().map(|i| (i, i)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.insert(1, 99));
+        assert_ne!(a, b.remove(&0));
+    }
+
+    /// Keys engineered to collide in the low bits exercise deep splitting.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Colliding(u64);
+
+    impl Hash for Colliding {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            // Only 2 distinct hashes for all keys: mass collisions.
+            (self.0 % 2).hash(state);
+        }
+    }
+
+    #[test]
+    fn hash_collisions() {
+        let mut m = PMap::new();
+        for i in 0..64u64 {
+            m = m.insert(Colliding(i), i);
+        }
+        assert_eq!(m.len(), 64);
+        for i in 0..64u64 {
+            assert_eq!(m.get(&Colliding(i)), Some(&i), "lookup collided key {i}");
+        }
+        for i in (0..64u64).step_by(2) {
+            m = m.remove(&Colliding(i));
+        }
+        assert_eq!(m.len(), 32);
+        for i in 0..64u64 {
+            assert_eq!(m.get(&Colliding(i)).is_some(), i % 2 == 1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Persistent (immutable, structurally shared) hash maps and sets.
+//!
+//! The continuation-mark implementation strategy of §5 stores the *entire*
+//! size-change table in a continuation mark: a tail call replaces the mark,
+//! a return discards it, so the table seen after a call returns is exactly
+//! the caller's — the dynamic-extent discipline of the formal semantics,
+//! for free. That only works if tables are persistent values, like Racket's
+//! immutable hashes. This crate is that substrate: a hash array mapped trie
+//! ([`PMap`]) and a set wrapper ([`PSet`]), both with O(log₃₂ n) insert /
+//! lookup / remove and full structural sharing.
+//!
+//! # Examples
+//!
+//! ```
+//! use sct_persist::PMap;
+//!
+//! let m0: PMap<&str, i32> = PMap::new();
+//! let m1 = m0.insert("x", 1);
+//! let m2 = m1.insert("y", 2);
+//! assert_eq!(m0.len(), 0);            // older versions are untouched
+//! assert_eq!(m2.get(&"x"), Some(&1));
+//! assert_eq!(m2.len(), 2);
+//! ```
+
+mod hamt;
+mod pset;
+
+pub use hamt::PMap;
+pub use pset::PSet;

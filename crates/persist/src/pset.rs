@@ -1,0 +1,122 @@
+//! Persistent set built on [`PMap`].
+
+use crate::PMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A persistent hash set with structural sharing.
+///
+/// Used by the size-change core to hold the deduplicated set of composed
+/// size-change graphs per monitored function.
+///
+/// # Examples
+///
+/// ```
+/// use sct_persist::PSet;
+///
+/// let s = PSet::new().insert(3).insert(5);
+/// assert!(s.contains(&3));
+/// let s2 = s.insert(3);
+/// assert_eq!(s2.len(), 2);
+/// ```
+pub struct PSet<T> {
+    map: PMap<T, ()>,
+}
+
+impl<T> Clone for PSet<T> {
+    fn clone(&self) -> Self {
+        PSet { map: self.map.clone() }
+    }
+}
+
+impl<T> Default for PSet<T> {
+    fn default() -> Self {
+        PSet::new()
+    }
+}
+
+impl<T> PSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> PSet<T> {
+        PSet { map: PMap::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<T: Hash + Eq + Clone> PSet<T> {
+    /// True when the element is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.map.contains_key(value)
+    }
+
+    /// Returns a set extended with `value`.
+    #[must_use = "PSet is persistent; insert returns the new set"]
+    pub fn insert(&self, value: T) -> PSet<T> {
+        PSet { map: self.map.insert(value, ()) }
+    }
+
+    /// Returns a set without `value`.
+    #[must_use = "PSet is persistent; remove returns the new set"]
+    pub fn remove(&self, value: &T) -> PSet<T> {
+        PSet { map: self.map.remove(value) }
+    }
+
+    /// Iterates in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+}
+
+impl<T: Hash + Eq + Clone + fmt::Debug> fmt::Debug for PSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Hash + Eq + Clone> PartialEq for PSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|v| other.contains(v))
+    }
+}
+
+impl<T: Hash + Eq + Clone> Eq for PSet<T> {}
+
+impl<T: Hash + Eq + Clone> FromIterator<T> for PSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        iter.into_iter().fold(PSet::new(), |s, v| s.insert(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let s: PSet<u32> = (0..10).collect();
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&10));
+        let s2 = s.remove(&7);
+        assert!(!s2.contains(&7));
+        assert!(s.contains(&7));
+        assert_eq!(s.insert(3).len(), 10, "duplicate insert is identity on len");
+    }
+
+    #[test]
+    fn equality() {
+        let a: PSet<u32> = (0..5).collect();
+        let b: PSet<u32> = (0..5).rev().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.insert(99));
+    }
+}

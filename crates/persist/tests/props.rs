@@ -1,0 +1,82 @@
+//! Property tests: PMap agrees with std::collections::HashMap under random
+//! operation sequences, and persistence never mutates old versions.
+
+use proptest::prelude::*;
+use sct_persist::PMap;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 256, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 256)),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_hashmap(ops in ops_strategy()) {
+        let mut reference: HashMap<u16, u32> = HashMap::new();
+        let mut pmap: PMap<u16, u32> = PMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    reference.insert(*k, *v);
+                    pmap = pmap.insert(*k, *v);
+                }
+                Op::Remove(k) => {
+                    reference.remove(k);
+                    pmap = pmap.remove(k);
+                }
+            }
+            prop_assert_eq!(pmap.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            prop_assert_eq!(pmap.get(k), Some(v));
+        }
+        prop_assert_eq!(pmap.iter().count(), reference.len());
+        for (k, v) in pmap.iter() {
+            prop_assert_eq!(reference.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn old_versions_are_frozen(ops in ops_strategy()) {
+        // Record every intermediate version plus the reference state at that
+        // point; at the end, each snapshot must still agree.
+        let mut reference: HashMap<u16, u32> = HashMap::new();
+        let mut pmap: PMap<u16, u32> = PMap::new();
+        let mut snapshots: Vec<(PMap<u16, u32>, HashMap<u16, u32>)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    reference.insert(*k, *v);
+                    pmap = pmap.insert(*k, *v);
+                }
+                Op::Remove(k) => {
+                    reference.remove(k);
+                    pmap = pmap.remove(k);
+                }
+            }
+            if snapshots.len() < 20 {
+                snapshots.push((pmap.clone(), reference.clone()));
+            }
+        }
+        for (snap, reference) in &snapshots {
+            prop_assert_eq!(snap.len(), reference.len());
+            for (k, v) in reference {
+                prop_assert_eq!(snap.get(k), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quick driver: the Table-1 static column, paper vs. measured.
+
+use sct_corpus::{table1, Domain};
+use sct_symbolic::{verify_function, SymDomain, VerifyConfig};
+
+fn to_sym(d: Domain) -> SymDomain {
+    match d {
+        Domain::Nat => SymDomain::Nat,
+        Domain::Pos => SymDomain::Pos,
+        Domain::Int => SymDomain::Int,
+        Domain::List => SymDomain::List,
+        Domain::Any => SymDomain::Any,
+    }
+}
+
+fn main() {
+    println!("{:<14} {:>6} {:>6}   note", "program", "paper", "ours");
+    for p in table1::all() {
+        let Some(spec) = p.static_spec else {
+            println!("{:<14} {:>6} {:>6}   (no static spec)", p.id, p.paper.static_.cell(), "-");
+            continue;
+        };
+        let prog = sct_lang::compile_program(p.source).expect("compiles");
+        let domains: Vec<SymDomain> = spec.domains.iter().map(|d| to_sym(*d)).collect();
+        let verdict = verify_function(
+            &prog,
+            spec.function,
+            &domains,
+            to_sym(spec.result),
+            &VerifyConfig::default(),
+        );
+        let ours = if verdict.is_verified() { "Y" } else { "N" };
+        let agree = if (p.paper.static_ == sct_corpus::Verdict::Pass) == verdict.is_verified() {
+            ""
+        } else {
+            "  <-- differs"
+        };
+        println!("{:<14} {:>6} {:>6}   {}{}", p.id, p.paper.static_.cell(), ours, verdict, agree);
+    }
+}

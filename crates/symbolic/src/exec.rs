@@ -1,0 +1,866 @@
+//! The symbolic executor: λSSCT (Figure 8).
+//!
+//! Mirrors the monitored semantics, but arguments may be symbolic values
+//! constrained by a path condition. At every application of a closure
+//! whose λ is already on the current (abstract) call chain, the executor
+//! computes the *symbolic* size-change graph — arcs are must-descend /
+//! must-equal facts proved by the solver — records it in the function's
+//! graph set, and summarizes the call with a fresh symbolic result. This
+//! is the finitization: each λ body is explored at most once per chain, so
+//! the analysis terminates, and the recorded one-step graphs feed the
+//! Lee–Jones–Ben-Amram closure check (Figure 9).
+
+use crate::linear::LinCon;
+use crate::solver::{Branch, Delta, Solver};
+use crate::sym::{extend, lookup, AtomId, AtomKind, Path, SClosure, SEnv, SValue};
+use sct_core::graph::ScGraph;
+use sct_core::order::{SizeChange, WellFoundedOrder};
+use sct_interp::{datum_to_value, Value};
+use sct_lang::ast::{Expr, Program, TopForm};
+use sct_lang::{LambdaId, Prim};
+use sct_persist::PMap;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Resource limits for the exploration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Total `eval` invocations before giving up.
+    pub step_budget: u64,
+    /// Cap on simultaneous outcomes of one expression.
+    pub max_outcomes: usize,
+    /// Total budget for havoc callback applications.
+    pub havoc_budget: u32,
+    /// Maximum abstract chain length (defensive; chains are bounded by
+    /// the number of λs anyway).
+    pub max_chain: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { step_budget: 200_000, max_outcomes: 256, havoc_budget: 64, max_chain: 64 }
+    }
+}
+
+/// Argument domain for the entry function's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymDomain {
+    /// n ≥ 0.
+    Nat,
+    /// n ≥ 1.
+    Pos,
+    /// Any integer.
+    Int,
+    /// A proper list.
+    List,
+    /// Anything.
+    Any,
+}
+
+/// The entry function's invariant, re-checked at summarized self-calls
+/// (§4.2: "symbolic execution can also prove that the new arguments are
+/// natural numbers").
+#[derive(Debug, Clone)]
+pub struct EntryInvariant {
+    /// λ id of the entry function.
+    pub id: LambdaId,
+    /// Declared parameter domains.
+    pub domains: Vec<SymDomain>,
+    /// Declared result domain, assumed for summarized self-calls — the
+    /// function's range contract, exactly as checked-contract semantics
+    /// guarantees at run time (§4.2 uses it to type the nested ack call).
+    pub result: SymDomain,
+}
+
+/// One evaluation outcome along a path.
+#[derive(Debug, Clone)]
+pub enum SOut {
+    /// A value.
+    Val(SValue),
+    /// The path ended in a run-time error (which terminates the program,
+    /// so it is benign for termination verification).
+    Abort,
+}
+
+type Outcomes = Vec<(Path, SOut)>;
+type Chain = PMap<LambdaId, Rc<[SValue]>>;
+
+/// The symbolic executor.
+pub struct Executor<'p> {
+    program: &'p Program,
+    /// Limits.
+    pub config: ExecConfig,
+    /// Kinds of allocated atoms.
+    pub atom_kinds: Vec<AtomKind>,
+    /// Discovered self-call graphs per λ.
+    pub graphs: HashMap<LambdaId, Vec<ScGraph>>,
+    /// When set, the exploration was not exhaustive and the verdict must
+    /// be "not verified"; carries the first reason.
+    pub incomplete: Option<String>,
+    globals: Vec<SValue>,
+    steps: u64,
+    havoc_left: u32,
+    entry: Option<EntryInvariant>,
+}
+
+struct PathOrder<'a> {
+    kinds: &'a [AtomKind],
+    path: &'a Path,
+}
+
+impl<'a> WellFoundedOrder<SValue> for PathOrder<'a> {
+    fn relate(&self, old: &SValue, new: &SValue) -> SizeChange {
+        Solver::new(self.kinds).relate(self.path, old, new)
+    }
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor and evaluates the program's definitions.
+    pub fn new(program: &'p Program, config: ExecConfig) -> Executor<'p> {
+        let mut ex = Executor {
+            program,
+            config,
+            atom_kinds: Vec::new(),
+            graphs: HashMap::new(),
+            incomplete: None,
+            globals: vec![SValue::Conc(Value::Undefined); program.global_names.len()],
+            steps: 0,
+            havoc_left: 0,
+            entry: None,
+        };
+        ex.havoc_left = ex.config.havoc_budget;
+        ex.eval_globals();
+        ex
+    }
+
+    /// Sets the entry invariant checked at summarized entry self-calls.
+    pub fn set_entry(&mut self, entry: EntryInvariant) {
+        self.entry = Some(entry);
+    }
+
+    /// The current value of a global, by name.
+    pub fn global(&self, name: &str) -> Option<SValue> {
+        let i = self.program.global_index(name)?;
+        Some(self.globals[i as usize].clone())
+    }
+
+    /// Allocates a fresh atom.
+    pub fn fresh(&mut self, kind: AtomKind) -> SValue {
+        let id = self.atom_kinds.len() as AtomId;
+        self.atom_kinds.push(kind);
+        SValue::Atom(id)
+    }
+
+    /// Allocates an atom constrained by a domain, extending the path.
+    pub fn fresh_in_domain(&mut self, d: SymDomain, path: &Path) -> (SValue, Path) {
+        match d {
+            SymDomain::Nat => {
+                let a = self.fresh(AtomKind::Int);
+                let SValue::Atom(id) = a else { unreachable!() };
+                let p = path.assume(LinCon::ge0(crate::linear::Lin::var(id)));
+                (a, p)
+            }
+            SymDomain::Pos => {
+                let a = self.fresh(AtomKind::Int);
+                let SValue::Atom(id) = a else { unreachable!() };
+                let p = path.assume(LinCon::gt0(crate::linear::Lin::var(id)));
+                (a, p)
+            }
+            SymDomain::Int => (self.fresh(AtomKind::Int), path.clone()),
+            SymDomain::List => (self.fresh(AtomKind::List), path.clone()),
+            SymDomain::Any => (self.fresh(AtomKind::Any), path.clone()),
+        }
+    }
+
+    fn note_incomplete(&mut self, why: impl Into<String>) {
+        if self.incomplete.is_none() {
+            self.incomplete = Some(why.into());
+        }
+    }
+
+    fn eval_globals(&mut self) {
+        let forms = &self.program.top_level;
+        for form in forms {
+            if let TopForm::Define { index, expr } = form {
+                let outs = self.eval(expr, &None, Path::new(), &PMap::new());
+                match outs.as_slice() {
+                    [(_, SOut::Val(v))] => self.globals[*index as usize] = v.clone(),
+                    _ => {
+                        self.note_incomplete(format!(
+                            "definition of {} did not evaluate deterministically",
+                            self.program.global_names[*index as usize]
+                        ));
+                        let v = self.fresh(AtomKind::Any);
+                        self.globals[*index as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_delta(&mut self, path: &Path, d: &Delta) -> Option<Path> {
+        match d {
+            Delta::Lin(c) => {
+                if Solver::new(&self.atom_kinds).sat_with(path, Some(c)) {
+                    Some(path.assume(c.clone()))
+                } else {
+                    None
+                }
+            }
+            Delta::BindNil(a) => Some(path.bind(*a, SValue::Conc(Value::Nil))),
+            Delta::BindPair(a) => {
+                let cdr_kind = if self.atom_kinds[*a as usize] == AtomKind::List {
+                    AtomKind::List
+                } else {
+                    AtomKind::Any
+                };
+                let car = self.fresh(AtomKind::Any);
+                let cdr = self.fresh(cdr_kind);
+                Some(path.bind(*a, SValue::SPair(Rc::new((car, cdr)))))
+            }
+            Delta::None => Some(path.clone()),
+        }
+    }
+
+    /// Evaluates an expression to a set of path/outcome pairs.
+    pub fn eval(&mut self, e: &Expr, env: &SEnv, path: Path, chain: &Chain) -> Outcomes {
+        self.steps += 1;
+        if self.steps > self.config.step_budget {
+            self.note_incomplete("step budget exhausted");
+            return vec![(path, SOut::Abort)];
+        }
+        match e {
+            Expr::Quote(d) => vec![(path, SOut::Val(SValue::Conc(datum_to_value(d))))],
+            Expr::Var(v) => {
+                let val = lookup(env, v.depth, v.slot);
+                if matches!(val, SValue::Conc(Value::Undefined)) {
+                    return vec![(path, SOut::Abort)];
+                }
+                vec![(path, SOut::Val(val))]
+            }
+            Expr::Global(i) => {
+                let val = self.globals[*i as usize].clone();
+                if matches!(val, SValue::Conc(Value::Undefined)) {
+                    return vec![(path, SOut::Abort)];
+                }
+                vec![(path, SOut::Val(val))]
+            }
+            Expr::PrimRef(p) => vec![(path, SOut::Val(SValue::Conc(Value::Prim(*p))))],
+            Expr::Lambda(def) => vec![(
+                path,
+                SOut::Val(SValue::SClosure(Rc::new(SClosure { def: def.clone(), env: env.clone() }))),
+            )],
+            Expr::If { cond, then_branch, else_branch } => {
+                let mut out = Vec::new();
+                for (p, o) in self.eval(cond, env, path, chain) {
+                    match o {
+                        SOut::Abort => out.push((p, SOut::Abort)),
+                        SOut::Val(c) => {
+                            let branch = Solver::new(&self.atom_kinds).classify(&p, &c);
+                            match branch {
+                                Branch::Det(true) => {
+                                    out.extend(self.eval(then_branch, env, p, chain))
+                                }
+                                Branch::Det(false) => {
+                                    out.extend(self.eval(else_branch, env, p, chain))
+                                }
+                                Branch::Split { then_delta, else_delta } => {
+                                    if let Some(tp) = self.apply_delta(&p, &then_delta) {
+                                        out.extend(self.eval(then_branch, env, tp, chain));
+                                    }
+                                    if let Some(ep) = self.apply_delta(&p, &else_delta) {
+                                        out.extend(self.eval(else_branch, env, ep, chain));
+                                    }
+                                }
+                                Branch::Opaque => {
+                                    out.extend(self.eval(then_branch, env, p.clone(), chain));
+                                    out.extend(self.eval(else_branch, env, p, chain));
+                                }
+                            }
+                        }
+                    }
+                    if out.len() > self.config.max_outcomes {
+                        self.note_incomplete("outcome cap exceeded");
+                        break;
+                    }
+                }
+                out
+            }
+            Expr::App { func, args } => {
+                let mut out = Vec::new();
+                for (p, o) in self.eval(func, env, path, chain) {
+                    match o {
+                        SOut::Abort => out.push((p, SOut::Abort)),
+                        SOut::Val(f) => {
+                            for (p2, argres) in self.eval_args(args, env, p, chain) {
+                                match argres {
+                                    None => out.push((p2, SOut::Abort)),
+                                    Some(vals) => {
+                                        out.extend(self.apply(&f, vals, p2, chain));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if out.len() > self.config.max_outcomes {
+                        self.note_incomplete("outcome cap exceeded");
+                        break;
+                    }
+                }
+                out
+            }
+            Expr::Seq(exprs) => {
+                let mut states: Vec<(Path, SOut)> = vec![(path, SOut::Val(SValue::Conc(Value::Void)))];
+                for e in exprs.iter() {
+                    let mut next = Vec::new();
+                    for (p, o) in states {
+                        match o {
+                            SOut::Abort => next.push((p, SOut::Abort)),
+                            SOut::Val(_) => next.extend(self.eval(e, env, p, chain)),
+                        }
+                    }
+                    states = next;
+                    if states.len() > self.config.max_outcomes {
+                        self.note_incomplete("outcome cap exceeded");
+                        break;
+                    }
+                }
+                states
+            }
+            Expr::SetLocal { .. } | Expr::SetGlobal { .. } => {
+                self.note_incomplete("set! is not supported symbolically");
+                vec![(path, SOut::Abort)]
+            }
+            Expr::Let { inits, body } => {
+                let mut out = Vec::new();
+                for (p, argres) in self.eval_args(inits, env, path, chain) {
+                    match argres {
+                        None => out.push((p, SOut::Abort)),
+                        Some(vals) => {
+                            let new_env = extend(env, vals);
+                            out.extend(self.eval(body, &new_env, p, chain));
+                        }
+                    }
+                }
+                out
+            }
+            Expr::LetRec { inits, body } => {
+                let new_env = extend(env, vec![SValue::Conc(Value::Undefined); inits.len()]);
+                let mut p = path;
+                for (i, init) in inits.iter().enumerate() {
+                    let outs = self.eval(init, &new_env, p.clone(), chain);
+                    match outs.into_iter().next() {
+                        Some((p2, SOut::Val(v))) => {
+                            new_env.as_ref().unwrap().slots.borrow_mut()[i] = v;
+                            p = p2;
+                        }
+                        _ => {
+                            self.note_incomplete("letrec initializer forked or aborted");
+                            return vec![(p, SOut::Abort)];
+                        }
+                    }
+                }
+                self.eval(body, &new_env, p, chain)
+            }
+            Expr::TermC { body, .. } => self.eval(body, env, path, chain),
+        }
+    }
+
+    /// Evaluates a list of expressions left to right, threading paths.
+    /// `None` marks an aborted path.
+    fn eval_args(
+        &mut self,
+        exprs: &[Expr],
+        env: &SEnv,
+        path: Path,
+        chain: &Chain,
+    ) -> Vec<(Path, Option<Vec<SValue>>)> {
+        let mut states: Vec<(Path, Option<Vec<SValue>>)> = vec![(path, Some(Vec::new()))];
+        for e in exprs {
+            let mut next = Vec::new();
+            for (p, acc) in states {
+                match acc {
+                    None => next.push((p, None)),
+                    Some(vals) => {
+                        for (p2, o) in self.eval(e, env, p.clone(), chain) {
+                            match o {
+                                SOut::Abort => next.push((p2, None)),
+                                SOut::Val(v) => {
+                                    let mut vs = vals.clone();
+                                    vs.push(v);
+                                    next.push((p2, Some(vs)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            states = next;
+            if states.len() > self.config.max_outcomes {
+                self.note_incomplete("outcome cap exceeded");
+                states.truncate(self.config.max_outcomes);
+            }
+        }
+        states
+    }
+
+    /// Applies a (possibly symbolic) function value.
+    pub fn apply(&mut self, f: &SValue, args: Vec<SValue>, path: Path, chain: &Chain) -> Outcomes {
+        let f = path.resolve(f);
+        match &f {
+            SValue::SClosure(clo) => self.apply_closure(clo.clone(), args, path, chain),
+            SValue::Conc(Value::Prim(p)) => self.apply_prim(*p, args, path, chain),
+            SValue::Atom(_) | SValue::Term(..) => {
+                // Unknown function: havoc. Closure arguments may be called
+                // back with arbitrary inputs, so explore those too.
+                for arg in &args {
+                    if let SValue::SClosure(c) = path.resolve(arg) {
+                        if self.havoc_left > 0 {
+                            self.havoc_left -= 1;
+                            let mut fresh_args = Vec::new();
+                            let mut p = path.clone();
+                            for _ in 0..c.def.params {
+                                let (a, p2) = self.fresh_in_domain(SymDomain::Any, &p);
+                                p = p2;
+                                fresh_args.push(a);
+                            }
+                            let _ = self.apply_closure(c.clone(), fresh_args, p, chain);
+                        } else {
+                            self.note_incomplete("havoc budget exhausted");
+                        }
+                    }
+                }
+                let r = self.fresh(AtomKind::Any);
+                vec![(path, SOut::Val(r))]
+            }
+            _ => vec![(path, SOut::Abort)],
+        }
+    }
+
+    fn apply_closure(
+        &mut self,
+        clo: Rc<SClosure>,
+        mut args: Vec<SValue>,
+        path: Path,
+        chain: &Chain,
+    ) -> Outcomes {
+        let def = clo.def.clone();
+        let required = def.params as usize;
+        if def.variadic {
+            if args.len() < required {
+                return vec![(path, SOut::Abort)];
+            }
+            let rest = args.split_off(required);
+            let mut tail = SValue::Conc(Value::Nil);
+            for v in rest.into_iter().rev() {
+                tail = SValue::SPair(Rc::new((v, tail)));
+            }
+            args.push(tail);
+        } else if args.len() != required {
+            return vec![(path, SOut::Abort)];
+        }
+
+        if let Some(prev) = chain.get(&def.id) {
+            // Summarized self-call: record the symbolic size-change graph
+            // and return a fresh result (the finitization step).
+            let g = {
+                let order = PathOrder { kinds: &self.atom_kinds, path: &path };
+                ScGraph::from_args(&order, prev, &args)
+            };
+            let set = self.graphs.entry(def.id).or_default();
+            if !set.contains(&g) {
+                set.push(g);
+            }
+            let prev_args = prev.clone();
+            self.check_skip_invariant(def.id, &prev_args, &args, &path);
+            let result_domain = match self.entry.as_ref() {
+                Some(e) if e.id == def.id => e.result,
+                _ => SymDomain::Any,
+            };
+            let (r, path) = self.fresh_in_domain(result_domain, &path);
+            return vec![(path, SOut::Val(r))];
+        }
+        if chain.len() >= self.config.max_chain {
+            self.note_incomplete("chain depth cap exceeded");
+            let r = self.fresh(AtomKind::Any);
+            return vec![(path, SOut::Val(r))];
+        }
+        // Record the arguments *resolved at entry*: a later refinement of
+        // an entry-arbitrary atom is case analysis, so an atom stored here
+        // unrefined really did cover every value.
+        let entry_view: Vec<SValue> = args.iter().map(|a| path.resolve(a)).collect();
+        let chain2 = chain.insert(def.id, Rc::from(entry_view));
+        let env = extend(&clo.env, args);
+        self.eval(&def.body, &env, path, &chain2)
+    }
+
+    /// At a summarized self-call, the one symbolic body execution covers
+    /// all reachable entries only when the new arguments still satisfy the
+    /// entry condition (§4.2). For the entry function we re-check the
+    /// declared domains; for helpers we require kind-stability.
+    fn check_skip_invariant(&mut self, id: LambdaId, prev: &[SValue], new: &[SValue], path: &Path) {
+        let mut failures: Vec<String> = Vec::new();
+        {
+            let solver = Solver::new(&self.atom_kinds);
+            if let Some(entry) = self.entry.as_ref() {
+                if entry.id == id {
+                    for (d, arg) in entry.domains.iter().zip(new.iter()) {
+                        let ok = match d {
+                            SymDomain::Nat => solver
+                                .linearize(path, arg)
+                                .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::ge0(l))),
+                            SymDomain::Pos => solver
+                                .linearize(path, arg)
+                                .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::gt0(l))),
+                            SymDomain::Int => is_int_like(&solver, path, arg),
+                            SymDomain::List => is_list_like(path, arg, &self.atom_kinds),
+                            SymDomain::Any => true,
+                        };
+                        if !ok {
+                            failures.push(format!(
+                                "recursive call argument {} may leave the entry domain {:?}",
+                                arg.show(),
+                                d
+                            ));
+                        }
+                    }
+                } else {
+                    for (p, n) in prev.iter().zip(new.iter()) {
+                        if !kind_stable(&solver, path, p, n, &self.atom_kinds) {
+                            failures.push(format!(
+                                "recursive call argument changed kind: {} vs {}",
+                                p.show(),
+                                n.show()
+                            ));
+                        }
+                    }
+                }
+            } else {
+                for (p, n) in prev.iter().zip(new.iter()) {
+                    if !kind_stable(&solver, path, p, n, &self.atom_kinds) {
+                        failures.push(format!(
+                            "recursive call argument changed kind: {} vs {}",
+                            p.show(),
+                            n.show()
+                        ));
+                    }
+                }
+            }
+        }
+        for f in failures {
+            self.note_incomplete(f);
+        }
+    }
+
+    // ----- primitives ---------------------------------------------------
+
+    fn apply_prim(&mut self, p: Prim, args: Vec<SValue>, path: Path, chain: &Chain) -> Outcomes {
+        match p {
+            Prim::TerminatingC => {
+                // term/c is transparent to the static analysis: the wrapped
+                // behavior is exactly what is being verified.
+                match args.into_iter().next() {
+                    Some(v) => return vec![(path, SOut::Val(v))],
+                    None => return vec![(path, SOut::Abort)],
+                }
+            }
+            Prim::Error => return vec![(path, SOut::Abort)],
+            Prim::Apply => {
+                let mut args = args;
+                if args.len() < 2 {
+                    return vec![(path, SOut::Abort)];
+                }
+                let f = args.remove(0);
+                let tail = args.pop().unwrap();
+                match list_elements(&path, &tail) {
+                    Some(spread) => {
+                        args.extend(spread);
+                        return self.apply(&f, args, path, chain);
+                    }
+                    None => {
+                        self.note_incomplete("apply with symbolic argument list");
+                        let r = self.fresh(AtomKind::Any);
+                        return vec![(path, SOut::Val(r))];
+                    }
+                }
+            }
+            Prim::Contract | Prim::FlatC | Prim::ArrowC | Prim::AndC => {
+                self.note_incomplete("contract combinators are not modeled symbolically");
+                let r = self.fresh(AtomKind::Any);
+                return vec![(path, SOut::Val(r))];
+            }
+            _ => {}
+        }
+
+        // Fully concrete arguments: run the real primitive.
+        if args.iter().all(|a| matches!(path.resolve(a), SValue::Conc(_))) {
+            let conc: Vec<Value> = args
+                .iter()
+                .map(|a| match path.resolve(a) {
+                    SValue::Conc(v) => v,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return match sct_interp::prims::call_prim(p, &conc) {
+                Ok(effect) => {
+                    let v = match effect {
+                        sct_interp::prims::PrimEffect::Value(v) => v,
+                        sct_interp::prims::PrimEffect::Output(_, v) => v,
+                    };
+                    vec![(path, SOut::Val(SValue::Conc(v)))]
+                }
+                Err(_) => vec![(path, SOut::Abort)],
+            };
+        }
+
+        // Symbolic cases.
+        match p {
+            Prim::Cons => {
+                let mut it = args.into_iter();
+                match (it.next(), it.next()) {
+                    (Some(a), Some(d)) => {
+                        vec![(path, SOut::Val(SValue::SPair(Rc::new((a, d)))))]
+                    }
+                    _ => vec![(path, SOut::Abort)],
+                }
+            }
+            Prim::List => {
+                let mut tail = SValue::Conc(Value::Nil);
+                for v in args.into_iter().rev() {
+                    tail = SValue::SPair(Rc::new((v, tail)));
+                }
+                vec![(path, SOut::Val(tail))]
+            }
+            Prim::Car | Prim::Cdr | Prim::Caar | Prim::Cadr | Prim::Cdar | Prim::Cddr
+            | Prim::Caddr | Prim::Cdddr | Prim::Cadddr => {
+                if args.len() != 1 {
+                    return vec![(path, SOut::Abort)];
+                }
+                let word = match p {
+                    Prim::Car => "a",
+                    Prim::Cdr => "d",
+                    Prim::Caar => "aa",
+                    Prim::Cadr => "ad",
+                    Prim::Cdar => "da",
+                    Prim::Cddr => "dd",
+                    Prim::Caddr => "add",
+                    Prim::Cdddr => "ddd",
+                    _ => "addd",
+                };
+                let mut cur = args[0].clone();
+                let mut cur_path = path;
+                for c in word.chars().rev() {
+                    match self.project(&cur, c == 'a', cur_path.clone()) {
+                        Some((v, p2)) => {
+                            cur = v;
+                            cur_path = p2;
+                        }
+                        None => return vec![(cur_path, SOut::Abort)],
+                    }
+                }
+                vec![(cur_path, SOut::Val(cur))]
+            }
+            // Arithmetic keeps symbolic structure for the solver.
+            Prim::Add | Prim::Sub | Prim::Mul | Prim::Quotient | Prim::Remainder
+            | Prim::Modulo | Prim::Abs | Prim::Min | Prim::Max | Prim::Add1 | Prim::Sub1
+            | Prim::Gcd | Prim::Expt => {
+                vec![(path, SOut::Val(SValue::Term(p, Rc::from(args))))]
+            }
+            // Predicates and comparisons stay symbolic; `classify` gives
+            // them meaning at branches.
+            Prim::NumEq | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge | Prim::IsZero
+            | Prim::IsNegative | Prim::IsPositive | Prim::IsEven | Prim::IsOdd
+            | Prim::IsNumber | Prim::IsInteger | Prim::Not | Prim::IsNull | Prim::IsPair
+            | Prim::IsBoolean | Prim::IsSymbol | Prim::IsString | Prim::IsChar
+            | Prim::IsProcedure | Prim::IsVoid | Prim::IsEq | Prim::IsEqv | Prim::IsEqual
+            | Prim::CharEq | Prim::CharLt | Prim::StringEq | Prim::StringLt | Prim::IsList => {
+                vec![(path, SOut::Val(SValue::Term(p, Rc::from(args))))]
+            }
+            // Searches with a symbolic key over a known spine fork over
+            // the possible hits (what `dderiv`'s dispatch table needs — its
+            // table holds closures, so the hit must be the *actual* entry,
+            // not a havoc atom, or the dispatched call goes unexplored).
+            Prim::Assq | Prim::Assv | Prim::Assoc => {
+                if let Some(entries) = list_elements(&path, &args[1]) {
+                    let mut out: Outcomes = entries
+                        .into_iter()
+                        .map(|e| (path.clone(), SOut::Val(e)))
+                        .collect();
+                    out.push((path, SOut::Val(SValue::Conc(Value::Bool(false)))));
+                    out
+                } else {
+                    let r = self.fresh(AtomKind::Any);
+                    vec![(path, SOut::Val(r))]
+                }
+            }
+            Prim::Memq | Prim::Memv | Prim::Member => {
+                match list_suffixes(&path, &args[1]) {
+                    Some(suffixes) => {
+                        let mut out: Outcomes = suffixes
+                            .into_iter()
+                            .map(|sfx| (path.clone(), SOut::Val(sfx)))
+                            .collect();
+                        out.push((path, SOut::Val(SValue::Conc(Value::Bool(false)))));
+                        out
+                    }
+                    None => {
+                        let r = self.fresh(AtomKind::Any);
+                        vec![(path, SOut::Val(r))]
+                    }
+                }
+            }
+            Prim::Length | Prim::StringLength | Prim::CharToInteger | Prim::HashCount => {
+                let r = self.fresh(AtomKind::Int);
+                vec![(path, SOut::Val(r))]
+            }
+            Prim::Append | Prim::Reverse | Prim::ListTail => {
+                let kind = if args.iter().all(|a| is_list_like(&path, a, &self.atom_kinds)) {
+                    AtomKind::List
+                } else {
+                    AtomKind::Any
+                };
+                let r = self.fresh(kind);
+                vec![(path, SOut::Val(r))]
+            }
+            _ => {
+                let r = self.fresh(AtomKind::Any);
+                vec![(path, SOut::Val(r))]
+            }
+        }
+    }
+
+    /// Projects car/cdr out of a possibly symbolic pair, refining atoms.
+    fn project(&mut self, v: &SValue, car: bool, path: Path) -> Option<(SValue, Path)> {
+        match path.resolve(v) {
+            SValue::SPair(p) => Some((if car { p.0.clone() } else { p.1.clone() }, path)),
+            SValue::Conc(Value::Pair(p)) => Some((
+                SValue::Conc(if car { p.car.clone() } else { p.cdr.clone() }),
+                path,
+            )),
+            SValue::Atom(a) => {
+                let kind = self.atom_kinds[a as usize];
+                if kind == AtomKind::Int {
+                    return None;
+                }
+                let cdr_kind = if kind == AtomKind::List { AtomKind::List } else { AtomKind::Any };
+                let car_v = self.fresh(AtomKind::Any);
+                let cdr_v = self.fresh(cdr_kind);
+                let p2 = path.bind(a, SValue::SPair(Rc::new((car_v.clone(), cdr_v.clone()))));
+                Some((if car { car_v } else { cdr_v }, p2))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Collects list elements through symbolic pairs when the spine is known.
+fn list_elements(path: &Path, v: &SValue) -> Option<Vec<SValue>> {
+    let mut out = Vec::new();
+    let mut cur = path.resolve(v);
+    loop {
+        match cur {
+            SValue::Conc(Value::Nil) => return Some(out),
+            SValue::Conc(Value::Pair(p)) => {
+                out.push(SValue::Conc(p.car.clone()));
+                cur = SValue::Conc(p.cdr.clone());
+            }
+            SValue::SPair(p) => {
+                out.push(p.0.clone());
+                cur = path.resolve(&p.1);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// True when a value is integer-valued on every concretization: a linear
+/// term, or any arithmetic primitive application (total on integers).
+fn is_int_like(solver: &Solver<'_>, path: &Path, v: &SValue) -> bool {
+    if solver.linearize(path, v).is_some() {
+        return true;
+    }
+    matches!(
+        path.resolve(v),
+        SValue::Term(
+            Prim::Add
+                | Prim::Sub
+                | Prim::Mul
+                | Prim::Quotient
+                | Prim::Remainder
+                | Prim::Modulo
+                | Prim::Abs
+                | Prim::Min
+                | Prim::Max
+                | Prim::Add1
+                | Prim::Sub1
+                | Prim::Gcd
+                | Prim::Expt,
+            _
+        )
+    ) || matches!(path.resolve(v), SValue::Conc(Value::Int(_)))
+}
+
+/// All non-empty suffixes of a value with a fully known spine.
+fn list_suffixes(path: &Path, v: &SValue) -> Option<Vec<SValue>> {
+    let mut out = Vec::new();
+    let mut cur = path.resolve(v);
+    loop {
+        match cur {
+            SValue::Conc(Value::Nil) => return Some(out),
+            SValue::Conc(Value::Pair(ref p)) => {
+                out.push(cur.clone());
+                cur = SValue::Conc(p.cdr.clone());
+            }
+            SValue::SPair(ref p) => {
+                out.push(cur.clone());
+                let next = path.resolve(&p.1);
+                cur = next;
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn is_list_like(path: &Path, v: &SValue, kinds: &[AtomKind]) -> bool {
+    match path.resolve(v) {
+        SValue::Conc(Value::Nil) => true,
+        SValue::Conc(Value::Pair(_)) => true,
+        SValue::SPair(_) => true,
+        SValue::Atom(a) => kinds.get(a as usize).copied() == Some(AtomKind::List),
+        _ => false,
+    }
+}
+
+/// Coverage check for summarized calls of non-entry functions: the new
+/// argument must have the same "kind" as the one the body was explored
+/// with, so that the one exploration stands for all.
+fn kind_stable(solver: &Solver<'_>, path: &Path, prev: &SValue, new: &SValue, kinds: &[AtomKind]) -> bool {
+    // The chain stores arguments as resolved at entry; an Any-kinded atom
+    // there means the body was explored against a fully arbitrary value,
+    // which covers any new argument.
+    if let SValue::Atom(a) = prev {
+        if kinds.get(*a as usize).copied() == Some(AtomKind::Any) {
+            return true;
+        }
+    }
+    if prev.syn_eq(&path.resolve(new)) || path.resolve(prev).syn_eq(&path.resolve(new)) {
+        return true;
+    }
+    if is_int_like(solver, path, prev) && is_int_like(solver, path, new) {
+        return true;
+    }
+    if is_list_like(path, prev, kinds) && is_list_like(path, new, kinds) {
+        return true;
+    }
+    let clo = |v: &SValue| matches!(path.resolve(v), SValue::SClosure(_) | SValue::Conc(Value::Prim(_)));
+    if clo(prev) && clo(new) {
+        return true;
+    }
+    // Both fully concrete values of the same type are fine.
+    if let (SValue::Conc(a), SValue::Conc(b)) = (path.resolve(prev), path.resolve(new)) {
+        if a.type_name() == b.type_name() {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,42 @@
+//! Static size-change-termination verification (§4 of the paper).
+//!
+//! The verifier is the dynamic monitor run under higher-order symbolic
+//! execution: no termination-specific abstraction, just (1) symbolic
+//! values and path conditions (Figure 8), (2) a solver proving the
+//! must-descend / must-equal facts that Figure 4's `graph` needs — here a
+//! built-in Fourier–Motzkin linear-arithmetic core plus structural subterm
+//! reasoning, standing in for an SMT back end — and (3) the classic
+//! Lee–Jones–Ben-Amram criterion over the finitely many discovered
+//! self-call graphs (Figure 9).
+//!
+//! # Examples
+//!
+//! Verifying Ackermann on symbolic naturals (§4.2):
+//!
+//! ```
+//! use sct_lang::compile_program;
+//! use sct_symbolic::{verify_function, SymDomain, VerifyConfig};
+//!
+//! let prog = compile_program(
+//!     "(define (ack m n)
+//!        (cond [(= 0 m) (+ 1 n)]
+//!              [(= 0 n) (ack (- m 1) 1)]
+//!              [else (ack (- m 1) (ack m (- n 1)))]))",
+//! ).unwrap();
+//! let verdict = verify_function(
+//!     &prog, "ack", &[SymDomain::Nat, SymDomain::Nat], SymDomain::Nat,
+//!     &VerifyConfig::default());
+//! assert!(verdict.is_verified(), "{verdict}");
+//! ```
+
+pub mod exec;
+pub mod linear;
+pub mod solver;
+pub mod sym;
+pub mod verify;
+
+pub use exec::{ExecConfig, Executor, SymDomain};
+pub use linear::{entails, unsat, Lin, LinCon};
+pub use solver::Solver;
+pub use sym::{AtomKind, Path, SValue};
+pub use verify::{verify_function, StaticVerdict, VerifyConfig};

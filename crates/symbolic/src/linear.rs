@@ -1,0 +1,299 @@
+//! Linear integer terms and constraints, plus a Fourier–Motzkin
+//! unsatisfiability test — the arithmetic half of the built-in solver
+//! standing in for an SMT back end.
+//!
+//! Soundness story: we only ever use `unsat` to *refute* `φ ∧ ¬ψ` when
+//! proving `φ ⊨ ψ`. Fourier–Motzkin over the rationals is complete for
+//! rational systems, and rational unsatisfiability implies integer
+//! unsatisfiability, so every `true` answer is sound. Integer-only
+//! unsatisfiable systems may be reported satisfiable, which only makes the
+//! verifier more conservative (fewer arcs, more "not verified").
+
+use crate::sym::AtomId;
+
+/// A linear expression `k + Σ cᵢ·xᵢ` with `i128` arithmetic (inputs are
+/// `i64`-bounded, so products cannot overflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lin {
+    /// Constant term.
+    pub k: i128,
+    /// Sorted, deduplicated (atom, coefficient) pairs; no zero coefficients.
+    pub terms: Vec<(AtomId, i128)>,
+}
+
+impl Lin {
+    /// The constant expression.
+    pub fn constant(k: i128) -> Lin {
+        Lin { k, terms: Vec::new() }
+    }
+
+    /// A single variable.
+    pub fn var(a: AtomId) -> Lin {
+        Lin { k: 0, terms: vec![(a, 1)] }
+    }
+
+    /// True when the expression has no variables.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn normalize(mut self) -> Lin {
+        self.terms.sort_by_key(|(a, _)| *a);
+        let mut out: Vec<(AtomId, i128)> = Vec::with_capacity(self.terms.len());
+        for (a, c) in self.terms {
+            match out.last_mut() {
+                Some((b, acc)) if *b == a => *acc += c,
+                _ => out.push((a, c)),
+            }
+        }
+        out.retain(|(_, c)| *c != 0);
+        Lin { k: self.k, terms: out }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Lin) -> Lin {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().copied());
+        Lin { k: self.k + other.k, terms }.normalize()
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.scale(-1))
+    }
+
+    /// `c · self`.
+    pub fn scale(&self, c: i128) -> Lin {
+        Lin { k: self.k * c, terms: self.terms.iter().map(|(a, x)| (*a, x * c)).collect() }
+            .normalize()
+    }
+
+    /// Coefficient of a variable (0 when absent).
+    pub fn coeff(&self, a: AtomId) -> i128 {
+        self.terms.iter().find(|(b, _)| *b == a).map_or(0, |(_, c)| *c)
+    }
+}
+
+/// Relation of a [`Lin`] against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConOp {
+    /// `lin ≥ 0`.
+    Ge0,
+    /// `lin = 0`.
+    Eq0,
+    /// `lin ≠ 0`.
+    Ne0,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinCon {
+    /// The expression.
+    pub lin: Lin,
+    /// Its relation to zero.
+    pub op: ConOp,
+}
+
+impl LinCon {
+    /// `lin ≥ 0`.
+    pub fn ge0(lin: Lin) -> LinCon {
+        LinCon { lin, op: ConOp::Ge0 }
+    }
+
+    /// `lin > 0`, tightened to `lin - 1 ≥ 0` (integers).
+    pub fn gt0(lin: Lin) -> LinCon {
+        LinCon { lin: lin.add(&Lin::constant(-1)), op: ConOp::Ge0 }
+    }
+
+    /// `lin = 0`.
+    pub fn eq0(lin: Lin) -> LinCon {
+        LinCon { lin, op: ConOp::Eq0 }
+    }
+
+    /// `lin ≠ 0`.
+    pub fn ne0(lin: Lin) -> LinCon {
+        LinCon { lin, op: ConOp::Ne0 }
+    }
+
+    /// The negation of this constraint (integers: ¬(x ≥ 0) is −x−1 ≥ 0).
+    pub fn negate(&self) -> LinCon {
+        match self.op {
+            ConOp::Ge0 => LinCon::ge0(self.lin.scale(-1).add(&Lin::constant(-1))),
+            ConOp::Eq0 => LinCon::ne0(self.lin.clone()),
+            ConOp::Ne0 => LinCon::eq0(self.lin.clone()),
+        }
+    }
+}
+
+/// Row cap: beyond this the test gives up (reports "satisfiable", the
+/// conservative answer).
+const MAX_ROWS: usize = 4_000;
+
+/// Decides unsatisfiability of a conjunction of constraints (soundly:
+/// `true` is definitive, `false` may mean "unknown").
+pub fn unsat(cons: &[LinCon]) -> bool {
+    // Expand Ne into two branches; all branches must be unsat.
+    let mut ge_rows: Vec<Lin> = Vec::new();
+    let mut nes: Vec<Lin> = Vec::new();
+    for c in cons {
+        match c.op {
+            ConOp::Ge0 => ge_rows.push(c.lin.clone()),
+            ConOp::Eq0 => {
+                ge_rows.push(c.lin.clone());
+                ge_rows.push(c.lin.scale(-1));
+            }
+            ConOp::Ne0 => nes.push(c.lin.clone()),
+        }
+    }
+    unsat_branches(ge_rows, &nes)
+}
+
+fn unsat_branches(ge_rows: Vec<Lin>, nes: &[Lin]) -> bool {
+    match nes.split_first() {
+        None => fm_unsat(ge_rows),
+        Some((ne, rest)) => {
+            // x ≠ 0 over ℤ: x ≥ 1 or x ≤ −1.
+            let mut pos = ge_rows.clone();
+            pos.push(ne.add(&Lin::constant(-1)));
+            let mut neg = ge_rows;
+            neg.push(ne.scale(-1).add(&Lin::constant(-1)));
+            unsat_branches(pos, rest) && unsat_branches(neg, rest)
+        }
+    }
+}
+
+/// Fourier–Motzkin elimination over the rationals on `lin ≥ 0` rows.
+fn fm_unsat(mut rows: Vec<Lin>) -> bool {
+    loop {
+        // Constant rows decide; drop trivially true ones.
+        let mut contradiction = false;
+        rows.retain(|r| {
+            if r.is_const() {
+                if r.k < 0 {
+                    contradiction = true;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if contradiction {
+            return true;
+        }
+        // Pick the variable occurring in the fewest rows to limit blowup.
+        let mut var_count: std::collections::HashMap<AtomId, usize> = std::collections::HashMap::new();
+        for r in &rows {
+            for (a, _) in &r.terms {
+                *var_count.entry(*a).or_insert(0) += 1;
+            }
+        }
+        let Some((&var, _)) = var_count.iter().min_by_key(|(_, n)| **n) else {
+            return false; // no variables left, no contradiction
+        };
+        let (with_var, without): (Vec<Lin>, Vec<Lin>) =
+            rows.into_iter().partition(|r| r.coeff(var) != 0);
+        let (pos, neg): (Vec<Lin>, Vec<Lin>) =
+            with_var.into_iter().partition(|r| r.coeff(var) > 0);
+        let mut next = without;
+        for p in &pos {
+            for n in &neg {
+                // cp > 0, cn < 0: eliminate var via (-cn)·p + cp·n.
+                let cp = p.coeff(var);
+                let cn = n.coeff(var);
+                let combined = p.scale(-cn).add(&n.scale(cp));
+                debug_assert_eq!(combined.coeff(var), 0);
+                next.push(combined);
+            }
+        }
+        if next.len() > MAX_ROWS {
+            return false; // give up conservatively
+        }
+        rows = next;
+    }
+}
+
+/// Proves `assumptions ⊨ goal` by refutation.
+pub fn entails(assumptions: &[LinCon], goal: &LinCon) -> bool {
+    let mut sys = assumptions.to_vec();
+    sys.push(goal.negate());
+    unsat(&sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(a: AtomId) -> Lin {
+        Lin::var(a)
+    }
+
+    fn c(k: i128) -> Lin {
+        Lin::constant(k)
+    }
+
+    #[test]
+    fn arithmetic_on_lin() {
+        let e = v(1).scale(2).add(&v(2)).add(&c(3)); // 2x + y + 3
+        assert_eq!(e.coeff(1), 2);
+        assert_eq!(e.coeff(2), 1);
+        assert_eq!(e.k, 3);
+        let z = e.sub(&e);
+        assert!(z.is_const());
+        assert_eq!(z.k, 0);
+    }
+
+    #[test]
+    fn simple_contradictions() {
+        // x ≥ 1 ∧ −x ≥ 0 is unsat.
+        assert!(unsat(&[LinCon::ge0(v(1).add(&c(-1))), LinCon::ge0(v(1).scale(-1))]));
+        // x ≥ 0 ∧ x ≤ 5 is sat.
+        assert!(!unsat(&[LinCon::ge0(v(1)), LinCon::ge0(c(5).sub(&v(1)))]));
+        // x = 3 ∧ x ≠ 3 is unsat.
+        assert!(unsat(&[
+            LinCon::eq0(v(1).sub(&c(3))),
+            LinCon::ne0(v(1).sub(&c(3))),
+        ]));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        // x ≥ y + 1, y ≥ z, z ≥ x is unsat.
+        assert!(unsat(&[
+            LinCon::ge0(v(1).sub(&v(2)).add(&c(-1))),
+            LinCon::ge0(v(2).sub(&v(3))),
+            LinCon::ge0(v(3).sub(&v(1))),
+        ]));
+    }
+
+    #[test]
+    fn entailment_queries() {
+        // m ≥ 0 ∧ m ≠ 0 ⊨ m − 1 ≥ 0 — the ack descent fact (§4.2).
+        let phi = [LinCon::ge0(v(1)), LinCon::ne0(v(1))];
+        assert!(entails(&phi, &LinCon::ge0(v(1).add(&c(-1)))));
+        // And m − 1 < m, i.e. m − (m−1) − 1 ≥ 0, trivially.
+        assert!(entails(&phi, &LinCon::ge0(c(0))));
+        // But not m − 2 ≥ 0.
+        assert!(!entails(&phi, &LinCon::ge0(v(1).add(&c(-2)))));
+    }
+
+    #[test]
+    fn subtractive_gcd_fact() {
+        // a ≥ 1 ∧ b − a ≥ 1 ⊨ b − (b−a) ≥ 1 (i.e. the new b descends).
+        let phi = [
+            LinCon::ge0(v(1).add(&c(-1))),          // a ≥ 1
+            LinCon::ge0(v(2).sub(&v(1)).add(&c(-1))), // b − a ≥ 1
+        ];
+        // new = b − a; prove new ≥ 0 and b − new ≥ 1 (strict descent).
+        assert!(entails(&phi, &LinCon::ge0(v(2).sub(&v(1)))));
+        assert!(entails(&phi, &LinCon::ge0(v(1).add(&c(-1)))));
+    }
+
+    #[test]
+    fn negation_roundtrip() {
+        let con = LinCon::ge0(v(1));
+        let negneg = con.negate().negate();
+        // ¬¬(x ≥ 0) = ¬(−x−1 ≥ 0) = x ≥ 0 — check equivalence by entailment.
+        assert!(entails(&[negneg.clone()], &con));
+        assert!(entails(&[con], &negneg));
+    }
+}

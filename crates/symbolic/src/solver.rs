@@ -1,0 +1,373 @@
+//! Value-level solver queries: linearization, must-descend / must-equal
+//! relations (the symbolic `graph` of Figure 4), and branch classification
+//! for `if` (Figure 8's path-condition rules).
+
+use crate::linear::{entails, unsat, Lin, LinCon};
+use crate::sym::{AtomId, AtomKind, Path, SValue};
+use sct_core::order::SizeChange;
+use sct_interp::{DefaultOrder, Value};
+use sct_core::order::WellFoundedOrder;
+use sct_lang::Prim;
+
+/// Read-only solver facade over the executor's atom table.
+pub struct Solver<'a> {
+    /// Kind of each allocated atom, indexed by [`AtomId`].
+    pub atom_kinds: &'a [AtomKind],
+}
+
+/// How an `if` on a symbolic condition splits the path.
+#[derive(Debug, Clone)]
+pub enum Branch {
+    /// The condition is decided.
+    Det(bool),
+    /// Fork with refinements for the then/else sides.
+    Split {
+        /// Refinement assumed on the then side.
+        then_delta: Delta,
+        /// Refinement assumed on the else side.
+        else_delta: Delta,
+    },
+    /// Nothing is known; explore both sides unrefined.
+    Opaque,
+}
+
+/// A path refinement.
+#[derive(Debug, Clone)]
+pub enum Delta {
+    /// Assume a linear fact.
+    Lin(LinCon),
+    /// Refine an atom to the empty list.
+    BindNil(AtomId),
+    /// Refine an atom to a pair of fresh atoms (the executor allocates).
+    BindPair(AtomId),
+    /// No information.
+    None,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver over the given atom kinds.
+    pub fn new(atom_kinds: &'a [AtomKind]) -> Solver<'a> {
+        Solver { atom_kinds }
+    }
+
+    fn kind(&self, a: AtomId) -> AtomKind {
+        self.atom_kinds.get(a as usize).copied().unwrap_or(AtomKind::Any)
+    }
+
+    /// Linearizes a symbolic value into a [`Lin`] when it denotes an
+    /// integer-valued linear term.
+    pub fn linearize(&self, path: &Path, v: &SValue) -> Option<Lin> {
+        let v = path.resolve(v);
+        match &v {
+            SValue::Conc(Value::Int(n)) => Some(Lin::constant(n.to_i64()? as i128)),
+            SValue::Atom(a) if self.kind(*a) == AtomKind::Int => Some(Lin::var(*a)),
+            SValue::Term(p, args) => match p {
+                Prim::Add => {
+                    let mut acc = Lin::constant(0);
+                    for x in args.iter() {
+                        acc = acc.add(&self.linearize(path, x)?);
+                    }
+                    Some(acc)
+                }
+                Prim::Sub => {
+                    let mut it = args.iter();
+                    let first = self.linearize(path, it.next()?)?;
+                    if args.len() == 1 {
+                        return Some(first.scale(-1));
+                    }
+                    let mut acc = first;
+                    for x in it {
+                        acc = acc.sub(&self.linearize(path, x)?);
+                    }
+                    Some(acc)
+                }
+                Prim::Mul => {
+                    // Linear only when at most one factor is non-constant.
+                    let mut k: i128 = 1;
+                    let mut sym: Option<Lin> = None;
+                    for x in args.iter() {
+                        let l = self.linearize(path, x)?;
+                        if l.is_const() {
+                            k *= l.k;
+                        } else if sym.is_none() {
+                            sym = Some(l);
+                        } else {
+                            return None;
+                        }
+                    }
+                    Some(match sym {
+                        Some(l) => l.scale(k),
+                        None => Lin::constant(k),
+                    })
+                }
+                Prim::Add1 => Some(self.linearize(path, &args[0])?.add(&Lin::constant(1))),
+                Prim::Sub1 => Some(self.linearize(path, &args[0])?.add(&Lin::constant(-1))),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// True when the path plus an extra fact is satisfiable (used to prune
+    /// dead branches). Conservative: `true` on unknown.
+    pub fn sat_with(&self, path: &Path, extra: Option<&LinCon>) -> bool {
+        let mut sys: Vec<LinCon> = (*path.lin).clone();
+        if let Some(c) = extra {
+            sys.push(c.clone());
+        }
+        !unsat(&sys)
+    }
+
+    fn prove(&self, path: &Path, goal: LinCon) -> bool {
+        entails(&path.lin, &goal)
+    }
+
+    /// The symbolic `graph` relation of §4.1: a must-descend or
+    /// must-non-ascend fact between an old and a new argument, provable on
+    /// every concretization of this path. Missing arcs are always sound.
+    pub fn relate(&self, path: &Path, old: &SValue, new: &SValue) -> SizeChange {
+        let old = path.resolve(old);
+        let new = path.resolve(new);
+        if old.syn_eq(&new) {
+            return SizeChange::Equal;
+        }
+        if let (Some(lo), Some(ln)) = (self.linearize(path, &old), self.linearize(path, &new)) {
+            let diff = lo.sub(&ln);
+            if diff.is_const() && diff.k == 0 {
+                return SizeChange::Equal;
+            }
+            if self.prove(path, LinCon::eq0(diff.clone())) {
+                return SizeChange::Equal;
+            }
+            // |new| < |old| via sign analysis:
+            // (0 ≤ new ∧ new < old) or (new ≤ 0 ∧ old < new).
+            let nonneg_descend = self.prove(path, LinCon::ge0(ln.clone()))
+                && self.prove(path, LinCon::gt0(diff.clone()));
+            if nonneg_descend {
+                return SizeChange::Descend;
+            }
+            let nonpos_descend = self.prove(path, LinCon::ge0(ln.scale(-1)))
+                && self.prove(path, LinCon::gt0(ln.sub(&lo)));
+            if nonpos_descend {
+                return SizeChange::Descend;
+            }
+            return SizeChange::Unknown;
+        }
+        // Structural: new is a strict subterm of old's refined structure.
+        if self.strict_subterm(path, &new, &old, 64) {
+            return SizeChange::Descend;
+        }
+        SizeChange::Unknown
+    }
+
+    /// True when `needle` is a *strict* subterm of `haystack` under the
+    /// path's refinements.
+    fn strict_subterm(&self, path: &Path, needle: &SValue, haystack: &SValue, fuel: u32) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        match path.resolve(haystack) {
+            SValue::SPair(p) => {
+                let car = path.resolve(&p.0);
+                let cdr = path.resolve(&p.1);
+                needle.syn_eq(&car)
+                    || needle.syn_eq(&cdr)
+                    || self.strict_subterm(path, needle, &car, fuel - 1)
+                    || self.strict_subterm(path, needle, &cdr, fuel - 1)
+            }
+            SValue::Conc(big @ Value::Pair(_)) => match needle {
+                SValue::Conc(small) => {
+                    DefaultOrder.relate(&big, small) == SizeChange::Descend
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Classifies an `if` condition into a branching decision.
+    pub fn classify(&self, path: &Path, cond: &SValue) -> Branch {
+        let cond = path.resolve(cond);
+        match &cond {
+            SValue::Conc(v) => Branch::Det(v.is_truthy()),
+            SValue::SPair(_) | SValue::SClosure(_) => Branch::Det(true),
+            SValue::Atom(_) => Branch::Opaque,
+            SValue::Term(p, args) => self.classify_term(path, *p, args),
+        }
+    }
+
+    fn classify_term(&self, path: &Path, p: Prim, args: &[SValue]) -> Branch {
+        let lin1 = |s: &Solver<'a>, x: &SValue| s.linearize(path, x);
+        match p {
+            Prim::Not => match self.classify(path, &args[0]) {
+                Branch::Det(b) => Branch::Det(!b),
+                Branch::Split { then_delta, else_delta } => {
+                    Branch::Split { then_delta: else_delta, else_delta: then_delta }
+                }
+                Branch::Opaque => Branch::Opaque,
+            },
+            Prim::IsZero => match lin1(self, &args[0]) {
+                Some(l) => Branch::Split {
+                    then_delta: Delta::Lin(LinCon::eq0(l.clone())),
+                    else_delta: Delta::Lin(LinCon::ne0(l)),
+                },
+                None => Branch::Opaque,
+            },
+            Prim::NumEq if args.len() == 2 => {
+                match (lin1(self, &args[0]), lin1(self, &args[1])) {
+                    (Some(a), Some(b)) => {
+                        let d = a.sub(&b);
+                        Branch::Split {
+                            then_delta: Delta::Lin(LinCon::eq0(d.clone())),
+                            else_delta: Delta::Lin(LinCon::ne0(d)),
+                        }
+                    }
+                    _ => Branch::Opaque,
+                }
+            }
+            Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge if args.len() == 2 => {
+                match (lin1(self, &args[0]), lin1(self, &args[1])) {
+                    (Some(a), Some(b)) => {
+                        // a < b ⟺ b − a > 0; negation is a − b ≥ 0, etc.
+                        let (yes, no) = match p {
+                            Prim::Lt => (LinCon::gt0(b.sub(&a)), LinCon::ge0(a.sub(&b))),
+                            Prim::Le => (LinCon::ge0(b.sub(&a)), LinCon::gt0(a.sub(&b))),
+                            Prim::Gt => (LinCon::gt0(a.sub(&b)), LinCon::ge0(b.sub(&a))),
+                            _ => (LinCon::ge0(a.sub(&b)), LinCon::gt0(b.sub(&a))),
+                        };
+                        Branch::Split { then_delta: Delta::Lin(yes), else_delta: Delta::Lin(no) }
+                    }
+                    _ => Branch::Opaque,
+                }
+            }
+            Prim::IsNegative => match lin1(self, &args[0]) {
+                Some(l) => Branch::Split {
+                    then_delta: Delta::Lin(LinCon::gt0(l.scale(-1))),
+                    else_delta: Delta::Lin(LinCon::ge0(l)),
+                },
+                None => Branch::Opaque,
+            },
+            Prim::IsPositive => match lin1(self, &args[0]) {
+                Some(l) => Branch::Split {
+                    then_delta: Delta::Lin(LinCon::gt0(l.clone())),
+                    else_delta: Delta::Lin(LinCon::ge0(l.scale(-1))),
+                },
+                None => Branch::Opaque,
+            },
+            Prim::IsNull => match path.resolve(&args[0]) {
+                SValue::Conc(Value::Nil) => Branch::Det(true),
+                SValue::Conc(Value::Pair(_)) | SValue::SPair(_) => Branch::Det(false),
+                SValue::Conc(_) | SValue::Term(..) | SValue::SClosure(_) => Branch::Det(false),
+                SValue::Atom(a) => Branch::Split {
+                    then_delta: Delta::BindNil(a),
+                    else_delta: if self.kind(a) == AtomKind::List {
+                        Delta::BindPair(a)
+                    } else {
+                        Delta::None
+                    },
+                },
+            },
+            Prim::IsPair => match path.resolve(&args[0]) {
+                SValue::Conc(Value::Pair(_)) | SValue::SPair(_) => Branch::Det(true),
+                SValue::Conc(_) | SValue::SClosure(_) => Branch::Det(false),
+                SValue::Term(..) => Branch::Opaque,
+                SValue::Atom(a) => Branch::Split {
+                    then_delta: Delta::BindPair(a),
+                    else_delta: if self.kind(a) == AtomKind::List {
+                        Delta::BindNil(a)
+                    } else {
+                        Delta::None
+                    },
+                },
+            },
+            _ => Branch::Opaque,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::ConOp;
+    use std::rc::Rc;
+
+    fn term(p: Prim, args: Vec<SValue>) -> SValue {
+        SValue::Term(p, Rc::from(args))
+    }
+
+    #[test]
+    fn linearize_arithmetic() {
+        let kinds = vec![AtomKind::Int, AtomKind::Int];
+        let s = Solver::new(&kinds);
+        let path = Path::new();
+        // (- (+ a0 a1 3) a1) = a0 + 3
+        let e = term(
+            Prim::Sub,
+            vec![
+                term(Prim::Add, vec![SValue::Atom(0), SValue::Atom(1), SValue::int(3)]),
+                SValue::Atom(1),
+            ],
+        );
+        let l = s.linearize(&path, &e).unwrap();
+        assert_eq!(l.coeff(0), 1);
+        assert_eq!(l.coeff(1), 0);
+        assert_eq!(l.k, 3);
+        // (* 2 a0) linear; (* a0 a1) not.
+        assert!(s.linearize(&path, &term(Prim::Mul, vec![SValue::int(2), SValue::Atom(0)])).is_some());
+        assert!(s.linearize(&path, &term(Prim::Mul, vec![SValue::Atom(0), SValue::Atom(1)])).is_none());
+    }
+
+    #[test]
+    fn relate_ack_descent() {
+        // §4.2: with m ≥ 0 ∧ m ≠ 0, (- m 1) strictly descends from m.
+        let kinds = vec![AtomKind::Int, AtomKind::Int];
+        let s = Solver::new(&kinds);
+        let path = Path::new()
+            .assume(LinCon::ge0(Lin::var(0)))
+            .assume(LinCon::ne0(Lin::var(0)));
+        let m = SValue::Atom(0);
+        let m1 = term(Prim::Sub, vec![m.clone(), SValue::int(1)]);
+        assert_eq!(s.relate(&path, &m, &m1), SizeChange::Descend);
+        assert_eq!(s.relate(&path, &m, &m.clone()), SizeChange::Equal);
+        // Without the sign facts, no descent is provable (|.|-order).
+        let bare = Path::new();
+        assert_eq!(s.relate(&bare, &m, &m1), SizeChange::Unknown);
+    }
+
+    #[test]
+    fn relate_structural() {
+        let kinds = vec![AtomKind::List, AtomKind::Any, AtomKind::List];
+        let s = Solver::new(&kinds);
+        // Path where a0 = (cons a1 a2): cdr a0 = a2 ≺ a0.
+        let path = Path::new().bind(0, SValue::SPair(Rc::new((SValue::Atom(1), SValue::Atom(2)))));
+        assert_eq!(s.relate(&path, &SValue::Atom(0), &SValue::Atom(2)), SizeChange::Descend);
+        assert_eq!(s.relate(&path, &SValue::Atom(0), &SValue::Atom(1)), SizeChange::Descend);
+        assert_eq!(s.relate(&path, &SValue::Atom(2), &SValue::Atom(0)), SizeChange::Unknown);
+    }
+
+    #[test]
+    fn classify_branches() {
+        let kinds = vec![AtomKind::Int, AtomKind::List];
+        let s = Solver::new(&kinds);
+        let path = Path::new();
+        match s.classify(&path, &term(Prim::IsZero, vec![SValue::Atom(0)])) {
+            Branch::Split { then_delta: Delta::Lin(t), else_delta: Delta::Lin(e) } => {
+                assert_eq!(t.op, ConOp::Eq0);
+                assert_eq!(e.op, ConOp::Ne0);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+        match s.classify(&path, &term(Prim::IsNull, vec![SValue::Atom(1)])) {
+            Branch::Split { then_delta: Delta::BindNil(1), else_delta: Delta::BindPair(1) } => {}
+            other => panic!("expected structural split, got {other:?}"),
+        }
+        assert!(matches!(s.classify(&path, &SValue::Conc(Value::Bool(false))), Branch::Det(false)));
+        assert!(matches!(s.classify(&path, &SValue::int(0)), Branch::Det(true)));
+        // not inverts.
+        let notz = term(Prim::Not, vec![term(Prim::IsZero, vec![SValue::Atom(0)])]);
+        match s.classify(&path, &notz) {
+            Branch::Split { then_delta: Delta::Lin(t), .. } => assert_eq!(t.op, ConOp::Ne0),
+            other => panic!("expected inverted split, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Symbolic values (Figure 8's `s ::= x | b | (o ⃗s)`), environments, and
+//! path conditions.
+
+use sct_interp::Value;
+use sct_lang::{LambdaDef, Prim};
+use sct_persist::PMap;
+use std::rc::Rc;
+
+/// Identifier of a symbolic atom (Figure 8's symbolic variable `x`).
+pub type AtomId = u32;
+
+/// The declared kind of an atom, fixed at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomKind {
+    /// An integer.
+    Int,
+    /// A proper list (refinable to nil / pair by branching).
+    List,
+    /// Completely unknown.
+    Any,
+}
+
+/// A symbolic run-time value.
+#[derive(Debug, Clone)]
+pub enum SValue {
+    /// A concrete value (literal data, primitives as values, …).
+    Conc(Value),
+    /// A symbolic atom.
+    Atom(AtomId),
+    /// An uninterpreted primitive application over symbolic values.
+    Term(Prim, Rc<[SValue]>),
+    /// A pair with at least one symbolic component.
+    SPair(Rc<(SValue, SValue)>),
+    /// A closure whose captured environment may be symbolic.
+    SClosure(Rc<SClosure>),
+}
+
+/// A closure in the symbolic machine.
+#[derive(Debug)]
+pub struct SClosure {
+    /// The compiled lambda.
+    pub def: Rc<LambdaDef>,
+    /// Captured environment.
+    pub env: SEnv,
+}
+
+/// One environment frame (immutable: the symbolic machine rejects `set!`).
+#[derive(Debug)]
+pub struct SFrame {
+    /// Slot values. `letrec` frames are backpatched before any fork can
+    /// observe them (the executor rejects forking initializers).
+    pub slots: std::cell::RefCell<Vec<SValue>>,
+    /// Enclosing frame.
+    pub parent: SEnv,
+}
+
+/// A chain of frames; `None` is the top level.
+pub type SEnv = Option<Rc<SFrame>>;
+
+/// Extends an environment with a new frame.
+pub fn extend(parent: &SEnv, slots: Vec<SValue>) -> SEnv {
+    Some(Rc::new(SFrame { slots: std::cell::RefCell::new(slots), parent: parent.clone() }))
+}
+
+/// Reads a lexical address.
+pub fn lookup(env: &SEnv, depth: u16, slot: u16) -> SValue {
+    let mut frame = env.as_ref().expect("symbolic lookup in empty env");
+    for _ in 0..depth {
+        frame = frame.parent.as_ref().expect("depth out of range");
+    }
+    frame.slots.borrow()[slot as usize].clone()
+}
+
+impl SValue {
+    /// Builds a concrete integer.
+    pub fn int(n: i64) -> SValue {
+        SValue::Conc(Value::int(n))
+    }
+
+    /// True when this is a concrete value.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, SValue::Conc(_))
+    }
+
+    /// Syntactic equality — sound as a "must be equal" check: equal atoms
+    /// denote the same unknown, equal terms the same computation.
+    pub fn syn_eq(&self, other: &SValue) -> bool {
+        match (self, other) {
+            (SValue::Conc(a), SValue::Conc(b)) => sct_interp::equal(a, b),
+            (SValue::Atom(a), SValue::Atom(b)) => a == b,
+            (SValue::Term(p, xs), SValue::Term(q, ys)) => {
+                p == q && xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| x.syn_eq(y))
+            }
+            (SValue::SPair(a), SValue::SPair(b)) => {
+                a.0.syn_eq(&b.0) && a.1.syn_eq(&b.1)
+            }
+            (SValue::SClosure(a), SValue::SClosure(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Short rendering for error messages and traces.
+    pub fn show(&self) -> String {
+        match self {
+            SValue::Conc(v) => v.to_write_string(),
+            SValue::Atom(a) => format!("α{a}"),
+            SValue::Term(p, args) => {
+                let parts: Vec<String> = args.iter().map(SValue::show).collect();
+                format!("({} {})", p.name(), parts.join(" "))
+            }
+            SValue::SPair(p) => format!("(cons {} {})", p.0.show(), p.1.show()),
+            SValue::SClosure(c) => format!("#<sym-closure:{}>", c.def.describe()),
+        }
+    }
+}
+
+/// A path condition: linear facts plus structural refinements of atoms.
+#[derive(Clone, Default)]
+pub struct Path {
+    /// Linear integer constraints assumed true on this path.
+    pub lin: Rc<Vec<crate::linear::LinCon>>,
+    /// Structural refinements: atom ↦ its expansion (e.g. a list atom
+    /// refined to nil or to a pair of fresh atoms).
+    pub bindings: PMap<AtomId, SValue>,
+}
+
+impl Path {
+    /// The empty path condition.
+    pub fn new() -> Path {
+        Path::default()
+    }
+
+    /// Path extended with a linear fact.
+    #[must_use]
+    pub fn assume(&self, con: crate::linear::LinCon) -> Path {
+        let mut lin = (*self.lin).clone();
+        lin.push(con);
+        Path { lin: Rc::new(lin), bindings: self.bindings.clone() }
+    }
+
+    /// Path extended with a structural refinement.
+    #[must_use]
+    pub fn bind(&self, atom: AtomId, to: SValue) -> Path {
+        Path { lin: self.lin.clone(), bindings: self.bindings.insert(atom, to) }
+    }
+
+    /// Resolves an atom through the refinements on this path (one step at
+    /// a time, to a fixed point at the outermost constructor).
+    pub fn resolve(&self, v: &SValue) -> SValue {
+        let mut cur = v.clone();
+        let mut fuel = 64;
+        while let SValue::Atom(a) = cur {
+            match self.bindings.get(&a) {
+                Some(next) if fuel > 0 => {
+                    fuel -= 1;
+                    cur = next.clone();
+                }
+                _ => return SValue::Atom(a),
+            }
+        }
+        cur
+    }
+}
+
+impl std::fmt::Debug for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Path({} lin facts, {} bindings)", self.lin.len(), self.bindings.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntactic_equality() {
+        assert!(SValue::Atom(1).syn_eq(&SValue::Atom(1)));
+        assert!(!SValue::Atom(1).syn_eq(&SValue::Atom(2)));
+        assert!(SValue::int(3).syn_eq(&SValue::int(3)));
+        let t1 = SValue::Term(Prim::Sub, Rc::from(vec![SValue::Atom(1), SValue::int(1)]));
+        let t2 = SValue::Term(Prim::Sub, Rc::from(vec![SValue::Atom(1), SValue::int(1)]));
+        assert!(t1.syn_eq(&t2));
+    }
+
+    #[test]
+    fn path_binding_resolution() {
+        let p = Path::new();
+        let pair = SValue::SPair(Rc::new((SValue::Atom(2), SValue::Atom(3))));
+        let p2 = p.bind(1, pair);
+        assert!(matches!(p2.resolve(&SValue::Atom(1)), SValue::SPair(_)));
+        assert!(matches!(p.resolve(&SValue::Atom(1)), SValue::Atom(1)));
+        // Chained refinement.
+        let p3 = p2.bind(3, SValue::Conc(Value::Nil));
+        let SValue::SPair(q) = p3.resolve(&SValue::Atom(1)) else { panic!() };
+        assert!(matches!(p3.resolve(&q.1), SValue::Conc(Value::Nil)));
+    }
+
+    #[test]
+    fn env_frames() {
+        let e = extend(&None, vec![SValue::int(1), SValue::Atom(7)]);
+        let e2 = extend(&e, vec![SValue::int(9)]);
+        assert!(lookup(&e2, 1, 1).syn_eq(&SValue::Atom(7)));
+        assert!(lookup(&e2, 0, 0).syn_eq(&SValue::int(9)));
+    }
+}

@@ -1,0 +1,234 @@
+//! The static termination verifier (§4): symbolic execution of the
+//! monitored semantics plus the Lee–Jones–Ben-Amram check over the
+//! discovered graph sets.
+
+use crate::exec::{EntryInvariant, ExecConfig, Executor, SOut, SymDomain};
+use crate::sym::{Path, SValue};
+use sct_core::ljb::{closure_check, ClosureResult};
+use sct_lang::ast::{Expr, Program, TopForm};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The verifier's answer for one function.
+#[derive(Debug, Clone)]
+pub enum StaticVerdict {
+    /// Exploration was exhaustive and every discovered graph set satisfies
+    /// the size-change principle: the function terminates on all inputs in
+    /// the declared domains.
+    Verified {
+        /// Number of distinct self-call graphs found per λ (by display
+        /// name), mirroring Figure 9's summary.
+        graphs: Vec<(String, usize)>,
+    },
+    /// Not verified — either a graph-set violation (a composition that is
+    /// idempotent without self-descent) or an incomplete exploration.
+    NotVerified {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl StaticVerdict {
+    /// True when verified.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, StaticVerdict::Verified { .. })
+    }
+}
+
+impl fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticVerdict::Verified { graphs } => {
+                write!(f, "verified (")?;
+                for (i, (name, n)) in graphs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {n} graphs")?;
+                }
+                write!(f, ")")
+            }
+            StaticVerdict::NotVerified { reason } => write!(f, "not verified: {reason}"),
+        }
+    }
+}
+
+/// Configuration for a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Executor resource limits.
+    pub exec: ExecConfig,
+    /// Depth to which closures escaping in the result are applied with
+    /// fresh inputs (§3.6: a `term/c`d value may be used arbitrarily by
+    /// its context).
+    pub result_havoc_depth: u32,
+    /// Cap on the LJB closure size.
+    pub ljb_cap: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig { exec: ExecConfig::default(), result_havoc_depth: 2, ljb_cap: 20_000 }
+    }
+}
+
+/// Verifies that `function`, applied to symbolic arguments from `domains`,
+/// maintains size-change termination — the static analogue of wrapping it
+/// in `terminating/c`.
+///
+/// Conservative by construction: any unsupported feature, exhausted
+/// budget, or unprovable obligation yields [`StaticVerdict::NotVerified`].
+pub fn verify_function(
+    program: &Program,
+    function: &str,
+    domains: &[SymDomain],
+    result: SymDomain,
+    config: &VerifyConfig,
+) -> StaticVerdict {
+    let mut ex = Executor::new(program, config.exec.clone());
+
+    let Some(entry_value) = ex.global(function) else {
+        return StaticVerdict::NotVerified { reason: format!("no global named {function}") };
+    };
+    let SValue::SClosure(ref clo) = entry_value else {
+        return StaticVerdict::NotVerified { reason: format!("{function} is not a closure") };
+    };
+    if clo.def.params as usize != domains.len() || clo.def.variadic {
+        return StaticVerdict::NotVerified {
+            reason: format!(
+                "{function} expects {}{} parameters but the spec declares {}",
+                clo.def.params,
+                if clo.def.variadic { "+" } else { "" },
+                domains.len()
+            ),
+        };
+    }
+    ex.set_entry(EntryInvariant { id: clo.def.id, domains: domains.to_vec(), result });
+
+    // Build the symbolic arguments and the initial path condition.
+    let mut path = Path::new();
+    let mut args = Vec::new();
+    for d in domains {
+        let (a, p) = ex.fresh_in_domain(*d, &path);
+        path = p;
+        args.push(a);
+    }
+
+    // Run, then havoc whatever escapes.
+    let outcomes = ex.apply(&entry_value, args, path, &sct_persist::PMap::new());
+    for (p, out) in &outcomes {
+        if let SOut::Val(v) = out {
+            havoc_escaping(&mut ex, v, p, config.result_havoc_depth);
+        }
+    }
+
+    if let Some(reason) = ex.incomplete.clone() {
+        return StaticVerdict::NotVerified { reason };
+    }
+
+    // LJB check per function.
+    let names = lambda_names(program);
+    let mut summary = Vec::new();
+    for (id, graphs) in &ex.graphs {
+        match closure_check(graphs, config.ljb_cap) {
+            ClosureResult::Ok { .. } => {
+                let name = names.get(id).cloned().unwrap_or_else(|| format!("lambda#{id}"));
+                summary.push((name, graphs.len()));
+            }
+            ClosureResult::Violation(v) => {
+                let name = names.get(id).cloned().unwrap_or_else(|| format!("lambda#{id}"));
+                return StaticVerdict::NotVerified {
+                    reason: format!(
+                        "{name}: composition {} is idempotent with no self-descent",
+                        v.witness
+                    ),
+                };
+            }
+            ClosureResult::Overflow => {
+                return StaticVerdict::NotVerified { reason: "graph closure overflow".into() }
+            }
+        }
+    }
+    summary.sort();
+    StaticVerdict::Verified { graphs: summary }
+}
+
+/// Applies closures reachable from an escaping result with fresh inputs —
+/// the context of a `term/c`d function may call whatever it is handed.
+fn havoc_escaping(ex: &mut Executor<'_>, v: &SValue, path: &Path, depth: u32) {
+    if depth == 0 {
+        return;
+    }
+    match path.resolve(v) {
+        SValue::SClosure(clo) => {
+            let mut p = path.clone();
+            let mut args = Vec::new();
+            for _ in 0..clo.def.frame_size().min(8) {
+                let (a, p2) = ex.fresh_in_domain(SymDomain::Any, &p);
+                p = p2;
+                args.push(a);
+            }
+            // Variadic closures get exactly their required count.
+            args.truncate(clo.def.params as usize);
+            let f = SValue::SClosure(clo);
+            let outs = ex.apply(&f, args, p, &sct_persist::PMap::new());
+            for (p2, out) in outs {
+                if let SOut::Val(r) = out {
+                    havoc_escaping(ex, &r, &p2, depth - 1);
+                }
+            }
+        }
+        SValue::SPair(pair) => {
+            havoc_escaping(ex, &pair.0, path, depth);
+            havoc_escaping(ex, &pair.1, path, depth);
+        }
+        _ => {}
+    }
+}
+
+/// Display names for λ ids (from `define`/`letrec` hints).
+fn lambda_names(program: &Program) -> HashMap<u32, String> {
+    let mut names = HashMap::new();
+    for form in &program.top_level {
+        let expr = match form {
+            TopForm::Define { expr, .. } => expr,
+            TopForm::Expr(expr) => expr,
+        };
+        collect_names(expr, &mut names);
+    }
+    names
+}
+
+fn collect_names(e: &Expr, out: &mut HashMap<u32, String>) {
+    match e {
+        Expr::Lambda(def) => {
+            out.insert(def.id, def.describe());
+            collect_names(&def.body, out);
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            collect_names(cond, out);
+            collect_names(then_branch, out);
+            collect_names(else_branch, out);
+        }
+        Expr::App { func, args } => {
+            collect_names(func, out);
+            for a in args.iter() {
+                collect_names(a, out);
+            }
+        }
+        Expr::Seq(exprs) => {
+            for x in exprs.iter() {
+                collect_names(x, out);
+            }
+        }
+        Expr::SetLocal { value, .. } | Expr::SetGlobal { value, .. } => collect_names(value, out),
+        Expr::Let { inits, body } | Expr::LetRec { inits, body } => {
+            for i in inits.iter() {
+                collect_names(i, out);
+            }
+            collect_names(body, out);
+        }
+        Expr::TermC { body, .. } => collect_names(body, out),
+        Expr::Quote(_) | Expr::Var(_) | Expr::Global(_) | Expr::PrimRef(_) => {}
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the Fourier–Motzkin core: every `unsat`/`entails`
+//! answer is checked against brute-force evaluation over a bounded integer
+//! box. Soundness is directional — `unsat = true` must mean *no* integer
+//! solution exists (hence none in the box), and `entails(φ, ψ) = true`
+//! must mean every box point satisfying φ satisfies ψ. The converse
+//! directions are allowed to be incomplete.
+
+use proptest::prelude::*;
+use sct_symbolic::{entails, unsat, Lin, LinCon};
+
+const VARS: u32 = 3;
+const BOX: i128 = 4;
+
+fn lin_strategy() -> impl Strategy<Value = Lin> {
+    (
+        -5i128..=5,
+        proptest::collection::vec((-3i128..=3, 0u32..VARS), 0..3),
+    )
+        .prop_map(|(k, coeffs)| {
+            let mut lin = Lin::constant(k);
+            for (c, v) in coeffs {
+                lin = lin.add(&Lin::var(v).scale(c));
+            }
+            lin
+        })
+}
+
+fn con_strategy() -> impl Strategy<Value = LinCon> {
+    (lin_strategy(), 0u8..3).prop_map(|(lin, op)| match op {
+        0 => LinCon::ge0(lin),
+        1 => LinCon::eq0(lin),
+        _ => LinCon::ne0(lin),
+    })
+}
+
+fn eval_lin(lin: &Lin, assignment: &[i128]) -> i128 {
+    let mut acc = lin.k;
+    for v in 0..VARS {
+        acc += lin.coeff(v) * assignment[v as usize];
+    }
+    acc
+}
+
+fn satisfies(con: &LinCon, assignment: &[i128]) -> bool {
+    let v = eval_lin(&con.lin, assignment);
+    match con.op {
+        sct_symbolic::linear::ConOp::Ge0 => v >= 0,
+        sct_symbolic::linear::ConOp::Eq0 => v == 0,
+        sct_symbolic::linear::ConOp::Ne0 => v != 0,
+    }
+}
+
+fn box_points() -> impl Iterator<Item = [i128; VARS as usize]> {
+    (-BOX..=BOX).flat_map(move |a| {
+        (-BOX..=BOX).flat_map(move |b| (-BOX..=BOX).map(move |c| [a, b, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unsat_is_sound(cons in proptest::collection::vec(con_strategy(), 0..5)) {
+        if unsat(&cons) {
+            for p in box_points() {
+                prop_assert!(
+                    !cons.iter().all(|c| satisfies(c, &p)),
+                    "unsat system satisfied at {:?}: {:?}",
+                    p,
+                    cons
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entails_is_sound(
+        phi in proptest::collection::vec(con_strategy(), 0..4),
+        goal in con_strategy(),
+    ) {
+        if entails(&phi, &goal) {
+            for p in box_points() {
+                if phi.iter().all(|c| satisfies(c, &p)) {
+                    prop_assert!(
+                        satisfies(&goal, &p),
+                        "entailment broken at {:?}: {:?} |= {:?}",
+                        p,
+                        phi,
+                        goal
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_complementary(con in con_strategy()) {
+        // At every box point exactly one of con / ¬con holds.
+        let neg = con.negate();
+        for p in box_points().step_by(37) {
+            prop_assert_ne!(
+                satisfies(&con, &p),
+                satisfies(&neg, &p),
+                "negation not complementary at {:?}: {:?}",
+                p,
+                con
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_detects_point_contradictions(a in -3i128..=3, v in 0u32..VARS) {
+        // x = a ∧ x ≠ a is always unsat; x = a ∧ x ≥ a is always sat.
+        let eq = LinCon::eq0(Lin::var(v).add(&Lin::constant(-a)));
+        let ne = LinCon::ne0(Lin::var(v).add(&Lin::constant(-a)));
+        prop_assert!(unsat(&[eq.clone(), ne]));
+        let ge = LinCon::ge0(Lin::var(v).add(&Lin::constant(-a)));
+        prop_assert!(!unsat(&[eq, ge]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Contracts for total correctness (§1, §2.3): composing classic
+//! partial-correctness contracts (`->/c`, `flat/c`) with `terminating/c`,
+//! with Findler–Felleisen blame deciding who is at fault.
+//!
+//! Run: `cargo run --example total_contracts`
+
+use sct_contracts::{run, EvalError};
+
+fn main() {
+    // A total-correctness contract: integer -> integer, and terminating.
+    let total = "
+(define total-dec
+  (contract (and/c (->/c (flat/c integer?) (flat/c integer?)) terminating/c)
+            (lambda (x) (if (zero? x) 0 (total-dec (- x 1))))
+            \"server\" \"client\"))";
+
+    // Happy path: all obligations met.
+    let v = run(&format!("{total} (total-dec 5)")).unwrap();
+    println!("(total-dec 5) = {v}");
+
+    // The client passes a non-integer: domain blame falls on the client.
+    let err = run(&format!("{total} (total-dec 'five)")).unwrap_err();
+    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    println!("bad argument blames: {}", info.blame);
+    assert_eq!(info.blame.as_ref(), "client");
+
+    // The server breaks its range promise: positive blame.
+    let err = run("
+(define liar
+  (contract (->/c (flat/c integer?) (flat/c integer?))
+            (lambda (x) 'not-an-integer)
+            \"server\" \"client\"))
+(liar 3)")
+    .unwrap_err();
+    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    println!("bad result blames:   {}", info.blame);
+    assert_eq!(info.blame.as_ref(), "server");
+
+    // The server diverges: the termination contract blames it — this is
+    // the piece no partial-correctness contract can express.
+    let err = run("
+(define spinner
+  (contract (and/c (->/c (flat/c integer?) (flat/c integer?)) terminating/c)
+            (lambda (x) (spinner x))
+            \"server\" \"client\"))
+(spinner 3)")
+    .unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected size-change error") };
+    println!("divergence blames:   {}", info.blame.as_deref().unwrap_or("?"));
+
+    // §2.3's virtuous cycle: f contracts g to protect itself, so the
+    // fault lands on g, not f.
+    let err = run("
+(define g-impl (lambda (x) (g-impl x)))
+(define g (terminating/c g-impl \"library g\"))
+(define f (terminating/c (lambda (x) (g x)) \"application f\"))
+(f 1)")
+    .unwrap_err();
+    let EvalError::Sc(info) = err else { panic!("expected size-change error") };
+    println!("nested contracts blame the culprit: {}", info.blame.as_deref().unwrap());
+    assert_eq!(info.blame.as_deref(), Some("library g"));
+}

@@ -1,0 +1,220 @@
+//! `sct` — command-line front end for the termination-contract system.
+//!
+//! ```text
+//! sct run <file.sct>                       # standard semantics (λCSCT)
+//! sct monitor <file.sct> [options]         # fully monitored (λSCT)
+//! sct verify <file.sct> <function> [sig]   # static verification (§4)
+//! sct trace <file.sct>                     # monitored run + Figure-1 trace
+//! ```
+//!
+//! Options for `monitor`/`trace`:
+//!   --strategy imperative|cm      table strategy (default imperative)
+//!   --order default|reverse-int|extended
+//!   --backoff N                   exponential backoff factor
+//!   --loop-entries                monitor loop entries only
+//!   --fuel N                      step budget
+//!
+//! `verify` signatures: a comma-separated parameter domain list and an
+//! optional `-> result` domain, e.g. `nat,nat -> nat` (domains: nat, pos,
+//! int, list, any; default any).
+
+use sct_contracts::interp::{ExtendedOrder, OrderHandle, ReverseIntOrder};
+use sct_contracts::{
+    BackoffPolicy, EvalError, Machine, MachineConfig, SemanticsMode, SymDomain, TableStrategy,
+    VerifyConfig,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sct run <file>\n  sct monitor <file> [--strategy imperative|cm] \
+         [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
+         sct verify <file> <function> [domains [-> result]]\n  sct trace <file>"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    strategy: TableStrategy,
+    order: OrderHandle,
+    backoff: BackoffPolicy,
+    loop_entries: bool,
+    fuel: Option<u64>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            strategy: TableStrategy::Imperative,
+            order: OrderHandle::default_order(),
+            backoff: BackoffPolicy::EveryCall,
+            loop_entries: false,
+            fuel: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--strategy" => {
+                    o.strategy = match it.next().map(String::as_str) {
+                        Some("imperative") => TableStrategy::Imperative,
+                        Some("cm") | Some("continuation-mark") => TableStrategy::ContinuationMark,
+                        other => return Err(format!("bad --strategy {other:?}")),
+                    }
+                }
+                "--order" => {
+                    o.order = match it.next().map(String::as_str) {
+                        Some("default") => OrderHandle::default_order(),
+                        Some("reverse-int") => OrderHandle::new(ReverseIntOrder),
+                        Some("extended") => OrderHandle::new(ExtendedOrder),
+                        other => return Err(format!("bad --order {other:?}")),
+                    }
+                }
+                "--backoff" => {
+                    let n: u32 = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --backoff value")?;
+                    o.backoff = BackoffPolicy::Exponential { factor: n };
+                }
+                "--loop-entries" => o.loop_entries = true,
+                "--fuel" => {
+                    o.fuel = Some(
+                        it.next().and_then(|s| s.parse().ok()).ok_or("bad --fuel value")?,
+                    )
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn parse_domain(s: &str) -> Result<SymDomain, String> {
+    match s.trim() {
+        "nat" => Ok(SymDomain::Nat),
+        "pos" => Ok(SymDomain::Pos),
+        "int" => Ok(SymDomain::Int),
+        "list" => Ok(SymDomain::List),
+        "any" | "" => Ok(SymDomain::Any),
+        other => Err(format!("unknown domain {other} (nat|pos|int|list|any)")),
+    }
+}
+
+fn report(result: Result<sct_contracts::Value, EvalError>, output: &str) -> ExitCode {
+    print!("{output}");
+    match result {
+        Ok(v) => {
+            println!("{}", v.to_write_string());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let Some(file) = rest.first() else { return usage() };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match sct_lang::compile_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "run" => {
+            let mut m = Machine::new(&program, MachineConfig::standard());
+            let r = m.run();
+            let out = m.output.clone();
+            report(r, &out)
+        }
+        "monitor" | "trace" => {
+            let opts = match Options::parse(&rest[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let mut config = MachineConfig {
+                mode: SemanticsMode::Monitored,
+                order: opts.order,
+                fuel: opts.fuel,
+                trace: cmd == "trace",
+                ..MachineConfig::monitored(opts.strategy)
+            };
+            config.monitor.backoff = opts.backoff;
+            config.monitor.loop_entries_only = opts.loop_entries;
+            let mut m = Machine::new(&program, config);
+            let r = m.run();
+            if cmd == "trace" {
+                for e in &m.trace_events {
+                    let graph = e.graph.as_deref().unwrap_or("[table seeded]");
+                    println!("({} {})    {}", e.function, e.args.join(" "), graph);
+                }
+            }
+            eprintln!(
+                "; applications={} monitored={} checks={} max-kont={}",
+                m.stats.applications, m.stats.monitored_calls, m.stats.checks, m.stats.max_kont_depth
+            );
+            let out = m.output.clone();
+            report(r, &out)
+        }
+        "verify" => {
+            let Some(function) = rest.get(1) else { return usage() };
+            let sig = rest.get(2).map(String::as_str).unwrap_or("");
+            let (doms_text, result_text) = match sig.split_once("->") {
+                Some((d, r)) => (d.trim(), r.trim()),
+                None => (sig.trim(), "any"),
+            };
+            let domains: Vec<SymDomain> = if doms_text.is_empty() {
+                // No signature: a nullary function.
+                Vec::new()
+            } else {
+                match doms_text.split(',').map(parse_domain).collect() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                }
+            };
+            let result = match parse_domain(result_text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let verdict = sct_contracts::symbolic::verify_function(
+                &program,
+                function,
+                &domains,
+                result,
+                &VerifyConfig::default(),
+            );
+            println!("{verdict}");
+            if verdict.is_verified() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

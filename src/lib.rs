@@ -1,0 +1,113 @@
+//! # sct-contracts
+//!
+//! Size-change termination as a contract: dynamic and static enforcement
+//! of termination for higher-order programs — a Rust reproduction of
+//! Nguyễn, Gilray, Tobin-Hochstadt & Van Horn, PLDI 2019.
+//!
+//! The workspace provides, and this crate re-exports:
+//!
+//! * [`lang`] — the λSCT language front end (Scheme subset → core AST);
+//! * [`core`] — size-change graphs, `prog?`, well-founded orders, tables,
+//!   blame: the paper's §3 machinery;
+//! * [`interp`] — one CEK machine running the standard ⇓, monitored ⬇, and
+//!   call-sequence ↓↓ semantics, with `terminating/c` contracts and both
+//!   §5 table strategies;
+//! * [`symbolic`] — the §4 static verifier (symbolic execution + built-in
+//!   solver + Lee–Jones–Ben-Amram closure check);
+//! * [`corpus`] — the paper's evaluation programs and workloads.
+//!
+//! # Quick start
+//!
+//! Dynamically enforce termination of one function:
+//!
+//! ```
+//! use sct_contracts::{run, EvalError};
+//!
+//! // ack is wrapped in terminating/c: its dynamic extent is monitored.
+//! let v = run("
+//!   (define (ack m n)
+//!     (cond [(= 0 m) (+ 1 n)]
+//!           [(= 0 n) (ack (- m 1) 1)]
+//!           [else (ack (- m 1) (ack m (- n 1)))]))
+//!   (define checked-ack (terminating/c ack))
+//!   (checked-ack 2 3)").unwrap();
+//! assert_eq!(v.to_write_string(), "9");
+//!
+//! // A diverging function under contract is stopped, with blame.
+//! let err = run("
+//!   (define f (terminating/c (lambda (x) (f x)) \"my-party\"))
+//!   (f 1)").unwrap_err();
+//! assert!(matches!(err, EvalError::Sc(_)));
+//! ```
+//!
+//! Statically verify the same function (§4):
+//!
+//! ```
+//! use sct_contracts::{verify, SymDomain};
+//!
+//! let verdict = verify(
+//!     "(define (ack m n)
+//!        (cond [(= 0 m) (+ 1 n)]
+//!              [(= 0 n) (ack (- m 1) 1)]
+//!              [else (ack (- m 1) (ack m (- n 1)))]))",
+//!     "ack",
+//!     &[SymDomain::Nat, SymDomain::Nat],
+//!     SymDomain::Nat,
+//! ).unwrap();
+//! assert!(verdict.is_verified());
+//! ```
+
+pub use sct_core as core;
+pub use sct_corpus as corpus;
+pub use sct_interp as interp;
+pub use sct_lang as lang;
+pub use sct_sexpr as sexpr;
+pub use sct_symbolic as symbolic;
+
+pub use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
+pub use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Value};
+pub use sct_symbolic::{StaticVerdict, SymDomain, VerifyConfig};
+
+/// Runs a program under the standard semantics — `terminating/c` extents
+/// are monitored, everything else runs unchecked (λCSCT).
+///
+/// # Errors
+///
+/// Compile errors are reported as [`EvalError::Rt`]; monitored extents can
+/// raise [`EvalError::Sc`].
+pub fn run(source: &str) -> Result<Value, EvalError> {
+    sct_interp::eval_str(source)
+}
+
+/// Runs a program under the fully monitored semantics ⬇ (λSCT): every
+/// closure application is checked, so evaluation always terminates —
+/// either with the value or with `errorSC` (Theorem 3.1).
+///
+/// # Errors
+///
+/// As [`run`], plus [`EvalError::Sc`] on any size-change violation.
+pub fn run_monitored(source: &str) -> Result<Value, EvalError> {
+    sct_interp::eval_str_monitored(source, TableStrategy::Imperative)
+}
+
+/// Statically verifies that `function` terminates on all inputs in the
+/// given domains (§4).
+///
+/// # Errors
+///
+/// Returns the compile error message when the source does not compile.
+pub fn verify(
+    source: &str,
+    function: &str,
+    domains: &[SymDomain],
+    result: SymDomain,
+) -> Result<StaticVerdict, String> {
+    let prog = sct_lang::compile_program(source).map_err(|e| e.to_string())?;
+    Ok(sct_symbolic::verify_function(
+        &prog,
+        function,
+        domains,
+        result,
+        &VerifyConfig::default(),
+    ))
+}
