@@ -65,5 +65,7 @@ fn main() {
         println!();
     }
     println!("paper shape check: factorial ~1x; sum/msort overhead large and");
-    println!("roughly flat in n (constant factor), continuation-mark >= imperative on tight loops.");
+    println!(
+        "roughly flat in n (constant factor), continuation-mark >= imperative on tight loops."
+    );
 }

@@ -62,7 +62,11 @@ fn main() {
                     to_sym(spec.result),
                     &VerifyConfig::default(),
                 );
-                if verdict.is_verified() { "Y".to_string() } else { "N".to_string() }
+                if verdict.is_verified() {
+                    "Y".to_string()
+                } else {
+                    "N".to_string()
+                }
             }
         };
         static_total += 1;

@@ -85,7 +85,8 @@ impl CompiledWorkload {
     /// Panics if evaluation fails or the result check rejects the output.
     pub fn run_once(&self, n: u64, setup: Setup) -> (Duration, Stats) {
         let mut m = Machine::new(&self.program, self.config(setup));
-        m.run().unwrap_or_else(|e| panic!("{}: program body failed: {e}", self.workload.id));
+        m.run()
+            .unwrap_or_else(|e| panic!("{}: program body failed: {e}", self.workload.id));
         let f = m
             .global(self.workload.entry)
             .unwrap_or_else(|| panic!("{}: no entry {}", self.workload.id, self.workload.entry));

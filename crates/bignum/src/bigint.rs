@@ -38,7 +38,10 @@ pub struct BigInt {
 impl BigInt {
     /// The zero value.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Plus, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: Vec::new(),
+        }
     }
 
     fn from_mag(sign: Sign, mag: Vec<u32>) -> BigInt {
@@ -70,7 +73,11 @@ impl BigInt {
             BigInt::zero()
         } else {
             BigInt {
-                sign: if self.sign == Sign::Plus { Sign::Minus } else { Sign::Plus },
+                sign: if self.sign == Sign::Plus {
+                    Sign::Minus
+                } else {
+                    Sign::Plus
+                },
                 mag: self.mag.clone(),
             }
         }
@@ -78,7 +85,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Compares absolute values — the well-founded measure of the paper's
@@ -94,12 +104,8 @@ impl BigInt {
         } else {
             match mag::cmp(&self.mag, &other.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.sign, mag::sub(&self.mag, &other.mag))
-                }
-                Ordering::Less => {
-                    BigInt::from_mag(other.sign, mag::sub(&other.mag, &self.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.sign, mag::sub(&self.mag, &other.mag)),
+                Ordering::Less => BigInt::from_mag(other.sign, mag::sub(&other.mag, &self.mag)),
             }
         }
     }
@@ -111,7 +117,11 @@ impl BigInt {
 
     /// `self * other`.
     pub fn mul(&self, other: &BigInt) -> BigInt {
-        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_mag(sign, mag::mul(&self.mag, &other.mag))
     }
 
@@ -125,7 +135,11 @@ impl BigInt {
     pub fn divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "division by zero");
         let (q, r) = mag::divrem(&self.mag, &other.mag);
-        let q_sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        let q_sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         (BigInt::from_mag(q_sign, q), BigInt::from_mag(self.sign, r))
     }
 
@@ -287,7 +301,9 @@ impl FromStr for BigInt {
             None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(ParseBigIntError { message: format!("invalid integer literal {s:?}") });
+            return Err(ParseBigIntError {
+                message: format!("invalid integer literal {s:?}"),
+            });
         }
         let mut mag: Vec<u32> = Vec::new();
         // Consume 9 digits at a time: mag = mag * 10^k + chunk.
@@ -325,7 +341,17 @@ mod tests {
 
     #[test]
     fn from_i64_roundtrip() {
-        for n in [0i64, 1, -1, 42, i64::MAX, i64::MIN, i64::MIN + 1, 1 << 32, -(1 << 32)] {
+        for n in [
+            0i64,
+            1,
+            -1,
+            42,
+            i64::MAX,
+            i64::MIN,
+            i64::MIN + 1,
+            1 << 32,
+            -(1 << 32),
+        ] {
             let b = BigInt::from(n);
             assert_eq!(b.to_i64(), Some(n), "roundtrip {n}");
             assert_eq!(b.to_string(), n.to_string());
@@ -372,8 +398,17 @@ mod tests {
             assert_eq!(q.to_i64().unwrap(), a / b, "quotient {a}/{b}");
             assert_eq!(r.to_i64().unwrap(), a % b, "remainder {a}%{b}");
         }
-        for (a, b, m) in [(-7i64, 2i64, 1i64), (7, -2, -1), (-7, -2, -1), (7, 2, 1), (6, 3, 0)] {
-            assert_eq!(BigInt::from(a).modulo(&BigInt::from(b)).to_i64().unwrap(), m);
+        for (a, b, m) in [
+            (-7i64, 2i64, 1i64),
+            (7, -2, -1),
+            (-7, -2, -1),
+            (7, 2, 1),
+            (6, 3, 0),
+        ] {
+            assert_eq!(
+                BigInt::from(a).modulo(&BigInt::from(b)).to_i64().unwrap(),
+                m
+            );
         }
     }
 

@@ -324,21 +324,38 @@ mod tests {
         let a = int("123456789012345678901234567890");
         let b = Int::from(-2i64);
         assert_eq!((&a * &b).to_string(), "-246913578024691357802469135780");
-        assert_eq!(a.checked_quotient(&b).unwrap().to_string(), "-61728394506172839450617283945");
+        assert_eq!(
+            a.checked_quotient(&b).unwrap().to_string(),
+            "-61728394506172839450617283945"
+        );
         assert_eq!(&a + &(-&a), Int::zero());
     }
 
     #[test]
     fn division_conventions() {
-        assert_eq!(Int::from(-7i64).checked_quotient(&Int::from(2i64)), Some(Int::from(-3i64)));
-        assert_eq!(Int::from(-7i64).checked_remainder(&Int::from(2i64)), Some(Int::from(-1i64)));
-        assert_eq!(Int::from(-7i64).checked_modulo(&Int::from(2i64)), Some(Int::from(1i64)));
-        assert_eq!(Int::from(7i64).checked_modulo(&Int::from(-2i64)), Some(Int::from(-1i64)));
+        assert_eq!(
+            Int::from(-7i64).checked_quotient(&Int::from(2i64)),
+            Some(Int::from(-3i64))
+        );
+        assert_eq!(
+            Int::from(-7i64).checked_remainder(&Int::from(2i64)),
+            Some(Int::from(-1i64))
+        );
+        assert_eq!(
+            Int::from(-7i64).checked_modulo(&Int::from(2i64)),
+            Some(Int::from(1i64))
+        );
+        assert_eq!(
+            Int::from(7i64).checked_modulo(&Int::from(-2i64)),
+            Some(Int::from(-1i64))
+        );
         assert_eq!(Int::from(1i64).checked_quotient(&Int::zero()), None);
         assert_eq!(Int::from(1i64).checked_remainder(&Int::zero()), None);
         assert_eq!(Int::from(1i64).checked_modulo(&Int::zero()), None);
         // i64::MIN / -1 overflows i64; must promote.
-        let q = Int::from(i64::MIN).checked_quotient(&Int::from(-1i64)).unwrap();
+        let q = Int::from(i64::MIN)
+            .checked_quotient(&Int::from(-1i64))
+            .unwrap();
         assert_eq!(q.to_string(), "9223372036854775808");
     }
 
@@ -356,8 +373,14 @@ mod tests {
     fn abs_and_cmp_abs() {
         assert_eq!(Int::from(i64::MIN).abs().to_string(), "9223372036854775808");
         assert_eq!(Int::from(-3i64).cmp_abs(&Int::from(3i64)), Ordering::Equal);
-        assert_eq!(int("-99999999999999999999").cmp_abs(&Int::from(5i64)), Ordering::Greater);
-        assert_eq!(Int::from(5i64).cmp_abs(&int("99999999999999999999")), Ordering::Less);
+        assert_eq!(
+            int("-99999999999999999999").cmp_abs(&Int::from(5i64)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Int::from(5i64).cmp_abs(&int("99999999999999999999")),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -365,6 +388,9 @@ mod tests {
         assert_eq!(Int::from(12i64).gcd(&Int::from(18i64)), Int::from(6i64));
         assert_eq!(Int::from(-12i64).gcd(&Int::from(18i64)), Int::from(6i64));
         assert_eq!(Int::from(0i64).gcd(&Int::from(5i64)), Int::from(5i64));
-        assert_eq!(int("123456789012345678901234567890").gcd(&Int::from(9i64)), Int::from(9i64));
+        assert_eq!(
+            int("123456789012345678901234567890").gcd(&Int::from(9i64)),
+            Int::from(9i64)
+        );
     }
 }

@@ -35,8 +35,8 @@ pub(crate) fn add(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
         out.push(s as u32);
         carry = s >> BASE_BITS;
     }
@@ -51,8 +51,8 @@ pub(crate) fn sub(a: &[u32], b: &[u32]) -> Vec<u32> {
     debug_assert!(cmp(a, b) != Ordering::Less, "mag::sub underflow");
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i64;
-    for i in 0..a.len() {
-        let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+    for (i, &limb) in a.iter().enumerate() {
+        let d = limb as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
         if d < 0 {
             out.push((d + (1i64 << BASE_BITS)) as u32);
             borrow = 1;
@@ -117,7 +117,7 @@ fn bit_len(a: &[u32]) -> usize {
 fn get_bit(a: &[u32], i: usize) -> bool {
     let limb = i / BASE_BITS as usize;
     let off = i % BASE_BITS as usize;
-    a.get(limb).map_or(false, |&w| (w >> off) & 1 == 1)
+    a.get(limb).is_some_and(|&w| (w >> off) & 1 == 1)
 }
 
 fn set_bit(a: &mut Vec<u32>, i: usize) {
@@ -184,7 +184,9 @@ mod tests {
     }
 
     fn to_u128(v: &[u32]) -> u128 {
-        v.iter().rev().fold(0u128, |acc, &w| (acc << 32) | w as u128)
+        v.iter()
+            .rev()
+            .fold(0u128, |acc, &w| (acc << 32) | w as u128)
     }
 
     #[test]
@@ -236,7 +238,10 @@ mod tests {
     fn cmp_orders() {
         assert_eq!(cmp(&from_u128(5), &from_u128(6)), Ordering::Less);
         assert_eq!(cmp(&from_u128(6), &from_u128(5)), Ordering::Greater);
-        assert_eq!(cmp(&from_u128(1 << 40), &from_u128(1 << 40)), Ordering::Equal);
+        assert_eq!(
+            cmp(&from_u128(1 << 40), &from_u128(1 << 40)),
+            Ordering::Equal
+        );
         assert_eq!(cmp(&[], &from_u128(1)), Ordering::Less);
     }
 }

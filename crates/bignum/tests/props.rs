@@ -80,13 +80,11 @@ proptest! {
     #[test]
     fn modulo_in_divisor_range(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
         let m = Int::from(a).checked_modulo(&Int::from(b)).unwrap();
-        let m128 = (a as i128).rem_euclid((b as i128).abs()) * if b < 0 && (a as i128).rem_euclid((b as i128).abs()) != 0 { 1 } else { 1 };
         // Floored modulo: same sign as divisor (or zero), |m| < |b|.
         prop_assert!(m.is_zero() || m.is_negative() == (b < 0));
         prop_assert!(m.cmp_abs(&Int::from(b)) == std::cmp::Ordering::Less);
         // And congruent to a mod |b|.
         let diff = &Int::from(a) - &m;
         prop_assert!(diff.checked_remainder(&Int::from(b)).unwrap().is_zero());
-        let _ = m128;
     }
 }

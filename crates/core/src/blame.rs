@@ -26,7 +26,10 @@ pub struct BlameLabel {
 impl BlameLabel {
     /// Creates a blame label naming a party.
     pub fn new(party: impl Into<String>) -> BlameLabel {
-        BlameLabel { party: party.into(), site: None }
+        BlameLabel {
+            party: party.into(),
+            site: None,
+        }
     }
 
     /// Attaches a source location to the label.
@@ -63,7 +66,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(BlameLabel::new("main").to_string(), "main");
-        assert_eq!(BlameLabel::new("main").at("prog:3").to_string(), "main (at prog:3)");
+        assert_eq!(
+            BlameLabel::new("main").at("prog:3").to_string(),
+            "main (at prog:3)"
+        );
     }
 
     #[test]

@@ -169,7 +169,11 @@ impl ScGraph {
     pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
         (0..self.rows as usize).flat_map(move |i| {
             (0..self.cols as usize).filter_map(move |j| {
-                self.get(i, j).map(|change| Arc { from: i, change, to: j })
+                self.get(i, j).map(|change| Arc {
+                    from: i,
+                    change,
+                    to: j,
+                })
             })
         })
     }
@@ -210,7 +214,11 @@ impl ScGraph {
                         continue;
                     }
                     // Path strength: strict if either step is strict.
-                    let strength = if a == DESCEND || b == DESCEND { DESCEND } else { NON_ASCEND };
+                    let strength = if a == DESCEND || b == DESCEND {
+                        DESCEND
+                    } else {
+                        NON_ASCEND
+                    };
                     if strength > best {
                         best = strength;
                         if best == DESCEND {
@@ -255,7 +263,9 @@ impl ScGraph {
     /// Renders the graph with parameter names, e.g. `{(m→m), (n→=n)}`.
     pub fn display_with(&self, from_names: &[&str], to_names: &[&str]) -> String {
         let name = |names: &[&str], i: usize| -> String {
-            names.get(i).map_or_else(|| format!("x{i}"), |s| s.to_string())
+            names
+                .get(i)
+                .map_or_else(|| format!("x{i}"), |s| s.to_string())
         };
         let mut parts = Vec::new();
         for arc in self.arcs() {
@@ -276,7 +286,13 @@ impl ScGraph {
 
 impl fmt::Debug for ScGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ScGraph[{}x{}]{}", self.rows, self.cols, self.display_with(&[], &[]))
+        write!(
+            f,
+            "ScGraph[{}x{}]{}",
+            self.rows,
+            self.cols,
+            self.display_with(&[], &[])
+        )
     }
 }
 
@@ -410,8 +426,16 @@ mod tests {
         let g = ScGraph::from_arcs(3, 2, [d(0, 1), e(2, 0)]);
         let arcs: Vec<_> = g.arcs().collect();
         assert_eq!(arcs.len(), 2);
-        assert!(arcs.contains(&Arc { from: 0, change: Change::Descend, to: 1 }));
-        assert!(arcs.contains(&Arc { from: 2, change: Change::NonAscend, to: 0 }));
+        assert!(arcs.contains(&Arc {
+            from: 0,
+            change: Change::Descend,
+            to: 1
+        }));
+        assert!(arcs.contains(&Arc {
+            from: 2,
+            change: Change::NonAscend,
+            to: 0
+        }));
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn closure_check(graphs: &[ScGraph], max_size: usize) -> ClosureResult {
     let mut closure: Vec<ScGraph> = Vec::new();
     let mut worklist: Vec<ScGraph> = Vec::new();
 
-    let add = |g: ScGraph, closure: &mut Vec<ScGraph>, worklist: &mut Vec<ScGraph>| -> Option<ClosureResult> {
+    let add = |g: ScGraph,
+               closure: &mut Vec<ScGraph>,
+               worklist: &mut Vec<ScGraph>|
+     -> Option<ClosureResult> {
         if closure.contains(&g) {
             return None;
         }
@@ -95,7 +98,9 @@ pub fn closure_check(graphs: &[ScGraph], max_size: usize) -> ClosureResult {
         }
     }
 
-    ClosureResult::Ok { closure_size: closure.len() }
+    ClosureResult::Ok {
+        closure_size: closure.len(),
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +162,10 @@ mod tests {
         // Swapping without any descent: {0→=1, 1→=0}; its square is the
         // identity — idempotent, no descent.
         let g = ScGraph::from_arcs(2, 2, [e(0, 1), e(1, 0)]);
-        assert!(matches!(closure_check(&[g], 10_000), ClosureResult::Violation(_)));
+        assert!(matches!(
+            closure_check(&[g], 10_000),
+            ClosureResult::Violation(_)
+        ));
     }
 
     #[test]

@@ -169,7 +169,10 @@ pub struct Backoff<K> {
 impl<K: Hash + Eq + Clone> Backoff<K> {
     /// Creates a counter table for the given policy.
     pub fn new(policy: BackoffPolicy) -> Backoff<K> {
-        Backoff { policy, counters: HashMap::new() }
+        Backoff {
+            policy,
+            counters: HashMap::new(),
+        }
     }
 
     /// Records a call to `key` and decides whether this one is checked.
@@ -178,10 +181,10 @@ impl<K: Hash + Eq + Clone> Backoff<K> {
             BackoffPolicy::EveryCall => true,
             BackoffPolicy::Exponential { factor } => {
                 let factor = factor.max(2) as u64;
-                let entry = self
-                    .counters
-                    .entry(key.clone())
-                    .or_insert(BackoffEntry { count: 0, next_check: 1 });
+                let entry = self.counters.entry(key.clone()).or_insert(BackoffEntry {
+                    count: 0,
+                    next_check: 1,
+                });
                 entry.count += 1;
                 if entry.count >= entry.next_check {
                     entry.next_check = entry.count.saturating_mul(factor);
@@ -227,7 +230,11 @@ mod tests {
                 last_check_at = i;
             }
         }
-        assert_eq!(last_check_at, 1 << 20, "a check lands on every power of two");
+        assert_eq!(
+            last_check_at,
+            1 << 20,
+            "a check lands on every power of two"
+        );
     }
 
     #[test]

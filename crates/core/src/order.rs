@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(AbsIntOrder.relate(&-5, &-4), SizeChange::Descend);
         assert_eq!(AbsIntOrder.relate(&4, &-5), SizeChange::Unknown);
         assert_eq!(AbsIntOrder.relate(&0, &0), SizeChange::Equal);
-        assert_eq!(AbsIntOrder.relate(&i64::MIN, &i64::MAX), SizeChange::Descend);
+        assert_eq!(
+            AbsIntOrder.relate(&i64::MIN, &i64::MAX),
+            SizeChange::Descend
+        );
     }
 
     #[test]

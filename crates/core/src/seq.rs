@@ -81,7 +81,10 @@ impl Default for CallSeq {
 impl CallSeq {
     /// The empty sequence (`⃗g = []`, stored for a function's first call).
     pub fn new() -> CallSeq {
-        CallSeq { suffix_composites: PSet::new(), len: 0 }
+        CallSeq {
+            suffix_composites: PSet::new(),
+            len: 0,
+        }
     }
 
     /// Number of graphs pushed so far.
@@ -129,13 +132,19 @@ impl CallSeq {
                 return Err(ScViolation { witness: c.clone() });
             }
         }
-        Ok(CallSeq { suffix_composites: next, len: self.len + 1 })
+        Ok(CallSeq {
+            suffix_composites: next,
+            len: self.len + 1,
+        })
     }
 
     /// Appends a graph *without* checking — the `ext` function of the
     /// call-sequence semantics (Figure 6), used to state completeness.
     pub fn push_unchecked(&self, g: ScGraph) -> CallSeq {
-        CallSeq { suffix_composites: self.extend_with(g), len: self.len + 1 }
+        CallSeq {
+            suffix_composites: self.extend_with(g),
+            len: self.len + 1,
+        }
     }
 
     /// Checks `prog?` over the suffix composites currently tracked.
@@ -155,7 +164,11 @@ impl CallSeq {
 
 impl fmt::Debug for CallSeq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CallSeq(len={}, composites={:?})", self.len, self.suffix_composites)
+        write!(
+            f,
+            "CallSeq(len={}, composites={:?})",
+            self.len, self.suffix_composites
+        )
     }
 }
 
@@ -187,7 +200,9 @@ mod tests {
         // §2.1: (ack 2 0) ↝ (ack 1 1) ↝ (ack 1 2) — last graph is
         // {(m→=m),(n→=m)}: idempotent, no self-descent.
         let seq = CallSeq::new();
-        let seq = seq.push(ScGraph::from_args(&AbsIntOrder, &[2i64, 0], &[1, 1])).unwrap();
+        let seq = seq
+            .push(ScGraph::from_args(&AbsIntOrder, &[2i64, 0], &[1, 1]))
+            .unwrap();
         let err = seq
             .push(ScGraph::from_args(&AbsIntOrder, &[1i64, 1], &[1, 2]))
             .expect_err("non-descending call must violate");
@@ -226,7 +241,10 @@ mod tests {
     fn unchecked_extension_then_check() {
         let stay = g(&[(0, Change::NonAscend, 0)]);
         let seq = CallSeq::new().push_unchecked(stay);
-        assert!(seq.check().is_err(), "ext records the violation for later inspection");
+        assert!(
+            seq.check().is_err(),
+            "ext records the violation for later inspection"
+        );
         assert_eq!(seq.len(), 1);
     }
 

@@ -36,7 +36,10 @@ pub struct FnEntry<V> {
 
 impl<V> Clone for FnEntry<V> {
     fn clone(&self) -> Self {
-        FnEntry { last_args: Rc::clone(&self.last_args), seq: self.seq.clone() }
+        FnEntry {
+            last_args: Rc::clone(&self.last_args),
+            seq: self.seq.clone(),
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl<V> FnEntry<V> {
     /// A fresh entry for a function's first observed call: the paper's
     /// `m[v ↦ (⃗vₙ, [])]`.
     pub fn first_call(args: Rc<[V]>) -> FnEntry<V> {
-        FnEntry { last_args: args, seq: CallSeq::new() }
+        FnEntry {
+            last_args: args,
+            seq: CallSeq::new(),
+        }
     }
 
     /// Steps the entry with new arguments: computes `graph(⃗vₙ₋₁, ⃗vₙ)` and
@@ -61,7 +67,10 @@ impl<V> FnEntry<V> {
     ) -> Result<FnEntry<V>, ScViolation> {
         let g = ScGraph::from_args(order, &self.last_args, &args);
         let seq = self.seq.push(g)?;
-        Ok(FnEntry { last_args: args, seq })
+        Ok(FnEntry {
+            last_args: args,
+            seq,
+        })
     }
 
     /// Steps the entry without checking (`ext` of Figure 6).
@@ -71,7 +80,10 @@ impl<V> FnEntry<V> {
         order: &O,
     ) -> FnEntry<V> {
         let g = ScGraph::from_args(order, &self.last_args, &args);
-        FnEntry { last_args: args, seq: self.seq.push_unchecked(g) }
+        FnEntry {
+            last_args: args,
+            seq: self.seq.push_unchecked(g),
+        }
     }
 }
 
@@ -102,7 +114,9 @@ impl<K: Hash + Eq + Clone + std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug
 
 impl<K, V> Clone for ScTable<K, V> {
     fn clone(&self) -> Self {
-        ScTable { map: self.map.clone() }
+        ScTable {
+            map: self.map.clone(),
+        }
     }
 }
 
@@ -152,7 +166,9 @@ impl<K: Hash + Eq + Clone, V> ScTable<K, V> {
             None => FnEntry::first_call(args),
             Some(prev) => prev.step(args, order)?,
         };
-        Ok(ScTable { map: self.map.insert(key, entry) })
+        Ok(ScTable {
+            map: self.map.insert(key, entry),
+        })
     }
 
     /// Figure 6's `ext(m, v, ⃗vₙ)`: records the call without checking.
@@ -167,7 +183,9 @@ impl<K: Hash + Eq + Clone, V> ScTable<K, V> {
             None => FnEntry::first_call(args),
             Some(prev) => prev.step_unchecked(args, order),
         };
-        ScTable { map: self.map.insert(key, entry) }
+        ScTable {
+            map: self.map.insert(key, entry),
+        }
     }
 
     /// Iterates over tracked functions and entries in unspecified order.
@@ -222,7 +240,9 @@ where
 impl<K: Hash + Eq + Clone, V> MutScTable<K, V> {
     /// The empty table.
     pub fn new() -> MutScTable<K, V> {
-        MutScTable { map: HashMap::new() }
+        MutScTable {
+            map: HashMap::new(),
+        }
     }
 
     /// Number of functions tracked.

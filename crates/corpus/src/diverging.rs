@@ -128,7 +128,14 @@ pub const OMEGA_INTERPRETED: CorpusProgram = CorpusProgram {
 
 /// All diverging programs.
 pub fn all() -> Vec<CorpusProgram> {
-    vec![BUGGY_ACK, BUGGY_NFA, BUGGY_SUM, BUGGY_MERGE, PING_PONG, OMEGA_INTERPRETED]
+    vec![
+        BUGGY_ACK,
+        BUGGY_NFA,
+        BUGGY_SUM,
+        BUGGY_MERGE,
+        PING_PONG,
+        OMEGA_INTERPRETED,
+    ]
 }
 
 #[cfg(test)]

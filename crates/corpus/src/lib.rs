@@ -20,8 +20,8 @@ pub mod workloads;
 
 use sct_core::monitor::TableStrategy;
 use sct_interp::{
-    EvalError, ExtendedOrder, Machine, MachineConfig, OrderHandle, ReverseIntOrder,
-    SemanticsMode, Value,
+    EvalError, ExtendedOrder, Machine, MachineConfig, OrderHandle, ReverseIntOrder, SemanticsMode,
+    Value,
 };
 use sct_lang::compile_program;
 
@@ -76,7 +76,10 @@ impl Verdict {
     pub fn is_pass(self) -> bool {
         matches!(
             self,
-            Verdict::Pass | Verdict::PassAnnotated | Verdict::PassCustomOrder | Verdict::PassRewritten
+            Verdict::Pass
+                | Verdict::PassAnnotated
+                | Verdict::PassCustomOrder
+                | Verdict::PassRewritten
         )
     }
 
@@ -166,12 +169,12 @@ pub struct CorpusProgram {
 ///
 /// Whatever the machine reports — for Table-1 programs a [`EvalError::Sc`]
 /// means the dynamic check rejected a terminating program.
-pub fn run_dynamic(
-    program: &CorpusProgram,
-    strategy: TableStrategy,
-) -> Result<Value, EvalError> {
+pub fn run_dynamic(program: &CorpusProgram, strategy: TableStrategy) -> Result<Value, EvalError> {
     let prog = compile_program(program.source).map_err(|e| {
-        EvalError::Rt(sct_interp::RtError::new(format!("compile error in {}: {e}", program.id)))
+        EvalError::Rt(sct_interp::RtError::new(format!(
+            "compile error in {}: {e}",
+            program.id
+        )))
     })?;
     let config = MachineConfig {
         mode: SemanticsMode::Monitored,
@@ -188,8 +191,14 @@ pub fn run_dynamic(
 /// As [`run_dynamic`], plus [`EvalError::OutOfFuel`].
 pub fn run_standard(program: &CorpusProgram, fuel: Option<u64>) -> Result<Value, EvalError> {
     let prog = compile_program(program.source).map_err(|e| {
-        EvalError::Rt(sct_interp::RtError::new(format!("compile error in {}: {e}", program.id)))
+        EvalError::Rt(sct_interp::RtError::new(format!(
+            "compile error in {}: {e}",
+            program.id
+        )))
     })?;
-    let config = MachineConfig { fuel, ..MachineConfig::standard() };
+    let config = MachineConfig {
+        fuel,
+        ..MachineConfig::standard()
+    };
     Machine::new(&prog, config).run()
 }

@@ -10,10 +10,25 @@
 use crate::scheme_interp;
 use crate::{CorpusProgram, Domain, OrderSpec, PaperRow, StaticSpec, Verdict};
 
-use Verdict::{Fail, NoHigherOrder, NotReported, NotTypable, Pass, PassAnnotated, PassCustomOrder, PassRewritten};
+use Verdict::{
+    Fail, NoHigherOrder, NotReported, NotTypable, Pass, PassAnnotated, PassCustomOrder,
+    PassRewritten,
+};
 
-const fn row(dynamic: Verdict, static_: Verdict, lh: Verdict, isa: Verdict, acl2: Verdict) -> PaperRow {
-    PaperRow { dynamic, static_, liquid_haskell: lh, isabelle: isa, acl2 }
+const fn row(
+    dynamic: Verdict,
+    static_: Verdict,
+    lh: Verdict,
+    isa: Verdict,
+    acl2: Verdict,
+) -> PaperRow {
+    PaperRow {
+        dynamic,
+        static_,
+        liquid_haskell: lh,
+        isabelle: isa,
+        acl2,
+    }
 }
 
 /// `sct-1`: list reverse with an accumulator (LJB example 1).
@@ -27,7 +42,11 @@ pub const SCT_1: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("(5 4 3 2 1)"),
     paper: row(Pass, Pass, PassRewritten, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "rev", domains: &[Domain::List, Domain::Any], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "rev",
+        domains: &[Domain::List, Domain::Any],
+        result: Domain::Any,
+    }),
 };
 
 /// `sct-2`: mutual recursion accumulating a heterogeneous structure
@@ -42,7 +61,11 @@ pub const SCT_2: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: None,
     paper: row(Pass, Pass, Fail, PassRewritten, Pass),
-    static_spec: Some(StaticSpec { function: "f2", domains: &[Domain::List, Domain::Any], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "f2",
+        domains: &[Domain::List, Domain::Any],
+        result: Domain::Any,
+    }),
 };
 
 /// `sct-3`: the Ackermann function (§2.1, Figure 1).
@@ -58,7 +81,11 @@ pub const SCT_3: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("9"),
     paper: row(Pass, Pass, PassAnnotated, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "ack", domains: &[Domain::Nat, Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "ack",
+        domains: &[Domain::Nat, Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `sct-4`: permuted parameters with guards (LJB ex. 4).
@@ -74,7 +101,11 @@ pub const SCT_4: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("2"),
     paper: row(Pass, Pass, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "p4", domains: &[Domain::Nat, Domain::Nat, Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "p4",
+        domains: &[Domain::Nat, Domain::Nat, Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `sct-5`: descent alternating between two parameters (LJB ex. 5).
@@ -90,7 +121,11 @@ pub const SCT_5: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: None,
     paper: row(Pass, Pass, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "f5", domains: &[Domain::List, Domain::List], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "f5",
+        domains: &[Domain::List, Domain::List],
+        result: Domain::Any,
+    }),
 };
 
 /// `sct-6`: reverse twice through a helper (LJB ex. 6).
@@ -106,7 +141,11 @@ pub const SCT_6: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("(1 2 3)"),
     paper: row(Pass, Pass, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "f6", domains: &[Domain::List, Domain::List], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "f6",
+        domains: &[Domain::List, Domain::List],
+        result: Domain::Any,
+    }),
 };
 
 /// `ho-sc-ack`: Ackermann through the Y combinator — self-application is
@@ -129,7 +168,11 @@ pub const HO_SC_ACK: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("7"),
     paper: row(Pass, Fail, NotTypable, NotTypable, NoHigherOrder),
-    static_spec: Some(StaticSpec { function: "ack", domains: &[Domain::Nat, Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "ack",
+        domains: &[Domain::Nat, Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `ho-sct-fg`: higher-order descent in the Sereni–Jones style.
@@ -142,7 +185,11 @@ pub const HO_SCT_FG: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("5"),
     paper: row(Pass, Pass, Pass, Pass, NoHigherOrder),
-    static_spec: Some(StaticSpec { function: "fh", domains: &[Domain::Nat, Domain::Any], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "fh",
+        domains: &[Domain::Nat, Domain::Any],
+        result: Domain::Any,
+    }),
 };
 
 /// `ho-sct-fold`: folds.
@@ -158,7 +205,11 @@ pub const HO_SCT_FOLD: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("21"),
     paper: row(Pass, Pass, PassAnnotated, Pass, NoHigherOrder),
-    static_spec: Some(StaticSpec { function: "foldl2", domains: &[Domain::Any, Domain::Any, Domain::List], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "foldl2",
+        domains: &[Domain::Any, Domain::Any, Domain::List],
+        result: Domain::Any,
+    }),
 };
 
 /// `isabelle-perm`: permutation test via deletion.
@@ -178,7 +229,11 @@ pub const ISABELLE_PERM: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("#t"),
     paper: row(Pass, Pass, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "perm?", domains: &[Domain::List, Domain::List], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "perm?",
+        domains: &[Domain::List, Domain::List],
+        result: Domain::Any,
+    }),
 };
 
 /// `isabelle-f`: nested recursion `f(f(n-1))` — the inner result defeats
@@ -192,7 +247,11 @@ pub const ISABELLE_F: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("0"),
     paper: row(Pass, Fail, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "fnest", domains: &[Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "fnest",
+        domains: &[Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `isabelle-foo`: logarithmic descent via quotient — nonlinear for the
@@ -206,7 +265,11 @@ pub const ISABELLE_FOO: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("1"),
     paper: row(Pass, Fail, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "foo", domains: &[Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "foo",
+        domains: &[Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `isabelle-bar`: subtractive gcd.
@@ -222,7 +285,11 @@ pub const ISABELLE_BAR: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("3"),
     paper: row(Pass, Fail, Fail, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "bar", domains: &[Domain::Pos, Domain::Pos], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "bar",
+        domains: &[Domain::Pos, Domain::Pos],
+        result: Domain::Any,
+    }),
 };
 
 /// `isabelle-poly`: a closure builder whose termination argument crosses
@@ -237,7 +304,11 @@ pub const ISABELLE_POLY: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("14"),
     paper: row(Pass, Fail, Fail, Fail, Fail),
-    static_spec: Some(StaticSpec { function: "build", domains: &[Domain::Nat], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "build",
+        domains: &[Domain::Nat],
+        result: Domain::Any,
+    }),
 };
 
 /// `acl2-fig-2`: ascent toward a bound — dynamic checking needs a custom
@@ -251,7 +322,11 @@ pub const ACL2_FIG_2: CorpusProgram = CorpusProgram {
     order: OrderSpec::ReverseInt,
     expected: Some("8"),
     paper: row(PassCustomOrder, Fail, Fail, Fail, Fail),
-    static_spec: Some(StaticSpec { function: "upto", domains: &[Domain::Nat, Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "upto",
+        domains: &[Domain::Nat, Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `acl2-fig-6`: guarded mutual recursion.
@@ -265,7 +340,11 @@ pub const ACL2_FIG_6: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("0"),
     paper: row(Pass, Pass, Fail, Fail, Fail),
-    static_spec: Some(StaticSpec { function: "dec-even", domains: &[Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "dec-even",
+        domains: &[Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `acl2-fig-7`: descent by a gcd-sized step — needs gcd bounds statically.
@@ -278,7 +357,11 @@ pub const ACL2_FIG_7: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("0"),
     paper: row(Pass, Fail, Fail, Fail, Pass),
-    static_spec: Some(StaticSpec { function: "shrink", domains: &[Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "shrink",
+        domains: &[Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `lh-gcd`: Euclid's algorithm — static needs `|a mod b| < |b|`.
@@ -291,7 +374,11 @@ pub const LH_GCD: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("21"),
     paper: row(Pass, Fail, Pass, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "euclid", domains: &[Domain::Nat, Domain::Nat], result: Domain::Nat }),
+    static_spec: Some(StaticSpec {
+        function: "euclid",
+        domains: &[Domain::Nat, Domain::Nat],
+        result: Domain::Nat,
+    }),
 };
 
 /// `lh-map`: structural map with a functional argument.
@@ -305,7 +392,11 @@ pub const LH_MAP: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("(1 4 9 16)"),
     paper: row(Pass, Pass, Pass, Pass, NoHigherOrder),
-    static_spec: Some(StaticSpec { function: "my-map", domains: &[Domain::Any, Domain::List], result: Domain::List }),
+    static_spec: Some(StaticSpec {
+        function: "my-map",
+        domains: &[Domain::Any, Domain::List],
+        result: Domain::List,
+    }),
 };
 
 /// `lh-merge`: merging sorted lists — lexicographic descent, the classic
@@ -323,7 +414,11 @@ pub const LH_MERGE: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("(1 2 3 4 5 6)"),
     paper: row(Pass, Pass, PassAnnotated, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "merge", domains: &[Domain::List, Domain::List], result: Domain::List }),
+    static_spec: Some(StaticSpec {
+        function: "merge",
+        domains: &[Domain::List, Domain::List],
+        result: Domain::List,
+    }),
 };
 
 /// `lh-range`: ascending range — dynamic needs a custom order.
@@ -336,7 +431,11 @@ pub const LH_RANGE: CorpusProgram = CorpusProgram {
     order: OrderSpec::ReverseInt,
     expected: Some("(0 1 2 3 4 5 6 7)"),
     paper: row(PassCustomOrder, Fail, PassAnnotated, Fail, Pass),
-    static_spec: Some(StaticSpec { function: "range", domains: &[Domain::Nat, Domain::Nat], result: Domain::List }),
+    static_spec: Some(StaticSpec {
+        function: "range",
+        domains: &[Domain::Nat, Domain::Nat],
+        result: Domain::List,
+    }),
 };
 
 /// `lh-tfact`: tail factorial with an accumulator.
@@ -349,7 +448,11 @@ pub const LH_TFACT: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("3628800"),
     paper: row(Pass, Pass, Pass, Pass, Pass),
-    static_spec: Some(StaticSpec { function: "tfact", domains: &[Domain::Nat, Domain::Int], result: Domain::Int }),
+    static_spec: Some(StaticSpec {
+        function: "tfact",
+        domains: &[Domain::Nat, Domain::Int],
+        result: Domain::Int,
+    }),
 };
 
 /// `dderiv`: table-driven symbolic differentiation (Gabriel benchmark).
@@ -370,7 +473,11 @@ pub const DDERIV: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: None,
     paper: row(Pass, Pass, NotReported, NotReported, NotReported),
-    static_spec: Some(StaticSpec { function: "dderiv", domains: &[Domain::Any], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "dderiv",
+        domains: &[Domain::Any],
+        result: Domain::Any,
+    }),
 };
 
 /// `deriv`: direct symbolic differentiation (Gabriel benchmark).
@@ -389,7 +496,11 @@ pub const DERIV: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: None,
     paper: row(Pass, Fail, NotReported, NotReported, NotReported),
-    static_spec: Some(StaticSpec { function: "deriv", domains: &[Domain::Any], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "deriv",
+        domains: &[Domain::Any],
+        result: Domain::Any,
+    }),
 };
 
 /// `destruct`: list surgery loops (functional analog of the Gabriel
@@ -407,7 +518,11 @@ pub const DESTRUCT: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("8"),
     paper: row(Pass, Fail, NotReported, NotReported, NotReported),
-    static_spec: Some(StaticSpec { function: "churn", domains: &[Domain::List, Domain::Nat], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "churn",
+        domains: &[Domain::List, Domain::Nat],
+        result: Domain::Any,
+    }),
 };
 
 /// `div`: dividing list lengths by two (Gabriel benchmark).
@@ -422,7 +537,11 @@ pub const DIV: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("20"),
     paper: row(Pass, Pass, NotReported, NotReported, NotReported),
-    static_spec: Some(StaticSpec { function: "iterative-div2", domains: &[Domain::List], result: Domain::List }),
+    static_spec: Some(StaticSpec {
+        function: "iterative-div2",
+        domains: &[Domain::List],
+        result: Domain::List,
+    }),
 };
 
 /// `nfa`: the decades-old automaton benchmark of §5.1.2 — here with the
@@ -457,7 +576,11 @@ pub const NFA: CorpusProgram = CorpusProgram {
     order: OrderSpec::Default,
     expected: Some("#t"),
     paper: row(Pass, Pass, NotReported, NotReported, NotReported),
-    static_spec: Some(StaticSpec { function: "run-nfa", domains: &[Domain::List], result: Domain::Any }),
+    static_spec: Some(StaticSpec {
+        function: "run-nfa",
+        domains: &[Domain::List],
+        result: Domain::Any,
+    }),
 };
 
 /// `scheme`: the compiler-interpreter (Figure 2 style) running tree

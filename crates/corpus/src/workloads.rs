@@ -44,12 +44,19 @@ pub struct Lcg {
 impl Lcg {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> Lcg {
-        Lcg { state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) }
+        Lcg {
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
+        }
     }
 
     /// Next pseudo-random value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.state >> 11
     }
 }
@@ -89,7 +96,11 @@ fn sum_args(n: u64) -> Vec<Value> {
 
 fn random_int_list(n: u64) -> Value {
     let mut lcg = Lcg::new(n ^ 0x5c17);
-    Value::list((0..n).map(|_| Value::int((lcg.next_u64() % 100_000) as i64)).collect::<Vec<_>>())
+    Value::list(
+        (0..n)
+            .map(|_| Value::int((lcg.next_u64() % 100_000) as i64))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn msort_args(n: u64) -> Vec<Value> {
@@ -143,7 +154,9 @@ fn check_sum(n: u64, v: &Value) -> bool {
 }
 
 fn check_sorted_ints(n: u64, v: &Value) -> bool {
-    let Some(items) = v.list_to_vec() else { return false };
+    let Some(items) = v.list_to_vec() else {
+        return false;
+    };
     if items.len() != n as usize {
         return false;
     }
@@ -154,7 +167,9 @@ fn check_sorted_ints(n: u64, v: &Value) -> bool {
 }
 
 fn check_sorted_strings(n: u64, v: &Value) -> bool {
-    let Some(items) = v.list_to_vec() else { return false };
+    let Some(items) = v.list_to_vec() else {
+        return false;
+    };
     if items.len() != n.max(1) as usize {
         return false;
     }
@@ -197,7 +212,7 @@ pub fn fig10() -> Vec<Workload> {
         Workload {
             id: "interp-fact",
             label: "Interpreted Factorial",
-            source: format!("{}", scheme_interp::compose(scheme_interp::TARGET_FACT)),
+            source: scheme_interp::compose(scheme_interp::TARGET_FACT).to_string(),
             entry: "go",
             order: OrderSpec::Extended,
             make_args: int_arg,
@@ -206,7 +221,7 @@ pub fn fig10() -> Vec<Workload> {
         Workload {
             id: "interp-sum",
             label: "Interpreted Sum",
-            source: format!("{}", scheme_interp::compose(scheme_interp::TARGET_SUM)),
+            source: scheme_interp::compose(scheme_interp::TARGET_SUM).to_string(),
             entry: "go",
             order: OrderSpec::Extended,
             make_args: int_arg,
@@ -219,7 +234,7 @@ pub fn fig10() -> Vec<Workload> {
         Workload {
             id: "interp-msort",
             label: "Interpreted Merge-sort",
-            source: format!("{}", scheme_interp::compose(scheme_interp::TARGET_MSORT)),
+            source: scheme_interp::compose(scheme_interp::TARGET_MSORT).to_string(),
             entry: "go",
             order: OrderSpec::Extended,
             make_args: tree_args,
@@ -236,17 +251,19 @@ mod tests {
     use sct_lang::compile_program;
 
     fn run(w: &Workload, n: u64, mode: SemanticsMode, strategy: TableStrategy) -> Value {
-        let prog = compile_program(&w.source).unwrap_or_else(|e| {
-            panic!("workload {} failed to compile: {e}", w.id)
-        });
+        let prog = compile_program(&w.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.id));
         let config = MachineConfig {
             mode,
             order: w.order.handle(),
             ..MachineConfig::monitored(strategy)
         };
         let mut m = Machine::new(&prog, config);
-        m.run().unwrap_or_else(|e| panic!("{}: program body failed: {e}", w.id));
-        let f = m.global(w.entry).unwrap_or_else(|| panic!("{}: no entry {}", w.id, w.entry));
+        m.run()
+            .unwrap_or_else(|e| panic!("{}: program body failed: {e}", w.id));
+        let f = m
+            .global(w.entry)
+            .unwrap_or_else(|| panic!("{}: no entry {}", w.id, w.entry));
         m.call(f, (w.make_args)(n))
             .unwrap_or_else(|e| panic!("{} (n={n}, {mode:?}, {strategy:?}): {e}", w.id))
     }
@@ -256,7 +273,12 @@ mod tests {
         for w in fig10() {
             let n = 12;
             let v = run(&w, n, SemanticsMode::Standard, TableStrategy::Imperative);
-            assert!((w.check)(n, &v), "{} produced {}", w.id, v.to_write_string());
+            assert!(
+                (w.check)(n, &v),
+                "{} produced {}",
+                w.id,
+                v.to_write_string()
+            );
         }
     }
 
@@ -265,7 +287,12 @@ mod tests {
         for w in fig10() {
             let n = 12;
             let v = run(&w, n, SemanticsMode::Monitored, TableStrategy::Imperative);
-            assert!((w.check)(n, &v), "{} produced {}", w.id, v.to_write_string());
+            assert!(
+                (w.check)(n, &v),
+                "{} produced {}",
+                w.id,
+                v.to_write_string()
+            );
         }
     }
 
@@ -273,8 +300,18 @@ mod tests {
     fn workloads_run_monitored_cm() {
         for w in fig10() {
             let n = 12;
-            let v = run(&w, n, SemanticsMode::Monitored, TableStrategy::ContinuationMark);
-            assert!((w.check)(n, &v), "{} produced {}", w.id, v.to_write_string());
+            let v = run(
+                &w,
+                n,
+                SemanticsMode::Monitored,
+                TableStrategy::ContinuationMark,
+            );
+            assert!(
+                (w.check)(n, &v),
+                "{} produced {}",
+                w.id,
+                v.to_write_string()
+            );
         }
     }
 

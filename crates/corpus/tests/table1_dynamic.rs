@@ -64,7 +64,10 @@ fn custom_order_rows_need_their_order() {
         if p.order != OrderSpec::ReverseInt {
             continue;
         }
-        let with_default = CorpusProgram { order: OrderSpec::Default, ..p };
+        let with_default = CorpusProgram {
+            order: OrderSpec::Default,
+            ..p
+        };
         let got = run_dynamic(&with_default, TableStrategy::Imperative);
         assert!(
             matches!(got, Err(EvalError::Sc(_))),

@@ -18,7 +18,10 @@ pub type Env = Option<Rc<Frame>>;
 impl Frame {
     /// Pushes a new frame with the given slot values.
     pub fn extend(parent: &Env, slots: Vec<Value>) -> Env {
-        Some(Rc::new(Frame { slots: RefCell::new(slots), parent: parent.clone() }))
+        Some(Rc::new(Frame {
+            slots: RefCell::new(slots),
+            parent: parent.clone(),
+        }))
     }
 
     /// Pushes a frame of `n` undefined slots (for `letrec`).
@@ -73,7 +76,11 @@ mod tests {
         let e0 = Frame::extend(&None, vec![Value::int(1)]);
         let e1 = Frame::extend(&e0, vec![]);
         assign(&e1, 1, 0, Value::int(99));
-        assert_eq!(lookup(&e0, 0, 0), Value::int(99), "frames are shared, not copied");
+        assert_eq!(
+            lookup(&e0, 0, 0),
+            Value::int(99),
+            "frames are shared, not copied"
+        );
     }
 
     #[test]

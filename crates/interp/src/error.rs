@@ -15,7 +15,9 @@ pub struct RtError {
 impl RtError {
     /// Creates a run-time error.
     pub fn new(message: impl Into<String>) -> RtError {
-        RtError { message: message.into() }
+        RtError {
+            message: message.into(),
+        }
     }
 }
 
@@ -62,7 +64,11 @@ pub struct ContractErrorInfo {
 
 impl fmt::Display for ContractErrorInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "contract violation: {}; blaming {}", self.message, self.blame)
+        write!(
+            f,
+            "contract violation: {}; blaming {}",
+            self.message, self.blame
+        )
     }
 }
 
@@ -118,11 +124,16 @@ mod tests {
         let sc = EvalError::Sc(ScErrorInfo {
             blame: Some(Rc::from("main")),
             function: "loop".into(),
-            violation: ScViolation { witness: ScGraph::empty(1, 1) },
+            violation: ScViolation {
+                witness: ScGraph::empty(1, 1),
+            },
         });
         assert!(sc.is_sc());
         let shown = sc.to_string();
-        assert!(shown.contains("loop") && shown.contains("main"), "got {shown}");
+        assert!(
+            shown.contains("loop") && shown.contains("main"),
+            "got {shown}"
+        );
         assert!(!EvalError::OutOfFuel.is_sc());
     }
 }

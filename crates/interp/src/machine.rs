@@ -82,7 +82,10 @@ impl MachineConfig {
     pub fn monitored(strategy: TableStrategy) -> MachineConfig {
         MachineConfig {
             mode: SemanticsMode::Monitored,
-            monitor: MonitorConfig { strategy, ..MonitorConfig::default() },
+            monitor: MonitorConfig {
+                strategy,
+                ..MonitorConfig::default()
+            },
             ..MachineConfig::default()
         }
     }
@@ -131,18 +134,61 @@ struct MarkEntry {
 }
 
 enum Kont {
-    If { then_branch: Expr, else_branch: Expr, env: Env },
-    Seq { exprs: Rc<[Expr]>, index: usize, env: Env },
-    AppFunc { exprs: Rc<[Expr]>, env: Env },
-    AppArgs { func: Value, exprs: Rc<[Expr]>, index: usize, done: Vec<Value>, env: Env },
-    SetLocal { var: VarRef, env: Env },
-    SetGlobal { index: u32 },
-    LetInit { inits: Rc<[Expr]>, index: usize, done: Vec<Value>, body: Rc<Expr>, env: Env },
-    LetRecInit { inits: Rc<[Expr]>, index: usize, body: Rc<Expr>, env: Env },
-    TermCWrap { label: Rc<str> },
+    If {
+        then_branch: Expr,
+        else_branch: Expr,
+        env: Env,
+    },
+    Seq {
+        exprs: Rc<[Expr]>,
+        index: usize,
+        env: Env,
+    },
+    AppFunc {
+        exprs: Rc<[Expr]>,
+        env: Env,
+    },
+    AppArgs {
+        func: Value,
+        exprs: Rc<[Expr]>,
+        index: usize,
+        done: Vec<Value>,
+        env: Env,
+    },
+    SetLocal {
+        var: VarRef,
+        env: Env,
+    },
+    SetGlobal {
+        index: u32,
+    },
+    LetInit {
+        inits: Rc<[Expr]>,
+        index: usize,
+        done: Vec<Value>,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    LetRecInit {
+        inits: Rc<[Expr]>,
+        index: usize,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    TermCWrap {
+        label: Rc<str>,
+    },
     Restore(TableUndo<u64, Value>),
-    ContractExtent { saved: Option<MutScTable<u64, Value>>, started: bool },
-    FlatCheck { original: Value, rest: VecDeque<Value>, pos: Rc<str>, neg: Rc<str> },
+    ContractExtent {
+        saved: Option<MutScTable<u64, Value>>,
+        started: bool,
+    },
+    FlatCheck {
+        original: Value,
+        rest: VecDeque<Value>,
+        pos: Rc<str>,
+        neg: Rc<str>,
+    },
     ArrowCall {
         inner: Value,
         doms: Vec<Value>,
@@ -152,7 +198,11 @@ enum Kont {
         pos: Rc<str>,
         neg: Rc<str>,
     },
-    ArrowRng { rng: Value, pos: Rc<str>, neg: Rc<str> },
+    ArrowRng {
+        rng: Value,
+        pos: Rc<str>,
+        neg: Rc<str>,
+    },
 }
 
 /// The λSCT abstract machine.
@@ -329,7 +379,11 @@ impl<'p> Machine<'p> {
             }
             Expr::PrimRef(p) => Ctrl::Val(Value::Prim(p)),
             Expr::Lambda(def) => Ctrl::Val(self.make_closure(def, &env)),
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 kont.push(Kont::If {
                     then_branch: (*then_branch).clone(),
                     else_branch: (*else_branch).clone(),
@@ -338,18 +392,28 @@ impl<'p> Machine<'p> {
                 Ctrl::Eval((*cond).clone(), env)
             }
             Expr::App { func, args } => {
-                kont.push(Kont::AppFunc { exprs: args, env: env.clone() });
+                kont.push(Kont::AppFunc {
+                    exprs: args,
+                    env: env.clone(),
+                });
                 Ctrl::Eval((*func).clone(), env)
             }
             Expr::Seq(exprs) => {
                 let first = exprs[0].clone();
                 if exprs.len() > 1 {
-                    kont.push(Kont::Seq { exprs, index: 1, env: env.clone() });
+                    kont.push(Kont::Seq {
+                        exprs,
+                        index: 1,
+                        env: env.clone(),
+                    });
                 }
                 Ctrl::Eval(first, env)
             }
             Expr::SetLocal { var, value } => {
-                kont.push(Kont::SetLocal { var, env: env.clone() });
+                kont.push(Kont::SetLocal {
+                    var,
+                    env: env.clone(),
+                });
                 Ctrl::Eval((*value).clone(), env)
             }
             Expr::SetGlobal { index, value } => {
@@ -394,9 +458,18 @@ impl<'p> Machine<'p> {
         })
     }
 
-    fn step_kont(&mut self, v: Value, frame: Kont, kont: &mut Vec<Kont>) -> Result<Ctrl, EvalError> {
+    fn step_kont(
+        &mut self,
+        v: Value,
+        frame: Kont,
+        kont: &mut Vec<Kont>,
+    ) -> Result<Ctrl, EvalError> {
         Ok(match frame {
-            Kont::If { then_branch, else_branch, env } => {
+            Kont::If {
+                then_branch,
+                else_branch,
+                env,
+            } => {
                 if v.is_truthy() {
                     Ctrl::Eval(then_branch, env)
                 } else {
@@ -406,7 +479,11 @@ impl<'p> Machine<'p> {
             Kont::Seq { exprs, index, env } => {
                 let next = exprs[index].clone();
                 if index + 1 < exprs.len() {
-                    kont.push(Kont::Seq { exprs, index: index + 1, env: env.clone() });
+                    kont.push(Kont::Seq {
+                        exprs,
+                        index: index + 1,
+                        env: env.clone(),
+                    });
                 }
                 Ctrl::Eval(next, env)
             }
@@ -425,7 +502,13 @@ impl<'p> Machine<'p> {
                     Ctrl::Eval(first, env)
                 }
             }
-            Kont::AppArgs { func, exprs, index, mut done, env } => {
+            Kont::AppArgs {
+                func,
+                exprs,
+                index,
+                mut done,
+                env,
+            } => {
                 done.push(v);
                 if index + 1 < exprs.len() {
                     let next = exprs[index + 1].clone();
@@ -449,7 +532,13 @@ impl<'p> Machine<'p> {
                 self.globals[index as usize] = v;
                 Ctrl::Val(Value::Void)
             }
-            Kont::LetInit { inits, index, mut done, body, env } => {
+            Kont::LetInit {
+                inits,
+                index,
+                mut done,
+                body,
+                env,
+            } => {
                 done.push(v);
                 if index + 1 < inits.len() {
                     let next = inits[index + 1].clone();
@@ -466,7 +555,12 @@ impl<'p> Machine<'p> {
                     Ctrl::Eval((*body).clone(), new_env)
                 }
             }
-            Kont::LetRecInit { inits, index, body, env } => {
+            Kont::LetRecInit {
+                inits,
+                index,
+                body,
+                env,
+            } => {
                 // Name the slot: letrec frame is the innermost (depth 0).
                 assign(&env, 0, index as u16, v);
                 if index + 1 < inits.len() {
@@ -497,20 +591,30 @@ impl<'p> Machine<'p> {
                 self.blames.pop();
                 Ctrl::Val(v)
             }
-            Kont::FlatCheck { original, rest, pos, neg } => {
+            Kont::FlatCheck {
+                original,
+                rest,
+                pos,
+                neg,
+            } => {
                 if v.is_truthy() {
                     self.attach_all(rest, original, pos, neg, kont)?
                 } else {
                     return Err(EvalError::Contract(ContractErrorInfo {
                         blame: pos,
-                        message: format!(
-                            "predicate rejected {}",
-                            original.to_write_string()
-                        ),
+                        message: format!("predicate rejected {}", original.to_write_string()),
                     }));
                 }
             }
-            Kont::ArrowCall { inner, doms, args, receiving, mut checked, pos, neg } => {
+            Kont::ArrowCall {
+                inner,
+                doms,
+                args,
+                receiving,
+                mut checked,
+                pos,
+                neg,
+            } => {
                 checked.push(v);
                 let next = receiving + 1;
                 if next < args.len() {
@@ -580,7 +684,12 @@ impl<'p> Machine<'p> {
                     let inner = w.inner.clone();
                     self.apply_terminating(inner, label, args, kont)
                 }
-                WrapKind::Arrow { doms, rng, positive, negative } => {
+                WrapKind::Arrow {
+                    doms,
+                    rng,
+                    positive,
+                    negative,
+                } => {
                     let (doms, rng) = (doms.clone(), rng.clone());
                     let (pos, neg) = (positive.clone(), negative.clone());
                     let inner = w.inner.clone();
@@ -663,7 +772,11 @@ impl<'p> Machine<'p> {
         self.bind_and_enter(clo, args)
     }
 
-    fn bind_and_enter(&mut self, clo: Rc<Closure>, mut args: Vec<Value>) -> Result<Ctrl, EvalError> {
+    fn bind_and_enter(
+        &mut self,
+        clo: Rc<Closure>,
+        mut args: Vec<Value>,
+    ) -> Result<Ctrl, EvalError> {
         let def = &clo.def;
         let required = def.params as usize;
         if def.variadic {
@@ -719,7 +832,11 @@ impl<'p> Machine<'p> {
                 message: format!("expected {} arguments, got {}", doms.len(), args.len()),
             }));
         }
-        kont.push(Kont::ArrowRng { rng, pos: pos.clone(), neg: neg.clone() });
+        kont.push(Kont::ArrowRng {
+            rng,
+            pos: pos.clone(),
+            neg: neg.clone(),
+        });
         if args.is_empty() {
             self.apply_value(inner, Vec::new(), kont)
         } else {
@@ -796,11 +913,9 @@ impl<'p> Machine<'p> {
                 _ => None,
             };
             let Some(pred) = flat_pred else {
-                return Err(RtError::new(format!(
-                    "not a contract: {}",
-                    c.to_write_string()
-                ))
-                .into());
+                return Err(
+                    RtError::new(format!("not a contract: {}", c.to_write_string())).into(),
+                );
             };
             match pred {
                 Value::Prim(p) => {
@@ -856,7 +971,7 @@ impl<'p> Machine<'p> {
         match self.config.monitor.key_strategy {
             KeyStrategy::Allocation => mix2(0xA110C, clo.alloc_id),
             KeyStrategy::Structural => clo.fingerprint,
-            KeyStrategy::LambdaOnly => mix2(0x1A3B_DA, clo.def.id as u64),
+            KeyStrategy::LambdaOnly => mix2(0x001A_3BDA, clo.def.id as u64),
         }
     }
 
@@ -897,11 +1012,9 @@ impl<'p> Machine<'p> {
 
         match self.config.mode {
             SemanticsMode::CallSeqCollect => {
-                let (undo, violation) = self.imp_table.extend_unchecked_mut(
-                    key,
-                    snapshot,
-                    &self.config.order.clone(),
-                );
+                let (undo, violation) =
+                    self.imp_table
+                        .extend_unchecked_mut(key, snapshot, &self.config.order.clone());
                 kont.push(Kont::Restore(undo));
                 if let Some(v) = violation {
                     self.violations.push(ScErrorInfo {

@@ -109,9 +109,7 @@ impl ExtendedOrder {
                 if let Value::Pair(q) = new {
                     let car = self.compare(&p.car, &q.car);
                     let cdr = self.compare(&p.cdr, &q.cdr);
-                    let ok = |c: SizeChange| {
-                        matches!(c, SizeChange::Descend | SizeChange::Equal)
-                    };
+                    let ok = |c: SizeChange| matches!(c, SizeChange::Descend | SizeChange::Equal);
                     if ok(car) && ok(cdr) {
                         // equal overall was excluded above, so one is strict.
                         return SizeChange::Descend;
@@ -175,9 +173,12 @@ impl WellFoundedOrder<Value> for ReverseIntOrder {
     }
 }
 
+/// The comparison function type wrapped by [`CustomOrder`].
+pub type OrderFn = Rc<dyn Fn(&Value, &Value) -> SizeChange>;
+
 /// A custom order wrapping a closure over values, for per-program orders.
 pub struct CustomOrder {
-    f: Rc<dyn Fn(&Value, &Value) -> SizeChange>,
+    f: OrderFn,
 }
 
 impl CustomOrder {
@@ -244,10 +245,16 @@ mod tests {
         let env2 = Value::cons(Value::cons(Value::sym("n"), Value::int(2)), rho.clone());
         assert_eq!(o.relate(&env3, &env2), SizeChange::Descend);
         assert_eq!(o.relate(&env3, &env3.clone()), SizeChange::Equal);
-        assert_eq!(o.relate(&env2, &env3), SizeChange::Unknown, "ascent is not descent");
+        assert_eq!(
+            o.relate(&env2, &env3),
+            SizeChange::Unknown,
+            "ascent is not descent"
+        );
         // Mixed: one coordinate descends, another ascends → unrelated.
-        let bad = Value::cons(Value::cons(Value::sym("n"), Value::int(2)),
-            Value::list(vec![Value::sym("genv"), Value::sym("extra")]));
+        let bad = Value::cons(
+            Value::cons(Value::sym("n"), Value::int(2)),
+            Value::list(vec![Value::sym("genv"), Value::sym("extra")]),
+        );
         assert_eq!(o.relate(&env3, &bad), SizeChange::Unknown);
         // Subterm still works.
         let l = Value::list(vec![Value::int(1), Value::int(2)]);
@@ -292,8 +299,16 @@ mod tests {
         let Value::Pair(p) = &l else { unreachable!() };
         let tail = p.cdr.clone();
         assert_eq!(rel(&l, &tail), SizeChange::Descend);
-        assert_eq!(rel(&l, &p.car), SizeChange::Descend, "car is also a subterm");
-        assert_eq!(rel(&tail, &l), SizeChange::Unknown, "growing is not descent");
+        assert_eq!(
+            rel(&l, &p.car),
+            SizeChange::Descend,
+            "car is also a subterm"
+        );
+        assert_eq!(
+            rel(&tail, &l),
+            SizeChange::Unknown,
+            "growing is not descent"
+        );
         assert_eq!(rel(&l, &l.clone()), SizeChange::Equal);
     }
 
@@ -313,16 +328,25 @@ mod tests {
         assert_eq!(rel(&l, &m), SizeChange::Unknown);
         assert_eq!(rel(&Value::sym("a"), &Value::sym("a")), SizeChange::Equal);
         assert_eq!(rel(&Value::sym("a"), &Value::sym("b")), SizeChange::Unknown);
-        assert_eq!(rel(&Value::str("ab"), &Value::str("a")), SizeChange::Unknown,
-            "strings are atomic in the Figure 5 order");
+        assert_eq!(
+            rel(&Value::str("ab"), &Value::str("a")),
+            SizeChange::Unknown,
+            "strings are atomic in the Figure 5 order"
+        );
     }
 
     #[test]
     fn reverse_int_order() {
         let o = ReverseIntOrder;
-        assert_eq!(o.relate(&Value::int(3), &Value::int(4)), SizeChange::Descend);
+        assert_eq!(
+            o.relate(&Value::int(3), &Value::int(4)),
+            SizeChange::Descend
+        );
         assert_eq!(o.relate(&Value::int(4), &Value::int(4)), SizeChange::Equal);
-        assert_eq!(o.relate(&Value::int(4), &Value::int(3)), SizeChange::Unknown);
+        assert_eq!(
+            o.relate(&Value::int(4), &Value::int(3)),
+            SizeChange::Unknown
+        );
     }
 
     #[test]
@@ -340,6 +364,9 @@ mod tests {
             }
             _ => SizeChange::Unknown,
         });
-        assert_eq!(o.relate(&Value::str("ab"), &Value::str("a")), SizeChange::Descend);
+        assert_eq!(
+            o.relate(&Value::str("ab"), &Value::str("a")),
+            SizeChange::Descend
+        );
     }
 }

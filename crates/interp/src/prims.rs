@@ -29,49 +29,78 @@ fn rt(msg: impl Into<String>) -> RtError {
     RtError::new(msg)
 }
 
-fn want_int<'a>(p: Prim, v: &'a Value) -> Result<&'a Int, RtError> {
+fn want_int(p: Prim, v: &Value) -> Result<&Int, RtError> {
     match v {
         Value::Int(n) => Ok(n),
-        other => Err(rt(format!("{}: expected integer, got {}", p.name(), other.to_write_string()))),
+        other => Err(rt(format!(
+            "{}: expected integer, got {}",
+            p.name(),
+            other.to_write_string()
+        ))),
     }
 }
 
 fn want_char(p: Prim, v: &Value) -> Result<char, RtError> {
     match v {
         Value::Char(c) => Ok(*c),
-        other => Err(rt(format!("{}: expected char, got {}", p.name(), other.to_write_string()))),
+        other => Err(rt(format!(
+            "{}: expected char, got {}",
+            p.name(),
+            other.to_write_string()
+        ))),
     }
 }
 
-fn want_str<'a>(p: Prim, v: &'a Value) -> Result<&'a Rc<str>, RtError> {
+fn want_str(p: Prim, v: &Value) -> Result<&Rc<str>, RtError> {
     match v {
         Value::Str(s) => Ok(s),
-        other => Err(rt(format!("{}: expected string, got {}", p.name(), other.to_write_string()))),
+        other => Err(rt(format!(
+            "{}: expected string, got {}",
+            p.name(),
+            other.to_write_string()
+        ))),
     }
 }
 
 fn want_pair(p: Prim, v: &Value) -> Result<(Value, Value), RtError> {
     match v {
         Value::Pair(d) => Ok((d.car.clone(), d.cdr.clone())),
-        other => Err(rt(format!("{}: expected pair, got {}", p.name(), other.to_write_string()))),
+        other => Err(rt(format!(
+            "{}: expected pair, got {}",
+            p.name(),
+            other.to_write_string()
+        ))),
     }
 }
 
 fn want_list(p: Prim, v: &Value) -> Result<Vec<Value>, RtError> {
-    v.list_to_vec()
-        .ok_or_else(|| rt(format!("{}: expected a proper list, got {}", p.name(), v.to_write_string())))
+    v.list_to_vec().ok_or_else(|| {
+        rt(format!(
+            "{}: expected a proper list, got {}",
+            p.name(),
+            v.to_write_string()
+        ))
+    })
 }
 
-fn want_hash<'a>(p: Prim, v: &'a Value) -> Result<&'a Rc<HashData>, RtError> {
+fn want_hash(p: Prim, v: &Value) -> Result<&Rc<HashData>, RtError> {
     match v {
         Value::Hash(h) => Ok(h),
-        other => Err(rt(format!("{}: expected hash, got {}", p.name(), other.to_write_string()))),
+        other => Err(rt(format!(
+            "{}: expected hash, got {}",
+            p.name(),
+            other.to_write_string()
+        ))),
     }
 }
 
 fn arity(p: Prim, args: &[Value], n: usize) -> Result<(), RtError> {
     if args.len() != n {
-        return Err(rt(format!("{}: expected {n} arguments, got {}", p.name(), args.len())));
+        return Err(rt(format!(
+            "{}: expected {n} arguments, got {}",
+            p.name(),
+            args.len()
+        )));
     }
     Ok(())
 }
@@ -523,7 +552,9 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
         }
         Prim::StringLength => {
             arity(p, args, 1)?;
-            Ok(val(Value::int(want_str(p, &args[0])?.chars().count() as i64)))
+            Ok(val(Value::int(
+                want_str(p, &args[0])?.chars().count() as i64
+            )))
         }
         Prim::StringAppend => {
             let mut out = String::new();
@@ -541,7 +572,8 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
             let start = want_int(p, &args[1])?
                 .to_i64()
                 .filter(|n| *n >= 0 && *n as usize <= chars.len())
-                .ok_or_else(|| rt("substring: start out of range"))? as usize;
+                .ok_or_else(|| rt("substring: start out of range"))?
+                as usize;
             let end = if args.len() == 3 {
                 want_int(p, &args[2])?
                     .to_i64()
@@ -550,7 +582,9 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
             } else {
                 chars.len()
             };
-            Ok(val(Value::str(chars[start..end].iter().collect::<String>())))
+            Ok(val(Value::str(
+                chars[start..end].iter().collect::<String>(),
+            )))
         }
         Prim::StringRef => {
             arity(p, args, 2)?;
@@ -591,8 +625,7 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
         }
         Prim::StringToList => {
             arity(p, args, 1)?;
-            let chars: Vec<Value> =
-                want_str(p, &args[0])?.chars().map(Value::Char).collect();
+            let chars: Vec<Value> = want_str(p, &args[0])?.chars().map(Value::Char).collect();
             Ok(val(Value::list(chars)))
         }
         Prim::ListToString => {
@@ -606,7 +639,7 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
 
         // ----- immutable hashes ---------------------------------------------
         Prim::Hash => {
-            if args.len() % 2 != 0 {
+            if !args.len().is_multiple_of(2) {
                 return Err(rt("hash: expected an even number of arguments"));
             }
             let mut map = PMap::new();
@@ -675,27 +708,39 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
                     other => msg.push_str(&other.to_write_string()),
                 }
             }
-            Err(rt(if msg.is_empty() { "error".to_string() } else { msg }))
+            Err(rt(if msg.is_empty() {
+                "error".to_string()
+            } else {
+                msg
+            }))
         }
         Prim::Void => Ok(val(Value::Void)),
 
         // ----- contract constructors ------------------------------------------
         Prim::FlatC => {
             arity(p, args, 1)?;
-            Ok(val(Value::Contract(Rc::new(ContractData::Flat(args[0].clone())))))
+            Ok(val(Value::Contract(Rc::new(ContractData::Flat(
+                args[0].clone(),
+            )))))
         }
         Prim::ArrowC => {
             at_least(p, args, 1)?;
             let rng = args.last().unwrap().clone();
             let doms = args[..args.len() - 1].to_vec();
-            Ok(val(Value::Contract(Rc::new(ContractData::Arrow { doms, rng }))))
+            Ok(val(Value::Contract(Rc::new(ContractData::Arrow {
+                doms,
+                rng,
+            }))))
         }
-        Prim::AndC => Ok(val(Value::Contract(Rc::new(ContractData::And(args.to_vec()))))),
+        Prim::AndC => Ok(val(Value::Contract(Rc::new(ContractData::And(
+            args.to_vec(),
+        ))))),
 
         // Handled by the machine; reaching here is an internal error.
-        Prim::Apply | Prim::Contract | Prim::TerminatingC => {
-            Err(rt(format!("{}: internal: must be applied by the machine", p.name())))
-        }
+        Prim::Apply | Prim::Contract | Prim::TerminatingC => Err(rt(format!(
+            "{}: internal: must be applied by the machine",
+            p.name()
+        ))),
     }
 }
 
@@ -716,35 +761,83 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(v(call_prim(Prim::Add, &ints(&[1, 2, 3])).unwrap()), Value::int(6));
+        assert_eq!(
+            v(call_prim(Prim::Add, &ints(&[1, 2, 3])).unwrap()),
+            Value::int(6)
+        );
         assert_eq!(v(call_prim(Prim::Add, &[]).unwrap()), Value::int(0));
-        assert_eq!(v(call_prim(Prim::Sub, &ints(&[10, 1, 2])).unwrap()), Value::int(7));
-        assert_eq!(v(call_prim(Prim::Sub, &ints(&[5])).unwrap()), Value::int(-5));
-        assert_eq!(v(call_prim(Prim::Mul, &ints(&[2, 3, 4])).unwrap()), Value::int(24));
-        assert_eq!(v(call_prim(Prim::Quotient, &ints(&[-7, 2])).unwrap()), Value::int(-3));
-        assert_eq!(v(call_prim(Prim::Modulo, &ints(&[-7, 2])).unwrap()), Value::int(1));
+        assert_eq!(
+            v(call_prim(Prim::Sub, &ints(&[10, 1, 2])).unwrap()),
+            Value::int(7)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Sub, &ints(&[5])).unwrap()),
+            Value::int(-5)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Mul, &ints(&[2, 3, 4])).unwrap()),
+            Value::int(24)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Quotient, &ints(&[-7, 2])).unwrap()),
+            Value::int(-3)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Modulo, &ints(&[-7, 2])).unwrap()),
+            Value::int(1)
+        );
         assert!(call_prim(Prim::Quotient, &ints(&[1, 0])).is_err());
-        assert_eq!(v(call_prim(Prim::Expt, &ints(&[2, 10])).unwrap()), Value::int(1024));
-        assert_eq!(v(call_prim(Prim::Gcd, &ints(&[12, 18])).unwrap()), Value::int(6));
-        assert_eq!(v(call_prim(Prim::Max, &ints(&[1, 9, 4])).unwrap()), Value::int(9));
+        assert_eq!(
+            v(call_prim(Prim::Expt, &ints(&[2, 10])).unwrap()),
+            Value::int(1024)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Gcd, &ints(&[12, 18])).unwrap()),
+            Value::int(6)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Max, &ints(&[1, 9, 4])).unwrap()),
+            Value::int(9)
+        );
     }
 
     #[test]
     fn comparisons_chain() {
-        assert_eq!(v(call_prim(Prim::Lt, &ints(&[1, 2, 3])).unwrap()), Value::Bool(true));
-        assert_eq!(v(call_prim(Prim::Lt, &ints(&[1, 3, 2])).unwrap()), Value::Bool(false));
-        assert_eq!(v(call_prim(Prim::NumEq, &ints(&[2, 2, 2])).unwrap()), Value::Bool(true));
+        assert_eq!(
+            v(call_prim(Prim::Lt, &ints(&[1, 2, 3])).unwrap()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Lt, &ints(&[1, 3, 2])).unwrap()),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            v(call_prim(Prim::NumEq, &ints(&[2, 2, 2])).unwrap()),
+            Value::Bool(true)
+        );
         assert!(call_prim(Prim::Lt, &ints(&[1])).is_err());
     }
 
     #[test]
     fn list_ops() {
         let l = Value::list(ints(&[1, 2, 3]));
-        assert_eq!(v(call_prim(Prim::Length, &[l.clone()]).unwrap()), Value::int(3));
-        assert_eq!(v(call_prim(Prim::Car, &[l.clone()]).unwrap()), Value::int(1));
-        assert_eq!(v(call_prim(Prim::Cadr, &[l.clone()]).unwrap()), Value::int(2));
-        assert_eq!(v(call_prim(Prim::Caddr, &[l.clone()]).unwrap()), Value::int(3));
-        let r = v(call_prim(Prim::Reverse, &[l.clone()]).unwrap());
+        assert_eq!(
+            v(call_prim(Prim::Length, std::slice::from_ref(&l)).unwrap()),
+            Value::int(3)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Car, std::slice::from_ref(&l)).unwrap()),
+            Value::int(1)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Cadr, std::slice::from_ref(&l)).unwrap()),
+            Value::int(2)
+        );
+        assert_eq!(
+            v(call_prim(Prim::Caddr, std::slice::from_ref(&l)).unwrap()),
+            Value::int(3)
+        );
+        let r = v(call_prim(Prim::Reverse, std::slice::from_ref(&l)).unwrap());
         assert_eq!(r.to_write_string(), "(3 2 1)");
         let app = v(call_prim(Prim::Append, &[l.clone(), r]).unwrap());
         assert_eq!(app.to_write_string(), "(1 2 3 3 2 1)");
@@ -776,7 +869,10 @@ mod tests {
     #[test]
     fn string_ops() {
         let s = Value::str("hello");
-        assert_eq!(v(call_prim(Prim::StringLength, &[s.clone()]).unwrap()), Value::int(5));
+        assert_eq!(
+            v(call_prim(Prim::StringLength, std::slice::from_ref(&s)).unwrap()),
+            Value::int(5)
+        );
         assert_eq!(
             v(call_prim(Prim::Substring, &[s.clone(), Value::int(1), Value::int(3)]).unwrap()),
             Value::str("el")
@@ -799,7 +895,10 @@ mod tests {
         );
         let l = v(call_prim(Prim::StringToList, &[Value::str("ab")]).unwrap());
         assert_eq!(l.to_write_string(), "(#\\a #\\b)");
-        assert_eq!(v(call_prim(Prim::ListToString, &[l]).unwrap()), Value::str("ab"));
+        assert_eq!(
+            v(call_prim(Prim::ListToString, &[l]).unwrap()),
+            Value::str("ab")
+        );
     }
 
     #[test]
@@ -811,7 +910,10 @@ mod tests {
             Value::int(2)
         );
         assert_eq!(v(call_prim(Prim::HashCount, &[h]).unwrap()), Value::int(1));
-        assert_eq!(v(call_prim(Prim::HashCount, &[h2.clone()]).unwrap()), Value::int(2));
+        assert_eq!(
+            v(call_prim(Prim::HashCount, std::slice::from_ref(&h2)).unwrap()),
+            Value::int(2)
+        );
         assert!(call_prim(Prim::HashRef, &[h2.clone(), Value::sym("z")]).is_err());
         assert_eq!(
             v(call_prim(Prim::HashRef, &[h2, Value::sym("z"), Value::int(0)]).unwrap()),
@@ -833,8 +935,7 @@ mod tests {
 
     #[test]
     fn error_prim() {
-        let e = call_prim(Prim::Error, &[Value::sym("car"), Value::str("bad pair")])
-            .unwrap_err();
+        let e = call_prim(Prim::Error, &[Value::sym("car"), Value::str("bad pair")]).unwrap_err();
         assert_eq!(e.message, "car: bad pair");
     }
 

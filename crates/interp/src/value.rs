@@ -109,7 +109,10 @@ pub struct HashData {
 impl HashData {
     /// Wraps a persistent map as a hash value.
     pub fn new(map: PMap<Value, Value>) -> HashData {
-        HashData { map, hash: std::cell::Cell::new(None) }
+        HashData {
+            map,
+            hash: std::cell::Cell::new(None),
+        }
     }
 
     /// Order-independent structural hash, computed lazily and cached.
@@ -196,7 +199,12 @@ impl Value {
     pub fn cons(car: Value, cdr: Value) -> Value {
         let hash = mix2(mix2(0xC0_4599, value_hash(&car)), value_hash(&cdr));
         let size = 1 + value_size(&car) + value_size(&cdr);
-        Value::Pair(Rc::new(PairData { car, cdr, hash, size }))
+        Value::Pair(Rc::new(PairData {
+            car,
+            cdr,
+            hash,
+            size,
+        }))
     }
 
     /// Builds a proper list from values.

@@ -103,7 +103,9 @@ fn nested_extents_inside_standard_semantics() {
 (define wg2 (terminating/c g \"inner\"))
 (wg 3)";
     let err = run(src).unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    let EvalError::Sc(info) = err else {
+        panic!("expected Sc")
+    };
     assert_eq!(info.blame.as_deref(), Some("inner"));
 }
 
@@ -137,7 +139,9 @@ fn arrow_arity_mismatch_blames_client() {
     let src = "
 (define f (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) x) \"srv\" \"cli\"))
 (f 1 2)";
-    let EvalError::Contract(info) = run(src).unwrap_err() else { panic!() };
+    let EvalError::Contract(info) = run(src).unwrap_err() else {
+        panic!()
+    };
     assert_eq!(info.blame.as_ref(), "cli");
 }
 
@@ -152,7 +156,9 @@ fn higher_order_domain_swaps_blame() {
             (lambda (g) (g 1))
             \"srv\" \"cli\"))
 (use (lambda (x) 'nope))";
-    let EvalError::Contract(info) = run(src).unwrap_err() else { panic!() };
+    let EvalError::Contract(info) = run(src).unwrap_err() else {
+        panic!()
+    };
     assert_eq!(info.blame.as_ref(), "cli");
 }
 
@@ -181,7 +187,10 @@ fn bare_procedure_usable_as_flat_contract() {
 
 #[test]
 fn non_contract_value_is_a_runtime_error() {
-    assert!(matches!(run("(contract 42 5 \"p\")"), Err(EvalError::Rt(_))));
+    assert!(matches!(
+        run("(contract 42 5 \"p\")"),
+        Err(EvalError::Rt(_))
+    ));
 }
 
 #[test]
@@ -223,7 +232,10 @@ fn contract_extent_with_callseq_mode_records_not_aborts() {
     let prog = compile_program(src).unwrap();
     let mut m = Machine::new(
         &prog,
-        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+        MachineConfig {
+            mode: SemanticsMode::CallSeqCollect,
+            ..MachineConfig::default()
+        },
     );
     assert_eq!(m.run().unwrap(), Value::int(3));
     assert!(!m.violations.is_empty());

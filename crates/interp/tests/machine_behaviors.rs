@@ -68,15 +68,30 @@ fn tail_position_inventory() {
 #[test]
 fn fuel_is_counted_per_step() {
     let prog = compile_program("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 100)").unwrap();
-    let mut m = Machine::new(&prog, MachineConfig { fuel: Some(u64::MAX), ..MachineConfig::standard() });
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig {
+            fuel: Some(u64::MAX),
+            ..MachineConfig::standard()
+        },
+    );
     m.run().unwrap();
     let steps = m.stats.steps;
     // With exactly that budget it succeeds; with one less it does not.
-    let mut ok = Machine::new(&prog, MachineConfig { fuel: Some(steps), ..MachineConfig::standard() });
+    let mut ok = Machine::new(
+        &prog,
+        MachineConfig {
+            fuel: Some(steps),
+            ..MachineConfig::standard()
+        },
+    );
     assert!(ok.run().is_ok());
     let mut short = Machine::new(
         &prog,
-        MachineConfig { fuel: Some(steps - 1), ..MachineConfig::standard() },
+        MachineConfig {
+            fuel: Some(steps - 1),
+            ..MachineConfig::standard()
+        },
     );
     assert!(matches!(short.run(), Err(EvalError::OutOfFuel)));
 }
@@ -90,7 +105,11 @@ fn quoted_literals_are_shared_per_site() {
 (eq? (f) (f))");
     assert_eq!(v, Value::Bool(true));
     let v = ev("(eq? '(1 2) '(1 2))");
-    assert_eq!(v, Value::Bool(false), "distinct quote sites are distinct allocations");
+    assert_eq!(
+        v,
+        Value::Bool(false),
+        "distinct quote sites are distinct allocations"
+    );
 }
 
 #[test]
@@ -165,7 +184,10 @@ fn mutual_recursion_deep_and_monitored() {
 fn shadowed_special_form_names_are_calls() {
     // A local binding named like a special form is an ordinary variable.
     assert_eq!(ev("(define (quote x) (+ x 1)) (quote 4)"), Value::int(5));
-    assert_eq!(ev("(let ([if (lambda (a b c) 'shadowed)]) (if 1 2 3))"), Value::sym("shadowed"));
+    assert_eq!(
+        ev("(let ([if (lambda (a b c) 'shadowed)]) (if 1 2 3))"),
+        Value::sym("shadowed")
+    );
 }
 
 #[test]
@@ -178,10 +200,16 @@ fn callseq_mode_restores_like_the_others() {
     let prog = compile_program(src).unwrap();
     let mut m = Machine::new(
         &prog,
-        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+        MachineConfig {
+            mode: SemanticsMode::CallSeqCollect,
+            ..MachineConfig::default()
+        },
     );
     m.run().unwrap();
-    assert!(m.violations.is_empty(), "sequential equal calls are separate extents");
+    assert!(
+        m.violations.is_empty(),
+        "sequential equal calls are separate extents"
+    );
 }
 
 #[test]
@@ -189,5 +217,8 @@ fn undefined_letrec_reference_is_a_clean_error() {
     let r = eval_str("(letrec ([x (+ x 1)]) x)");
     assert!(matches!(r, Err(EvalError::Rt(_))));
     let r = eval_str("(letrec ([f (lambda () g)] [g 1]) (f))");
-    assert!(r.is_ok(), "forward reference used only after initialization is fine");
+    assert!(
+        r.is_ok(),
+        "forward reference used only after initialization is fine"
+    );
 }

@@ -4,8 +4,8 @@
 
 use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
 use sct_interp::{
-    eval_str, eval_str_monitored, EvalError, Machine, MachineConfig, OrderHandle,
-    ReverseIntOrder, SemanticsMode, Value,
+    eval_str, eval_str_monitored, EvalError, Machine, MachineConfig, OrderHandle, ReverseIntOrder,
+    SemanticsMode, Value,
 };
 use sct_lang::compile_program;
 
@@ -83,7 +83,10 @@ fn closures_and_state() {
 
 #[test]
 fn variadic_and_apply() {
-    assert_eq!(run_standard("((lambda args (length args)) 1 2 3)"), Value::int(3));
+    assert_eq!(
+        run_standard("((lambda args (length args)) 1 2 3)"),
+        Value::int(3)
+    );
     assert_eq!(
         run_standard("((lambda (a . rest) (cons a (length rest))) 1 2 3)"),
         Value::cons(Value::int(1), Value::int(2))
@@ -113,14 +116,15 @@ fn quasiquote_and_lists() {
         run_standard("(let ([x 5]) `(a ,x ,@(list 1 2)))").to_write_string(),
         "(a 5 1 2)"
     );
-    assert_eq!(run_standard("(reverse '(1 2 3))").to_write_string(), "(3 2 1)");
+    assert_eq!(
+        run_standard("(reverse '(1 2 3))").to_write_string(),
+        "(3 2 1)"
+    );
 }
 
 #[test]
 fn bignum_factorial() {
-    let v = run_standard(
-        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 25)",
-    );
+    let v = run_standard("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 25)");
     assert_eq!(v.to_write_string(), "15511210043330985984000000");
 }
 
@@ -137,10 +141,19 @@ fn runtime_errors() {
     assert!(matches!(eval_str("(car 5)"), Err(EvalError::Rt(_))));
     assert!(matches!(eval_str("(+ 'a 1)"), Err(EvalError::Rt(_))));
     assert!(matches!(eval_str("(1 2)"), Err(EvalError::Rt(_))));
-    assert!(matches!(eval_str("((lambda (x) x) 1 2)"), Err(EvalError::Rt(_))));
+    assert!(matches!(
+        eval_str("((lambda (x) x) 1 2)"),
+        Err(EvalError::Rt(_))
+    ));
     assert!(matches!(eval_str("(quotient 1 0)"), Err(EvalError::Rt(_))));
-    assert!(matches!(eval_str("(error 'boom \"it broke\")"), Err(EvalError::Rt(_))));
-    assert!(matches!(eval_str("(letrec ([x x]) x)"), Err(EvalError::Rt(_))));
+    assert!(matches!(
+        eval_str("(error 'boom \"it broke\")"),
+        Err(EvalError::Rt(_))
+    ));
+    assert!(matches!(
+        eval_str("(letrec ([x x]) x)"),
+        Err(EvalError::Rt(_))
+    ));
     // Compile errors surface as Rt with a message.
     assert!(matches!(eval_str("undefined-var"), Err(EvalError::Rt(_))));
 }
@@ -160,7 +173,10 @@ fn fuel_stops_divergence_in_standard_mode() {
     let prog = compile_program("(define (loop x) (loop x)) (loop 1)").unwrap();
     let mut m = Machine::new(
         &prog,
-        MachineConfig { fuel: Some(100_000), ..MachineConfig::standard() },
+        MachineConfig {
+            fuel: Some(100_000),
+            ..MachineConfig::standard()
+        },
     );
     assert!(matches!(m.run(), Err(EvalError::OutOfFuel)));
 }
@@ -184,7 +200,9 @@ fn ack_terminates_under_monitoring() {
 fn buggy_ack_caught_immediately() {
     for strategy in both_strategies() {
         let err = run_monitored(&format!("{BUGGY_ACK} (ack 2 0)"), strategy).unwrap_err();
-        let EvalError::Sc(info) = err else { panic!("expected Sc error, got {err}") };
+        let EvalError::Sc(info) = err else {
+            panic!("expected Sc error, got {err}")
+        };
         assert_eq!(info.function, "ack");
         assert!(info.violation.witness.is_idempotent());
         assert!(!info.violation.witness.has_self_descent());
@@ -283,7 +301,10 @@ fn nullary_recursion_has_no_descent_evidence() {
 (define (tick n) (if (zero? n) 'done (tick (- n 1))))
 (tick 10)";
     for strategy in both_strategies() {
-        assert_eq!(run_monitored(by_argument, strategy).unwrap(), Value::sym("done"));
+        assert_eq!(
+            run_monitored(by_argument, strategy).unwrap(),
+            Value::sym("done")
+        );
     }
 }
 
@@ -308,7 +329,10 @@ fn custom_order_rescues_ascending_loop() {
     for strategy in both_strategies() {
         let config = MachineConfig {
             mode: SemanticsMode::Monitored,
-            monitor: MonitorConfig { strategy, ..MonitorConfig::default() },
+            monitor: MonitorConfig {
+                strategy,
+                ..MonitorConfig::default()
+            },
             order: OrderHandle::new(ReverseIntOrder),
             ..MachineConfig::default()
         };
@@ -336,14 +360,21 @@ fn continuation_marks_preserve_tail_calls() {
 (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
 (sum 5000 0)";
     let prog = compile_program(src).unwrap();
-    let mut cm = Machine::new(&prog, MachineConfig::monitored(TableStrategy::ContinuationMark));
+    let mut cm = Machine::new(
+        &prog,
+        MachineConfig::monitored(TableStrategy::ContinuationMark),
+    );
     assert_eq!(cm.run().unwrap(), Value::int(12_502_500));
     assert!(
         cm.stats.max_kont_depth < 32,
         "CM strategy must run tail loops in constant continuation space, got {}",
         cm.stats.max_kont_depth
     );
-    assert!(cm.stats.max_marks <= 2, "tail calls replace the mark, got {}", cm.stats.max_marks);
+    assert!(
+        cm.stats.max_marks <= 2,
+        "tail calls replace the mark, got {}",
+        cm.stats.max_marks
+    );
 
     let mut imp = Machine::new(&prog, MachineConfig::monitored(TableStrategy::Imperative));
     assert_eq!(imp.run().unwrap(), Value::int(12_502_500));
@@ -362,7 +393,11 @@ fn unmonitored_tail_calls_always_constant_space() {
     let prog = compile_program(src).unwrap();
     let mut m = Machine::new(&prog, MachineConfig::standard());
     m.run().unwrap();
-    assert!(m.stats.max_kont_depth < 16, "got {}", m.stats.max_kont_depth);
+    assert!(
+        m.stats.max_kont_depth < 16,
+        "got {}",
+        m.stats.max_kont_depth
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -456,7 +491,9 @@ fn terminating_contract_selective_enforcement() {
 (define f (terminating/c (lambda (x) (f x)) \"party-f\"))
 (f 1)";
     let err = eval_str(src).unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    let EvalError::Sc(info) = err else {
+        panic!("expected Sc")
+    };
     assert_eq!(info.blame.as_deref(), Some("party-f"));
 }
 
@@ -498,14 +535,19 @@ fn blame_names_innermost_contract() {
 (define f (terminating/c (lambda (x) (g x)) \"party-f\"))
 (f 1)";
     let err = eval_str(src).unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected Sc") };
+    let EvalError::Sc(info) = err else {
+        panic!("expected Sc")
+    };
     assert_eq!(info.blame.as_deref(), Some("party-g"));
 }
 
 #[test]
 fn term_c_on_non_procedure_passes_through() {
     assert_eq!(run_standard("(terminating/c 42)"), Value::int(42));
-    assert_eq!(run_standard("(terminating/c car)").to_write_string(), "#<primitive:car>");
+    assert_eq!(
+        run_standard("(terminating/c car)").to_write_string(),
+        "#<primitive:car>"
+    );
 }
 
 #[test]
@@ -515,7 +557,9 @@ fn flat_contracts_check_and_blame() {
         Value::int(5)
     );
     let err = eval_str("(contract (flat/c integer?) 'five \"server\")").unwrap_err();
-    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    let EvalError::Contract(info) = err else {
+        panic!("expected contract error")
+    };
     assert_eq!(info.blame.as_ref(), "server");
     // User-defined predicates work too.
     assert_eq!(
@@ -536,14 +580,18 @@ fn arrow_contract_checks_domain_and_range() {
     let src = "
 (define add3 (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) (+ x 3)) \"srv\" \"cli\"))
 (add3 'a)";
-    let EvalError::Contract(info) = eval_str(src).unwrap_err() else { panic!() };
+    let EvalError::Contract(info) = eval_str(src).unwrap_err() else {
+        panic!()
+    };
     assert_eq!(info.blame.as_ref(), "cli");
 
     // Bad result blames the server.
     let src = "
 (define bad (contract (->/c (flat/c integer?) (flat/c integer?)) (lambda (x) 'oops) \"srv\" \"cli\"))
 (bad 4)";
-    let EvalError::Contract(info) = eval_str(src).unwrap_err() else { panic!() };
+    let EvalError::Contract(info) = eval_str(src).unwrap_err() else {
+        panic!()
+    };
     assert_eq!(info.blame.as_ref(), "srv");
 }
 
@@ -566,7 +614,9 @@ fn total_correctness_contract_composes() {
             \"total-party\"))
 (total 5)";
     let err = eval_str(src_diverge).unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected Sc, got {err}") };
+    let EvalError::Sc(info) = err else {
+        panic!("expected Sc, got {err}")
+    };
     assert_eq!(info.blame.as_deref(), Some("total-party"));
 }
 
@@ -582,7 +632,10 @@ fn call_sequence_semantics_records_without_enforcing() {
     let prog = compile_program(src).unwrap();
     let mut m = Machine::new(
         &prog,
-        MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+        MachineConfig {
+            mode: SemanticsMode::CallSeqCollect,
+            ..MachineConfig::default()
+        },
     );
     assert_eq!(m.run().unwrap(), Value::int(3));
     assert!(!m.violations.is_empty(), "violation must be recorded");
@@ -601,7 +654,10 @@ fn call_sequence_agrees_with_monitor_on_clean_runs() {
         let prog = compile_program(src).unwrap();
         let mut collect = Machine::new(
             &prog,
-            MachineConfig { mode: SemanticsMode::CallSeqCollect, ..MachineConfig::default() },
+            MachineConfig {
+                mode: SemanticsMode::CallSeqCollect,
+                ..MachineConfig::default()
+            },
         );
         let collected = collect.run().unwrap();
         let monitored = run_monitored(src, TableStrategy::Imperative).unwrap();
@@ -623,7 +679,11 @@ fn trace_records_figure_1_graphs() {
     cfg.trace = true;
     let mut m = Machine::new(&prog, cfg);
     m.run().unwrap();
-    let events: Vec<_> = m.trace_events.iter().filter(|e| e.function == "ack").collect();
+    let events: Vec<_> = m
+        .trace_events
+        .iter()
+        .filter(|e| e.function == "ack")
+        .collect();
     // Figure 1: (ack 2 0) then 4 recursive calls.
     assert_eq!(events.len(), 5, "events: {:?}", m.trace_events);
     assert_eq!(events[0].args, vec!["2", "0"]);

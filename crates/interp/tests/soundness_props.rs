@@ -20,7 +20,7 @@
 
 use proptest::prelude::*;
 use sct_core::monitor::TableStrategy;
-use sct_interp::{equal, EvalError, Machine, MachineConfig, SemanticsMode, Value};
+use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Value};
 use sct_lang::compile_program;
 
 /// Generates a pure expression over variables `n` and `acc`.
@@ -82,7 +82,8 @@ fn classify(r: Result<Value, EvalError>) -> Answer {
 }
 
 fn run_mode(src: &str, mode: SemanticsMode, strategy: TableStrategy) -> (Answer, usize) {
-    let prog = compile_program(src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+    let prog =
+        compile_program(src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
     let config = MachineConfig {
         mode,
         fuel: Some(5_000_000),

@@ -2,7 +2,7 @@
 //! through the full pipeline (reader → desugarer → resolver → machine),
 //! including error behaviors. One assertion per distinct behavior.
 
-use sct_interp::{eval_str, EvalError, Value};
+use sct_interp::{eval_str, EvalError};
 
 fn ev(src: &str) -> String {
     match eval_str(src) {
@@ -61,7 +61,10 @@ fn bignum_promotion_through_the_language() {
     );
     assert_eq!(ev("(+ 9223372036854775807 1)"), "9223372036854775808");
     assert_eq!(ev("(- (+ 9223372036854775807 1) 1)"), "9223372036854775807");
-    assert_eq!(ev("(quotient 123456789012345678901234567890 10)"), "12345678901234567890123456789");
+    assert_eq!(
+        ev("(quotient 123456789012345678901234567890 10)"),
+        "12345678901234567890123456789"
+    );
 }
 
 #[test]
@@ -81,7 +84,11 @@ fn pair_and_list_ops() {
     assert_eq!(ev("(length '(1 2 3))"), "3");
     assert_eq!(ev("(append)"), "()");
     assert_eq!(ev("(append '(1) '(2 3) '(4))"), "(1 2 3 4)");
-    assert_eq!(ev("(append '(1) 2)"), "(1 . 2)", "last argument may be improper");
+    assert_eq!(
+        ev("(append '(1) 2)"),
+        "(1 . 2)",
+        "last argument may be improper"
+    );
     assert_eq!(ev("(reverse '(1 2 3))"), "(3 2 1)");
     assert_eq!(ev("(list-ref '(a b c) 2)"), "c");
     assert_eq!(ev("(list-tail '(a b c) 1)"), "(b c)");
@@ -182,7 +189,7 @@ fn error_behaviors() {
     for src in [
         "(car '())",
         "(cdr 5)",
-        "(vector)",               // unbound: no vectors in λSCT
+        "(vector)", // unbound: no vectors in λSCT
         "(+ 'a)",
         "(quotient 1 0)",
         "(modulo 1 0)",
@@ -204,7 +211,10 @@ fn error_behaviors() {
 #[test]
 fn display_write_roundtrip() {
     // write-form output re-reads to an equal value.
-    assert_eq!(ev("(equal? '(1 \"a\" #\\b (c . 2)) '(1 \"a\" #\\b (c . 2)))"), "#t");
+    assert_eq!(
+        ev("(equal? '(1 \"a\" #\\b (c . 2)) '(1 \"a\" #\\b (c . 2)))"),
+        "#t"
+    );
 }
 
 #[test]

@@ -170,7 +170,10 @@ pub struct Program {
 impl Program {
     /// Index of a global by name, if defined.
     pub fn global_index(&self, name: &str) -> Option<GlobalIndex> {
-        self.global_names.iter().position(|n| n == name).map(|i| i as GlobalIndex)
+        self.global_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as GlobalIndex)
     }
 }
 
@@ -189,7 +192,11 @@ mod tests {
             free: vec![],
         };
         assert_eq!(fixed.frame_size(), 2);
-        let var = LambdaDef { params: 2, variadic: true, ..fixed };
+        let var = LambdaDef {
+            params: 2,
+            variadic: true,
+            ..fixed
+        };
         assert_eq!(var.frame_size(), 3);
     }
 

@@ -56,7 +56,10 @@ fn err(msg: impl Into<String>) -> LangError {
 
 impl Desugarer {
     fn new() -> Desugarer {
-        Desugarer { gensym_counter: 0, term_c_counter: 0 }
+        Desugarer {
+            gensym_counter: 0,
+            term_c_counter: 0,
+        }
     }
 
     fn gensym(&mut self, hint: &str) -> Datum {
@@ -90,11 +93,13 @@ impl Desugarer {
     /// Expands `(define (f a b . r) body...)` headers, including curried
     /// headers `(define ((f a) b) ...)` which Racket allows (unused by the
     /// corpus but cheap to support by recursion).
-    fn define_function(&mut self, header: &Datum, body: &[Datum]) -> Result<(String, Datum), LangError> {
+    fn define_function(
+        &mut self,
+        header: &Datum,
+        body: &[Datum],
+    ) -> Result<(String, Datum), LangError> {
         let (head, params): (&Datum, Vec<Datum>) = match header {
-            Datum::List(items) if !items.is_empty() => {
-                (&items[0], items[1..].to_vec())
-            }
+            Datum::List(items) if !items.is_empty() => (&items[0], items[1..].to_vec()),
             Datum::Improper(items, tail) if !items.is_empty() => {
                 let mut ps = items[1..].to_vec();
                 ps.push(Datum::Improper(vec![], tail.clone()));
@@ -140,7 +145,10 @@ impl Desugarer {
         if rest.is_empty() {
             return Err(err("body has no expressions"));
         }
-        let exprs: Vec<Datum> = rest.iter().map(|f| self.expr(f)).collect::<Result<_, _>>()?;
+        let exprs: Vec<Datum> = rest
+            .iter()
+            .map(|f| self.expr(f))
+            .collect::<Result<_, _>>()?;
         let body = if exprs.len() == 1 {
             exprs.into_iter().next().unwrap()
         } else {
@@ -151,8 +159,7 @@ impl Desugarer {
         if defines.is_empty() {
             Ok(body)
         } else {
-            let bindings: Vec<Datum> =
-                defines.into_iter().map(|(n, e)| list(vec![n, e])).collect();
+            let bindings: Vec<Datum> = defines.into_iter().map(|(n, e)| list(vec![n, e])).collect();
             Ok(list(vec![sym("letrec"), list(bindings), body]))
         }
     }
@@ -202,16 +209,16 @@ impl Desugarer {
                 _ => Err(err(format!("malformed if: {form}"))),
             },
             Some("begin") => {
-                let [_, body @ ..] = items else { unreachable!() };
+                let [_, body @ ..] = items else {
+                    unreachable!()
+                };
                 if body.is_empty() {
                     return Ok(list(vec![sym("void")]));
                 }
                 self.body(body)
             }
             Some("set!") => match items {
-                [_, v @ Datum::Sym(_), e] => {
-                    Ok(list(vec![sym("set!"), v.clone(), self.expr(e)?]))
-                }
+                [_, v @ Datum::Sym(_), e] => Ok(list(vec![sym("set!"), v.clone(), self.expr(e)?])),
                 _ => Err(err(format!("malformed set!: {form}"))),
             },
             Some("let") => self.let_form(items, form),
@@ -228,11 +235,7 @@ impl Desugarer {
                         let mut inner = vec![sym("let*"), list(rest.to_vec())];
                         inner.extend(body.iter().cloned());
                         let inner = list(inner);
-                        self.expr(&list(vec![
-                            sym("let"),
-                            list(vec![first.clone()]),
-                            inner,
-                        ]))
+                        self.expr(&list(vec![sym("let"), list(vec![first.clone()]), inner]))
                     }
                 }
             }
@@ -262,7 +265,12 @@ impl Desugarer {
                     return Err(err(format!("when has no body: {form}")));
                 }
                 let body = self.body(body)?;
-                Ok(list(vec![sym("if"), self.expr(test)?, body, list(vec![sym("void")])]))
+                Ok(list(vec![
+                    sym("if"),
+                    self.expr(test)?,
+                    body,
+                    list(vec![sym("void")]),
+                ]))
             }
             Some("unless") => {
                 let [_, test, body @ ..] = items else {
@@ -272,7 +280,12 @@ impl Desugarer {
                     return Err(err(format!("unless has no body: {form}")));
                 }
                 let body = self.body(body)?;
-                Ok(list(vec![sym("if"), self.expr(test)?, list(vec![sym("void")]), body]))
+                Ok(list(vec![
+                    sym("if"),
+                    self.expr(test)?,
+                    list(vec![sym("void")]),
+                    body,
+                ]))
             }
             Some("terminating/c") | Some("term/c") if items.len() >= 2 => {
                 let (expr, label) = match items {
@@ -286,12 +299,18 @@ impl Desugarer {
                     [_, e, Datum::Str(label)] => (e, label.clone()),
                     _ => return Err(err(format!("malformed terminating/c: {form}"))),
                 };
-                Ok(list(vec![sym(TERM_C_HEAD), Datum::Str(label), self.expr(expr)?]))
+                Ok(list(vec![
+                    sym(TERM_C_HEAD),
+                    Datum::Str(label),
+                    self.expr(expr)?,
+                ]))
             }
             _ => {
                 // Application.
-                let parts: Vec<Datum> =
-                    items.iter().map(|i| self.expr(i)).collect::<Result<_, _>>()?;
+                let parts: Vec<Datum> = items
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?;
                 Ok(list(parts))
             }
         }
@@ -299,9 +318,7 @@ impl Desugarer {
 
     fn binding(&mut self, b: &Datum) -> Result<Datum, LangError> {
         match b.as_list() {
-            Some([name @ Datum::Sym(_), init]) => {
-                Ok(list(vec![name.clone(), self.expr(init)?]))
-            }
+            Some([name @ Datum::Sym(_), init]) => Ok(list(vec![name.clone(), self.expr(init)?])),
             _ => Err(err(format!("malformed binding: {b}"))),
         }
     }
@@ -440,7 +457,12 @@ impl Desugarer {
             [e] => self.expr(e),
             [e, rest @ ..] => {
                 let rest_expr = self.and(rest)?;
-                Ok(list(vec![sym("if"), self.expr(e)?, rest_expr, Datum::Bool(false)]))
+                Ok(list(vec![
+                    sym("if"),
+                    self.expr(e)?,
+                    rest_expr,
+                    Datum::Bool(false),
+                ]))
             }
         }
     }
@@ -593,14 +615,14 @@ mod tests {
 
     #[test]
     fn cond_expansion() {
-        assert_eq!(
-            expand("(cond [a 1] [else 2])"),
-            "(if a 1 2)"
-        );
+        assert_eq!(expand("(cond [a 1] [else 2])"), "(if a 1 2)");
         assert_eq!(expand("(cond)"), "(void)");
         // Single-test clause binds a temp.
         let out = expand("(cond [a])");
-        assert!(out.starts_with("(let (( t0 a)) (if  t0  t0 (void)))"), "got: {out}");
+        assert!(
+            out.starts_with("(let (( t0 a)) (if  t0  t0 (void)))"),
+            "got: {out}"
+        );
         // => clause applies the receiver.
         let out = expand("(cond [a => f] [else 0])");
         assert!(out.contains("(f  t0)"), "got: {out}");
@@ -672,7 +694,10 @@ mod tests {
     #[test]
     fn terminating_c_gets_label() {
         let out = expand("(terminating/c f)");
-        assert!(out.starts_with("( term/c \"terminating/c#0 on f\" f)"), "got: {out}");
+        assert!(
+            out.starts_with("( term/c \"terminating/c#0 on f\" f)"),
+            "got: {out}"
+        );
         let out2 = expand("(terminating/c f \"my-label\")");
         assert!(out2.contains("my-label"), "got: {out2}");
     }

@@ -51,7 +51,9 @@ pub struct LangError {
 
 impl LangError {
     pub(crate) fn new(message: impl Into<String>) -> LangError {
-        LangError { message: message.into() }
+        LangError {
+            message: message.into(),
+        }
     }
 }
 
@@ -65,7 +67,9 @@ impl std::error::Error for LangError {}
 
 impl From<sct_sexpr::ParseError> for LangError {
     fn from(e: sct_sexpr::ParseError) -> Self {
-        LangError { message: e.to_string() }
+        LangError {
+            message: e.to_string(),
+        }
     }
 }
 

@@ -15,7 +15,10 @@ struct Scope {
 impl Scope {
     fn name_of(&self, v: VarRef) -> String {
         let idx = self.frames.len().checked_sub(1 + v.depth as usize);
-        match idx.and_then(|i| self.frames.get(i)).and_then(|f| f.get(v.slot as usize)) {
+        match idx
+            .and_then(|i| self.frames.get(i))
+            .and_then(|f| f.get(v.slot as usize))
+        {
             Some(n) => n.clone(),
             None => format!("?v{}_{}", v.depth, v.slot),
         }
@@ -93,7 +96,11 @@ fn expr_to_datum(e: &Expr, p: &Program, scope: &mut Scope, counter: &mut u32) ->
             scope.pop();
             Datum::List(vec![sym("lambda"), param_datum, body])
         }
-        Expr::If { cond, then_branch, else_branch } => Datum::List(vec![
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Datum::List(vec![
             sym("if"),
             expr_to_datum(cond, p, scope, counter),
             expr_to_datum(then_branch, p, scope, counter),
@@ -120,8 +127,10 @@ fn expr_to_datum(e: &Expr, p: &Program, scope: &mut Scope, counter: &mut u32) ->
             expr_to_datum(value, p, scope, counter),
         ]),
         Expr::Let { inits, body } => {
-            let rendered: Vec<Datum> =
-                inits.iter().map(|i| expr_to_datum(i, p, scope, counter)).collect();
+            let rendered: Vec<Datum> = inits
+                .iter()
+                .map(|i| expr_to_datum(i, p, scope, counter))
+                .collect();
             *counter += 1;
             let c = *counter;
             let names: Vec<String> = (0..inits.len()).map(|i| format!("x{c}_{i}")).collect();
@@ -176,7 +185,10 @@ mod tests {
     #[test]
     fn renders_define_and_globals() {
         let out = render("(define (f x) (+ x 1)) (f 2)");
-        assert!(out.contains("(define f (lambda (x1_0) (+ x1_0 1)))"), "got: {out}");
+        assert!(
+            out.contains("(define f (lambda (x1_0) (+ x1_0 1)))"),
+            "got: {out}"
+        );
         assert!(out.contains("(f 2)"), "got: {out}");
     }
 

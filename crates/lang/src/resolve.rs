@@ -61,7 +61,11 @@ fn err(msg: impl Into<String>) -> LangError {
 
 impl Resolver {
     fn new() -> Resolver {
-        Resolver { globals: Vec::new(), scopes: Vec::new(), lambda_counter: 0 }
+        Resolver {
+            globals: Vec::new(),
+            scopes: Vec::new(),
+            lambda_counter: 0,
+        }
     }
 
     fn intern_global(&mut self, name: &str) -> GlobalIndex {
@@ -77,7 +81,10 @@ impl Resolver {
     fn lookup_local(&self, name: &str) -> Option<VarRef> {
         for (depth, frame) in self.scopes.iter().rev().enumerate() {
             if let Some(slot) = frame.iter().position(|n| n == name) {
-                return Some(VarRef { depth: depth as u16, slot: slot as u16 });
+                return Some(VarRef {
+                    depth: depth as u16,
+                    slot: slot as u16,
+                });
             }
         }
         None
@@ -118,8 +125,8 @@ impl Resolver {
         }
         // A special-form head only applies when the name is not shadowed.
         if let Some(head) = items[0].as_sym() {
-            let shadowed = self.lookup_local(head).is_some()
-                || self.globals.iter().any(|g| g == head);
+            let shadowed =
+                self.lookup_local(head).is_some() || self.globals.iter().any(|g| g == head);
             if !shadowed {
                 match head {
                     "quote" => {
@@ -163,7 +170,10 @@ impl Resolver {
                             return Ok(Expr::SetLocal { var, value });
                         }
                         if let Some(i) = self.globals.iter().position(|g| g == name) {
-                            return Ok(Expr::SetGlobal { index: i as GlobalIndex, value });
+                            return Ok(Expr::SetGlobal {
+                                index: i as GlobalIndex,
+                                value,
+                            });
                         }
                         if Prim::from_name(name).is_some() {
                             return Err(err(format!("cannot set! primitive {name}")));
@@ -197,9 +207,14 @@ impl Resolver {
         }
         // Application.
         let func = Rc::new(self.expr(&items[0], None)?);
-        let args: Vec<Expr> =
-            items[1..].iter().map(|e| self.expr(e, None)).collect::<Result<_, _>>()?;
-        Ok(Expr::App { func, args: Rc::from(args) })
+        let args: Vec<Expr> = items[1..]
+            .iter()
+            .map(|e| self.expr(e, None))
+            .collect::<Result<_, _>>()?;
+        Ok(Expr::App {
+            func,
+            args: Rc::from(args),
+        })
     }
 
     fn let_form(
@@ -228,7 +243,10 @@ impl Resolver {
                 .collect::<Result<_, _>>()?;
             let body = self.expr(body, None)?;
             self.scopes.pop();
-            Ok(Expr::LetRec { inits: Rc::from(inits), body: Rc::new(body) })
+            Ok(Expr::LetRec {
+                inits: Rc::from(inits),
+                body: Rc::new(body),
+            })
         } else {
             let inits: Vec<Expr> = init_data
                 .iter()
@@ -237,7 +255,10 @@ impl Resolver {
             self.scopes.push(names);
             let body = self.expr(body, None)?;
             self.scopes.pop();
-            Ok(Expr::Let { inits: Rc::from(inits), body: Rc::new(body) })
+            Ok(Expr::Let {
+                inits: Rc::from(inits),
+                body: Rc::new(body),
+            })
         }
     }
 
@@ -315,12 +336,18 @@ fn collect_free(expr: &Expr, boundary: u16, out: &mut BTreeSet<VarRef>) {
     match expr {
         Expr::Var(v) => {
             if v.depth >= boundary {
-                out.insert(VarRef { depth: v.depth - boundary, slot: v.slot });
+                out.insert(VarRef {
+                    depth: v.depth - boundary,
+                    slot: v.slot,
+                });
             }
         }
         Expr::SetLocal { var, value } => {
             if var.depth >= boundary {
-                out.insert(VarRef { depth: var.depth - boundary, slot: var.slot });
+                out.insert(VarRef {
+                    depth: var.depth - boundary,
+                    slot: var.slot,
+                });
             }
             collect_free(value, boundary, out);
         }
@@ -328,12 +355,19 @@ fn collect_free(expr: &Expr, boundary: u16, out: &mut BTreeSet<VarRef>) {
             // The nested lambda's free refs are relative to *this* point.
             for fv in &def.free {
                 if fv.depth >= boundary {
-                    out.insert(VarRef { depth: fv.depth - boundary, slot: fv.slot });
+                    out.insert(VarRef {
+                        depth: fv.depth - boundary,
+                        slot: fv.slot,
+                    });
                 }
             }
         }
         Expr::Quote(_) | Expr::Global(_) | Expr::PrimRef(_) => {}
-        Expr::If { cond, then_branch, else_branch } => {
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             collect_free(cond, boundary, out);
             collect_free(then_branch, boundary, out);
             collect_free(else_branch, boundary, out);
@@ -385,7 +419,9 @@ mod tests {
     #[test]
     fn literals_and_prims() {
         let p = compile("(+ 1 2)");
-        let Expr::App { func, args } = first_expr(&p) else { panic!() };
+        let Expr::App { func, args } = first_expr(&p) else {
+            panic!()
+        };
         assert!(matches!(**func, Expr::PrimRef(Prim::Add)));
         assert_eq!(args.len(), 2);
     }
@@ -393,9 +429,15 @@ mod tests {
     #[test]
     fn lexical_addressing() {
         let p = compile("(lambda (x) (lambda (y) (x y)))");
-        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
-        let Expr::Lambda(inner) = &outer.body else { panic!() };
-        let Expr::App { func, args } = &inner.body else { panic!() };
+        let Expr::Lambda(outer) = first_expr(&p) else {
+            panic!()
+        };
+        let Expr::Lambda(inner) = &outer.body else {
+            panic!()
+        };
+        let Expr::App { func, args } = &inner.body else {
+            panic!()
+        };
         // x is one frame up, y is local.
         assert!(matches!(**func, Expr::Var(VarRef { depth: 1, slot: 0 })));
         assert!(matches!(args[0], Expr::Var(VarRef { depth: 0, slot: 0 })));
@@ -408,9 +450,15 @@ mod tests {
     #[test]
     fn free_vars_through_let() {
         let p = compile("(lambda (x) (let ((a 1)) (lambda (y) (+ a x))))");
-        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
-        let Expr::Let { body, .. } = &outer.body else { panic!() };
-        let Expr::Lambda(inner) = &**body else { panic!() };
+        let Expr::Lambda(outer) = first_expr(&p) else {
+            panic!()
+        };
+        let Expr::Let { body, .. } = &outer.body else {
+            panic!()
+        };
+        let Expr::Lambda(inner) = &**body else {
+            panic!()
+        };
         // Inner sees a at depth 1 (let frame) → free depth 0; x at depth 2 → free depth 1.
         assert_eq!(
             inner.free,
@@ -424,8 +472,12 @@ mod tests {
         // z is free in the innermost lambda and must surface in the middle
         // lambda's free list too.
         let p = compile("(lambda (z) (lambda (a) (lambda (b) z)))");
-        let Expr::Lambda(outer) = first_expr(&p) else { panic!() };
-        let Expr::Lambda(middle) = &outer.body else { panic!() };
+        let Expr::Lambda(outer) = first_expr(&p) else {
+            panic!()
+        };
+        let Expr::Lambda(middle) = &outer.body else {
+            panic!()
+        };
         assert_eq!(middle.free, vec![VarRef { depth: 0, slot: 0 }]);
         assert!(outer.free.is_empty());
     }
@@ -440,7 +492,13 @@ mod tests {
         assert_eq!(p.global_names, vec!["even?", "odd?"]);
         // The reference to odd? inside even? is Global(1) even though odd?
         // is defined later.
-        let TopForm::Define { expr: Expr::Lambda(def), .. } = &p.top_level[0] else { panic!() };
+        let TopForm::Define {
+            expr: Expr::Lambda(def),
+            ..
+        } = &p.top_level[0]
+        else {
+            panic!()
+        };
         assert_eq!(def.name.as_deref(), Some("even?"));
         assert!(def.free.is_empty(), "globals are not captured");
     }
@@ -448,27 +506,38 @@ mod tests {
     #[test]
     fn user_definitions_shadow_prims() {
         let p = compile("(define (car x) x) (car 5)");
-        let TopForm::Expr(Expr::App { func, .. }) = &p.top_level[1] else { panic!() };
-        assert!(matches!(**func, Expr::Global(0)), "user car shadows the primitive");
+        let TopForm::Expr(Expr::App { func, .. }) = &p.top_level[1] else {
+            panic!()
+        };
+        assert!(
+            matches!(**func, Expr::Global(0)),
+            "user car shadows the primitive"
+        );
     }
 
     #[test]
     fn locals_shadow_globals_and_prims() {
         let p = compile("(define x 1) (lambda (x) x)");
-        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else { panic!() };
+        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else {
+            panic!()
+        };
         assert!(matches!(def.body, Expr::Var(VarRef { depth: 0, slot: 0 })));
     }
 
     #[test]
     fn variadic_params() {
         let p = compile("(lambda args args)");
-        let Expr::Lambda(def) = first_expr(&p) else { panic!() };
+        let Expr::Lambda(def) = first_expr(&p) else {
+            panic!()
+        };
         assert_eq!(def.params, 0);
         assert!(def.variadic);
         assert_eq!(def.frame_size(), 1);
 
         let p = compile("(lambda (a b . r) r)");
-        let Expr::Lambda(def) = first_expr(&p) else { panic!() };
+        let Expr::Lambda(def) = first_expr(&p) else {
+            panic!()
+        };
         assert_eq!(def.params, 2);
         assert!(def.variadic);
         assert_eq!(def.frame_size(), 3);
@@ -477,8 +546,12 @@ mod tests {
     #[test]
     fn letrec_scoping() {
         let p = compile("(letrec ((f (lambda (n) (f n)))) f)");
-        let Expr::LetRec { inits, body } = first_expr(&p) else { panic!() };
-        let Expr::Lambda(def) = &inits[0] else { panic!() };
+        let Expr::LetRec { inits, body } = first_expr(&p) else {
+            panic!()
+        };
+        let Expr::Lambda(def) = &inits[0] else {
+            panic!()
+        };
         assert_eq!(def.name.as_deref(), Some("f"));
         // f refers to itself through the letrec frame: free at depth 0.
         assert_eq!(def.free, vec![VarRef { depth: 0, slot: 0 }]);
@@ -488,7 +561,9 @@ mod tests {
     #[test]
     fn term_c_resolves() {
         let p = compile("(terminating/c (lambda (x) x))");
-        let Expr::TermC { label, body } = first_expr(&p) else { panic!() };
+        let Expr::TermC { label, body } = first_expr(&p) else {
+            panic!()
+        };
         assert!(label.contains("terminating/c#0"), "got {label}");
         assert!(matches!(**body, Expr::Lambda(_)));
     }
@@ -505,7 +580,9 @@ mod tests {
     #[test]
     fn set_local_and_global() {
         let p = compile("(define g 0) (lambda (x) (set! x 1)) (set! g 2)");
-        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else { panic!() };
+        let TopForm::Expr(Expr::Lambda(def)) = &p.top_level[1] else {
+            panic!()
+        };
         assert!(matches!(def.body, Expr::SetLocal { .. }));
         let TopForm::Expr(Expr::SetGlobal { index: 0, .. }) = &p.top_level[2] else {
             panic!()
@@ -515,7 +592,9 @@ mod tests {
     #[test]
     fn quoted_data_preserved() {
         let p = compile("'(1 2 (3 . 4))");
-        let Expr::Quote(d) = first_expr(&p) else { panic!() };
+        let Expr::Quote(d) = first_expr(&p) else {
+            panic!()
+        };
         assert_eq!(d.to_string(), "(1 2 (3 . 4))");
     }
 

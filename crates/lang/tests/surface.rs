@@ -15,8 +15,14 @@ fn recompiles(src: &str) {
         .join("\n");
     let p2 = compile_program(&rendered)
         .unwrap_or_else(|e| panic!("recompile failed: {e}\nrendered:\n{rendered}"));
-    assert_eq!(p1.global_names, p2.global_names, "globals preserved for {src}");
-    assert_eq!(p1.lambda_count, p2.lambda_count, "lambda count preserved for {src}");
+    assert_eq!(
+        p1.global_names, p2.global_names,
+        "globals preserved for {src}"
+    );
+    assert_eq!(
+        p1.lambda_count, p2.lambda_count,
+        "lambda count preserved for {src}"
+    );
 }
 
 #[test]
@@ -70,18 +76,21 @@ fn comments_and_blocks_everywhere() {
 #[test]
 fn error_cases_are_reported_not_panicked() {
     for bad in [
-        "(",                       // parse error
-        "(lambda)",                // malformed lambda
-        "(define)",                // malformed define
-        "(let ([x]) x)",           // malformed binding
-        "(unbound-name 1)",        // unbound
-        "(set! 5 1)",              // bad set! target
-        "(cond [else 1] [2 3])",   // else not last
-        "(lambda (a a) a)",        // duplicate params
-        "(quote)",                 // malformed quote
-        "(a . b)",                 // dotted expression
+        "(",                     // parse error
+        "(lambda)",              // malformed lambda
+        "(define)",              // malformed define
+        "(let ([x]) x)",         // malformed binding
+        "(unbound-name 1)",      // unbound
+        "(set! 5 1)",            // bad set! target
+        "(cond [else 1] [2 3])", // else not last
+        "(lambda (a a) a)",      // duplicate params
+        "(quote)",               // malformed quote
+        "(a . b)",               // dotted expression
     ] {
-        assert!(compile_program(bad).is_err(), "{bad} should fail to compile");
+        assert!(
+            compile_program(bad).is_err(),
+            "{bad} should fail to compile"
+        );
     }
 }
 

@@ -21,7 +21,10 @@ fn hash_of<K: Hash>(key: &K) -> u64 {
 enum Node<K, V> {
     /// Interior node: `bitmap` has a bit per occupied slot; `children` holds
     /// the occupied slots in slot order.
-    Branch { bitmap: u32, children: Vec<Rc<Node<K, V>>> },
+    Branch {
+        bitmap: u32,
+        children: Vec<Rc<Node<K, V>>>,
+    },
     /// One or more entries whose hashes collide down to this depth.
     Leaf { hash: u64, entries: Vec<(K, V)> },
 }
@@ -53,7 +56,10 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone(), len: self.len }
+        PMap {
+            root: self.root.clone(),
+            len: self.len,
+        }
     }
 }
 
@@ -118,10 +124,19 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
     pub fn insert(&self, key: K, value: V) -> PMap<K, V> {
         let h = hash_of(&key);
         let (root, added) = match &self.root {
-            None => (Rc::new(Node::Leaf { hash: h, entries: vec![(key, value)] }), true),
+            None => (
+                Rc::new(Node::Leaf {
+                    hash: h,
+                    entries: vec![(key, value)],
+                }),
+                true,
+            ),
             Some(node) => insert_node(node, 0, h, key, value),
         };
-        PMap { root: Some(root), len: self.len + usize::from(added) }
+        PMap {
+            root: Some(root),
+            len: self.len + usize::from(added),
+        }
     }
 
     /// Returns a map without `key` (unchanged if absent).
@@ -132,8 +147,14 @@ impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
             None => self.clone(),
             Some(node) => match remove_node(node, 0, h, key) {
                 RemoveResult::NotFound => self.clone(),
-                RemoveResult::Empty => PMap { root: None, len: self.len - 1 },
-                RemoveResult::Replaced(n) => PMap { root: Some(n), len: self.len - 1 },
+                RemoveResult::Empty => PMap {
+                    root: None,
+                    len: self.len - 1,
+                },
+                RemoveResult::Replaced(n) => PMap {
+                    root: Some(n),
+                    len: self.len - 1,
+                },
             },
         }
     }
@@ -252,11 +273,29 @@ fn insert_node<K: Hash + Eq + Clone, V: Clone>(
                 let (new_child, added) = insert_node(&children[idx], depth + 1, h, key, value);
                 let mut children = children.clone();
                 children[idx] = new_child;
-                (Rc::new(Node::Branch { bitmap: *bitmap, children }), added)
+                (
+                    Rc::new(Node::Branch {
+                        bitmap: *bitmap,
+                        children,
+                    }),
+                    added,
+                )
             } else {
                 let mut children = children.clone();
-                children.insert(idx, Rc::new(Node::Leaf { hash: h, entries: vec![(key, value)] }));
-                (Rc::new(Node::Branch { bitmap: bitmap | bit, children }), true)
+                children.insert(
+                    idx,
+                    Rc::new(Node::Leaf {
+                        hash: h,
+                        entries: vec![(key, value)],
+                    }),
+                );
+                (
+                    Rc::new(Node::Branch {
+                        bitmap: bitmap | bit,
+                        children,
+                    }),
+                    true,
+                )
             }
         }
     }
@@ -302,7 +341,10 @@ fn remove_node<K: Hash + Eq + Clone, V: Clone>(
                 RemoveResult::Replaced(child) => {
                     let mut children = children.clone();
                     children[idx] = child;
-                    RemoveResult::Replaced(Rc::new(Node::Branch { bitmap: *bitmap, children }))
+                    RemoveResult::Replaced(Rc::new(Node::Branch {
+                        bitmap: *bitmap,
+                        children,
+                    }))
                 }
                 RemoveResult::Empty => {
                     if children.len() == 1 {
@@ -335,8 +377,7 @@ impl<K: Hash + Eq + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for PM
 
 impl<K: Hash + Eq + Clone, V: Clone + PartialEq> PartialEq for PMap<K, V> {
     fn eq(&self, other: &Self) -> bool {
-        self.len == other.len
-            && self.iter().all(|(k, v)| other.get(k) == Some(v))
+        self.len == other.len && self.iter().all(|(k, v)| other.get(k) == Some(v))
     }
 }
 
@@ -344,7 +385,8 @@ impl<K: Hash + Eq + Clone, V: Clone + Eq> Eq for PMap<K, V> {}
 
 impl<K: Hash + Eq + Clone, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        iter.into_iter().fold(PMap::new(), |m, (k, v)| m.insert(k, v))
+        iter.into_iter()
+            .fold(PMap::new(), |m, (k, v)| m.insert(k, v))
     }
 }
 

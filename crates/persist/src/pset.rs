@@ -25,7 +25,9 @@ pub struct PSet<T> {
 
 impl<T> Clone for PSet<T> {
     fn clone(&self) -> Self {
-        PSet { map: self.map.clone() }
+        PSet {
+            map: self.map.clone(),
+        }
     }
 }
 
@@ -61,13 +63,17 @@ impl<T: Hash + Eq + Clone> PSet<T> {
     /// Returns a set extended with `value`.
     #[must_use = "PSet is persistent; insert returns the new set"]
     pub fn insert(&self, value: T) -> PSet<T> {
-        PSet { map: self.map.insert(value, ()) }
+        PSet {
+            map: self.map.insert(value, ()),
+        }
     }
 
     /// Returns a set without `value`.
     #[must_use = "PSet is persistent; remove returns the new set"]
     pub fn remove(&self, value: &T) -> PSet<T> {
-        PSet { map: self.map.remove(value) }
+        PSet {
+            map: self.map.remove(value),
+        }
     }
 
     /// Iterates in unspecified order.

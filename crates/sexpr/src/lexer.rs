@@ -75,7 +75,12 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `text`.
     pub fn new(text: &'a str) -> Lexer<'a> {
-        Lexer { src: text.as_bytes(), text, at: 0, pos: Pos::start() }
+        Lexer {
+            src: text.as_bytes(),
+            text,
+            at: 0,
+            pos: Pos::start(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -99,7 +104,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, pos: Pos, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), pos }
+        LexError {
+            message: message.into(),
+            pos,
+        }
     }
 
     /// Skips whitespace, `;` line comments and `#| ... |#` block comments
@@ -153,8 +161,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn is_delimiter(b: u8) -> bool {
-        (b as char).is_ascii_whitespace()
-            || matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';')
+        (b as char).is_ascii_whitespace() || matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';')
     }
 
     fn read_string(&mut self, start: Pos) -> Result<TokenKind, LexError> {
@@ -234,15 +241,11 @@ impl<'a> Lexer<'a> {
                         "tab" => Ok(TokenKind::Char('\t')),
                         "return" => Ok(TokenKind::Char('\r')),
                         "nul" | "null" => Ok(TokenKind::Char('\0')),
-                        other => {
-                            Err(self.err(start, format!("unknown character name #\\{other}")))
-                        }
+                        other => Err(self.err(start, format!("unknown character name #\\{other}"))),
                     }
                 }
             }
-            Some(other) => {
-                Err(self.err(start, format!("unknown # syntax #{}", other as char)))
-            }
+            Some(other) => Err(self.err(start, format!("unknown # syntax #{}", other as char))),
             None => Err(self.err(start, "unexpected end of input after #")),
         }
     }
@@ -264,7 +267,9 @@ impl<'a> Lexer<'a> {
     pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
         self.skip_atmosphere()?;
         let pos = self.pos;
-        let Some(b) = self.peek() else { return Ok(None) };
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
         let kind = match b {
             b'(' | b'[' => {
                 self.bump();
@@ -350,7 +355,10 @@ mod tests {
         assert_eq!(kinds("+"), vec![TokenKind::Sym("+".into())]);
         assert_eq!(kinds("-"), vec![TokenKind::Sym("-".into())]);
         assert_eq!(kinds("a->b"), vec![TokenKind::Sym("a->b".into())]);
-        assert_eq!(kinds("list->vector"), vec![TokenKind::Sym("list->vector".into())]);
+        assert_eq!(
+            kinds("list->vector"),
+            vec![TokenKind::Sym("list->vector".into())]
+        );
         assert_eq!(
             kinds("99999999999999999999999"),
             vec![TokenKind::BigInt("99999999999999999999999".into())]
@@ -386,13 +394,19 @@ mod tests {
 
     #[test]
     fn strings_chars_bools() {
-        assert_eq!(kinds("#t #f"), vec![TokenKind::Bool(true), TokenKind::Bool(false)]);
+        assert_eq!(
+            kinds("#t #f"),
+            vec![TokenKind::Bool(true), TokenKind::Bool(false)]
+        );
         assert_eq!(kinds("#\\a"), vec![TokenKind::Char('a')]);
         assert_eq!(kinds("#\\space"), vec![TokenKind::Char(' ')]);
         assert_eq!(kinds("#\\newline"), vec![TokenKind::Char('\n')]);
         assert_eq!(kinds("#\\("), vec![TokenKind::Char('(')]);
         assert_eq!(kinds(r#""a\nb""#), vec![TokenKind::Str("a\nb".into())]);
-        assert_eq!(kinds(r#""say \"hi\"""#), vec![TokenKind::Str("say \"hi\"".into())]);
+        assert_eq!(
+            kinds(r#""say \"hi\"""#),
+            vec![TokenKind::Str("say \"hi\"".into())]
+        );
     }
 
     #[test]
@@ -404,16 +418,21 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(Lexer::new("\"unterminated").collect::<Result<Vec<_>, _>>().is_err());
-        assert!(Lexer::new("#| open").collect::<Result<Vec<_>, _>>().is_err());
+        assert!(Lexer::new("\"unterminated")
+            .collect::<Result<Vec<_>, _>>()
+            .is_err());
+        assert!(Lexer::new("#| open")
+            .collect::<Result<Vec<_>, _>>()
+            .is_err());
         assert!(Lexer::new("#q").collect::<Result<Vec<_>, _>>().is_err());
-        assert!(Lexer::new("#\\badname").collect::<Result<Vec<_>, _>>().is_err());
+        assert!(Lexer::new("#\\badname")
+            .collect::<Result<Vec<_>, _>>()
+            .is_err());
     }
 
     #[test]
     fn positions_track_lines() {
-        let toks: Vec<_> =
-            Lexer::new("a\n  b").collect::<Result<Vec<_>, _>>().unwrap();
+        let toks: Vec<_> = Lexer::new("a\n  b").collect::<Result<Vec<_>, _>>().unwrap();
         assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
         assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
     }

@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, pos: e.pos }
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub struct Parser<'a> {
 impl<'a> Parser<'a> {
     /// Creates a parser over `text`.
     pub fn new(text: &'a str) -> Parser<'a> {
-        Parser { lexer: Lexer::new(text), lookahead: None }
+        Parser {
+            lexer: Lexer::new(text),
+            lookahead: None,
+        }
     }
 
     fn next_tok(&mut self) -> Result<Option<Token>, ParseError> {
@@ -72,14 +78,19 @@ impl<'a> Parser<'a> {
     /// Returns [`ParseError`] on malformed input: unbalanced parentheses,
     /// mismatched bracket kinds, misplaced dots, or lexical errors.
     pub fn next_datum(&mut self) -> Result<Option<Datum>, ParseError> {
-        let Some(tok) = self.next_tok()? else { return Ok(None) };
+        let Some(tok) = self.next_tok()? else {
+            return Ok(None);
+        };
         self.datum_from(tok).map(Some)
     }
 
     fn expect_datum(&mut self, why: &str, pos: Pos) -> Result<Datum, ParseError> {
         match self.next_datum()? {
             Some(d) => Ok(d),
-            None => Err(ParseError { message: format!("unexpected end of input: {why}"), pos }),
+            None => Err(ParseError {
+                message: format!("unexpected end of input: {why}"),
+                pos,
+            }),
         }
     }
 
@@ -101,12 +112,14 @@ impl<'a> Parser<'a> {
                 self.expect_datum("datum expected after commented datum", tok.pos)
             }
             TokenKind::Open(open) => self.list(open, tok.pos),
-            TokenKind::Close(c) => {
-                Err(ParseError { message: format!("unexpected {c}"), pos: tok.pos })
-            }
-            TokenKind::Dot => {
-                Err(ParseError { message: "unexpected .".into(), pos: tok.pos })
-            }
+            TokenKind::Close(c) => Err(ParseError {
+                message: format!("unexpected {c}"),
+                pos: tok.pos,
+            }),
+            TokenKind::Dot => Err(ParseError {
+                message: "unexpected .".into(),
+                pos: tok.pos,
+            }),
         }
     }
 
@@ -195,9 +208,10 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse_one(text: &str) -> Result<Datum, ParseError> {
     let mut p = Parser::new(text);
-    let d = p
-        .next_datum()?
-        .ok_or(ParseError { message: "empty input".into(), pos: Pos::start() })?;
+    let d = p.next_datum()?.ok_or(ParseError {
+        message: "empty input".into(),
+        pos: Pos::start(),
+    })?;
     if let Some(extra) = p.next_datum()? {
         return Err(ParseError {
             message: format!("trailing datum {extra}"),
@@ -247,8 +261,10 @@ mod tests {
     #[test]
     fn quote_sugar() {
         assert_eq!(parse_one("'x").unwrap().to_string(), "(quote x)");
-        assert_eq!(parse_one("`(a ,b ,@c)").unwrap().to_string(),
-            "(quasiquote (a (unquote b) (unquote-splicing c)))");
+        assert_eq!(
+            parse_one("`(a ,b ,@c)").unwrap().to_string(),
+            "(quasiquote (a (unquote b) (unquote-splicing c)))"
+        );
     }
 
     #[test]

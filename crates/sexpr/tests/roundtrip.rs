@@ -31,8 +31,8 @@ fn datum_strategy() -> impl Strategy<Value = Datum> {
     leaf.prop_recursive(4, 64, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Datum::List),
-            (proptest::collection::vec(inner.clone(), 1..4), inner).prop_map(
-                |(items, tail)| match tail {
+            (proptest::collection::vec(inner.clone(), 1..4), inner).prop_map(|(items, tail)| {
+                match tail {
                     // Keep the improper invariant: the tail is never a list.
                     Datum::List(tl) => {
                         let mut items = items;
@@ -46,7 +46,7 @@ fn datum_strategy() -> impl Strategy<Value = Datum> {
                     }
                     atom => Datum::Improper(items, Box::new(atom)),
                 }
-            ),
+            }),
         ]
     })
 }

@@ -17,7 +17,12 @@ fn main() {
     println!("{:<14} {:>6} {:>6}   note", "program", "paper", "ours");
     for p in table1::all() {
         let Some(spec) = p.static_spec else {
-            println!("{:<14} {:>6} {:>6}   (no static spec)", p.id, p.paper.static_.cell(), "-");
+            println!(
+                "{:<14} {:>6} {:>6}   (no static spec)",
+                p.id,
+                p.paper.static_.cell(),
+                "-"
+            );
             continue;
         };
         let prog = sct_lang::compile_program(p.source).expect("compiles");
@@ -35,6 +40,13 @@ fn main() {
         } else {
             "  <-- differs"
         };
-        println!("{:<14} {:>6} {:>6}   {}{}", p.id, p.paper.static_.cell(), ours, verdict, agree);
+        println!(
+            "{:<14} {:>6} {:>6}   {}{}",
+            p.id,
+            p.paper.static_.cell(),
+            ours,
+            verdict,
+            agree
+        );
     }
 }

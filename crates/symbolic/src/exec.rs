@@ -38,7 +38,12 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { step_budget: 200_000, max_outcomes: 256, havoc_budget: 64, max_chain: 64 }
+        ExecConfig {
+            step_budget: 200_000,
+            max_outcomes: 256,
+            havoc_budget: 64,
+            max_chain: 64,
+        }
     }
 }
 
@@ -248,9 +253,16 @@ impl<'p> Executor<'p> {
             Expr::PrimRef(p) => vec![(path, SOut::Val(SValue::Conc(Value::Prim(*p))))],
             Expr::Lambda(def) => vec![(
                 path,
-                SOut::Val(SValue::SClosure(Rc::new(SClosure { def: def.clone(), env: env.clone() }))),
+                SOut::Val(SValue::SClosure(Rc::new(SClosure {
+                    def: def.clone(),
+                    env: env.clone(),
+                }))),
             )],
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut out = Vec::new();
                 for (p, o) in self.eval(cond, env, path, chain) {
                     match o {
@@ -264,7 +276,10 @@ impl<'p> Executor<'p> {
                                 Branch::Det(false) => {
                                     out.extend(self.eval(else_branch, env, p, chain))
                                 }
-                                Branch::Split { then_delta, else_delta } => {
+                                Branch::Split {
+                                    then_delta,
+                                    else_delta,
+                                } => {
                                     if let Some(tp) = self.apply_delta(&p, &then_delta) {
                                         out.extend(self.eval(then_branch, env, tp, chain));
                                     }
@@ -310,7 +325,8 @@ impl<'p> Executor<'p> {
                 out
             }
             Expr::Seq(exprs) => {
-                let mut states: Vec<(Path, SOut)> = vec![(path, SOut::Val(SValue::Conc(Value::Void)))];
+                let mut states: Vec<(Path, SOut)> =
+                    vec![(path, SOut::Val(SValue::Conc(Value::Void)))];
                 for e in exprs.iter() {
                     let mut next = Vec::new();
                     for (p, o) in states {
@@ -464,7 +480,10 @@ impl<'p> Executor<'p> {
             // Summarized self-call: record the symbolic size-change graph
             // and return a fresh result (the finitization step).
             let g = {
-                let order = PathOrder { kinds: &self.atom_kinds, path: &path };
+                let order = PathOrder {
+                    kinds: &self.atom_kinds,
+                    path: &path,
+                };
                 ScGraph::from_args(&order, prev, &args)
             };
             let set = self.graphs.entry(def.id).or_default();
@@ -506,12 +525,12 @@ impl<'p> Executor<'p> {
                 if entry.id == id {
                     for (d, arg) in entry.domains.iter().zip(new.iter()) {
                         let ok = match d {
-                            SymDomain::Nat => solver
-                                .linearize(path, arg)
-                                .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::ge0(l))),
-                            SymDomain::Pos => solver
-                                .linearize(path, arg)
-                                .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::gt0(l))),
+                            SymDomain::Nat => solver.linearize(path, arg).is_some_and(|l| {
+                                crate::linear::entails(&path.lin, &LinCon::ge0(l))
+                            }),
+                            SymDomain::Pos => solver.linearize(path, arg).is_some_and(|l| {
+                                crate::linear::entails(&path.lin, &LinCon::gt0(l))
+                            }),
                             SymDomain::Int => is_int_like(&solver, path, arg),
                             SymDomain::List => is_list_like(path, arg, &self.atom_kinds),
                             SymDomain::Any => true,
@@ -593,7 +612,10 @@ impl<'p> Executor<'p> {
         }
 
         // Fully concrete arguments: run the real primitive.
-        if args.iter().all(|a| matches!(path.resolve(a), SValue::Conc(_))) {
+        if args
+            .iter()
+            .all(|a| matches!(path.resolve(a), SValue::Conc(_)))
+        {
             let conc: Vec<Value> = args
                 .iter()
                 .map(|a| match path.resolve(a) {
@@ -631,8 +653,15 @@ impl<'p> Executor<'p> {
                 }
                 vec![(path, SOut::Val(tail))]
             }
-            Prim::Car | Prim::Cdr | Prim::Caar | Prim::Cadr | Prim::Cdar | Prim::Cddr
-            | Prim::Caddr | Prim::Cdddr | Prim::Cadddr => {
+            Prim::Car
+            | Prim::Cdr
+            | Prim::Caar
+            | Prim::Cadr
+            | Prim::Cdar
+            | Prim::Cddr
+            | Prim::Caddr
+            | Prim::Cdddr
+            | Prim::Cadddr => {
                 if args.len() != 1 {
                     return vec![(path, SOut::Abort)];
                 }
@@ -661,19 +690,52 @@ impl<'p> Executor<'p> {
                 vec![(cur_path, SOut::Val(cur))]
             }
             // Arithmetic keeps symbolic structure for the solver.
-            Prim::Add | Prim::Sub | Prim::Mul | Prim::Quotient | Prim::Remainder
-            | Prim::Modulo | Prim::Abs | Prim::Min | Prim::Max | Prim::Add1 | Prim::Sub1
-            | Prim::Gcd | Prim::Expt => {
+            Prim::Add
+            | Prim::Sub
+            | Prim::Mul
+            | Prim::Quotient
+            | Prim::Remainder
+            | Prim::Modulo
+            | Prim::Abs
+            | Prim::Min
+            | Prim::Max
+            | Prim::Add1
+            | Prim::Sub1
+            | Prim::Gcd
+            | Prim::Expt => {
                 vec![(path, SOut::Val(SValue::Term(p, Rc::from(args))))]
             }
             // Predicates and comparisons stay symbolic; `classify` gives
             // them meaning at branches.
-            Prim::NumEq | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge | Prim::IsZero
-            | Prim::IsNegative | Prim::IsPositive | Prim::IsEven | Prim::IsOdd
-            | Prim::IsNumber | Prim::IsInteger | Prim::Not | Prim::IsNull | Prim::IsPair
-            | Prim::IsBoolean | Prim::IsSymbol | Prim::IsString | Prim::IsChar
-            | Prim::IsProcedure | Prim::IsVoid | Prim::IsEq | Prim::IsEqv | Prim::IsEqual
-            | Prim::CharEq | Prim::CharLt | Prim::StringEq | Prim::StringLt | Prim::IsList => {
+            Prim::NumEq
+            | Prim::Lt
+            | Prim::Le
+            | Prim::Gt
+            | Prim::Ge
+            | Prim::IsZero
+            | Prim::IsNegative
+            | Prim::IsPositive
+            | Prim::IsEven
+            | Prim::IsOdd
+            | Prim::IsNumber
+            | Prim::IsInteger
+            | Prim::Not
+            | Prim::IsNull
+            | Prim::IsPair
+            | Prim::IsBoolean
+            | Prim::IsSymbol
+            | Prim::IsString
+            | Prim::IsChar
+            | Prim::IsProcedure
+            | Prim::IsVoid
+            | Prim::IsEq
+            | Prim::IsEqv
+            | Prim::IsEqual
+            | Prim::CharEq
+            | Prim::CharLt
+            | Prim::StringEq
+            | Prim::StringLt
+            | Prim::IsList => {
                 vec![(path, SOut::Val(SValue::Term(p, Rc::from(args))))]
             }
             // Searches with a symbolic key over a known spine fork over
@@ -693,28 +755,29 @@ impl<'p> Executor<'p> {
                     vec![(path, SOut::Val(r))]
                 }
             }
-            Prim::Memq | Prim::Memv | Prim::Member => {
-                match list_suffixes(&path, &args[1]) {
-                    Some(suffixes) => {
-                        let mut out: Outcomes = suffixes
-                            .into_iter()
-                            .map(|sfx| (path.clone(), SOut::Val(sfx)))
-                            .collect();
-                        out.push((path, SOut::Val(SValue::Conc(Value::Bool(false)))));
-                        out
-                    }
-                    None => {
-                        let r = self.fresh(AtomKind::Any);
-                        vec![(path, SOut::Val(r))]
-                    }
+            Prim::Memq | Prim::Memv | Prim::Member => match list_suffixes(&path, &args[1]) {
+                Some(suffixes) => {
+                    let mut out: Outcomes = suffixes
+                        .into_iter()
+                        .map(|sfx| (path.clone(), SOut::Val(sfx)))
+                        .collect();
+                    out.push((path, SOut::Val(SValue::Conc(Value::Bool(false)))));
+                    out
                 }
-            }
+                None => {
+                    let r = self.fresh(AtomKind::Any);
+                    vec![(path, SOut::Val(r))]
+                }
+            },
             Prim::Length | Prim::StringLength | Prim::CharToInteger | Prim::HashCount => {
                 let r = self.fresh(AtomKind::Int);
                 vec![(path, SOut::Val(r))]
             }
             Prim::Append | Prim::Reverse | Prim::ListTail => {
-                let kind = if args.iter().all(|a| is_list_like(&path, a, &self.atom_kinds)) {
+                let kind = if args
+                    .iter()
+                    .all(|a| is_list_like(&path, a, &self.atom_kinds))
+                {
                     AtomKind::List
                 } else {
                     AtomKind::Any
@@ -742,7 +805,11 @@ impl<'p> Executor<'p> {
                 if kind == AtomKind::Int {
                     return None;
                 }
-                let cdr_kind = if kind == AtomKind::List { AtomKind::List } else { AtomKind::Any };
+                let cdr_kind = if kind == AtomKind::List {
+                    AtomKind::List
+                } else {
+                    AtomKind::Any
+                };
                 let car_v = self.fresh(AtomKind::Any);
                 let cdr_v = self.fresh(cdr_kind);
                 let p2 = path.bind(a, SValue::SPair(Rc::new((car_v.clone(), cdr_v.clone()))));
@@ -834,7 +901,13 @@ fn is_list_like(path: &Path, v: &SValue, kinds: &[AtomKind]) -> bool {
 /// Coverage check for summarized calls of non-entry functions: the new
 /// argument must have the same "kind" as the one the body was explored
 /// with, so that the one exploration stands for all.
-fn kind_stable(solver: &Solver<'_>, path: &Path, prev: &SValue, new: &SValue, kinds: &[AtomKind]) -> bool {
+fn kind_stable(
+    solver: &Solver<'_>,
+    path: &Path,
+    prev: &SValue,
+    new: &SValue,
+    kinds: &[AtomKind],
+) -> bool {
     // The chain stores arguments as resolved at entry; an Any-kinded atom
     // there means the body was explored against a fully arbitrary value,
     // which covers any new argument.
@@ -852,7 +925,12 @@ fn kind_stable(solver: &Solver<'_>, path: &Path, prev: &SValue, new: &SValue, ki
     if is_list_like(path, prev, kinds) && is_list_like(path, new, kinds) {
         return true;
     }
-    let clo = |v: &SValue| matches!(path.resolve(v), SValue::SClosure(_) | SValue::Conc(Value::Prim(_)));
+    let clo = |v: &SValue| {
+        matches!(
+            path.resolve(v),
+            SValue::SClosure(_) | SValue::Conc(Value::Prim(_))
+        )
+    };
     if clo(prev) && clo(new) {
         return true;
     }

@@ -24,12 +24,18 @@ pub struct Lin {
 impl Lin {
     /// The constant expression.
     pub fn constant(k: i128) -> Lin {
-        Lin { k, terms: Vec::new() }
+        Lin {
+            k,
+            terms: Vec::new(),
+        }
     }
 
     /// A single variable.
     pub fn var(a: AtomId) -> Lin {
-        Lin { k: 0, terms: vec![(a, 1)] }
+        Lin {
+            k: 0,
+            terms: vec![(a, 1)],
+        }
     }
 
     /// True when the expression has no variables.
@@ -47,14 +53,21 @@ impl Lin {
             }
         }
         out.retain(|(_, c)| *c != 0);
-        Lin { k: self.k, terms: out }
+        Lin {
+            k: self.k,
+            terms: out,
+        }
     }
 
     /// `self + other`.
     pub fn add(&self, other: &Lin) -> Lin {
         let mut terms = self.terms.clone();
         terms.extend(other.terms.iter().copied());
-        Lin { k: self.k + other.k, terms }.normalize()
+        Lin {
+            k: self.k + other.k,
+            terms,
+        }
+        .normalize()
     }
 
     /// `self - other`.
@@ -64,13 +77,19 @@ impl Lin {
 
     /// `c · self`.
     pub fn scale(&self, c: i128) -> Lin {
-        Lin { k: self.k * c, terms: self.terms.iter().map(|(a, x)| (*a, x * c)).collect() }
-            .normalize()
+        Lin {
+            k: self.k * c,
+            terms: self.terms.iter().map(|(a, x)| (*a, x * c)).collect(),
+        }
+        .normalize()
     }
 
     /// Coefficient of a variable (0 when absent).
     pub fn coeff(&self, a: AtomId) -> i128 {
-        self.terms.iter().find(|(b, _)| *b == a).map_or(0, |(_, c)| *c)
+        self.terms
+            .iter()
+            .find(|(b, _)| *b == a)
+            .map_or(0, |(_, c)| *c)
     }
 }
 
@@ -97,22 +116,34 @@ pub struct LinCon {
 impl LinCon {
     /// `lin ≥ 0`.
     pub fn ge0(lin: Lin) -> LinCon {
-        LinCon { lin, op: ConOp::Ge0 }
+        LinCon {
+            lin,
+            op: ConOp::Ge0,
+        }
     }
 
     /// `lin > 0`, tightened to `lin - 1 ≥ 0` (integers).
     pub fn gt0(lin: Lin) -> LinCon {
-        LinCon { lin: lin.add(&Lin::constant(-1)), op: ConOp::Ge0 }
+        LinCon {
+            lin: lin.add(&Lin::constant(-1)),
+            op: ConOp::Ge0,
+        }
     }
 
     /// `lin = 0`.
     pub fn eq0(lin: Lin) -> LinCon {
-        LinCon { lin, op: ConOp::Eq0 }
+        LinCon {
+            lin,
+            op: ConOp::Eq0,
+        }
     }
 
     /// `lin ≠ 0`.
     pub fn ne0(lin: Lin) -> LinCon {
-        LinCon { lin, op: ConOp::Ne0 }
+        LinCon {
+            lin,
+            op: ConOp::Ne0,
+        }
     }
 
     /// The negation of this constraint (integers: ¬(x ≥ 0) is −x−1 ≥ 0).
@@ -181,7 +212,8 @@ fn fm_unsat(mut rows: Vec<Lin>) -> bool {
             return true;
         }
         // Pick the variable occurring in the fewest rows to limit blowup.
-        let mut var_count: std::collections::HashMap<AtomId, usize> = std::collections::HashMap::new();
+        let mut var_count: std::collections::HashMap<AtomId, usize> =
+            std::collections::HashMap::new();
         for r in &rows {
             for (a, _) in &r.terms {
                 *var_count.entry(*a).or_insert(0) += 1;
@@ -192,8 +224,7 @@ fn fm_unsat(mut rows: Vec<Lin>) -> bool {
         };
         let (with_var, without): (Vec<Lin>, Vec<Lin>) =
             rows.into_iter().partition(|r| r.coeff(var) != 0);
-        let (pos, neg): (Vec<Lin>, Vec<Lin>) =
-            with_var.into_iter().partition(|r| r.coeff(var) > 0);
+        let (pos, neg): (Vec<Lin>, Vec<Lin>) = with_var.into_iter().partition(|r| r.coeff(var) > 0);
         let mut next = without;
         for p in &pos {
             for n in &neg {
@@ -245,7 +276,10 @@ mod tests {
     #[test]
     fn simple_contradictions() {
         // x ≥ 1 ∧ −x ≥ 0 is unsat.
-        assert!(unsat(&[LinCon::ge0(v(1).add(&c(-1))), LinCon::ge0(v(1).scale(-1))]));
+        assert!(unsat(&[
+            LinCon::ge0(v(1).add(&c(-1))),
+            LinCon::ge0(v(1).scale(-1))
+        ]));
         // x ≥ 0 ∧ x ≤ 5 is sat.
         assert!(!unsat(&[LinCon::ge0(v(1)), LinCon::ge0(c(5).sub(&v(1)))]));
         // x = 3 ∧ x ≠ 3 is unsat.
@@ -280,7 +314,7 @@ mod tests {
     fn subtractive_gcd_fact() {
         // a ≥ 1 ∧ b − a ≥ 1 ⊨ b − (b−a) ≥ 1 (i.e. the new b descends).
         let phi = [
-            LinCon::ge0(v(1).add(&c(-1))),          // a ≥ 1
+            LinCon::ge0(v(1).add(&c(-1))),            // a ≥ 1
             LinCon::ge0(v(2).sub(&v(1)).add(&c(-1))), // b − a ≥ 1
         ];
         // new = b − a; prove new ≥ 0 and b − new ≥ 1 (strict descent).
@@ -293,7 +327,7 @@ mod tests {
         let con = LinCon::ge0(v(1));
         let negneg = con.negate().negate();
         // ¬¬(x ≥ 0) = ¬(−x−1 ≥ 0) = x ≥ 0 — check equivalence by entailment.
-        assert!(entails(&[negneg.clone()], &con));
+        assert!(entails(std::slice::from_ref(&negneg), &con));
         assert!(entails(&[con], &negneg));
     }
 }

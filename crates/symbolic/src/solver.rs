@@ -5,8 +5,8 @@
 use crate::linear::{entails, unsat, Lin, LinCon};
 use crate::sym::{AtomId, AtomKind, Path, SValue};
 use sct_core::order::SizeChange;
-use sct_interp::{DefaultOrder, Value};
 use sct_core::order::WellFoundedOrder;
+use sct_interp::{DefaultOrder, Value};
 use sct_lang::Prim;
 
 /// Read-only solver facade over the executor's atom table.
@@ -51,7 +51,10 @@ impl<'a> Solver<'a> {
     }
 
     fn kind(&self, a: AtomId) -> AtomKind {
-        self.atom_kinds.get(a as usize).copied().unwrap_or(AtomKind::Any)
+        self.atom_kinds
+            .get(a as usize)
+            .copied()
+            .unwrap_or(AtomKind::Any)
     }
 
     /// Linearizes a symbolic value into a [`Lin`] when it denotes an
@@ -176,9 +179,7 @@ impl<'a> Solver<'a> {
                     || self.strict_subterm(path, needle, &cdr, fuel - 1)
             }
             SValue::Conc(big @ Value::Pair(_)) => match needle {
-                SValue::Conc(small) => {
-                    DefaultOrder.relate(&big, small) == SizeChange::Descend
-                }
+                SValue::Conc(small) => DefaultOrder.relate(&big, small) == SizeChange::Descend,
                 _ => false,
             },
             _ => false,
@@ -201,9 +202,13 @@ impl<'a> Solver<'a> {
         match p {
             Prim::Not => match self.classify(path, &args[0]) {
                 Branch::Det(b) => Branch::Det(!b),
-                Branch::Split { then_delta, else_delta } => {
-                    Branch::Split { then_delta: else_delta, else_delta: then_delta }
-                }
+                Branch::Split {
+                    then_delta,
+                    else_delta,
+                } => Branch::Split {
+                    then_delta: else_delta,
+                    else_delta: then_delta,
+                },
                 Branch::Opaque => Branch::Opaque,
             },
             Prim::IsZero => match lin1(self, &args[0]) {
@@ -213,18 +218,16 @@ impl<'a> Solver<'a> {
                 },
                 None => Branch::Opaque,
             },
-            Prim::NumEq if args.len() == 2 => {
-                match (lin1(self, &args[0]), lin1(self, &args[1])) {
-                    (Some(a), Some(b)) => {
-                        let d = a.sub(&b);
-                        Branch::Split {
-                            then_delta: Delta::Lin(LinCon::eq0(d.clone())),
-                            else_delta: Delta::Lin(LinCon::ne0(d)),
-                        }
+            Prim::NumEq if args.len() == 2 => match (lin1(self, &args[0]), lin1(self, &args[1])) {
+                (Some(a), Some(b)) => {
+                    let d = a.sub(&b);
+                    Branch::Split {
+                        then_delta: Delta::Lin(LinCon::eq0(d.clone())),
+                        else_delta: Delta::Lin(LinCon::ne0(d)),
                     }
-                    _ => Branch::Opaque,
                 }
-            }
+                _ => Branch::Opaque,
+            },
             Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge if args.len() == 2 => {
                 match (lin1(self, &args[0]), lin1(self, &args[1])) {
                     (Some(a), Some(b)) => {
@@ -235,7 +238,10 @@ impl<'a> Solver<'a> {
                             Prim::Gt => (LinCon::gt0(a.sub(&b)), LinCon::ge0(b.sub(&a))),
                             _ => (LinCon::ge0(a.sub(&b)), LinCon::gt0(b.sub(&a))),
                         };
-                        Branch::Split { then_delta: Delta::Lin(yes), else_delta: Delta::Lin(no) }
+                        Branch::Split {
+                            then_delta: Delta::Lin(yes),
+                            else_delta: Delta::Lin(no),
+                        }
                     }
                     _ => Branch::Opaque,
                 }
@@ -304,7 +310,10 @@ mod tests {
         let e = term(
             Prim::Sub,
             vec![
-                term(Prim::Add, vec![SValue::Atom(0), SValue::Atom(1), SValue::int(3)]),
+                term(
+                    Prim::Add,
+                    vec![SValue::Atom(0), SValue::Atom(1), SValue::int(3)],
+                ),
                 SValue::Atom(1),
             ],
         );
@@ -313,8 +322,18 @@ mod tests {
         assert_eq!(l.coeff(1), 0);
         assert_eq!(l.k, 3);
         // (* 2 a0) linear; (* a0 a1) not.
-        assert!(s.linearize(&path, &term(Prim::Mul, vec![SValue::int(2), SValue::Atom(0)])).is_some());
-        assert!(s.linearize(&path, &term(Prim::Mul, vec![SValue::Atom(0), SValue::Atom(1)])).is_none());
+        assert!(s
+            .linearize(
+                &path,
+                &term(Prim::Mul, vec![SValue::int(2), SValue::Atom(0)])
+            )
+            .is_some());
+        assert!(s
+            .linearize(
+                &path,
+                &term(Prim::Mul, vec![SValue::Atom(0), SValue::Atom(1)])
+            )
+            .is_none());
     }
 
     #[test]
@@ -339,10 +358,22 @@ mod tests {
         let kinds = vec![AtomKind::List, AtomKind::Any, AtomKind::List];
         let s = Solver::new(&kinds);
         // Path where a0 = (cons a1 a2): cdr a0 = a2 ≺ a0.
-        let path = Path::new().bind(0, SValue::SPair(Rc::new((SValue::Atom(1), SValue::Atom(2)))));
-        assert_eq!(s.relate(&path, &SValue::Atom(0), &SValue::Atom(2)), SizeChange::Descend);
-        assert_eq!(s.relate(&path, &SValue::Atom(0), &SValue::Atom(1)), SizeChange::Descend);
-        assert_eq!(s.relate(&path, &SValue::Atom(2), &SValue::Atom(0)), SizeChange::Unknown);
+        let path = Path::new().bind(
+            0,
+            SValue::SPair(Rc::new((SValue::Atom(1), SValue::Atom(2)))),
+        );
+        assert_eq!(
+            s.relate(&path, &SValue::Atom(0), &SValue::Atom(2)),
+            SizeChange::Descend
+        );
+        assert_eq!(
+            s.relate(&path, &SValue::Atom(0), &SValue::Atom(1)),
+            SizeChange::Descend
+        );
+        assert_eq!(
+            s.relate(&path, &SValue::Atom(2), &SValue::Atom(0)),
+            SizeChange::Unknown
+        );
     }
 
     #[test]
@@ -351,22 +382,37 @@ mod tests {
         let s = Solver::new(&kinds);
         let path = Path::new();
         match s.classify(&path, &term(Prim::IsZero, vec![SValue::Atom(0)])) {
-            Branch::Split { then_delta: Delta::Lin(t), else_delta: Delta::Lin(e) } => {
+            Branch::Split {
+                then_delta: Delta::Lin(t),
+                else_delta: Delta::Lin(e),
+            } => {
                 assert_eq!(t.op, ConOp::Eq0);
                 assert_eq!(e.op, ConOp::Ne0);
             }
             other => panic!("expected split, got {other:?}"),
         }
         match s.classify(&path, &term(Prim::IsNull, vec![SValue::Atom(1)])) {
-            Branch::Split { then_delta: Delta::BindNil(1), else_delta: Delta::BindPair(1) } => {}
+            Branch::Split {
+                then_delta: Delta::BindNil(1),
+                else_delta: Delta::BindPair(1),
+            } => {}
             other => panic!("expected structural split, got {other:?}"),
         }
-        assert!(matches!(s.classify(&path, &SValue::Conc(Value::Bool(false))), Branch::Det(false)));
-        assert!(matches!(s.classify(&path, &SValue::int(0)), Branch::Det(true)));
+        assert!(matches!(
+            s.classify(&path, &SValue::Conc(Value::Bool(false))),
+            Branch::Det(false)
+        ));
+        assert!(matches!(
+            s.classify(&path, &SValue::int(0)),
+            Branch::Det(true)
+        ));
         // not inverts.
         let notz = term(Prim::Not, vec![term(Prim::IsZero, vec![SValue::Atom(0)])]);
         match s.classify(&path, &notz) {
-            Branch::Split { then_delta: Delta::Lin(t), .. } => assert_eq!(t.op, ConOp::Ne0),
+            Branch::Split {
+                then_delta: Delta::Lin(t),
+                ..
+            } => assert_eq!(t.op, ConOp::Ne0),
             other => panic!("expected inverted split, got {other:?}"),
         }
     }

@@ -59,7 +59,10 @@ pub type SEnv = Option<Rc<SFrame>>;
 
 /// Extends an environment with a new frame.
 pub fn extend(parent: &SEnv, slots: Vec<SValue>) -> SEnv {
-    Some(Rc::new(SFrame { slots: std::cell::RefCell::new(slots), parent: parent.clone() }))
+    Some(Rc::new(SFrame {
+        slots: std::cell::RefCell::new(slots),
+        parent: parent.clone(),
+    }))
 }
 
 /// Reads a lexical address.
@@ -91,9 +94,7 @@ impl SValue {
             (SValue::Term(p, xs), SValue::Term(q, ys)) => {
                 p == q && xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| x.syn_eq(y))
             }
-            (SValue::SPair(a), SValue::SPair(b)) => {
-                a.0.syn_eq(&b.0) && a.1.syn_eq(&b.1)
-            }
+            (SValue::SPair(a), SValue::SPair(b)) => a.0.syn_eq(&b.0) && a.1.syn_eq(&b.1),
             (SValue::SClosure(a), SValue::SClosure(b)) => Rc::ptr_eq(a, b),
             _ => false,
         }
@@ -135,13 +136,19 @@ impl Path {
     pub fn assume(&self, con: crate::linear::LinCon) -> Path {
         let mut lin = (*self.lin).clone();
         lin.push(con);
-        Path { lin: Rc::new(lin), bindings: self.bindings.clone() }
+        Path {
+            lin: Rc::new(lin),
+            bindings: self.bindings.clone(),
+        }
     }
 
     /// Path extended with a structural refinement.
     #[must_use]
     pub fn bind(&self, atom: AtomId, to: SValue) -> Path {
-        Path { lin: self.lin.clone(), bindings: self.bindings.insert(atom, to) }
+        Path {
+            lin: self.lin.clone(),
+            bindings: self.bindings.insert(atom, to),
+        }
     }
 
     /// Resolves an atom through the refinements on this path (one step at
@@ -164,7 +171,12 @@ impl Path {
 
 impl std::fmt::Debug for Path {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Path({} lin facts, {} bindings)", self.lin.len(), self.bindings.len())
+        write!(
+            f,
+            "Path({} lin facts, {} bindings)",
+            self.lin.len(),
+            self.bindings.len()
+        )
     }
 }
 
@@ -191,7 +203,9 @@ mod tests {
         assert!(matches!(p.resolve(&SValue::Atom(1)), SValue::Atom(1)));
         // Chained refinement.
         let p3 = p2.bind(3, SValue::Conc(Value::Nil));
-        let SValue::SPair(q) = p3.resolve(&SValue::Atom(1)) else { panic!() };
+        let SValue::SPair(q) = p3.resolve(&SValue::Atom(1)) else {
+            panic!()
+        };
         assert!(matches!(p3.resolve(&q.1), SValue::Conc(Value::Nil)));
     }
 

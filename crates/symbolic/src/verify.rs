@@ -68,7 +68,11 @@ pub struct VerifyConfig {
 
 impl Default for VerifyConfig {
     fn default() -> Self {
-        VerifyConfig { exec: ExecConfig::default(), result_havoc_depth: 2, ljb_cap: 20_000 }
+        VerifyConfig {
+            exec: ExecConfig::default(),
+            result_havoc_depth: 2,
+            ljb_cap: 20_000,
+        }
     }
 }
 
@@ -88,10 +92,14 @@ pub fn verify_function(
     let mut ex = Executor::new(program, config.exec.clone());
 
     let Some(entry_value) = ex.global(function) else {
-        return StaticVerdict::NotVerified { reason: format!("no global named {function}") };
+        return StaticVerdict::NotVerified {
+            reason: format!("no global named {function}"),
+        };
     };
     let SValue::SClosure(ref clo) = entry_value else {
-        return StaticVerdict::NotVerified { reason: format!("{function} is not a closure") };
+        return StaticVerdict::NotVerified {
+            reason: format!("{function} is not a closure"),
+        };
     };
     if clo.def.params as usize != domains.len() || clo.def.variadic {
         return StaticVerdict::NotVerified {
@@ -103,7 +111,11 @@ pub fn verify_function(
             ),
         };
     }
-    ex.set_entry(EntryInvariant { id: clo.def.id, domains: domains.to_vec(), result });
+    ex.set_entry(EntryInvariant {
+        id: clo.def.id,
+        domains: domains.to_vec(),
+        result,
+    });
 
     // Build the symbolic arguments and the initial path condition.
     let mut path = Path::new();
@@ -132,11 +144,17 @@ pub fn verify_function(
     for (id, graphs) in &ex.graphs {
         match closure_check(graphs, config.ljb_cap) {
             ClosureResult::Ok { .. } => {
-                let name = names.get(id).cloned().unwrap_or_else(|| format!("lambda#{id}"));
+                let name = names
+                    .get(id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("lambda#{id}"));
                 summary.push((name, graphs.len()));
             }
             ClosureResult::Violation(v) => {
-                let name = names.get(id).cloned().unwrap_or_else(|| format!("lambda#{id}"));
+                let name = names
+                    .get(id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("lambda#{id}"));
                 return StaticVerdict::NotVerified {
                     reason: format!(
                         "{name}: composition {} is idempotent with no self-descent",
@@ -145,7 +163,9 @@ pub fn verify_function(
                 };
             }
             ClosureResult::Overflow => {
-                return StaticVerdict::NotVerified { reason: "graph closure overflow".into() }
+                return StaticVerdict::NotVerified {
+                    reason: "graph closure overflow".into(),
+                }
             }
         }
     }
@@ -205,7 +225,11 @@ fn collect_names(e: &Expr, out: &mut HashMap<u32, String>) {
             out.insert(def.id, def.describe());
             collect_names(&def.body, out);
         }
-        Expr::If { cond, then_branch, else_branch } => {
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             collect_names(cond, out);
             collect_names(then_branch, out);
             collect_names(else_branch, out);

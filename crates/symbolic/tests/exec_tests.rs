@@ -88,10 +88,20 @@ fn mutual_recursion_graphs_cross_functions() {
 fn unknown_function_results_are_havocked() {
     // f's result feeds the recursion: no descent provable.
     let src = "(define (iter g n) (if (zero? n) 0 (iter g (g n))))";
-    assert_not_verified(src, "iter", &[SymDomain::Any, SymDomain::Nat], SymDomain::Any);
+    assert_not_verified(
+        src,
+        "iter",
+        &[SymDomain::Any, SymDomain::Nat],
+        SymDomain::Any,
+    );
     // But when the recursion descends on n itself, the unknown g is harmless.
     let ok = "(define (iter g n) (if (zero? n) 0 (iter g (- n 1))))";
-    assert_verified(ok, "iter", &[SymDomain::Any, SymDomain::Nat], SymDomain::Any);
+    assert_verified(
+        ok,
+        "iter",
+        &[SymDomain::Any, SymDomain::Nat],
+        SymDomain::Any,
+    );
 }
 
 #[test]
@@ -184,7 +194,12 @@ fn deep_accumulation_is_allowed_when_driver_descends() {
     // Accumulator grows arbitrarily (cons chain), driver n descends.
     let src = "
 (define (build n acc) (if (zero? n) acc (build (- n 1) (cons n acc))))";
-    assert_verified(src, "build", &[SymDomain::Nat, SymDomain::List], SymDomain::List);
+    assert_verified(
+        src,
+        "build",
+        &[SymDomain::Nat, SymDomain::List],
+        SymDomain::List,
+    );
 }
 
 #[test]
@@ -195,6 +210,11 @@ fn lexicographic_two_list_descent() {
         [(null? b) a]
         [else (cons (car a) (interleave b (cdr a)))]))";
     // Swapping with descent on one side: LJB composition handles it.
-    let v = verify(src, "interleave", &[SymDomain::List, SymDomain::List], SymDomain::List);
+    let v = verify(
+        src,
+        "interleave",
+        &[SymDomain::List, SymDomain::List],
+        SymDomain::List,
+    );
     assert!(v.is_verified(), "got {v}");
 }

@@ -51,9 +51,8 @@ fn satisfies(con: &LinCon, assignment: &[i128]) -> bool {
 }
 
 fn box_points() -> impl Iterator<Item = [i128; VARS as usize]> {
-    (-BOX..=BOX).flat_map(move |a| {
-        (-BOX..=BOX).flat_map(move |b| (-BOX..=BOX).map(move |c| [a, b, c]))
-    })
+    (-BOX..=BOX)
+        .flat_map(move |a| (-BOX..=BOX).flat_map(move |b| (-BOX..=BOX).map(move |c| [a, b, c])))
 }
 
 proptest! {

@@ -24,7 +24,13 @@ fn run_row(p: &sct_corpus::CorpusProgram) -> Option<StaticVerdict> {
     let spec = p.static_spec?;
     let prog = sct_lang::compile_program(p.source).expect("corpus row compiles");
     let domains: Vec<SymDomain> = spec.domains.iter().map(|d| to_sym(*d)).collect();
-    Some(verify_function(&prog, spec.function, &domains, to_sym(spec.result), &VerifyConfig::default()))
+    Some(verify_function(
+        &prog,
+        spec.function,
+        &domains,
+        to_sym(spec.result),
+        &VerifyConfig::default(),
+    ))
 }
 
 #[test]
@@ -43,7 +49,8 @@ fn static_column_matches_paper_modulo_documented_deviations() {
             );
         } else {
             assert_eq!(
-                paper_pass, ours_pass,
+                paper_pass,
+                ours_pass,
                 "{}: paper {} but verifier said {}",
                 p.id,
                 p.paper.static_.cell(),
@@ -84,7 +91,12 @@ fn diverging_programs_never_verify() {
     let cases: &[(&str, &str, &[Domain], Domain)] = &[
         ("buggy-ack", "ack", &[Domain::Nat, Domain::Nat], Domain::Nat),
         ("buggy-sum", "sum", &[Domain::Nat, Domain::Int], Domain::Int),
-        ("buggy-merge", "merge", &[Domain::List, Domain::List], Domain::List),
+        (
+            "buggy-merge",
+            "merge",
+            &[Domain::List, Domain::List],
+            Domain::List,
+        ),
         ("ping-pong", "ping", &[Domain::Any], Domain::Any),
         ("buggy-nfa", "state1", &[Domain::List], Domain::Any),
     ];
@@ -92,8 +104,13 @@ fn diverging_programs_never_verify() {
         let p = diverging::all().into_iter().find(|p| p.id == *id).unwrap();
         let prog = sct_lang::compile_program(p.source).unwrap();
         let doms: Vec<SymDomain> = domains.iter().map(|d| to_sym(*d)).collect();
-        let verdict =
-            verify_function(&prog, function, &doms, to_sym(*result), &VerifyConfig::default());
+        let verdict = verify_function(
+            &prog,
+            function,
+            &doms,
+            to_sym(*result),
+            &VerifyConfig::default(),
+        );
         assert!(
             !verdict.is_verified(),
             "{id}: a diverging function must not verify, got {verdict}"
@@ -106,7 +123,10 @@ fn nfa_bug_found_statically() {
     // §5.1.2: "Our static analysis was the first to discover this error
     // after many years" — the buggy state1 must be rejected with a
     // size-change reason.
-    let p = diverging::all().into_iter().find(|p| p.id == "buggy-nfa").unwrap();
+    let p = diverging::all()
+        .into_iter()
+        .find(|p| p.id == "buggy-nfa")
+        .unwrap();
     let prog = sct_lang::compile_program(p.source).unwrap();
     let verdict = verify_function(
         &prog,

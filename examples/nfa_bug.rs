@@ -16,15 +16,25 @@ fn main() {
 
     // Static: the bug is found without any input at all.
     let prog = sct_lang::compile_program(buggy.source).unwrap();
-    let verdict =
-        verify_function(&prog, "state1", &[SymDomain::List], SymDomain::Any, &VerifyConfig::default());
+    let verdict = verify_function(
+        &prog,
+        "state1",
+        &[SymDomain::List],
+        SymDomain::Any,
+        &VerifyConfig::default(),
+    );
     println!("static analysis of buggy state1: {verdict}");
     assert!(!verdict.is_verified());
 
     // Static: the fixed version verifies.
     let prog = sct_lang::compile_program(fixed.source).unwrap();
-    let verdict =
-        verify_function(&prog, "run-nfa", &[SymDomain::List], SymDomain::Any, &VerifyConfig::default());
+    let verdict = verify_function(
+        &prog,
+        "run-nfa",
+        &[SymDomain::List],
+        SymDomain::Any,
+        &VerifyConfig::default(),
+    );
     println!("static analysis of fixed run-nfa: {verdict}");
     assert!(verdict.is_verified());
 

@@ -8,7 +8,7 @@ use sct_corpus::{scheme_interp, workloads, OrderSpec};
 
 fn main() {
     // Compose the interpreter with the interpreted tree merge-sort.
-    let source = format!("{}", scheme_interp::compose(scheme_interp::TARGET_MSORT));
+    let source = scheme_interp::compose(scheme_interp::TARGET_MSORT).to_string();
     let prog = sct_lang::compile_program(&source).expect("interpreter compiles");
 
     let config = MachineConfig {
@@ -22,7 +22,9 @@ fn main() {
     let tree = workloads::random_string_tree(32);
     println!("input tree (pre-split merge-sort recursion tree), 32 strings");
     let go = m.global("go").expect("entry");
-    let v = m.call(go, vec![tree]).expect("interpreted merge-sort terminates under monitoring");
+    let v = m
+        .call(go, vec![tree])
+        .expect("interpreted merge-sort terminates under monitoring");
 
     let items = v.list_to_vec().expect("proper list");
     println!("sorted ({} strings):", items.len());

@@ -20,7 +20,9 @@ fn main() {
 
     // The client passes a non-integer: domain blame falls on the client.
     let err = run(&format!("{total} (total-dec 'five)")).unwrap_err();
-    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    let EvalError::Contract(info) = err else {
+        panic!("expected contract error")
+    };
     println!("bad argument blames: {}", info.blame);
     assert_eq!(info.blame.as_ref(), "client");
 
@@ -32,7 +34,9 @@ fn main() {
             \"server\" \"client\"))
 (liar 3)")
     .unwrap_err();
-    let EvalError::Contract(info) = err else { panic!("expected contract error") };
+    let EvalError::Contract(info) = err else {
+        panic!("expected contract error")
+    };
     println!("bad result blames:   {}", info.blame);
     assert_eq!(info.blame.as_ref(), "server");
 
@@ -45,8 +49,13 @@ fn main() {
             \"server\" \"client\"))
 (spinner 3)")
     .unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected size-change error") };
-    println!("divergence blames:   {}", info.blame.as_deref().unwrap_or("?"));
+    let EvalError::Sc(info) = err else {
+        panic!("expected size-change error")
+    };
+    println!(
+        "divergence blames:   {}",
+        info.blame.as_deref().unwrap_or("?")
+    );
 
     // §2.3's virtuous cycle: f contracts g to protect itself, so the
     // fault lands on g, not f.
@@ -56,7 +65,12 @@ fn main() {
 (define f (terminating/c (lambda (x) (g x)) \"application f\"))
 (f 1)")
     .unwrap_err();
-    let EvalError::Sc(info) = err else { panic!("expected size-change error") };
-    println!("nested contracts blame the culprit: {}", info.blame.as_deref().unwrap());
+    let EvalError::Sc(info) = err else {
+        panic!("expected size-change error")
+    };
+    println!(
+        "nested contracts blame the culprit: {}",
+        info.blame.as_deref().unwrap()
+    );
     assert_eq!(info.blame.as_deref(), Some("library g"));
 }

@@ -79,7 +79,9 @@ impl Options {
                 "--loop-entries" => o.loop_entries = true,
                 "--fuel" => {
                     o.fuel = Some(
-                        it.next().and_then(|s| s.parse().ok()).ok_or("bad --fuel value")?,
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --fuel value")?,
                     )
                 }
                 other => return Err(format!("unknown option {other}")),
@@ -120,7 +122,9 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
-    let Some(file) = rest.first() else { return usage() };
+    let Some(file) = rest.first() else {
+        return usage();
+    };
     let source = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -170,13 +174,18 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "; applications={} monitored={} checks={} max-kont={}",
-                m.stats.applications, m.stats.monitored_calls, m.stats.checks, m.stats.max_kont_depth
+                m.stats.applications,
+                m.stats.monitored_calls,
+                m.stats.checks,
+                m.stats.max_kont_depth
             );
             let out = m.output.clone();
             report(r, &out)
         }
         "verify" => {
-            let Some(function) = rest.get(1) else { return usage() };
+            let Some(function) = rest.get(1) else {
+                return usage();
+            };
             let sig = rest.get(2).map(String::as_str).unwrap_or("");
             let (doms_text, result_text) = match sig.split_once("->") {
                 Some((d, r)) => (d.trim(), r.trim()),

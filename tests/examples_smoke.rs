@@ -1,0 +1,46 @@
+//! Smoke test: every program in `examples/` must run to completion.
+//!
+//! The examples double as executable documentation for the paper's
+//! figures (§1 Figure 1 trace, §2 contracts, the NFA case study, …), so a
+//! broken example is a broken claim. Each is run via `cargo run --example`
+//! in the same profile as the test run, reusing the build cache.
+
+use std::process::Command;
+
+/// Every example under `examples/`, discovered from the source tree so a
+/// newly added example cannot be forgotten here.
+fn example_names() -> Vec<String> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            Some(name.strip_suffix(".rs")?.to_string())
+        })
+        .collect();
+    names.sort();
+    assert!(
+        names.contains(&"quickstart".to_string()),
+        "example discovery broke: {names:?}"
+    );
+    names
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for name in example_names() {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", &name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("spawning cargo for example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

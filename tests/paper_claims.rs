@@ -131,8 +131,13 @@ fn figure_7_selective_enforcement() {
 /// size-change graphs and verifies it.
 #[test]
 fn figure_9_static_ack() {
-    let verdict =
-        verify(ACK, "ack", &[SymDomain::Nat, SymDomain::Nat], SymDomain::Nat).unwrap();
+    let verdict = verify(
+        ACK,
+        "ack",
+        &[SymDomain::Nat, SymDomain::Nat],
+        SymDomain::Nat,
+    )
+    .unwrap();
     match verdict {
         sct_contracts::StaticVerdict::Verified { graphs } => {
             assert_eq!(graphs, vec![("ack".to_string(), 2)]);

@@ -1,0 +1,182 @@
+//! An offline, dependency-free subset of the [criterion] benchmarking
+//! API, used as a drop-in dependency because this workspace builds
+//! without network access to crates.io.
+//!
+//! It compiles the same bench sources (`criterion_group!`/
+//! `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`) and, when run, measures each
+//! benchmark with a simple calibrated loop, reporting mean wall time per
+//! iteration. It does no statistical analysis, warm-up tuning, HTML
+//! reports, or regression tracking.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Measures one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        measure(&id.to_string(), routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measures `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        measure(&format!("{}/{}", self.name, id), routine);
+        self
+    }
+
+    /// Measures `routine` with `input` threaded through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        measure(&format!("{}/{}", self.name, id.0), |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times, recording total wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measure<F: FnMut(&mut Bencher)>(id: &str, mut routine: F) {
+    // Calibrate: grow the iteration count until a sample is long enough
+    // to time meaningfully, then report mean time per iteration.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= TARGET_MEASURE || iters >= 1 << 20 {
+            let mean = b.elapsed.as_secs_f64() / iters as f64;
+            println!("{id:<48} {:>12} /iter ({iters} iters)", format_time(mean));
+            return;
+        }
+        let grow = if b.elapsed < TARGET_MEASURE / 16 {
+            16
+        } else {
+            2
+        };
+        iters = iters.saturating_mul(grow);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1}ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{:.3}s", seconds)
+    }
+}
+
+/// Declares a bench group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            $(
+                $target(&mut $crate::Criterion::default());
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

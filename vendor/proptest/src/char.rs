@@ -1,0 +1,30 @@
+//! Character strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates chars in `[lo, hi]` (inclusive), skipping the surrogate gap.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo, hi }
+}
+
+/// See [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let span = self.hi as u32 - self.lo as u32 + 1;
+        loop {
+            if let Some(c) = char::from_u32(self.lo as u32 + rng.below(span.into()) as u32) {
+                return c;
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! An offline, dependency-free subset of the [proptest] property-testing
+//! API, used as a drop-in `dev-dependency` because this workspace builds
+//! without network access to crates.io.
+//!
+//! Scope: everything the workspace's property tests use —
+//!
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] macros;
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, and `boxed`;
+//! * [`arbitrary::any`] for primitive types, integer range strategies,
+//!   tuple strategies, [`strategy::Just`], [`collection::vec`],
+//!   [`char::range`], and regex-subset string strategies
+//!   ([`string::string_regex`] and `&str as Strategy`);
+//! * a deterministic [`test_runner::TestRunner`] (SplitMix64 per-case
+//!   seeds derived from the test name, so failures reproduce).
+//!
+//! Non-goals: shrinking, persistence files, forking, and the full regex
+//! language. Failing cases report the generated inputs instead of a
+//! minimized counterexample.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The items a test file gets from `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with the generated inputs) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal, like [`assert_eq!`] but recoverable
+/// by the [`proptest!`] runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal, like [`assert_ne!`] but
+/// recoverable by the [`proptest!`] runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`\n{}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type. Each arm is boxed, so arms may have different strategy types.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro for the supported
+/// shape: an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(stringify!($name), |__rng| {
+                $(let $binding = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($binding), " = {:?}; "),+),
+                    $(&$binding),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

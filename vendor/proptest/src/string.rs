@@ -1,0 +1,208 @@
+//! String strategies from a practical regex subset.
+//!
+//! Supported: literal characters, `\`-escapes (including `\d`, `\w`,
+//! `\s`), character classes with ranges and leading-`^` negation, and the
+//! quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`. Unsupported constructs
+//! (groups, alternation, anchors) are reported as [`Error`]s.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An unbounded quantifier (`*`, `+`) generates at most this many repeats.
+const UNBOUNDED_MAX: usize = 8;
+
+/// A regex the subset parser rejected.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compiles `pattern` into a strategy generating matching strings.
+///
+/// # Errors
+///
+/// Returns [`Error`] when `pattern` uses syntax outside the subset.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    Parser {
+        chars: pattern.chars().collect(),
+        at: 0,
+        pattern,
+    }
+    .parse()
+}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Every char this atom may produce.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+struct Parser<'p> {
+    chars: Vec<char>,
+    at: usize,
+    pattern: &'p str,
+}
+
+impl Parser<'_> {
+    fn parse(mut self) -> Result<RegexStrategy, Error> {
+        let mut atoms = Vec::new();
+        while let Some(c) = self.next() {
+            let choices = match c {
+                '[' => self.class()?,
+                '\\' => self.escape()?,
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(self.unsupported(&format!("`{c}` outside a class")))
+                }
+                '.' => (' '..='~').collect(),
+                lit => vec![lit],
+            };
+            let (min, max) = self.quantifier()?;
+            atoms.push(Atom { choices, min, max });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.chars.get(self.at).copied();
+        self.at += c.is_some() as usize;
+        c
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.at + ahead).copied()
+    }
+
+    fn unsupported(&self, what: &str) -> Error {
+        Error(format!("unsupported regex {:?}: {what}", self.pattern))
+    }
+
+    fn escape(&mut self) -> Result<Vec<char>, Error> {
+        match self.next() {
+            Some('d') => Ok(('0'..='9').collect()),
+            Some('w') => Ok(('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(['_'])
+                .collect()),
+            Some('s') => Ok(vec![' ', '\t', '\n']),
+            Some('n') => Ok(vec!['\n']),
+            Some('t') => Ok(vec!['\t']),
+            Some(lit) => Ok(vec![lit]),
+            None => Err(self.unsupported("trailing backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Vec<char>, Error> {
+        let negated = self.peek(0) == Some('^');
+        self.at += negated as usize;
+        let mut members = Vec::new();
+        loop {
+            let c = match self.next() {
+                None => return Err(self.unsupported("unterminated class")),
+                Some(']') => break,
+                Some('\\') => {
+                    members.extend(self.escape()?);
+                    continue;
+                }
+                Some(c) => c,
+            };
+            if self.peek(0) == Some('-') && self.peek(1).is_some_and(|after| after != ']') {
+                self.at += 1;
+                let hi = self.next().expect("peeked");
+                if hi < c {
+                    return Err(self.unsupported(&format!("inverted range {c}-{hi}")));
+                }
+                members.extend(c..=hi);
+            } else {
+                members.push(c);
+            }
+        }
+        if negated {
+            members = (' '..='~').filter(|c| !members.contains(c)).collect();
+        }
+        if members.is_empty() {
+            return Err(self.unsupported("empty class"));
+        }
+        Ok(members)
+    }
+
+    fn quantifier(&mut self) -> Result<(usize, usize), Error> {
+        match self.peek(0) {
+            Some('?') => {
+                self.at += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.at += 1;
+                Ok((0, UNBOUNDED_MAX))
+            }
+            Some('+') => {
+                self.at += 1;
+                Ok((1, UNBOUNDED_MAX))
+            }
+            Some('{') => {
+                self.at += 1;
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut into_max = false;
+                loop {
+                    match self.next() {
+                        None => return Err(self.unsupported("unterminated quantifier")),
+                        Some('}') => break,
+                        Some(',') if !into_max => into_max = true,
+                        Some(d) if d.is_ascii_digit() && !into_max => min.push(d),
+                        Some(d) if d.is_ascii_digit() => max.push(d),
+                        Some(other) => {
+                            return Err(self.unsupported(&format!("`{other}` in quantifier")))
+                        }
+                    }
+                }
+                let lo: usize = min
+                    .parse()
+                    .map_err(|_| self.unsupported("missing quantifier minimum"))?;
+                let hi = if !into_max {
+                    lo
+                } else if max.is_empty() {
+                    lo + UNBOUNDED_MAX
+                } else {
+                    max.parse()
+                        .map_err(|_| self.unsupported("bad quantifier maximum"))?
+                };
+                if hi < lo {
+                    return Err(self.unsupported("inverted quantifier"));
+                }
+                Ok((lo, hi))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic case runner and PRNG.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (the subset of proptest's `Config` the workspace
+/// uses). Known in the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A recoverable per-case failure raised by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded deterministically.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, bound)` over the full 128-bit space.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Runs the cases of one property test.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner for the given configuration.
+    pub fn new(config: Config) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `case` closures seeded from `name`; each returns the rendered
+    /// inputs plus the case outcome. Panics (failing the `#[test]`) on the
+    /// first case that fails, reporting seed and inputs.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let base = fnv1a(name.as_bytes());
+        for index in 0..self.config.cases {
+            let seed = base ^ (u64::from(index)).wrapping_mul(0xa076_1d64_78bd_642f);
+            let mut rng = TestRng::new(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+            match outcome {
+                Ok((_, Ok(()))) => {}
+                Ok((inputs, Err(e))) => panic!(
+                    "property `{name}` failed at case {index} (seed {seed:#x})\n\
+                     inputs: {inputs}\n{e}"
+                ),
+                Err(payload) => {
+                    eprintln!("property `{name}` panicked at case {index} (seed {seed:#x})");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,73 @@
+//! Meta-tests: the vendored runner must actually catch failing
+//! properties (a vacuously green stub would silently disable every
+//! property test in the workspace) and must be deterministic.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::{Config, TestCaseError, TestRng, TestRunner};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn failing_property_panics_with_inputs() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        runner.run("always_fails", |rng| {
+            let n = any::<u32>().generate(rng);
+            (
+                format!("n = {n:?}; "),
+                Err(TestCaseError::fail("forced failure")),
+            )
+        });
+    }));
+    let message = match result {
+        Ok(()) => panic!("runner accepted a failing property"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a String"),
+    };
+    assert!(message.contains("always_fails"), "bad message: {message}");
+    assert!(message.contains("n = "), "inputs missing: {message}");
+    assert!(
+        message.contains("forced failure"),
+        "cause missing: {message}"
+    );
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let sample = |label: &str| -> Vec<i64> {
+        let mut rng = TestRng::new(0xfeed ^ label.len() as u64);
+        (0..32).map(|_| any::<i64>().generate(&mut rng)).collect()
+    };
+    assert_eq!(sample("a"), sample("b"));
+    let mut rng = TestRng::new(0xfeed);
+    let different: Vec<i64> = (0..32).map(|_| any::<i64>().generate(&mut rng)).collect();
+    assert_ne!(sample("a"), different, "seeds must matter");
+}
+
+#[test]
+fn regex_strategies_match_their_own_patterns() {
+    let mut rng = TestRng::new(42);
+    for _ in 0..200 {
+        let s = "-?[1-9][0-9]{0,40}".generate(&mut rng);
+        assert!(!s.is_empty());
+        let body = s.strip_prefix('-').unwrap_or(&s);
+        assert!(body.chars().next().unwrap().is_ascii_digit());
+        assert!(!body.starts_with('0'));
+        assert!(body.chars().all(|c| c.is_ascii_digit()));
+        assert!(body.len() <= 41);
+    }
+}
+
+#[test]
+fn prop_assert_failures_are_recoverable_not_panics() {
+    // prop_assert! must return Err (so the runner reports inputs), not
+    // panic straight through.
+    fn body(x: u32) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1000, "x too big: {}", x);
+        Ok(())
+    }
+    assert!(body(5).is_ok());
+    assert!(body(2000).is_err());
+}
