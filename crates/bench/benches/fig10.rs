@@ -11,6 +11,7 @@ fn bench_size(id: &str) -> u64 {
     match id {
         "fact" => 300,
         "sum" => 10_000,
+        "ack" => 150,
         "msort" => 400,
         "interp-fact" => 60,
         "interp-sum" => 150,

@@ -3,13 +3,18 @@
 //! the table below gives machine steps and wall time to `errorSC` for
 //! both table strategies.
 //!
-//! Run: `cargo run --release -p sct-bench --bin report_divergence`
+//! Run: `cargo run --release -p sct-bench --bin report_divergence [--fast]`
+//!
+//! `--fast` (the CI smoke mode) measures the imperative strategy only;
+//! detection is sub-millisecond either way, so the full report is nearly
+//! as quick.
 
 use sct_bench::time_to_detection;
 use sct_core::monitor::TableStrategy;
 use sct_corpus::diverging;
 
 fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
     println!("§5.1.2 — time to catch divergence (dynamic monitoring)\n");
     println!(
         "{:<20} {:>16} {:>12} {:>16} {:>12}",
@@ -18,14 +23,19 @@ fn main() {
     println!("{}", "-".repeat(80));
     for p in diverging::all() {
         let (t_imp, steps_imp) = time_to_detection(&p, TableStrategy::Imperative);
-        let (t_cm, steps_cm) = time_to_detection(&p, TableStrategy::ContinuationMark);
+        let (cm_steps, cm_time) = if fast {
+            ("-".to_string(), "skipped".to_string())
+        } else {
+            let (t_cm, steps_cm) = time_to_detection(&p, TableStrategy::ContinuationMark);
+            (steps_cm.to_string(), sct_bench::fmt_ms(t_cm))
+        };
         println!(
             "{:<20} {:>16} {:>12} {:>16} {:>12}",
             p.id,
             steps_imp,
             sct_bench::fmt_ms(t_imp),
-            steps_cm,
-            sct_bench::fmt_ms(t_cm),
+            cm_steps,
+            cm_time,
         );
     }
     println!("{}", "-".repeat(80));

@@ -1,44 +1,86 @@
-//! Regenerates Figure 10: monitoring slowdown for factorial, sum, and
-//! merge-sort — direct and interpreted — across input sizes, under the
-//! three configurations (unchecked, continuation-mark, imperative).
+//! Regenerates Figure 10: monitoring slowdown for Ackermann, factorial,
+//! sum, and merge-sort — direct and interpreted — across input sizes,
+//! under the three configurations (unchecked, continuation-mark,
+//! imperative), and records the sweep as `BENCH_fig10.json` at the repo
+//! root so future PRs can track the performance trajectory (schema in the
+//! `sct_bench` crate docs).
 //!
 //! The paper's absolute sizes targeted Racket on the authors' machine; the
-//! sweep here uses scaled decades (pass `--scale N` to multiply them). The
-//! claims to check are the *shapes*:
+//! sweep here uses scaled decades. The claims to check are the *shapes*:
 //!
 //! * factorial: overhead negligible (bignum work dominates);
-//! * sum: large overhead in tight loops, continuation-mark worst;
+//! * ack / sum: large overhead in tight loops — the monitor hot path laid
+//!   bare, and the curves the graph-interning work is measured against;
 //! * merge-sort: overhead dominated by data-structure order checks;
 //! * interpreted rows: the interpreter's own monitored calls multiply the
 //!   cost but stay within a constant factor as input grows.
 //!
-//! Run: `cargo run --release -p sct-bench --bin report_fig10 [--scale N]`
+//! Run: `cargo run --release -p sct-bench --bin report_fig10 [--scale N]
+//! [--reps N] [--fast] [--only ID] [--out PATH]`
+//!
+//! `--fast` is the CI smoke mode: smallest size per workload, one rep;
+//! `--only ID` restricts the sweep to one workload (e.g. `--only ack`).
 
-use sct_bench::{CompiledWorkload, Setup};
+use sct_bench::{fig10_json, fig10_json_path, CompiledWorkload, Fig10Entry, Setup};
 use sct_corpus::workloads;
+use std::time::Duration;
 
-fn sizes_for(id: &str, scale: u64) -> Vec<u64> {
+fn sizes_for(id: &str, scale: u64, fast: bool) -> Vec<u64> {
     let base: &[u64] = match id {
         "fact" => &[200, 400, 800, 1600],
         "sum" => &[2_000, 8_000, 32_000, 128_000],
+        "ack" => &[40, 80, 160, 320],
         "msort" => &[200, 400, 800, 1600],
         "interp-fact" => &[60, 120, 240, 480],
         "interp-sum" => &[100, 200, 400, 800],
         "interp-msort" => &[64, 128, 256, 512],
         _ => &[100, 200],
     };
-    base.iter().map(|n| n * scale).collect()
+    let take = if fast { 1 } else { base.len() };
+    base.iter().take(take).map(|n| n * scale).collect()
+}
+
+/// Median of `reps` timed runs (reps is small; sort and take the middle).
+fn median_time(compiled: &CompiledWorkload, n: u64, setup: Setup, reps: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..reps.max(1))
+        .map(|_| compiled.run_once(n, setup).0)
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
 }
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .skip_while(|a| a != "--scale")
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let fast = args.iter().any(|a| a == "--fast");
+    let scale: u64 = flag_value("--scale")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let reps: usize = flag_value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if fast { 1 } else { 3 });
+    let out_path = flag_value("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(fig10_json_path);
+    let only = flag_value("--only").cloned();
+    if let Some(id) = &only {
+        let known: Vec<&str> = workloads::fig10().iter().map(|w| w.id).collect();
+        if !known.contains(&id.as_str()) {
+            eprintln!("unknown workload {id:?}; expected one of {known:?}");
+            std::process::exit(2);
+        }
+    }
 
+    let mut entries: Vec<Fig10Entry> = Vec::new();
     println!("Figure 10 — slowdown of monitoring (times in ms; slowdown vs unchecked)\n");
     for w in workloads::fig10() {
+        if only.as_deref().is_some_and(|id| id != w.id) {
+            continue;
+        }
         let label = w.label;
         let id = w.id;
         let compiled = CompiledWorkload::new(w);
@@ -47,11 +89,24 @@ fn main() {
             "{:>10} {:>12} {:>16} {:>9} {:>16} {:>9}",
             "n", "unchecked", "cont-mark", "x", "imperative", "x"
         );
-        for n in sizes_for(id, scale) {
-            let (t_unchecked, _) = compiled.run_once(n, Setup::Unchecked);
-            let (t_cm, _) = compiled.run_once(n, Setup::ContinuationMark);
-            let (t_imp, _) = compiled.run_once(n, Setup::Imperative);
+        for n in sizes_for(id, scale, fast) {
+            let t_unchecked = median_time(&compiled, n, Setup::Unchecked, reps);
+            let t_cm = median_time(&compiled, n, Setup::ContinuationMark, reps);
+            let t_imp = median_time(&compiled, n, Setup::Imperative, reps);
             let base = t_unchecked.as_secs_f64().max(1e-9);
+            for (setup, t) in [
+                (Setup::Unchecked, t_unchecked),
+                (Setup::ContinuationMark, t_cm),
+                (Setup::Imperative, t_imp),
+            ] {
+                entries.push(Fig10Entry {
+                    workload: id,
+                    setup: setup.label(),
+                    n,
+                    median_ns: t.as_nanos(),
+                    slowdown: t.as_secs_f64() / base,
+                });
+            }
             println!(
                 "{:>10} {:>12} {:>16} {:>8.1}x {:>16} {:>8.1}x",
                 n,
@@ -64,8 +119,17 @@ fn main() {
         }
         println!();
     }
-    println!("paper shape check: factorial ~1x; sum/msort overhead large and");
+    println!("paper shape check: factorial ~1x; ack/sum/msort overhead large and");
     println!(
         "roughly flat in n (constant factor), continuation-mark >= imperative on tight loops."
+    );
+
+    let json = fig10_json(&entries, fast, scale, reps);
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+    println!(
+        "\nwrote {} entries to {}",
+        entries.len(),
+        out_path.display()
     );
 }

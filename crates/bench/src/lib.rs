@@ -10,6 +10,34 @@
 //!
 //! The Criterion benches in `benches/` measure the same configurations
 //! with statistical rigor; the reports favor breadth and readability.
+//!
+//! # The `BENCH_fig10.json` trajectory file
+//!
+//! `report_fig10` additionally writes a machine-readable summary to
+//! `BENCH_fig10.json` at the repository root so successive PRs can track
+//! the performance trajectory. The schema (`sct-fig10/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "sct-fig10/1",
+//!   "fast": false,
+//!   "scale": 1,
+//!   "reps": 3,
+//!   "entries": [
+//!     { "workload": "sum", "setup": "imperative", "n": 8000,
+//!       "median_ns": 5958000, "slowdown": 1.24 }
+//!   ]
+//! }
+//! ```
+//!
+//! One entry per *workload × setup × input size*. `median_ns` is the
+//! median wall time in nanoseconds of `reps` timed entry calls (setup and
+//! compilation excluded); `slowdown` is `median_ns` divided by the
+//! unchecked median at the same `(workload, n)` — `1.0` for the unchecked
+//! rows themselves. `fast` records whether the sweep ran in the CI smoke
+//! mode (`--fast`: smallest size per workload, one rep), whose numbers are
+//! indicative only. Workload ids and setup labels match
+//! [`Setup::label`] and `sct_corpus::workloads::fig10`.
 
 use sct_core::monitor::TableStrategy;
 use sct_corpus::workloads::Workload;
@@ -130,6 +158,58 @@ pub fn time_to_detection(
         Err(EvalError::Sc(_)) => (elapsed, m.stats.steps),
         other => panic!("{}: expected errorSC, got {other:?}", program.id),
     }
+}
+
+/// One measured point of the Figure-10 sweep, as serialized into
+/// `BENCH_fig10.json` (see the crate docs for the schema).
+#[derive(Debug, Clone)]
+pub struct Fig10Entry {
+    /// Workload id (`"sum"`, `"ack"`, `"interp-msort"`, …).
+    pub workload: &'static str,
+    /// Setup label (one of [`Setup::label`]).
+    pub setup: &'static str,
+    /// Input size.
+    pub n: u64,
+    /// Median wall time of the timed entry calls, in nanoseconds.
+    pub median_ns: u128,
+    /// `median_ns` relative to the unchecked median at the same
+    /// `(workload, n)`.
+    pub slowdown: f64,
+}
+
+/// Serializes the sweep into the `sct-fig10/1` JSON document. Hand-rolled
+/// because the workspace builds offline (no serde); all strings involved
+/// are static identifiers needing no escaping.
+pub fn fig10_json(entries: &[Fig10Entry], fast: bool, scale: u64, reps: usize) -> String {
+    let mut out = String::with_capacity(128 + entries.len() * 96);
+    out.push_str("{\n  \"schema\": \"sct-fig10/1\",\n");
+    out.push_str(&format!("  \"fast\": {fast},\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"setup\": \"{}\", \"n\": {}, \
+             \"median_ns\": {}, \"slowdown\": {:.4} }}{}\n",
+            e.workload,
+            e.setup,
+            e.n,
+            e.median_ns,
+            e.slowdown,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Default output path for `BENCH_fig10.json`: the repository root,
+/// located relative to this crate's manifest so `cargo run` works from any
+/// working directory.
+pub fn fig10_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig10.json")
 }
 
 /// Formats a duration in the paper's milliseconds-with-log-axis spirit.

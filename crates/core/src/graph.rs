@@ -6,9 +6,35 @@
 //! of the earlier call; `i ⇣ j` says it *never ascends* (here: is equal,
 //! since at run time we observe concrete values — Figure 4's `graph`
 //! function emits `→=` exactly on equality).
+//!
+//! # Representation
+//!
+//! Graphs over a fixed pair of arities form a *finite* semiring under
+//! sequential composition (Ben-Amram), and real programs overwhelmingly
+//! have small arities. For arities of at most [`PACK_MAX`] (8) parameters
+//! on both sides, a graph is stored **bit-packed** as two `u64` masks —
+//! one bit per parameter pair for "an arc is present" and one for "the
+//! arc is strict" — laid out row-major with a fixed stride of 8, so bit
+//! `8·i + j` describes the pair `(i, j)`. With this encoding:
+//!
+//! * [`compose`](ScGraph::compose) is branch-free bit-twiddling per output
+//!   column (one 8×8 bit-matrix transpose plus AND/OR per cell), with no
+//!   heap allocation;
+//! * `Eq` and `Hash` are word compares on two machine words, which is what
+//!   makes hash-consing in [`crate::intern`] cheap;
+//! * [`desc_ok`](ScGraph::desc_ok) and
+//!   [`is_idempotent`](ScGraph::is_idempotent) reduce to a packed
+//!   self-composition and a diagonal mask test.
+//!
+//! Larger arities fall back to the original dense `Box<[u8]>` matrix (one
+//! byte per pair). The two representations are proven to agree by the
+//! property tests in `tests/packed_props.rs`; `Eq`/`Hash` are
+//! representation-independent, so a (test-only) dense graph at a small
+//! arity still compares and hashes equal to its packed twin.
 
 use crate::order::{SizeChange, WellFoundedOrder};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The label on a size-change arc: the paper's `r ::= → | →=`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,9 +64,41 @@ const EMPTY: u8 = 0;
 const NON_ASCEND: u8 = 1;
 const DESCEND: u8 = 2;
 
+/// Largest arity (on either side) stored bit-packed; beyond this the dense
+/// byte matrix is used.
+pub const PACK_MAX: usize = 8;
+
+/// Bit stride of a packed row (fixed, independent of `cols`).
+const STRIDE: usize = 8;
+
+/// Bits `8·i + i`: the self-arcs of a packed square graph.
+const DIAG: u64 = 0x8040_2010_0804_0201;
+
+/// Transposes a u64 viewed as an 8×8 bit matrix (Hacker's Delight 7-3).
+#[inline]
+fn transpose8x8(mut x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Arities ≤ 8: `present` bit `8i+j` set when any arc `i→j` exists;
+    /// `strict` bit set when that arc is a strict descent (`strict` is a
+    /// subset of `present`).
+    Packed { present: u64, strict: u64 },
+    /// Fallback for larger arities: row-major bytes, one cell per pair.
+    Dense(Box<[u8]>),
+}
+
 /// A size-change graph between a call with `rows` arguments and a later
-/// call with `cols` arguments, stored densely (one byte per parameter
-/// pair; arities in practice are tiny).
+/// call with `cols` arguments. Bit-packed for arities ≤ 8 (see the module
+/// docs), dense otherwise.
 ///
 /// # Examples
 ///
@@ -53,20 +111,28 @@ const DESCEND: u8 = 2;
 /// assert_eq!(g.get(0, 0), Some(Change::Descend));
 /// assert_eq!(g.get(0, 1), None);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct ScGraph {
     rows: u16,
     cols: u16,
-    cells: Box<[u8]>,
+    repr: Repr,
 }
 
 impl ScGraph {
     /// The empty graph (no arcs) between arities `rows` and `cols`.
     pub fn empty(rows: usize, cols: usize) -> ScGraph {
+        let repr = if rows <= PACK_MAX && cols <= PACK_MAX {
+            Repr::Packed {
+                present: 0,
+                strict: 0,
+            }
+        } else {
+            Repr::Dense(vec![EMPTY; rows * cols].into_boxed_slice())
+        };
         ScGraph {
             rows: rows as u16,
             cols: cols as u16,
-            cells: vec![EMPTY; rows * cols].into_boxed_slice(),
+            repr,
         }
     }
 
@@ -89,7 +155,7 @@ impl ScGraph {
 
     /// Figure 4's `graph(⃗v, ⃗v′)`: compares argument lists pairwise under a
     /// well-founded order, emitting `↓` where `v′_j ≺ v_i` and `⇣` where
-    /// `v′_j = v_i`.
+    /// `v′_j = v_i`. For arities ≤ 8 this allocates nothing.
     ///
     /// ```
     /// use sct_core::graph::{Change, ScGraph};
@@ -128,41 +194,143 @@ impl ScGraph {
         self.cols as usize
     }
 
+    /// True when both arities fit the packed representation.
+    fn packable(&self) -> bool {
+        self.rows as usize <= PACK_MAX && self.cols as usize <= PACK_MAX
+    }
+
     #[inline]
     fn idx(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < self.rows as usize && j < self.cols as usize);
         i * self.cols as usize + j
     }
 
+    #[inline]
+    fn bit(i: usize, j: usize) -> u64 {
+        1u64 << (i * STRIDE + j)
+    }
+
+    /// The `(present, strict)` masks of this graph, computed on demand for
+    /// dense-but-small graphs. Only meaningful when [`Self::packable`].
+    fn packed_masks(&self) -> (u64, u64) {
+        match &self.repr {
+            Repr::Packed { present, strict } => (*present, *strict),
+            Repr::Dense(cells) => {
+                debug_assert!(self.packable());
+                let (mut present, mut strict) = (0u64, 0u64);
+                for i in 0..self.rows as usize {
+                    for j in 0..self.cols as usize {
+                        match cells[i * self.cols as usize + j] {
+                            NON_ASCEND => present |= Self::bit(i, j),
+                            DESCEND => {
+                                present |= Self::bit(i, j);
+                                strict |= Self::bit(i, j);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                (present, strict)
+            }
+        }
+    }
+
+    /// Forces the dense representation, regardless of arity. Exists so the
+    /// property tests can run both code paths on the same graph; normal
+    /// construction always packs small arities.
+    #[doc(hidden)]
+    pub fn force_dense(&self) -> ScGraph {
+        let mut cells = vec![EMPTY; self.rows as usize * self.cols as usize].into_boxed_slice();
+        for i in 0..self.rows as usize {
+            for j in 0..self.cols as usize {
+                cells[i * self.cols as usize + j] = match self.get(i, j) {
+                    Some(Change::Descend) => DESCEND,
+                    Some(Change::NonAscend) => NON_ASCEND,
+                    None => EMPTY,
+                };
+            }
+        }
+        ScGraph {
+            rows: self.rows,
+            cols: self.cols,
+            repr: Repr::Dense(cells),
+        }
+    }
+
+    /// True when the dense fallback representation is in use.
+    #[doc(hidden)]
+    pub fn is_dense_repr(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
     /// Adds an arc, keeping the stronger of the existing and new labels.
     pub fn add_arc(&mut self, i: usize, c: Change, j: usize) {
-        let cell = match c {
-            Change::NonAscend => NON_ASCEND,
-            Change::Descend => DESCEND,
-        };
-        let at = self.idx(i, j);
-        if self.cells[at] < cell {
-            self.cells[at] = cell;
+        assert!(
+            i < self.rows as usize && j < self.cols as usize,
+            "arc ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        match &mut self.repr {
+            Repr::Packed { present, strict } => {
+                let b = Self::bit(i, j);
+                *present |= b;
+                if c == Change::Descend {
+                    *strict |= b;
+                }
+            }
+            Repr::Dense(cells) => {
+                let cell = match c {
+                    Change::NonAscend => NON_ASCEND,
+                    Change::Descend => DESCEND,
+                };
+                let at = i * self.cols as usize + j;
+                if cells[at] < cell {
+                    cells[at] = cell;
+                }
+            }
         }
     }
 
     /// The label between parameters `i` and `j`, if any.
     pub fn get(&self, i: usize, j: usize) -> Option<Change> {
-        match self.cells[self.idx(i, j)] {
-            NON_ASCEND => Some(Change::NonAscend),
-            DESCEND => Some(Change::Descend),
-            _ => None,
+        match &self.repr {
+            Repr::Packed { present, strict } => {
+                assert!(i < self.rows as usize && j < self.cols as usize);
+                let b = Self::bit(i, j);
+                if present & b == 0 {
+                    None
+                } else if strict & b != 0 {
+                    Some(Change::Descend)
+                } else {
+                    Some(Change::NonAscend)
+                }
+            }
+            Repr::Dense(cells) => match cells[self.idx(i, j)] {
+                NON_ASCEND => Some(Change::NonAscend),
+                DESCEND => Some(Change::Descend),
+                _ => None,
+            },
         }
     }
 
     /// True when any arc (of either kind) connects `i` to `j`.
     pub fn has_arc(&self, i: usize, j: usize) -> bool {
-        self.cells[self.idx(i, j)] != EMPTY
+        match &self.repr {
+            Repr::Packed { present, .. } => {
+                assert!(i < self.rows as usize && j < self.cols as usize);
+                present & Self::bit(i, j) != 0
+            }
+            Repr::Dense(cells) => cells[self.idx(i, j)] != EMPTY,
+        }
     }
 
     /// True when the graph has no arcs at all.
     pub fn is_empty_graph(&self) -> bool {
-        self.cells.iter().all(|&c| c == EMPTY)
+        match &self.repr {
+            Repr::Packed { present, .. } => *present == 0,
+            Repr::Dense(cells) => cells.iter().all(|&c| c == EMPTY),
+        }
     }
 
     /// Iterates over all arcs.
@@ -181,6 +349,10 @@ impl ScGraph {
     /// Sequential composition `self ; other` (Figure 4): arc `i ↓ k` when a
     /// path `i r j`, `j r k` exists with at least one strict step; `i ⇣ k`
     /// when a path exists but only through non-ascent.
+    ///
+    /// Packed graphs compose allocation-free: `other` is transposed once as
+    /// an 8×8 bit matrix, after which each output cell is two byte-wide
+    /// AND/OR tests.
     ///
     /// # Panics
     ///
@@ -202,14 +374,76 @@ impl ScGraph {
             "composition arity mismatch: {}x{} ; {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = ScGraph::empty(self.rows as usize, other.cols as usize);
-        let n = self.cols as usize;
+        if let (
+            Repr::Packed {
+                present: ap,
+                strict: a_strict,
+            },
+            Repr::Packed {
+                present: bp,
+                strict: bs,
+            },
+        ) = (&self.repr, &other.repr)
+        {
+            return self.compose_packed(*ap, *a_strict, *bp, *bs, other.cols);
+        }
+        self.compose_dense(other)
+    }
+
+    /// Packed composition. Output arities are `self.rows × other.cols`,
+    /// both ≤ 8 because both inputs are packed.
+    fn compose_packed(&self, ap: u64, a_strict: u64, bp: u64, bs: u64, out_cols: u16) -> ScGraph {
+        // Columns of `other` become rows of its transpose: byte `k` of the
+        // transposed mask is the set of middle indices `j` with `j → k`.
+        let tp = transpose8x8(bp);
+        let ts = transpose8x8(bs);
+        let (mut present, mut strict) = (0u64, 0u64);
         for i in 0..self.rows as usize {
-            for k in 0..other.cols as usize {
+            let row_p = (ap >> (STRIDE * i)) & 0xFF;
+            if row_p == 0 {
+                continue;
+            }
+            let row_s = (a_strict >> (STRIDE * i)) & 0xFF;
+            for k in 0..out_cols as usize {
+                let col_p = (tp >> (STRIDE * k)) & 0xFF;
+                let col_s = (ts >> (STRIDE * k)) & 0xFF;
+                // A path i→j→k exists iff the row/column bitsets intersect;
+                // it is strict iff some intersecting j has a strict step on
+                // either side. `strict ⊆ present` on both inputs keeps the
+                // strict test implying the present test.
+                let p = u64::from(row_p & col_p != 0);
+                let s = u64::from(((row_s & col_p) | (row_p & col_s)) != 0);
+                present |= p << (STRIDE * i + k);
+                strict |= s << (STRIDE * i + k);
+            }
+        }
+        ScGraph {
+            rows: self.rows,
+            cols: out_cols,
+            repr: Repr::Packed { present, strict },
+        }
+    }
+
+    /// Dense (or mixed-representation) composition: the original
+    /// three-valued matrix product. The output keeps the dense
+    /// representation so the property tests exercise this path end-to-end;
+    /// `Eq`/`Hash` do not care.
+    fn compose_dense(&self, other: &ScGraph) -> ScGraph {
+        let (rows, mid, cols) = (self.rows as usize, self.cols as usize, other.cols as usize);
+        let mut cells = vec![EMPTY; rows * cols].into_boxed_slice();
+        let cell = |g: &ScGraph, i: usize, j: usize| -> u8 {
+            match g.get(i, j) {
+                Some(Change::Descend) => DESCEND,
+                Some(Change::NonAscend) => NON_ASCEND,
+                None => EMPTY,
+            }
+        };
+        for i in 0..rows {
+            for k in 0..cols {
                 let mut best = EMPTY;
-                for j in 0..n {
-                    let a = self.cells[self.idx(i, j)];
-                    let b = other.cells[other.idx(j, k)];
+                for j in 0..mid {
+                    let a = cell(self, i, j);
+                    let b = cell(other, j, k);
                     if a == EMPTY || b == EMPTY {
                         continue;
                     }
@@ -226,22 +460,47 @@ impl ScGraph {
                         }
                     }
                 }
-                out.cells[out.idx(i, k)] = best;
+                cells[i * cols + k] = best;
             }
         }
-        out
+        ScGraph {
+            rows: self.rows,
+            cols: other.cols,
+            repr: Repr::Dense(cells),
+        }
     }
 
     /// True when `self ; self == self` (requires a square graph; non-square
     /// graphs are never idempotent).
     pub fn is_idempotent(&self) -> bool {
-        self.rows == self.cols && self.compose(self) == *self
+        if self.rows != self.cols {
+            return false;
+        }
+        if let Repr::Packed { present, strict } = &self.repr {
+            let sq = self.compose_packed(*present, *strict, *present, *strict, self.cols);
+            if let Repr::Packed {
+                present: sp,
+                strict: ss,
+            } = sq.repr
+            {
+                return sp == *present && ss == *strict;
+            }
+            unreachable!("packed composition yields a packed graph");
+        }
+        self.compose(self) == *self
     }
 
     /// True when some parameter strictly descends to itself.
     pub fn has_self_descent(&self) -> bool {
-        self.rows == self.cols
-            && (0..self.rows as usize).any(|i| self.get(i, i) == Some(Change::Descend))
+        if self.rows != self.cols {
+            return false;
+        }
+        match &self.repr {
+            Repr::Packed { strict, .. } => strict & DIAG != 0,
+            Repr::Dense(_) => {
+                (0..self.rows as usize).any(|i| self.get(i, i) == Some(Change::Descend))
+            }
+        }
     }
 
     /// Figure 4's `desc?`: a graph is acceptable unless it is idempotent yet
@@ -281,6 +540,51 @@ impl ScGraph {
             ));
         }
         format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Equality is on the *graph*, not the representation: a (test-forced)
+/// dense graph at a small arity equals its packed twin. For two packed
+/// graphs — the only case the monitor hot path sees — this is two word
+/// compares.
+impl PartialEq for ScGraph {
+    fn eq(&self, other: &ScGraph) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Packed {
+                    present: p1,
+                    strict: s1,
+                },
+                Repr::Packed {
+                    present: p2,
+                    strict: s2,
+                },
+            ) => p1 == p2 && s1 == s2,
+            (Repr::Dense(c1), Repr::Dense(c2)) if !self.packable() => c1 == c2,
+            _ => self.packed_masks() == other.packed_masks(),
+        }
+    }
+}
+
+impl Eq for ScGraph {}
+
+/// Hashes the canonical form: dimensions plus the two packed words when
+/// the arity fits, the byte matrix otherwise — so `Hash` is consistent
+/// with the representation-independent `Eq`.
+impl Hash for ScGraph {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rows.hash(state);
+        self.cols.hash(state);
+        if self.packable() {
+            let (present, strict) = self.packed_masks();
+            present.hash(state);
+            strict.hash(state);
+        } else if let Repr::Dense(cells) = &self.repr {
+            cells.hash(state);
+        }
     }
 }
 
@@ -444,5 +748,60 @@ mod tests {
         let a = ScGraph::empty(2, 3);
         let b = ScGraph::empty(2, 2);
         let _ = a.compose(&b);
+    }
+
+    #[test]
+    fn small_arities_pack_large_fall_back() {
+        assert!(!ScGraph::empty(8, 8).is_dense_repr());
+        assert!(ScGraph::empty(9, 2).is_dense_repr());
+        assert!(ScGraph::empty(2, 9).is_dense_repr());
+    }
+
+    #[test]
+    fn packed_and_forced_dense_are_equal_and_hash_alike() {
+        use std::collections::hash_map::DefaultHasher;
+        let g = ScGraph::from_arcs(3, 3, [d(0, 1), e(1, 2), d(2, 0), e(0, 0)]);
+        let dense = g.force_dense();
+        assert!(dense.is_dense_repr() && !g.is_dense_repr());
+        assert_eq!(g, dense);
+        assert_eq!(dense, g);
+        let hash = |x: &ScGraph| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&g), hash(&dense));
+    }
+
+    #[test]
+    fn dense_fallback_composes_like_packed() {
+        let a = ScGraph::from_arcs(2, 2, [d(0, 1), e(1, 0), e(0, 0)]);
+        let b = ScGraph::from_arcs(2, 2, [e(0, 1), d(1, 1)]);
+        let packed = a.compose(&b);
+        let dense = a.force_dense().compose(&b.force_dense());
+        assert!(dense.is_dense_repr());
+        assert_eq!(packed, dense);
+    }
+
+    #[test]
+    fn large_arity_graphs_work() {
+        // 10 parameters: exercises the dense fallback end to end.
+        let arcs: Vec<_> = (0..10).map(|i| d(i, (i + 1) % 10)).collect();
+        let g = ScGraph::from_arcs(10, 10, arcs);
+        assert!(g.is_dense_repr());
+        assert!(!g.is_idempotent());
+        assert!(g.desc_ok());
+        let sq = g.compose(&g);
+        assert_eq!(sq.get(0, 2), Some(Change::Descend));
+        assert_eq!(sq.get(0, 1), None);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let x = 0xDEAD_BEEF_CAFE_F00Du64;
+        assert_eq!(transpose8x8(transpose8x8(x)), x);
+        // Spot-check one bit: (i=1, j=3) maps to (i=3, j=1).
+        let b = 1u64 << (8 + 3);
+        assert_eq!(transpose8x8(b), 1u64 << (24 + 1));
     }
 }

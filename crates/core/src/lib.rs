@@ -15,6 +15,11 @@
 //!   with `desc?`, which is equivalent to re-testing every contiguous
 //!   subsequence (previously seen composites already passed) and is what
 //!   makes per-call monitoring affordable.
+//! * [`Interner`] — hash-consing of graphs into `Copy` [`GraphId`]s with
+//!   `desc?`/idempotence computed once per distinct graph and binary
+//!   composition memoized, so steady-state monitoring is pure cache hits
+//!   (see `docs/ARCHITECTURE.md`, "Graph interning and the fixed-point
+//!   cost model").
 //! * [`order`] — the well-founded partial order `≺` of Figure 5 as a trait,
 //!   so users can "replace the default order with an appropriate one" (§3.3)
 //!   as needed by e.g. `lh-range` or `acl2-fig-2` in Table 1.
@@ -55,6 +60,7 @@
 
 pub mod blame;
 pub mod graph;
+pub mod intern;
 pub mod ljb;
 pub mod monitor;
 pub mod order;
@@ -63,6 +69,7 @@ pub mod table;
 
 pub use blame::BlameLabel;
 pub use graph::{Arc, Change, ScGraph};
+pub use intern::{FxBuildHasher, GraphId, Interner};
 pub use ljb::{closure_check, ClosureResult};
 pub use monitor::{Backoff, BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
 pub use order::{AbsIntOrder, FnOrder, SizeChange, WellFoundedOrder};

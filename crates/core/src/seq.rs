@@ -16,10 +16,32 @@
 //! long-running loop reaches a fixed point and monitoring cost per call
 //! stops growing. The equivalence with the naive definition is tested by
 //! property tests in `tests/seq_props.rs`.
+//!
+//! # Representation and cost model
+//!
+//! The suffix composites are held as a **sorted vector of interned
+//! [`GraphId`]s** — inline (no heap) up to four composites, spilling to a
+//! shared `Rc<[GraphId]>` beyond that. All graph work is delegated to the
+//! [`Interner`]: composition is a memo-table hit and `desc?` is a cached
+//! bit once a graph has been seen. Three consequences for the monitor's
+//! hot path:
+//!
+//! * [`push`](CallSeq::push) only runs `desc?` on composites **newly
+//!   created** by that push — carried-over members were checked when they
+//!   first appeared (and `desc?` is memoized besides);
+//! * when the composite set reaches its fixed point (`Sₙ = Sₙ₋₁`, which
+//!   every terminating loop reaches because the semiring is finite), `push`
+//!   returns a structurally shared sequence: no allocation, no checks, just
+//!   K memo lookups for K composites;
+//! * `CallSeq` remains a persistent value — [`push`](CallSeq::push) returns
+//!   a new sequence and the old one stays valid, which is what the
+//!   continuation-mark table strategy requires — but cloning is now a
+//!   `Copy` of at most four words or one `Rc` bump.
 
 use crate::graph::ScGraph;
-use sct_persist::PSet;
+use crate::intern::{GraphId, Interner};
 use std::fmt;
+use std::rc::Rc;
 
 /// Witness that a call sequence violates the size-change principle: a
 /// composite graph that is idempotent yet lacks a strict self-descent arc,
@@ -42,12 +64,55 @@ impl fmt::Display for ScViolation {
 
 impl std::error::Error for ScViolation {}
 
-/// The per-function sequence of size-change graphs `⃗g`, kept as the
-/// deduplicated set of suffix composites (see module docs).
+/// Composites stay inline (stack-only) up to this many ids.
+const INLINE: usize = 4;
+
+/// Stack scratch size for building the next composite set; pushes touching
+/// more composites than this fall back to one heap allocation.
+const SCRATCH: usize = 32;
+
+#[derive(Clone)]
+enum Composites {
+    Inline { len: u8, ids: [GraphId; INLINE] },
+    Heap(Rc<[GraphId]>),
+}
+
+impl Composites {
+    fn empty() -> Composites {
+        Composites::Inline {
+            len: 0,
+            ids: [GraphId::DUMMY; INLINE],
+        }
+    }
+
+    fn from_sorted(ids: &[GraphId]) -> Composites {
+        if ids.len() <= INLINE {
+            let mut buf = [GraphId::DUMMY; INLINE];
+            buf[..ids.len()].copy_from_slice(ids);
+            Composites::Inline {
+                len: ids.len() as u8,
+                ids: buf,
+            }
+        } else {
+            Composites::Heap(Rc::from(ids))
+        }
+    }
+
+    fn as_slice(&self) -> &[GraphId] {
+        match self {
+            Composites::Inline { len, ids } => &ids[..*len as usize],
+            Composites::Heap(ids) => ids,
+        }
+    }
+}
+
+/// The per-function sequence of size-change graphs `⃗g`, kept as the sorted
+/// set of interned suffix-composite ids (see module docs).
 ///
-/// `CallSeq` is a persistent value: [`push`](CallSeq::push) returns a new
-/// sequence and the old one remains valid, which is what the
-/// continuation-mark table strategy requires.
+/// The argument-free methods ([`push`](CallSeq::push),
+/// [`check`](CallSeq::check), …) use the thread-local
+/// [`Interner::global`] pool; the `*_in` variants take an explicit handle.
+/// A sequence's ids live in the pool that created them — don't mix pools.
 ///
 /// # Examples
 ///
@@ -68,7 +133,7 @@ impl std::error::Error for ScViolation {}
 /// ```
 #[derive(Clone)]
 pub struct CallSeq {
-    suffix_composites: PSet<ScGraph>,
+    composites: Composites,
     len: usize,
 }
 
@@ -82,7 +147,7 @@ impl CallSeq {
     /// The empty sequence (`⃗g = []`, stored for a function's first call).
     pub fn new() -> CallSeq {
         CallSeq {
-            suffix_composites: PSet::new(),
+            composites: Composites::empty(),
             len: 0,
         }
     }
@@ -100,62 +165,184 @@ impl CallSeq {
     /// Number of distinct suffix composites currently tracked; bounded by
     /// the (finite) number of graphs at this arity.
     pub fn composite_count(&self) -> usize {
-        self.suffix_composites.len()
+        self.composites.as_slice().len()
     }
 
-    /// Iterates over the current suffix composites in unspecified order.
-    pub fn composites(&self) -> impl Iterator<Item = &ScGraph> {
-        self.suffix_composites.iter()
+    /// The sorted interned ids of the current suffix composites.
+    pub fn composite_ids(&self) -> &[GraphId] {
+        self.composites.as_slice()
     }
 
-    fn extend_with(&self, g: ScGraph) -> PSet<ScGraph> {
-        let mut next = PSet::new().insert(g.clone());
-        for c in self.suffix_composites.iter() {
-            if c.cols() == g.rows() {
-                next = next.insert(c.compose(&g));
+    /// The current suffix composites, resolved against the global pool.
+    pub fn composites(&self) -> Vec<ScGraph> {
+        self.composites_in(&Interner::global())
+    }
+
+    /// The current suffix composites, resolved against `interner`.
+    pub fn composites_in(&self, interner: &Interner) -> Vec<ScGraph> {
+        self.composites
+            .as_slice()
+            .iter()
+            .map(|&id| interner.graph(id))
+            .collect()
+    }
+
+    /// Shared-structure successor: same composites, one more call.
+    fn share_extended(&self) -> CallSeq {
+        CallSeq {
+            composites: self.composites.clone(),
+            len: self.len + 1,
+        }
+    }
+
+    /// Computes `Sₙ = { c ; g | c ∈ Sₙ₋₁ } ∪ { g }` and either detects the
+    /// fixed point (returning `None`) or hands the sorted new set to `k`.
+    fn extend_with<T>(
+        &self,
+        interner: &Interner,
+        g: GraphId,
+        k: impl FnOnce(&[GraphId], &[GraphId]) -> Result<T, ScViolation>,
+    ) -> Option<Result<T, ScViolation>> {
+        let old = self.composites.as_slice();
+        let n = old.len() + 1;
+        let mut stack_buf = [GraphId::DUMMY; SCRATCH];
+        let mut heap_buf: Vec<GraphId> = Vec::new();
+        let slots: &mut [GraphId] = if n <= SCRATCH {
+            &mut stack_buf[..n]
+        } else {
+            heap_buf.resize(n, GraphId::DUMMY);
+            &mut heap_buf[..]
+        };
+        let g_rows = interner.rows(g);
+        let mut m = 0;
+        slots[m] = g;
+        m += 1;
+        for &c in old {
+            // Arity-incompatible composites cannot extend through g; they
+            // are dropped, exactly as in the set-of-graphs formulation.
+            if interner.cols(c) == g_rows {
+                slots[m] = interner.compose(c, g);
+                m += 1;
             }
         }
-        next
+        let filled = &mut slots[..m];
+        filled.sort_unstable();
+        let mut w = 1;
+        for r in 1..m {
+            if filled[r] != filled[w - 1] {
+                filled[w] = filled[r];
+                w += 1;
+            }
+        }
+        let new_ids = &filled[..w];
+        if new_ids == old {
+            // Fixed point: the steady state of every long-running loop.
+            return None;
+        }
+        Some(k(new_ids, old))
     }
 
     /// Appends a graph *with* the `prog?` check — the `upd` path of
-    /// Figure 4. Returns the extended sequence, or the violation witness.
+    /// Figure 4 — against the global interner pool.
     ///
     /// # Errors
     ///
     /// [`ScViolation`] when some contiguous subsequence composes to an
     /// idempotent graph with no strict self-descent.
     pub fn push(&self, g: ScGraph) -> Result<CallSeq, ScViolation> {
-        let next = self.extend_with(g);
-        for c in next.iter() {
-            if !c.desc_ok() {
-                return Err(ScViolation { witness: c.clone() });
+        self.push_in(&Interner::global(), g)
+    }
+
+    /// [`push`](CallSeq::push) against an explicit interner pool.
+    ///
+    /// Only composites *new* to this push are `desc?`-checked: carried-over
+    /// members passed when they first appeared, and at the fixed point no
+    /// check runs at all.
+    ///
+    /// # Errors
+    ///
+    /// [`ScViolation`] exactly as [`push`](CallSeq::push), carrying the
+    /// first new failing composite.
+    pub fn push_in(&self, interner: &Interner, g: ScGraph) -> Result<CallSeq, ScViolation> {
+        let gid = interner.intern(g);
+        self.push_id_in(interner, gid)
+    }
+
+    /// [`push_in`](CallSeq::push_in) for an already-interned graph.
+    ///
+    /// # Errors
+    ///
+    /// [`ScViolation`] exactly as [`push`](CallSeq::push).
+    pub fn push_id_in(&self, interner: &Interner, gid: GraphId) -> Result<CallSeq, ScViolation> {
+        match self.extend_with(interner, gid, |new_ids, old| {
+            // Both slices are sorted: walk them together and check only the
+            // ids that were not already members.
+            let mut oi = 0;
+            for &id in new_ids {
+                while oi < old.len() && old[oi] < id {
+                    oi += 1;
+                }
+                let carried_over = oi < old.len() && old[oi] == id;
+                if !carried_over && !interner.desc_ok(id) {
+                    return Err(ScViolation {
+                        witness: interner.graph(id),
+                    });
+                }
             }
+            Ok(CallSeq {
+                composites: Composites::from_sorted(new_ids),
+                len: self.len + 1,
+            })
+        }) {
+            None => Ok(self.share_extended()),
+            Some(res) => res,
         }
-        Ok(CallSeq {
-            suffix_composites: next,
-            len: self.len + 1,
-        })
     }
 
     /// Appends a graph *without* checking — the `ext` function of the
     /// call-sequence semantics (Figure 6), used to state completeness.
+    /// Global-pool variant.
     pub fn push_unchecked(&self, g: ScGraph) -> CallSeq {
-        CallSeq {
-            suffix_composites: self.extend_with(g),
-            len: self.len + 1,
+        self.push_unchecked_in(&Interner::global(), g)
+    }
+
+    /// [`push_unchecked`](CallSeq::push_unchecked) against an explicit pool.
+    pub fn push_unchecked_in(&self, interner: &Interner, g: ScGraph) -> CallSeq {
+        let gid = interner.intern(g);
+        match self.extend_with(interner, gid, |new_ids, _old| {
+            Ok(CallSeq {
+                composites: Composites::from_sorted(new_ids),
+                len: self.len + 1,
+            })
+        }) {
+            None => self.share_extended(),
+            Some(Ok(seq)) => seq,
+            Some(Err(_)) => unreachable!("unchecked extension never fails"),
         }
     }
 
-    /// Checks `prog?` over the suffix composites currently tracked.
+    /// Checks `prog?` over **all** suffix composites currently tracked
+    /// (unlike [`push`](CallSeq::push), which trusts carried-over members —
+    /// this is the entry point after unchecked extension). Global pool.
     ///
     /// # Errors
     ///
     /// [`ScViolation`] carrying the first failing composite found.
     pub fn check(&self) -> Result<(), ScViolation> {
-        for c in self.suffix_composites.iter() {
-            if !c.desc_ok() {
-                return Err(ScViolation { witness: c.clone() });
+        self.check_in(&Interner::global())
+    }
+
+    /// [`check`](CallSeq::check) against an explicit pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ScViolation`] carrying the first failing composite found.
+    pub fn check_in(&self, interner: &Interner) -> Result<(), ScViolation> {
+        for &id in self.composites.as_slice() {
+            if !interner.desc_ok(id) {
+                return Err(ScViolation {
+                    witness: interner.graph(id),
+                });
             }
         }
         Ok(())
@@ -166,8 +353,9 @@ impl fmt::Debug for CallSeq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "CallSeq(len={}, composites={:?})",
-            self.len, self.suffix_composites
+            "CallSeq(len={}, composite_ids={:?})",
+            self.len,
+            self.composites.as_slice()
         )
     }
 }
@@ -267,5 +455,38 @@ mod tests {
         let err = CallSeq::new().push(stay).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("size-change violation"), "got: {msg}");
+    }
+
+    #[test]
+    fn fixed_point_push_shares_structure() {
+        let descend = g(&[(0, Change::Descend, 0)]);
+        let s1 = CallSeq::new().push(descend.clone()).unwrap();
+        let s2 = s1.push(descend.clone()).unwrap();
+        // Same single composite id, length advanced.
+        assert_eq!(s1.composite_ids(), s2.composite_ids());
+        assert_eq!(s2.len(), 2);
+        // Large composite sets share the heap allocation at the fixed point.
+        let it = Interner::new();
+        let mut seq = CallSeq::new();
+        // Arity-8 rotation generates > INLINE distinct composites.
+        let rot = ScGraph::from_arcs(8, 8, (0..8).map(|i| (i, Change::Descend, (i + 1) % 8)));
+        for _ in 0..20 {
+            seq = seq.push_in(&it, rot.clone()).unwrap();
+        }
+        let before = seq.composite_ids().to_vec();
+        let next = seq.push_in(&it, rot.clone()).unwrap();
+        assert_eq!(next.composite_ids(), &before[..]);
+        assert!(before.len() > INLINE, "exercises the heap variant");
+    }
+
+    #[test]
+    fn explicit_pool_matches_global_behavior() {
+        let it = Interner::new();
+        let stay = g(&[(0, Change::NonAscend, 0)]);
+        let descend = g(&[(0, Change::Descend, 0)]);
+        let seq = CallSeq::new().push_in(&it, descend).unwrap();
+        assert!(seq.check_in(&it).is_ok());
+        assert!(seq.push_in(&it, stay).is_err());
+        assert_eq!(seq.composites_in(&it).len(), 1);
     }
 }

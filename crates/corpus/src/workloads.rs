@@ -69,6 +69,15 @@ pub const FACT_SRC: &str = "
 pub const SUM_SRC: &str = "
 (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))";
 
+/// Ackermann (Figure 1's running example): deep non-tail self-recursion
+/// with almost no work per call — the most monitor-intensive loop shape,
+/// since every call re-enters the same closure's dynamic extent.
+pub const ACK_SRC: &str = "
+(define (ack m n)
+  (cond [(zero? m) (+ n 1)]
+        [(zero? n) (ack (- m 1) 1)]
+        [else (ack (- m 1) (ack m (- n 1)))]))";
+
 /// Direct merge-sort threading explicit lengths so descent is on integers
 /// (lists produced by take/drop are not subterms; see DESIGN.md).
 pub const MSORT_SRC: &str = "
@@ -92,6 +101,16 @@ fn int_arg(n: u64) -> Vec<Value> {
 
 fn sum_args(n: u64) -> Vec<Value> {
     vec![Value::int(n as i64), Value::int(0)]
+}
+
+fn ack_args(n: u64) -> Vec<Value> {
+    vec![Value::int(2), Value::int(n as i64)]
+}
+
+fn check_ack(n: u64, v: &Value) -> bool {
+    // ack(2, n) = 2n + 3.
+    let Value::Int(got) = v else { return false };
+    *got == Int::from(2 * n as i64 + 3)
 }
 
 fn random_int_list(n: u64) -> Value {
@@ -179,7 +198,8 @@ fn check_sorted_strings(n: u64, v: &Value) -> bool {
     })
 }
 
-/// The six Figure-10 workloads in the figure's order.
+/// The Figure-10 workloads in the figure's order, plus Ackermann (the
+/// paper's §2.1 running example) as the loop-heaviest monitored case.
 pub fn fig10() -> Vec<Workload> {
     vec![
         Workload {
@@ -199,6 +219,15 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Default,
             make_args: sum_args,
             check: check_sum,
+        },
+        Workload {
+            id: "ack",
+            label: "Ackermann",
+            source: ACK_SRC.to_string(),
+            entry: "ack",
+            order: OrderSpec::Default,
+            make_args: ack_args,
+            check: check_ack,
         },
         Workload {
             id: "msort",

@@ -34,6 +34,7 @@ use crate::prims::{call_prim, PrimEffect};
 use crate::value::{mix2, value_hash, Closure, ContractData, Value, WrapKind, WrappedData};
 use sct_bignum::Int;
 use sct_core::graph::ScGraph;
+use sct_core::intern::Interner;
 use sct_core::monitor::{Backoff, KeyStrategy, MonitorConfig, TableStrategy};
 use sct_core::table::{MutScTable, ScTable, TableUndo};
 use sct_lang::ast::{Expr, Program, TopForm, VarRef};
@@ -239,6 +240,10 @@ pub struct Machine<'p> {
     designated: HashSet<u64>,
     last_seen_tick: HashMap<u64, u64>,
     guard_tick: u64,
+    // Shared graph pool: every table this machine creates interns its
+    // size-change graphs here, so `desc?` and composition are memoized
+    // across the whole run (and across runs on this thread).
+    interner: Interner,
     // Imperative-strategy table (also used by CallSeqCollect).
     imp_table: MutScTable<u64, Value>,
     // Continuation-mark-strategy table stack.
@@ -253,6 +258,10 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
         let whitelist = config.monitor.whitelist.iter().cloned().collect();
         let backoff = Backoff::new(config.monitor.backoff);
+        // The thread-local pool: `std::mem::take` on the imperative table
+        // (contract extents) builds `MutScTable::new()`, which uses the
+        // same pool — every table in this machine must agree on one.
+        let interner = Interner::global();
         Machine {
             program,
             config,
@@ -268,7 +277,8 @@ impl<'p> Machine<'p> {
             designated: HashSet::new(),
             last_seen_tick: HashMap::new(),
             guard_tick: 0,
-            imp_table: MutScTable::new(),
+            imp_table: MutScTable::with_interner(interner.clone()),
+            interner,
             marks: Vec::new(),
             blames: Vec::new(),
             extent_depth: 0,
@@ -1044,7 +1054,7 @@ impl<'p> Machine<'p> {
                     let order = self.config.order.clone();
                     let current = match self.marks.last() {
                         Some(m) => m.table.clone(),
-                        None => ScTable::new(),
+                        None => ScTable::with_interner(self.interner.clone()),
                     };
                     match current.update(key, snapshot, &order) {
                         Ok(table) => {

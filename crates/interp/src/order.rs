@@ -1,7 +1,7 @@
 //! The default well-founded partial order on λSCT values (Figure 5), plus
 //! customizable alternatives (§3.3 allows replacing the default).
 
-use crate::value::{equal, value_size, Value};
+use crate::value::{equal, value_hash, value_size, Value};
 use sct_core::order::{SizeChange, WellFoundedOrder};
 use std::rc::Rc;
 
@@ -29,16 +29,13 @@ impl WellFoundedOrder<Value> for DefaultOrder {
                 }
             }
             // Structural containment: new ≺ old when new is a proper
-            // subterm of the pair old.
-            (Value::Pair(_), _) => {
-                if equal(old, new) {
-                    SizeChange::Equal
-                } else if is_subterm(new, old) {
-                    SizeChange::Descend
-                } else {
-                    SizeChange::Unknown
-                }
-            }
+            // subterm of the pair old; one walk answers both the equality
+            // and the subterm question.
+            (Value::Pair(_), _) => match subterm_rel(new, old) {
+                SubtermRel::Equal => SizeChange::Equal,
+                SubtermRel::Proper => SizeChange::Descend,
+                SubtermRel::Unrelated => SizeChange::Unknown,
+            },
             _ => {
                 if equal(old, new) {
                     SizeChange::Equal
@@ -50,20 +47,52 @@ impl WellFoundedOrder<Value> for DefaultOrder {
     }
 }
 
-/// True when `needle ⪯ haystack` with `haystack` decomposed structurally:
-/// `v ≺ (a, d)` if `v ⪯ a` or `v ⪯ d` (Figure 5). Pruned by cached sizes
-/// and hashes, so the common case — a tail of the same list — is linear in
-/// the distance between the terms.
-fn is_subterm(needle: &Value, haystack: &Value) -> bool {
-    if value_size(needle) > value_size(haystack) {
-        return false;
+/// How `needle` sits inside `haystack` under Figure 5's structural
+/// decomposition: equal to it, a proper subterm (`v ≺ (a, d)` if `v ⪯ a`
+/// or `v ⪯ d`), or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubtermRel {
+    Equal,
+    Proper,
+    Unrelated,
+}
+
+/// One walk answering both `needle = haystack` and `needle ≺ haystack`.
+///
+/// Equal values have equal node counts, so the cached sizes split the
+/// question: at `size(needle) == size(haystack)` only equality is possible
+/// (pre-pruned by the cached structural hashes before the full comparison);
+/// at `size(needle) < size(haystack)` only proper containment is. The
+/// common case — a tail of the same list — stays linear in the distance
+/// between the terms, and the old double traversal (`equal` at every spine
+/// node *after* a separate top-level `equal`) is gone.
+fn subterm_rel(needle: &Value, haystack: &Value) -> SubtermRel {
+    let needle_size = value_size(needle);
+    let haystack_size = value_size(haystack);
+    if needle_size > haystack_size {
+        return SubtermRel::Unrelated;
     }
-    if equal(needle, haystack) {
-        return true;
+    if needle_size == haystack_size {
+        // Same node count: containment is impossible, equality possible.
+        return if value_hash(needle) == value_hash(haystack) && equal(needle, haystack) {
+            SubtermRel::Equal
+        } else {
+            SubtermRel::Unrelated
+        };
     }
+    // Strictly smaller: a proper subterm of some component (which itself
+    // may be an `Equal` hit — still proper containment overall).
     match haystack {
-        Value::Pair(p) => is_subterm(needle, &p.car) || is_subterm(needle, &p.cdr),
-        _ => false,
+        Value::Pair(p) => {
+            if subterm_rel(needle, &p.car) != SubtermRel::Unrelated
+                || subterm_rel(needle, &p.cdr) != SubtermRel::Unrelated
+            {
+                SubtermRel::Proper
+            } else {
+                SubtermRel::Unrelated
+            }
+        }
+        _ => SubtermRel::Unrelated,
     }
 }
 
@@ -90,28 +119,31 @@ pub struct ExtendedOrder;
 impl ExtendedOrder {
     /// `new ⪯ old` under the extended order, with the strictness recorded.
     fn compare(&self, old: &Value, new: &Value) -> SizeChange {
-        if equal(old, new) {
-            return SizeChange::Equal;
-        }
         match (old, new) {
             (Value::Int(a), Value::Int(b)) => {
-                if b.cmp_abs(a) == std::cmp::Ordering::Less {
+                if a == b {
+                    SizeChange::Equal
+                } else if b.cmp_abs(a) == std::cmp::Ordering::Less {
                     SizeChange::Descend
                 } else {
                     SizeChange::Unknown
                 }
             }
             (Value::Pair(p), _) => {
-                // Subterm rule first (cheap for list tails).
-                if is_subterm(new, old) {
-                    return SizeChange::Descend;
+                // Subterm rule first (cheap for list tails); the same walk
+                // settles equality.
+                match subterm_rel(new, old) {
+                    SubtermRel::Equal => return SizeChange::Equal,
+                    SubtermRel::Proper => return SizeChange::Descend,
+                    SubtermRel::Unrelated => {}
                 }
                 if let Value::Pair(q) = new {
                     let car = self.compare(&p.car, &q.car);
                     let cdr = self.compare(&p.cdr, &q.cdr);
                     let ok = |c: SizeChange| matches!(c, SizeChange::Descend | SizeChange::Equal);
                     if ok(car) && ok(cdr) {
-                        // equal overall was excluded above, so one is strict.
+                        // Equal overall was excluded by the subterm walk,
+                        // so at least one coordinate is strict.
                         return SizeChange::Descend;
                     }
                 }
@@ -138,7 +170,13 @@ impl ExtendedOrder {
                     SizeChange::Equal
                 }
             }
-            _ => SizeChange::Unknown,
+            _ => {
+                if equal(old, new) {
+                    SizeChange::Equal
+                } else {
+                    SizeChange::Unknown
+                }
+            }
         }
     }
 }
