@@ -1,8 +1,10 @@
 //! Regenerates Figure 10: monitoring slowdown for Ackermann, factorial,
 //! sum, and merge-sort — direct and interpreted — across input sizes,
-//! under the three configurations (unchecked, continuation-mark,
-//! imperative), and records the sweep as `BENCH_fig10.json` at the repo
-//! root so future PRs can track the performance trajectory (schema in the
+//! under the three paper configurations (unchecked, continuation-mark,
+//! imperative) plus the *hybrid* ablation (static pre-pass discharges
+//! provably terminating functions; the monitor guards only the residual),
+//! and records the sweep as `BENCH_fig10.json` at the repo root so future
+//! PRs can track the performance trajectory (schema `sct-fig10/2` in the
 //! `sct_bench` crate docs).
 //!
 //! The paper's absolute sizes targeted Racket on the authors' machine; the
@@ -13,7 +15,9 @@
 //!   bare, and the curves the graph-interning work is measured against;
 //! * merge-sort: overhead dominated by data-structure order checks;
 //! * interpreted rows: the interpreter's own monitored calls multiply the
-//!   cost but stay within a constant factor as input grows.
+//!   cost but stay within a constant factor as input grows;
+//! * hybrid: workloads the §4 verifier proves (fact, sum, ack) collapse
+//!   to ~unchecked speed; residual workloads track the imperative curve.
 //!
 //! Run: `cargo run --release -p sct-bench --bin report_fig10 [--scale N]
 //! [--reps N] [--fast] [--only ID] [--out PATH]`
@@ -85,19 +89,22 @@ fn main() {
         let id = w.id;
         let compiled = CompiledWorkload::new(w);
         println!("== {label} ==");
+        println!("   plan: {}", compiled.plan);
         println!(
-            "{:>10} {:>12} {:>16} {:>9} {:>16} {:>9}",
-            "n", "unchecked", "cont-mark", "x", "imperative", "x"
+            "{:>10} {:>12} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9}",
+            "n", "unchecked", "cont-mark", "x", "imperative", "x", "hybrid", "x"
         );
         for n in sizes_for(id, scale, fast) {
             let t_unchecked = median_time(&compiled, n, Setup::Unchecked, reps);
             let t_cm = median_time(&compiled, n, Setup::ContinuationMark, reps);
             let t_imp = median_time(&compiled, n, Setup::Imperative, reps);
+            let t_hyb = median_time(&compiled, n, Setup::Hybrid, reps);
             let base = t_unchecked.as_secs_f64().max(1e-9);
             for (setup, t) in [
                 (Setup::Unchecked, t_unchecked),
                 (Setup::ContinuationMark, t_cm),
                 (Setup::Imperative, t_imp),
+                (Setup::Hybrid, t_hyb),
             ] {
                 entries.push(Fig10Entry {
                     workload: id,
@@ -108,13 +115,15 @@ fn main() {
                 });
             }
             println!(
-                "{:>10} {:>12} {:>16} {:>8.1}x {:>16} {:>8.1}x",
+                "{:>10} {:>12} {:>16} {:>8.1}x {:>16} {:>8.1}x {:>16} {:>8.1}x",
                 n,
                 sct_bench::fmt_ms(t_unchecked),
                 sct_bench::fmt_ms(t_cm),
                 t_cm.as_secs_f64() / base,
                 sct_bench::fmt_ms(t_imp),
                 t_imp.as_secs_f64() / base,
+                sct_bench::fmt_ms(t_hyb),
+                t_hyb.as_secs_f64() / base,
             );
         }
         println!();
@@ -123,6 +132,8 @@ fn main() {
     println!(
         "roughly flat in n (constant factor), continuation-mark >= imperative on tight loops."
     );
+    println!("hybrid shape check: statically discharged workloads (fact, sum, ack) ~1x;");
+    println!("residual workloads track the imperative curve.");
 
     let json = fig10_json(&entries, fast, scale, reps);
     std::fs::write(&out_path, &json)

@@ -5,19 +5,10 @@
 //!
 //! Run: `cargo run --release -p sct-bench --bin report_table1`
 
+use sct_bench::sym_domain as to_sym;
 use sct_core::monitor::TableStrategy;
-use sct_corpus::{run_dynamic, table1, Domain, Verdict};
+use sct_corpus::{run_dynamic, table1, Verdict};
 use sct_symbolic::{verify_function, SymDomain, VerifyConfig};
-
-fn to_sym(d: Domain) -> SymDomain {
-    match d {
-        Domain::Nat => SymDomain::Nat,
-        Domain::Pos => SymDomain::Pos,
-        Domain::Int => SymDomain::Int,
-        Domain::List => SymDomain::List,
-        Domain::Any => SymDomain::Any,
-    }
-}
 
 fn main() {
     println!("Table 1 — Evaluation on terminating programs");

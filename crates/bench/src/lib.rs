@@ -15,11 +15,11 @@
 //!
 //! `report_fig10` additionally writes a machine-readable summary to
 //! `BENCH_fig10.json` at the repository root so successive PRs can track
-//! the performance trajectory. The schema (`sct-fig10/1`):
+//! the performance trajectory. The schema (`sct-fig10/2`):
 //!
 //! ```json
 //! {
-//!   "schema": "sct-fig10/1",
+//!   "schema": "sct-fig10/2",
 //!   "fast": false,
 //!   "scale": 1,
 //!   "reps": 3,
@@ -31,21 +31,43 @@
 //! ```
 //!
 //! One entry per *workload × setup × input size*. `median_ns` is the
-//! median wall time in nanoseconds of `reps` timed entry calls (setup and
-//! compilation excluded); `slowdown` is `median_ns` divided by the
-//! unchecked median at the same `(workload, n)` — `1.0` for the unchecked
-//! rows themselves. `fast` records whether the sweep ran in the CI smoke
-//! mode (`--fast`: smallest size per workload, one rep), whose numbers are
-//! indicative only. Workload ids and setup labels match
-//! [`Setup::label`] and `sct_corpus::workloads::fig10`.
+//! median wall time in nanoseconds of `reps` timed entry calls (setup,
+//! compilation, and the hybrid pre-pass excluded); `slowdown` is
+//! `median_ns` divided by the unchecked median at the same
+//! `(workload, n)` — `1.0` for the unchecked rows themselves. `fast`
+//! records whether the sweep ran in the CI smoke mode, whose numbers are
+//! indicative only. Workload ids and setup labels match [`Setup::label`]
+//! and `sct_corpus::workloads::fig10`.
+//!
+//! Schema history: `sct-fig10/2` added the `"hybrid"` setup rows (the
+//! hybrid enforcement ablation — statically discharged functions skip the
+//! monitor); the per-entry shape is unchanged from `sct-fig10/1`.
+//!
+//! # Sweep-control flags
+//!
+//! `report_fig10` accepts:
+//!
+//! * `--fast` — CI smoke mode: the smallest size per workload and one rep
+//!   (overridable with `--reps`); also recorded in the JSON as
+//!   `"fast": true`.
+//! * `--only ID` — restrict the sweep to one workload id (e.g. `--only
+//!   ack`); unknown ids list the valid ones and exit 2. The JSON then
+//!   contains only that workload's entries, so don't commit a `--only`
+//!   artifact as the repo-root trajectory file.
+//! * `--scale N` — multiply every input size by `N`.
+//! * `--reps N` — timed repetitions per point (median reported).
+//! * `--out PATH` — write the JSON somewhere other than the repo root.
 
 use sct_core::monitor::TableStrategy;
+use sct_core::plan::EnforcementPlan;
 use sct_corpus::workloads::Workload;
 use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
 use sct_lang::ast::Program;
+use sct_symbolic::{plan_program, PlanConfig, SymDomain};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-/// The three Figure-10 configurations.
+/// The Figure-10 configurations, plus the hybrid ablation column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Setup {
     /// Standard semantics, no monitoring.
@@ -54,12 +76,22 @@ pub enum Setup {
     ContinuationMark,
     /// Monitored with the imperative table plus restore frames.
     Imperative,
+    /// Monitored (imperative table) under the hybrid enforcement plan:
+    /// statically discharged functions skip the monitor; only the
+    /// residual pays. Workloads the verifier proves (Table 1 rows where
+    /// the static column passes) should land at ~unchecked speed.
+    Hybrid,
 }
 
 impl Setup {
-    /// All three, in the figure's legend order.
-    pub fn all() -> [Setup; 3] {
-        [Setup::Unchecked, Setup::ContinuationMark, Setup::Imperative]
+    /// All setups, in the figure's legend order (hybrid last).
+    pub fn all() -> [Setup; 4] {
+        [
+            Setup::Unchecked,
+            Setup::ContinuationMark,
+            Setup::Imperative,
+            Setup::Hybrid,
+        ]
     }
 
     /// Legend label.
@@ -68,6 +100,7 @@ impl Setup {
             Setup::Unchecked => "unchecked",
             Setup::ContinuationMark => "continuation-mark",
             Setup::Imperative => "imperative",
+            Setup::Hybrid => "hybrid",
         }
     }
 }
@@ -78,10 +111,26 @@ pub struct CompiledWorkload {
     pub workload: Workload,
     /// The compiled program.
     pub program: Program,
+    /// The hybrid enforcement plan, computed once at compile time (what
+    /// the [`Setup::Hybrid`] runs consume). Pre-pass cost is setup, not
+    /// run time — exactly as `sct hybrid` amortizes it over a whole run.
+    pub plan: Rc<EnforcementPlan>,
+}
+
+/// Maps a corpus [`sct_corpus::Domain`] onto the verifier's domain.
+pub fn sym_domain(d: sct_corpus::Domain) -> SymDomain {
+    match d {
+        sct_corpus::Domain::Nat => SymDomain::Nat,
+        sct_corpus::Domain::Pos => SymDomain::Pos,
+        sct_corpus::Domain::Int => SymDomain::Int,
+        sct_corpus::Domain::List => SymDomain::List,
+        sct_corpus::Domain::Any => SymDomain::Any,
+    }
 }
 
 impl CompiledWorkload {
-    /// Compiles a Figure-10 workload.
+    /// Compiles a Figure-10 workload and runs the hybrid pre-pass over it
+    /// (pinning the workload's declared signature, when it has one).
     ///
     /// # Panics
     ///
@@ -89,18 +138,36 @@ impl CompiledWorkload {
     pub fn new(workload: Workload) -> CompiledWorkload {
         let program = sct_lang::compile_program(&workload.source)
             .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.id));
-        CompiledWorkload { workload, program }
+        let mut plan_config = PlanConfig::default();
+        if let Some((domains, result)) = workload.sig {
+            plan_config.signatures.insert(
+                workload.entry.to_string(),
+                (
+                    domains.iter().copied().map(sym_domain).collect(),
+                    sym_domain(result),
+                ),
+            );
+        }
+        let plan = Rc::new(plan_program(&program, &plan_config));
+        CompiledWorkload {
+            workload,
+            program,
+            plan,
+        }
     }
 
     fn config(&self, setup: Setup) -> MachineConfig {
         let (mode, strategy) = match setup {
             Setup::Unchecked => (SemanticsMode::Standard, TableStrategy::Imperative),
             Setup::ContinuationMark => (SemanticsMode::Monitored, TableStrategy::ContinuationMark),
-            Setup::Imperative => (SemanticsMode::Monitored, TableStrategy::Imperative),
+            Setup::Imperative | Setup::Hybrid => {
+                (SemanticsMode::Monitored, TableStrategy::Imperative)
+            }
         };
         MachineConfig {
             mode,
             order: self.workload.order.handle(),
+            plan: (setup == Setup::Hybrid).then(|| self.plan.clone()),
             ..MachineConfig::monitored(strategy)
         }
     }
@@ -177,12 +244,13 @@ pub struct Fig10Entry {
     pub slowdown: f64,
 }
 
-/// Serializes the sweep into the `sct-fig10/1` JSON document. Hand-rolled
-/// because the workspace builds offline (no serde); all strings involved
-/// are static identifiers needing no escaping.
+/// Serializes the sweep into the `sct-fig10/2` JSON document (see the
+/// crate docs for the schema and its history). Hand-rolled because the
+/// workspace builds offline (no serde); all strings involved are static
+/// identifiers needing no escaping.
 pub fn fig10_json(entries: &[Fig10Entry], fast: bool, scale: u64, reps: usize) -> String {
     let mut out = String::with_capacity(128 + entries.len() * 96);
-    out.push_str("{\n  \"schema\": \"sct-fig10/1\",\n");
+    out.push_str("{\n  \"schema\": \"sct-fig10/2\",\n");
     out.push_str(&format!("  \"fast\": {fast},\n"));
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));

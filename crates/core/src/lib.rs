@@ -28,13 +28,18 @@
 //!   continuation-mark strategy, which preserves proper tail calls) and a
 //!   mutable table with undo records (the imperative strategy, which breaks
 //!   them).
-//! * [`closure_check`](ljb::closure_check) — the classic Lee–Jones–Ben-Amram
+//! * [`closure_check`] — the classic Lee–Jones–Ben-Amram
 //!   criterion on a *set* of graphs, used by the static verifier once
 //!   symbolic execution has enumerated how a function may call itself
 //!   (Figure 9).
 //! * [`monitor`] — configuration for the §5 optimizations: exponential
 //!   backoff, loop-entry-only monitoring, closure key strategies.
 //! * [`blame`] — Findler–Felleisen blame labels for `terminating/c` (§2.3).
+//! * [`plan`] — the hybrid enforcement plan ([`EnforcementPlan`]): the
+//!   per-function record of whether termination was statically discharged,
+//!   must be dynamically monitored, or was statically refuted, plus the
+//!   [`LjbCache`] memo keyed by interned graph sets that makes
+//!   re-verification free.
 //!
 //! # Examples
 //!
@@ -58,12 +63,15 @@
 //! assert!(CallSeq::new().push(bad).is_err());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod blame;
 pub mod graph;
 pub mod intern;
 pub mod ljb;
 pub mod monitor;
 pub mod order;
+pub mod plan;
 pub mod seq;
 pub mod table;
 
@@ -73,5 +81,6 @@ pub use intern::{FxBuildHasher, GraphId, Interner};
 pub use ljb::{closure_check, ClosureResult};
 pub use monitor::{Backoff, BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
 pub use order::{AbsIntOrder, FnOrder, SizeChange, WellFoundedOrder};
+pub use plan::{Decision, EnforcementPlan, FnDecision, LjbCache, PlanDomain};
 pub use seq::{CallSeq, ScViolation};
 pub use table::{FnEntry, MutScTable, ScTable, TableUndo};

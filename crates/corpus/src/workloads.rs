@@ -14,7 +14,7 @@
 //! * the interpreted versions pay the interpreter's own monitored calls.
 
 use crate::scheme_interp;
-use crate::OrderSpec;
+use crate::{Domain, OrderSpec};
 use sct_bignum::Int;
 use sct_interp::Value;
 
@@ -34,6 +34,12 @@ pub struct Workload {
     pub make_args: fn(u64) -> Vec<Value>,
     /// Checks the result for a given input size.
     pub check: fn(u64, &Value) -> bool,
+    /// Declared verification signature of the entry — one [`Domain`] per
+    /// parameter plus the result domain — used by the hybrid bench column
+    /// to pin the static pre-pass instead of the automatic domain ladder.
+    /// `None` leaves the ladder in charge (interpreted workloads, whose
+    /// meta-circular loops the verifier cannot discharge anyway).
+    pub sig: Option<(&'static [Domain], Domain)>,
 }
 
 /// Deterministic pseudo-random generator (LCG) for workload inputs.
@@ -210,6 +216,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Default,
             make_args: int_arg,
             check: check_fact,
+            sig: Some((&[Domain::Nat], Domain::Any)),
         },
         Workload {
             id: "sum",
@@ -219,6 +226,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Default,
             make_args: sum_args,
             check: check_sum,
+            sig: Some((&[Domain::Nat, Domain::Nat], Domain::Any)),
         },
         Workload {
             id: "ack",
@@ -228,6 +236,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Default,
             make_args: ack_args,
             check: check_ack,
+            sig: Some((&[Domain::Nat, Domain::Nat], Domain::Nat)),
         },
         Workload {
             id: "msort",
@@ -237,6 +246,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Default,
             make_args: msort_args,
             check: check_sorted_ints,
+            sig: Some((&[Domain::List], Domain::List)),
         },
         Workload {
             id: "interp-fact",
@@ -246,6 +256,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Extended,
             make_args: int_arg,
             check: check_fact,
+            sig: None,
         },
         Workload {
             id: "interp-sum",
@@ -259,6 +270,7 @@ pub fn fig10() -> Vec<Workload> {
                 let n = n as i64;
                 *got == Int::from(n * (n + 1) / 2)
             },
+            sig: None,
         },
         Workload {
             id: "interp-msort",
@@ -268,6 +280,7 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Extended,
             make_args: tree_args,
             check: check_sorted_strings,
+            sig: None,
         },
     ]
 }

@@ -34,8 +34,9 @@ use crate::prims::{call_prim, PrimEffect};
 use crate::value::{mix2, value_hash, Closure, ContractData, Value, WrapKind, WrappedData};
 use sct_bignum::Int;
 use sct_core::graph::ScGraph;
-use sct_core::intern::Interner;
+use sct_core::intern::{FxBuildHasher, Interner};
 use sct_core::monitor::{Backoff, KeyStrategy, MonitorConfig, TableStrategy};
+use sct_core::plan::{EnforcementPlan, PlanDomain};
 use sct_core::table::{MutScTable, ScTable, TableUndo};
 use sct_lang::ast::{Expr, Program, TopForm, VarRef};
 use sct_lang::{LambdaDef, Prim};
@@ -71,6 +72,13 @@ pub struct MachineConfig {
     pub fuel: Option<u64>,
     /// When true, record a [`TraceEvent`] per checked call (Figure 1).
     pub trace: bool,
+    /// The hybrid enforcement plan from the static pre-pass, when one was
+    /// computed (`sct hybrid`, `run_hybrid`). Applications of statically
+    /// discharged λs skip the monitor entirely — no graph construction, no
+    /// `CallSeq` push — after re-checking the plan's per-argument domain
+    /// guard (a constant-time test). Everything else is unchanged;
+    /// `None` is plain monitoring.
+    pub plan: Option<Rc<EnforcementPlan>>,
 }
 
 impl MachineConfig {
@@ -105,6 +113,10 @@ pub struct Stats {
     /// Calls whose size-change table was actually extended and checked
     /// (after backoff and loop-entry filtering).
     pub checks: u64,
+    /// Monitored-mode applications that took the static fast path: the
+    /// enforcement plan proved the λ terminating, so the monitor was
+    /// skipped (after the guard check, when the proof was domain-guarded).
+    pub static_skips: u64,
     /// High-water mark of the continuation stack.
     pub max_kont_depth: usize,
     /// High-water mark of the continuation-mark stack.
@@ -132,6 +144,29 @@ enum Ctrl {
 struct MarkEntry {
     depth: usize,
     table: ScTable<u64, Value>,
+}
+
+/// Per-λ fast-path rule compiled from the enforcement plan.
+enum FastGuard {
+    /// Skip the monitor unconditionally (proof assumed nothing).
+    Always,
+    /// Skip only when each argument is in the proof's assumed domain;
+    /// out-of-domain calls fall back to the monitor.
+    Domains(Rc<[PlanDomain]>),
+}
+
+/// Constant-time membership test backing the fast-path guard. `List` is a
+/// shallow pair-or-nil check: pairs are immutable finite trees in λSCT, so
+/// structural descent is well-founded on every value and the proof's
+/// descent facts hold regardless of what the tail turns out to be.
+fn in_domain(d: PlanDomain, v: &Value) -> bool {
+    match d {
+        PlanDomain::Any => true,
+        PlanDomain::Int => matches!(v, Value::Int(_)),
+        PlanDomain::Nat => matches!(v, Value::Int(i) if !i.is_negative()),
+        PlanDomain::Pos => matches!(v, Value::Int(i) if !i.is_negative() && !i.is_zero()),
+        PlanDomain::List => matches!(v, Value::Nil | Value::Pair(_)),
+    }
 }
 
 enum Kont {
@@ -233,6 +268,8 @@ pub struct Machine<'p> {
     /// Trace of checked calls when tracing is on.
     pub trace_events: Vec<TraceEvent>,
     whitelist: HashSet<String>,
+    // λ id → fast-path rule, compiled once from `config.plan`.
+    fast_path: HashMap<u32, FastGuard, FxBuildHasher>,
     quote_cache: HashMap<*const Datum, Value>,
     alloc_counter: u64,
     backoff: Backoff<u64>,
@@ -258,6 +295,16 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
         let whitelist = config.monitor.whitelist.iter().cloned().collect();
         let backoff = Backoff::new(config.monitor.backoff);
+        let mut fast_path: HashMap<u32, FastGuard, FxBuildHasher> = HashMap::default();
+        if let Some(plan) = &config.plan {
+            for (id, guard) in plan.static_lambdas() {
+                let rule = match guard {
+                    None => FastGuard::Always,
+                    Some(doms) => FastGuard::Domains(Rc::from(doms)),
+                };
+                fast_path.insert(id, rule);
+            }
+        }
         // The thread-local pool: `std::mem::take` on the imperative table
         // (contract extents) builds `MutScTable::new()`, which uses the
         // same pool — every table in this machine must agree on one.
@@ -271,6 +318,7 @@ impl<'p> Machine<'p> {
             violations: Vec::new(),
             trace_events: Vec::new(),
             whitelist,
+            fast_path,
             quote_cache: HashMap::new(),
             alloc_counter: 0,
             backoff,
@@ -777,7 +825,11 @@ impl<'p> Machine<'p> {
     ) -> Result<Ctrl, EvalError> {
         self.stats.applications += 1;
         if self.monitoring_active() && !self.whitelisted(&clo.def) {
-            self.monitor_call(&clo, &args, kont)?;
+            if self.statically_discharged(&clo.def, &args) {
+                self.stats.static_skips += 1;
+            } else {
+                self.monitor_call(&clo, &args, kont)?;
+            }
         }
         self.bind_and_enter(clo, args)
     }
@@ -967,6 +1019,20 @@ impl<'p> Machine<'p> {
         match self.config.mode {
             SemanticsMode::Monitored | SemanticsMode::CallSeqCollect => true,
             SemanticsMode::Standard => self.extent_depth > 0,
+        }
+    }
+
+    /// True when the enforcement plan statically discharged this λ and the
+    /// actual arguments satisfy the proof's domain guard — the hybrid fast
+    /// path: no graph, no table, no `CallSeq` push.
+    fn statically_discharged(&self, def: &LambdaDef, args: &[Value]) -> bool {
+        match self.fast_path.get(&def.id) {
+            None => false,
+            Some(FastGuard::Always) => true,
+            Some(FastGuard::Domains(doms)) => {
+                args.len() == doms.len()
+                    && args.iter().zip(doms.iter()).all(|(a, d)| in_domain(*d, a))
+            }
         }
     }
 

@@ -102,6 +102,15 @@ pub struct Executor<'p> {
     /// When set, the exploration was not exhaustive and the verdict must
     /// be "not verified"; carries the first reason.
     pub incomplete: Option<String>,
+    /// Number of applications of an *opaque* value (a symbolic atom or
+    /// term standing for an unknown function), which the executor havocs
+    /// as a terminating black box. The per-function verdict is then
+    /// *modular* — "terminates provided its opaque callees do" — which is
+    /// the paper's §4 claim but NOT enough for the hybrid pipeline to
+    /// drop run-time monitoring (an unmonitored mutual loop through
+    /// opaque calls would go uncaught); `crate::pipeline` keeps any
+    /// function with a nonzero count on the monitored path.
+    pub opaque_applications: u64,
     globals: Vec<SValue>,
     steps: u64,
     havoc_left: u32,
@@ -128,6 +137,7 @@ impl<'p> Executor<'p> {
             atom_kinds: Vec::new(),
             graphs: HashMap::new(),
             incomplete: None,
+            opaque_applications: 0,
             globals: vec![SValue::Conc(Value::Undefined); program.global_names.len()],
             steps: 0,
             havoc_left: 0,
@@ -429,6 +439,7 @@ impl<'p> Executor<'p> {
             SValue::Atom(_) | SValue::Term(..) => {
                 // Unknown function: havoc. Closure arguments may be called
                 // back with arbitrary inputs, so explore those too.
+                self.opaque_applications += 1;
                 for arg in &args {
                     if let SValue::SClosure(c) = path.resolve(arg) {
                         if self.havoc_left > 0 {

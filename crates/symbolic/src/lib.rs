@@ -9,6 +9,13 @@
 //! Lee–Jones–Ben-Amram criterion over the finitely many discovered
 //! self-call graphs (Figure 9).
 //!
+//! Beyond per-function verification ([`verify_function`]), the [`pipeline`]
+//! module is the entry point of the *hybrid* enforcement regime: it plans a
+//! whole program — statically discharging what it can, leaving the residual
+//! to the dynamic monitor, and eagerly refuting definite violations — into
+//! an [`EnforcementPlan`](sct_core::plan::EnforcementPlan) the interpreter
+//! consumes.
+//!
 //! # Examples
 //!
 //! Verifying Ackermann on symbolic naturals (§4.2):
@@ -29,14 +36,18 @@
 //! assert!(verdict.is_verified(), "{verdict}");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod exec;
 pub mod linear;
+pub mod pipeline;
 pub mod solver;
 pub mod sym;
 pub mod verify;
 
 pub use exec::{ExecConfig, Executor, SymDomain};
 pub use linear::{entails, unsat, Lin, LinCon};
+pub use pipeline::{plan_program, plan_program_with_cache, PlanCache, PlanConfig};
 pub use solver::Solver;
 pub use sym::{AtomKind, Path, SValue};
-pub use verify::{verify_function, StaticVerdict, VerifyConfig};
+pub use verify::{explore_function, verify_function, Exploration, StaticVerdict, VerifyConfig};

@@ -1,0 +1,799 @@
+//! The hybrid enforcement pre-pass: statically discharge what §4 can
+//! prove, leave the residual to §3's monitor, and refute eagerly.
+//!
+//! [`plan_program`] runs [`explore_function`](crate::verify::explore_function)
+//! over every `define` in a program and folds the outcomes into an
+//! [`EnforcementPlan`]:
+//!
+//! * A function whose exploration is exhaustive and whose every discovered
+//!   graph set passes the Lee–Jones–Ben-Amram check becomes
+//!   [`Decision::Static`] — the monitor's fast path skips it entirely.
+//! * A function whose exploration hits the fuel budget, the wall-clock
+//!   budget, or an unsupported feature becomes [`Decision::Monitor`]: the
+//!   *fuel-budget fallback*. The plan never weakens Theorem 3.1 — anything
+//!   unproven keeps full dynamic monitoring.
+//! * A function for which *every* attempted domain assignment yields an
+//!   exhaustive exploration with a definite graph-set violation becomes
+//!   [`Decision::Refuted`]: the witness is exactly what the monitor would
+//!   blame the moment that recursion executes, so the hybrid driver
+//!   reports it — with the same blame label, read off a surrounding
+//!   `terminating/c` wrapper — before running the program (deliberately
+//!   stricter than the monitor for a refuted function that is never
+//!   applied; see `sct_core::plan`).
+//!
+//! # The domain ladder
+//!
+//! `verify_function` needs argument domains, but a bare `(define (f x) …)`
+//! declares none. The pre-pass therefore tries a short ladder per
+//! function: first all-[`SymDomain::Any`] (a proof needing no run-time
+//! guard), then all-[`SymDomain::Nat`], then all-[`SymDomain::Pos`]. A
+//! proof under a non-trivial domain is sound only for in-domain calls, so
+//! the resulting [`Decision::Static`] carries a [`PlanDomain`] guard the
+//! machine re-checks per call (a constant-time integer test;
+//! out-of-domain calls fall back to the monitor). Callers that *know*
+//! signatures (the Table 1 harness, the benchmark driver) can pin them
+//! via [`PlanConfig::signatures`]. Refutation requires *every* ladder
+//! attempt to end in a violation whose witness is a discovered (level-1)
+//! graph of the *entry* λ — a bad *composite* alone never refutes,
+//! because an actual run may never realize it as a call sequence
+//! (subtractive gcd passes the monitor even though its closure contains a
+//! bad composite), and a nested λ's static self-call may never share a
+//! dynamic closure key (the `isabelle-poly` closure builder).
+//!
+//! # Memoized re-verification
+//!
+//! The Lee–Jones–Ben-Amram stage is memoized through
+//! [`LjbCache`](sct_core::plan::LjbCache), keyed by the interned graph
+//! set: planning the same program twice (benchmark repetitions, repeated
+//! `sct hybrid` runs in one process) pays the closure computation once.
+//! Pass a [`PlanCache`] to [`plan_program_with_cache`] to share the memo
+//! across calls.
+//!
+//! # Examples
+//!
+//! ```
+//! use sct_lang::compile_program;
+//! use sct_symbolic::pipeline::{plan_program, PlanConfig};
+//!
+//! let prog = compile_program(
+//!     "(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))",
+//! ).unwrap();
+//! let plan = plan_program(&prog, &PlanConfig::default());
+//! assert_eq!(plan.count("static"), 1);
+//! // sum only terminates on naturals, so the discharge is nat-guarded.
+//! let (_, guard) = plan.static_lambdas().next().unwrap();
+//! assert!(guard.is_some());
+//! ```
+
+use crate::exec::SymDomain;
+use crate::verify::{explore_with_names, lambda_names, Exploration, VerifyConfig};
+use sct_core::plan::{CheckedClosure, Decision, EnforcementPlan, FnDecision, PlanDomain};
+use sct_core::ScGraph;
+use sct_lang::ast::{Expr, LambdaDef, LambdaId, Program, TopForm};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A declared verification signature: one domain per parameter plus the
+/// result domain assumed at summarized self-calls.
+pub type Signature = (Vec<SymDomain>, SymDomain);
+
+/// Configuration for [`plan_program`].
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Per-attempt verifier configuration — [`VerifyConfig::exec`] is the
+    /// *fuel budget*: an exploration that exhausts it reports incomplete
+    /// and the function falls back to [`Decision::Monitor`].
+    pub verify: VerifyConfig,
+    /// Wall-clock budget per function, checked between ladder attempts;
+    /// `None` disables the clock (fuel still bounds each attempt).
+    pub time_budget: Option<Duration>,
+    /// When true (the default), functions without a declared signature get
+    /// the `Any…` → `Nat…` → `Pos…` domain ladder; when false, only
+    /// `Any…` is tried (no guarded discharges).
+    pub nat_ladder: bool,
+    /// When true (the default), definite violations become
+    /// [`Decision::Refuted`]; when false they degrade to
+    /// [`Decision::Monitor`]. Refutation presumes the monitor runs the
+    /// *default* well-founded order of Figure 5 — the same assumption the
+    /// §4 verifier makes — so drivers configuring a custom order (`sct
+    /// hybrid --order …`) must turn it off: a graph that fails the
+    /// default order may descend under a replacement order (§3.3).
+    /// *Discharges*, by contrast, survive any order: a
+    /// [`Decision::Static`] asserts genuine termination, which no choice
+    /// of order can contradict — so under a custom order the hybrid run
+    /// may skip calls that order's monitor would (falsely) blame. That is
+    /// the same precision win Table 1 reports for rows where the dynamic
+    /// check fails but the static one passes.
+    pub refute: bool,
+    /// Pinned signatures by `define`d name, overriding the ladder.
+    pub signatures: HashMap<String, Signature>,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            verify: VerifyConfig::default(),
+            time_budget: Some(Duration::from_millis(500)),
+            nat_ladder: true,
+            refute: true,
+            signatures: HashMap::new(),
+        }
+    }
+}
+
+/// State shared across [`plan_program_with_cache`] calls: the memoized
+/// closure checks. Reusing one cache makes re-planning an unchanged
+/// program (or a program sharing helper graphs) skip every closure
+/// computation whose graph set was seen before.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// The graph-set-keyed Lee–Jones–Ben-Amram memo.
+    pub ljb: sct_core::plan::LjbCache,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+}
+
+/// Plans a whole program with a fresh [`PlanCache`]. See the module docs.
+pub fn plan_program(program: &Program, config: &PlanConfig) -> EnforcementPlan {
+    plan_program_with_cache(program, config, &mut PlanCache::new())
+}
+
+/// Plans a whole program, memoizing closure checks in `cache`.
+///
+/// Every `define` whose initializer is a λ (possibly under `terminating/c`
+/// wrappers, whose blame label is recorded) gets a decision; other
+/// top-level forms are irrelevant to enforcement and are skipped.
+pub fn plan_program_with_cache(
+    program: &Program,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+) -> EnforcementPlan {
+    let mut plan = EnforcementPlan::new();
+    // One AST walk for λ display names, shared by every attempt below.
+    let names = Rc::new(lambda_names(program));
+    let mutation = MutationMap::build(program);
+    for form in &program.top_level {
+        let TopForm::Define { index, expr } = form else {
+            continue;
+        };
+        let name = &program.global_names[*index as usize];
+        let (def, blame) = match unwrap_termc(expr) {
+            Some(pair) => pair,
+            None => continue,
+        };
+        // A proof is only as durable as the bindings it reads: if this
+        // function can (transitively) reach a global that *anything* in
+        // the program `set!`s, a later rebinding could invalidate the
+        // discharge at run time — e.g. a helper swapped for one that no
+        // longer descends. Such functions stay monitored.
+        if let Some(reason) = mutation.taints(*index) {
+            plan.decisions.push(FnDecision {
+                name: name.to_string(),
+                lambda: def.id,
+                covers: Vec::new(),
+                decision: Decision::Monitor {
+                    reason: reason.clone(),
+                },
+                blame,
+                detail: reason,
+                micros: 0,
+            });
+            continue;
+        }
+        plan.decisions.push(plan_function(
+            program,
+            name,
+            def,
+            blame,
+            config,
+            cache,
+            names.clone(),
+        ));
+    }
+    plan
+}
+
+/// Which globals the program mutates (`set!` anywhere — top level, define
+/// initializers, nested λs), plus the static global-reference graph, so
+/// the pre-pass can refuse to discharge any function whose proof could be
+/// invalidated by a run-time rebinding.
+struct MutationMap {
+    /// `refs[i]` = globals referenced (read or written) by global `i`'s
+    /// defining expression(s); every `define` of the index contributes.
+    refs: Vec<Vec<u32>>,
+    /// Globals that are a `set!` target anywhere in the program.
+    mutated: Vec<bool>,
+    names: Vec<String>,
+}
+
+impl MutationMap {
+    fn build(program: &Program) -> MutationMap {
+        let n = program.global_names.len();
+        let mut refs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut mutated = vec![false; n];
+        for form in &program.top_level {
+            match form {
+                TopForm::Define { index, expr } => {
+                    let mut out = Vec::new();
+                    collect_global_refs(expr, &mut out, &mut mutated);
+                    refs[*index as usize].extend(out);
+                }
+                TopForm::Expr(expr) => {
+                    // Top-level expressions can mutate but define nothing;
+                    // only their `set!` targets matter.
+                    let mut sink = Vec::new();
+                    collect_global_refs(expr, &mut sink, &mut mutated);
+                }
+            }
+        }
+        MutationMap {
+            refs,
+            mutated,
+            names: program.global_names.clone(),
+        }
+    }
+
+    /// If global `index` can transitively reach a mutated global, the
+    /// reason to keep it monitored; `None` when its reachable set is
+    /// mutation-free.
+    fn taints(&self, index: u32) -> Option<String> {
+        let mut seen = vec![false; self.refs.len()];
+        let mut stack = vec![index];
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            if self.mutated[i] {
+                return Some(format!(
+                    "depends on global {} which the program mutates (set!); \
+                     a run-time rebinding could invalidate the proof",
+                    self.names[i]
+                ));
+            }
+            stack.extend(self.refs[i].iter().copied());
+        }
+        None
+    }
+}
+
+/// Collects the globals `e` references (into `out`) and marks the ones it
+/// `set!`s (into `mutated`).
+fn collect_global_refs(e: &Expr, out: &mut Vec<u32>, mutated: &mut [bool]) {
+    match e {
+        Expr::Global(i) => out.push(*i),
+        Expr::SetGlobal { index, value } => {
+            mutated[*index as usize] = true;
+            out.push(*index);
+            collect_global_refs(value, out, mutated);
+        }
+        Expr::Lambda(def) => collect_global_refs(&def.body, out, mutated),
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_global_refs(cond, out, mutated);
+            collect_global_refs(then_branch, out, mutated);
+            collect_global_refs(else_branch, out, mutated);
+        }
+        Expr::App { func, args } => {
+            collect_global_refs(func, out, mutated);
+            for a in args.iter() {
+                collect_global_refs(a, out, mutated);
+            }
+        }
+        Expr::Seq(exprs) => {
+            for x in exprs.iter() {
+                collect_global_refs(x, out, mutated);
+            }
+        }
+        Expr::SetLocal { value, .. } => collect_global_refs(value, out, mutated),
+        Expr::Let { inits, body } | Expr::LetRec { inits, body } => {
+            for i in inits.iter() {
+                collect_global_refs(i, out, mutated);
+            }
+            collect_global_refs(body, out, mutated);
+        }
+        Expr::TermC { body, .. } => collect_global_refs(body, out, mutated),
+        Expr::Quote(_) | Expr::Var(_) | Expr::PrimRef(_) => {}
+    }
+}
+
+/// Peels `terminating/c` wrappers off a define's initializer, returning
+/// the underlying λ and the innermost wrapper's blame label (the label the
+/// dynamic monitor would report, since it pushes labels innermost-first).
+fn unwrap_termc(expr: &Expr) -> Option<(&Rc<LambdaDef>, Option<String>)> {
+    let mut e = expr;
+    let mut blame = None;
+    loop {
+        match e {
+            Expr::TermC { body, label } => {
+                // Later (deeper) wrappers overwrite: the machine pushes
+                // labels outermost-first and blames `blames.last()`, so
+                // the innermost label is the one a violation reports.
+                blame = Some(label.to_string());
+                e = body;
+            }
+            Expr::Lambda(def) => return Some((def, blame)),
+            _ => return None,
+        }
+    }
+}
+
+/// One attempt's distilled outcome.
+enum Attempt {
+    /// Exhaustive and every graph set passes.
+    Verified { detail: String },
+    /// Exhaustive with a graph-set violation. `definite` is true only when
+    /// (a) the witness is one of the *discovered* graphs — a single
+    /// feasible recursion step the monitor rejects the moment it executes,
+    /// rather than a closure composite, which may never materialize as an
+    /// actual call sequence (subtractive gcd is the classic case: both
+    /// branch graphs descend, only their composition loses the common
+    /// descent) — and (b) the culprit is the *entry* λ itself: the
+    /// symbolic executor keys self-calls by λ id, but the monitor keys by
+    /// closure, so a nested λ's static "self-call" (e.g. the closure
+    /// builder `isabelle-poly` re-allocating its inner λ each round) never
+    /// forms one dynamic call sequence. Only the entry λ, whose global
+    /// closure is allocated once, matches dynamically.
+    Violation {
+        witness: ScGraph,
+        culprit: String,
+        definite: bool,
+    },
+    /// Anything inconclusive: budget, unsupported feature, overflow.
+    Inconclusive { reason: String },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    program: &Program,
+    name: &str,
+    entry_id: LambdaId,
+    domains: &[SymDomain],
+    result: SymDomain,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    names: Rc<HashMap<LambdaId, String>>,
+) -> (Attempt, Option<Exploration>) {
+    let exploration = match explore_with_names(
+        program,
+        name,
+        domains,
+        result,
+        &config.verify,
+        names,
+        Some(entry_id),
+    ) {
+        Ok(e) => e,
+        Err(reason) => return (Attempt::Inconclusive { reason }, None),
+    };
+    if exploration.opaque_calls > 0 {
+        // The proof would be modular ("terminates provided its opaque
+        // callees do") — sound for §4's verdict but not for dropping the
+        // monitor: an unmonitored mutual loop through opaque calls (e.g.
+        // (define (apply1 f) (f f)) applied to itself) would go uncaught.
+        return (
+            Attempt::Inconclusive {
+                reason: format!(
+                    "applies an opaque value {} time(s); the proof is modular, \
+                     so monitoring is kept",
+                    exploration.opaque_calls
+                ),
+            },
+            Some(exploration),
+        );
+    }
+    let mut summary = Vec::new();
+    for (id, graphs) in &exploration.graphs {
+        match cache.ljb.check(graphs, config.verify.ljb_cap) {
+            CheckedClosure::Ok { .. } => {
+                summary.push(format!(
+                    "{}: {} graphs",
+                    exploration.name_of(*id),
+                    graphs.len()
+                ));
+            }
+            CheckedClosure::Violation(v) => {
+                let culprit = exploration.name_of(*id);
+                let definite = graphs.contains(&v.witness) && *id == entry_id;
+                return (
+                    Attempt::Violation {
+                        witness: v.witness,
+                        culprit,
+                        definite,
+                    },
+                    Some(exploration),
+                );
+            }
+            CheckedClosure::Overflow => {
+                return (
+                    Attempt::Inconclusive {
+                        reason: "graph closure overflow".into(),
+                    },
+                    Some(exploration),
+                );
+            }
+        }
+    }
+    summary.sort();
+    (
+        Attempt::Verified {
+            detail: format!("verified ({})", summary.join(", ")),
+        },
+        Some(exploration),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_function(
+    program: &Program,
+    name: &str,
+    def: &Rc<LambdaDef>,
+    blame: Option<String>,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    names: Rc<HashMap<LambdaId, String>>,
+) -> FnDecision {
+    let start = Instant::now();
+    let base = FnDecision {
+        name: name.to_string(),
+        lambda: def.id,
+        covers: Vec::new(),
+        decision: Decision::Monitor {
+            reason: String::new(),
+        },
+        blame,
+        detail: String::new(),
+        micros: 0,
+    };
+    let finish = |mut d: FnDecision| -> FnDecision {
+        d.micros = start.elapsed().as_micros();
+        d
+    };
+
+    if def.variadic {
+        let reason = "variadic functions are not statically analyzed".to_string();
+        let mut d = base;
+        d.detail = reason.clone();
+        d.decision = Decision::Monitor { reason };
+        return finish(d);
+    }
+
+    let params = def.params as usize;
+    // The candidate ladder: a declared signature wins; otherwise Any…,
+    // then (optionally) Nat… and Pos… with a run-time guard. Automatic
+    // rungs always use result domain Any: a non-trivial result domain is
+    // an *assumption* the executor does not verify against actual return
+    // values, and a wrong one prunes feasible continuation paths — hiding
+    // e.g. a non-descending self-call behind a branch on a "can't happen"
+    // negative result — which would put a diverging function on the fast
+    // path. Only a *declared* signature (a trusted total-correctness
+    // contract, exactly §4.2's "the range of the function's contract")
+    // may assume more; that is the same trust the Table 1 `StaticSpec`
+    // harness extends.
+    let candidates: Vec<Signature> = match config.signatures.get(name) {
+        Some(sig) => vec![sig.clone()],
+        None => {
+            let mut c = vec![(vec![SymDomain::Any; params], SymDomain::Any)];
+            if config.nat_ladder && params > 0 {
+                c.push((vec![SymDomain::Nat; params], SymDomain::Any));
+                c.push((vec![SymDomain::Pos; params], SymDomain::Any));
+            }
+            c
+        }
+    };
+
+    let mut violations: Vec<(ScGraph, String, bool)> = Vec::new();
+    let mut last_reason = String::new();
+    let mut attempts = 0usize;
+    for (domains, result) in &candidates {
+        if let Some(budget) = config.time_budget {
+            if attempts > 0 && start.elapsed() > budget {
+                last_reason = format!(
+                    "time budget ({}ms) exhausted after {attempts} attempt(s)",
+                    budget.as_millis()
+                );
+                break;
+            }
+        }
+        attempts += 1;
+        let (attempt, exploration) = run_attempt(
+            program,
+            name,
+            def.id,
+            domains,
+            *result,
+            config,
+            cache,
+            names.clone(),
+        );
+        match attempt {
+            Attempt::Verified { detail } => {
+                let guard: Vec<PlanDomain> = domains.iter().map(|d| plan_domain(*d)).collect();
+                let unconditional = guard.iter().all(|g| *g == PlanDomain::Any);
+                let mut d = base;
+                // Helper λs nested inside this define are covered by the
+                // same exploration; λ ids belonging to *other* globals are
+                // not (they may be called from unexplored contexts).
+                if unconditional {
+                    if let Some(ex) = &exploration {
+                        let nested = nested_lambda_ids(def);
+                        d.covers = ex
+                            .graphs
+                            .iter()
+                            .map(|(id, _)| *id)
+                            .filter(|id| *id != def.id && nested.contains(id))
+                            .collect();
+                    }
+                }
+                d.decision = Decision::Static { guard };
+                d.detail = detail;
+                return finish(d);
+            }
+            Attempt::Violation {
+                witness,
+                culprit,
+                definite,
+            } => {
+                violations.push((witness, culprit, definite));
+            }
+            Attempt::Inconclusive { reason } => {
+                last_reason = reason;
+            }
+        }
+    }
+
+    let mut d = base;
+    // Refute only when the FULL ladder ran (a time-budget break must not
+    // turn a would-be discharge on a later rung into a rejection — the
+    // verdict would then depend on machine load) and every rung found a
+    // definite violation.
+    let refutable = config.refute
+        && !violations.is_empty()
+        && attempts == candidates.len()
+        && violations.len() == attempts
+        && violations.iter().all(|(_, _, definite)| *definite);
+    if refutable {
+        // Every domain assignment agreed on a *direct* violating graph:
+        // the function's own recursion step breaks prog? the moment it
+        // executes, under any guard we could offer. Report the most
+        // general witness (the first candidate's) eagerly, with blame.
+        let (witness, culprit, _) = violations.swap_remove(0);
+        d.detail = format!("{culprit}: graph {witness} is idempotent with no self-descent");
+        d.decision = Decision::Refuted { witness, culprit };
+    } else {
+        if last_reason.is_empty() {
+            last_reason = match violations.first() {
+                Some((w, c, _)) => format!(
+                    "possible violation in {c} ({w}); not definite under every \
+                     domain assignment, so the monitor keeps it"
+                ),
+                None => "no verification attempt ran".into(),
+            };
+        }
+        d.detail = last_reason.clone();
+        d.decision = Decision::Monitor {
+            reason: last_reason,
+        };
+    }
+    finish(d)
+}
+
+fn plan_domain(d: SymDomain) -> PlanDomain {
+    match d {
+        SymDomain::Nat => PlanDomain::Nat,
+        SymDomain::Pos => PlanDomain::Pos,
+        SymDomain::Int => PlanDomain::Int,
+        SymDomain::List => PlanDomain::List,
+        SymDomain::Any => PlanDomain::Any,
+    }
+}
+
+/// λ ids syntactically nested inside `def` (excluding `def` itself).
+fn nested_lambda_ids(def: &LambdaDef) -> Vec<LambdaId> {
+    let mut out = Vec::new();
+    collect_lambda_ids(&def.body, &mut out);
+    out
+}
+
+fn collect_lambda_ids(e: &Expr, out: &mut Vec<LambdaId>) {
+    match e {
+        Expr::Lambda(def) => {
+            out.push(def.id);
+            collect_lambda_ids(&def.body, out);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_lambda_ids(cond, out);
+            collect_lambda_ids(then_branch, out);
+            collect_lambda_ids(else_branch, out);
+        }
+        Expr::App { func, args } => {
+            collect_lambda_ids(func, out);
+            for a in args.iter() {
+                collect_lambda_ids(a, out);
+            }
+        }
+        Expr::Seq(exprs) => {
+            for x in exprs.iter() {
+                collect_lambda_ids(x, out);
+            }
+        }
+        Expr::SetLocal { value, .. } | Expr::SetGlobal { value, .. } => {
+            collect_lambda_ids(value, out)
+        }
+        Expr::Let { inits, body } | Expr::LetRec { inits, body } => {
+            for i in inits.iter() {
+                collect_lambda_ids(i, out);
+            }
+            collect_lambda_ids(body, out);
+        }
+        Expr::TermC { body, .. } => collect_lambda_ids(body, out),
+        Expr::Quote(_) | Expr::Var(_) | Expr::Global(_) | Expr::PrimRef(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_lang::compile_program;
+
+    #[test]
+    fn sum_is_nat_guarded_static() {
+        let prog =
+            compile_program("(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))")
+                .unwrap();
+        let plan = plan_program(&prog, &PlanConfig::default());
+        assert_eq!(plan.decisions.len(), 1);
+        let d = &plan.decisions[0];
+        assert_eq!(d.name, "sum");
+        let Decision::Static { guard } = &d.decision else {
+            panic!("sum should be static: {:?}", d.decision);
+        };
+        assert_eq!(guard, &vec![PlanDomain::Nat, PlanDomain::Nat]);
+    }
+
+    #[test]
+    fn structural_recursion_is_unconditional_static() {
+        let prog =
+            compile_program("(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))").unwrap();
+        let plan = plan_program(&prog, &PlanConfig::default());
+        let d = &plan.decisions[0];
+        let Decision::Static { guard } = &d.decision else {
+            panic!("len should be static: {:?}", d.decision);
+        };
+        assert!(guard.iter().all(|g| *g == PlanDomain::Any), "{guard:?}");
+    }
+
+    #[test]
+    fn self_loop_is_refuted_with_blame() {
+        let prog =
+            compile_program("(define f (terminating/c (lambda (x) (f x)) \"my-party\")) (f 1)")
+                .unwrap();
+        let plan = plan_program(&prog, &PlanConfig::default());
+        let d = &plan.decisions[0];
+        assert_eq!(d.blame.as_deref(), Some("my-party"));
+        assert!(
+            matches!(d.decision, Decision::Refuted { .. }),
+            "{:?}",
+            d.decision
+        );
+        let json = plan.to_json();
+        assert!(json.contains("\"decision\": \"refuted\""), "{json}");
+    }
+
+    #[test]
+    fn opaque_higher_order_stays_monitored() {
+        // Applying an arbitrary function argument cannot be proven
+        // terminating: the fuel-budget fallback keeps it monitored.
+        let prog = compile_program("(define (call f x) (f x))").unwrap();
+        let plan = plan_program(&prog, &PlanConfig::default());
+        assert!(
+            matches!(plan.decisions[0].decision, Decision::Monitor { .. }),
+            "{:?}",
+            plan.decisions[0].decision
+        );
+    }
+
+    #[test]
+    fn cache_makes_replanning_hit_memo() {
+        let prog =
+            compile_program("(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))")
+                .unwrap();
+        let mut cache = PlanCache::new();
+        let cfg = PlanConfig::default();
+        let first = plan_program_with_cache(&prog, &cfg, &mut cache);
+        let misses = cache.ljb.misses();
+        assert!(misses > 0);
+        let second = plan_program_with_cache(&prog, &cfg, &mut cache);
+        assert_eq!(cache.ljb.misses(), misses, "re-plan must be pure memo hits");
+        assert!(cache.ljb.hits() > 0);
+        assert_eq!(first.count("static"), second.count("static"));
+    }
+
+    #[test]
+    fn pinned_signature_overrides_ladder() {
+        let prog =
+            compile_program("(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))")
+                .unwrap();
+        let mut cfg = PlanConfig::default();
+        cfg.signatures.insert(
+            "sum".into(),
+            (vec![SymDomain::Nat, SymDomain::Int], SymDomain::Int),
+        );
+        let plan = plan_program(&prog, &cfg);
+        let Decision::Static { guard } = &plan.decisions[0].decision else {
+            panic!("{:?}", plan.decisions[0].decision);
+        };
+        assert_eq!(guard, &vec![PlanDomain::Nat, PlanDomain::Int]);
+    }
+
+    #[test]
+    fn budget_truncated_ladder_never_refutes() {
+        // With a zero wall clock only the first rung runs; whatever it
+        // finds, a truncated ladder must not refute a function a later
+        // rung would have discharged — the verdict would otherwise depend
+        // on machine load.
+        let prog =
+            compile_program("(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))")
+                .unwrap();
+        let cfg = PlanConfig {
+            time_budget: Some(Duration::ZERO),
+            ..PlanConfig::default()
+        };
+        let plan = plan_program(&prog, &cfg);
+        assert_eq!(plan.count("refuted"), 0, "{:?}", plan.decisions);
+        // Sanity: the full ladder does discharge it.
+        assert_eq!(
+            plan_program(&prog, &PlanConfig::default()).count("static"),
+            1
+        );
+    }
+
+    #[test]
+    fn set_bang_taints_transitive_dependents() {
+        // f's proof reads dec, and the program set!s dec, so f must not
+        // be discharged: a run-time rebinding could stop the descent.
+        let prog = compile_program(
+            "(define (dec x) (- x 1))
+             (define (f x) (if (zero? x) 0 (f (dec x))))
+             (define (lone l) (if (null? l) 0 (lone (cdr l))))
+             (set! dec (lambda (x) x))",
+        )
+        .unwrap();
+        let plan = plan_program(&prog, &PlanConfig::default());
+        let by_name = |n: &str| {
+            plan.decisions
+                .iter()
+                .find(|d| d.name == n)
+                .unwrap_or_else(|| panic!("no decision for {n}"))
+        };
+        assert!(
+            matches!(&by_name("dec").decision, Decision::Monitor { reason } if reason.contains("set!")),
+            "{:?}",
+            by_name("dec").decision
+        );
+        assert!(
+            matches!(&by_name("f").decision, Decision::Monitor { reason } if reason.contains("set!")),
+            "{:?}",
+            by_name("f").decision
+        );
+        // A function not touching any mutated global keeps its discharge.
+        assert!(
+            matches!(by_name("lone").decision, Decision::Static { .. }),
+            "{:?}",
+            by_name("lone").decision
+        );
+    }
+}

@@ -4,10 +4,12 @@
 
 use crate::exec::{EntryInvariant, ExecConfig, Executor, SOut, SymDomain};
 use crate::sym::{Path, SValue};
+use sct_core::graph::ScGraph;
 use sct_core::ljb::{closure_check, ClosureResult};
-use sct_lang::ast::{Expr, Program, TopForm};
+use sct_lang::ast::{Expr, LambdaId, Program, TopForm};
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// The verifier's answer for one function.
 #[derive(Debug, Clone)]
@@ -76,40 +78,110 @@ impl Default for VerifyConfig {
     }
 }
 
-/// Verifies that `function`, applied to symbolic arguments from `domains`,
-/// maintains size-change termination — the static analogue of wrapping it
-/// in `terminating/c`.
+/// The result of an exhaustive symbolic exploration (the first half of
+/// [`verify_function`]): every way each λ may call itself, as size-change
+/// graph sets, plus the display names Figure 9 reports. Produced by
+/// [`explore_function`]; the second half is a Lee–Jones–Ben-Amram closure
+/// check over each graph set — memoizable via
+/// [`sct_core::plan::LjbCache`], which is how the hybrid pre-pass
+/// (`crate::pipeline`) makes re-verification free.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Discovered self-call graph sets, in λ-id order.
+    pub graphs: Vec<(LambdaId, Vec<ScGraph>)>,
+    /// Display names for λ ids (from `define`/`letrec` hints). Shared
+    /// (`Rc`) because the map depends only on the program, and the hybrid
+    /// pre-pass explores the same program once per `define` × ladder rung.
+    pub names: Rc<HashMap<LambdaId, String>>,
+    /// How many times an *opaque* value (unknown function) was applied and
+    /// havocked as a terminating black box. Zero means the termination
+    /// proof is self-contained; nonzero means it is modular — sufficient
+    /// for [`verify_function`]'s §4 verdict, insufficient for the hybrid
+    /// pipeline to skip run-time monitoring.
+    pub opaque_calls: u64,
+}
+
+impl Exploration {
+    /// Display name for a λ id.
+    pub fn name_of(&self, id: LambdaId) -> String {
+        self.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("lambda#{id}"))
+    }
+}
+
+/// Runs the symbolic executor over `function` applied to arguments from
+/// `domains`, havocs escaping closures, and returns the discovered graph
+/// sets — or `Err(reason)` when exploration was not exhaustive (missing
+/// global, non-closure, arity mismatch, exhausted budget, or an
+/// unsupported feature).
 ///
-/// Conservative by construction: any unsupported feature, exhausted
-/// budget, or unprovable obligation yields [`StaticVerdict::NotVerified`].
-pub fn verify_function(
+/// This is [`verify_function`] minus the closure check; callers that
+/// verify many functions (the hybrid pre-pass) run the check themselves
+/// through a memo.
+///
+/// # Errors
+///
+/// A human-readable reason whenever the exploration cannot certify that
+/// *all* behaviors of `function` were covered. Treat any `Err` as "not
+/// verified", never as a refutation.
+pub fn explore_function(
     program: &Program,
     function: &str,
     domains: &[SymDomain],
     result: SymDomain,
     config: &VerifyConfig,
-) -> StaticVerdict {
+) -> Result<Exploration, String> {
+    explore_with_names(
+        program,
+        function,
+        domains,
+        result,
+        config,
+        Rc::new(lambda_names(program)),
+        None,
+    )
+}
+
+/// [`explore_function`] with a precomputed λ-name map (so callers that
+/// explore one program many times — the hybrid pre-pass: every `define` ×
+/// every ladder rung — walk the AST for names once instead of per
+/// attempt), and an optional λ-id pin: when `expected_entry` is set, the
+/// global must still resolve to *that* λ. The hybrid pre-pass pins each
+/// `define`'s own λ, because the executor's global table keeps the *last*
+/// binding — without the pin, a shadowed earlier definition would inherit
+/// a proof of its replacement and skip monitoring unsoundly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_with_names(
+    program: &Program,
+    function: &str,
+    domains: &[SymDomain],
+    result: SymDomain,
+    config: &VerifyConfig,
+    names: Rc<HashMap<LambdaId, String>>,
+    expected_entry: Option<LambdaId>,
+) -> Result<Exploration, String> {
     let mut ex = Executor::new(program, config.exec.clone());
 
     let Some(entry_value) = ex.global(function) else {
-        return StaticVerdict::NotVerified {
-            reason: format!("no global named {function}"),
-        };
+        return Err(format!("no global named {function}"));
     };
     let SValue::SClosure(ref clo) = entry_value else {
-        return StaticVerdict::NotVerified {
-            reason: format!("{function} is not a closure"),
-        };
+        return Err(format!("{function} is not a closure"));
     };
+    if expected_entry.is_some_and(|id| clo.def.id != id) {
+        return Err(format!(
+            "{function} is rebound after this definition; the final binding is what runs"
+        ));
+    }
     if clo.def.params as usize != domains.len() || clo.def.variadic {
-        return StaticVerdict::NotVerified {
-            reason: format!(
-                "{function} expects {}{} parameters but the spec declares {}",
-                clo.def.params,
-                if clo.def.variadic { "+" } else { "" },
-                domains.len()
-            ),
-        };
+        return Err(format!(
+            "{function} expects {}{} parameters but the spec declares {}",
+            clo.def.params,
+            if clo.def.variadic { "+" } else { "" },
+            domains.len()
+        ));
     }
     ex.set_entry(EntryInvariant {
         id: clo.def.id,
@@ -135,29 +207,48 @@ pub fn verify_function(
     }
 
     if let Some(reason) = ex.incomplete.clone() {
-        return StaticVerdict::NotVerified { reason };
+        return Err(reason);
     }
 
+    let mut graphs: Vec<(LambdaId, Vec<ScGraph>)> = ex.graphs.drain().collect();
+    graphs.sort_by_key(|(id, _)| *id);
+    Ok(Exploration {
+        graphs,
+        names,
+        opaque_calls: ex.opaque_applications,
+    })
+}
+
+/// Verifies that `function`, applied to symbolic arguments from `domains`,
+/// maintains size-change termination — the static analogue of wrapping it
+/// in `terminating/c`.
+///
+/// Conservative by construction: any unsupported feature, exhausted
+/// budget, or unprovable obligation yields [`StaticVerdict::NotVerified`].
+pub fn verify_function(
+    program: &Program,
+    function: &str,
+    domains: &[SymDomain],
+    result: SymDomain,
+    config: &VerifyConfig,
+) -> StaticVerdict {
+    let exploration = match explore_function(program, function, domains, result, config) {
+        Ok(e) => e,
+        Err(reason) => return StaticVerdict::NotVerified { reason },
+    };
+
     // LJB check per function.
-    let names = lambda_names(program);
     let mut summary = Vec::new();
-    for (id, graphs) in &ex.graphs {
+    for (id, graphs) in &exploration.graphs {
         match closure_check(graphs, config.ljb_cap) {
             ClosureResult::Ok { .. } => {
-                let name = names
-                    .get(id)
-                    .cloned()
-                    .unwrap_or_else(|| format!("lambda#{id}"));
-                summary.push((name, graphs.len()));
+                summary.push((exploration.name_of(*id), graphs.len()));
             }
             ClosureResult::Violation(v) => {
-                let name = names
-                    .get(id)
-                    .cloned()
-                    .unwrap_or_else(|| format!("lambda#{id}"));
                 return StaticVerdict::NotVerified {
                     reason: format!(
-                        "{name}: composition {} is idempotent with no self-descent",
+                        "{}: composition {} is idempotent with no self-descent",
+                        exploration.name_of(*id),
                         v.witness
                     ),
                 };
@@ -207,7 +298,7 @@ fn havoc_escaping(ex: &mut Executor<'_>, v: &SValue, path: &Path, depth: u32) {
 }
 
 /// Display names for λ ids (from `define`/`letrec` hints).
-fn lambda_names(program: &Program) -> HashMap<u32, String> {
+pub(crate) fn lambda_names(program: &Program) -> HashMap<u32, String> {
     let mut names = HashMap::new();
     for form in &program.top_level {
         let expr = match form {

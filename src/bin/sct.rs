@@ -3,16 +3,24 @@
 //! ```text
 //! sct run <file.sct>                       # standard semantics (λCSCT)
 //! sct monitor <file.sct> [options]         # fully monitored (λSCT)
+//! sct hybrid <file.sct> [--plan] [options] # static pre-pass + residual monitor
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
 //! ```
 //!
-//! Options for `monitor`/`trace`:
+//! Options for `monitor`/`trace`/`hybrid`:
 //!   --strategy imperative|cm      table strategy (default imperative)
 //!   --order default|reverse-int|extended
 //!   --backoff N                   exponential backoff factor
 //!   --loop-entries                monitor loop entries only
 //!   --fuel N                      step budget
+//!
+//! `hybrid` first plans the program: every `define` is run through the §4
+//! verifier (with a fuel budget); proved functions skip the monitor at run
+//! time, refuted ones are reported — with blame — before running, and the
+//! rest stay monitored. `--plan` prints the decisions as `sct-plan/1` JSON
+//! (schema in `sct_core::plan::EnforcementPlan::to_json`) instead of
+//! running.
 //!
 //! `verify` signatures: a comma-separated parameter domain list and an
 //! optional `-> result` domain, e.g. `nat,nat -> nat` (domains: nat, pos,
@@ -20,15 +28,17 @@
 
 use sct_contracts::interp::{ExtendedOrder, OrderHandle, ReverseIntOrder};
 use sct_contracts::{
-    BackoffPolicy, EvalError, Machine, MachineConfig, SemanticsMode, SymDomain, TableStrategy,
-    VerifyConfig,
+    plan_program, refutation_error, BackoffPolicy, EvalError, Machine, MachineConfig, PlanConfig,
+    SemanticsMode, SymDomain, TableStrategy, VerifyConfig,
 };
 use std::process::ExitCode;
+use std::rc::Rc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sct run <file>\n  sct monitor <file> [--strategy imperative|cm] \
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
+         sct hybrid <file> [--plan] [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>"
     );
     ExitCode::from(2)
@@ -40,6 +50,8 @@ struct Options {
     backoff: BackoffPolicy,
     loop_entries: bool,
     fuel: Option<u64>,
+    plan_only: bool,
+    custom_order: bool,
 }
 
 impl Options {
@@ -50,6 +62,8 @@ impl Options {
             backoff: BackoffPolicy::EveryCall,
             loop_entries: false,
             fuel: None,
+            plan_only: false,
+            custom_order: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -64,8 +78,14 @@ impl Options {
                 "--order" => {
                     o.order = match it.next().map(String::as_str) {
                         Some("default") => OrderHandle::default_order(),
-                        Some("reverse-int") => OrderHandle::new(ReverseIntOrder),
-                        Some("extended") => OrderHandle::new(ExtendedOrder),
+                        Some("reverse-int") => {
+                            o.custom_order = true;
+                            OrderHandle::new(ReverseIntOrder)
+                        }
+                        Some("extended") => {
+                            o.custom_order = true;
+                            OrderHandle::new(ExtendedOrder)
+                        }
                         other => return Err(format!("bad --order {other:?}")),
                     }
                 }
@@ -77,6 +97,7 @@ impl Options {
                     o.backoff = BackoffPolicy::Exponential { factor: n };
                 }
                 "--loop-entries" => o.loop_entries = true,
+                "--plan" => o.plan_only = true,
                 "--fuel" => {
                     o.fuel = Some(
                         it.next()
@@ -155,6 +176,10 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if opts.plan_only {
+                eprintln!("--plan is only valid with `sct hybrid`");
+                return usage();
+            }
             let mut config = MachineConfig {
                 mode: SemanticsMode::Monitored,
                 order: opts.order,
@@ -177,6 +202,55 @@ fn main() -> ExitCode {
                 m.stats.applications,
                 m.stats.monitored_calls,
                 m.stats.checks,
+                m.stats.max_kont_depth
+            );
+            let out = m.output.clone();
+            report(r, &out)
+        }
+        "hybrid" => {
+            let opts = match Options::parse(&rest[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            // Eager refutation presumes the default order of Figure 5; a
+            // custom monitor order may accept graphs the verifier's order
+            // rejects, so only the proof side of the plan is kept then.
+            let plan_config = PlanConfig {
+                refute: !opts.custom_order,
+                ..PlanConfig::default()
+            };
+            let plan = plan_program(&program, &plan_config);
+            if opts.plan_only {
+                print!("{}", plan.to_json());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("; {plan}");
+            if let Some(err) = refutation_error(&plan) {
+                // [Decision::Refuted]: the monitor would blame this at run
+                // time; the hybrid regime reports it before running.
+                eprintln!("{err} (statically refuted before running)");
+                return ExitCode::FAILURE;
+            }
+            let mut config = MachineConfig {
+                mode: SemanticsMode::Monitored,
+                order: opts.order,
+                fuel: opts.fuel,
+                plan: Some(Rc::new(plan)),
+                ..MachineConfig::monitored(opts.strategy)
+            };
+            config.monitor.backoff = opts.backoff;
+            config.monitor.loop_entries_only = opts.loop_entries;
+            let mut m = Machine::new(&program, config);
+            let r = m.run();
+            eprintln!(
+                "; applications={} monitored={} checks={} static-skips={} max-kont={}",
+                m.stats.applications,
+                m.stats.monitored_calls,
+                m.stats.checks,
+                m.stats.static_skips,
                 m.stats.max_kont_depth
             );
             let out = m.output.clone();

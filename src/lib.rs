@@ -56,6 +56,22 @@
 //! ).unwrap();
 //! assert!(verdict.is_verified());
 //! ```
+//!
+//! Or combine the two regimes — statically discharge what the verifier can
+//! prove, monitor only the residual ([`run_hybrid`]; see
+//! `docs/GUIDE.md` for the full walkthrough):
+//!
+//! ```
+//! use sct_contracts::run_hybrid;
+//!
+//! let v = run_hybrid("
+//!   (define (ack m n)
+//!     (cond [(= 0 m) (+ 1 n)]
+//!           [(= 0 n) (ack (- m 1) 1)]
+//!           [else (ack (- m 1) (ack m (- n 1)))]))
+//!   (ack 2 3)").unwrap();
+//! assert_eq!(v.to_write_string(), "9");
+//! ```
 
 pub use sct_core as core;
 pub use sct_corpus as corpus;
@@ -65,8 +81,15 @@ pub use sct_sexpr as sexpr;
 pub use sct_symbolic as symbolic;
 
 pub use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
+pub use sct_core::plan::{Decision, EnforcementPlan, FnDecision, PlanDomain};
 pub use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Value};
-pub use sct_symbolic::{StaticVerdict, SymDomain, VerifyConfig};
+pub use sct_symbolic::{
+    plan_program, PlanCache, PlanConfig, StaticVerdict, SymDomain, VerifyConfig,
+};
+
+use sct_core::seq::ScViolation;
+use sct_interp::{RtError, ScErrorInfo};
+use std::rc::Rc;
 
 /// Runs a program under the standard semantics — `terminating/c` extents
 /// are monitored, everything else runs unchecked (λCSCT).
@@ -88,6 +111,66 @@ pub fn run(source: &str) -> Result<Value, EvalError> {
 /// As [`run`], plus [`EvalError::Sc`] on any size-change violation.
 pub fn run_monitored(source: &str) -> Result<Value, EvalError> {
     sct_interp::eval_str_monitored(source, TableStrategy::Imperative)
+}
+
+/// Runs a program under the *hybrid* enforcement pipeline: a static
+/// pre-pass ([`plan_program`]) discharges `terminating/c` for every
+/// `define` it can prove, the monitor guards only the residual, and a
+/// statically *refuted* function is reported — with the same blame label
+/// the monitor would produce at run time — before the program runs.
+///
+/// ```
+/// use sct_contracts::run_hybrid;
+///
+/// // sum is statically discharged (nat-guarded): the monitored run skips
+/// // its checks entirely and executes at ~unchecked speed.
+/// let v = run_hybrid(
+///     "(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+///      (sum 1000 0)").unwrap();
+/// assert_eq!(v.to_write_string(), "500500");
+///
+/// // A statically refuted function is blamed before running.
+/// use sct_contracts::EvalError;
+/// let err = run_hybrid(
+///     "(define f (terminating/c (lambda (x) (f x)) \"my-party\")) (f 1)")
+///     .unwrap_err();
+/// assert!(matches!(err, EvalError::Sc(info) if info.blame.as_deref() == Some("my-party")));
+/// ```
+///
+/// # Errors
+///
+/// As [`run_monitored`], plus the eager [`EvalError::Sc`] refutation
+/// report described above.
+pub fn run_hybrid(source: &str) -> Result<Value, EvalError> {
+    let prog = sct_lang::compile_program(source)
+        .map_err(|e| EvalError::Rt(RtError::new(format!("compile error: {e}"))))?;
+    let plan = plan_program(&prog, &PlanConfig::default());
+    if let Some(err) = refutation_error(&plan) {
+        return Err(err);
+    }
+    let config = MachineConfig {
+        plan: Some(Rc::new(plan)),
+        ..MachineConfig::monitored(TableStrategy::Imperative)
+    };
+    Machine::new(&prog, config).run()
+}
+
+/// The eager refutation report for a plan: the first statically refuted
+/// function rendered as the `errorSC` the dynamic monitor would raise —
+/// same violation witness, same function name, same blame label.
+pub fn refutation_error(plan: &EnforcementPlan) -> Option<EvalError> {
+    plan.refuted().next().map(|d| {
+        let Decision::Refuted { witness, culprit } = &d.decision else {
+            unreachable!("refuted() yields only Refuted decisions");
+        };
+        EvalError::Sc(ScErrorInfo {
+            blame: d.blame.as_deref().map(Rc::from),
+            function: culprit.clone(),
+            violation: ScViolation {
+                witness: witness.clone(),
+            },
+        })
+    })
 }
 
 /// Statically verifies that `function` terminates on all inputs in the

@@ -1,0 +1,130 @@
+//! Smoke test for the `docs/GUIDE.md` transcripts: every CLI session the
+//! guide shows is replayed against the real binary and the shown output
+//! asserted (up to values that legitimately vary, like microsecond
+//! timings). A drift between the guide and the implementation fails CI.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn sct(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sct"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawning sct")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn guide_examples_exist() {
+    for f in ["ack.sct", "spin.sct", "sum.sct"] {
+        let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/guide")
+            .join(f);
+        assert!(p.exists(), "guide example missing: {}", p.display());
+    }
+}
+
+/// §2 of the guide: `sct run` and `sct monitor` on ack.
+#[test]
+fn guide_dynamic_ack() {
+    let run = sct(&["run", "examples/guide/ack.sct"]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    assert_eq!(stdout(&run).trim(), "9");
+
+    let mon = sct(&["monitor", "examples/guide/ack.sct"]);
+    assert!(mon.status.success(), "{}", stderr(&mon));
+    assert_eq!(stdout(&mon).trim(), "9");
+    assert!(
+        stderr(&mon).contains("applications=44 monitored=44 checks=44"),
+        "guide counters drifted: {}",
+        stderr(&mon)
+    );
+}
+
+/// §2: the labeled diverging program is stopped with blame at the second
+/// application.
+#[test]
+fn guide_dynamic_spin_blamed() {
+    let mon = sct(&["monitor", "examples/guide/spin.sct"]);
+    assert!(!mon.status.success());
+    let err = stderr(&mon);
+    assert!(err.contains("applications=2"), "{err}");
+    assert!(
+        err.contains("idempotent with no self-descending arc in calls to spin"),
+        "{err}"
+    );
+    assert!(err.contains("blaming spin.sct"), "{err}");
+}
+
+/// §3: static verification of ack with the Figure 9 graph count.
+#[test]
+fn guide_static_verify_ack() {
+    let v = sct(&["verify", "examples/guide/ack.sct", "ack", "nat,nat -> nat"]);
+    assert!(v.status.success(), "{}", stderr(&v));
+    assert_eq!(stdout(&v).trim(), "verified (ack: 2 graphs)");
+}
+
+/// §4: hybrid on sum — statically discharged, zero checks at run time.
+#[test]
+fn guide_hybrid_sum_discharged() {
+    let h = sct(&["hybrid", "examples/guide/sum.sct"]);
+    assert!(h.status.success(), "{}", stderr(&h));
+    assert_eq!(stdout(&h).trim(), "5000050000");
+    let err = stderr(&h);
+    assert!(
+        err.contains("plan: 1 static, 0 monitored, 0 refuted"),
+        "{err}"
+    );
+    assert!(
+        err.contains("monitored=0 checks=0 static-skips=100001"),
+        "guide counters drifted: {err}"
+    );
+
+    // The plain monitor pays for every one of those calls.
+    let mon = sct(&["monitor", "examples/guide/sum.sct"]);
+    assert!(
+        stderr(&mon).contains("monitored=100001 checks=100001"),
+        "{}",
+        stderr(&mon)
+    );
+}
+
+/// §4: the `--plan` JSON dump, with the nat guard the guide explains.
+#[test]
+fn guide_hybrid_plan_json() {
+    let p = sct(&["hybrid", "examples/guide/sum.sct", "--plan"]);
+    assert!(p.status.success(), "{}", stderr(&p));
+    let json = stdout(&p);
+    assert!(json.contains("\"schema\": \"sct-plan/1\""), "{json}");
+    assert!(json.contains("\"name\": \"sum\""), "{json}");
+    assert!(json.contains("\"decision\": \"static\""), "{json}");
+    assert!(json.contains("\"guard\": [\"nat\", \"nat\"]"), "{json}");
+    assert!(
+        json.contains("\"detail\": \"verified (sum: 1 graphs)\""),
+        "{json}"
+    );
+}
+
+/// §4: hybrid refutes spin before running, with the monitor's blame label.
+#[test]
+fn guide_hybrid_spin_refuted_eagerly() {
+    let h = sct(&["hybrid", "examples/guide/spin.sct"]);
+    assert!(!h.status.success());
+    let err = stderr(&h);
+    assert!(
+        err.contains("plan: 0 static, 0 monitored, 1 refuted"),
+        "{err}"
+    );
+    assert!(err.contains("blaming spin.sct"), "{err}");
+    assert!(err.contains("(statically refuted before running)"), "{err}");
+    // Refuted before running: no machine counters were printed.
+    assert!(!err.contains("applications="), "{err}");
+}
