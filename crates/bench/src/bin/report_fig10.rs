@@ -4,7 +4,7 @@
 //! imperative) plus the *hybrid* ablation (static pre-pass discharges
 //! provably terminating functions; the monitor guards only the residual),
 //! and records the sweep as `BENCH_fig10.json` at the repo root so future
-//! PRs can track the performance trajectory (schema `sct-fig10/2` in the
+//! PRs can track the performance trajectory (schema `sct-fig10/3` in the
 //! `sct_bench` crate docs).
 //!
 //! The paper's absolute sizes targeted Racket on the authors' machine; the
@@ -25,9 +25,24 @@
 //! `--fast` is the CI smoke mode: smallest size per workload, one rep;
 //! `--only ID` restricts the sweep to one workload (e.g. `--only ack`).
 
-use sct_bench::{fig10_json, fig10_json_path, CompiledWorkload, Fig10Entry, Setup};
+use sct_bench::{fig10_json, fig10_json_path, CompiledWorkload, Fig10Entry, PlanTiming, Setup};
 use sct_corpus::workloads;
 use std::time::Duration;
+
+/// Median cold/warm planning cost over `reps` measurements (each rep
+/// plans from a fresh cache, then re-plans through it).
+fn median_plan_cost(compiled: &CompiledWorkload, reps: usize) -> (Duration, Duration) {
+    let mut colds = Vec::new();
+    let mut warms = Vec::new();
+    for _ in 0..reps.max(1) {
+        let (cold, warm) = compiled.plan_cost_once();
+        colds.push(cold);
+        warms.push(warm);
+    }
+    colds.sort_unstable();
+    warms.sort_unstable();
+    (colds[colds.len() / 2], warms[warms.len() / 2])
+}
 
 fn sizes_for(id: &str, scale: u64, fast: bool) -> Vec<u64> {
     let base: &[u64] = match id {
@@ -80,6 +95,7 @@ fn main() {
     }
 
     let mut entries: Vec<Fig10Entry> = Vec::new();
+    let mut planning: Vec<PlanTiming> = Vec::new();
     println!("Figure 10 — slowdown of monitoring (times in ms; slowdown vs unchecked)\n");
     for w in workloads::fig10() {
         if only.as_deref().is_some_and(|id| id != w.id) {
@@ -88,8 +104,19 @@ fn main() {
         let label = w.label;
         let id = w.id;
         let compiled = CompiledWorkload::new(w);
+        let (plan_cold, plan_warm) = median_plan_cost(&compiled, reps);
+        planning.push(PlanTiming {
+            workload: id,
+            plan_ms: plan_cold.as_secs_f64() * 1e3,
+            plan_warm_ms: plan_warm.as_secs_f64() * 1e3,
+        });
         println!("== {label} ==");
-        println!("   plan: {}", compiled.plan);
+        println!(
+            "   plan: {}   (pre-pass: cold {}, warm {})",
+            compiled.plan,
+            sct_bench::fmt_ms(plan_cold),
+            sct_bench::fmt_ms(plan_warm)
+        );
         println!(
             "{:>10} {:>12} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9}",
             "n", "unchecked", "cont-mark", "x", "imperative", "x", "hybrid", "x"
@@ -135,7 +162,10 @@ fn main() {
     println!("hybrid shape check: statically discharged workloads (fact, sum, ack) ~1x;");
     println!("residual workloads track the imperative curve.");
 
-    let json = fig10_json(&entries, fast, scale, reps);
+    println!("planning shape check: plan_warm_ms well under plan_ms on every workload");
+    println!("(the memoized pre-pass is what `sct serve` and `--cache-dir` amortize).");
+
+    let json = fig10_json(&entries, &planning, fast, scale, reps);
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
     println!(

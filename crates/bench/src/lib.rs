@@ -15,17 +15,20 @@
 //!
 //! `report_fig10` additionally writes a machine-readable summary to
 //! `BENCH_fig10.json` at the repository root so successive PRs can track
-//! the performance trajectory. The schema (`sct-fig10/2`):
+//! the performance trajectory. The schema (`sct-fig10/3`):
 //!
 //! ```json
 //! {
-//!   "schema": "sct-fig10/2",
+//!   "schema": "sct-fig10/3",
 //!   "fast": false,
 //!   "scale": 1,
 //!   "reps": 3,
 //!   "entries": [
 //!     { "workload": "sum", "setup": "imperative", "n": 8000,
 //!       "median_ns": 5958000, "slowdown": 1.24 }
+//!   ],
+//!   "planning": [
+//!     { "workload": "sum", "plan_ms": 1.207, "plan_warm_ms": 0.164 }
 //!   ]
 //! }
 //! ```
@@ -39,9 +42,20 @@
 //! indicative only. Workload ids and setup labels match [`Setup::label`]
 //! and `sct_corpus::workloads::fig10`.
 //!
-//! Schema history: `sct-fig10/2` added the `"hybrid"` setup rows (the
-//! hybrid enforcement ablation — statically discharged functions skip the
-//! monitor); the per-entry shape is unchanged from `sct-fig10/1`.
+//! `planning` has one entry per workload: `plan_ms` is the median
+//! wall-clock cost of the hybrid pre-pass from a cold [`PlanCache`]
+//! (fresh interner, empty LJB memo), `plan_warm_ms` the median cost of
+//! planning the *same program again in the same process* (the memoized
+//! path a long-running `sct serve` daemon or repeated library use pays).
+//! The perf trajectory therefore tracks planning cost — the paper's
+//! PSPACE-hard pre-pass — alongside run cost, and the warm column pins
+//! the amortization claim: warm must stay well under cold.
+//!
+//! Schema history: `sct-fig10/3` added the top-level `"planning"` array
+//! (cold vs. warm pre-pass cost per workload); `sct-fig10/2` added the
+//! `"hybrid"` setup rows (the hybrid enforcement ablation — statically
+//! discharged functions skip the monitor); the per-entry shape is
+//! unchanged from `sct-fig10/1`.
 //!
 //! # Sweep-control flags
 //!
@@ -58,12 +72,13 @@
 //! * `--reps N` — timed repetitions per point (median reported).
 //! * `--out PATH` — write the JSON somewhere other than the repo root.
 
+use sct_cache::MemStore;
 use sct_core::monitor::TableStrategy;
 use sct_core::plan::EnforcementPlan;
 use sct_corpus::workloads::Workload;
 use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
 use sct_lang::ast::Program;
-use sct_symbolic::{plan_program, PlanConfig, SymDomain};
+use sct_symbolic::{plan_program, plan_program_incremental, PlanCache, PlanConfig, SymDomain};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -128,6 +143,24 @@ pub fn sym_domain(d: sct_corpus::Domain) -> SymDomain {
     }
 }
 
+/// The [`PlanConfig`] a workload is planned under: the default ladder,
+/// with the workload's declared signature pinned when it has one. Shared
+/// by [`CompiledWorkload::new`] and the planning-cost measurements so the
+/// timed pre-pass is exactly the one the hybrid column runs.
+pub fn plan_config_for(workload: &Workload) -> PlanConfig {
+    let mut plan_config = PlanConfig::default();
+    if let Some((domains, result)) = workload.sig {
+        plan_config.signatures.insert(
+            workload.entry.to_string(),
+            (
+                domains.iter().copied().map(sym_domain).collect(),
+                sym_domain(result),
+            ),
+        );
+    }
+    plan_config
+}
+
 impl CompiledWorkload {
     /// Compiles a Figure-10 workload and runs the hybrid pre-pass over it
     /// (pinning the workload's declared signature, when it has one).
@@ -138,22 +171,50 @@ impl CompiledWorkload {
     pub fn new(workload: Workload) -> CompiledWorkload {
         let program = sct_lang::compile_program(&workload.source)
             .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.id));
-        let mut plan_config = PlanConfig::default();
-        if let Some((domains, result)) = workload.sig {
-            plan_config.signatures.insert(
-                workload.entry.to_string(),
-                (
-                    domains.iter().copied().map(sym_domain).collect(),
-                    sym_domain(result),
-                ),
-            );
-        }
+        let plan_config = plan_config_for(&workload);
         let plan = Rc::new(plan_program(&program, &plan_config));
         CompiledWorkload {
             workload,
             program,
             plan,
         }
+    }
+
+    /// Measures the hybrid pre-pass: `(cold, warm)` wall time. Cold plans
+    /// through an empty decision store (every `define` runs the full
+    /// symbolic exploration); warm immediately re-plans the same program
+    /// through the now-populated store — all hits, zero exploration, the
+    /// path a `--cache-dir` re-invocation or the `sct serve` daemon pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the warm replay is not structurally identical to the
+    /// cold plan, or when any define misses on the warm pass — either
+    /// would falsify the incrementality the cache subsystem promises.
+    pub fn plan_cost_once(&self) -> (Duration, Duration) {
+        let config = plan_config_for(&self.workload);
+        let mut cache = PlanCache::new();
+        let mut store = MemStore::new();
+        let t0 = Instant::now();
+        let (cold_plan, cold_stats) =
+            plan_program_incremental(&self.program, &config, &mut cache, &mut store);
+        let cold = t0.elapsed();
+        let t1 = Instant::now();
+        let (warm_plan, warm_stats) =
+            plan_program_incremental(&self.program, &config, &mut cache, &mut store);
+        let warm = t1.elapsed();
+        assert_eq!(
+            (cold_stats.hits(), warm_stats.misses()),
+            (0, 0),
+            "{}: cold must all-miss and warm must all-hit",
+            self.workload.id
+        );
+        assert!(
+            cold_plan.structurally_eq(&warm_plan),
+            "{}: warm re-plan diverged from cold",
+            self.workload.id
+        );
+        (cold, warm)
     }
 
     fn config(&self, setup: Setup) -> MachineConfig {
@@ -244,13 +305,32 @@ pub struct Fig10Entry {
     pub slowdown: f64,
 }
 
-/// Serializes the sweep into the `sct-fig10/2` JSON document (see the
+/// Cold vs. warm pre-pass cost for one workload, as serialized into the
+/// `planning` array of `BENCH_fig10.json` (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct PlanTiming {
+    /// Workload id.
+    pub workload: &'static str,
+    /// Median cold planning cost (fresh [`PlanCache`]), milliseconds.
+    pub plan_ms: f64,
+    /// Median warm re-planning cost (same process, populated cache),
+    /// milliseconds.
+    pub plan_warm_ms: f64,
+}
+
+/// Serializes the sweep into the `sct-fig10/3` JSON document (see the
 /// crate docs for the schema and its history). Hand-rolled because the
 /// workspace builds offline (no serde); all strings involved are static
 /// identifiers needing no escaping.
-pub fn fig10_json(entries: &[Fig10Entry], fast: bool, scale: u64, reps: usize) -> String {
-    let mut out = String::with_capacity(128 + entries.len() * 96);
-    out.push_str("{\n  \"schema\": \"sct-fig10/2\",\n");
+pub fn fig10_json(
+    entries: &[Fig10Entry],
+    planning: &[PlanTiming],
+    fast: bool,
+    scale: u64,
+    reps: usize,
+) -> String {
+    let mut out = String::with_capacity(128 + entries.len() * 96 + planning.len() * 72);
+    out.push_str("{\n  \"schema\": \"sct-fig10/3\",\n");
     out.push_str(&format!("  \"fast\": {fast},\n"));
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -265,6 +345,16 @@ pub fn fig10_json(entries: &[Fig10Entry], fast: bool, scale: u64, reps: usize) -
             e.median_ns,
             e.slowdown,
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"planning\": [\n");
+    for (i, p) in planning.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"plan_ms\": {:.4}, \"plan_warm_ms\": {:.4} }}{}\n",
+            p.workload,
+            p.plan_ms,
+            p.plan_warm_ms,
+            if i + 1 < planning.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

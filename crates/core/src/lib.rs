@@ -68,11 +68,14 @@
 pub mod blame;
 pub mod graph;
 pub mod intern;
+pub mod json;
 pub mod ljb;
 pub mod monitor;
 pub mod order;
 pub mod plan;
+pub mod plan_codec;
 pub mod seq;
+pub mod stable;
 pub mod table;
 
 pub use blame::BlameLabel;
@@ -82,5 +85,7 @@ pub use ljb::{closure_check, ClosureResult};
 pub use monitor::{Backoff, BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
 pub use order::{AbsIntOrder, FnOrder, SizeChange, WellFoundedOrder};
 pub use plan::{Decision, EnforcementPlan, FnDecision, LjbCache, PlanDomain};
+pub use plan_codec::{decode_entry, encode_entry, PortableDecision, PLAN_CODEC_SCHEMA};
 pub use seq::{CallSeq, ScViolation};
+pub use stable::{Digest128, StableHasher};
 pub use table::{FnEntry, MutScTable, ScTable, TableUndo};

@@ -154,6 +154,20 @@ pub struct FnDecision {
     pub micros: u128,
 }
 
+impl FnDecision {
+    /// Structural equality: every field except `micros` (timing is the one
+    /// field that legitimately varies between a fresh computation and a
+    /// cache replay of the same inputs).
+    pub fn structurally_eq(&self, other: &FnDecision) -> bool {
+        self.name == other.name
+            && self.lambda == other.lambda
+            && self.covers == other.covers
+            && self.decision == other.decision
+            && self.blame == other.blame
+            && self.detail == other.detail
+    }
+}
+
 /// The output of the hybrid pre-pass: per-function enforcement decisions
 /// for a whole program. Built by `sct-symbolic`'s `plan_program`, consumed
 /// by the interpreter's `Machine` (fast path) and the `sct hybrid` CLI
@@ -191,6 +205,18 @@ impl EnforcementPlan {
         self.decisions
             .iter()
             .filter(|d| matches!(d.decision, Decision::Refuted { .. }))
+    }
+
+    /// Structural equality of whole plans: same decisions in the same
+    /// order, ignoring only per-entry timing (see
+    /// [`FnDecision::structurally_eq`]).
+    pub fn structurally_eq(&self, other: &EnforcementPlan) -> bool {
+        self.decisions.len() == other.decisions.len()
+            && self
+                .decisions
+                .iter()
+                .zip(&other.decisions)
+                .all(|(a, b)| a.structurally_eq(b))
     }
 
     /// Count of entries with the given decision tag.

@@ -1,0 +1,495 @@
+//! Per-`define` content digests: the cache keys of the persistent plan
+//! store.
+//!
+//! The hybrid pre-pass is deterministic given (a) the `define`'s resolved
+//! AST, (b) the resolved ASTs of every global it can transitively reach,
+//! (c) which of those globals the program `set!`s anywhere (the mutation
+//! taint), (d) the shared symbolic-evaluation prelude (non-λ initializers
+//! and the number of `define`s, which consume the executor's step budget
+//! before exploration starts), and (e) the planner configuration. A
+//! [`ProgramDigests::key`] folds exactly those inputs — plus the codec and
+//! hash-spec versions — into one 128-bit content address, so:
+//!
+//! * editing one `define` changes only the keys of that define and of the
+//!   defines that (transitively) reference it — every untouched define is
+//!   a cache hit;
+//! * the digest never mentions λ ids or global indices (it hashes
+//!   *structure* and *names*), so recompiling an edited file does not
+//!   invalidate entries for structurally identical defines even though
+//!   their λ ids shifted;
+//! * changing any budget, ladder, refutation, or signature knob changes
+//!   every affected key — a cached decision can never be replayed under a
+//!   configuration it was not computed for.
+//!
+//! # Examples
+//!
+//! ```
+//! use sct_lang::compile_program;
+//! use sct_symbolic::digest::ProgramDigests;
+//! use sct_symbolic::pipeline::PlanConfig;
+//!
+//! let p1 = compile_program(
+//!     "(define (dec x) (- x 1))
+//!      (define (f x) (if (zero? x) 0 (f (dec x))))").unwrap();
+//! let p2 = compile_program(
+//!     "(define (dec x) (- x 2))
+//!      (define (f x) (if (zero? x) 0 (f (dec x))))").unwrap();
+//! let cfg = PlanConfig::default();
+//! let (d1, d2) = (ProgramDigests::new(&p1), ProgramDigests::new(&p2));
+//! // f references dec, so editing dec invalidates BOTH keys …
+//! assert_ne!(d1.key(&p1, 0, &cfg), d2.key(&p2, 0, &cfg));
+//! assert_ne!(d1.key(&p1, 1, &cfg), d2.key(&p2, 1, &cfg));
+//! // … while an identical compile reproduces them exactly.
+//! let p1b = compile_program(
+//!     "(define (dec x) (- x 1))
+//!      (define (f x) (if (zero? x) 0 (f (dec x))))").unwrap();
+//! assert_eq!(d1.key(&p1, 1, &cfg), ProgramDigests::new(&p1b).key(&p1b, 1, &cfg));
+//! ```
+
+use crate::pipeline::{MutationMap, PlanConfig};
+use sct_core::plan_codec::PLAN_CODEC_SCHEMA;
+use sct_core::stable::{Digest128, StableHasher, STABLE_HASH_VERSION};
+use sct_lang::ast::{Expr, LambdaDef, Program, TopForm};
+use sct_sexpr::Datum;
+
+/// Structural digests of one compiled [`Program`], computed once and then
+/// queried per `define` via [`ProgramDigests::key`].
+#[derive(Debug)]
+pub struct ProgramDigests {
+    /// Structural hash of each global's define initializer(s), by index.
+    per_global: Vec<Digest128>,
+    /// The shared-prelude digest: define count plus every non-λ
+    /// initializer (those consume executor steps proportional to their
+    /// size before any exploration runs).
+    prelude: Digest128,
+    /// The reference/mutation structure (shared with the pre-pass).
+    mutation: MutationMap,
+}
+
+impl ProgramDigests {
+    /// Walks the program once, hashing every global's initializer(s).
+    pub fn new(program: &Program) -> ProgramDigests {
+        let n = program.global_names.len();
+        let mut hashers: Vec<StableHasher> = (0..n).map(|_| StableHasher::new()).collect();
+        let mut prelude = StableHasher::new();
+        let mut defines = 0u64;
+        for form in &program.top_level {
+            match form {
+                TopForm::Define { index, expr } => {
+                    defines += 1;
+                    hash_expr(expr, program, &mut hashers[*index as usize]);
+                    if !define_is_lambda(expr) {
+                        prelude.write_str(&program.global_names[*index as usize]);
+                        hash_expr(expr, program, &mut prelude);
+                    }
+                }
+                TopForm::Expr(_) => {
+                    // Top-level expressions are not symbolically evaluated
+                    // by the verifier's executor; only their `set!` targets
+                    // matter, and those are in the mutation map.
+                }
+            }
+        }
+        prelude.write_u64(defines);
+        ProgramDigests {
+            per_global: hashers.iter().map(StableHasher::finish128).collect(),
+            prelude: prelude.finish128(),
+            mutation: MutationMap::build(program),
+        }
+    }
+
+    /// The mutation/reference structure (reused by the pre-pass so the
+    /// program is walked once, not twice).
+    pub(crate) fn mutation(&self) -> &MutationMap {
+        &self.mutation
+    }
+
+    /// The content-address key for planning global `index` under `config`:
+    /// a 32-hex-character digest committing to everything the decision can
+    /// depend on (see the module docs). Equivalent to
+    /// [`ProgramDigests::key_at`] with occurrence 0 — callers planning a
+    /// program with shadowed (re-`define`d) names must use `key_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range for the program the digests
+    /// were built from.
+    pub fn key(&self, program: &Program, index: u32, config: &PlanConfig) -> String {
+        self.key_at(program, index, 0, config)
+    }
+
+    /// [`ProgramDigests::key`] for the `occurrence`-th `define` form of
+    /// `index` (0-based, program order). The per-global structural hash
+    /// covers *all* defines of a name, but a shadowed name yields one
+    /// decision per form — the occurrence count keeps those entries from
+    /// aliasing each other in the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range for the program the digests
+    /// were built from.
+    pub fn key_at(
+        &self,
+        program: &Program,
+        index: u32,
+        occurrence: u32,
+        config: &PlanConfig,
+    ) -> String {
+        let name = &program.global_names[index as usize];
+        let mut h = StableHasher::new();
+        // Version pins: either bump invalidates every persisted entry.
+        h.write_u32(STABLE_HASH_VERSION);
+        h.write_str(PLAN_CODEC_SCHEMA);
+        // The define itself.
+        h.write_str(name);
+        h.write_u32(occurrence);
+        let own = self.per_global[index as usize];
+        h.write_u64(own.hi);
+        h.write_u64(own.lo);
+        // Everything reachable from it: (name, structural hash, mutated?)
+        // triples in deterministic (index) order. The mutated bit folds the
+        // whole-program `set!` footprint into the key, so adding a `set!`
+        // anywhere re-keys exactly the defines it taints.
+        for i in self.mutation.reachable_from(index) {
+            h.write_str(&program.global_names[i as usize]);
+            let d = self.per_global[i as usize];
+            h.write_u64(d.hi);
+            h.write_u64(d.lo);
+            h.write_u8(u8::from(self.mutation.is_mutated(i)));
+        }
+        // The shared evaluation prelude (see module docs).
+        h.write_u64(self.prelude.hi);
+        h.write_u64(self.prelude.lo);
+        // The planner configuration, as it applies to this define.
+        hash_config(config, name, &mut h);
+        h.finish128().to_hex()
+    }
+}
+
+/// True when the initializer is a λ, possibly under `terminating/c`
+/// wrappers — the cheap-to-evaluate case the prelude digest may skip.
+fn define_is_lambda(expr: &Expr) -> bool {
+    let mut e = expr;
+    loop {
+        match e {
+            Expr::TermC { body, .. } => e = body,
+            Expr::Lambda(_) => return true,
+            _ => return false,
+        }
+    }
+}
+
+fn hash_config(config: &PlanConfig, name: &str, h: &mut StableHasher) {
+    h.write_u64(config.verify.exec.step_budget);
+    h.write_u64(config.verify.exec.max_outcomes as u64);
+    h.write_u32(config.verify.exec.havoc_budget);
+    h.write_u64(config.verify.exec.max_chain as u64);
+    h.write_u32(config.verify.result_havoc_depth);
+    h.write_u64(config.verify.ljb_cap as u64);
+    match config.time_budget {
+        Some(d) => {
+            h.write_u8(1);
+            h.write_u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_u8(u8::from(config.nat_ladder));
+    h.write_u8(u8::from(config.refute));
+    // Only this define's pinned signature participates: the ladder
+    // consults `signatures` solely for the entry name.
+    match config.signatures.get(name) {
+        Some((domains, result)) => {
+            h.write_u8(1);
+            h.write_u64(domains.len() as u64);
+            for d in domains {
+                h.write_u8(domain_tag(*d));
+            }
+            h.write_u8(domain_tag(*result));
+        }
+        None => h.write_u8(0),
+    }
+}
+
+fn domain_tag(d: crate::exec::SymDomain) -> u8 {
+    match d {
+        crate::exec::SymDomain::Nat => 1,
+        crate::exec::SymDomain::Pos => 2,
+        crate::exec::SymDomain::Int => 3,
+        crate::exec::SymDomain::List => 4,
+        crate::exec::SymDomain::Any => 5,
+    }
+}
+
+/// Hashes an expression structurally: tags per variant, names instead of
+/// global indices, and *no λ ids* — two compiles of structurally equal
+/// code digest identically even when ids differ.
+fn hash_expr(e: &Expr, program: &Program, h: &mut StableHasher) {
+    match e {
+        Expr::Quote(d) => {
+            h.write_u8(1);
+            hash_datum(d, h);
+        }
+        Expr::Var(v) => {
+            h.write_u8(2);
+            h.write_u32(u32::from(v.depth));
+            h.write_u32(u32::from(v.slot));
+        }
+        Expr::Global(i) => {
+            h.write_u8(3);
+            h.write_str(&program.global_names[*i as usize]);
+        }
+        Expr::PrimRef(p) => {
+            h.write_u8(4);
+            h.write_str(&format!("{p:?}"));
+        }
+        Expr::Lambda(def) => {
+            h.write_u8(5);
+            hash_lambda(def, program, h);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            h.write_u8(6);
+            hash_expr(cond, program, h);
+            hash_expr(then_branch, program, h);
+            hash_expr(else_branch, program, h);
+        }
+        Expr::App { func, args } => {
+            h.write_u8(7);
+            hash_expr(func, program, h);
+            h.write_u64(args.len() as u64);
+            for a in args.iter() {
+                hash_expr(a, program, h);
+            }
+        }
+        Expr::Seq(exprs) => {
+            h.write_u8(8);
+            h.write_u64(exprs.len() as u64);
+            for x in exprs.iter() {
+                hash_expr(x, program, h);
+            }
+        }
+        Expr::SetLocal { var, value } => {
+            h.write_u8(9);
+            h.write_u32(u32::from(var.depth));
+            h.write_u32(u32::from(var.slot));
+            hash_expr(value, program, h);
+        }
+        Expr::SetGlobal { index, value } => {
+            h.write_u8(10);
+            h.write_str(&program.global_names[*index as usize]);
+            hash_expr(value, program, h);
+        }
+        Expr::Let { inits, body } => {
+            h.write_u8(11);
+            h.write_u64(inits.len() as u64);
+            for i in inits.iter() {
+                hash_expr(i, program, h);
+            }
+            hash_expr(body, program, h);
+        }
+        Expr::LetRec { inits, body } => {
+            h.write_u8(12);
+            h.write_u64(inits.len() as u64);
+            for i in inits.iter() {
+                hash_expr(i, program, h);
+            }
+            hash_expr(body, program, h);
+        }
+        Expr::TermC { body, label } => {
+            h.write_u8(13);
+            h.write_str(label);
+            hash_expr(body, program, h);
+        }
+    }
+}
+
+fn hash_lambda(def: &LambdaDef, program: &Program, h: &mut StableHasher) {
+    // Deliberately NOT def.id (compile-run-specific). The name hint feeds
+    // display strings in decision details, so it participates.
+    match &def.name {
+        Some(n) => {
+            h.write_u8(1);
+            h.write_str(n);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_u32(u32::from(def.params));
+    h.write_u8(u8::from(def.variadic));
+    h.write_u64(def.free.len() as u64);
+    for v in &def.free {
+        h.write_u32(u32::from(v.depth));
+        h.write_u32(u32::from(v.slot));
+    }
+    hash_expr(&def.body, program, h);
+}
+
+fn hash_datum(d: &Datum, h: &mut StableHasher) {
+    match d {
+        Datum::Int(i) => {
+            h.write_u8(1);
+            h.write_i64(*i);
+        }
+        Datum::BigInt(s) => {
+            h.write_u8(2);
+            h.write_str(s);
+        }
+        Datum::Bool(b) => {
+            h.write_u8(3);
+            h.write_u8(u8::from(*b));
+        }
+        Datum::Char(c) => {
+            h.write_u8(4);
+            h.write_u32(*c as u32);
+        }
+        Datum::Str(s) => {
+            h.write_u8(5);
+            h.write_str(s);
+        }
+        Datum::Sym(s) => {
+            h.write_u8(6);
+            h.write_str(s);
+        }
+        Datum::List(items) => {
+            h.write_u8(7);
+            h.write_u64(items.len() as u64);
+            for i in items {
+                hash_datum(i, h);
+            }
+        }
+        Datum::Improper(items, tail) => {
+            h.write_u8(8);
+            h.write_u64(items.len() as u64);
+            for i in items {
+                hash_datum(i, h);
+            }
+            hash_datum(tail, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_lang::compile_program;
+
+    fn keys(src: &str, cfg: &PlanConfig) -> Vec<(String, String)> {
+        let p = compile_program(src).unwrap();
+        let d = ProgramDigests::new(&p);
+        (0..p.global_names.len() as u32)
+            .map(|i| (p.global_names[i as usize].clone(), d.key(&p, i, cfg)))
+            .collect()
+    }
+
+    const TWO: &str = "(define (inc x) (+ x 1))
+                       (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))";
+
+    #[test]
+    fn identical_compiles_agree() {
+        let cfg = PlanConfig::default();
+        assert_eq!(keys(TWO, &cfg), keys(TWO, &cfg));
+    }
+
+    #[test]
+    fn editing_one_define_rekeys_only_it() {
+        let cfg = PlanConfig::default();
+        let before = keys(TWO, &cfg);
+        let after = keys(
+            "(define (inc x) (+ x 2))
+             (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))",
+            &cfg,
+        );
+        assert_ne!(before[0].1, after[0].1, "inc changed");
+        assert_eq!(before[1].1, after[1].1, "sum untouched: key must survive");
+    }
+
+    #[test]
+    fn editing_a_referenced_helper_rekeys_dependents() {
+        let cfg = PlanConfig::default();
+        let before = keys(
+            "(define (dec x) (- x 1))
+             (define (f x) (if (zero? x) 0 (f (dec x))))",
+            &cfg,
+        );
+        let after = keys(
+            "(define (dec x) (- x 2))
+             (define (f x) (if (zero? x) 0 (f (dec x))))",
+            &cfg,
+        );
+        assert_ne!(before[0].1, after[0].1);
+        assert_ne!(before[1].1, after[1].1, "f reads dec: must be re-keyed");
+    }
+
+    #[test]
+    fn set_bang_anywhere_rekeys_tainted_defines() {
+        let cfg = PlanConfig::default();
+        let before = keys(TWO, &cfg);
+        let after = keys(
+            "(define (inc x) (+ x 1))
+             (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+             (set! inc (lambda (x) x))",
+            &cfg,
+        );
+        assert_ne!(before[0].1, after[0].1, "inc is now mutated");
+        assert_eq!(
+            before[1].1, after[1].1,
+            "sum never touches inc; its key survives the set!"
+        );
+    }
+
+    #[test]
+    fn config_changes_rekey() {
+        let base = PlanConfig::default();
+        let no_ladder = PlanConfig {
+            nat_ladder: false,
+            ..PlanConfig::default()
+        };
+        let mut small_fuel = PlanConfig::default();
+        small_fuel.verify.exec.step_budget = 7;
+        let mut pinned = PlanConfig::default();
+        pinned.signatures.insert(
+            "sum".into(),
+            (
+                vec![crate::exec::SymDomain::Nat, crate::exec::SymDomain::Nat],
+                crate::exec::SymDomain::Nat,
+            ),
+        );
+        let k = |cfg: &PlanConfig| keys(TWO, cfg)[1].1.clone();
+        let baseline = k(&base);
+        assert_ne!(baseline, k(&no_ladder));
+        assert_ne!(baseline, k(&small_fuel));
+        assert_ne!(baseline, k(&pinned));
+        // A signature pinned to a *different* define leaves sum's key alone.
+        let mut other_pinned = PlanConfig::default();
+        other_pinned.signatures.insert(
+            "inc".into(),
+            (
+                vec![crate::exec::SymDomain::Nat],
+                crate::exec::SymDomain::Nat,
+            ),
+        );
+        assert_eq!(baseline, k(&other_pinned));
+    }
+
+    #[test]
+    fn variable_slot_changes_rekey() {
+        // Regression for the write_u32 tag collision: these two bodies
+        // differ only in which parameter guards the recursion (Var slot 0
+        // vs slot 2), and once digested to the SAME key — replaying the
+        // old decision after such an edit would skip re-verification.
+        let cfg = PlanConfig::default();
+        let a = keys("(define (h a b c) (if (zero? a) 0 (h (- a 1) b c)))", &cfg);
+        let b = keys("(define (h a b c) (if (zero? c) 0 (h (- a 1) b c)))", &cfg);
+        assert_ne!(a[0].1, b[0].1, "slot-0 vs slot-2 guard must re-key");
+    }
+
+    #[test]
+    fn renaming_a_define_rekeys_it() {
+        let cfg = PlanConfig::default();
+        let a = keys("(define (f x) x)", &cfg);
+        let b = keys("(define (g x) x)", &cfg);
+        assert_ne!(a[0].1, b[0].1);
+    }
+}

@@ -38,6 +38,7 @@
 
 #![deny(missing_docs)]
 
+pub mod digest;
 pub mod exec;
 pub mod linear;
 pub mod pipeline;
@@ -45,9 +46,13 @@ pub mod solver;
 pub mod sym;
 pub mod verify;
 
+pub use digest::ProgramDigests;
 pub use exec::{ExecConfig, Executor, SymDomain};
 pub use linear::{entails, unsat, Lin, LinCon};
-pub use pipeline::{plan_program, plan_program_with_cache, PlanCache, PlanConfig};
+pub use pipeline::{
+    plan_program, plan_program_incremental, plan_program_subset, plan_program_with_cache,
+    DecisionStore, IncrementalStats, NullStore, PlanCache, PlanConfig,
+};
 pub use solver::Solver;
 pub use sym::{AtomKind, Path, SValue};
 pub use verify::{explore_function, verify_function, Exploration, StaticVerdict, VerifyConfig};

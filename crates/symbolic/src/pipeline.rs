@@ -65,12 +65,15 @@
 //! assert!(guard.is_some());
 //! ```
 
+use crate::digest::ProgramDigests;
 use crate::exec::SymDomain;
 use crate::verify::{explore_with_names, lambda_names, Exploration, VerifyConfig};
 use sct_core::plan::{CheckedClosure, Decision, EnforcementPlan, FnDecision, PlanDomain};
+use sct_core::plan_codec::PortableDecision;
 use sct_core::ScGraph;
 use sct_lang::ast::{Expr, LambdaDef, LambdaId, Program, TopForm};
 use std::collections::HashMap;
+use std::fmt;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -154,11 +157,156 @@ pub fn plan_program_with_cache(
     config: &PlanConfig,
     cache: &mut PlanCache,
 ) -> EnforcementPlan {
+    plan_program_incremental(program, config, cache, &mut NullStore).0
+}
+
+/// A persistence back end for per-`define` enforcement decisions, keyed by
+/// the content address of [`ProgramDigests::key_at`](crate::digest::ProgramDigests).
+/// `sct-cache` provides the on-disk implementation; [`NullStore`] turns
+/// persistence off.
+///
+/// Contract: `load(key)` may return an entry only if it was previously
+/// `store`d under exactly `key` (content addressing makes the entry valid
+/// for every compile that reproduces the key). A store is free to lose
+/// entries at any time — a lost entry is a recompute, never an error.
+pub trait DecisionStore {
+    /// Fetch the entry persisted under `key`, if any survives (decodable,
+    /// right schema version).
+    fn load(&mut self, key: &str) -> Option<PortableDecision>;
+    /// Persist `entry` under `key`. Failures must be swallowed (a cache
+    /// that cannot write degrades to recompute-every-time).
+    fn store(&mut self, key: &str, entry: &PortableDecision);
+    /// False when this store never hits and never persists ([`NullStore`]):
+    /// the planner then skips content-address computation entirely, so
+    /// non-persistent planning pays no digest overhead.
+    fn wants_keys(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op [`DecisionStore`]: never hits, never persists.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullStore;
+
+impl DecisionStore for NullStore {
+    fn load(&mut self, _key: &str) -> Option<PortableDecision> {
+        None
+    }
+    fn store(&mut self, _key: &str, _entry: &PortableDecision) {}
+    fn wants_keys(&self) -> bool {
+        false
+    }
+}
+
+/// Per-run accounting of [`plan_program_incremental`]: which `define`s
+/// were answered from the store and which had to be re-verified.
+#[derive(Debug, Default, Clone)]
+pub struct IncrementalStats {
+    /// `(define name, hit?)` in program order, one entry per decision.
+    pub defines: Vec<(String, bool)>,
+}
+
+impl IncrementalStats {
+    /// Number of decisions answered from the store.
+    pub fn hits(&self) -> usize {
+        self.defines.iter().filter(|(_, hit)| *hit).count()
+    }
+
+    /// Number of decisions that ran the verifier.
+    pub fn misses(&self) -> usize {
+        self.defines.len() - self.hits()
+    }
+
+    /// Names of the `define`s that were re-verified (the misses), in
+    /// program order.
+    pub fn missed_names(&self) -> Vec<&str> {
+        self.defines
+            .iter()
+            .filter(|(_, hit)| !*hit)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for IncrementalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache: {} hits, {} misses", self.hits(), self.misses())
+    }
+}
+
+/// [`plan_program_with_cache`] with a persistent [`DecisionStore`]: every
+/// `define` is first looked up by its content address
+/// ([`ProgramDigests`] key — resolved AST +
+/// reachable defines + mutation taint + planner config + codec version);
+/// hits replay the persisted decision (λ ids rebound to the current
+/// compile), misses run the verifier and persist the result. Editing one
+/// `define` therefore re-verifies only that define and its (transitive)
+/// referers; everything untouched is a hit.
+pub fn plan_program_incremental(
+    program: &Program,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    store: &mut dyn DecisionStore,
+) -> (EnforcementPlan, IncrementalStats) {
     let mut plan = EnforcementPlan::new();
+    let mut stats = IncrementalStats::default();
+    for (_, decision, hit) in plan_positions(program, config, cache, store, &mut |_| true) {
+        stats.defines.push((decision.name.clone(), hit));
+        plan.decisions.push(decision);
+    }
+    (plan, stats)
+}
+
+/// Plans only the `define` forms at the given `top_level` positions
+/// (program-order indices into [`Program::top_level`]), returning
+/// `(position, decision, hit?)` triples. Positions that are not λ-bound
+/// `define`s are skipped silently, exactly as [`plan_program`] skips them.
+///
+/// This is the fan-out primitive of the `sct serve` daemon: each worker
+/// thread compiles the program itself (the AST is thread-local by design)
+/// and plans a disjoint slice of positions against a shared
+/// [`DecisionStore`], and since the cache keys depend only on program
+/// *content*, every worker derives identical keys.
+pub fn plan_program_subset(
+    program: &Program,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    store: &mut dyn DecisionStore,
+    positions: &[usize],
+) -> Vec<(usize, FnDecision, bool)> {
+    plan_positions(program, config, cache, store, &mut |pos| {
+        positions.contains(&pos)
+    })
+}
+
+/// The shared walk behind [`plan_program_incremental`] and
+/// [`plan_program_subset`]: visits every `define` form (keeping the
+/// occurrence counters exact), plans the ones `filter` admits.
+fn plan_positions(
+    program: &Program,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    store: &mut dyn DecisionStore,
+    filter: &mut dyn FnMut(usize) -> bool,
+) -> Vec<(usize, FnDecision, bool)> {
+    let mut out = Vec::new();
     // One AST walk for λ display names, shared by every attempt below.
     let names = Rc::new(lambda_names(program));
-    let mutation = MutationMap::build(program);
-    for form in &program.top_level {
+    // Content addressing costs a structural hash of the whole program;
+    // skip it when the store cannot use keys anyway (NullStore).
+    let digests = store.wants_keys().then(|| ProgramDigests::new(program));
+    let mutation_owned;
+    let mutation = match &digests {
+        Some(d) => d.mutation(),
+        None => {
+            mutation_owned = MutationMap::build(program);
+            &mutation_owned
+        }
+    };
+    // Occurrence counter per global: a shadowed name yields one decision
+    // per `define` form, and those must not alias in the store.
+    let mut occurrence: HashMap<u32, u32> = HashMap::new();
+    for (pos, form) in program.top_level.iter().enumerate() {
         let TopForm::Define { index, expr } = form else {
             continue;
         };
@@ -167,43 +315,71 @@ pub fn plan_program_with_cache(
             Some(pair) => pair,
             None => continue,
         };
+        let occ = occurrence.entry(*index).or_insert(0);
+        let this_occ = *occ;
+        *occ += 1;
+        if !filter(pos) {
+            continue;
+        }
+        let key = digests
+            .as_ref()
+            .map(|d| d.key_at(program, *index, this_occ, config));
+        let nested = nested_lambda_ids(def);
+        if let Some(key) = &key {
+            if let Some(portable) = store.load(key) {
+                // The content address commits to the define's structure,
+                // so a rebind failure can only mean corruption — fall
+                // through to recompute.
+                if let Some(decision) = portable.rebind(def.id, &nested) {
+                    out.push((pos, decision, true));
+                    continue;
+                }
+            }
+        }
         // A proof is only as durable as the bindings it reads: if this
         // function can (transitively) reach a global that *anything* in
         // the program `set!`s, a later rebinding could invalidate the
         // discharge at run time — e.g. a helper swapped for one that no
         // longer descends. Such functions stay monitored.
-        if let Some(reason) = mutation.taints(*index) {
-            plan.decisions.push(FnDecision {
-                name: name.to_string(),
-                lambda: def.id,
-                covers: Vec::new(),
-                decision: Decision::Monitor {
-                    reason: reason.clone(),
+        let (decision, cacheable) = if let Some(reason) = mutation.taints(*index) {
+            (
+                FnDecision {
+                    name: name.to_string(),
+                    lambda: def.id,
+                    covers: Vec::new(),
+                    decision: Decision::Monitor {
+                        reason: reason.clone(),
+                    },
+                    blame,
+                    detail: reason,
+                    micros: 0,
                 },
-                blame,
-                detail: reason,
-                micros: 0,
-            });
-            continue;
+                true,
+            )
+        } else {
+            plan_function(program, name, def, blame, config, cache, names.clone())
+        };
+        // A decision reached only because the wall clock truncated the
+        // ladder depends on machine load, not on the inputs the key
+        // commits to: persisting it would pin a slow moment's pessimism
+        // forever (the same reasoning that forbids refuting on a
+        // truncated ladder). Recompute it next time instead.
+        if cacheable {
+            if let Some(key) = &key {
+                store.store(key, &PortableDecision::from_decision(&decision, &nested));
+            }
         }
-        plan.decisions.push(plan_function(
-            program,
-            name,
-            def,
-            blame,
-            config,
-            cache,
-            names.clone(),
-        ));
+        out.push((pos, decision, false));
     }
-    plan
+    out
 }
 
 /// Which globals the program mutates (`set!` anywhere — top level, define
 /// initializers, nested λs), plus the static global-reference graph, so
 /// the pre-pass can refuse to discharge any function whose proof could be
 /// invalidated by a run-time rebinding.
-struct MutationMap {
+#[derive(Debug)]
+pub(crate) struct MutationMap {
     /// `refs[i]` = globals referenced (read or written) by global `i`'s
     /// defining expression(s); every `define` of the index contributes.
     refs: Vec<Vec<u32>>,
@@ -213,7 +389,7 @@ struct MutationMap {
 }
 
 impl MutationMap {
-    fn build(program: &Program) -> MutationMap {
+    pub(crate) fn build(program: &Program) -> MutationMap {
         let n = program.global_names.len();
         let mut refs: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut mutated = vec![false; n];
@@ -237,6 +413,29 @@ impl MutationMap {
             mutated,
             names: program.global_names.clone(),
         }
+    }
+
+    /// The set of globals reachable from `index` through static references
+    /// (including `index` itself), sorted by index — the deterministic
+    /// basis of the per-define cache key.
+    pub(crate) fn reachable_from(&self, index: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.refs.len()];
+        let mut stack = vec![index];
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i as usize], true) {
+                continue;
+            }
+            out.push(i);
+            stack.extend(self.refs[i as usize].iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True when global `i` is a `set!` target anywhere in the program.
+    pub(crate) fn is_mutated(&self, i: u32) -> bool {
+        self.mutated[i as usize]
     }
 
     /// If global `index` can transitively reach a mutated global, the
@@ -441,7 +640,7 @@ fn plan_function(
     config: &PlanConfig,
     cache: &mut PlanCache,
     names: Rc<HashMap<LambdaId, String>>,
-) -> FnDecision {
+) -> (FnDecision, bool) {
     let start = Instant::now();
     let base = FnDecision {
         name: name.to_string(),
@@ -464,7 +663,7 @@ fn plan_function(
         let mut d = base;
         d.detail = reason.clone();
         d.decision = Decision::Monitor { reason };
-        return finish(d);
+        return (finish(d), true);
     }
 
     let params = def.params as usize;
@@ -494,9 +693,13 @@ fn plan_function(
     let mut violations: Vec<(ScGraph, String, bool)> = Vec::new();
     let mut last_reason = String::new();
     let mut attempts = 0usize;
+    // Whether the wall clock cut the ladder short: such a decision
+    // reflects machine load, so the caller must not persist it.
+    let mut truncated = false;
     for (domains, result) in &candidates {
         if let Some(budget) = config.time_budget {
             if attempts > 0 && start.elapsed() > budget {
+                truncated = true;
                 last_reason = format!(
                     "time budget ({}ms) exhausted after {attempts} attempt(s)",
                     budget.as_millis()
@@ -536,7 +739,7 @@ fn plan_function(
                 }
                 d.decision = Decision::Static { guard };
                 d.detail = detail;
-                return finish(d);
+                return (finish(d), true);
             }
             Attempt::Violation {
                 witness,
@@ -584,7 +787,7 @@ fn plan_function(
             reason: last_reason,
         };
     }
-    finish(d)
+    (finish(d), !truncated)
 }
 
 fn plan_domain(d: SymDomain) -> PlanDomain {
@@ -737,6 +940,54 @@ mod tests {
             panic!("{:?}", plan.decisions[0].decision);
         };
         assert_eq!(guard, &vec![PlanDomain::Nat, PlanDomain::Int]);
+    }
+
+    /// A map-backed [`DecisionStore`] for tests (sct-cache's MemStore
+    /// lives downstream of this crate).
+    #[derive(Default)]
+    struct TestStore {
+        map: HashMap<String, PortableDecision>,
+    }
+
+    impl DecisionStore for TestStore {
+        fn load(&mut self, key: &str) -> Option<PortableDecision> {
+            self.map.get(key).cloned()
+        }
+        fn store(&mut self, key: &str, entry: &PortableDecision) {
+            self.map.insert(key.to_string(), entry.clone());
+        }
+    }
+
+    #[test]
+    fn budget_truncated_decisions_are_not_persisted() {
+        // A Monitor verdict reached because the wall clock cut the ladder
+        // short reflects machine load, not program content: persisting it
+        // would pin one slow moment's pessimism under a key that future
+        // (fast) runs reproduce. It must recompute instead.
+        let prog =
+            compile_program("(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))")
+                .unwrap();
+        let truncated_cfg = PlanConfig {
+            time_budget: Some(Duration::ZERO),
+            ..PlanConfig::default()
+        };
+        let mut store = TestStore::default();
+        let (plan, _) =
+            plan_program_incremental(&prog, &truncated_cfg, &mut PlanCache::new(), &mut store);
+        assert_eq!(plan.count("monitor"), 1, "{:?}", plan.decisions);
+        assert!(
+            store.map.is_empty(),
+            "load-dependent decision must not be cached"
+        );
+        // An untruncated run persists as usual.
+        let (_, stats) = plan_program_incremental(
+            &prog,
+            &PlanConfig::default(),
+            &mut PlanCache::new(),
+            &mut store,
+        );
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(store.map.len(), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! sct hybrid <file.sct> [--plan] [options] # static pre-pass + residual monitor
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
+//! sct serve [--socket PATH] [--cache-dir DIR] [--threads N]
 //! ```
 //!
 //! Options for `monitor`/`trace`/`hybrid`:
@@ -14,34 +15,58 @@
 //!   --backoff N                   exponential backoff factor
 //!   --loop-entries                monitor loop entries only
 //!   --fuel N                      step budget
+//!   --cache-dir DIR               (hybrid) persistent plan cache
 //!
 //! `hybrid` first plans the program: every `define` is run through the §4
 //! verifier (with a fuel budget); proved functions skip the monitor at run
 //! time, refuted ones are reported — with blame — before running, and the
 //! rest stay monitored. `--plan` prints the decisions as `sct-plan/1` JSON
 //! (schema in `sct_core::plan::EnforcementPlan::to_json`) instead of
-//! running.
+//! running. With `--cache-dir`, decisions persist across invocations
+//! (content-addressed `sct-plan/2` entries; see `sct-cache`) and a
+//! `; cache: H hits, M misses` line reports the reuse.
+//!
+//! `serve` starts the long-running daemon: newline-delimited JSON
+//! requests (`plan`, `run`, `hybrid`, `stats`, `shutdown`) over stdio or
+//! a Unix socket, planning fanned out across a warm worker pool — see
+//! `sct_contracts::serve` for the wire protocol.
 //!
 //! `verify` signatures: a comma-separated parameter domain list and an
 //! optional `-> result` domain, e.g. `nat,nat -> nat` (domains: nat, pos,
 //! int, list, any; default any).
+//!
+//! Exit codes, uniform across subcommands: `0` success; `1` the program
+//! (or verification obligation) failed — a size-change blame, a static
+//! refutation, a runtime error, `not verified`; `2` usage or I/O — bad
+//! flags, unreadable files, compile errors, bind failures.
 
 use sct_contracts::interp::{ExtendedOrder, OrderHandle, ReverseIntOrder};
+use sct_contracts::serve::{serve_stdio, serve_unix, ServeOptions, Server};
 use sct_contracts::{
-    plan_program, refutation_error, BackoffPolicy, EvalError, Machine, MachineConfig, PlanConfig,
-    SemanticsMode, SymDomain, TableStrategy, VerifyConfig,
+    plan_program_incremental, refutation_error, BackoffPolicy, DiskCache, EvalError, Machine,
+    MachineConfig, PlanCache, PlanConfig, SemanticsMode, SymDomain, TableStrategy, VerifyConfig,
 };
+use sct_symbolic::NullStore as SymNullStore;
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Success.
+const EXIT_OK: u8 = 0;
+/// The program or obligation failed (blame, refutation, runtime error).
+const EXIT_FAIL: u8 = 1;
+/// Usage or I/O problem (flags, files, compile, bind).
+const EXIT_USAGE: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sct run <file>\n  sct monitor <file> [--strategy imperative|cm] \
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
-         sct hybrid <file> [--plan] [monitor options]\n  \
-         sct verify <file> <function> [domains [-> result]]\n  sct trace <file>"
+         sct hybrid <file> [--plan] [--cache-dir DIR] [monitor options]\n  \
+         sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
+         sct serve [--socket PATH] [--cache-dir DIR] [--threads N]"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 struct Options {
@@ -52,6 +77,7 @@ struct Options {
     fuel: Option<u64>,
     plan_only: bool,
     custom_order: bool,
+    cache_dir: Option<String>,
 }
 
 impl Options {
@@ -64,6 +90,7 @@ impl Options {
             fuel: None,
             plan_only: false,
             custom_order: false,
+            cache_dir: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -105,10 +132,28 @@ impl Options {
                             .ok_or("bad --fuel value")?,
                     )
                 }
+                "--cache-dir" => {
+                    o.cache_dir = Some(it.next().ok_or("missing --cache-dir value")?.clone())
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
         Ok(o)
+    }
+
+    /// The monitored-run machine configuration all of `monitor`, `trace`,
+    /// and `hybrid` share (the former duplicated setup blocks).
+    fn machine_config(&self, trace: bool) -> MachineConfig {
+        let mut config = MachineConfig {
+            mode: SemanticsMode::Monitored,
+            order: self.order.clone(),
+            fuel: self.fuel,
+            trace,
+            ..MachineConfig::monitored(self.strategy)
+        };
+        config.monitor.backoff = self.backoff;
+        config.monitor.loop_entries_only = self.loop_entries;
+        config
     }
 }
 
@@ -123,16 +168,104 @@ fn parse_domain(s: &str) -> Result<SymDomain, String> {
     }
 }
 
+/// Prints buffered program output plus the result; exit 0 on a value,
+/// 1 on any evaluation error (blame included).
 fn report(result: Result<sct_contracts::Value, EvalError>, output: &str) -> ExitCode {
     print!("{output}");
     match result {
         Ok(v) => {
             println!("{}", v.to_write_string());
-            ExitCode::SUCCESS
+            ExitCode::from(EXIT_OK)
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_FAIL)
+        }
+    }
+}
+
+/// Runs the machine and prints the shared `; applications=… …` counter
+/// line (with the hybrid-only `static-skips` column when a plan is
+/// active), then reports the result.
+fn run_and_report(program: &sct_contracts::lang::ast::Program, config: MachineConfig) -> ExitCode {
+    let hybrid = config.plan.is_some();
+    let trace = config.trace;
+    let mut m = Machine::new(program, config);
+    let r = m.run();
+    if trace {
+        for e in &m.trace_events {
+            let graph = e.graph.as_deref().unwrap_or("[table seeded]");
+            println!("({} {})    {}", e.function, e.args.join(" "), graph);
+        }
+    }
+    if hybrid {
+        eprintln!(
+            "; applications={} monitored={} checks={} static-skips={} max-kont={}",
+            m.stats.applications,
+            m.stats.monitored_calls,
+            m.stats.checks,
+            m.stats.static_skips,
+            m.stats.max_kont_depth
+        );
+    } else {
+        eprintln!(
+            "; applications={} monitored={} checks={} max-kont={}",
+            m.stats.applications, m.stats.monitored_calls, m.stats.checks, m.stats.max_kont_depth
+        );
+    }
+    let out = m.output.clone();
+    report(r, &out)
+}
+
+fn serve_cmd(rest: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut options = ServeOptions::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => {
+                    eprintln!("missing --socket value");
+                    return usage();
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => options.cache_dir = Some(d.into()),
+                None => {
+                    eprintln!("missing --cache-dir value");
+                    return usage();
+                }
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => options.threads = n,
+                None => {
+                    eprintln!("bad --threads value");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::new(options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let served = match socket {
+        Some(path) => serve_unix(Arc::new(server), std::path::Path::new(&path)),
+        None => serve_stdio(&server),
+    };
+    match served {
+        Ok(()) => ExitCode::from(EXIT_OK),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
@@ -143,6 +276,9 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+    if cmd == "serve" {
+        return serve_cmd(rest);
+    }
     let Some(file) = rest.first() else {
         return usage();
     };
@@ -150,14 +286,14 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {file}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let program = match sct_lang::compile_program(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("compile error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -168,7 +304,7 @@ fn main() -> ExitCode {
             let out = m.output.clone();
             report(r, &out)
         }
-        "monitor" | "trace" => {
+        "monitor" | "trace" | "hybrid" => {
             let opts = match Options::parse(&rest[1..]) {
                 Ok(o) => o,
                 Err(e) => {
@@ -176,45 +312,18 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
-            if opts.plan_only {
-                eprintln!("--plan is only valid with `sct hybrid`");
-                return usage();
-            }
-            let mut config = MachineConfig {
-                mode: SemanticsMode::Monitored,
-                order: opts.order,
-                fuel: opts.fuel,
-                trace: cmd == "trace",
-                ..MachineConfig::monitored(opts.strategy)
-            };
-            config.monitor.backoff = opts.backoff;
-            config.monitor.loop_entries_only = opts.loop_entries;
-            let mut m = Machine::new(&program, config);
-            let r = m.run();
-            if cmd == "trace" {
-                for e in &m.trace_events {
-                    let graph = e.graph.as_deref().unwrap_or("[table seeded]");
-                    println!("({} {})    {}", e.function, e.args.join(" "), graph);
-                }
-            }
-            eprintln!(
-                "; applications={} monitored={} checks={} max-kont={}",
-                m.stats.applications,
-                m.stats.monitored_calls,
-                m.stats.checks,
-                m.stats.max_kont_depth
-            );
-            let out = m.output.clone();
-            report(r, &out)
-        }
-        "hybrid" => {
-            let opts = match Options::parse(&rest[1..]) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("{e}");
+            if cmd != "hybrid" {
+                if opts.plan_only {
+                    eprintln!("--plan is only valid with `sct hybrid`");
                     return usage();
                 }
-            };
+                if opts.cache_dir.is_some() {
+                    eprintln!("--cache-dir is only valid with `sct hybrid` and `sct serve`");
+                    return usage();
+                }
+                return run_and_report(&program, opts.machine_config(cmd == "trace"));
+            }
+
             // Eager refutation presumes the default order of Figure 5; a
             // custom monitor order may accept graphs the verifier's order
             // rejects, so only the proof side of the plan is kept then.
@@ -222,39 +331,40 @@ fn main() -> ExitCode {
                 refute: !opts.custom_order,
                 ..PlanConfig::default()
             };
-            let plan = plan_program(&program, &plan_config);
+            let mut disk;
+            let mut null = SymNullStore;
+            let store: &mut dyn sct_symbolic::DecisionStore = match &opts.cache_dir {
+                Some(dir) => match DiskCache::open(dir) {
+                    Ok(c) => {
+                        disk = c;
+                        &mut disk
+                    }
+                    Err(e) => {
+                        eprintln!("cannot open cache dir {dir}: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                },
+                None => &mut null,
+            };
+            let (plan, stats) =
+                plan_program_incremental(&program, &plan_config, &mut PlanCache::new(), store);
+            if opts.cache_dir.is_some() {
+                eprintln!("; {stats}");
+            }
             if opts.plan_only {
                 print!("{}", plan.to_json());
-                return ExitCode::SUCCESS;
+                return ExitCode::from(EXIT_OK);
             }
             eprintln!("; {plan}");
             if let Some(err) = refutation_error(&plan) {
                 // [Decision::Refuted]: the monitor would blame this at run
                 // time; the hybrid regime reports it before running.
                 eprintln!("{err} (statically refuted before running)");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAIL);
             }
-            let mut config = MachineConfig {
-                mode: SemanticsMode::Monitored,
-                order: opts.order,
-                fuel: opts.fuel,
-                plan: Some(Rc::new(plan)),
-                ..MachineConfig::monitored(opts.strategy)
-            };
-            config.monitor.backoff = opts.backoff;
-            config.monitor.loop_entries_only = opts.loop_entries;
-            let mut m = Machine::new(&program, config);
-            let r = m.run();
-            eprintln!(
-                "; applications={} monitored={} checks={} static-skips={} max-kont={}",
-                m.stats.applications,
-                m.stats.monitored_calls,
-                m.stats.checks,
-                m.stats.static_skips,
-                m.stats.max_kont_depth
-            );
-            let out = m.output.clone();
-            report(r, &out)
+            let mut config = opts.machine_config(false);
+            config.plan = Some(Rc::new(plan));
+            run_and_report(&program, config)
         }
         "verify" => {
             let Some(function) = rest.get(1) else {
@@ -293,9 +403,9 @@ fn main() -> ExitCode {
             );
             println!("{verdict}");
             if verdict.is_verified() {
-                ExitCode::SUCCESS
+                ExitCode::from(EXIT_OK)
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_FAIL)
             }
         }
         _ => usage(),

@@ -73,6 +73,9 @@
 //! assert_eq!(v.to_write_string(), "9");
 //! ```
 
+pub mod serve;
+
+pub use sct_cache as cache;
 pub use sct_core as core;
 pub use sct_corpus as corpus;
 pub use sct_interp as interp;
@@ -80,12 +83,15 @@ pub use sct_lang as lang;
 pub use sct_sexpr as sexpr;
 pub use sct_symbolic as symbolic;
 
+pub use sct_cache::{CacheStats, DiskCache, MemStore};
 pub use sct_core::monitor::{BackoffPolicy, KeyStrategy, MonitorConfig, TableStrategy};
 pub use sct_core::plan::{Decision, EnforcementPlan, FnDecision, PlanDomain};
 pub use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Value};
 pub use sct_symbolic::{
-    plan_program, PlanCache, PlanConfig, StaticVerdict, SymDomain, VerifyConfig,
+    plan_program, plan_program_incremental, IncrementalStats, PlanCache, PlanConfig, StaticVerdict,
+    SymDomain, VerifyConfig,
 };
+pub use serve::{serve_stdio, serve_unix, ServeOptions, Server};
 
 use sct_core::seq::ScViolation;
 use sct_interp::{RtError, ScErrorInfo};

@@ -1,0 +1,989 @@
+//! The `sct serve` daemon: amortize planning across requests and clients.
+//!
+//! `sct hybrid` pays compile + plan + run per invocation. For the
+//! production posture the ROADMAP aims at — many programs, many edits,
+//! many clients — the expensive part (symbolic exploration + the
+//! Lee–Jones–Ben-Amram closure check) should be paid *once per distinct
+//! define*, ever. This module provides the long-running form:
+//!
+//! * a [`Server`] holds one warm process state — a persistent
+//!   [`DecisionStore`] (on-disk via `--cache-dir`, in-memory otherwise)
+//!   shared by every request, plus one
+//!   [`PlanCache`] (interner + LJB memo) *per worker thread* that stays
+//!   warm across requests;
+//! * `plan`/`hybrid` requests fan the program's `define`s out across the
+//!   worker pool ([`plan_program_subset`] slices), so multi-define
+//!   programs plan in parallel;
+//! * any number of clients connect over a Unix socket (or a single client
+//!   over stdio) and receive independent, correct results — program
+//!   execution is per-connection, planning is shared-nothing except the
+//!   content-addressed store, which is safe by construction.
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON: one request object per line in, one response
+//! object per line out, in order. Requests:
+//!
+//! ```json
+//! {"op":"plan",   "source":"(define (f x) …) …", "id":7}
+//! {"op":"run",    "source":"…", "fuel":100000}
+//! {"op":"hybrid", "source":"…"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `id` (any JSON value) is echoed back verbatim for client correlation;
+//! `fuel` optionally bounds `run`/`hybrid` executions. Responses always
+//! carry `"ok"` and `"op"`:
+//!
+//! * `plan` → `{"ok":true,"op":"plan","plan":<sct-plan/1 doc>,
+//!   "cache":{"hits":H,"misses":M},"defines":[["name",hit?],…]}`
+//! * `run` / `hybrid` → `{"ok":true,…,"value":"…","output":"…",
+//!   "stats":{…}}`, or on failure `{"ok":false,…,"error":"…",
+//!   "blame":"…"|null,"refuted":bool}` (a `hybrid` refutation is reported
+//!   without running, `refuted` = `true`).
+//! * `stats` → request counters, aggregate cache traffic
+//!   ([`sct_cache::CacheStats`]), worker count, uptime.
+//! * `shutdown` → `{"ok":true,"op":"shutdown"}`, then the daemon exits
+//!   (stdio: the loop returns; socket: the process terminates).
+//!
+//! Malformed lines never kill the connection: they produce
+//! `{"ok":false,"error":…}` and the daemon keeps reading.
+//!
+//! # Examples
+//!
+//! In-process (no I/O): drive the server with protocol lines directly.
+//!
+//! ```
+//! use sct_contracts::serve::{Server, ServeOptions};
+//!
+//! let server = Server::new(ServeOptions { threads: 2, ..ServeOptions::default() }).unwrap();
+//! let req = r#"{"op":"hybrid","source":"(define (len l) (if (null? l) 0 (+ 1 (len (cdr l))))) (len '(1 2 3))"}"#;
+//! let out = server.handle_line(req).response.unwrap();
+//! assert!(out.contains("\"ok\":true"), "{out}");
+//! assert!(out.contains("\"value\":\"3\""), "{out}");
+//! ```
+
+use sct_cache::{CacheStats, DiskCache, MemStore};
+use sct_core::json::{parse, Json};
+use sct_core::monitor::TableStrategy;
+use sct_core::plan::{EnforcementPlan, FnDecision};
+use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats};
+use sct_lang::ast::{Program, TopForm};
+use sct_symbolic::pipeline::{
+    plan_program_subset, DecisionStore, IncrementalStats, PlanCache, PlanConfig,
+};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a request waits for the planning pool before concluding the
+/// pool is wedged (a defensive bound; jobs normally finish in
+/// milliseconds and are budget-capped by [`PlanConfig`]).
+const POOL_REPLY_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Cap on s-expression nesting depth in request sources. The reader,
+/// resolver, and digest walks all recurse per nesting level, and a stack
+/// overflow is an *abort* — it would take every client down, which the
+/// protocol's "malformed lines never kill the daemon" posture forbids.
+/// Real programs nest a few dozen levels; the scan is conservative
+/// (bracket characters inside string literals count toward the depth).
+const MAX_SOURCE_DEPTH: i64 = 1_000;
+
+/// Rejects sources whose bracket nesting could overflow the recursive
+/// compile/digest walks. A linear, non-recursive scan.
+fn source_depth_ok(source: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    let mut max = 0i64;
+    for c in source.chars() {
+        match c {
+            '(' | '[' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            // Clamp at zero: real nesting can never go below zero, but
+            // close-brackets hidden where the lexer ignores them (line
+            // comments, string literals) could otherwise drive the tally
+            // negative and mask arbitrarily deep real nesting from this
+            // guard.
+            ')' | ']' => depth = (depth - 1).max(0),
+            _ => {}
+        }
+    }
+    if max > MAX_SOURCE_DEPTH {
+        Err(format!(
+            "source nesting depth {max} exceeds the daemon limit of {MAX_SOURCE_DEPTH}"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Configuration for [`Server::new`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Planning worker threads; `0` picks the machine's available
+    /// parallelism (capped at 8).
+    pub threads: usize,
+    /// Directory for the persistent plan cache; `None` keeps decisions in
+    /// memory only (still warm across requests, lost on exit).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The shared store behind the daemon: disk-backed or in-memory.
+enum StoreKind {
+    Disk(DiskCache),
+    Mem(MemStore),
+}
+
+impl StoreKind {
+    fn traffic(&self) -> CacheStats {
+        match self {
+            StoreKind::Disk(d) => d.stats(),
+            StoreKind::Mem(m) => m.stats(),
+        }
+    }
+}
+
+impl DecisionStore for StoreKind {
+    fn load(&mut self, key: &str) -> Option<sct_core::plan_codec::PortableDecision> {
+        match self {
+            StoreKind::Disk(d) => d.load(key),
+            StoreKind::Mem(m) => m.load(key),
+        }
+    }
+    fn store(&mut self, key: &str, entry: &sct_core::plan_codec::PortableDecision) {
+        match self {
+            StoreKind::Disk(d) => d.store(key, entry),
+            StoreKind::Mem(m) => m.store(key, entry),
+        }
+    }
+}
+
+/// A [`DecisionStore`] view over the shared store: workers lock per
+/// operation, so store I/O serializes but exploration (the expensive
+/// part) runs fully in parallel.
+struct SharedStore(Arc<Mutex<StoreKind>>);
+
+impl DecisionStore for SharedStore {
+    fn load(&mut self, key: &str) -> Option<sct_core::plan_codec::PortableDecision> {
+        self.0.lock().expect("store lock").load(key)
+    }
+    fn store(&mut self, key: &str, entry: &sct_core::plan_codec::PortableDecision) {
+        self.0.lock().expect("store lock").store(key, entry)
+    }
+}
+
+/// A worker's answer: `(top-form position, decision, hit?)` per planned
+/// define, or a compile-error message.
+type JobResult = Result<Vec<(usize, FnDecision, bool)>, String>;
+
+/// One fan-out unit: plan the defines at `positions` of `source`.
+struct Job {
+    source: Arc<str>,
+    positions: Vec<usize>,
+    config: PlanConfig,
+    reply: mpsc::Sender<JobResult>,
+}
+
+/// The planning thread pool. Workers are spawned once and live for the
+/// daemon's lifetime, each holding its own [`PlanCache`] — interner plus
+/// LJB closure memo — that stays warm across requests and clients.
+struct PlanPool {
+    jobs: mpsc::Sender<Job>,
+    threads: usize,
+}
+
+impl PlanPool {
+    fn new(threads: usize, store: Arc<Mutex<StoreKind>>) -> PlanPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let store = Arc::clone(&store);
+            thread::Builder::new()
+                .name(format!("sct-plan-{i}"))
+                .spawn(move || {
+                    // The warm per-worker state. The AST is Rc-based (not
+                    // Send), so each worker compiles its own copy of the
+                    // source — compilation is linear and cheap next to
+                    // symbolic exploration.
+                    let mut cache = PlanCache::new();
+                    loop {
+                        let job = {
+                            let guard = rx.lock().expect("job queue lock");
+                            guard.recv()
+                        };
+                        let Ok(job) = job else { return };
+                        let result = match sct_lang::compile_program(&job.source) {
+                            Ok(program) => Ok(plan_program_subset(
+                                &program,
+                                &job.config,
+                                &mut cache,
+                                &mut SharedStore(Arc::clone(&store)),
+                                &job.positions,
+                            )),
+                            Err(e) => Err(format!("compile error: {e}")),
+                        };
+                        // A gone receiver just means the client hung up.
+                        let _ = job.reply.send(result);
+                    }
+                })
+                .expect("spawning plan worker");
+        }
+        PlanPool { jobs: tx, threads }
+    }
+
+    /// Plans `source`, fanning independent defines across the pool.
+    /// Returns the caller-thread compile of the program too, so `hybrid`
+    /// requests can run it without compiling again.
+    fn plan(
+        &self,
+        source: &str,
+        config: &PlanConfig,
+    ) -> Result<(Program, EnforcementPlan, IncrementalStats), String> {
+        // Guard the recursive compile/digest walks before touching them —
+        // here and not in the workers, because every worker job's source
+        // passed through this method first.
+        source_depth_ok(source)?;
+        // Compile once up front: fail fast on syntax errors and learn the
+        // define positions to partition.
+        let program =
+            sct_lang::compile_program(source).map_err(|e| format!("compile error: {e}"))?;
+        let positions: Vec<usize> = program
+            .top_level
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, TopForm::Define { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let chunk_count = self.threads.min(positions.len()).max(1);
+        // Round-robin keeps a heavy prefix (helpers first is the common
+        // program shape) from landing on one worker.
+        let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); chunk_count];
+        for (i, pos) in positions.iter().enumerate() {
+            chunks[i % chunk_count].push(*pos);
+        }
+        let source: Arc<str> = Arc::from(source);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut sent = 0usize;
+        for chunk in chunks.into_iter().filter(|c| !c.is_empty()) {
+            self.jobs
+                .send(Job {
+                    source: Arc::clone(&source),
+                    positions: chunk,
+                    config: config.clone(),
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| "planning pool is gone".to_string())?;
+            sent += 1;
+        }
+        drop(reply_tx);
+        let mut slices = Vec::new();
+        for _ in 0..sent {
+            let slice = reply_rx
+                .recv_timeout(POOL_REPLY_TIMEOUT)
+                .map_err(|_| "planning pool did not answer".to_string())??;
+            slices.push(slice);
+        }
+        let mut all: Vec<(usize, FnDecision, bool)> = slices.into_iter().flatten().collect();
+        all.sort_by_key(|(pos, _, _)| *pos);
+        let mut plan = EnforcementPlan::new();
+        let mut stats = IncrementalStats::default();
+        for (_, decision, hit) in all {
+            stats.defines.push((decision.name.clone(), hit));
+            plan.decisions.push(decision);
+        }
+        Ok((program, plan, stats))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    plan: u64,
+    run: u64,
+    hybrid: u64,
+    stats: u64,
+    errors: u64,
+}
+
+/// The daemon state: worker pool, shared decision store, counters. One
+/// `Server` serves any number of sequential or concurrent clients; see
+/// the module docs for the protocol.
+pub struct Server {
+    pool: PlanPool,
+    store: Arc<Mutex<StoreKind>>,
+    counters: Mutex<Counters>,
+    cache_dir: Option<PathBuf>,
+    started: Instant,
+    quitting: AtomicBool,
+}
+
+/// What [`Server::handle_line`] produced: at most one response line, plus
+/// whether the daemon was asked to shut down.
+#[derive(Debug, Clone)]
+pub struct LineOutcome {
+    /// The response to write back (`None` for blank input lines).
+    pub response: Option<String>,
+    /// True after a `shutdown` request: stop reading.
+    pub quit: bool,
+}
+
+impl Server {
+    /// Builds the daemon state: opens (or creates) the cache directory
+    /// when one is configured and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when `cache_dir` cannot be created.
+    pub fn new(options: ServeOptions) -> io::Result<Server> {
+        let store = match &options.cache_dir {
+            Some(dir) => StoreKind::Disk(DiskCache::open(dir)?),
+            None => StoreKind::Mem(MemStore::new()),
+        };
+        let store = Arc::new(Mutex::new(store));
+        let threads = if options.threads == 0 {
+            thread::available_parallelism().map_or(2, |n| n.get().min(8))
+        } else {
+            options.threads
+        };
+        Ok(Server {
+            pool: PlanPool::new(threads, Arc::clone(&store)),
+            store,
+            counters: Mutex::new(Counters::default()),
+            cache_dir: options.cache_dir,
+            started: Instant::now(),
+            quitting: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of planning worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads
+    }
+
+    /// Handles one protocol line. Never panics on malformed input; blank
+    /// lines are ignored (keep-alive friendly).
+    pub fn handle_line(&self, line: &str) -> LineOutcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return LineOutcome {
+                response: None,
+                quit: false,
+            };
+        }
+        let (response, quit) = match parse(line) {
+            Ok(req) => self.dispatch(&req),
+            Err(e) => {
+                self.counters.lock().expect("counters").errors += 1;
+                (
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        // The protocol promises "op" on every response;
+                        // an unparseable line has no op to echo.
+                        ("op".into(), Json::Null),
+                        ("error".into(), Json::str(format!("bad request: {e}"))),
+                    ]),
+                    false,
+                )
+            }
+        };
+        LineOutcome {
+            response: Some(response.to_string()),
+            quit,
+        }
+    }
+
+    fn dispatch(&self, req: &Json) -> (Json, bool) {
+        let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+        let id = req.get("id").cloned();
+        let mut quit = false;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        match op {
+            "plan" => {
+                self.counters.lock().expect("counters").plan += 1;
+                members = self.op_plan(req);
+            }
+            "run" => {
+                self.counters.lock().expect("counters").run += 1;
+                members = self.op_run(req, false);
+            }
+            "hybrid" => {
+                self.counters.lock().expect("counters").hybrid += 1;
+                members = self.op_run(req, true);
+            }
+            "stats" => {
+                self.counters.lock().expect("counters").stats += 1;
+                members = self.op_stats();
+            }
+            "shutdown" => {
+                self.quitting.store(true, Ordering::SeqCst);
+                members.push(("ok".into(), Json::Bool(true)));
+                quit = true;
+            }
+            other => {
+                self.counters.lock().expect("counters").errors += 1;
+                members.push(("ok".into(), Json::Bool(false)));
+                members.push((
+                    "error".into(),
+                    Json::str(format!(
+                        "unknown op {other:?} (expected plan|run|hybrid|stats|shutdown)"
+                    )),
+                ));
+            }
+        }
+        let mut full = vec![(
+            "op".into(),
+            if op.is_empty() {
+                Json::Null
+            } else {
+                Json::str(op)
+            },
+        )];
+        if let Some(id) = id {
+            full.push(("id".into(), id));
+        }
+        full.extend(members);
+        // Normalize: "ok" first for human eyeballs on the wire.
+        full.sort_by_key(|(k, _)| k != "ok");
+        (Json::Obj(full), quit)
+    }
+
+    fn plan_source(
+        &self,
+        req: &Json,
+    ) -> Result<(Program, EnforcementPlan, IncrementalStats), String> {
+        let source = req
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("missing \"source\"")?;
+        self.pool.plan(source, &PlanConfig::default())
+    }
+
+    fn op_plan(&self, req: &Json) -> Vec<(String, Json)> {
+        match self.plan_source(req) {
+            Ok((_, plan, stats)) => {
+                let plan_doc = parse(&plan.to_json()).expect("plan JSON is well-formed");
+                vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("plan".into(), plan_doc),
+                    ("cache".into(), cache_json(&stats)),
+                    ("defines".into(), defines_json(&stats)),
+                ]
+            }
+            Err(e) => fail(&e),
+        }
+    }
+
+    /// `run` (standard semantics) and `hybrid` (plan + monitored run with
+    /// the static fast path) share everything but the planning step.
+    fn op_run(&self, req: &Json, hybrid: bool) -> Vec<(String, Json)> {
+        let Some(source) = req.get("source").and_then(Json::as_str) else {
+            return fail("missing \"source\"");
+        };
+        let fuel = req.get("fuel").and_then(Json::as_u64);
+        // `hybrid` plans first (which compiles on this thread); plain `run`
+        // compiles here. Either way the program is compiled exactly once
+        // per request on the request thread.
+        let (program, planned) = if hybrid {
+            match self.plan_source(req) {
+                Ok((program, plan, stats)) => (program, Some((plan, stats))),
+                Err(e) => return fail(&e),
+            }
+        } else {
+            if let Err(e) = source_depth_ok(source) {
+                return fail(&e);
+            }
+            match sct_lang::compile_program(source) {
+                Ok(p) => (p, None),
+                Err(e) => return fail(&format!("compile error: {e}")),
+            }
+        };
+        let mut extra: Vec<(String, Json)> = Vec::new();
+        let config = match &planned {
+            Some((plan, stats)) => {
+                extra.push(("cache".into(), cache_json(stats)));
+                extra.push((
+                    "plan_summary".into(),
+                    Json::Obj(vec![
+                        ("static".into(), Json::Int(plan.count("static") as i64)),
+                        ("monitor".into(), Json::Int(plan.count("monitor") as i64)),
+                        ("refuted".into(), Json::Int(plan.count("refuted") as i64)),
+                    ]),
+                ));
+                if let Some(err) = crate::refutation_error(plan) {
+                    let blame = match &err {
+                        EvalError::Sc(info) => info.blame.clone(),
+                        _ => None,
+                    };
+                    let mut out = fail(&format!("{err} (statically refuted before running)"));
+                    out.push(("refuted".into(), Json::Bool(true)));
+                    out.push(("blame".into(), opt_str(blame.as_deref())));
+                    out.extend(extra);
+                    return out;
+                }
+                MachineConfig {
+                    mode: SemanticsMode::Monitored,
+                    fuel,
+                    plan: Some(Rc::new(plan.clone())),
+                    ..MachineConfig::monitored(TableStrategy::Imperative)
+                }
+            }
+            None => MachineConfig {
+                fuel,
+                ..MachineConfig::standard()
+            },
+        };
+        let mut machine = Machine::new(&program, config);
+        let result = machine.run();
+        let mut out: Vec<(String, Json)> = Vec::new();
+        match result {
+            Ok(v) => {
+                out.push(("ok".into(), Json::Bool(true)));
+                out.push(("value".into(), Json::str(v.to_write_string())));
+            }
+            Err(e) => {
+                let blame = match &e {
+                    EvalError::Sc(info) => info.blame.clone(),
+                    _ => None,
+                };
+                out.push(("ok".into(), Json::Bool(false)));
+                out.push(("error".into(), Json::str(e.to_string())));
+                out.push(("blame".into(), opt_str(blame.as_deref())));
+                out.push(("refuted".into(), Json::Bool(false)));
+            }
+        }
+        out.push(("output".into(), Json::str(&machine.output)));
+        out.push(("stats".into(), stats_json(&machine.stats)));
+        out.extend(extra);
+        out
+    }
+
+    fn op_stats(&self) -> Vec<(String, Json)> {
+        let c = self.counters.lock().expect("counters");
+        let traffic = self.store.lock().expect("store lock").traffic();
+        vec![
+            ("ok".into(), Json::Bool(true)),
+            (
+                "requests".into(),
+                Json::Obj(vec![
+                    ("plan".into(), Json::Int(c.plan as i64)),
+                    ("run".into(), Json::Int(c.run as i64)),
+                    ("hybrid".into(), Json::Int(c.hybrid as i64)),
+                    ("stats".into(), Json::Int(c.stats as i64)),
+                    ("errors".into(), Json::Int(c.errors as i64)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Int(traffic.hits as i64)),
+                    ("misses".into(), Json::Int(traffic.misses as i64)),
+                    ("rejected".into(), Json::Int(traffic.rejected as i64)),
+                    ("stores".into(), Json::Int(traffic.stores as i64)),
+                ]),
+            ),
+            (
+                "cache_dir".into(),
+                opt_str(self.cache_dir.as_ref().and_then(|p| p.to_str())),
+            ),
+            ("workers".into(), Json::Int(self.pool.threads as i64)),
+            (
+                "uptime_ms".into(),
+                Json::Int(self.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
+            ),
+        ]
+    }
+}
+
+fn fail(message: &str) -> Vec<(String, Json)> {
+    vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(message)),
+    ]
+}
+
+fn opt_str(s: Option<&str>) -> Json {
+    match s {
+        Some(s) => Json::str(s),
+        None => Json::Null,
+    }
+}
+
+fn cache_json(stats: &IncrementalStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Int(stats.hits() as i64)),
+        ("misses".into(), Json::Int(stats.misses() as i64)),
+    ])
+}
+
+fn defines_json(stats: &IncrementalStats) -> Json {
+    Json::Arr(
+        stats
+            .defines
+            .iter()
+            .map(|(name, hit)| Json::Arr(vec![Json::str(name), Json::Bool(*hit)]))
+            .collect(),
+    )
+}
+
+fn stats_json(s: &Stats) -> Json {
+    Json::Obj(vec![
+        ("steps".into(), Json::Int(s.steps as i64)),
+        ("applications".into(), Json::Int(s.applications as i64)),
+        ("monitored".into(), Json::Int(s.monitored_calls as i64)),
+        ("checks".into(), Json::Int(s.checks as i64)),
+        ("static_skips".into(), Json::Int(s.static_skips as i64)),
+        ("max_kont".into(), Json::Int(s.max_kont_depth as i64)),
+    ])
+}
+
+/// Cap on one request line. The JSON parser's depth guard protects the
+/// stack; this protects the heap — without it, a client streaming bytes
+/// with no newline would grow the daemon's memory without bound.
+const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// One read attempt's outcome.
+enum RequestLine {
+    /// A complete line (newline included), lossily decoded.
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]: answer with an error and
+    /// close the connection (draining an unbounded line would keep the
+    /// daemon busy on the abuser's behalf).
+    TooLong,
+    /// EOF or a read error: stop reading.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line as *bytes* and lossily decodes it.
+/// `lines()` would error out (and kill the session) on invalid UTF-8;
+/// here such a line reaches `handle_line` as replacement-charactered
+/// text, fails JSON parsing, and gets the documented `{"ok":false}`
+/// response instead.
+fn read_request_line<R: BufRead>(reader: &mut R) -> RequestLine {
+    let mut bytes = Vec::new();
+    // `&mut R` is itself a reader, so `take` borrows rather than consumes.
+    let mut limited = io::Read::take(&mut *reader, MAX_LINE_BYTES);
+    match limited.read_until(b'\n', &mut bytes) {
+        Ok(0) | Err(_) => RequestLine::Eof,
+        Ok(n) if n as u64 >= MAX_LINE_BYTES && !bytes.ends_with(b"\n") => RequestLine::TooLong,
+        Ok(_) => RequestLine::Line(String::from_utf8_lossy(&bytes).into_owned()),
+    }
+}
+
+/// The response sent for a [`RequestLine::TooLong`] read.
+fn too_long_response() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::str(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+        ),
+    ])
+    .to_string()
+}
+
+/// Serves one client over stdin/stdout, returning at EOF or `shutdown`.
+/// This is `sct serve`'s default mode — the shape scripts and editors
+/// pipe into.
+///
+/// # Errors
+///
+/// Propagates stdout write failures (a broken pipe ends the session).
+pub fn serve_stdio(server: &Server) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    let mut stdout = io::stdout().lock();
+    loop {
+        let line = match read_request_line(&mut reader) {
+            RequestLine::Line(line) => line,
+            RequestLine::TooLong => {
+                writeln!(stdout, "{}", too_long_response())?;
+                stdout.flush()?;
+                break;
+            }
+            RequestLine::Eof => break,
+        };
+        let outcome = server.handle_line(&line);
+        if let Some(response) = outcome.response {
+            writeln!(stdout, "{response}")?;
+            stdout.flush()?;
+        }
+        if outcome.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn serve_client(server: &Server, stream: UnixStream) {
+    let Ok(read) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read);
+    let mut writer = stream;
+    loop {
+        let line = match read_request_line(&mut reader) {
+            RequestLine::Line(line) => line,
+            RequestLine::TooLong => {
+                let _ = writeln!(writer, "{}", too_long_response());
+                break;
+            }
+            RequestLine::Eof => break,
+        };
+        let outcome = server.handle_line(&line);
+        if let Some(response) = outcome.response {
+            if writeln!(writer, "{response}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+        if outcome.quit {
+            break;
+        }
+    }
+}
+
+/// Binds `path` and serves clients until a `shutdown` request arrives.
+/// Each accepted connection gets its own thread; planning from all
+/// connections funnels into the shared worker pool, and the persistent
+/// store is safe under the concurrency (atomic publishes, content-
+/// addressed keys).
+///
+/// An existing socket file at `path` is removed first (the daemon owns
+/// its rendezvous path, and a stale file from a dead daemon would
+/// otherwise block every restart).
+///
+/// On `shutdown`, every open client connection is closed (a blocked read
+/// sees EOF) and in-flight requests are allowed to finish before the
+/// function returns. One inherent caveat: an in-flight `run` of a
+/// non-terminating program with no `fuel` bound cannot be interrupted —
+/// monitored (`hybrid`) runs always terminate, but the standard
+/// semantics does not, so operators exposing `run` to untrusted clients
+/// should require `fuel`.
+///
+/// # Errors
+///
+/// Propagates bind errors; per-connection I/O errors only end that
+/// connection.
+pub fn serve_unix(server: Arc<Server>, path: &std::path::Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("sct serve: listening on {}", path.display());
+    // Poll accept with a timeout so a `shutdown` from one client stops
+    // the accept loop too (not just that client's thread).
+    listener.set_nonblocking(true)?;
+    // Live connections: the thread plus a stream handle shutdown uses to
+    // unblock its read. Finished entries are pruned each loop iteration,
+    // so a long-running daemon does not leak one fd per past client.
+    let mut clients: Vec<(thread::JoinHandle<()>, UnixStream)> = Vec::new();
+    let mut accept_errors = 0u32;
+    while !server.quitting.load(Ordering::SeqCst) {
+        clients.retain(|(handle, _)| !handle.is_finished());
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                accept_errors = 0;
+                // The listener's O_NONBLOCK must not leak onto the
+                // connection: BSD-derived platforms (macOS) inherit it
+                // through accept, which would make every client read fail
+                // with WouldBlock. Linux does not inherit; setting it
+                // explicitly is correct on both.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Ok(handle) = stream.try_clone() else {
+                    continue;
+                };
+                let server = Arc::clone(&server);
+                clients.push((thread::spawn(move || serve_client(&server, stream)), handle));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {
+                // Transient accept failures (ECONNABORTED, EMFILE while a
+                // burst drains) must not take the daemon down; only a
+                // persistently failing listener stops the loop.
+                accept_errors += 1;
+                if accept_errors > 64 {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    // Shutdown: close the *read* half of every client connection so reads
+    // blocked in `read_request_line` see EOF — otherwise joining below
+    // would hang until every idle client chose to disconnect. The write
+    // half stays open so a response to an in-flight request still drains.
+    for (_, stream) in &clients {
+        let _ = stream.shutdown(std::net::Shutdown::Read);
+    }
+    for (handle, _) in clients {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServeOptions {
+            threads: 2,
+            cache_dir: None,
+        })
+        .unwrap()
+    }
+
+    fn ok_line(s: &Server, req: &str) -> Json {
+        let out = s.handle_line(req).response.unwrap();
+        parse(&out).unwrap_or_else(|e| panic!("bad response {out}: {e}"))
+    }
+
+    #[test]
+    fn plan_twice_hits_warm_store() {
+        let s = server();
+        let req = r#"{"op":"plan","source":"(define (inc x) (+ x 1)) (define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i))))"}"#;
+        let first = ok_line(&s, req);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        let c = first.get("cache").unwrap();
+        assert_eq!(c.get("hits").and_then(Json::as_i64), Some(0));
+        assert_eq!(c.get("misses").and_then(Json::as_i64), Some(2));
+        let second = ok_line(&s, req);
+        let c = second.get("cache").unwrap();
+        assert_eq!(c.get("hits").and_then(Json::as_i64), Some(2));
+        assert_eq!(c.get("misses").and_then(Json::as_i64), Some(0));
+        // The plan payload is the sct-plan/1 document.
+        let doc = second.get("plan").unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sct-plan/1"));
+    }
+
+    #[test]
+    fn hybrid_runs_and_reports_skips() {
+        let s = server();
+        let out = ok_line(
+            &s,
+            r#"{"op":"hybrid","id":41,"source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i)))) (sum 100 0)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(out.get("id").and_then(Json::as_i64), Some(41));
+        assert_eq!(out.get("value").and_then(Json::as_str), Some("5050"));
+        let stats = out.get("stats").unwrap();
+        assert_eq!(stats.get("checks").and_then(Json::as_i64), Some(0));
+        assert!(stats.get("static_skips").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn hybrid_refutes_eagerly_with_blame() {
+        let s = server();
+        let out = ok_line(
+            &s,
+            r#"{"op":"hybrid","source":"(define f (terminating/c (lambda (x) (f x)) \"my-party\")) (f 1)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(out.get("refuted"), Some(&Json::Bool(true)));
+        assert_eq!(out.get("blame").and_then(Json::as_str), Some("my-party"));
+    }
+
+    #[test]
+    fn run_reports_dynamic_blame() {
+        let s = server();
+        let out = ok_line(
+            &s,
+            r#"{"op":"run","source":"(define f (terminating/c (lambda (x) (f x)) \"p\")) (f 1)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(out.get("blame").and_then(Json::as_str), Some("p"));
+        assert_eq!(out.get("refuted"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn bad_lines_do_not_kill_the_session() {
+        let s = server();
+        for bad in ["garbage", "{\"op\":\"nope\"}", "{\"op\":\"plan\"}"] {
+            let out = ok_line(&s, bad);
+            assert_eq!(out.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        }
+        // Still serving afterwards.
+        let out = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            out.get("requests")
+                .and_then(|r| r.get("errors"))
+                .and_then(Json::as_i64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn depth_guard_survives_comment_hidden_closers() {
+        // Close-brackets inside a `;` line comment are invisible to the
+        // lexer but once drove the guard's tally negative, masking the
+        // real nesting that follows — a reproduced daemon abort.
+        let s = server();
+        let depth = 200_000;
+        let source = format!(
+            ";{}\\n{}1{}",
+            ")".repeat(depth),
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let out = ok_line(&s, &format!(r#"{{"op":"plan","source":"{source}"}}"#));
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)), "{out:?}");
+        assert!(
+            out.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("nesting depth"),
+            "{out:?}"
+        );
+        let out = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn deeply_nested_source_is_rejected_not_fatal() {
+        // The recursive reader/resolver/digest walks would overflow the
+        // stack (an abort) on pathological nesting; the daemon must
+        // reject such sources up front and keep serving.
+        let s = server();
+        let depth = 200_000;
+        let bomb = format!(
+            r#"{{"op":"plan","source":"{}1{}"}}"#,
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        for op in ["plan", "run", "hybrid"] {
+            let req = bomb.replace("\"plan\"", &format!("{op:?}"));
+            let out = ok_line(&s, &req);
+            assert_eq!(out.get("ok"), Some(&Json::Bool(false)), "{op}");
+            assert!(
+                out.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .contains("nesting depth"),
+                "{op}: {out:?}"
+            );
+        }
+        // Still alive and serving.
+        let out = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn shutdown_quits() {
+        let s = server();
+        let outcome = s.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(outcome.quit);
+        assert!(outcome.response.unwrap().contains("\"ok\":true"));
+        assert!(s.handle_line("").response.is_none());
+    }
+}

@@ -24,7 +24,13 @@ fn stderr(o: &Output) -> String {
 
 #[test]
 fn guide_examples_exist() {
-    for f in ["ack.sct", "spin.sct", "sum.sct"] {
+    for f in [
+        "ack.sct",
+        "spin.sct",
+        "sum.sct",
+        "pair.sct",
+        "pair-edit.sct",
+    ] {
         let p = Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("examples/guide")
             .join(f);
@@ -111,6 +117,82 @@ fn guide_hybrid_plan_json() {
         json.contains("\"detail\": \"verified (sum: 1 graphs)\""),
         "{json}"
     );
+}
+
+/// §5 of the guide: the edit → incremental re-plan loop. Replays the
+/// three-command transcript verbatim — cold (2 misses), warm (2 hits),
+/// and the one-define edit (exactly 1 miss) — against a fresh cache dir.
+#[test]
+fn guide_incremental_replan_loop() {
+    let cache_dir = std::env::temp_dir().join(format!("sct-guide-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let dir = cache_dir.to_str().unwrap();
+
+    let cold = sct(&["hybrid", "examples/guide/pair.sct", "--cache-dir", dir]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    assert_eq!(stdout(&cold).trim(), "6");
+    let err = stderr(&cold);
+    assert!(err.contains("cache: 0 hits, 2 misses"), "{err}");
+    assert!(
+        err.contains("plan: 2 static, 0 monitored, 0 refuted"),
+        "{err}"
+    );
+    assert!(
+        err.contains("applications=8 monitored=0 checks=0 static-skips=8"),
+        "guide counters drifted: {err}"
+    );
+
+    let warm = sct(&["hybrid", "examples/guide/pair.sct", "--cache-dir", dir]);
+    assert!(
+        stderr(&warm).contains("cache: 2 hits, 0 misses"),
+        "warm run must be pure hits: {}",
+        stderr(&warm)
+    );
+
+    let edited = sct(&["hybrid", "examples/guide/pair-edit.sct", "--cache-dir", dir]);
+    assert!(edited.status.success(), "{}", stderr(&edited));
+    assert_eq!(stdout(&edited).trim(), "10");
+    assert!(
+        stderr(&edited).contains("cache: 1 hits, 1 misses"),
+        "editing one define must re-verify exactly one: {}",
+        stderr(&edited)
+    );
+
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+/// §5: the `sct serve` one-liner — a stdio plan request answers with the
+/// embedded sct-plan/1 document and cold-miss cache counters.
+#[test]
+fn guide_serve_stdio_transcript() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sct"))
+        .args(["serve", "--threads", "2"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"op\":\"plan\",\"source\":\"(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))\"}\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"schema\":\"sct-plan/1\""), "{line}");
+    assert!(
+        line.contains("\"cache\":{\"hits\":0,\"misses\":1}"),
+        "{line}"
+    );
+    assert!(line.contains("[[\"len\",false]]"), "{line}");
 }
 
 /// §4: hybrid refutes spin before running, with the monitor's blame label.

@@ -1,0 +1,145 @@
+//! End-to-end incrementality: for a Figure-10-scale program, editing one
+//! `define` re-verifies exactly that define — every untouched define is a
+//! persisted-cache hit — and the warm plan is structurally identical to a
+//! fresh one. Also pins the committed `BENCH_fig10.json` planning
+//! trajectory: warm planning must be measurably faster than cold.
+
+use sct_contracts::{plan_program_incremental, DiskCache, PlanCache, PlanConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sct-incr-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A fig10-scale program: the sweep's direct workloads side by side —
+/// factorial, sum, Ackermann, and merge-sort with its helper stack — plus
+/// a couple of independent list functions. 10 defines.
+fn fig10_scale(sum_body_constant: i64) -> String {
+    format!(
+        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))
+         (define (sum i acc) (if (zero? i) (+ acc {sum_body_constant}) (sum (- i 1) (+ acc i))))
+         (define (ack m n)
+           (cond [(= 0 m) (+ 1 n)]
+                 [(= 0 n) (ack (- m 1) 1)]
+                 [else (ack (- m 1) (ack m (- n 1)))]))
+         (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+         (define (take l n) (if (or (zero? n) (null? l)) '() (cons (car l) (take (cdr l) (- n 1)))))
+         (define (drop l n) (if (or (zero? n) (null? l)) l (drop (cdr l) (- n 1))))
+         (define (merge a b)
+           (cond [(null? a) b]
+                 [(null? b) a]
+                 [(< (car a) (car b)) (cons (car a) (merge (cdr a) b))]
+                 [else (cons (car b) (merge a (cdr b)))]))
+         (define (msort l)
+           (if (or (null? l) (null? (cdr l)))
+               l
+               (let ([half (quotient (len l) 2)])
+                 (merge (msort (take l half)) (msort (drop l half))))))
+         (define (rev-app l acc) (if (null? l) acc (rev-app (cdr l) (cons (car l) acc))))
+         (define (last l) (if (null? (cdr l)) (car l) (last (cdr l))))"
+    )
+}
+
+#[test]
+fn editing_one_define_reverifies_exactly_that_define() {
+    let dir = scratch_dir("edit");
+    let cfg = PlanConfig::default();
+
+    // Cold: everything misses and lands on disk.
+    let before = sct_lang::compile_program(&fig10_scale(0)).unwrap();
+    let mut disk = DiskCache::open(&dir).unwrap();
+    let (cold_plan, cold) =
+        plan_program_incremental(&before, &cfg, &mut PlanCache::new(), &mut disk);
+    assert_eq!((cold.hits(), cold.misses()), (0, 10), "{cold:?}");
+
+    // Unchanged replay: all hits, structurally the same plan.
+    let (warm_plan, warm) =
+        plan_program_incremental(&before, &cfg, &mut PlanCache::new(), &mut disk);
+    assert_eq!((warm.hits(), warm.misses()), (10, 0), "{warm:?}");
+    assert!(cold_plan.structurally_eq(&warm_plan));
+
+    // Edit exactly one define (sum's base constant). Nothing references
+    // sum, so exactly sum must re-verify; the other nine defines hit even
+    // though every λ id after sum shifted in the recompile.
+    let after = sct_lang::compile_program(&fig10_scale(1)).unwrap();
+    let (edited_plan, edited) =
+        plan_program_incremental(&after, &cfg, &mut PlanCache::new(), &mut disk);
+    assert_eq!((edited.hits(), edited.misses()), (9, 1), "{edited:?}");
+    assert_eq!(edited.missed_names(), vec!["sum"], "{edited:?}");
+
+    // The edited program's warm plan equals its fresh plan.
+    let (fresh_plan, _) = plan_program_incremental(
+        &after,
+        &cfg,
+        &mut PlanCache::new(),
+        &mut sct_symbolic::NullStore,
+    );
+    assert!(edited_plan.structurally_eq(&fresh_plan));
+    // And sum's decision survived the edit semantically: still discharged.
+    assert_eq!(edited_plan.count("static"), cold_plan.count("static"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn editing_a_shared_helper_reverifies_its_dependents_only() {
+    let dir = scratch_dir("helper");
+    let cfg = PlanConfig::default();
+    let before = fig10_scale(0);
+    // `len` is read by `msort` (and by nothing else outside the msort
+    // cluster): editing it must re-verify len + msort, not take/drop/
+    // merge/fact/sum/ack/rev-app/last.
+    let after = before.replace(
+        "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))",
+        "(define (len l) (if (null? l) 1 (+ 1 (len (cdr l)))))",
+    );
+    assert_ne!(before, after);
+
+    let mut disk = DiskCache::open(&dir).unwrap();
+    let p1 = sct_lang::compile_program(&before).unwrap();
+    plan_program_incremental(&p1, &cfg, &mut PlanCache::new(), &mut disk);
+
+    let p2 = sct_lang::compile_program(&after).unwrap();
+    let (_, stats) = plan_program_incremental(&p2, &cfg, &mut PlanCache::new(), &mut disk);
+    assert_eq!(stats.missed_names(), vec!["len", "msort"], "{stats:?}");
+    assert_eq!(stats.hits(), 8, "{stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed benchmark artifact must carry the planning trajectory:
+/// schema `sct-fig10/3` with warm planning measurably faster than cold on
+/// every workload (the number the persistence subsystem exists to win).
+#[test]
+fn committed_bench_artifact_pins_warm_planning_speedup() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_fig10.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_fig10.json at the repo root");
+    let doc = sct_contracts::core::json::parse(&text).expect("artifact parses");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("sct-fig10/3"),
+        "schema drifted"
+    );
+    let planning = doc
+        .get("planning")
+        .and_then(|p| p.as_arr())
+        .expect("planning array present");
+    assert!(!planning.is_empty());
+    for p in planning {
+        let workload = p.get("workload").and_then(|w| w.as_str()).unwrap();
+        let cold = p.get("plan_ms").and_then(|v| v.as_f64()).unwrap();
+        let warm = p.get("plan_warm_ms").and_then(|v| v.as_f64()).unwrap();
+        assert!(cold > 0.0 && warm > 0.0, "{workload}: non-positive timings");
+        assert!(
+            warm < cold,
+            "{workload}: warm planning ({warm}ms) not faster than cold ({cold}ms)"
+        );
+    }
+}

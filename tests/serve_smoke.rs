@@ -1,0 +1,234 @@
+//! `sct serve` end-to-end: the stdio request/response mode CI smokes, and
+//! a multi-client Unix-socket stress test asserting concurrent clients
+//! receive correct, *independent* blame/plan results.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sct-serve-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn sct() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sct"))
+}
+
+/// Assert a needle in a response line, with the line in the panic message.
+fn assert_line(line: &str, needle: &str) {
+    assert!(line.contains(needle), "wanted {needle:?} in: {line}");
+}
+
+#[test]
+fn stdio_mode_answers_all_ops() {
+    let mut requests: Vec<u8> = concat!(
+        r#"{"op":"plan","id":1,"source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i))))"}"#,
+        "\n",
+        r#"{"op":"plan","id":2,"source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i))))"}"#,
+        "\n",
+        r#"{"op":"hybrid","id":3,"source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i)))) (sum 100 0)"}"#,
+        "\n",
+        r#"{"op":"run","id":4,"source":"(define f (terminating/c (lambda (x) (f x)) \"p1\")) (f 1)"}"#,
+        "\n",
+        "this is not json\n",
+    )
+    .as_bytes()
+    .to_vec();
+    // A line that is not even UTF-8 must get an error response, not kill
+    // the session.
+    requests.extend_from_slice(b"\xff\xfe not utf8\n");
+    requests.extend_from_slice(
+        concat!(
+            r#"{"op":"stats","id":5}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n"
+        )
+        .as_bytes(),
+    );
+    let mut child = sct()
+        .args(["serve", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve");
+    child.stdin.take().unwrap().write_all(&requests).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+    let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 8, "one response per request: {lines:#?}");
+
+    // Cold plan, then warm plan: misses then hits out of the warm store.
+    assert_line(&lines[0], r#""id":1"#);
+    assert_line(&lines[0], r#""cache":{"hits":0,"misses":1}"#);
+    assert_line(&lines[0], r#""schema":"sct-plan/1""#);
+    assert_line(&lines[1], r#""cache":{"hits":1,"misses":0}"#);
+    // Hybrid runs with the static fast path.
+    assert_line(&lines[2], r#""value":"5050""#);
+    assert_line(&lines[2], r#""checks":0"#);
+    // Dynamic blame, delivered as data.
+    assert_line(&lines[3], r#""ok":false"#);
+    assert_line(&lines[3], r#""blame":"p1""#);
+    // Malformed lines (bad JSON, bad UTF-8) → error responses, session
+    // continues.
+    assert_line(&lines[4], r#""ok":false"#);
+    assert_line(&lines[4], "bad request");
+    assert_line(&lines[5], r#""ok":false"#);
+    // Stats reflect the traffic.
+    assert_line(&lines[6], r#""plan":2"#);
+    assert_line(&lines[6], r#""errors":2"#);
+    assert_line(&lines[7], r#""op":"shutdown""#);
+}
+
+fn connect_with_retry(path: &PathBuf) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "socket {} never came up: {e}",
+                    path.display()
+                );
+                thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn request(stream: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str) -> String {
+    writeln!(stream, "{line}").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(!response.is_empty(), "connection closed on: {line}");
+    response
+}
+
+/// Many concurrent clients, each interleaving its own programs — a
+/// client-specific hybrid computation, a client-specific blamed
+/// divergence, and plans — over one daemon with a shared disk cache.
+/// Every client must get exactly its own answers back, in order.
+#[test]
+fn socket_stress_concurrent_clients_get_independent_results() {
+    let socket = scratch("sock").with_extension("socket");
+    let cache_dir = scratch("cache");
+    let mut child: Child = sct()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--threads",
+            "4",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve --socket");
+    // Make sure the daemon is accepting before fanning out.
+    drop(connect_with_retry(&socket));
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let socket = socket.clone();
+            thread::spawn(move || {
+                let mut stream = connect_with_retry(&socket);
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for round in 0..ROUNDS {
+                    // A value computation unique to (client, round):
+                    // sum 0..n for n = 100·(c+1)+round.
+                    let n = 100 * (c as u64 + 1) + round as u64;
+                    let expect = n * (n + 1) / 2;
+                    let hybrid = format!(
+                        r#"{{"op":"hybrid","id":{c},"source":"(define (sum{c} i a) (if (zero? i) a (sum{c} (- i 1) (+ a i)))) (sum{c} {n} 0)"}}"#
+                    );
+                    let resp = request(&mut stream, &mut reader, &hybrid);
+                    assert_line(&resp, &format!(r#""value":"{expect}""#));
+                    assert_line(&resp, &format!(r#""id":{c}"#));
+                    assert_line(&resp, r#""ok":true"#);
+
+                    // A divergence blamed with a client-specific label:
+                    // the blame each client sees must be its own.
+                    let spin = format!(
+                        r#"{{"op":"run","source":"(define f{c} (terminating/c (lambda (x) (f{c} x)) \"party-{c}\")) (f{c} 1)"}}"#
+                    );
+                    let resp = request(&mut stream, &mut reader, &spin);
+                    assert_line(&resp, r#""ok":false"#);
+                    assert_line(&resp, &format!(r#""blame":"party-{c}""#));
+
+                    // Plans stay well-formed under concurrency.
+                    let plan = format!(
+                        r#"{{"op":"plan","source":"(define (len{c} l) (if (null? l) 0 (+ 1 (len{c} (cdr l)))))"}}"#
+                    );
+                    let resp = request(&mut stream, &mut reader, &plan);
+                    assert_line(&resp, r#""ok":true"#);
+                    assert_line(&resp, &format!(r#""name":"len{c}""#));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    // An idle client that never sends a request and never disconnects:
+    // shutdown must still terminate the daemon (its blocked read is
+    // unblocked by the server closing the connection).
+    let _idle = connect_with_retry(&socket);
+
+    // A warm client replaying one of the programs hits the shared cache.
+    {
+        let mut stream = connect_with_retry(&socket);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let replay =
+            r#"{"op":"plan","source":"(define (len0 l) (if (null? l) 0 (+ 1 (len0 (cdr l)))))"}"#;
+        let resp = request(&mut stream, &mut reader, replay);
+        assert_line(&resp, r#""cache":{"hits":1,"misses":0}"#);
+        let stats = request(&mut stream, &mut reader, r#"{"op":"stats"}"#);
+        assert_line(&stats, r#""ok":true"#);
+        // 8 clients × 4 rounds × (1 hybrid + 1 plan) + this replay touch
+        // the store; the daemon must have seen real traffic.
+        assert_line(&stats, r#""workers":4"#);
+        let shutdown = request(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+        assert_line(&shutdown, r#""ok":true"#);
+    }
+
+    // The daemon exits cleanly after shutdown (bounded wait, then kill).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        match child.try_wait().unwrap() {
+            Some(status) => break Some(status),
+            None if Instant::now() > deadline => break None,
+            None => thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    match status {
+        Some(status) => assert!(status.success(), "daemon exited {status:?}"),
+        None => {
+            child.kill().ok();
+            panic!("daemon did not exit after shutdown");
+        }
+    }
+    std::fs::remove_dir_all(&cache_dir).ok();
+    std::fs::remove_file(&socket).ok();
+}
