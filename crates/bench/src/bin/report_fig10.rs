@@ -4,7 +4,7 @@
 //! imperative) plus the *hybrid* ablation (static pre-pass discharges
 //! provably terminating functions; the monitor guards only the residual),
 //! and records the sweep as `BENCH_fig10.json` at the repo root so future
-//! PRs can track the performance trajectory (schema `sct-fig10/3` in the
+//! PRs can track the performance trajectory (schema `sct-fig10/4` in the
 //! `sct_bench` crate docs).
 //!
 //! The paper's absolute sizes targeted Racket on the authors' machine; the
@@ -25,7 +25,9 @@
 //! `--fast` is the CI smoke mode: smallest size per workload, one rep;
 //! `--only ID` restricts the sweep to one workload (e.g. `--only ack`).
 
-use sct_bench::{fig10_json, fig10_json_path, CompiledWorkload, Fig10Entry, PlanTiming, Setup};
+use sct_bench::{
+    fig10_json, fig10_json_path, CompiledWorkload, EvalTiming, Fig10Entry, PlanTiming, Setup,
+};
 use sct_corpus::workloads;
 use std::time::Duration;
 
@@ -68,6 +70,32 @@ fn median_time(compiled: &CompiledWorkload, n: u64, setup: Setup, reps: usize) -
     times[times.len() / 2]
 }
 
+/// The unchecked-baseline evaluator row: reference tree-walker vs. the
+/// flat-IR VM at the workload's largest sweep size (median of `reps`).
+fn eval_timing(compiled: &CompiledWorkload, n: u64, reps: usize) -> EvalTiming {
+    let mut vm: Vec<(Duration, u64)> = (0..reps.max(1))
+        .map(|_| {
+            let (d, stats) = compiled.run_once(n, Setup::Unchecked);
+            (d, stats.steps)
+        })
+        .collect();
+    let mut reference: Vec<Duration> = (0..reps.max(1))
+        .map(|_| compiled.run_once_reference(n).0)
+        .collect();
+    vm.sort_unstable_by_key(|(d, _)| *d);
+    reference.sort_unstable();
+    let (vm_t, vm_steps) = vm[vm.len() / 2];
+    let ref_t = reference[reference.len() / 2];
+    EvalTiming {
+        workload: compiled.workload.id,
+        n,
+        reference_ns: ref_t.as_nanos(),
+        vm_ns: vm_t.as_nanos(),
+        speedup: ref_t.as_secs_f64() / vm_t.as_secs_f64().max(1e-9),
+        steps_per_sec: vm_steps as f64 / vm_t.as_secs_f64().max(1e-9),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag_value = |name: &str| -> Option<&String> {
@@ -96,6 +124,7 @@ fn main() {
 
     let mut entries: Vec<Fig10Entry> = Vec::new();
     let mut planning: Vec<PlanTiming> = Vec::new();
+    let mut eval: Vec<EvalTiming> = Vec::new();
     println!("Figure 10 — slowdown of monitoring (times in ms; slowdown vs unchecked)\n");
     for w in workloads::fig10() {
         if only.as_deref().is_some_and(|id| id != w.id) {
@@ -121,7 +150,8 @@ fn main() {
             "{:>10} {:>12} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9}",
             "n", "unchecked", "cont-mark", "x", "imperative", "x", "hybrid", "x"
         );
-        for n in sizes_for(id, scale, fast) {
+        let sizes = sizes_for(id, scale, fast);
+        for &n in &sizes {
             let t_unchecked = median_time(&compiled, n, Setup::Unchecked, reps);
             let t_cm = median_time(&compiled, n, Setup::ContinuationMark, reps);
             let t_imp = median_time(&compiled, n, Setup::Imperative, reps);
@@ -153,6 +183,19 @@ fn main() {
                 t_hyb.as_secs_f64() / base,
             );
         }
+        // The evaluator row: reference walker vs. VM, unchecked, at the
+        // largest size — plus the VM's dispatch throughput.
+        let n_eval = *sizes.last().expect("at least one size");
+        let e = eval_timing(&compiled, n_eval, reps);
+        println!(
+            "   eval (n={}): reference {}  vm {}  speedup {:.2}x  ({:.1}M steps/s)",
+            e.n,
+            sct_bench::fmt_ms(Duration::from_nanos(e.reference_ns as u64)),
+            sct_bench::fmt_ms(Duration::from_nanos(e.vm_ns as u64)),
+            e.speedup,
+            e.steps_per_sec / 1e6,
+        );
+        eval.push(e);
         println!();
     }
     println!("paper shape check: factorial ~1x; ack/sum/msort overhead large and");
@@ -164,8 +207,10 @@ fn main() {
 
     println!("planning shape check: plan_warm_ms well under plan_ms on every workload");
     println!("(the memoized pre-pass is what `sct serve` and `--cache-dir` amortize).");
+    println!("eval shape check: the flat-IR VM beats the reference tree-walker on the");
+    println!("unchecked baseline of every workload (the PR 5 dispatch-loop win).");
 
-    let json = fig10_json(&entries, &planning, fast, scale, reps);
+    let json = fig10_json(&entries, &planning, &eval, fast, scale, reps);
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
     println!(

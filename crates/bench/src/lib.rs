@@ -15,11 +15,11 @@
 //!
 //! `report_fig10` additionally writes a machine-readable summary to
 //! `BENCH_fig10.json` at the repository root so successive PRs can track
-//! the performance trajectory. The schema (`sct-fig10/3`):
+//! the performance trajectory. The schema (`sct-fig10/4`):
 //!
 //! ```json
 //! {
-//!   "schema": "sct-fig10/3",
+//!   "schema": "sct-fig10/4",
 //!   "fast": false,
 //!   "scale": 1,
 //!   "reps": 3,
@@ -29,6 +29,10 @@
 //!   ],
 //!   "planning": [
 //!     { "workload": "sum", "plan_ms": 1.207, "plan_warm_ms": 0.164 }
+//!   ],
+//!   "eval": [
+//!     { "workload": "sum", "n": 128000, "reference_ns": 114740000,
+//!       "vm_ns": 18020000, "speedup": 6.37, "steps_per_sec": 92000000 }
 //!   ]
 //! }
 //! ```
@@ -51,11 +55,21 @@
 //! PSPACE-hard pre-pass — alongside run cost, and the warm column pins
 //! the amortization claim: warm must stay well under cold.
 //!
-//! Schema history: `sct-fig10/3` added the top-level `"planning"` array
-//! (cold vs. warm pre-pass cost per workload); `sct-fig10/2` added the
-//! `"hybrid"` setup rows (the hybrid enforcement ablation — statically
-//! discharged functions skip the monitor); the per-entry shape is
-//! unchanged from `sct-fig10/1`.
+//! `eval` has one entry per workload, measured at the workload's largest
+//! sweep size under the *unchecked* standard semantics: `reference_ns` is
+//! the retained reference tree-walker (`sct_interp::reference`, the
+//! evaluator every PR before the flat-IR VM measured against),
+//! `vm_ns` the dispatch VM, `speedup` their ratio, and `steps_per_sec`
+//! the VM's instruction throughput during the timed call. This is the
+//! row that keeps the evaluator win itself — not just monitoring
+//! overhead — in the trajectory.
+//!
+//! Schema history: `sct-fig10/4` added the top-level `"eval"` array (the
+//! reference-walker vs. flat-IR VM unchecked baseline); `sct-fig10/3`
+//! added the top-level `"planning"` array (cold vs. warm pre-pass cost
+//! per workload); `sct-fig10/2` added the `"hybrid"` setup rows (the
+//! hybrid enforcement ablation — statically discharged functions skip the
+//! monitor); the per-entry shape is unchanged from `sct-fig10/1`.
 //!
 //! # Sweep-control flags
 //!
@@ -76,7 +90,8 @@ use sct_cache::MemStore;
 use sct_core::monitor::TableStrategy;
 use sct_core::plan::EnforcementPlan;
 use sct_corpus::workloads::Workload;
-use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
+use sct_interp::{reference, EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
+use sct_ir::CompiledProgram;
 use sct_lang::ast::Program;
 use sct_symbolic::{plan_program, plan_program_incremental, PlanCache, PlanConfig, SymDomain};
 use std::rc::Rc;
@@ -130,6 +145,13 @@ pub struct CompiledWorkload {
     /// the [`Setup::Hybrid`] runs consume). Pre-pass cost is setup, not
     /// run time — exactly as `sct hybrid` amortizes it over a whole run.
     pub plan: Rc<EnforcementPlan>,
+    /// The flat-IR image without a plan (unchecked / cm / imperative
+    /// setups), compiled once and shared across repetitions — the same
+    /// amortization `sct serve` performs.
+    pub code: Rc<CompiledProgram>,
+    /// The plan-directed flat-IR image (hybrid setup): call sites bake in
+    /// the plan's skip/guarded/monitored decisions.
+    pub code_hybrid: Rc<CompiledProgram>,
 }
 
 /// Maps a corpus [`sct_corpus::Domain`] onto the verifier's domain.
@@ -173,10 +195,14 @@ impl CompiledWorkload {
             .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.id));
         let plan_config = plan_config_for(&workload);
         let plan = Rc::new(plan_program(&program, &plan_config));
+        let code = Rc::new(sct_ir::compile(&program, None));
+        let code_hybrid = Rc::new(sct_ir::compile(&program, Some(&plan)));
         CompiledWorkload {
             workload,
             program,
             plan,
+            code,
+            code_hybrid,
         }
     }
 
@@ -234,13 +260,18 @@ impl CompiledWorkload {
     }
 
     /// Runs once at size `n`, returning the wall time of the entry call
-    /// (setup excluded) and the machine stats.
+    /// (setup excluded) and the machine stats. The flat-IR image is
+    /// reused across calls (compiled once in [`CompiledWorkload::new`]).
     ///
     /// # Panics
     ///
     /// Panics if evaluation fails or the result check rejects the output.
     pub fn run_once(&self, n: u64, setup: Setup) -> (Duration, Stats) {
-        let mut m = Machine::new(&self.program, self.config(setup));
+        let code = match setup {
+            Setup::Hybrid => self.code_hybrid.clone(),
+            _ => self.code.clone(),
+        };
+        let mut m = Machine::with_code(&self.program, code, self.config(setup));
         m.run()
             .unwrap_or_else(|e| panic!("{}: program body failed: {e}", self.workload.id));
         let f = m
@@ -255,6 +286,36 @@ impl CompiledWorkload {
         assert!(
             (self.workload.check)(n, &v),
             "{} (n={n}, {setup:?}): wrong result {}",
+            self.workload.id,
+            v.to_write_string()
+        );
+        (elapsed, m.stats)
+    }
+
+    /// Runs once at size `n` under the *unchecked* standard semantics on
+    /// the retained reference tree-walker — the "before" of the `eval`
+    /// trajectory rows, so `BENCH_fig10.json` pins the VM win against the
+    /// machine it replaced.
+    ///
+    /// # Panics
+    ///
+    /// As [`CompiledWorkload::run_once`].
+    pub fn run_once_reference(&self, n: u64) -> (Duration, Stats) {
+        let mut m = reference::Machine::new(&self.program, MachineConfig::standard());
+        m.run()
+            .unwrap_or_else(|e| panic!("{}: program body failed: {e}", self.workload.id));
+        let f = m
+            .global(self.workload.entry)
+            .unwrap_or_else(|| panic!("{}: no entry {}", self.workload.id, self.workload.entry));
+        let args = (self.workload.make_args)(n);
+        let start = Instant::now();
+        let v = m
+            .call(f, args)
+            .unwrap_or_else(|e| panic!("{} (n={n}, reference): {e}", self.workload.id));
+        let elapsed = start.elapsed();
+        assert!(
+            (self.workload.check)(n, &v),
+            "{} (n={n}, reference): wrong result {}",
             self.workload.id,
             v.to_write_string()
         );
@@ -318,19 +379,43 @@ pub struct PlanTiming {
     pub plan_warm_ms: f64,
 }
 
-/// Serializes the sweep into the `sct-fig10/3` JSON document (see the
+/// Unchecked-baseline evaluator comparison for one workload: the retained
+/// reference tree-walker ("before") against the flat-IR dispatch VM
+/// ("after") at the workload's largest sweep size. Serialized into the
+/// `eval` array of `BENCH_fig10.json` so the perf trajectory captures the
+/// evaluator win itself, independent of monitoring.
+#[derive(Debug, Clone)]
+pub struct EvalTiming {
+    /// Workload id.
+    pub workload: &'static str,
+    /// Input size the comparison ran at.
+    pub n: u64,
+    /// Median reference tree-walker wall time, nanoseconds.
+    pub reference_ns: u128,
+    /// Median flat-IR VM wall time, nanoseconds.
+    pub vm_ns: u128,
+    /// `reference_ns / vm_ns`.
+    pub speedup: f64,
+    /// VM dispatch throughput: instructions per second during the timed
+    /// call (steps from [`Stats::steps`] over the median wall time).
+    pub steps_per_sec: f64,
+}
+
+/// Serializes the sweep into the `sct-fig10/4` JSON document (see the
 /// crate docs for the schema and its history). Hand-rolled because the
 /// workspace builds offline (no serde); all strings involved are static
 /// identifiers needing no escaping.
 pub fn fig10_json(
     entries: &[Fig10Entry],
     planning: &[PlanTiming],
+    eval: &[EvalTiming],
     fast: bool,
     scale: u64,
     reps: usize,
 ) -> String {
-    let mut out = String::with_capacity(128 + entries.len() * 96 + planning.len() * 72);
-    out.push_str("{\n  \"schema\": \"sct-fig10/3\",\n");
+    let mut out =
+        String::with_capacity(160 + entries.len() * 96 + planning.len() * 72 + eval.len() * 128);
+    out.push_str("{\n  \"schema\": \"sct-fig10/4\",\n");
     out.push_str(&format!("  \"fast\": {fast},\n"));
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -355,6 +440,20 @@ pub fn fig10_json(
             p.plan_ms,
             p.plan_warm_ms,
             if i + 1 < planning.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"eval\": [\n");
+    for (i, e) in eval.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"n\": {}, \"reference_ns\": {}, \"vm_ns\": {}, \
+             \"speedup\": {:.4}, \"steps_per_sec\": {:.0} }}{}\n",
+            e.workload,
+            e.n,
+            e.reference_ns,
+            e.vm_ns,
+            e.speedup,
+            e.steps_per_sec,
+            if i + 1 < eval.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -219,6 +219,53 @@ impl EnforcementPlan {
                 .all(|(a, b)| a.structurally_eq(b))
     }
 
+    /// Stable structural fingerprint of the plan's decisions — exactly
+    /// the fields [`EnforcementPlan::structurally_eq`] compares (timing
+    /// excluded), hashed with the versioned [`crate::stable`] mix. Two
+    /// plans agree on this fingerprint iff (modulo hashing) they would
+    /// bake identical call-site decisions, so it serves as the plan
+    /// identity token for compiled-IR caching and for the machine's
+    /// image/config agreement check.
+    pub fn decisions_fingerprint(&self) -> u64 {
+        let mut h = crate::stable::StableHasher::new();
+        h.write_u64(self.decisions.len() as u64);
+        for d in &self.decisions {
+            h.write_str(&d.name);
+            h.write_u32(d.lambda);
+            h.write_u64(d.covers.len() as u64);
+            for c in &d.covers {
+                h.write_u32(*c);
+            }
+            match &d.blame {
+                Some(b) => {
+                    h.write_u8(1);
+                    h.write_str(b);
+                }
+                None => h.write_u8(0),
+            }
+            h.write_str(&d.detail);
+            match &d.decision {
+                Decision::Static { guard } => {
+                    h.write_u8(0);
+                    h.write_u64(guard.len() as u64);
+                    for g in guard {
+                        h.write_str(g.label());
+                    }
+                }
+                Decision::Monitor { reason } => {
+                    h.write_u8(1);
+                    h.write_str(reason);
+                }
+                Decision::Refuted { witness, culprit } => {
+                    h.write_u8(2);
+                    h.write_str(&format!("{witness:?}"));
+                    h.write_str(culprit);
+                }
+            }
+        }
+        h.finish128().hi
+    }
+
     /// Count of entries with the given decision tag.
     pub fn count(&self, tag: &str) -> usize {
         self.decisions

@@ -1,13 +1,16 @@
 //! The λSCT interpreter: dynamic size-change termination monitoring as an
 //! operational semantics, per the PLDI'19 paper.
 //!
-//! A single CEK-style [`Machine`] runs the paper's three semantics — the
-//! standard ⇓ (with `terminating/c` extents, λCSCT), the fully monitored ⬇
-//! (λSCT, Figure 3), and the call-sequence ↓↓ (Figure 6) — under either of
-//! §5's table-maintenance strategies (imperative or continuation-mark),
-//! with the §5 optimizations (exponential backoff, loop-entry detection,
+//! A single [`Machine`] — a dispatch loop over the plan-directed flat IR
+//! of `sct-ir` — runs the paper's three semantics — the standard ⇓ (with
+//! `terminating/c` extents, λCSCT), the fully monitored ⬇ (λSCT,
+//! Figure 3), and the call-sequence ↓↓ (Figure 6) — under either of §5's
+//! table-maintenance strategies (imperative or continuation-mark), with
+//! the §5 optimizations (exponential backoff, loop-entry detection,
 //! closure key strategies, known-terminating whitelist) and a replaceable
-//! well-founded order (Figure 5).
+//! well-founded order (Figure 5). The tree-walking CEK machine it
+//! replaced is retained verbatim as [`reference::Machine`], the
+//! differential-oracle baseline the root crate tests the VM against.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ pub mod error;
 pub mod machine;
 pub mod order;
 pub mod prims;
+pub mod reference;
 pub mod value;
 
 pub use error::{ContractErrorInfo, EvalError, RtError, ScErrorInfo};
@@ -51,7 +55,7 @@ pub use machine::{
     datum_to_value, wrap_terminating, Machine, MachineConfig, SemanticsMode, Stats, TraceEvent,
 };
 pub use order::{CustomOrder, DefaultOrder, ExtendedOrder, OrderHandle, ReverseIntOrder};
-pub use value::{eq, equal, eqv, value_hash, value_size, Closure, Value};
+pub use value::{eq, equal, eqv, value_hash, value_size, Closure, ClosureEnv, Slot, Value};
 
 use sct_core::monitor::TableStrategy;
 use sct_lang::compile_program;

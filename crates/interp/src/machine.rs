@@ -1,46 +1,48 @@
-//! The CEK-style abstract machine for λSCT.
+//! The flat-IR dispatch machine for λSCT.
 //!
-//! One machine implements all the semantics of the paper:
+//! [`Machine`] executes the instruction arena produced by `sct-ir` (see
+//! that crate's docs for the compilation scheme): one contiguous code
+//! vector, flat per-activation locals frames, flat-closure capture lists,
+//! and call sites whose enforcement decisions were baked in at compile
+//! time from the [`EnforcementPlan`]. The retained tree-walking CEK
+//! machine lives in [`crate::reference`] and serves as the differential
+//! oracle; this machine preserves its continuation, blame, and
+//! size-change-table semantics bit-for-bit:
 //!
-//! * **Standard ⇓** ([`SemanticsMode::Standard`]): no monitoring, except
-//!   inside the dynamic extent of a `terminating/c`-wrapped call, which is
-//!   exactly λCSCT (Figure 7 / Figure 13).
-//! * **Monitored ⬇** ([`SemanticsMode::Monitored`]): every closure
-//!   application is guarded by `upd` (rule [SC-App-Clo] of Figure 3) — all
-//!   programs terminate, by Theorem 3.1.
-//! * **Call-sequence ↓↓** ([`SemanticsMode::CallSeqCollect`]): tables are
-//!   extended with `ext` but never enforced (Figure 6); violations that
-//!   *would* have fired are recorded in [`Machine::violations`], which is
-//!   what the completeness statements (Lemma 3.5) quantify over.
+//! * the continuation is still an explicit heap vector of continuation
+//!   frames — return frames for non-tail calls, `Restore` frames for the
+//!   imperative table strategy, contract extents, and contract-checking
+//!   frames — so deep recursion cannot overflow the Rust stack and a tail
+//!   call leaves the continuation untouched;
+//! * the continuation-mark table strategy keys marks on continuation
+//!   depth exactly as before (tail calls replace the top mark in place);
+//! * monitor-visible counters ([`Stats::applications`],
+//!   [`Stats::monitored_calls`], [`Stats::checks`],
+//!   [`Stats::static_skips`]) are identical to the reference machine's on
+//!   every program — the oracle suite asserts it. Representation-bound
+//!   counters ([`Stats::steps`], the high-water marks,
+//!   [`Stats::env_frames_allocated`]) legitimately differ.
 //!
-//! The size-change table is maintained by one of §5's two strategies:
-//! imperative (a mutable table plus restore continuations — fast, breaks
-//! proper tail calls) or continuation-mark (a persistent table in
-//! depth-tagged marks — preserves tail calls, pays allocation in tight
-//! loops). Exponential backoff, loop-entry detection, closure-key
-//! strategies, and the known-terminating whitelist are all configurable.
-//!
-//! Because the continuation is an explicit heap vector, deep recursion
-//! cannot overflow the Rust stack, and a tail call leaves the continuation
-//! untouched — letting tests observe that the continuation-mark strategy
-//! really does run `sum` in constant continuation space while the
-//! imperative strategy's restore frames grow linearly (Figure 10's
-//! trade-off).
+//! What changed is the per-step cost: no `Rc<Expr>` clones, no
+//! continuation frame per evaluated argument, no environment-chain walk
+//! per variable, and — at specialized call sites — no per-call decision
+//! about whether the callee is discharged, guarded, or monitored.
 
-use crate::env::{assign, lookup, Env, Frame};
 use crate::error::{ContractErrorInfo, EvalError, RtError, ScErrorInfo};
 use crate::order::OrderHandle;
 use crate::prims::{call_prim, PrimEffect};
-use crate::value::{mix2, value_hash, Closure, ContractData, Value, WrapKind, WrappedData};
+use crate::value::{mix2, Closure, ClosureEnv, ContractData, Slot, Value, WrapKind, WrappedData};
 use sct_bignum::Int;
 use sct_core::graph::ScGraph;
-use sct_core::intern::{FxBuildHasher, Interner};
+use sct_core::intern::Interner;
 use sct_core::monitor::{Backoff, KeyStrategy, MonitorConfig, TableStrategy};
 use sct_core::plan::{EnforcementPlan, PlanDomain};
 use sct_core::table::{MutScTable, ScTable, TableUndo};
-use sct_lang::ast::{Expr, Program, TopForm, VarRef};
+use sct_ir::{CapSrc, CompiledProgram, Instr, SiteAction, TopCode};
+use sct_lang::ast::Program;
 use sct_lang::{LambdaDef, Prim};
 use sct_sexpr::Datum;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
@@ -73,11 +75,11 @@ pub struct MachineConfig {
     /// When true, record a [`TraceEvent`] per checked call (Figure 1).
     pub trace: bool,
     /// The hybrid enforcement plan from the static pre-pass, when one was
-    /// computed (`sct hybrid`, `run_hybrid`). Applications of statically
-    /// discharged λs skip the monitor entirely — no graph construction, no
-    /// `CallSeq` push — after re-checking the plan's per-argument domain
-    /// guard (a constant-time test). Everything else is unchanged;
-    /// `None` is plain monitoring.
+    /// computed (`sct hybrid`, `run_hybrid`). [`Machine::new`] compiles the
+    /// program against this plan, so statically discharged λs skip the
+    /// monitor at specialized call sites with *zero* per-call decision
+    /// work; first-class applications of discharged λs still take the
+    /// per-λ fast path. `None` is plain monitoring.
     pub plan: Option<Rc<EnforcementPlan>>,
 }
 
@@ -101,9 +103,16 @@ impl MachineConfig {
 }
 
 /// Counters exposed for tests and the benchmark harness.
+///
+/// `applications`, `monitored_calls`, `checks`, and `static_skips` are
+/// *semantic* counters: the IR machine and the reference tree-walker
+/// produce identical values for them on every program (the differential
+/// oracle asserts it). `steps`, the high-water marks, and
+/// `env_frames_allocated` are representation-bound: steps count IR
+/// instructions here but CEK transitions in the reference machine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Stats {
-    /// Machine steps executed.
+    /// Machine steps executed (IR instructions dispatched).
     pub steps: u64,
     /// Closure applications performed.
     pub applications: u64,
@@ -117,6 +126,10 @@ pub struct Stats {
     /// enforcement plan proved the λ terminating, so the monitor was
     /// skipped (after the guard check, when the proof was domain-guarded).
     pub static_skips: u64,
+    /// Environment frames allocated: one per activation here, one per
+    /// `lambda`/`let`/`letrec` frame in the reference machine — the
+    /// allocation win of flat frames, reported by `report_fig10`.
+    pub env_frames_allocated: u64,
     /// High-water mark of the continuation stack.
     pub max_kont_depth: usize,
     /// High-water mark of the continuation-mark stack.
@@ -136,18 +149,13 @@ pub struct TraceEvent {
     pub kont_depth: usize,
 }
 
-enum Ctrl {
-    Eval(Expr, Env),
-    Val(Value),
-}
-
-struct MarkEntry {
-    depth: usize,
-    table: ScTable<u64, Value>,
+pub(crate) struct MarkEntry {
+    pub(crate) depth: usize,
+    pub(crate) table: ScTable<u64, Value>,
 }
 
 /// Per-λ fast-path rule compiled from the enforcement plan.
-enum FastGuard {
+pub(crate) enum FastGuard {
     /// Skip the monitor unconditionally (proof assumed nothing).
     Always,
     /// Skip only when each argument is in the proof's assumed domain;
@@ -159,7 +167,7 @@ enum FastGuard {
 /// shallow pair-or-nil check: pairs are immutable finite trees in λSCT, so
 /// structural descent is well-founded on every value and the proof's
 /// descent facts hold regardless of what the tail turns out to be.
-fn in_domain(d: PlanDomain, v: &Value) -> bool {
+pub(crate) fn in_domain(d: PlanDomain, v: &Value) -> bool {
     match d {
         PlanDomain::Any => true,
         PlanDomain::Int => matches!(v, Value::Int(_)),
@@ -169,62 +177,49 @@ fn in_domain(d: PlanDomain, v: &Value) -> bool {
     }
 }
 
+/// The whole domain guard of a static proof: the call matches the proved
+/// arity and every argument is in its assumed domain. The one definition
+/// behind the `Guarded` site action, the per-λ fast-path probe, and the
+/// first-class application path.
+pub(crate) fn guard_passes(doms: &[PlanDomain], args: &[Value]) -> bool {
+    args.len() == doms.len() && args.iter().zip(doms.iter()).all(|(a, d)| in_domain(*d, a))
+}
+
+/// Applies a [`FastGuard`] rule to actual arguments.
+pub(crate) fn fast_guard_passes(rule: Option<&FastGuard>, args: &[Value]) -> bool {
+    match rule {
+        None => false,
+        Some(FastGuard::Always) => true,
+        Some(FastGuard::Domains(doms)) => guard_passes(doms, args),
+    }
+}
+
+/// The machine's continuation frames. `Return` replaces the tree-walker's
+/// pending-expression frames (the caller's resumption is a program point,
+/// not a subtree); everything else is carried over unchanged.
 enum Kont {
-    If {
-        then_branch: Expr,
-        else_branch: Expr,
-        env: Env,
+    /// Resume the caller at `pc` with the callee's value on the stack.
+    Return {
+        pc: u32,
+        locals_len: u32,
+        locals_base: u32,
+        caps: Rc<[Slot]>,
     },
-    Seq {
-        exprs: Rc<[Expr]>,
-        index: usize,
-        env: Env,
-    },
-    AppFunc {
-        exprs: Rc<[Expr]>,
-        env: Env,
-    },
-    AppArgs {
-        func: Value,
-        exprs: Rc<[Expr]>,
-        index: usize,
-        done: Vec<Value>,
-        env: Env,
-    },
-    SetLocal {
-        var: VarRef,
-        env: Env,
-    },
-    SetGlobal {
-        index: u32,
-    },
-    LetInit {
-        inits: Rc<[Expr]>,
-        index: usize,
-        done: Vec<Value>,
-        body: Rc<Expr>,
-        env: Env,
-    },
-    LetRecInit {
-        inits: Rc<[Expr]>,
-        index: usize,
-        body: Rc<Expr>,
-        env: Env,
-    },
-    TermCWrap {
-        label: Rc<str>,
-    },
+    /// Undo an imperative-table extension when the checked call returns.
     Restore(TableUndo<u64, Value>),
+    /// Leave a `terminating/c` extent ([App-Term]/[SC-App-Term]).
     ContractExtent {
         saved: Option<MutScTable<u64, Value>>,
         started: bool,
     },
+    /// Pending flat-contract predicate result.
     FlatCheck {
         original: Value,
         rest: VecDeque<Value>,
         pos: Rc<str>,
         neg: Rc<str>,
     },
+    /// Pending `->/c` domain checks.
     ArrowCall {
         inner: Value,
         doms: Vec<Value>,
@@ -234,6 +229,7 @@ enum Kont {
         pos: Rc<str>,
         neg: Rc<str>,
     },
+    /// Pending `->/c` range check.
     ArrowRng {
         rng: Value,
         pos: Rc<str>,
@@ -241,7 +237,16 @@ enum Kont {
     },
 }
 
-/// The λSCT abstract machine.
+/// Outcome of an application path: the machine either entered compiled
+/// code (the dispatch loop continues) or produced a value immediately
+/// (primitives, pure contract attachment) that must unwind the
+/// continuation.
+enum Step {
+    Enter,
+    Value(Value),
+}
+
+/// The λSCT machine: a dispatch loop over the plan-directed flat IR.
 ///
 /// # Examples
 ///
@@ -256,6 +261,7 @@ enum Kont {
 /// ```
 pub struct Machine<'p> {
     program: &'p Program,
+    code: Rc<CompiledProgram>,
     /// The active configuration.
     pub config: MachineConfig,
     globals: Vec<Value>,
@@ -267,19 +273,27 @@ pub struct Machine<'p> {
     pub violations: Vec<ScErrorInfo>,
     /// Trace of checked calls when tracing is on.
     pub trace_events: Vec<TraceEvent>,
-    whitelist: HashSet<String>,
-    // λ id → fast-path rule, compiled once from `config.plan`.
-    fast_path: HashMap<u32, FastGuard, FxBuildHasher>,
-    quote_cache: HashMap<*const Datum, Value>,
+    // Constant pool, materialized once (shared per quote site, so `eq?`
+    // semantics match the tree-walker's per-site cache).
+    consts: Vec<Value>,
+    // Per-λ whitelist membership and fast-path rule, both indexed by λ id
+    // (a direct load instead of the tree-walker's per-call map probes).
+    whitelisted: Vec<bool>,
+    fast_path: Vec<Option<FastGuard>>,
+    // Dynamic state.
+    stack: Vec<Value>,
+    locals: Vec<Slot>,
+    locals_base: usize,
+    kont: Vec<Kont>,
+    pc: usize,
+    caps: Rc<[Slot]>,
     alloc_counter: u64,
     backoff: Backoff<u64>,
     // Loop-entry detection state (§5).
     designated: HashSet<u64>,
     last_seen_tick: HashMap<u64, u64>,
     guard_tick: u64,
-    // Shared graph pool: every table this machine creates interns its
-    // size-change graphs here, so `desc?` and composition are memoized
-    // across the whole run (and across runs on this thread).
+    // Shared graph pool (see `Interner::global`).
     interner: Interner,
     // Imperative-strategy table (also used by CallSeqCollect).
     imp_table: MutScTable<u64, Value>,
@@ -291,35 +305,102 @@ pub struct Machine<'p> {
 }
 
 impl<'p> Machine<'p> {
-    /// Creates a machine for a compiled program.
+    /// Creates a machine for a compiled program, lowering it to the flat
+    /// IR against `config.plan` (when present).
     pub fn new(program: &'p Program, config: MachineConfig) -> Machine<'p> {
-        let whitelist = config.monitor.whitelist.iter().cloned().collect();
-        let backoff = Backoff::new(config.monitor.backoff);
-        let mut fast_path: HashMap<u32, FastGuard, FxBuildHasher> = HashMap::default();
+        let code = Rc::new(sct_ir::compile(program, config.plan.as_deref()));
+        Machine::with_code(program, code, config)
+    }
+
+    /// Creates a machine over an already-compiled IR image — the
+    /// amortization entry point for the `sct serve` daemon and the bench
+    /// harness, which compile once per distinct program and reuse the
+    /// image across requests/repetitions. The image must have been
+    /// produced by [`sct_ir::compile`] from this `program` and the same
+    /// plan as `config.plan`; compiling against one plan and running
+    /// under another would bake stale decisions into the call sites, so
+    /// the pairing is *checked* (in release builds too) via the plan
+    /// identity token the compiler stamped into the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image's plan token does not match `config.plan`
+    /// (decisions fingerprint) — a `Skip` site baked from another plan
+    /// could otherwise bypass the monitor for a λ this plan left
+    /// monitored — or when the image's shape (lambda/top-form counts)
+    /// does not match `program`. The shape check catches gross
+    /// mispairings; an image from a *different but identically shaped*
+    /// program is the caller's responsibility to avoid.
+    pub fn with_code(
+        program: &'p Program,
+        code: Rc<CompiledProgram>,
+        config: MachineConfig,
+    ) -> Machine<'p> {
+        let config_token = config
+            .plan
+            .as_deref()
+            .map_or(0, EnforcementPlan::decisions_fingerprint);
+        assert_eq!(
+            (code.planned, code.plan_token),
+            (config.plan.is_some(), config_token),
+            "IR image was compiled against a different plan than MachineConfig carries"
+        );
+        assert_eq!(
+            (code.templates.len(), code.top.len()),
+            (program.lambda_count as usize, program.top_level.len()),
+            "IR image was compiled from a different program"
+        );
+        let whitelist: HashSet<&str> = config
+            .monitor
+            .whitelist
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let whitelisted = code
+            .templates
+            .iter()
+            .map(|t| match &t.def.name {
+                Some(n) => whitelist.contains(n.as_str()),
+                None => false,
+            })
+            .collect();
+        let mut fast_path: Vec<Option<FastGuard>> =
+            (0..code.templates.len()).map(|_| None).collect();
         if let Some(plan) = &config.plan {
             for (id, guard) in plan.static_lambdas() {
                 let rule = match guard {
                     None => FastGuard::Always,
                     Some(doms) => FastGuard::Domains(Rc::from(doms)),
                 };
-                fast_path.insert(id, rule);
+                if let Some(entry) = fast_path.get_mut(id as usize) {
+                    *entry = Some(rule);
+                }
             }
         }
+        let consts = code.consts.iter().map(|d| datum_to_value(d)).collect();
+        let backoff = Backoff::new(config.monitor.backoff);
         // The thread-local pool: `std::mem::take` on the imperative table
         // (contract extents) builds `MutScTable::new()`, which uses the
         // same pool — every table in this machine must agree on one.
         let interner = Interner::global();
         Machine {
             program,
+            code,
             config,
             globals: vec![Value::Undefined; program.global_names.len()],
             output: String::new(),
             stats: Stats::default(),
             violations: Vec::new(),
             trace_events: Vec::new(),
-            whitelist,
+            consts,
+            whitelisted,
             fast_path,
-            quote_cache: HashMap::new(),
+            stack: Vec::new(),
+            locals: Vec::new(),
+            locals_base: 0,
+            kont: Vec::new(),
+            pc: 0,
+            caps: Rc::from(Vec::new()),
             alloc_counter: 0,
             backoff,
             designated: HashSet::new(),
@@ -333,6 +414,11 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// The compiled IR image this machine dispatches over.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.code
+    }
+
     /// Runs all top-level forms; the result is the last expression's value
     /// (or void when the program ends with a definition).
     ///
@@ -341,21 +427,40 @@ impl<'p> Machine<'p> {
     /// [`EvalError`] as the program's non-value answers: `errorRT`,
     /// `errorSC`, contract violations, or fuel exhaustion.
     pub fn run(&mut self) -> Result<Value, EvalError> {
+        let code = self.code.clone();
         let mut last = Value::Void;
-        for (i, form) in self.program.top_level.iter().enumerate() {
-            let _ = i;
-            match form {
-                TopForm::Define { index, expr } => {
-                    let v = self.run_ctrl(Ctrl::Eval(expr.clone(), None))?;
-                    self.globals[*index as usize] = v;
+        for top in &code.top {
+            let v = self.run_top(top)?;
+            match top.define {
+                Some(g) => {
+                    self.globals[g as usize] = v;
                     last = Value::Void;
                 }
-                TopForm::Expr(expr) => {
-                    last = self.run_ctrl(Ctrl::Eval(expr.clone(), None))?;
-                }
+                None => last = v,
             }
         }
         Ok(last)
+    }
+
+    fn run_top(&mut self, top: &TopCode) -> Result<Value, EvalError> {
+        self.reset_activation_state();
+        self.stats.env_frames_allocated += 1;
+        self.locals
+            .resize(top.frame_size as usize, Slot::Val(Value::Undefined));
+        self.pc = top.entry as usize;
+        self.execute()
+    }
+
+    /// Clears the per-evaluation dynamic state (a prior error may have
+    /// left frames behind). The size-change `imp_table` deliberately
+    /// survives — it is machine-level state, exactly as in the reference
+    /// machine.
+    fn reset_activation_state(&mut self) {
+        self.kont.clear();
+        self.stack.clear();
+        self.locals.clear();
+        self.locals_base = 0;
+        self.caps = Rc::from(Vec::new());
     }
 
     /// Looks up a global's current value by name (after [`Machine::run`]).
@@ -371,16 +476,20 @@ impl<'p> Machine<'p> {
     ///
     /// [`EvalError`] exactly as [`Machine::run`].
     pub fn call(&mut self, f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
-        let mut kont = Vec::new();
-        let ctrl = self.apply_value(f, args, &mut kont)?;
-        self.run_loop(ctrl, kont)
+        self.reset_activation_state();
+        match self.apply_value(f, args)? {
+            Step::Enter => self.execute(),
+            Step::Value(v) => match self.unwind(v)? {
+                Some(done) => Ok(done),
+                None => self.execute(),
+            },
+        }
     }
 
-    fn run_ctrl(&mut self, ctrl: Ctrl) -> Result<Value, EvalError> {
-        self.run_loop(ctrl, Vec::new())
-    }
+    // ----- the dispatch loop ---------------------------------------------
 
-    fn run_loop(&mut self, mut ctrl: Ctrl, mut kont: Vec<Kont>) -> Result<Value, EvalError> {
+    fn execute(&mut self) -> Result<Value, EvalError> {
+        let code = self.code.clone();
         loop {
             self.stats.steps += 1;
             if let Some(fuel) = self.config.fuel {
@@ -388,359 +497,470 @@ impl<'p> Machine<'p> {
                     return Err(EvalError::OutOfFuel);
                 }
             }
-            if kont.len() > self.stats.max_kont_depth {
-                self.stats.max_kont_depth = kont.len();
-            }
-            ctrl = match ctrl {
-                Ctrl::Eval(e, env) => self.step_eval(e, env, &mut kont)?,
-                Ctrl::Val(v) => match kont.pop() {
-                    None => {
-                        // A tail call at depth 0 legitimately leaves a mark;
-                        // the session is over, so drop it.
-                        self.marks.clear();
-                        debug_assert!(self.blames.is_empty());
-                        return Ok(v);
+            let instr = code.code[self.pc];
+            self.pc += 1;
+            match instr {
+                Instr::Const(ix) => self.stack.push(self.consts[ix as usize].clone()),
+                Instr::Void => self.stack.push(Value::Void),
+                Instr::LoadLocal(i) => {
+                    let slot = &self.locals[self.locals_base + i as usize];
+                    let Slot::Val(v) = slot else {
+                        unreachable!("plain load from cell slot");
+                    };
+                    self.stack.push(v.clone());
+                }
+                Instr::LoadLocalChecked(i) => {
+                    let slot = &self.locals[self.locals_base + i as usize];
+                    let Slot::Val(v) = slot else {
+                        unreachable!("checked load from cell slot");
+                    };
+                    if matches!(v, Value::Undefined) {
+                        return Err(uninitialized());
                     }
-                    Some(frame) => {
-                        // Marks deeper than the continuation are stale: the
-                        // calls that installed them have returned.
-                        while self.marks.last().is_some_and(|m| m.depth > kont.len()) {
-                            self.marks.pop();
+                    self.stack.push(v.clone());
+                }
+                Instr::LoadLocalCell(i) => {
+                    let slot = &self.locals[self.locals_base + i as usize];
+                    let Slot::Cell(c) = slot else {
+                        unreachable!("cell load from plain slot");
+                    };
+                    let v = c.borrow().clone();
+                    if matches!(v, Value::Undefined) {
+                        return Err(uninitialized());
+                    }
+                    self.stack.push(v);
+                }
+                Instr::LoadCapture(i) => {
+                    let Slot::Val(v) = &self.caps[i as usize] else {
+                        unreachable!("plain capture load from cell");
+                    };
+                    self.stack.push(v.clone());
+                }
+                Instr::LoadCaptureCell(i) => {
+                    let Slot::Cell(c) = &self.caps[i as usize] else {
+                        unreachable!("cell capture load from plain slot");
+                    };
+                    let v = c.borrow().clone();
+                    if matches!(v, Value::Undefined) {
+                        return Err(uninitialized());
+                    }
+                    self.stack.push(v);
+                }
+                Instr::StoreLocal(i) => {
+                    let v = self.stack.pop().expect("store operand");
+                    self.locals[self.locals_base + i as usize] = Slot::Val(v);
+                    self.stack.push(Value::Void);
+                }
+                Instr::StoreLocalCell(i) => {
+                    let v = self.stack.pop().expect("store operand");
+                    let Slot::Cell(c) = &self.locals[self.locals_base + i as usize] else {
+                        unreachable!("cell store to plain slot");
+                    };
+                    *c.borrow_mut() = v;
+                    self.stack.push(Value::Void);
+                }
+                Instr::StoreCaptureCell(i) => {
+                    let v = self.stack.pop().expect("store operand");
+                    let Slot::Cell(c) = &self.caps[i as usize] else {
+                        unreachable!("cell store to plain capture");
+                    };
+                    *c.borrow_mut() = v;
+                    self.stack.push(Value::Void);
+                }
+                Instr::LoadGlobal(g) => {
+                    let v = self.globals[g as usize].clone();
+                    if matches!(v, Value::Undefined) {
+                        return Err(RtError::new(format!(
+                            "global {} used before definition",
+                            self.program.global_names[g as usize]
+                        ))
+                        .into());
+                    }
+                    self.stack.push(v);
+                }
+                Instr::StoreGlobal(g) => {
+                    let v = self.stack.pop().expect("store operand");
+                    self.globals[g as usize] = v;
+                    self.stack.push(Value::Void);
+                }
+                Instr::PrimVal(p) => self.stack.push(Value::Prim(p)),
+                Instr::MakeClosure(id) => self.make_closure(id),
+                Instr::Jump(t) => self.pc = t as usize,
+                Instr::JumpIfFalse(t) => {
+                    let v = self.stack.pop().expect("branch operand");
+                    if !v.is_truthy() {
+                        self.pc = t as usize;
+                    }
+                }
+                Instr::Pop => {
+                    self.stack.pop();
+                }
+                Instr::PopLocal(i) => {
+                    let v = self.stack.pop().expect("binding operand");
+                    self.locals[self.locals_base + i as usize] = Slot::Val(v);
+                }
+                Instr::PopLocalCell(i) => {
+                    let v = self.stack.pop().expect("binding operand");
+                    self.locals[self.locals_base + i as usize] =
+                        Slot::Cell(Rc::new(RefCell::new(v)));
+                }
+                Instr::InitLocalCell(i) => {
+                    let v = self.stack.pop().expect("binding operand");
+                    let Slot::Cell(c) = &self.locals[self.locals_base + i as usize] else {
+                        unreachable!("letrec init to plain slot");
+                    };
+                    *c.borrow_mut() = v;
+                }
+                Instr::ClearLocal(i) => {
+                    self.locals[self.locals_base + i as usize] = Slot::Val(Value::Undefined);
+                }
+                Instr::MakeCell(i) => {
+                    self.locals[self.locals_base + i as usize] =
+                        Slot::Cell(Rc::new(RefCell::new(Value::Undefined)));
+                }
+                Instr::BoxLocal(i) => {
+                    let ix = self.locals_base + i as usize;
+                    let old = std::mem::replace(&mut self.locals[ix], Slot::Val(Value::Undefined));
+                    let Slot::Val(v) = old else {
+                        unreachable!("boxing a cell slot");
+                    };
+                    self.locals[ix] = Slot::Cell(Rc::new(RefCell::new(v)));
+                }
+                Instr::WrapTerm(l) => {
+                    let v = self.stack.pop().expect("wrap operand");
+                    let label = self.code.labels[l as usize].clone();
+                    self.stack.push(wrap_terminating(v, label));
+                }
+                Instr::CallPrim { prim, argc } => {
+                    let args_start = self.stack.len() - argc as usize;
+                    let result = call_prim(prim, &self.stack[args_start..])?;
+                    self.stack.truncate(args_start);
+                    match result {
+                        PrimEffect::Value(v) => self.stack.push(v),
+                        PrimEffect::Output(text, v) => {
+                            self.output.push_str(&text);
+                            self.stack.push(v);
                         }
-                        self.step_kont(v, frame, &mut kont)?
                     }
-                },
+                }
+                Instr::Call { argc, site } => {
+                    if let Some(done) = self.do_call(argc as usize, site as usize, false)? {
+                        return Ok(done);
+                    }
+                }
+                Instr::TailCall { argc, site } => {
+                    if let Some(done) = self.do_call(argc as usize, site as usize, true)? {
+                        return Ok(done);
+                    }
+                }
+                Instr::Return => {
+                    let v = self.stack.pop().expect("return value");
+                    if let Some(done) = self.unwind(v)? {
+                        return Ok(done);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_kont(&mut self, k: Kont) {
+        self.kont.push(k);
+        if self.kont.len() > self.stats.max_kont_depth {
+            self.stats.max_kont_depth = self.kont.len();
+        }
+    }
+
+    /// Unwinds the continuation with a value, exactly as the tree-walker's
+    /// value steps: stale marks are trimmed as the continuation shrinks,
+    /// `Restore`/extent frames replay their effects, contract frames may
+    /// re-enter compiled code. Returns the final value once the
+    /// continuation is empty, or `None` when execution resumes at `pc`.
+    fn unwind(&mut self, mut v: Value) -> Result<Option<Value>, EvalError> {
+        loop {
+            let Some(frame) = self.kont.pop() else {
+                // A tail call at depth 0 legitimately leaves a mark; the
+                // session is over, so drop it.
+                self.marks.clear();
+                debug_assert!(self.blames.is_empty());
+                return Ok(Some(v));
             };
+            // Marks deeper than the continuation are stale: the calls
+            // that installed them have returned.
+            while self.marks.last().is_some_and(|m| m.depth > self.kont.len()) {
+                self.marks.pop();
+            }
+            match frame {
+                Kont::Return {
+                    pc,
+                    locals_len,
+                    locals_base,
+                    caps,
+                } => {
+                    self.locals.truncate(locals_len as usize);
+                    self.locals_base = locals_base as usize;
+                    self.caps = caps;
+                    self.pc = pc as usize;
+                    self.stack.push(v);
+                    return Ok(None);
+                }
+                Kont::Restore(undo) => self.imp_table.restore(undo),
+                Kont::ContractExtent { saved, started } => {
+                    if let Some(table) = saved {
+                        self.imp_table = table;
+                    }
+                    if started {
+                        self.extent_depth -= 1;
+                    }
+                    self.blames.pop();
+                }
+                Kont::FlatCheck {
+                    original,
+                    rest,
+                    pos,
+                    neg,
+                } => {
+                    if v.is_truthy() {
+                        match self.attach_all(rest, original, pos, neg)? {
+                            Step::Enter => return Ok(None),
+                            Step::Value(next) => v = next,
+                        }
+                    } else {
+                        return Err(EvalError::Contract(ContractErrorInfo {
+                            blame: pos,
+                            message: format!("predicate rejected {}", original.to_write_string()),
+                        }));
+                    }
+                }
+                Kont::ArrowCall {
+                    inner,
+                    doms,
+                    args,
+                    receiving,
+                    mut checked,
+                    pos,
+                    neg,
+                } => {
+                    checked.push(v);
+                    let next = receiving + 1;
+                    let step = if next < args.len() {
+                        let dom = doms[next].clone();
+                        let arg = args[next].clone();
+                        self.push_kont(Kont::ArrowCall {
+                            inner,
+                            doms,
+                            args,
+                            receiving: next,
+                            checked,
+                            pos: pos.clone(),
+                            neg: neg.clone(),
+                        });
+                        // Domain obligations blame the caller: swap parties.
+                        self.attach_all(VecDeque::from(vec![dom]), arg, neg, pos)?
+                    } else {
+                        self.apply_value(inner, checked)?
+                    };
+                    match step {
+                        Step::Enter => return Ok(None),
+                        Step::Value(next_v) => v = next_v,
+                    }
+                }
+                Kont::ArrowRng { rng, pos, neg } => {
+                    match self.attach_all(VecDeque::from(vec![rng]), v, pos, neg)? {
+                        Step::Enter => return Ok(None),
+                        Step::Value(next_v) => v = next_v,
+                    }
+                }
+            }
         }
     }
 
-    fn step_eval(&mut self, e: Expr, env: Env, kont: &mut Vec<Kont>) -> Result<Ctrl, EvalError> {
-        Ok(match e {
-            Expr::Quote(d) => Ctrl::Val(self.datum_value(&d)),
-            Expr::Var(v) => {
-                let value = lookup(&env, v.depth, v.slot);
-                if matches!(value, Value::Undefined) {
-                    return Err(RtError::new("variable used before initialization").into());
-                }
-                Ctrl::Val(value)
-            }
-            Expr::Global(i) => {
-                let value = self.globals[i as usize].clone();
-                if matches!(value, Value::Undefined) {
-                    return Err(RtError::new(format!(
-                        "global {} used before definition",
-                        self.program.global_names[i as usize]
-                    ))
-                    .into());
-                }
-                Ctrl::Val(value)
-            }
-            Expr::PrimRef(p) => Ctrl::Val(Value::Prim(p)),
-            Expr::Lambda(def) => Ctrl::Val(self.make_closure(def, &env)),
-            Expr::If {
-                cond,
-                then_branch,
-                else_branch,
-            } => {
-                kont.push(Kont::If {
-                    then_branch: (*then_branch).clone(),
-                    else_branch: (*else_branch).clone(),
-                    env: env.clone(),
-                });
-                Ctrl::Eval((*cond).clone(), env)
-            }
-            Expr::App { func, args } => {
-                kont.push(Kont::AppFunc {
-                    exprs: args,
-                    env: env.clone(),
-                });
-                Ctrl::Eval((*func).clone(), env)
-            }
-            Expr::Seq(exprs) => {
-                let first = exprs[0].clone();
-                if exprs.len() > 1 {
-                    kont.push(Kont::Seq {
-                        exprs,
-                        index: 1,
-                        env: env.clone(),
-                    });
-                }
-                Ctrl::Eval(first, env)
-            }
-            Expr::SetLocal { var, value } => {
-                kont.push(Kont::SetLocal {
-                    var,
-                    env: env.clone(),
-                });
-                Ctrl::Eval((*value).clone(), env)
-            }
-            Expr::SetGlobal { index, value } => {
-                kont.push(Kont::SetGlobal { index });
-                Ctrl::Eval((*value).clone(), env)
-            }
-            Expr::Let { inits, body } => {
-                if inits.is_empty() {
-                    let new_env = Frame::extend(&env, Vec::new());
-                    Ctrl::Eval((*body).clone(), new_env)
-                } else {
-                    let first = inits[0].clone();
-                    kont.push(Kont::LetInit {
-                        inits,
-                        index: 0,
-                        done: Vec::new(),
-                        body,
-                        env: env.clone(),
-                    });
-                    Ctrl::Eval(first, env)
-                }
-            }
-            Expr::LetRec { inits, body } => {
-                let new_env = Frame::extend_undefined(&env, inits.len());
-                if inits.is_empty() {
-                    Ctrl::Eval((*body).clone(), new_env)
-                } else {
-                    let first = inits[0].clone();
-                    kont.push(Kont::LetRecInit {
-                        inits,
-                        index: 0,
-                        body,
-                        env: new_env.clone(),
-                    });
-                    Ctrl::Eval(first, new_env)
-                }
-            }
-            Expr::TermC { body, label } => {
-                kont.push(Kont::TermCWrap { label });
-                Ctrl::Eval((*body).clone(), env)
-            }
-        })
-    }
+    // ----- values --------------------------------------------------------
 
-    fn step_kont(
-        &mut self,
-        v: Value,
-        frame: Kont,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
-        Ok(match frame {
-            Kont::If {
-                then_branch,
-                else_branch,
-                env,
-            } => {
-                if v.is_truthy() {
-                    Ctrl::Eval(then_branch, env)
-                } else {
-                    Ctrl::Eval(else_branch, env)
-                }
-            }
-            Kont::Seq { exprs, index, env } => {
-                let next = exprs[index].clone();
-                if index + 1 < exprs.len() {
-                    kont.push(Kont::Seq {
-                        exprs,
-                        index: index + 1,
-                        env: env.clone(),
-                    });
-                }
-                Ctrl::Eval(next, env)
-            }
-            Kont::AppFunc { exprs, env } => {
-                if exprs.is_empty() {
-                    self.apply_value(v, Vec::new(), kont)?
-                } else {
-                    let first = exprs[0].clone();
-                    kont.push(Kont::AppArgs {
-                        func: v,
-                        exprs,
-                        index: 0,
-                        done: Vec::new(),
-                        env: env.clone(),
-                    });
-                    Ctrl::Eval(first, env)
-                }
-            }
-            Kont::AppArgs {
-                func,
-                exprs,
-                index,
-                mut done,
-                env,
-            } => {
-                done.push(v);
-                if index + 1 < exprs.len() {
-                    let next = exprs[index + 1].clone();
-                    kont.push(Kont::AppArgs {
-                        func,
-                        exprs,
-                        index: index + 1,
-                        done,
-                        env: env.clone(),
-                    });
-                    Ctrl::Eval(next, env)
-                } else {
-                    self.apply_value(func, done, kont)?
-                }
-            }
-            Kont::SetLocal { var, env } => {
-                assign(&env, var.depth, var.slot, v);
-                Ctrl::Val(Value::Void)
-            }
-            Kont::SetGlobal { index } => {
-                self.globals[index as usize] = v;
-                Ctrl::Val(Value::Void)
-            }
-            Kont::LetInit {
-                inits,
-                index,
-                mut done,
-                body,
-                env,
-            } => {
-                done.push(v);
-                if index + 1 < inits.len() {
-                    let next = inits[index + 1].clone();
-                    kont.push(Kont::LetInit {
-                        inits,
-                        index: index + 1,
-                        done,
-                        body,
-                        env: env.clone(),
-                    });
-                    Ctrl::Eval(next, env)
-                } else {
-                    let new_env = Frame::extend(&env, done);
-                    Ctrl::Eval((*body).clone(), new_env)
-                }
-            }
-            Kont::LetRecInit {
-                inits,
-                index,
-                body,
-                env,
-            } => {
-                // Name the slot: letrec frame is the innermost (depth 0).
-                assign(&env, 0, index as u16, v);
-                if index + 1 < inits.len() {
-                    let next = inits[index + 1].clone();
-                    kont.push(Kont::LetRecInit {
-                        inits,
-                        index: index + 1,
-                        body,
-                        env: env.clone(),
-                    });
-                    Ctrl::Eval(next, env)
-                } else {
-                    Ctrl::Eval((*body).clone(), env)
-                }
-            }
-            Kont::TermCWrap { label } => Ctrl::Val(wrap_terminating(v, label)),
-            Kont::Restore(undo) => {
-                self.imp_table.restore(undo);
-                Ctrl::Val(v)
-            }
-            Kont::ContractExtent { saved, started } => {
-                if let Some(table) = saved {
-                    self.imp_table = table;
-                }
-                if started {
-                    self.extent_depth -= 1;
-                }
-                self.blames.pop();
-                Ctrl::Val(v)
-            }
-            Kont::FlatCheck {
-                original,
-                rest,
-                pos,
-                neg,
-            } => {
-                if v.is_truthy() {
-                    self.attach_all(rest, original, pos, neg, kont)?
-                } else {
-                    return Err(EvalError::Contract(ContractErrorInfo {
-                        blame: pos,
-                        message: format!("predicate rejected {}", original.to_write_string()),
-                    }));
-                }
-            }
-            Kont::ArrowCall {
-                inner,
-                doms,
-                args,
-                receiving,
-                mut checked,
-                pos,
-                neg,
-            } => {
-                checked.push(v);
-                let next = receiving + 1;
-                if next < args.len() {
-                    let dom = doms[next].clone();
-                    let arg = args[next].clone();
-                    kont.push(Kont::ArrowCall {
-                        inner,
-                        doms,
-                        args,
-                        receiving: next,
-                        checked,
-                        pos: pos.clone(),
-                        neg: neg.clone(),
-                    });
-                    // Domain obligations blame the caller: swap parties.
-                    self.attach_all(VecDeque::from(vec![dom]), arg, neg, pos, kont)?
-                } else {
-                    self.apply_value(inner, checked, kont)?
-                }
-            }
-            Kont::ArrowRng { rng, pos, neg } => {
-                self.attach_all(VecDeque::from(vec![rng]), v, pos, neg, kont)?
-            }
-        })
-    }
-
-    // ----- values and environments -------------------------------------
-
-    fn datum_value(&mut self, d: &Rc<Datum>) -> Value {
-        let key = Rc::as_ptr(d);
-        if let Some(v) = self.quote_cache.get(&key) {
-            return v.clone();
+    fn make_closure(&mut self, id: u32) {
+        let tmpl = &self.code.templates[id as usize];
+        let mut caps: Vec<Slot> = Vec::with_capacity(tmpl.captures.len());
+        for c in &tmpl.captures {
+            caps.push(match c {
+                CapSrc::Local(i) => self.locals[self.locals_base + *i as usize].clone(),
+                CapSrc::Capture(i) => self.caps[*i as usize].clone(),
+            });
         }
-        let v = datum_to_value(d);
-        self.quote_cache.insert(key, v.clone());
-        v
-    }
-
-    fn make_closure(&mut self, def: Rc<LambdaDef>, env: &Env) -> Value {
         self.alloc_counter += 1;
-        let mut fp = mix2(0x51_7e, def.id as u64);
-        for fv in &def.free {
-            fp = mix2(fp, value_hash(&lookup(env, fv.depth, fv.slot)));
+        // Same fingerprint as the tree-walker: the capture list is ordered
+        // exactly as `def.free`, and cells hash their current contents.
+        let mut fp = mix2(0x51_7e, id as u64);
+        for s in &caps {
+            fp = mix2(fp, s.hash_current());
         }
-        Value::Closure(Rc::new(Closure {
-            def,
-            env: env.clone(),
+        let value = Value::Closure(Rc::new(Closure {
+            def: tmpl.def.clone(),
+            env: ClosureEnv::Flat(Rc::from(caps)),
             alloc_id: self.alloc_counter,
             fingerprint: fp,
-        }))
+        }));
+        self.stack.push(value);
     }
 
     // ----- application ---------------------------------------------------
 
-    fn apply_value(
+    /// One `Call`/`TailCall` instruction. The stack holds
+    /// `[callee, arg1..argN]`. Returns the final value when the call chain
+    /// completed an empty continuation (tail position at depth 0).
+    fn do_call(
         &mut self,
-        f: Value,
-        args: Vec<Value>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
+        argc: usize,
+        site: usize,
+        tail: bool,
+    ) -> Result<Option<Value>, EvalError> {
+        if !tail {
+            self.push_kont(Kont::Return {
+                pc: self.pc as u32,
+                locals_len: self.locals.len() as u32,
+                locals_base: self.locals_base as u32,
+                caps: self.caps.clone(),
+            });
+        }
+        let fpos = self.stack.len() - 1 - argc;
+        if let Value::Closure(c) = &self.stack[fpos] {
+            let clo = c.clone();
+            self.call_closure_stack(clo, argc, site, tail)?;
+            return Ok(None);
+        }
+        // Generic dispatch: primitives, wrapped procedures, non-procedure
+        // errors. In tail position the current frame is dead — drop it so
+        // wrapper chains keep tail space bounded.
+        let args: Vec<Value> = self.stack.split_off(fpos + 1);
+        let f = self.stack.pop().expect("callee");
+        if tail {
+            self.locals.truncate(self.locals_base);
+        }
+        match self.apply_value(f, args)? {
+            Step::Enter => Ok(None),
+            Step::Value(v) => self.unwind(v),
+        }
+    }
+
+    /// The hot path: a closure callee with its arguments still on the
+    /// operand stack. The call site's baked-in [`SiteAction`] replaces the
+    /// tree-walker's per-call decision cascade whenever the runtime callee
+    /// is the λ the compiler bound the site to.
+    fn call_closure_stack(
+        &mut self,
+        clo: Rc<Closure>,
+        argc: usize,
+        site: usize,
+        tail: bool,
+    ) -> Result<(), EvalError> {
+        self.stats.applications += 1;
+        if self.monitoring_active() && !self.whitelisted[clo.def.id as usize] {
+            let args_start = self.stack.len() - argc;
+            let action = &self.code.sites[site].action;
+            match action {
+                SiteAction::Skip { lambda } if *lambda == clo.def.id => {
+                    self.stats.static_skips += 1;
+                }
+                SiteAction::Guarded { lambda, doms } if *lambda == clo.def.id => {
+                    if guard_passes(doms, &self.stack[args_start..]) {
+                        self.stats.static_skips += 1;
+                    } else {
+                        self.monitor_call_stack(&clo, args_start)?;
+                    }
+                }
+                SiteAction::Monitored { lambda } if *lambda == clo.def.id => {
+                    self.monitor_call_stack(&clo, args_start)?;
+                }
+                _ => {
+                    // First-class callee (or a site whose static binding
+                    // does not match): the per-λ fast-path probe.
+                    if self.probe_discharged(&clo, args_start) {
+                        self.stats.static_skips += 1;
+                    } else {
+                        self.monitor_call_stack(&clo, args_start)?;
+                    }
+                }
+            }
+        }
+        self.bind_stack_args(&clo, argc, tail)
+    }
+
+    /// True when the enforcement plan statically discharged this λ and the
+    /// stacked arguments satisfy the proof's domain guard.
+    fn probe_discharged(&self, clo: &Closure, args_start: usize) -> bool {
+        fast_guard_passes(
+            self.fast_path[clo.def.id as usize].as_ref(),
+            &self.stack[args_start..],
+        )
+    }
+
+    /// Binds stacked arguments into a fresh (or, for tail calls, reused)
+    /// locals frame and enters the callee.
+    fn bind_stack_args(
+        &mut self,
+        clo: &Rc<Closure>,
+        argc: usize,
+        tail: bool,
+    ) -> Result<(), EvalError> {
+        let def = &clo.def;
+        let required = def.params as usize;
+        if def.variadic {
+            if argc < required {
+                return Err(arity_error(def, argc));
+            }
+        } else if argc != required {
+            return Err(arity_error(def, argc));
+        }
+        let tmpl = &self.code.templates[def.id as usize];
+        let frame_size = tmpl.frame_size as usize;
+        let entry = tmpl.entry as usize;
+        let args_start = self.stack.len() - argc;
+        if tail {
+            self.locals.truncate(self.locals_base);
+        } else {
+            self.locals_base = self.locals.len();
+        }
+        self.stats.env_frames_allocated += 1;
+        if def.variadic {
+            let rest = Value::list(
+                self.stack
+                    .drain(args_start + required..)
+                    .collect::<Vec<_>>(),
+            );
+            for v in self.stack.drain(args_start..) {
+                self.locals.push(Slot::Val(v));
+            }
+            self.locals.push(Slot::Val(rest));
+        } else {
+            for v in self.stack.drain(args_start..) {
+                self.locals.push(Slot::Val(v));
+            }
+        }
+        self.locals
+            .resize(self.locals_base + frame_size, Slot::Val(Value::Undefined));
+        let callee = self.stack.pop();
+        debug_assert!(matches!(callee, Some(Value::Closure(_))));
+        let ClosureEnv::Flat(caps) = &clo.env else {
+            unreachable!("IR machine applied a chained (reference) closure");
+        };
+        self.caps = caps.clone();
+        self.pc = entry;
+        Ok(())
+    }
+
+    /// Generic application of any value to a materialized argument vector:
+    /// the `apply` primitive, contract machinery, wrapped procedures, and
+    /// the [`Machine::call`] API.
+    fn apply_value(&mut self, f: Value, args: Vec<Value>) -> Result<Step, EvalError> {
         match f {
-            Value::Prim(p) => self.apply_prim(p, args, kont),
-            Value::Closure(clo) => self.apply_closure(clo, args, kont),
+            Value::Prim(p) => self.apply_prim(p, args),
+            Value::Closure(clo) => {
+                self.apply_closure_vec(clo, args)?;
+                Ok(Step::Enter)
+            }
             Value::Wrapped(w) => match &w.kind {
                 WrapKind::Terminating { label } => {
                     let label = label.clone();
                     let inner = w.inner.clone();
-                    self.apply_terminating(inner, label, args, kont)
+                    self.apply_terminating(inner, label, args)
                 }
                 WrapKind::Arrow {
                     doms,
@@ -751,7 +971,7 @@ impl<'p> Machine<'p> {
                     let (doms, rng) = (doms.clone(), rng.clone());
                     let (pos, neg) = (positive.clone(), negative.clone());
                     let inner = w.inner.clone();
-                    self.apply_arrow(inner, doms, rng, pos, neg, args, kont)
+                    self.apply_arrow(inner, doms, rng, pos, neg, args)
                 }
             },
             other => Err(RtError::new(format!(
@@ -762,12 +982,49 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn apply_prim(
+    fn apply_closure_vec(
         &mut self,
-        p: Prim,
+        clo: Rc<Closure>,
         mut args: Vec<Value>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
+    ) -> Result<(), EvalError> {
+        self.stats.applications += 1;
+        if self.monitoring_active() && !self.whitelisted[clo.def.id as usize] {
+            if fast_guard_passes(self.fast_path[clo.def.id as usize].as_ref(), &args) {
+                self.stats.static_skips += 1;
+            } else {
+                self.monitor_call_slice(&clo, &args)?;
+            }
+        }
+        // Bind the vector directly into a fresh frame.
+        let def = &clo.def;
+        let required = def.params as usize;
+        if def.variadic {
+            if args.len() < required {
+                return Err(arity_error(def, args.len()));
+            }
+            let rest = Value::list(args.split_off(required));
+            args.push(rest);
+        } else if args.len() != required {
+            return Err(arity_error(def, args.len()));
+        }
+        let tmpl = &self.code.templates[def.id as usize];
+        let frame_size = tmpl.frame_size as usize;
+        self.locals_base = self.locals.len();
+        self.stats.env_frames_allocated += 1;
+        for v in args {
+            self.locals.push(Slot::Val(v));
+        }
+        self.locals
+            .resize(self.locals_base + frame_size, Slot::Val(Value::Undefined));
+        let ClosureEnv::Flat(caps) = &clo.env else {
+            unreachable!("IR machine applied a chained (reference) closure");
+        };
+        self.caps = caps.clone();
+        self.pc = tmpl.entry as usize;
+        Ok(())
+    }
+
+    fn apply_prim(&mut self, p: Prim, mut args: Vec<Value>) -> Result<Step, EvalError> {
         match p {
             Prim::Apply => {
                 if args.len() < 2 {
@@ -779,7 +1036,7 @@ impl<'p> Machine<'p> {
                     return Err(RtError::new("apply: last argument must be a list").into());
                 };
                 args.extend(spread);
-                self.apply_value(f, args, kont)
+                self.apply_value(f, args)
             }
             Prim::Contract => {
                 // (contract c v pos [neg])
@@ -794,7 +1051,7 @@ impl<'p> Machine<'p> {
                 let pos = party_name(&args.pop().unwrap())?;
                 let value = args.pop().unwrap();
                 let c = args.pop().unwrap();
-                self.attach_all(VecDeque::from(vec![c]), value, pos, neg, kont)
+                self.attach_all(VecDeque::from(vec![c]), value, pos, neg)
             }
             Prim::TerminatingC => {
                 if args.is_empty() || args.len() > 2 {
@@ -805,53 +1062,16 @@ impl<'p> Machine<'p> {
                 } else {
                     Rc::from("terminating/c")
                 };
-                Ok(Ctrl::Val(wrap_terminating(args.pop().unwrap(), label)))
+                Ok(Step::Value(wrap_terminating(args.pop().unwrap(), label)))
             }
             _ => match call_prim(p, &args)? {
-                PrimEffect::Value(v) => Ok(Ctrl::Val(v)),
+                PrimEffect::Value(v) => Ok(Step::Value(v)),
                 PrimEffect::Output(text, v) => {
                     self.output.push_str(&text);
-                    Ok(Ctrl::Val(v))
+                    Ok(Step::Value(v))
                 }
             },
         }
-    }
-
-    fn apply_closure(
-        &mut self,
-        clo: Rc<Closure>,
-        args: Vec<Value>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
-        self.stats.applications += 1;
-        if self.monitoring_active() && !self.whitelisted(&clo.def) {
-            if self.statically_discharged(&clo.def, &args) {
-                self.stats.static_skips += 1;
-            } else {
-                self.monitor_call(&clo, &args, kont)?;
-            }
-        }
-        self.bind_and_enter(clo, args)
-    }
-
-    fn bind_and_enter(
-        &mut self,
-        clo: Rc<Closure>,
-        mut args: Vec<Value>,
-    ) -> Result<Ctrl, EvalError> {
-        let def = &clo.def;
-        let required = def.params as usize;
-        if def.variadic {
-            if args.len() < required {
-                return Err(arity_error(def, args.len()));
-            }
-            let rest = Value::list(args.split_off(required));
-            args.push(rest);
-        } else if args.len() != required {
-            return Err(arity_error(def, args.len()));
-        }
-        let env = Frame::extend(&clo.env, args);
-        Ok(Ctrl::Eval(def.body.clone(), env))
     }
 
     fn apply_terminating(
@@ -859,8 +1079,7 @@ impl<'p> Machine<'p> {
         inner: Value,
         label: Rc<str>,
         args: Vec<Value>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
+    ) -> Result<Step, EvalError> {
         // [App-Term]: outside a monitored extent, seed a *fresh* table;
         // [SC-App-Term]: inside one, keep the current table.
         let started = !self.monitoring_active();
@@ -869,12 +1088,12 @@ impl<'p> Machine<'p> {
         } else {
             None
         };
-        kont.push(Kont::ContractExtent { saved, started });
+        self.push_kont(Kont::ContractExtent { saved, started });
         self.blames.push(label);
         if started {
             self.extent_depth += 1;
         }
-        self.apply_value(inner, args, kont)
+        self.apply_value(inner, args)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -886,25 +1105,24 @@ impl<'p> Machine<'p> {
         pos: Rc<str>,
         neg: Rc<str>,
         args: Vec<Value>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
+    ) -> Result<Step, EvalError> {
         if args.len() != doms.len() {
             return Err(EvalError::Contract(ContractErrorInfo {
                 blame: neg,
                 message: format!("expected {} arguments, got {}", doms.len(), args.len()),
             }));
         }
-        kont.push(Kont::ArrowRng {
+        self.push_kont(Kont::ArrowRng {
             rng,
             pos: pos.clone(),
             neg: neg.clone(),
         });
         if args.is_empty() {
-            self.apply_value(inner, Vec::new(), kont)
+            self.apply_value(inner, Vec::new())
         } else {
             let dom = doms[0].clone();
             let arg = args[0].clone();
-            kont.push(Kont::ArrowCall {
+            self.push_kont(Kont::ArrowCall {
                 inner,
                 doms,
                 args,
@@ -913,7 +1131,7 @@ impl<'p> Machine<'p> {
                 pos: pos.clone(),
                 neg: neg.clone(),
             });
-            self.attach_all(VecDeque::from(vec![dom]), arg, neg, pos, kont)
+            self.attach_all(VecDeque::from(vec![dom]), arg, neg, pos)
         }
     }
 
@@ -926,8 +1144,7 @@ impl<'p> Machine<'p> {
         value: Value,
         pos: Rc<str>,
         neg: Rc<str>,
-        kont: &mut Vec<Kont>,
-    ) -> Result<Ctrl, EvalError> {
+    ) -> Result<Step, EvalError> {
         let mut current = value;
         while let Some(c) = contracts.pop_front() {
             // Bare `terminating/c` is usable as a combinator in and/c etc.
@@ -1000,17 +1217,17 @@ impl<'p> Machine<'p> {
                     }
                 }
                 pred => {
-                    kont.push(Kont::FlatCheck {
+                    self.push_kont(Kont::FlatCheck {
                         original: current.clone(),
                         rest: contracts,
                         pos: pos.clone(),
                         neg,
                     });
-                    return self.apply_value(pred, vec![current], kont);
+                    return self.apply_value(pred, vec![current]);
                 }
             }
         }
-        Ok(Ctrl::Val(current))
+        Ok(Step::Value(current))
     }
 
     // ----- monitoring ----------------------------------------------------
@@ -1022,27 +1239,6 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// True when the enforcement plan statically discharged this λ and the
-    /// actual arguments satisfy the proof's domain guard — the hybrid fast
-    /// path: no graph, no table, no `CallSeq` push.
-    fn statically_discharged(&self, def: &LambdaDef, args: &[Value]) -> bool {
-        match self.fast_path.get(&def.id) {
-            None => false,
-            Some(FastGuard::Always) => true,
-            Some(FastGuard::Domains(doms)) => {
-                args.len() == doms.len()
-                    && args.iter().zip(doms.iter()).all(|(a, d)| in_domain(*d, a))
-            }
-        }
-    }
-
-    fn whitelisted(&self, def: &LambdaDef) -> bool {
-        match &def.name {
-            Some(n) => self.whitelist.contains(n),
-            None => false,
-        }
-    }
-
     fn closure_key(&self, clo: &Closure) -> u64 {
         match self.config.monitor.key_strategy {
             KeyStrategy::Allocation => mix2(0xA110C, clo.alloc_id),
@@ -1051,12 +1247,10 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn monitor_call(
-        &mut self,
-        clo: &Rc<Closure>,
-        args: &[Value],
-        kont: &mut Vec<Kont>,
-    ) -> Result<(), EvalError> {
+    /// Steps 1–5 of the tree-walker's `monitor_call`: counters, loop-entry
+    /// designation, backoff. Returns the table key when the call must
+    /// actually be checked.
+    fn monitor_gate(&mut self, clo: &Rc<Closure>) -> Option<u64> {
         self.stats.monitored_calls += 1;
         let key = self.closure_key(clo);
 
@@ -1070,20 +1264,49 @@ impl<'p> Machine<'p> {
                 }
                 _ => {
                     self.last_seen_tick.insert(key, self.guard_tick);
-                    return Ok(());
+                    return None;
                 }
             }
         }
 
         if !self.backoff.should_check(&key) {
-            return Ok(());
+            return None;
         }
         self.stats.checks += 1;
         self.guard_tick += 1;
+        Some(key)
+    }
 
+    fn monitor_call_stack(
+        &mut self,
+        clo: &Rc<Closure>,
+        args_start: usize,
+    ) -> Result<(), EvalError> {
+        let Some(key) = self.monitor_gate(clo) else {
+            return Ok(());
+        };
+        let snapshot: Rc<[Value]> = Rc::from(&self.stack[args_start..]);
+        self.monitor_check(clo, key, snapshot)
+    }
+
+    fn monitor_call_slice(&mut self, clo: &Rc<Closure>, args: &[Value]) -> Result<(), EvalError> {
+        let Some(key) = self.monitor_gate(clo) else {
+            return Ok(());
+        };
         let snapshot: Rc<[Value]> = Rc::from(args.to_vec());
+        self.monitor_check(clo, key, snapshot)
+    }
+
+    /// Steps 6–7 of the tree-walker's `monitor_call`: trace, then extend
+    /// the size-change table under the configured strategy.
+    fn monitor_check(
+        &mut self,
+        clo: &Rc<Closure>,
+        key: u64,
+        snapshot: Rc<[Value]>,
+    ) -> Result<(), EvalError> {
         if self.config.trace {
-            self.record_trace(clo, key, &snapshot, kont.len());
+            self.record_trace(clo, key, &snapshot, self.kont.len());
         }
 
         match self.config.mode {
@@ -1091,7 +1314,7 @@ impl<'p> Machine<'p> {
                 let (undo, violation) =
                     self.imp_table
                         .extend_unchecked_mut(key, snapshot, &self.config.order.clone());
-                kont.push(Kont::Restore(undo));
+                self.push_kont(Kont::Restore(undo));
                 if let Some(v) = violation {
                     self.violations.push(ScErrorInfo {
                         blame: self.blames.last().cloned(),
@@ -1106,7 +1329,7 @@ impl<'p> Machine<'p> {
                     let order = self.config.order.clone();
                     match self.imp_table.update_mut(key, snapshot, &order) {
                         Ok(undo) => {
-                            kont.push(Kont::Restore(undo));
+                            self.push_kont(Kont::Restore(undo));
                             Ok(())
                         }
                         Err(violation) => Err(EvalError::Sc(ScErrorInfo {
@@ -1124,7 +1347,7 @@ impl<'p> Machine<'p> {
                     };
                     match current.update(key, snapshot, &order) {
                         Ok(table) => {
-                            let depth = kont.len();
+                            let depth = self.kont.len();
                             match self.marks.last_mut() {
                                 Some(top) if top.depth == depth => {
                                     // Tail call: replace the mark in place.
@@ -1172,7 +1395,11 @@ impl<'p> Machine<'p> {
     }
 }
 
-fn arity_error(def: &LambdaDef, got: usize) -> EvalError {
+fn uninitialized() -> EvalError {
+    RtError::new("variable used before initialization").into()
+}
+
+pub(crate) fn arity_error(def: &LambdaDef, got: usize) -> EvalError {
     RtError::new(format!(
         "{}: expected {}{} arguments, got {got}",
         def.describe(),
@@ -1182,7 +1409,7 @@ fn arity_error(def: &LambdaDef, got: usize) -> EvalError {
     .into()
 }
 
-fn party_name(v: &Value) -> Result<Rc<str>, EvalError> {
+pub(crate) fn party_name(v: &Value) -> Result<Rc<str>, EvalError> {
     match v {
         Value::Str(s) => Ok(s.clone()),
         Value::Sym(s) => Ok(s.clone()),

@@ -90,13 +90,59 @@ pub struct Closure {
     /// The compiled lambda.
     pub def: Rc<LambdaDef>,
     /// The captured environment (the lambda's defining environment).
-    pub env: crate::env::Env,
+    pub env: ClosureEnv,
     /// Fresh identity assigned at allocation; the default size-change table
     /// key (the paper's implementation keys on Racket's `eq?` closure hash).
     pub alloc_id: u64,
     /// Structural fingerprint: hash of the lambda id and the values of the
     /// captured free variables at allocation time.
     pub fingerprint: u64,
+}
+
+/// One binding slot of the IR machine: a plain value, or — for bindings
+/// the compiler assignment-converted because they are both captured by a
+/// nested lambda and mutated (`set!` target or `letrec` binding) — a
+/// shared mutable cell. Cells never escape as first-class values: every
+/// cell-addressed instruction dereferences them, so user code only ever
+/// sees their contents.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// An immutable (or at least unaliased) binding.
+    Val(Value),
+    /// A shared cell: mutation through any alias is visible to all.
+    Cell(Rc<std::cell::RefCell<Value>>),
+}
+
+impl Slot {
+    /// The slot's current value (cells are dereferenced).
+    pub fn get(&self) -> Value {
+        match self {
+            Slot::Val(v) => v.clone(),
+            Slot::Cell(c) => c.borrow().clone(),
+        }
+    }
+
+    /// Structural hash of the current value — what closure fingerprints
+    /// use, matching the tree-walker's hash-at-capture-time semantics.
+    pub fn hash_current(&self) -> u64 {
+        match self {
+            Slot::Val(v) => value_hash(v),
+            Slot::Cell(c) => value_hash(&c.borrow()),
+        }
+    }
+}
+
+/// The two closure-environment representations, one per machine. The
+/// reference tree-walker chains frames; the IR machine stores a flat
+/// capture list ordered exactly as [`LambdaDef::free`] (which is what
+/// keeps the two machines' fingerprints — and therefore their structural
+/// size-change-table keys — identical). Values never flow between
+/// machines, so each machine only ever sees its own representation.
+pub enum ClosureEnv {
+    /// Chained frames (reference tree-walker).
+    Chain(crate::env::Env),
+    /// Flat captures (IR machine), one [`Slot`] per free variable.
+    Flat(Rc<[Slot]>),
 }
 
 /// An immutable hash table value.

@@ -167,6 +167,32 @@ pub struct Program {
     pub lambda_count: u32,
 }
 
+/// Static binding metadata for one global, computed by
+/// [`Program::global_bindings`]. A compiler may treat a global as a known
+/// function exactly when it is defined once, by a `lambda`, and never
+/// `set!` — then every call site's callee is the closure of `lambda`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalBinding {
+    /// How many `define`s target this global (shadowing re-`define`s make
+    /// the binding dynamic).
+    pub define_count: u32,
+    /// The λ id of the sole initializer when it is syntactically a
+    /// `lambda` (`None` for non-λ initializers or multiple defines).
+    pub lambda: Option<LambdaId>,
+    /// Whether any `set!` in the program targets this global.
+    pub mutated: bool,
+}
+
+impl GlobalBinding {
+    /// The λ this global is statically bound to, when the binding is
+    /// immutable and unique.
+    pub fn static_lambda(&self) -> Option<LambdaId> {
+        (self.define_count == 1 && !self.mutated)
+            .then_some(self.lambda)
+            .flatten()
+    }
+}
+
 impl Program {
     /// Index of a global by name, if defined.
     pub fn global_index(&self, name: &str) -> Option<GlobalIndex> {
@@ -174,6 +200,58 @@ impl Program {
             .iter()
             .position(|n| n == name)
             .map(|i| i as GlobalIndex)
+    }
+
+    /// Per-global static binding metadata (define multiplicity, λ
+    /// initializer, `set!` mutation) — what call-site specialization in
+    /// `sct-ir` keys on.
+    pub fn global_bindings(&self) -> Vec<GlobalBinding> {
+        let mut out = vec![GlobalBinding::default(); self.global_names.len()];
+        fn scan(e: &Expr, out: &mut [GlobalBinding]) {
+            match e {
+                Expr::SetGlobal { index, value } => {
+                    out[*index as usize].mutated = true;
+                    scan(value, out);
+                }
+                Expr::Quote(_) | Expr::Var(_) | Expr::Global(_) | Expr::PrimRef(_) => {}
+                Expr::Lambda(def) => scan(&def.body, out),
+                Expr::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    scan(cond, out);
+                    scan(then_branch, out);
+                    scan(else_branch, out);
+                }
+                Expr::App { func, args } => {
+                    scan(func, out);
+                    args.iter().for_each(|a| scan(a, out));
+                }
+                Expr::Seq(exprs) => exprs.iter().for_each(|a| scan(a, out)),
+                Expr::SetLocal { value, .. } => scan(value, out),
+                Expr::Let { inits, body } | Expr::LetRec { inits, body } => {
+                    inits.iter().for_each(|a| scan(a, out));
+                    scan(body, out);
+                }
+                Expr::TermC { body, .. } => scan(body, out),
+            }
+        }
+        for form in &self.top_level {
+            match form {
+                TopForm::Define { index, expr } => {
+                    let b = &mut out[*index as usize];
+                    b.define_count += 1;
+                    b.lambda = match expr {
+                        Expr::Lambda(def) => Some(def.id),
+                        _ => None,
+                    };
+                    scan(expr, &mut out);
+                }
+                TopForm::Expr(expr) => scan(expr, &mut out),
+            }
+        }
+        out
     }
 }
 

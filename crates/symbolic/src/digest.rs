@@ -137,9 +137,15 @@ impl ProgramDigests {
     ) -> String {
         let name = &program.global_names[index as usize];
         let mut h = StableHasher::new();
-        // Version pins: either bump invalidates every persisted entry.
+        // Version pins: any bump invalidates every persisted entry. The IR
+        // codegen version is part of the key because cached decisions are
+        // *baked into call sites* by `sct-ir`: a plan persisted under one
+        // compilation scheme must never silently direct a machine whose
+        // call-site semantics (specialization rules, guard placement)
+        // have changed.
         h.write_u32(STABLE_HASH_VERSION);
         h.write_str(PLAN_CODEC_SCHEMA);
+        h.write_u32(sct_ir::CODEGEN_VERSION);
         // The define itself.
         h.write_str(name);
         h.write_u32(occurrence);

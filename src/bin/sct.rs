@@ -3,7 +3,7 @@
 //! ```text
 //! sct run <file.sct>                       # standard semantics (λCSCT)
 //! sct monitor <file.sct> [options]         # fully monitored (λSCT)
-//! sct hybrid <file.sct> [--plan] [options] # static pre-pass + residual monitor
+//! sct hybrid <file.sct> [--plan] [--dump-ir] [options] # static pre-pass + residual monitor
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
 //! sct serve [--socket PATH] [--cache-dir DIR] [--threads N]
@@ -22,9 +22,14 @@
 //! time, refuted ones are reported — with blame — before running, and the
 //! rest stay monitored. `--plan` prints the decisions as `sct-plan/1` JSON
 //! (schema in `sct_core::plan::EnforcementPlan::to_json`) instead of
-//! running. With `--cache-dir`, decisions persist across invocations
-//! (content-addressed `sct-plan/2` entries; see `sct-cache`) and a
-//! `; cache: H hits, M misses` line reports the reuse.
+//! running; `--dump-ir` prints the plan-directed IR listing (each call
+//! site annotated with its baked-in skip/guarded/monitored decision; see
+//! the `sct-ir` crate) instead of running. After a hybrid run a
+//! `; plan: S static skips, M monitored calls` line summarizes what the
+//! static proofs absorbed at run time. With `--cache-dir`, decisions
+//! persist across invocations (content-addressed `sct-plan/2` entries;
+//! see `sct-cache`) and a `; cache: H hits, M misses` line reports the
+//! reuse.
 //!
 //! `serve` starts the long-running daemon: newline-delimited JSON
 //! requests (`plan`, `run`, `hybrid`, `stats`, `shutdown`) over stdio or
@@ -62,7 +67,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sct run <file>\n  sct monitor <file> [--strategy imperative|cm] \
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
-         sct hybrid <file> [--plan] [--cache-dir DIR] [monitor options]\n  \
+         sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
          sct serve [--socket PATH] [--cache-dir DIR] [--threads N]"
     );
@@ -76,6 +81,7 @@ struct Options {
     loop_entries: bool,
     fuel: Option<u64>,
     plan_only: bool,
+    dump_ir: bool,
     custom_order: bool,
     cache_dir: Option<String>,
 }
@@ -89,6 +95,7 @@ impl Options {
             loop_entries: false,
             fuel: None,
             plan_only: false,
+            dump_ir: false,
             custom_order: false,
             cache_dir: None,
         };
@@ -125,6 +132,7 @@ impl Options {
                 }
                 "--loop-entries" => o.loop_entries = true,
                 "--plan" => o.plan_only = true,
+                "--dump-ir" => o.dump_ir = true,
                 "--fuel" => {
                     o.fuel = Some(
                         it.next()
@@ -206,6 +214,13 @@ fn run_and_report(program: &sct_contracts::lang::ast::Program, config: MachineCo
             m.stats.checks,
             m.stats.static_skips,
             m.stats.max_kont_depth
+        );
+        // The run-time effect of the plan, in one human-readable line:
+        // how many calls the static proofs absorbed vs. how many the
+        // residual monitor still paid for.
+        eprintln!(
+            "; plan: {} static skips, {} monitored calls",
+            m.stats.static_skips, m.stats.monitored_calls
         );
     } else {
         eprintln!(
@@ -317,6 +332,10 @@ fn main() -> ExitCode {
                     eprintln!("--plan is only valid with `sct hybrid`");
                     return usage();
                 }
+                if opts.dump_ir {
+                    eprintln!("--dump-ir is only valid with `sct hybrid`");
+                    return usage();
+                }
                 if opts.cache_dir.is_some() {
                     eprintln!("--cache-dir is only valid with `sct hybrid` and `sct serve`");
                     return usage();
@@ -353,6 +372,14 @@ fn main() -> ExitCode {
             }
             if opts.plan_only {
                 print!("{}", plan.to_json());
+                return ExitCode::from(EXIT_OK);
+            }
+            if opts.dump_ir {
+                // The plan-directed IR: each call site shows the baked-in
+                // enforcement decision (skip / guarded / monitored /
+                // generic).
+                let compiled = sct_contracts::ir::compile(&program, Some(&plan));
+                print!("{}", sct_contracts::ir::dump(&compiled));
                 return ExitCode::from(EXIT_OK);
             }
             eprintln!("; {plan}");

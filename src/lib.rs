@@ -79,6 +79,7 @@ pub use sct_cache as cache;
 pub use sct_core as core;
 pub use sct_corpus as corpus;
 pub use sct_interp as interp;
+pub use sct_ir as ir;
 pub use sct_lang as lang;
 pub use sct_sexpr as sexpr;
 pub use sct_symbolic as symbolic;

@@ -37,13 +37,22 @@
 //! carry `"ok"` and `"op"`:
 //!
 //! * `plan` → `{"ok":true,"op":"plan","plan":<sct-plan/1 doc>,
-//!   "cache":{"hits":H,"misses":M},"defines":[["name",hit?],…]}`
+//!   "cache":{"hits":H,"misses":M,"warm":bool},"defines":[["name",hit?],…]}`
+//!   — `warm` is true when every define loaded from the decision store
+//!   (zero symbolic exploration on this request).
 //! * `run` / `hybrid` → `{"ok":true,…,"value":"…","output":"…",
-//!   "stats":{…}}`, or on failure `{"ok":false,…,"error":"…",
-//!   "blame":"…"|null,"refuted":bool}` (a `hybrid` refutation is reported
-//!   without running, `refuted` = `true`).
+//!   "stats":{…},"compiled":"cached"|"fresh"}`, or on failure
+//!   `{"ok":false,…,"error":"…","blame":"…"|null,"refuted":bool}` (a
+//!   `hybrid` refutation is reported without running, `refuted` =
+//!   `true`). `hybrid` responses also carry the `cache` object, so
+//!   daemon clients can observe warm-plan behavior per request;
+//!   `compiled` reports whether the flat-IR image was reused from the
+//!   per-thread compile cache (compiled once per distinct source, reused
+//!   across requests).
 //! * `stats` → request counters, aggregate cache traffic
-//!   ([`sct_cache::CacheStats`]), worker count, uptime.
+//!   ([`sct_cache::CacheStats`]), the aggregate plan effect
+//!   (`"plan":{"static_skips":…,"monitored_calls":…}` summed over every
+//!   execution served), worker count, uptime.
 //! * `shutdown` → `{"ok":true,"op":"shutdown"}`, then the daemon exits
 //!   (stdio: the loop returns; socket: the process terminates).
 //!
@@ -69,10 +78,15 @@ use sct_core::json::{parse, Json};
 use sct_core::monitor::TableStrategy;
 use sct_core::plan::{EnforcementPlan, FnDecision};
 use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats};
+use sct_ir::CompiledProgram;
 use sct_lang::ast::{Program, TopForm};
 use sct_symbolic::pipeline::{
     plan_program_subset, DecisionStore, IncrementalStats, PlanCache, PlanConfig,
 };
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -310,6 +324,73 @@ struct Counters {
     hybrid: u64,
     stats: u64,
     errors: u64,
+    /// Aggregate run-time plan effect across every `run`/`hybrid`
+    /// execution this daemon served: calls the static proofs absorbed vs.
+    /// calls the residual monitor still guarded.
+    static_skips: u64,
+    monitored_calls: u64,
+}
+
+/// Per-thread compiled-IR cache: `sct-ir` compilation is paid once per
+/// distinct `(source, plan?)` and the image is reused across requests on
+/// the same connection (stdio serving is single-threaded, so the daemon's
+/// primary mode gets full reuse). Thread-local because the IR holds
+/// `Rc`-based AST nodes; bounded so an adversarial client cycling sources
+/// cannot grow the daemon without limit. Soundness: for a fixed source the
+/// enforcement plan is deterministic (warm and cold planning are
+/// structurally equal, pinned by `crates/cache/tests/robustness.rs`), so
+/// a cached plan-directed image bakes in exactly the decisions a fresh
+/// compile would.
+const IR_CACHE_CAP: usize = 32;
+
+/// Cache entry: the exact source and plan fingerprint (collision guards
+/// for the 64-bit key) plus the compiled image.
+type IrCacheMap = HashMap<(u64, bool), (String, u64, Rc<CompiledProgram>)>;
+
+thread_local! {
+    static IR_CACHE: RefCell<IrCacheMap> =
+        RefCell::new(HashMap::new());
+}
+
+/// Returns the compiled IR for `source` under `plan`, reusing the
+/// per-thread cache. The boolean is true on a cache hit (surfaced to
+/// clients as `"compiled":"cached"`).
+///
+/// The key covers the plan's *decisions fingerprint*, not just its
+/// presence: for the same source, a loaded daemon can plan `Monitor`
+/// (budget truncation) where an idle one plans `Static`, and pairing an
+/// image compiled against one plan with a machine configured with the
+/// other is rejected by `Machine::with_code`'s plan-token check — the
+/// cache must therefore never conflate them.
+fn compiled_for(
+    source: &str,
+    program: &Program,
+    plan: Option<&EnforcementPlan>,
+) -> (Rc<CompiledProgram>, bool) {
+    let plan_fp = plan.map_or(0, EnforcementPlan::decisions_fingerprint);
+    let mut h = DefaultHasher::new();
+    source.hash(&mut h);
+    plan_fp.hash(&mut h);
+    let key = (h.finish(), plan.is_some());
+    IR_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((src, fp, code)) = cache.get(&key) {
+            if src == source && *fp == plan_fp {
+                return (code.clone(), true);
+            }
+        }
+        let code = Rc::new(sct_ir::compile(program, plan));
+        if cache.len() >= IR_CACHE_CAP {
+            // Evict one arbitrary entry; clearing everything would
+            // periodically discard the whole warm set under a working
+            // set one larger than the cap.
+            if let Some(&victim) = cache.keys().next() {
+                cache.remove(&victim);
+            }
+        }
+        cache.insert(key, (source.to_string(), plan_fp, code.clone()));
+        (code, false)
+    })
 }
 
 /// The daemon state: worker pool, shared decision store, counters. One
@@ -507,6 +588,9 @@ impl Server {
         let mut extra: Vec<(String, Json)> = Vec::new();
         let config = match &planned {
             Some((plan, stats)) => {
+                // Per-request warm-plan observability: store hits/misses
+                // plus the warm bit (a fully warm plan did zero symbolic
+                // exploration on this request).
                 extra.push(("cache".into(), cache_json(stats)));
                 extra.push((
                     "plan_summary".into(),
@@ -539,8 +623,14 @@ impl Server {
                 ..MachineConfig::standard()
             },
         };
-        let mut machine = Machine::new(&program, config);
+        let (code, ir_cached) = compiled_for(source, &program, config.plan.as_deref());
+        let mut machine = Machine::with_code(&program, code, config);
         let result = machine.run();
+        {
+            let mut c = self.counters.lock().expect("counters");
+            c.static_skips += machine.stats.static_skips;
+            c.monitored_calls += machine.stats.monitored_calls;
+        }
         let mut out: Vec<(String, Json)> = Vec::new();
         match result {
             Ok(v) => {
@@ -560,6 +650,10 @@ impl Server {
         }
         out.push(("output".into(), Json::str(&machine.output)));
         out.push(("stats".into(), stats_json(&machine.stats)));
+        out.push((
+            "compiled".into(),
+            Json::str(if ir_cached { "cached" } else { "fresh" }),
+        ));
         out.extend(extra);
         out
     }
@@ -586,6 +680,18 @@ impl Server {
                     ("misses".into(), Json::Int(traffic.misses as i64)),
                     ("rejected".into(), Json::Int(traffic.rejected as i64)),
                     ("stores".into(), Json::Int(traffic.stores as i64)),
+                ]),
+            ),
+            (
+                // Aggregate run-time plan effect, mirroring the CLI's
+                // `; plan: S static skips, M monitored calls` line.
+                "plan".into(),
+                Json::Obj(vec![
+                    ("static_skips".into(), Json::Int(c.static_skips as i64)),
+                    (
+                        "monitored_calls".into(),
+                        Json::Int(c.monitored_calls as i64),
+                    ),
                 ]),
             ),
             (
@@ -619,6 +725,9 @@ fn cache_json(stats: &IncrementalStats) -> Json {
     Json::Obj(vec![
         ("hits".into(), Json::Int(stats.hits() as i64)),
         ("misses".into(), Json::Int(stats.misses() as i64)),
+        // A fully warm request re-verified nothing: every define loaded
+        // from the decision store.
+        ("warm".into(), Json::Bool(stats.misses() == 0)),
     ])
 }
 

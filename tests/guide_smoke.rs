@@ -119,6 +119,28 @@ fn guide_hybrid_plan_json() {
     );
 }
 
+/// §4: the `--dump-ir` listing — the plan-directed IR with the `nat nat`
+/// guard baked into both `sum` call sites, exactly as the guide shows.
+#[test]
+fn guide_hybrid_dump_ir() {
+    let d = sct(&["hybrid", "examples/guide/sum.sct", "--dump-ir"]);
+    assert!(d.status.success(), "{}", stderr(&d));
+    let ir = stdout(&d);
+    assert!(
+        ir.contains("1 templates, 3 consts, 2 sites (1 specialized), plan-directed"),
+        "{ir}"
+    );
+    assert!(
+        ir.contains("lambda 0 (sum; params 2, frame 2, captures [])"),
+        "{ir}"
+    );
+    assert!(
+        ir.matches("site=guarded(lambda 0 [nat nat])").count() == 2,
+        "both sum call sites carry the inline guard: {ir}"
+    );
+    assert!(ir.contains("tail-call"), "{ir}");
+}
+
 /// §5 of the guide: the edit → incremental re-plan loop. Replays the
 /// three-command transcript verbatim — cold (2 misses), warm (2 hits),
 /// and the one-define edit (exactly 1 miss) — against a fresh cache dir.
@@ -189,7 +211,7 @@ fn guide_serve_stdio_transcript() {
     assert!(line.contains("\"ok\":true"), "{line}");
     assert!(line.contains("\"schema\":\"sct-plan/1\""), "{line}");
     assert!(
-        line.contains("\"cache\":{\"hits\":0,\"misses\":1}"),
+        line.contains("\"cache\":{\"hits\":0,\"misses\":1,\"warm\":false}"),
         "{line}"
     );
     assert!(line.contains("[[\"len\",false]]"), "{line}");

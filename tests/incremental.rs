@@ -115,7 +115,7 @@ fn editing_a_shared_helper_reverifies_its_dependents_only() {
 }
 
 /// The committed benchmark artifact must carry the planning trajectory:
-/// schema `sct-fig10/3` with warm planning measurably faster than cold on
+/// schema `sct-fig10/4` with warm planning measurably faster than cold on
 /// every workload (the number the persistence subsystem exists to win).
 #[test]
 fn committed_bench_artifact_pins_warm_planning_speedup() {
@@ -124,7 +124,7 @@ fn committed_bench_artifact_pins_warm_planning_speedup() {
     let doc = sct_contracts::core::json::parse(&text).expect("artifact parses");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some("sct-fig10/3"),
+        Some("sct-fig10/4"),
         "schema drifted"
     );
     let planning = doc

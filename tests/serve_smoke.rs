@@ -74,9 +74,9 @@ fn stdio_mode_answers_all_ops() {
 
     // Cold plan, then warm plan: misses then hits out of the warm store.
     assert_line(&lines[0], r#""id":1"#);
-    assert_line(&lines[0], r#""cache":{"hits":0,"misses":1}"#);
+    assert_line(&lines[0], r#""cache":{"hits":0,"misses":1,"warm":false}"#);
     assert_line(&lines[0], r#""schema":"sct-plan/1""#);
-    assert_line(&lines[1], r#""cache":{"hits":1,"misses":0}"#);
+    assert_line(&lines[1], r#""cache":{"hits":1,"misses":0,"warm":true}"#);
     // Hybrid runs with the static fast path.
     assert_line(&lines[2], r#""value":"5050""#);
     assert_line(&lines[2], r#""checks":0"#);
@@ -203,7 +203,7 @@ fn socket_stress_concurrent_clients_get_independent_results() {
         let replay =
             r#"{"op":"plan","source":"(define (len0 l) (if (null? l) 0 (+ 1 (len0 (cdr l)))))"}"#;
         let resp = request(&mut stream, &mut reader, replay);
-        assert_line(&resp, r#""cache":{"hits":1,"misses":0}"#);
+        assert_line(&resp, r#""cache":{"hits":1,"misses":0,"warm":true}"#);
         let stats = request(&mut stream, &mut reader, r#"{"op":"stats"}"#);
         assert_line(&stats, r#""ok":true"#);
         // 8 clients × 4 rounds × (1 hybrid + 1 plan) + this replay touch
