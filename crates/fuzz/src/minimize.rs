@@ -1,0 +1,196 @@
+//! Delta-debugging minimizer for fuzzer counterexamples.
+//!
+//! Two passes, both driven by a caller-supplied *failing* predicate
+//! (true ⇔ the candidate still reproduces the violation):
+//!
+//! 1. **Form removal** — greedily delete whole top-level forms
+//!    (`define`s and entry calls) while the program still fails, to a
+//!    fixpoint.
+//! 2. **Sub-expression reduction** — for every remaining sub-expression,
+//!    try replacing it with each of its own sub-expressions (hoisting)
+//!    and with the literal `0`, to a fixpoint.
+//!
+//! Pass 2 can rewrite a program arbitrarily, so it is only sound for
+//! predicates decidable from the program alone
+//! ([`ViolationKind::oracle_free`](crate::ViolationKind::oracle_free));
+//! a violation judged against a construction oracle (e.g. *this case
+//! should diverge*) shrinks with pass 1 only, which preserves the target
+//! group verbatim.
+//!
+//! The predicate budget bounds total work: each candidate evaluation
+//! re-plans and re-runs the program six times, so the default budget of a
+//! few hundred keeps minimization under a second or two per violation.
+
+use sct_sexpr::{parse_all, Datum};
+
+/// Renders forms back to source, one per line (the `Datum` display is a
+/// parse round-trip).
+fn render(forms: &[Datum]) -> String {
+    let lines: Vec<String> = forms.iter().map(|f| f.to_string()).collect();
+    lines.join("\n")
+}
+
+/// Greedy form-removal pass: repeatedly delete any single top-level form
+/// whose removal keeps the predicate failing.
+fn shrink_forms(forms: &mut Vec<Datum>, failing: &mut dyn FnMut(&str) -> bool, budget: &mut usize) {
+    let mut progress = true;
+    while progress && *budget > 0 {
+        progress = false;
+        let mut i = 0;
+        while i < forms.len() && *budget > 0 {
+            if forms.len() == 1 {
+                return;
+            }
+            let removed = forms.remove(i);
+            *budget -= 1;
+            if failing(&render(forms)) {
+                progress = true; // keep the removal, retry same index
+            } else {
+                forms.insert(i, removed);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// All list positions inside `d`, as index paths (root excluded).
+fn paths(d: &Datum, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if let Datum::List(items) = d {
+        for (i, item) in items.iter().enumerate() {
+            prefix.push(i);
+            out.push(prefix.clone());
+            paths(item, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+fn get<'a>(d: &'a Datum, path: &[usize]) -> Option<&'a Datum> {
+    let mut cur = d;
+    for &i in path {
+        match cur {
+            Datum::List(items) => cur = items.get(i)?,
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+fn replace(d: &mut Datum, path: &[usize], with: Datum) -> bool {
+    let mut cur = d;
+    for &i in path {
+        match cur {
+            Datum::List(items) => match items.get_mut(i) {
+                Some(next) => cur = next,
+                None => return false,
+            },
+            _ => return false,
+        }
+    }
+    *cur = with;
+    true
+}
+
+/// Sub-expression reduction pass: replace any node with one of its own
+/// children, or with `0`, while the predicate keeps failing.
+fn shrink_exprs(forms: &mut [Datum], failing: &mut dyn FnMut(&str) -> bool, budget: &mut usize) {
+    let mut progress = true;
+    while progress && *budget > 0 {
+        progress = false;
+        for fi in 0..forms.len() {
+            // The empty path is the form itself: a whole form may be
+            // replaced by one of its own sub-expressions.
+            let mut all_paths = vec![Vec::new()];
+            paths(&forms[fi], &mut Vec::new(), &mut all_paths);
+            for path in all_paths {
+                if *budget == 0 {
+                    return;
+                }
+                let Some(node) = get(&forms[fi], &path) else {
+                    continue;
+                };
+                // Candidate replacements: each child (hoist), then 0.
+                let mut candidates: Vec<Datum> = match node {
+                    Datum::List(items) => items.clone(),
+                    _ => Vec::new(),
+                };
+                candidates.push(Datum::Int(0));
+                let original = node.clone();
+                let mut replaced = false;
+                for cand in candidates {
+                    if cand == original {
+                        continue;
+                    }
+                    let saved = forms[fi].clone();
+                    if !replace(&mut forms[fi], &path, cand) {
+                        forms[fi] = saved;
+                        continue;
+                    }
+                    *budget = budget.saturating_sub(1);
+                    if failing(&render(forms)) {
+                        progress = true;
+                        replaced = true;
+                        break;
+                    }
+                    forms[fi] = saved;
+                }
+                if replaced {
+                    // Paths under this form changed; recompute them.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Delta-debugs `source` against `failing` (which must return true on
+/// `source` itself for minimization to make sense — if it does not, the
+/// input is returned unchanged). `expr_level` enables the sub-expression
+/// pass; `budget` bounds the number of predicate evaluations.
+pub fn minimize(
+    source: &str,
+    mut failing: impl FnMut(&str) -> bool,
+    expr_level: bool,
+    mut budget: usize,
+) -> String {
+    let Ok(mut forms) = parse_all(source) else {
+        return source.to_string();
+    };
+    if forms.is_empty() || !failing(&render(&forms)) {
+        return source.to_string();
+    }
+    shrink_forms(&mut forms, &mut failing, &mut budget);
+    if expr_level {
+        shrink_exprs(&mut forms, &mut failing, &mut budget);
+        // Expression shrinking may have made more forms removable.
+        shrink_forms(&mut forms, &mut failing, &mut budget);
+    }
+    render(&forms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_irrelevant_forms() {
+        let source = "(define (f x) x)\n(define (g y) (g y))\n(f 1)\n(g 2)";
+        let min = minimize(source, |s| s.contains("(g 2)"), false, 200);
+        assert_eq!(min, "(g 2)");
+    }
+
+    #[test]
+    fn shrinks_subexpressions() {
+        let source = "(+ (* 3 4) (- 10 (+ 5 5)))";
+        // "still contains a multiplication call" — hoists the (* …) node
+        // to the root and zeroes its operands.
+        let min = minimize(source, |s| s.contains("(*"), true, 400);
+        assert_eq!(min, "(* 0 0)");
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let source = "(+ 1 2)";
+        assert_eq!(minimize(source, |_| false, true, 100), source);
+    }
+}

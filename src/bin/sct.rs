@@ -7,6 +7,7 @@
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
 //! sct serve [--socket PATH] [--cache-dir DIR] [--threads N]
+//! sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--out DIR]
 //! ```
 //!
 //! Options for `monitor`/`trace`/`hybrid`:
@@ -35,6 +36,13 @@
 //! requests (`plan`, `run`, `hybrid`, `stats`, `shutdown`) over stdio or
 //! a Unix socket, planning fanned out across a warm worker pool — see
 //! `sct_contracts::serve` for the wire protocol.
+//!
+//! `fuzz` runs the differential soundness campaign (`sct-fuzz`): `N`
+//! seeded cases with constructed termination oracles, each checked
+//! against the full enforcement lattice; violations are delta-debugged
+//! and, with `--out DIR`, written as `.sct` counterexample files. The
+//! last stdout line is the machine-readable `sct-fuzz/1` JSON summary.
+//! Exit 0 when every case held, 1 when any invariant broke.
 //!
 //! `verify` signatures: a comma-separated parameter domain list and an
 //! optional `-> result` domain, e.g. `nat,nat -> nat` (domains: nat, pos,
@@ -69,7 +77,8 @@ fn usage() -> ExitCode {
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
          sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
-         sct serve [--socket PATH] [--cache-dir DIR] [--threads N]"
+         sct serve [--socket PATH] [--cache-dir DIR] [--threads N]\n  \
+         sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--verbose] [--out DIR]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -285,6 +294,88 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
     }
 }
 
+fn fuzz_cmd(rest: &[String]) -> ExitCode {
+    let mut opts = sct_fuzz::FuzzOptions {
+        seed: 1,
+        cases: 100,
+        budget: None,
+        minimize: true,
+        verbose: false,
+    };
+    let mut out_dir: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => {
+                    eprintln!("bad --seed value");
+                    return usage();
+                }
+            },
+            "--cases" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.cases = n,
+                None => {
+                    eprintln!("bad --cases value");
+                    return usage();
+                }
+            },
+            "--budget-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => opts.budget = Some(std::time::Duration::from_millis(ms)),
+                None => {
+                    eprintln!("bad --budget-ms value");
+                    return usage();
+                }
+            },
+            "--no-minimize" => opts.minimize = false,
+            "--verbose" => opts.verbose = true,
+            "--out" => match it.next() {
+                Some(d) => out_dir = Some(d.clone()),
+                None => {
+                    eprintln!("missing --out value");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let report = sct_fuzz::run_campaign(&opts, &sct_fuzz::FuzzConfig::default());
+    for v in &report.violations {
+        eprintln!("{v}\n");
+    }
+    // Minimized counterexamples as replayable `.sct` files — the CI step
+    // uploads these as artifacts, and fixed ones get committed to
+    // tests/fuzz_regressions/.
+    if let Some(dir) = &out_dir {
+        if !report.violations.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            for (i, v) in report.violations.iter().enumerate() {
+                let seed = v.seed.map_or_else(String::new, |s| format!("-seed{s}"));
+                let path = format!("{dir}/{}{seed}-{i}.sct", v.kind.name());
+                let program = v.minimized.as_deref().unwrap_or(&v.source);
+                let body = format!("; {}\n{program}\n", v.detail.replace('\n', "\n; "));
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+    println!("{}", report.summary_json());
+    if report.violations.is_empty() {
+        ExitCode::from(EXIT_OK)
+    } else {
+        ExitCode::from(EXIT_FAIL)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -293,6 +384,9 @@ fn main() -> ExitCode {
     };
     if cmd == "serve" {
         return serve_cmd(rest);
+    }
+    if cmd == "fuzz" {
+        return fuzz_cmd(rest);
     }
     let Some(file) = rest.first() else {
         return usage();

@@ -19,7 +19,9 @@
 //! Coverage: the whole Figure-10 workload corpus (all four bench setups
 //! plus call-sequence collection), all 28 Table 1 programs under both
 //! table strategies, every diverging program (identical violation and
-//! blame), and a seeded random-program sweep whose generator exercises
+//! blame), and a seeded random-program sweep whose generator — the
+//! [`sct_fuzz::ExprGen`] module shared with the `sct fuzz` campaign, so
+//! the oracle sweep and the fuzzer grow coverage in one place — exercises
 //! closures (captured, mutated, `letrec`-recursive), shadowing, variadic
 //! lambdas, `apply`, contracts, and `terminating/c` extents. Generated
 //! programs run fully monitored, so Theorem 3.1 guarantees termination
@@ -27,63 +29,12 @@
 //! machines, since their step granularities differ).
 
 use proptest::prelude::*;
-use sct_contracts::corpus::workloads::Lcg;
 use sct_contracts::corpus::{diverging, table1, workloads};
-use sct_contracts::interp::reference;
-use sct_contracts::{
-    plan_program, EvalError, Machine, MachineConfig, PlanConfig, SemanticsMode, TableStrategy,
-    Value,
-};
+use sct_contracts::{plan_program, MachineConfig, PlanConfig, SemanticsMode, TableStrategy};
+use sct_fuzz::harness::{run_reference, run_vm, Outcome};
+use sct_fuzz::ExprGen;
 use std::rc::Rc;
 use std::time::Duration;
-
-/// One rendered outcome: the full display of the answer (blame labels and
-/// witnesses included), the console output, and the semantic counters.
-#[derive(Debug, PartialEq, Eq)]
-struct Outcome {
-    answer: String,
-    output: String,
-    applications: u64,
-    monitored_calls: u64,
-    checks: u64,
-    static_skips: u64,
-    violations: Vec<String>,
-}
-
-fn render(r: &Result<Value, EvalError>) -> String {
-    match r {
-        Ok(v) => format!("ok: {}", v.to_write_string()),
-        Err(e) => format!("err: {e}"),
-    }
-}
-
-fn run_vm(prog: &sct_contracts::lang::ast::Program, config: MachineConfig) -> Outcome {
-    let mut m = Machine::new(prog, config);
-    let r = m.run();
-    Outcome {
-        answer: render(&r),
-        output: m.output.clone(),
-        applications: m.stats.applications,
-        monitored_calls: m.stats.monitored_calls,
-        checks: m.stats.checks,
-        static_skips: m.stats.static_skips,
-        violations: m.violations.iter().map(|v| v.to_string()).collect(),
-    }
-}
-
-fn run_reference(prog: &sct_contracts::lang::ast::Program, config: MachineConfig) -> Outcome {
-    let mut m = reference::Machine::new(prog, config);
-    let r = m.run();
-    Outcome {
-        answer: render(&r),
-        output: m.output.clone(),
-        applications: m.stats.applications,
-        monitored_calls: m.stats.monitored_calls,
-        checks: m.stats.checks,
-        static_skips: m.stats.static_skips,
-        violations: m.violations.iter().map(|v| v.to_string()).collect(),
-    }
-}
 
 /// Runs `source` through both machines under `config` and asserts (or,
 /// for the proptest driver, returns) outcome equality.
@@ -218,192 +169,6 @@ fn diverging_corpus_agrees_on_blame() {
 // Seeded random-program sweep.
 // ---------------------------------------------------------------------
 
-/// Random well-formed λSCT program generator. Driven by the corpus LCG so
-/// every case reproduces from its seed. The grammar deliberately leans on
-/// the constructs whose compilation is subtle: captured-and-mutated
-/// locals (assignment conversion), `letrec` closures (cell captures),
-/// shadowing `let`s (slot reuse), variadic lambdas, `apply`, first-class
-/// lambdas flowing to helpers (generic call sites), and `terminating/c`
-/// extents (blame + table seeding).
-struct Gen {
-    rng: Lcg,
-    fresh: u32,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Gen {
-        Gen {
-            rng: Lcg::new(seed),
-            fresh: 0,
-        }
-    }
-
-    fn pick(&mut self, n: u64) -> u64 {
-        self.rng.next_u64() % n
-    }
-
-    fn fresh_var(&mut self) -> String {
-        self.fresh += 1;
-        format!("v{}", self.fresh)
-    }
-
-    /// An atomic expression over the variables in scope.
-    fn atom(&mut self, scope: &[String], globals: &[String]) -> String {
-        match self.pick(6) {
-            0 | 1 if !scope.is_empty() => {
-                let i = self.pick(scope.len() as u64) as usize;
-                scope[i].clone()
-            }
-            2 if !globals.is_empty() => {
-                let i = self.pick(globals.len() as u64) as usize;
-                globals[i].clone()
-            }
-            3 => "'()".to_string(),
-            4 => format!("{}", self.pick(5)),
-            _ => format!("{}", self.pick(3) + 1),
-        }
-    }
-
-    /// An expression of bounded depth over the variables in scope.
-    fn expr(&mut self, depth: u32, scope: &[String], globals: &[String]) -> String {
-        if depth == 0 {
-            return self.atom(scope, globals);
-        }
-        let d = depth - 1;
-        match self.pick(14) {
-            0 => {
-                let a = self.expr(d, scope, globals);
-                let b = self.expr(d, scope, globals);
-                let op = ["+", "-", "*"][self.pick(3) as usize];
-                format!("({op} {a} {b})")
-            }
-            1 => {
-                let a = self.expr(d, scope, globals);
-                let b = self.expr(d, scope, globals);
-                format!("(cons {a} {b})")
-            }
-            2 => {
-                // May be a run-time type error on non-pairs: both machines
-                // must produce the identical errorRT.
-                let a = self.expr(d, scope, globals);
-                let op = ["car", "cdr"][self.pick(2) as usize];
-                format!("({op} {a})")
-            }
-            3 => {
-                let c = self.expr(d, scope, globals);
-                let t = self.expr(d, scope, globals);
-                let e = self.expr(d, scope, globals);
-                let p = ["zero?", "null?", "pair?"][self.pick(3) as usize];
-                format!("(if ({p} {c}) {t} {e})")
-            }
-            4 => {
-                // let with shadow-prone bindings (slot reuse on the VM).
-                let x = self.fresh_var();
-                let y = self.fresh_var();
-                let ix = self.expr(d, scope, globals);
-                let iy = self.expr(d, scope, globals);
-                let mut inner = scope.to_vec();
-                inner.push(x.clone());
-                inner.push(y.clone());
-                let body = self.expr(d, &inner, globals);
-                format!("(let ([{x} {ix}] [{y} {iy}]) {body})")
-            }
-            5 => {
-                // Immediately applied lambda capturing the scope.
-                let v = self.fresh_var();
-                let arg = self.expr(d, scope, globals);
-                let mut inner = scope.to_vec();
-                inner.push(v.clone());
-                let body = self.expr(d, &inner, globals);
-                format!("((lambda ({v}) {body}) {arg})")
-            }
-            6 => {
-                // Mutated captured binding: assignment conversion.
-                let x = self.fresh_var();
-                let init = self.expr(d, scope, globals);
-                let mut inner = scope.to_vec();
-                inner.push(x.clone());
-                let delta = self.expr(d, &inner, globals);
-                let body = self.expr(d, &inner, globals);
-                format!("(let ([{x} {init}]) (begin ((lambda () (set! {x} {delta}))) {body}))")
-            }
-            7 => {
-                // letrec with a self-recursive, structurally descending
-                // loop (cell capture; monitored but terminating).
-                let f = self.fresh_var();
-                let n = self.fresh_var();
-                let mut inner = scope.to_vec();
-                inner.push(n.clone());
-                let base = self.expr(d, &inner, globals);
-                let acc = self.expr(d, &inner, globals);
-                let arg = self.pick(4) + 1;
-                format!(
-                    "(letrec ([{f} (lambda ({n}) (if (zero? {n}) {base} (+ {acc} ({f} (- {n} 1)))))]) ({f} {arg}))"
-                )
-            }
-            8 => {
-                let parts: Vec<String> = (0..=self.pick(2) + 1)
-                    .map(|_| self.expr(d, scope, globals))
-                    .collect();
-                format!("(begin {})", parts.join(" "))
-            }
-            9 => {
-                // Variadic lambda + rest list.
-                let v = self.fresh_var();
-                let args: Vec<String> = (0..self.pick(3))
-                    .map(|_| self.expr(d, scope, globals))
-                    .collect();
-                format!("((lambda {v} (length {v})) {})", args.join(" "))
-            }
-            10 => {
-                // apply with a constructed argument list.
-                let a = self.expr(d, scope, globals);
-                let b = self.expr(d, scope, globals);
-                format!("(apply + (list {a} {b}))")
-            }
-            11 if !globals.is_empty() => {
-                // Call a previously defined global (specialized site).
-                let g = &globals[self.pick(globals.len() as u64) as usize];
-                let a = self.expr(d, scope, globals);
-                format!("({g} {a})")
-            }
-            12 => {
-                // terminating/c extent around a closure, applied once.
-                let v = self.fresh_var();
-                let mut inner = scope.to_vec();
-                inner.push(v.clone());
-                let body = self.expr(d, &inner, globals);
-                let arg = self.expr(d, scope, globals);
-                format!("((terminating/c (lambda ({v}) {body})) {arg})")
-            }
-            _ => self.atom(scope, globals),
-        }
-    }
-
-    /// A whole program: helper defines (arity 1, descending recursion with
-    /// a generated base/step so they are callable from later code), then
-    /// one top-level expression.
-    fn program(&mut self, seed_tag: u64) -> String {
-        let mut globals: Vec<String> = Vec::new();
-        let mut out = String::new();
-        let defines = self.pick(3);
-        for i in 0..defines {
-            let name = format!("g{seed_tag}_{i}");
-            let param = self.fresh_var();
-            let scope = vec![param.clone()];
-            let base = self.expr(1, &scope, &globals);
-            let step = self.expr(2, &scope, &globals);
-            out.push_str(&format!(
-                "(define ({name} {param}) (if (zero? {param}) {base} (+ {step} ({name} (- {param} 1)))))\n"
-            ));
-            globals.push(name);
-        }
-        let body = self.expr(3, &[], &globals);
-        out.push_str(&body);
-        out
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -413,7 +178,7 @@ proptest! {
     /// machines count steps at different granularities.
     #[test]
     fn generated_programs_agree(seed in any::<u64>()) {
-        let source = Gen::new(seed).program(seed % 1000);
+        let source = ExprGen::new(seed).program(seed % 1000);
         let prog = match sct_contracts::lang::compile_program(&source) {
             Ok(p) => p,
             Err(e) => panic!("generator produced an uncompilable program: {e}\n{source}"),

@@ -94,6 +94,94 @@ fn stdio_mode_answers_all_ops() {
     assert_line(&lines[7], r#""op":"shutdown""#);
 }
 
+/// Protocol fuzz: mutated, truncated, and overlong NDJSON lines. Every
+/// non-empty line must get exactly one response — an error for the
+/// malformed ones — and the session must survive all of them and still
+/// answer a well-formed request at the end.
+#[test]
+fn stdio_mode_survives_adversarial_lines() {
+    let valid =
+        r#"{"op":"plan","id":1,"source":"(define (dec n) (if (zero? n) 0 (dec (- n 1))))"}"#;
+    let mut lines: Vec<Vec<u8>> = Vec::new();
+    // Truncations at awkward byte offsets (mid-key, mid-string, mid-escape).
+    for cut in [1, 7, 20, valid.len() / 2, valid.len() - 2] {
+        lines.push(valid.as_bytes()[..cut].to_vec());
+    }
+    // Single-byte mutations: flip one byte of the valid request to a
+    // brace, a quote, a NUL, and a high bit.
+    for (pos, byte) in [(2u8, b'}'), (10, b'"'), (30, 0u8), (40, 0xffu8)] {
+        let mut m = valid.as_bytes().to_vec();
+        m[pos as usize] = byte;
+        lines.push(m);
+    }
+    // Structurally wrong JSON: wrong types, unknown ops, nested junk.
+    for bad in [
+        r#"{"op":42}"#,
+        r#"{"op":"warp","id":3}"#,
+        r#"{"op":"plan","id":"three","source":17}"#,
+        r#"{"op":{"op":"plan"}}"#,
+        r#"[1,2,3]"#,
+        r#""just a string""#,
+        "}}}}{{{{",
+    ] {
+        lines.push(bad.as_bytes().to_vec());
+    }
+    // An overlong line: a syntactically valid request whose source is a
+    // megabyte of open parens (compile error, not a crash), plus a
+    // megabyte of raw garbage.
+    let huge_src = "(".repeat(1 << 20);
+    lines.push(format!(r#"{{"op":"run","id":9,"source":"{huge_src}"}}"#).into_bytes());
+    lines.push(vec![b'x'; 1 << 20]);
+    let adversarial = lines.len();
+
+    let mut requests: Vec<u8> = Vec::new();
+    for line in &lines {
+        requests.extend_from_slice(line);
+        requests.push(b'\n');
+    }
+    // The session must still answer real work after all of that.
+    requests.extend_from_slice(valid.as_bytes());
+    requests.push(b'\n');
+    requests.extend_from_slice(b"{\"op\":\"stats\",\"id\":99}\n{\"op\":\"shutdown\"}\n");
+
+    let mut child = sct()
+        .args(["serve", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve");
+    child.stdin.take().unwrap().write_all(&requests).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+    let responses: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(
+        responses.len(),
+        adversarial + 3,
+        "one response per request: {responses:#?}"
+    );
+    // The megabyte-of-parens request was well-formed JSON; whether it
+    // compiles is the language front end's business — the daemon's
+    // contract is just a response per line. Every *malformed* line must
+    // be answered with ok:false.
+    for (i, r) in responses[..adversarial].iter().enumerate() {
+        assert_line(r, r#""ok":"#);
+        if !r.contains(r#""ok":true"#) {
+            assert_line(r, r#""ok":false"#);
+        }
+        assert!(!r.is_empty(), "empty response for adversarial line {i}");
+    }
+    // The trailing well-formed plan still works.
+    assert_line(&responses[adversarial], r#""id":1"#);
+    assert_line(&responses[adversarial], r#""ok":true"#);
+    assert_line(&responses[adversarial], r#""name":"dec""#);
+    assert_line(&responses[adversarial + 1], r#""id":99"#);
+    assert_line(&responses[adversarial + 2], r#""op":"shutdown""#);
+}
+
 fn connect_with_retry(path: &PathBuf) -> UnixStream {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
