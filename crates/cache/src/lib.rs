@@ -26,7 +26,22 @@
 //! mismatch — is a *miss*, never an error: the planner recomputes and the
 //! next store overwrites the bad entry. A stale-but-decodable entry is
 //! impossible because the key commits to all decision inputs; see
-//! `sct_core::plan_codec`.
+//! `sct_core::plan_codec`. Undecodable bytes are *quarantined* — renamed
+//! to `<k>.quarantine` for operator inspection, counted in
+//! [`CacheStats::quarantined`] — rather than silently deleted; a
+//! quarantined key recomputes and the next store publishes a clean entry
+//! (the self-heal path `tests/faults.rs` pins under injected torn
+//! writes).
+//!
+//! # Fault injection
+//!
+//! Every I/O step is threaded with `sct-faults` failpoints so chaos tests
+//! can drive the daemon through disk failures deterministically:
+//! `cache.load.read` (read fails → miss), `cache.store.dir`,
+//! `cache.store.write` (supports `enospc` and `torn`),
+//! `cache.store.rename`. All of them degrade, by construction, to the
+//! recompute-every-time regime — planning never fails because the disk
+//! did.
 //!
 //! # Examples
 //!
@@ -72,6 +87,10 @@ pub struct CacheStats {
     /// Loads that found a file but rejected it (truncated, corrupt, or
     /// wrong schema version) — counted *in addition* to the miss.
     pub rejected: u64,
+    /// Rejected entries whose bytes were preserved as `<key>.quarantine`
+    /// for operator inspection (a subset of `rejected`; the rename is
+    /// best-effort, falling back to deletion).
+    pub quarantined: u64,
     /// Entries written.
     pub stores: u64,
     /// I/O failures swallowed while writing (the cache degrades to
@@ -159,9 +178,45 @@ impl DiskCache {
     }
 }
 
+impl DiskCache {
+    /// Preserves the undecodable bytes at `path` as `<key>.quarantine`
+    /// (best-effort; deletion is the fallback) so an operator can inspect
+    /// what corrupted, and the key recomputes either way. Returns whether
+    /// the quarantine rename succeeded.
+    fn quarantine(&mut self, path: &Path) -> bool {
+        let bad = path.with_extension("quarantine");
+        if fs::rename(path, &bad).is_ok() {
+            self.stats.quarantined += 1;
+            true
+        } else {
+            fs::remove_file(path).ok();
+            false
+        }
+    }
+
+    /// Number of `.quarantine` files currently on disk (diagnostic aid).
+    pub fn quarantine_count(&self) -> usize {
+        let Ok(shards) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|s| fs::read_dir(s.path()).ok())
+            .flat_map(|files| files.flatten())
+            .filter(|f| f.path().extension().is_some_and(|e| e == "quarantine"))
+            .count()
+    }
+}
+
 impl DecisionStore for DiskCache {
     fn load(&mut self, key: &str) -> Option<PortableDecision> {
         let path = self.entry_path(key);
+        // Failpoint: a read that fails (EIO, permission flaps) is a miss,
+        // exactly like an absent file — the planner recomputes.
+        if sct_faults::io_check("cache.load.read").is_err() {
+            self.stats.misses += 1;
+            return None;
+        }
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
@@ -175,13 +230,13 @@ impl DecisionStore for DiskCache {
                 Some(entry)
             }
             Err(_) => {
-                // Truncated / corrupt / version-mismatched: drop the bad
-                // bytes (best effort) and recompute. Never a crash, and a
-                // stale replay is impossible — the key commits to the
-                // decision's inputs.
+                // Truncated / corrupt / version-mismatched: quarantine the
+                // bad bytes and recompute. Never a crash, and a stale
+                // replay is impossible — the key commits to the decision's
+                // inputs.
                 self.stats.misses += 1;
                 self.stats.rejected += 1;
-                fs::remove_file(&path).ok();
+                self.quarantine(&path);
                 None
             }
         }
@@ -192,6 +247,7 @@ impl DecisionStore for DiskCache {
         let tmp_counter = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let write = || -> io::Result<()> {
             let parent = path.parent().expect("entry path has a shard parent");
+            sct_faults::io_check("cache.store.dir")?;
             fs::create_dir_all(parent)?;
             // Atomic publish: writers never expose a half-written entry,
             // so concurrent daemon workers and CLI runs can share a
@@ -199,7 +255,29 @@ impl DecisionStore for DiskCache {
             // last writer wins, and both wrote equivalent bytes (same key
             // ⇒ same inputs ⇒ same decision).
             let tmp = parent.join(format!(".tmp-{}-{tmp_counter:x}-{key}", std::process::id()));
-            fs::write(&tmp, encode_entry(entry))?;
+            let bytes = encode_entry(entry);
+            // Failpoints: `enospc`/`error` fail the write outright; `torn`
+            // publishes a *truncated* entry through the normal rename —
+            // the model of a non-atomic filesystem or a crash that left
+            // half the bytes — which the next load must reject and
+            // quarantine (the self-heal invariant).
+            let bytes: &[u8] = match sct_faults::check("cache.store.write") {
+                sct_faults::Action::Torn => &bytes.as_bytes()[..bytes.len() / 2],
+                sct_faults::Action::Error => {
+                    return Err(io::Error::other("injected fault at cache.store.write"))
+                }
+                sct_faults::Action::Enospc => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        "injected ENOSPC at cache.store.write",
+                    ))
+                }
+                _ => bytes.as_bytes(),
+            };
+            fs::write(&tmp, bytes)?;
+            sct_faults::io_check("cache.store.rename").inspect_err(|_| {
+                fs::remove_file(&tmp).ok();
+            })?;
             fs::rename(&tmp, &path).inspect_err(|_| {
                 fs::remove_file(&tmp).ok();
             })?;

@@ -84,6 +84,11 @@ pub enum EvalError {
     /// The configured fuel ran out (used to bound *unmonitored* runs of
     /// diverging programs; monitored runs stop via [`EvalError::Sc`]).
     OutOfFuel,
+    /// The configured wall-clock deadline passed mid-run. Unlike
+    /// [`EvalError::OutOfFuel`] this depends on machine load, not on the
+    /// program — servers use it to bound request latency, and nothing
+    /// about the program's semantics may be inferred from it.
+    Deadline,
 }
 
 impl EvalError {
@@ -100,6 +105,7 @@ impl fmt::Display for EvalError {
             EvalError::Sc(e) => write!(f, "termination contract violation: {e}"),
             EvalError::Contract(e) => write!(f, "{e}"),
             EvalError::OutOfFuel => f.write_str("out of fuel"),
+            EvalError::Deadline => f.write_str("deadline exceeded"),
         }
     }
 }

@@ -60,6 +60,10 @@ pub enum SemanticsMode {
     CallSeqCollect,
 }
 
+/// Step-count mask for wall-clock deadline checks: the clock is read when
+/// `steps & MASK == 0`, i.e. once per 4096 dispatch steps.
+pub const DEADLINE_CHECK_MASK: u64 = 0xFFF;
+
 /// Complete machine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct MachineConfig {
@@ -72,6 +76,14 @@ pub struct MachineConfig {
     /// Step budget; `None` is unbounded. Use for *unmonitored* runs of
     /// possibly-diverging programs.
     pub fuel: Option<u64>,
+    /// Wall-clock deadline; `None` is unbounded. Checked every
+    /// [`DEADLINE_CHECK_MASK`]+1 steps (one `Instant::now` per ~4k
+    /// dispatches — noise next to an instruction), so a run ends within
+    /// microseconds of the deadline with [`EvalError::Deadline`]. Servers
+    /// use this to bound request latency even for `run` requests with no
+    /// `fuel`, which fuel alone cannot do portably (steps/second varies
+    /// with the program).
+    pub deadline: Option<std::time::Instant>,
     /// When true, record a [`TraceEvent`] per checked call (Figure 1).
     pub trace: bool,
     /// The hybrid enforcement plan from the static pre-pass, when one was
@@ -495,6 +507,15 @@ impl<'p> Machine<'p> {
             if let Some(fuel) = self.config.fuel {
                 if self.stats.steps > fuel {
                     return Err(EvalError::OutOfFuel);
+                }
+            }
+            if let Some(deadline) = self.config.deadline {
+                // Amortized: one clock read per ~4k dispatches keeps the
+                // configured-but-unexpired cost unmeasurable.
+                if self.stats.steps & DEADLINE_CHECK_MASK == 0
+                    && std::time::Instant::now() >= deadline
+                {
+                    return Err(EvalError::Deadline);
                 }
             }
             let instr = code.code[self.pc];

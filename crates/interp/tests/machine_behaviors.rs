@@ -97,6 +97,37 @@ fn fuel_is_counted_per_step() {
 }
 
 #[test]
+fn wall_clock_deadline_stops_an_unfueled_diverging_run() {
+    use std::time::{Duration, Instant};
+    // No fuel at all: only the deadline bounds this loop.
+    let prog = sct_lang::compile_program("(define (spin x) (spin x)) (spin 1)").unwrap();
+    let mut m = Machine::new(
+        &prog,
+        MachineConfig {
+            deadline: Some(Instant::now() + Duration::from_millis(50)),
+            ..MachineConfig::standard()
+        },
+    );
+    let started = Instant::now();
+    assert!(matches!(m.run(), Err(EvalError::Deadline)));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline must bound the run tightly, took {:?}",
+        started.elapsed()
+    );
+    // A deadline that never arrives changes nothing.
+    let mut ok = Machine::new(
+        &prog,
+        MachineConfig {
+            fuel: Some(10_000),
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..MachineConfig::standard()
+        },
+    );
+    assert!(matches!(ok.run(), Err(EvalError::OutOfFuel)));
+}
+
+#[test]
 fn quoted_literals_are_shared_per_site() {
     // The same quote site yields eq? values across evaluations (cache),
     // distinct sites yield equal? but not eq? values.

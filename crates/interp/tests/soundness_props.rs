@@ -78,6 +78,9 @@ fn classify(r: Result<Value, EvalError>) -> Answer {
         Err(EvalError::Rt(_)) | Err(EvalError::Contract(_)) => Answer::RtError,
         Err(EvalError::Sc(_)) => Answer::ScError,
         Err(EvalError::OutOfFuel) => Answer::Fuel,
+        // No test here configures a deadline; the arm exists only for
+        // exhaustiveness.
+        Err(EvalError::Deadline) => Answer::Fuel,
     }
 }
 

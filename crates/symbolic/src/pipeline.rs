@@ -111,6 +111,17 @@ pub struct PlanConfig {
     pub refute: bool,
     /// Pinned signatures by `define`d name, overriding the ladder.
     pub signatures: HashMap<String, Signature>,
+    /// Absolute wall-clock deadline for the whole planning pass. A
+    /// `define` reached after the deadline is not explored: it degrades to
+    /// [`Decision::Monitor`] with a deadline reason — the same fuel-budget
+    /// fallback rung, so the plan stays sound, just maximally pessimistic.
+    /// Store hits are still honored past the deadline (a load is cheap and
+    /// a persisted decision is load-independent). Deadline-degraded
+    /// decisions are *never persisted*: like time-budget truncations, they
+    /// reflect machine load, not program content, and the content key must
+    /// not pin one slow moment's pessimism. Excluded from the content key
+    /// for the same reason (see `digest::hash_config`).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for PlanConfig {
@@ -121,6 +132,7 @@ impl Default for PlanConfig {
             nat_ladder: true,
             refute: true,
             signatures: HashMap::new(),
+            deadline: None,
         }
     }
 }
@@ -336,6 +348,18 @@ fn plan_positions(
                 }
             }
         }
+        // Past the pass-wide deadline (store hits above still count — a
+        // load is load-independent): degrade down the enforcement ladder
+        // to Monitor instead of exploring. Never persisted — the verdict
+        // reflects the wall clock, not the content the key commits to.
+        if config.deadline.is_some_and(|d| Instant::now() >= d) {
+            out.push((
+                pos,
+                monitor_fallback(name, def, blame, DEADLINE_REASON),
+                false,
+            ));
+            continue;
+        }
         // A proof is only as durable as the bindings it reads: if this
         // function can (transitively) reach a global that *anything* in
         // the program `set!`s, a later rebinding could invalidate the
@@ -370,6 +394,64 @@ fn plan_positions(
             }
         }
         out.push((pos, decision, false));
+    }
+    out
+}
+
+/// The reason recorded on decisions degraded by [`PlanConfig::deadline`].
+/// Stable prefix so drivers (the serve daemon's stats, the chaos suite)
+/// can distinguish deadline degradation from other monitor fallbacks.
+pub const DEADLINE_REASON: &str = "planning deadline exceeded";
+
+/// Fabricates the maximally pessimistic (and always sound) decision for a
+/// λ-bound `define`: keep full dynamic monitoring, prove nothing, refute
+/// nothing.
+fn monitor_fallback(
+    name: &str,
+    def: &Rc<LambdaDef>,
+    blame: Option<String>,
+    reason: &str,
+) -> FnDecision {
+    FnDecision {
+        name: name.to_string(),
+        lambda: def.id,
+        covers: Vec::new(),
+        decision: Decision::Monitor {
+            reason: reason.to_string(),
+        },
+        blame,
+        detail: reason.to_string(),
+        micros: 0,
+    }
+}
+
+/// Fabricates degraded [`Decision::Monitor`] decisions for the λ-bound
+/// `define`s at `positions` without running any verification — the bottom
+/// rung of the degradation ladder, for drivers whose *planner itself* is
+/// unavailable (a stalled or crashed worker, an expired request deadline).
+/// Positions that are not λ-bound `define`s are skipped, exactly as
+/// [`plan_program_subset`] skips them, so the two functions agree on which
+/// positions yield decisions. The triples' `hit?` flag is always `false`
+/// and the decisions must never be persisted: they reflect scheduler
+/// state, not program content.
+pub fn monitor_fallback_decisions(
+    program: &Program,
+    positions: &[usize],
+    reason: &str,
+) -> Vec<(usize, FnDecision, bool)> {
+    let mut out = Vec::new();
+    for (pos, form) in program.top_level.iter().enumerate() {
+        if !positions.contains(&pos) {
+            continue;
+        }
+        let TopForm::Define { index, expr } = form else {
+            continue;
+        };
+        let name = &program.global_names[*index as usize];
+        let Some((def, blame)) = unwrap_termc(expr) else {
+            continue;
+        };
+        out.push((pos, monitor_fallback(name, def, blame, reason), false));
     }
     out
 }
@@ -1010,6 +1092,88 @@ mod tests {
             plan_program(&prog, &PlanConfig::default()).count("static"),
             1
         );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_monitor_and_never_persists() {
+        // The pass-wide deadline is the serve daemon's request-latency
+        // bound: once past it every remaining define degrades to Monitor
+        // (sound, pessimistic), never Static, never Refuted — and nothing
+        // degraded may land in the store under a content key.
+        let prog = compile_program(
+            "(define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+             (define (up x) (up (+ x 1)))",
+        )
+        .unwrap();
+        let expired = PlanConfig {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..PlanConfig::default()
+        };
+        let mut store = TestStore::default();
+        let (plan, stats) =
+            plan_program_incremental(&prog, &expired, &mut PlanCache::new(), &mut store);
+        assert_eq!(plan.count("monitor"), 2, "{:?}", plan.decisions);
+        assert_eq!(plan.count("static"), 0);
+        assert_eq!(plan.count("refuted"), 0);
+        for d in &plan.decisions {
+            assert!(
+                matches!(&d.decision, Decision::Monitor { reason } if reason.contains(DEADLINE_REASON)),
+                "{:?}",
+                d.decision
+            );
+        }
+        assert!(store.map.is_empty(), "degraded decisions must not persist");
+        assert_eq!(stats.hits(), 0);
+
+        // Store hits are honored even past the deadline: persist with a
+        // live deadline, then replan with an expired one.
+        let live = PlanConfig::default();
+        let (_, warm) = plan_program_incremental(&prog, &live, &mut PlanCache::new(), &mut store);
+        assert_eq!(warm.misses(), 2);
+        assert_eq!(store.map.len(), 2);
+        let (replayed, stats) =
+            plan_program_incremental(&prog, &expired, &mut PlanCache::new(), &mut store);
+        assert_eq!(stats.hits(), 2, "loads are load-independent");
+        assert_eq!(replayed.count("static"), 1, "{:?}", replayed.decisions);
+    }
+
+    #[test]
+    fn monitor_fallback_decisions_mirror_subset_positions() {
+        // The serve daemon fabricates these when a worker dies or stalls:
+        // they must cover exactly the λ-define positions plan_program_subset
+        // would answer for, carry the caller's reason, and claim no hit.
+        let prog = compile_program(
+            "(define limit 10)
+             (define (sum i acc) (if (zero? i) acc (sum (- i 1) (+ acc i))))
+             (+ 1 2)
+             (define (id x) x)",
+        )
+        .unwrap();
+        let all: Vec<usize> = (0..prog.top_level.len()).collect();
+        let fabricated = monitor_fallback_decisions(&prog, &all, "worker lost");
+        let planned = plan_program_subset(
+            &prog,
+            &PlanConfig::default(),
+            &mut PlanCache::new(),
+            &mut NullStore,
+            &all,
+        );
+        assert_eq!(
+            fabricated.iter().map(|(p, ..)| *p).collect::<Vec<_>>(),
+            planned.iter().map(|(p, ..)| *p).collect::<Vec<_>>(),
+            "both answer exactly the λ-define positions"
+        );
+        for ((pos, d, hit), (ppos, pd, _)) in fabricated.iter().zip(planned.iter()) {
+            assert_eq!(pos, ppos);
+            assert_eq!(d.name, pd.name);
+            assert_eq!(d.lambda, pd.lambda);
+            assert!(!hit);
+            assert!(
+                matches!(&d.decision, Decision::Monitor { reason } if reason == "worker lost"),
+                "{:?}",
+                d.decision
+            );
+        }
     }
 
     #[test]

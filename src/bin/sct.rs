@@ -7,6 +7,8 @@
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
 //! sct serve [--socket PATH] [--cache-dir DIR] [--threads N]
+//!           [--deadline-ms MS] [--max-queue N] [--max-inflight-per-client N]
+//!           [--faults SPEC]
 //! sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--out DIR]
 //! ```
 //!
@@ -35,7 +37,14 @@
 //! `serve` starts the long-running daemon: newline-delimited JSON
 //! requests (`plan`, `run`, `hybrid`, `stats`, `shutdown`) over stdio or
 //! a Unix socket, planning fanned out across a warm worker pool — see
-//! `sct_contracts::serve` for the wire protocol.
+//! `sct_contracts::serve` for the wire protocol. `--deadline-ms` bounds
+//! each request's wall clock (planning past it degrades to monitored
+//! decisions; execution past it stops with a `deadline exceeded` error),
+//! `--max-queue` / `--max-inflight-per-client` shed excess load with
+//! `{"ok":false,"shed":true}` responses, and `--faults SPEC` (or the
+//! `SCT_FAULTS` env var) arms the deterministic fault-injection layer
+//! (`sct-faults`) for chaos testing, e.g.
+//! `--faults 'cache.store.write=enospc@500;seed=7'`.
 //!
 //! `fuzz` runs the differential soundness campaign (`sct-fuzz`): `N`
 //! seeded cases with constructed termination oracles, each checked
@@ -77,7 +86,8 @@ fn usage() -> ExitCode {
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
          sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
-         sct serve [--socket PATH] [--cache-dir DIR] [--threads N]\n  \
+         sct serve [--socket PATH] [--cache-dir DIR] [--threads N] [--deadline-ms MS] \
+         [--max-queue N] [--max-inflight-per-client N] [--faults SPEC]\n  \
          sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--verbose] [--out DIR]"
     );
     ExitCode::from(EXIT_USAGE)
@@ -268,10 +278,53 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
                     return usage();
                 }
             },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => options.deadline_ms = Some(ms),
+                None => {
+                    eprintln!("bad --deadline-ms value");
+                    return usage();
+                }
+            },
+            "--max-queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => options.max_queue = n,
+                None => {
+                    eprintln!("bad --max-queue value");
+                    return usage();
+                }
+            },
+            "--max-inflight-per-client" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => options.max_inflight_per_client = n,
+                None => {
+                    eprintln!("bad --max-inflight-per-client value");
+                    return usage();
+                }
+            },
+            "--faults" => match it.next() {
+                Some(spec) => {
+                    if let Err(e) = sct_faults::arm(spec) {
+                        eprintln!("bad --faults spec: {e}");
+                        return usage();
+                    }
+                }
+                None => {
+                    eprintln!("missing --faults value");
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return usage();
             }
+        }
+    }
+    // Chaos runs can also arm failpoints via SCT_FAULTS / SCT_FAULTS_SEED
+    // without touching the command line.
+    match sct_faults::arm_from_env() {
+        Ok(Some(spec)) => eprintln!("sct serve: failpoints armed from SCT_FAULTS: {spec}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("bad SCT_FAULTS spec: {e}");
+            return usage();
         }
     }
     let server = match Server::new(options) {

@@ -33,8 +33,13 @@
 //! ```
 //!
 //! `id` (any JSON value) is echoed back verbatim for client correlation;
-//! `fuel` optionally bounds `run`/`hybrid` executions. Responses always
-//! carry `"ok"` and `"op"`:
+//! `fuel` optionally bounds `run`/`hybrid` executions. Two more optional
+//! request fields feed the robustness machinery: `"deadline_ms"` bounds
+//! this request's wall-clock budget (capped by the server-wide
+//! [`ServeOptions::deadline_ms`] when both are set), and `"client"` names
+//! the quota bucket for [`ServeOptions::max_inflight_per_client`]
+//! (defaulting to the connection identity). Responses always carry
+//! `"ok"` and `"op"`:
 //!
 //! * `plan` → `{"ok":true,"op":"plan","plan":<sct-plan/1 doc>,
 //!   "cache":{"hits":H,"misses":M,"warm":bool},"defines":[["name",hit?],…]}`
@@ -59,6 +64,44 @@
 //! Malformed lines never kill the connection: they produce
 //! `{"ok":false,"error":…}` and the daemon keeps reading.
 //!
+//! # Failure domains and the degradation ladder
+//!
+//! The daemon is supervised from the inside; every failure is contained
+//! to the smallest domain that can absorb it (see
+//! `docs/ARCHITECTURE.md` for the full ladder):
+//!
+//! * **A planning job** that panics is caught in the worker
+//!   (`catch_unwind`), the worker's warm caches are discarded (they may
+//!   be mid-mutation), and the request gets a distinct error — the
+//!   worker thread survives.
+//! * **A worker thread** that dies anyway (a panic outside the job
+//!   guard) drops its job's reply sender; the waiting request sees the
+//!   disconnect *immediately* — not after a timeout — and answers with
+//!   a distinct error, and the pool respawns the thread before the next
+//!   dispatch.
+//! * **A deadline** ([`ServeOptions::deadline_ms`] or the request's
+//!   `deadline_ms`) degrades instead of erroring: `define`s the workers
+//!   have not answered by the deadline get fabricated
+//!   `Decision::Monitor` decisions — sound, maximally pessimistic, and
+//!   never persisted under content keys — and executions stop with a
+//!   `deadline exceeded` error. A stalled worker's late real answer
+//!   still lands in the store, so the next request self-heals to the
+//!   precise plan.
+//! * **Overload** is shed at admission: past
+//!   [`ServeOptions::max_queue`] globally or
+//!   [`ServeOptions::max_inflight_per_client`] per client, expensive
+//!   requests get an immediate well-formed
+//!   `{"ok":false,"shed":true,…}` instead of queueing without bound.
+//! * **A client connection** failing (read error, thread panic) ends
+//!   only that connection; panics are counted in `errors`.
+//! * **A poisoned lock** (some thread panicked while holding it) is
+//!   recovered, not propagated: every lock in this module protects
+//!   plain counters or cache state that is valid under torn updates.
+//!
+//! The `stats` op exposes the self-healing counters: `requests.shed`,
+//! `requests.deadline_exceeded`, `worker_restarts`, and the cache's
+//! `quarantined` count.
+//!
 //! # Examples
 //!
 //! In-process (no I/O): drive the server with protocol lines directly.
@@ -76,30 +119,53 @@
 use sct_cache::{CacheStats, DiskCache, MemStore};
 use sct_core::json::{parse, Json};
 use sct_core::monitor::TableStrategy;
-use sct_core::plan::{EnforcementPlan, FnDecision};
+use sct_core::plan::{Decision, EnforcementPlan, FnDecision};
 use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats};
 use sct_ir::CompiledProgram;
 use sct_lang::ast::{Program, TopForm};
 use sct_symbolic::pipeline::{
-    plan_program_subset, DecisionStore, IncrementalStats, PlanCache, PlanConfig,
+    monitor_fallback_decisions, plan_program_subset, DecisionStore, IncrementalStats, PlanCache,
+    PlanConfig, DEADLINE_REASON,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// How long a request waits for the planning pool before concluding the
-/// pool is wedged (a defensive bound; jobs normally finish in
-/// milliseconds and are budget-capped by [`PlanConfig`]).
+/// pool is wedged, when no deadline bounds the request (a defensive
+/// bound; jobs normally finish in milliseconds and are budget-capped by
+/// [`PlanConfig`]). Worker *death* is detected immediately regardless —
+/// the reply channel disconnects — so this bound only covers a silently
+/// stalled worker.
 const POOL_REPLY_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// How long past an expired request deadline the collector still accepts
+/// worker replies before fabricating degraded decisions for the rest.
+/// Long enough for a reply already in flight (a store hit, a worker's
+/// own in-pass degradation — microseconds) to land; short enough that a
+/// genuinely stalled worker cannot stretch the request much past its
+/// deadline.
+const DEADLINE_GRACE: Duration = Duration::from_millis(100);
+
+/// Locks `m`, recovering from poisoning. Every mutex in this module
+/// protects plain counters or cache/state maps that remain valid under a
+/// torn update (the worst a panicking holder can leave behind is a lost
+/// counter increment or a stale cache entry, both benign), so inheriting
+/// a panicked thread's poison — and taking the daemon down with it —
+/// would turn a contained failure into total unavailability.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Cap on s-expression nesting depth in request sources. The reader,
 /// resolver, and digest walks all recurse per nesting level, and a stack
@@ -147,6 +213,21 @@ pub struct ServeOptions {
     /// Directory for the persistent plan cache; `None` keeps decisions in
     /// memory only (still warm across requests, lost on exit).
     pub cache_dir: Option<PathBuf>,
+    /// Wall-clock budget per `plan`/`run`/`hybrid` request, in
+    /// milliseconds. Planning past the deadline degrades to
+    /// `Decision::Monitor` (never an error, never persisted); execution
+    /// past it stops with a `deadline exceeded` error. `None` leaves
+    /// requests unbounded (a request's own `"deadline_ms"` still
+    /// applies; with both set the smaller wins).
+    pub deadline_ms: Option<u64>,
+    /// Admission bound on concurrently executing expensive requests
+    /// (`plan`/`run`/`hybrid`) across all clients; past it requests are
+    /// shed with `{"ok":false,"shed":true}` instead of queueing. `0`
+    /// disables the bound.
+    pub max_queue: usize,
+    /// Admission bound per client (the request's `"client"` field, else
+    /// the connection). `0` disables the bound.
+    pub max_inflight_per_client: usize,
 }
 
 /// The shared store behind the daemon: disk-backed or in-memory.
@@ -186,10 +267,10 @@ struct SharedStore(Arc<Mutex<StoreKind>>);
 
 impl DecisionStore for SharedStore {
     fn load(&mut self, key: &str) -> Option<sct_core::plan_codec::PortableDecision> {
-        self.0.lock().expect("store lock").load(key)
+        lock_or_recover(&self.0).load(key)
     }
     fn store(&mut self, key: &str, entry: &sct_core::plan_codec::PortableDecision) {
-        self.0.lock().expect("store lock").store(key, entry)
+        lock_or_recover(&self.0).store(key, entry)
     }
 }
 
@@ -205,66 +286,148 @@ struct Job {
     reply: mpsc::Sender<JobResult>,
 }
 
+/// State shared between the pool handle and its workers — split out so
+/// supervision can respawn a worker from nothing but an `Arc` of it.
+struct PoolShared {
+    store: Arc<Mutex<StoreKind>>,
+    jobs_rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    /// Worker threads respawned after dying mid-job (surfaced in
+    /// `stats` as `worker_restarts`).
+    restarts: AtomicU64,
+}
+
+/// One worker's receive-plan-reply loop.
+fn worker_body(shared: &PoolShared) {
+    // The warm per-worker state. The AST is Rc-based (not Send), so each
+    // worker compiles its own copy of the source — compilation is linear
+    // and cheap next to symbolic exploration.
+    let mut cache = PlanCache::new();
+    loop {
+        let job = {
+            let guard = lock_or_recover(&shared.jobs_rx);
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        // Fault-injection site *outside* the recovery guard: a `panic`
+        // action here kills the whole worker thread while it holds the
+        // job, dropping the reply sender — the exact shape supervision
+        // must detect (immediate disconnect) and repair (respawn).
+        sct_faults::act("serve.pool.worker");
+        let outcome = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            sct_faults::act("serve.pool.job");
+            match sct_lang::compile_program(&job.source) {
+                Ok(program) => Ok(plan_program_subset(
+                    &program,
+                    &job.config,
+                    &mut cache,
+                    &mut SharedStore(Arc::clone(&shared.store)),
+                    &job.positions,
+                )),
+                Err(e) => Err(format!("compile error: {e}")),
+            }
+        }));
+        let result = outcome.unwrap_or_else(|_| {
+            // In-place recovery: the interner/memo may be mid-mutation,
+            // so the warm state is forfeit — a cold cache is merely slow,
+            // a torn one would be wrong.
+            cache = PlanCache::new();
+            Err("planning worker panicked (recovered; retry the request)".to_string())
+        });
+        // A gone receiver just means the client hung up.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn spawn_worker(label: u64, shared: Arc<PoolShared>) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("sct-plan-{label}"))
+        .spawn(move || worker_body(&shared))
+        .expect("spawning plan worker")
+}
+
+/// What [`PlanPool::plan`] produced for one request.
+struct PlannedSource {
+    program: Program,
+    plan: EnforcementPlan,
+    stats: IncrementalStats,
+}
+
 /// The planning thread pool. Workers are spawned once and live for the
 /// daemon's lifetime, each holding its own [`PlanCache`] — interner plus
-/// LJB closure memo — that stays warm across requests and clients.
+/// LJB closure memo — that stays warm across requests and clients. A
+/// worker that dies mid-job is respawned before the next dispatch.
 struct PlanPool {
     jobs: mpsc::Sender<Job>,
     threads: usize,
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl PlanPool {
     fn new(threads: usize, store: Arc<Mutex<StoreKind>>) -> PlanPool {
         let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        for i in 0..threads {
-            let rx = Arc::clone(&rx);
-            let store = Arc::clone(&store);
-            thread::Builder::new()
-                .name(format!("sct-plan-{i}"))
-                .spawn(move || {
-                    // The warm per-worker state. The AST is Rc-based (not
-                    // Send), so each worker compiles its own copy of the
-                    // source — compilation is linear and cheap next to
-                    // symbolic exploration.
-                    let mut cache = PlanCache::new();
-                    loop {
-                        let job = {
-                            let guard = rx.lock().expect("job queue lock");
-                            guard.recv()
-                        };
-                        let Ok(job) = job else { return };
-                        let result = match sct_lang::compile_program(&job.source) {
-                            Ok(program) => Ok(plan_program_subset(
-                                &program,
-                                &job.config,
-                                &mut cache,
-                                &mut SharedStore(Arc::clone(&store)),
-                                &job.positions,
-                            )),
-                            Err(e) => Err(format!("compile error: {e}")),
-                        };
-                        // A gone receiver just means the client hung up.
-                        let _ = job.reply.send(result);
-                    }
-                })
-                .expect("spawning plan worker");
+        let shared = Arc::new(PoolShared {
+            store,
+            jobs_rx: Arc::new(Mutex::new(rx)),
+            restarts: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| spawn_worker(i as u64, Arc::clone(&shared)))
+            .collect();
+        PlanPool {
+            jobs: tx,
+            threads,
+            shared,
+            workers: Mutex::new(workers),
         }
-        PlanPool { jobs: tx, threads }
+    }
+
+    /// Lifetime count of worker respawns.
+    fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Supervision: reap dead workers and respawn replacements, keeping
+    /// the pool at its configured width. Called before every dispatch,
+    /// so a crashed worker costs at most the one request that was on it.
+    fn ensure_workers(&self) {
+        let mut workers = lock_or_recover(&self.workers);
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let dead = workers.swap_remove(i);
+                let _ = dead.join();
+                let n = self.shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("sct serve: plan worker died; respawning (restart #{n})");
+                workers.push(spawn_worker(
+                    self.threads as u64 + n,
+                    Arc::clone(&self.shared),
+                ));
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Plans `source`, fanning independent defines across the pool.
     /// Returns the caller-thread compile of the program too, so `hybrid`
     /// requests can run it without compiling again.
-    fn plan(
-        &self,
-        source: &str,
-        config: &PlanConfig,
-    ) -> Result<(Program, EnforcementPlan, IncrementalStats), String> {
+    ///
+    /// With [`PlanConfig::deadline`] set, positions still unanswered at
+    /// the deadline are filled with fabricated `Decision::Monitor`
+    /// decisions (the degradation ladder) instead of failing the
+    /// request; a stalled worker's late real answer still reaches the
+    /// store, healing the next request. Without a deadline, only worker
+    /// death (immediate) or the defensive [`POOL_REPLY_TIMEOUT`] ends
+    /// the wait early, both as distinct errors.
+    fn plan(&self, source: &str, config: &PlanConfig) -> Result<PlannedSource, String> {
         // Guard the recursive compile/digest walks before touching them —
         // here and not in the workers, because every worker job's source
         // passed through this method first.
         source_depth_ok(source)?;
+        // Repair the pool before dispatch: a worker lost to an earlier
+        // request must not shrink capacity for this one.
+        self.ensure_workers();
         // Compile once up front: fail fast on syntax errors and learn the
         // define positions to partition.
         let program =
@@ -298,14 +461,71 @@ impl PlanPool {
             sent += 1;
         }
         drop(reply_tx);
-        let mut slices = Vec::new();
-        for _ in 0..sent {
-            let slice = reply_rx
-                .recv_timeout(POOL_REPLY_TIMEOUT)
-                .map_err(|_| "planning pool did not answer".to_string())??;
-            slices.push(slice);
+        let mut all: Vec<(usize, FnDecision, bool)> = Vec::new();
+        let mut received = 0usize;
+        let mut past_deadline = false;
+        while received < sent {
+            let (timeout, in_grace) = match config.deadline {
+                Some(d) => match d.checked_duration_since(Instant::now()) {
+                    Some(left) => (left.min(POOL_REPLY_TIMEOUT), false),
+                    // Past the deadline, replies already in flight get
+                    // one short grace to land: an expired deadline still
+                    // honors store hits and the workers' own (fast)
+                    // in-pass degradations — fabrication is only for
+                    // workers that are truly stuck.
+                    None => (DEADLINE_GRACE, true),
+                },
+                None => (POOL_REPLY_TIMEOUT, false),
+            };
+            match reply_rx.recv_timeout(timeout) {
+                Ok(Ok(slice)) => {
+                    all.extend(slice);
+                    received += 1;
+                }
+                Ok(Err(e)) => return Err(e),
+                // All remaining reply senders are gone without a reply:
+                // a worker died (panicked outside its job guard) holding
+                // this request's job. Fail *now* with the real cause —
+                // waiting out a timeout would wedge the client for
+                // minutes on an already-lost request.
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(format!(
+                        "planning worker died mid-job (pool respawns it; \
+                         {} lifetime restarts)",
+                        self.restarts() + 1
+                    ));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if in_grace {
+                        past_deadline = true;
+                        break;
+                    }
+                    if config.deadline.is_none() {
+                        return Err("planning pool did not answer".to_string());
+                    }
+                    // The deadline passed during this wait; loop again to
+                    // enter the grace window.
+                }
+            }
         }
-        let mut all: Vec<(usize, FnDecision, bool)> = slices.into_iter().flatten().collect();
+        if past_deadline {
+            // The degradation ladder's bottom rung: fabricate sound,
+            // maximally pessimistic decisions for whatever the workers
+            // have not answered. Never persisted (no store call here),
+            // so one slow moment cannot pin pessimism under a content
+            // key.
+            let answered: HashSet<usize> = all.iter().map(|(p, ..)| *p).collect();
+            let missing: Vec<usize> = positions
+                .iter()
+                .copied()
+                .filter(|p| !answered.contains(p))
+                .collect();
+            all.extend(monitor_fallback_decisions(
+                &program,
+                &missing,
+                DEADLINE_REASON,
+            ));
+        }
         all.sort_by_key(|(pos, _, _)| *pos);
         let mut plan = EnforcementPlan::new();
         let mut stats = IncrementalStats::default();
@@ -313,7 +533,11 @@ impl PlanPool {
             stats.defines.push((decision.name.clone(), hit));
             plan.decisions.push(decision);
         }
-        Ok((program, plan, stats))
+        Ok(PlannedSource {
+            program,
+            plan,
+            stats,
+        })
     }
 }
 
@@ -324,11 +548,27 @@ struct Counters {
     hybrid: u64,
     stats: u64,
     errors: u64,
+    /// Requests refused at admission (queue or per-client bound).
+    shed: u64,
+    /// Requests whose deadline fired — a degraded plan or a stopped run.
+    deadline_exceeded: u64,
     /// Aggregate run-time plan effect across every `run`/`hybrid`
     /// execution this daemon served: calls the static proofs absorbed vs.
     /// calls the residual monitor still guarded.
     static_skips: u64,
     monitored_calls: u64,
+}
+
+/// How many of `plan`'s decisions were degraded to `Monitor` by a
+/// deadline (directly by a worker's in-pass check or fabricated for a
+/// stalled worker — both carry [`DEADLINE_REASON`]).
+fn degraded_count(plan: &EnforcementPlan) -> usize {
+    plan.decisions
+        .iter()
+        .filter(
+            |d| matches!(&d.decision, Decision::Monitor { reason } if reason.starts_with(DEADLINE_REASON)),
+        )
+        .count()
 }
 
 /// Per-thread compiled-IR cache: `sct-ir` compilation is paid once per
@@ -401,8 +641,36 @@ pub struct Server {
     store: Arc<Mutex<StoreKind>>,
     counters: Mutex<Counters>,
     cache_dir: Option<PathBuf>,
+    deadline_ms: Option<u64>,
+    max_queue: usize,
+    max_inflight_per_client: usize,
+    /// Expensive requests currently admitted, across all clients.
+    inflight: AtomicUsize,
+    /// Admitted-request count per client bucket.
+    per_client: Mutex<HashMap<String, usize>>,
     started: Instant,
     quitting: AtomicBool,
+}
+
+/// RAII token for one admitted expensive request: dropping it releases
+/// the global and per-client in-flight slots, however the request ends
+/// (success, error, or panic unwinding through the client thread).
+struct Admitted<'a> {
+    server: &'a Server,
+    client: String,
+}
+
+impl Drop for Admitted<'_> {
+    fn drop(&mut self) {
+        self.server.inflight.fetch_sub(1, Ordering::SeqCst);
+        let mut per = lock_or_recover(&self.server.per_client);
+        match per.get_mut(&self.client) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                per.remove(&self.client);
+            }
+        }
+    }
 }
 
 /// What [`Server::handle_line`] produced: at most one response line, plus
@@ -438,6 +706,11 @@ impl Server {
             store,
             counters: Mutex::new(Counters::default()),
             cache_dir: options.cache_dir,
+            deadline_ms: options.deadline_ms,
+            max_queue: options.max_queue,
+            max_inflight_per_client: options.max_inflight_per_client,
+            inflight: AtomicUsize::new(0),
+            per_client: Mutex::new(HashMap::new()),
             started: Instant::now(),
             quitting: AtomicBool::new(false),
         })
@@ -448,9 +721,57 @@ impl Server {
         self.pool.threads
     }
 
+    /// Admission control for expensive requests. Checks the global bound
+    /// first (it protects the process), then the per-client quota, under
+    /// one lock so concurrent admissions cannot both sneak past a bound.
+    fn admit(&self, client: &str) -> Result<Admitted<'_>, String> {
+        let mut per = lock_or_recover(&self.per_client);
+        let inflight = self.inflight.load(Ordering::SeqCst);
+        if self.max_queue > 0 && inflight >= self.max_queue {
+            return Err(format!(
+                "overloaded: {inflight} requests in flight (max {}); retry later",
+                self.max_queue
+            ));
+        }
+        let mine = per.get(client).copied().unwrap_or(0);
+        if self.max_inflight_per_client > 0 && mine >= self.max_inflight_per_client {
+            return Err(format!(
+                "client {client:?} quota exceeded: {mine} requests in flight (max {})",
+                self.max_inflight_per_client
+            ));
+        }
+        *per.entry(client.to_string()).or_insert(0) += 1;
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        Ok(Admitted {
+            server: self,
+            client: client.to_string(),
+        })
+    }
+
+    /// The wall-clock budget for one request: the server-wide option,
+    /// the request's own `"deadline_ms"`, or (when both are set) the
+    /// smaller — a client may tighten the server bound, never loosen it.
+    fn request_deadline(&self, req: &Json) -> Option<Instant> {
+        let from_req = req.get("deadline_ms").and_then(Json::as_u64);
+        let ms = match (self.deadline_ms, from_req) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
     /// Handles one protocol line. Never panics on malformed input; blank
-    /// lines are ignored (keep-alive friendly).
+    /// lines are ignored (keep-alive friendly). Equivalent to
+    /// [`Server::handle_line_as`] with the `"local"` client identity.
     pub fn handle_line(&self, line: &str) -> LineOutcome {
+        self.handle_line_as("local", line)
+    }
+
+    /// [`Server::handle_line`] on behalf of a named client connection:
+    /// `client` is the quota bucket for
+    /// [`ServeOptions::max_inflight_per_client`] unless the request
+    /// carries its own `"client"` field.
+    pub fn handle_line_as(&self, client: &str, line: &str) -> LineOutcome {
         let line = line.trim();
         if line.is_empty() {
             return LineOutcome {
@@ -459,9 +780,9 @@ impl Server {
             };
         }
         let (response, quit) = match parse(line) {
-            Ok(req) => self.dispatch(&req),
+            Ok(req) => self.dispatch(&req, client),
             Err(e) => {
-                self.counters.lock().expect("counters").errors += 1;
+                lock_or_recover(&self.counters).errors += 1;
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(false)),
@@ -480,26 +801,42 @@ impl Server {
         }
     }
 
-    fn dispatch(&self, req: &Json) -> (Json, bool) {
+    fn dispatch(&self, req: &Json, client: &str) -> (Json, bool) {
         let op = req.get("op").and_then(Json::as_str).unwrap_or("");
         let id = req.get("id").cloned();
         let mut quit = false;
         let mut members: Vec<(String, Json)> = Vec::new();
         match op {
-            "plan" => {
-                self.counters.lock().expect("counters").plan += 1;
-                members = self.op_plan(req);
-            }
-            "run" => {
-                self.counters.lock().expect("counters").run += 1;
-                members = self.op_run(req, false);
-            }
-            "hybrid" => {
-                self.counters.lock().expect("counters").hybrid += 1;
-                members = self.op_run(req, true);
+            "plan" | "run" | "hybrid" => {
+                // Admission first: a shed request is accounted once,
+                // under `shed`, and never reaches the pool or a machine.
+                let bucket = req.get("client").and_then(Json::as_str).unwrap_or(client);
+                match self.admit(bucket) {
+                    Ok(_slot) => {
+                        {
+                            let mut c = lock_or_recover(&self.counters);
+                            match op {
+                                "plan" => c.plan += 1,
+                                "run" => c.run += 1,
+                                _ => c.hybrid += 1,
+                            }
+                        }
+                        members = match op {
+                            "plan" => self.op_plan(req),
+                            "run" => self.op_run(req, false),
+                            _ => self.op_run(req, true),
+                        };
+                    }
+                    Err(reason) => {
+                        lock_or_recover(&self.counters).shed += 1;
+                        members.push(("ok".into(), Json::Bool(false)));
+                        members.push(("error".into(), Json::str(reason)));
+                        members.push(("shed".into(), Json::Bool(true)));
+                    }
+                }
             }
             "stats" => {
-                self.counters.lock().expect("counters").stats += 1;
+                lock_or_recover(&self.counters).stats += 1;
                 members = self.op_stats();
             }
             "shutdown" => {
@@ -508,7 +845,7 @@ impl Server {
                 quit = true;
             }
             other => {
-                self.counters.lock().expect("counters").errors += 1;
+                lock_or_recover(&self.counters).errors += 1;
                 members.push(("ok".into(), Json::Bool(false)));
                 members.push((
                     "error".into(),
@@ -535,26 +872,39 @@ impl Server {
         (Json::Obj(full), quit)
     }
 
-    fn plan_source(
-        &self,
-        req: &Json,
-    ) -> Result<(Program, EnforcementPlan, IncrementalStats), String> {
+    fn plan_source(&self, req: &Json, deadline: Option<Instant>) -> Result<PlannedSource, String> {
         let source = req
             .get("source")
             .and_then(Json::as_str)
             .ok_or("missing \"source\"")?;
-        self.pool.plan(source, &PlanConfig::default())
+        let config = PlanConfig {
+            deadline,
+            ..PlanConfig::default()
+        };
+        self.pool.plan(source, &config)
+    }
+
+    /// Accounts a deadline-degraded plan and returns how many of its
+    /// decisions were degraded (reported to clients as `"degraded"`).
+    fn note_degraded(&self, plan: &EnforcementPlan) -> usize {
+        let degraded = degraded_count(plan);
+        if degraded > 0 {
+            lock_or_recover(&self.counters).deadline_exceeded += 1;
+        }
+        degraded
     }
 
     fn op_plan(&self, req: &Json) -> Vec<(String, Json)> {
-        match self.plan_source(req) {
-            Ok((_, plan, stats)) => {
-                let plan_doc = parse(&plan.to_json()).expect("plan JSON is well-formed");
+        match self.plan_source(req, self.request_deadline(req)) {
+            Ok(planned) => {
+                let degraded = self.note_degraded(&planned.plan);
+                let plan_doc = parse(&planned.plan.to_json()).expect("plan JSON is well-formed");
                 vec![
                     ("ok".into(), Json::Bool(true)),
                     ("plan".into(), plan_doc),
-                    ("cache".into(), cache_json(&stats)),
-                    ("defines".into(), defines_json(&stats)),
+                    ("cache".into(), cache_json(&planned.stats)),
+                    ("defines".into(), defines_json(&planned.stats)),
+                    ("degraded".into(), Json::Int(degraded as i64)),
                 ]
             }
             Err(e) => fail(&e),
@@ -568,12 +918,18 @@ impl Server {
             return fail("missing \"source\"");
         };
         let fuel = req.get("fuel").and_then(Json::as_u64);
+        // One deadline spans the whole request: planning spends from the
+        // same budget the execution finishes on.
+        let deadline = self.request_deadline(req);
         // `hybrid` plans first (which compiles on this thread); plain `run`
         // compiles here. Either way the program is compiled exactly once
         // per request on the request thread.
         let (program, planned) = if hybrid {
-            match self.plan_source(req) {
-                Ok((program, plan, stats)) => (program, Some((plan, stats))),
+            match self.plan_source(req, deadline) {
+                Ok(planned) => {
+                    self.note_degraded(&planned.plan);
+                    (planned.program, Some((planned.plan, planned.stats)))
+                }
                 Err(e) => return fail(&e),
             }
         } else {
@@ -600,6 +956,7 @@ impl Server {
                         ("refuted".into(), Json::Int(plan.count("refuted") as i64)),
                     ]),
                 ));
+                extra.push(("degraded".into(), Json::Int(degraded_count(plan) as i64)));
                 if let Some(err) = crate::refutation_error(plan) {
                     let blame = match &err {
                         EvalError::Sc(info) => info.blame.clone(),
@@ -614,12 +971,14 @@ impl Server {
                 MachineConfig {
                     mode: SemanticsMode::Monitored,
                     fuel,
+                    deadline,
                     plan: Some(Rc::new(plan.clone())),
                     ..MachineConfig::monitored(TableStrategy::Imperative)
                 }
             }
             None => MachineConfig {
                 fuel,
+                deadline,
                 ..MachineConfig::standard()
             },
         };
@@ -627,9 +986,12 @@ impl Server {
         let mut machine = Machine::with_code(&program, code, config);
         let result = machine.run();
         {
-            let mut c = self.counters.lock().expect("counters");
+            let mut c = lock_or_recover(&self.counters);
             c.static_skips += machine.stats.static_skips;
             c.monitored_calls += machine.stats.monitored_calls;
+            if matches!(result, Err(EvalError::Deadline)) {
+                c.deadline_exceeded += 1;
+            }
         }
         let mut out: Vec<(String, Json)> = Vec::new();
         match result {
@@ -659,8 +1021,8 @@ impl Server {
     }
 
     fn op_stats(&self) -> Vec<(String, Json)> {
-        let c = self.counters.lock().expect("counters");
-        let traffic = self.store.lock().expect("store lock").traffic();
+        let c = lock_or_recover(&self.counters);
+        let traffic = lock_or_recover(&self.store).traffic();
         vec![
             ("ok".into(), Json::Bool(true)),
             (
@@ -671,6 +1033,11 @@ impl Server {
                     ("hybrid".into(), Json::Int(c.hybrid as i64)),
                     ("stats".into(), Json::Int(c.stats as i64)),
                     ("errors".into(), Json::Int(c.errors as i64)),
+                    ("shed".into(), Json::Int(c.shed as i64)),
+                    (
+                        "deadline_exceeded".into(),
+                        Json::Int(c.deadline_exceeded as i64),
+                    ),
                 ]),
             ),
             (
@@ -680,6 +1047,7 @@ impl Server {
                     ("misses".into(), Json::Int(traffic.misses as i64)),
                     ("rejected".into(), Json::Int(traffic.rejected as i64)),
                     ("stores".into(), Json::Int(traffic.stores as i64)),
+                    ("quarantined".into(), Json::Int(traffic.quarantined as i64)),
                 ]),
             ),
             (
@@ -699,6 +1067,10 @@ impl Server {
                 opt_str(self.cache_dir.as_ref().and_then(|p| p.to_str())),
             ),
             ("workers".into(), Json::Int(self.pool.threads as i64)),
+            (
+                "worker_restarts".into(),
+                Json::Int(self.pool.restarts() as i64),
+            ),
             (
                 "uptime_ms".into(),
                 Json::Int(self.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
@@ -818,7 +1190,7 @@ pub fn serve_stdio(server: &Server) -> io::Result<()> {
             }
             RequestLine::Eof => break,
         };
-        let outcome = server.handle_line(&line);
+        let outcome = server.handle_line_as("stdio", &line);
         if let Some(response) = outcome.response {
             writeln!(stdout, "{response}")?;
             stdout.flush()?;
@@ -830,11 +1202,17 @@ pub fn serve_stdio(server: &Server) -> io::Result<()> {
     Ok(())
 }
 
-fn serve_client(server: &Server, stream: UnixStream) {
+fn serve_client(server: &Server, stream: UnixStream, client: &str) {
     let Ok(read) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read);
     let mut writer = stream;
     loop {
+        // Fault-injection site: a read fault drops this one connection —
+        // the connection is its own failure domain, the daemon and every
+        // other client keep going.
+        if sct_faults::io_check("serve.client.read").is_err() {
+            break;
+        }
         let line = match read_request_line(&mut reader) {
             RequestLine::Line(line) => line,
             RequestLine::TooLong => {
@@ -843,7 +1221,7 @@ fn serve_client(server: &Server, stream: UnixStream) {
             }
             RequestLine::Eof => break,
         };
-        let outcome = server.handle_line(&line);
+        let outcome = server.handle_line_as(client, &line);
         if let Some(response) = outcome.response {
             if writeln!(writer, "{response}")
                 .and_then(|()| writer.flush())
@@ -888,15 +1266,34 @@ pub fn serve_unix(server: Arc<Server>, path: &std::path::Path) -> io::Result<()>
     // the accept loop too (not just that client's thread).
     listener.set_nonblocking(true)?;
     // Live connections: the thread plus a stream handle shutdown uses to
-    // unblock its read. Finished entries are pruned each loop iteration,
-    // so a long-running daemon does not leak one fd per past client.
+    // unblock its read. Finished entries are *joined* each loop iteration
+    // — not just dropped — so a long-running daemon neither leaks one fd
+    // per past client nor loses track of a client thread that panicked
+    // (a daemon bug worth counting, never worth dying for).
     let mut clients: Vec<(thread::JoinHandle<()>, UnixStream)> = Vec::new();
     let mut accept_errors = 0u32;
+    let mut next_client = 0u64;
     while !server.quitting.load(Ordering::SeqCst) {
-        clients.retain(|(handle, _)| !handle.is_finished());
+        let mut i = 0;
+        while i < clients.len() {
+            if clients[i].0.is_finished() {
+                let (handle, _) = clients.swap_remove(i);
+                if handle.join().is_err() {
+                    lock_or_recover(&server.counters).errors += 1;
+                    eprintln!("sct serve: client thread panicked; connection dropped");
+                }
+            } else {
+                i += 1;
+            }
+        }
         match listener.accept() {
             Ok((stream, _addr)) => {
                 accept_errors = 0;
+                // Fault-injection site: an accept fault drops just this
+                // connection (the client sees EOF); the listener lives.
+                if sct_faults::io_check("serve.accept").is_err() {
+                    continue;
+                }
                 // The listener's O_NONBLOCK must not leak onto the
                 // connection: BSD-derived platforms (macOS) inherit it
                 // through accept, which would make every client read fail
@@ -909,7 +1306,12 @@ pub fn serve_unix(server: Arc<Server>, path: &std::path::Path) -> io::Result<()>
                     continue;
                 };
                 let server = Arc::clone(&server);
-                clients.push((thread::spawn(move || serve_client(&server, stream)), handle));
+                let client = format!("conn-{next_client}");
+                next_client += 1;
+                clients.push((
+                    thread::spawn(move || serve_client(&server, stream, &client)),
+                    handle,
+                ));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(20));
@@ -947,7 +1349,7 @@ mod tests {
     fn server() -> Server {
         Server::new(ServeOptions {
             threads: 2,
-            cache_dir: None,
+            ..ServeOptions::default()
         })
         .unwrap()
     }
@@ -1085,6 +1487,158 @@ mod tests {
         // Still alive and serving.
         let out = ok_line(&s, r#"{"op":"stats"}"#);
         assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn admission_bounds_global_then_per_client() {
+        let s = Server::new(ServeOptions {
+            threads: 1,
+            max_queue: 2,
+            max_inflight_per_client: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let alice = s.admit("alice").unwrap();
+        let _bob = s.admit("bob").unwrap();
+        // Global bound fires first: even a fresh client is refused.
+        let e = s.admit("carol").err().unwrap();
+        assert!(e.contains("overloaded"), "{e}");
+        drop(alice);
+        // Below the global bound the per-client quota still holds…
+        let e = s.admit("bob").err().unwrap();
+        assert!(e.contains("quota"), "{e}");
+        // …and releasing is per-client.
+        let _alice = s.admit("alice").unwrap();
+    }
+
+    #[test]
+    fn shed_response_is_well_formed_and_counted() {
+        let s = Server::new(ServeOptions {
+            threads: 1,
+            max_queue: 1,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        // Occupy the only slot, as a concurrent in-flight request would.
+        let _slot = s.admit("other").unwrap();
+        let out = ok_line(
+            &s,
+            r#"{"op":"hybrid","id":9,"source":"(define (f x) x) (f 1)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(out.get("shed"), Some(&Json::Bool(true)));
+        assert_eq!(out.get("id").and_then(Json::as_i64), Some(9));
+        assert!(
+            out.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("overloaded"),
+            "{out:?}"
+        );
+        drop(_slot);
+        // The slot freed: the same request now succeeds, and the stats
+        // carry the shed (not an error, not a hybrid).
+        let out = ok_line(
+            &s,
+            r#"{"op":"hybrid","id":9,"source":"(define (f x) x) (f 1)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+        let stats = ok_line(&s, r#"{"op":"stats"}"#);
+        let req = stats.get("requests").unwrap();
+        assert_eq!(req.get("shed").and_then(Json::as_i64), Some(1));
+        assert_eq!(req.get("hybrid").and_then(Json::as_i64), Some(1));
+        assert_eq!(req.get("errors").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_plan_to_monitor_not_error() {
+        let s = server();
+        let src = "(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i))))";
+        // deadline_ms 0: already expired when planning starts. The
+        // request still succeeds — degraded, never refused.
+        let out = ok_line(
+            &s,
+            &format!(r#"{{"op":"plan","deadline_ms":0,"source":"{src}"}}"#),
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)), "{out:?}");
+        assert_eq!(out.get("degraded").and_then(Json::as_i64), Some(1));
+        let doc = out.get("plan").unwrap().to_string();
+        assert!(doc.contains("monitor"), "{doc}");
+        assert!(!doc.contains("static"), "degraded must never be Static");
+        // Nothing was persisted: the undegraded replay is a miss, plans
+        // Static, and only *its* decision lands in the store.
+        let out = ok_line(&s, &format!(r#"{{"op":"plan","source":"{src}"}}"#));
+        let c = out.get("cache").unwrap();
+        assert_eq!(c.get("hits").and_then(Json::as_i64), Some(0), "{out:?}");
+        assert_eq!(c.get("misses").and_then(Json::as_i64), Some(1));
+        assert_eq!(out.get("degraded").and_then(Json::as_i64), Some(0));
+        assert!(out.get("plan").unwrap().to_string().contains("static"));
+        // Store hits are honored past the deadline: replaying with the
+        // expired deadline now hits warm and stays Static.
+        let out = ok_line(
+            &s,
+            &format!(r#"{{"op":"plan","deadline_ms":0,"source":"{src}"}}"#),
+        );
+        let c = out.get("cache").unwrap();
+        assert_eq!(c.get("hits").and_then(Json::as_i64), Some(1), "{out:?}");
+        assert_eq!(out.get("degraded").and_then(Json::as_i64), Some(0));
+        let stats = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("deadline_exceeded"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn run_deadline_stops_unfueled_divergence() {
+        let s = server();
+        let started = Instant::now();
+        let out = ok_line(
+            &s,
+            r#"{"op":"run","deadline_ms":100,"source":"(define (spin x) (spin x)) (spin 1)"}"#,
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "deadline must bound the request, took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(false)));
+        assert!(
+            out.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("deadline exceeded"),
+            "{out:?}"
+        );
+        let stats = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("deadline_exceeded"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn server_wide_deadline_caps_request_deadline() {
+        let s = Server::new(ServeOptions {
+            threads: 1,
+            deadline_ms: Some(0),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        // The request asks for an hour; the server bound of 0 wins, so
+        // planning degrades immediately.
+        let out = ok_line(
+            &s,
+            r#"{"op":"plan","deadline_ms":3600000,"source":"(define (id x) x)"}"#,
+        );
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)), "{out:?}");
+        assert_eq!(out.get("degraded").and_then(Json::as_i64), Some(1));
     }
 
     #[test]
