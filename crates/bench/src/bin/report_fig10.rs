@@ -4,7 +4,7 @@
 //! imperative) plus the *hybrid* ablation (static pre-pass discharges
 //! provably terminating functions; the monitor guards only the residual),
 //! and records the sweep as `BENCH_fig10.json` at the repo root so future
-//! PRs can track the performance trajectory (schema `sct-fig10/4` in the
+//! PRs can track the performance trajectory (schema `sct-fig10/5` in the
 //! `sct_bench` crate docs).
 //!
 //! The paper's absolute sizes targeted Racket on the authors' machine; the
@@ -61,17 +61,36 @@ fn sizes_for(id: &str, scale: u64, fast: bool) -> Vec<u64> {
     base.iter().take(take).map(|n| n * scale).collect()
 }
 
-/// Median of `reps` timed runs (reps is small; sort and take the middle).
-fn median_time(compiled: &CompiledWorkload, n: u64, setup: Setup, reps: usize) -> Duration {
-    let mut times: Vec<Duration> = (0..reps.max(1))
-        .map(|_| compiled.run_once(n, setup).0)
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
+/// Median of `reps` timed runs per setup, with the setups *interleaved*:
+/// each rep times all four setups back-to-back before the next rep
+/// starts. A transient load burst on the host then inflates the same
+/// rep of every column rather than one setup's whole block, so the
+/// slowdown *ratios* — the numbers the figure is about — stay stable on
+/// noisy machines even when absolute times wander.
+fn median_times(compiled: &CompiledWorkload, n: u64, reps: usize) -> [Duration; 4] {
+    const SETUPS: [Setup; 4] = [
+        Setup::Unchecked,
+        Setup::ContinuationMark,
+        Setup::Imperative,
+        Setup::Hybrid,
+    ];
+    let mut times: [Vec<Duration>; 4] = [vec![], vec![], vec![], vec![]];
+    for _ in 0..reps.max(1) {
+        for (i, &setup) in SETUPS.iter().enumerate() {
+            times[i].push(compiled.run_once(n, setup).0);
+        }
+    }
+    times.map(|mut t| {
+        t.sort_unstable();
+        t[t.len() / 2]
+    })
 }
 
 /// The unchecked-baseline evaluator row: reference tree-walker vs. the
 /// flat-IR VM at the workload's largest sweep size (median of `reps`).
+/// PIC counters come from one *hybrid* run at the same size — inline
+/// caches are only consulted while monitoring is active, so the
+/// unchecked timing runs cannot observe them.
 fn eval_timing(compiled: &CompiledWorkload, n: u64, reps: usize) -> EvalTiming {
     let mut vm: Vec<(Duration, u64)> = (0..reps.max(1))
         .map(|_| {
@@ -86,6 +105,8 @@ fn eval_timing(compiled: &CompiledWorkload, n: u64, reps: usize) -> EvalTiming {
     reference.sort_unstable();
     let (vm_t, vm_steps) = vm[vm.len() / 2];
     let ref_t = reference[reference.len() / 2];
+    let (_, hybrid_stats) = compiled.run_once(n, Setup::Hybrid);
+    let consulted = hybrid_stats.pic_hits + hybrid_stats.pic_misses;
     EvalTiming {
         workload: compiled.workload.id,
         n,
@@ -93,6 +114,13 @@ fn eval_timing(compiled: &CompiledWorkload, n: u64, reps: usize) -> EvalTiming {
         vm_ns: vm_t.as_nanos(),
         speedup: ref_t.as_secs_f64() / vm_t.as_secs_f64().max(1e-9),
         steps_per_sec: vm_steps as f64 / vm_t.as_secs_f64().max(1e-9),
+        pic_hits: hybrid_stats.pic_hits,
+        pic_misses: hybrid_stats.pic_misses,
+        pic_hit_rate: if consulted == 0 {
+            1.0
+        } else {
+            hybrid_stats.pic_hits as f64 / consulted as f64
+        },
     }
 }
 
@@ -152,10 +180,7 @@ fn main() {
         );
         let sizes = sizes_for(id, scale, fast);
         for &n in &sizes {
-            let t_unchecked = median_time(&compiled, n, Setup::Unchecked, reps);
-            let t_cm = median_time(&compiled, n, Setup::ContinuationMark, reps);
-            let t_imp = median_time(&compiled, n, Setup::Imperative, reps);
-            let t_hyb = median_time(&compiled, n, Setup::Hybrid, reps);
+            let [t_unchecked, t_cm, t_imp, t_hyb] = median_times(&compiled, n, reps);
             let base = t_unchecked.as_secs_f64().max(1e-9);
             for (setup, t) in [
                 (Setup::Unchecked, t_unchecked),
@@ -188,12 +213,16 @@ fn main() {
         let n_eval = *sizes.last().expect("at least one size");
         let e = eval_timing(&compiled, n_eval, reps);
         println!(
-            "   eval (n={}): reference {}  vm {}  speedup {:.2}x  ({:.1}M steps/s)",
+            "   eval (n={}): reference {}  vm {}  speedup {:.2}x  ({:.1}M steps/s)  \
+             pic {:.1}% ({} hits, {} misses)",
             e.n,
             sct_bench::fmt_ms(Duration::from_nanos(e.reference_ns as u64)),
             sct_bench::fmt_ms(Duration::from_nanos(e.vm_ns as u64)),
             e.speedup,
             e.steps_per_sec / 1e6,
+            e.pic_hit_rate * 100.0,
+            e.pic_hits,
+            e.pic_misses,
         );
         eval.push(e);
         println!();

@@ -15,11 +15,11 @@
 //!
 //! `report_fig10` additionally writes a machine-readable summary to
 //! `BENCH_fig10.json` at the repository root so successive PRs can track
-//! the performance trajectory. The schema (`sct-fig10/4`):
+//! the performance trajectory. The schema (`sct-fig10/5`):
 //!
 //! ```json
 //! {
-//!   "schema": "sct-fig10/4",
+//!   "schema": "sct-fig10/5",
 //!   "fast": false,
 //!   "scale": 1,
 //!   "reps": 3,
@@ -32,7 +32,8 @@
 //!   ],
 //!   "eval": [
 //!     { "workload": "sum", "n": 128000, "reference_ns": 114740000,
-//!       "vm_ns": 18020000, "speedup": 6.37, "steps_per_sec": 92000000 }
+//!       "vm_ns": 18020000, "speedup": 6.37, "steps_per_sec": 92000000,
+//!       "pic_hits": 0, "pic_misses": 0, "pic_hit_rate": 1.0 }
 //!   ]
 //! }
 //! ```
@@ -62,9 +63,16 @@
 //! `vm_ns` the dispatch VM, `speedup` their ratio, and `steps_per_sec`
 //! the VM's instruction throughput during the timed call. This is the
 //! row that keeps the evaluator win itself — not just monitoring
-//! overhead — in the trajectory.
+//! overhead — in the trajectory. `pic_hits`/`pic_misses` are the inline
+//! cache counters from one *hybrid* run at the same size (PICs are only
+//! consulted while monitoring is active, so the unchecked timing runs
+//! cannot observe them), and `pic_hit_rate` is their ratio — vacuously
+//! `1.0` for workloads whose call sites are all statically bound.
 //!
-//! Schema history: `sct-fig10/4` added the top-level `"eval"` array (the
+//! Schema history: `sct-fig10/5` switched the hybrid column to the full
+//! production monitor config (loop-entry designation + exponential
+//! backoff on the residual) and added the `pic_hits`/`pic_misses`/
+//! `pic_hit_rate` columns to `eval` rows; `sct-fig10/4` added the top-level `"eval"` array (the
 //! reference-walker vs. flat-IR VM unchecked baseline); `sct-fig10/3`
 //! added the top-level `"planning"` array (cold vs. warm pre-pass cost
 //! per workload); `sct-fig10/2` added the `"hybrid"` setup rows (the
@@ -87,7 +95,7 @@
 //! * `--out PATH` — write the JSON somewhere other than the repo root.
 
 use sct_cache::MemStore;
-use sct_core::monitor::TableStrategy;
+use sct_core::monitor::{BackoffPolicy, TableStrategy};
 use sct_core::plan::EnforcementPlan;
 use sct_corpus::workloads::Workload;
 use sct_interp::{reference, EvalError, Machine, MachineConfig, SemanticsMode, Stats, Value};
@@ -106,10 +114,13 @@ pub enum Setup {
     ContinuationMark,
     /// Monitored with the imperative table plus restore frames.
     Imperative,
-    /// Monitored (imperative table) under the hybrid enforcement plan:
-    /// statically discharged functions skip the monitor; only the
-    /// residual pays. Workloads the verifier proves (Table 1 rows where
-    /// the static column passes) should land at ~unchecked speed.
+    /// The full production stack: the hybrid enforcement plan (statically
+    /// discharged functions skip the monitor) *plus* the §5 overhead
+    /// reductions for the residual — loop-entry-only designation and
+    /// exponential backoff. Workloads the verifier proves (Table 1 rows
+    /// where the static column passes) land at ~unchecked speed; residual
+    /// workloads pay the amortized monitor, not the every-call ablation
+    /// cost that the `imperative` column isolates.
     Hybrid,
 }
 
@@ -251,12 +262,24 @@ impl CompiledWorkload {
                 (SemanticsMode::Monitored, TableStrategy::Imperative)
             }
         };
-        MachineConfig {
+        let mut config = MachineConfig {
             mode,
             order: self.workload.order.handle(),
             plan: (setup == Setup::Hybrid).then(|| self.plan.clone()),
             ..MachineConfig::monitored(strategy)
+        };
+        if setup == Setup::Hybrid {
+            // The hybrid column benchmarks the full production stack: the
+            // residual that the plan cannot discharge runs under the §5
+            // overhead reductions (loop-entry designation + exponential
+            // backoff), not the every-call formal semantics that the
+            // `imperative` column isolates.
+            config.monitor = config
+                .monitor
+                .with_loop_entries_only(true)
+                .with_backoff(BackoffPolicy::Exponential { factor: 2 });
         }
+        config
     }
 
     /// Runs once at size `n`, returning the wall time of the entry call
@@ -399,9 +422,19 @@ pub struct EvalTiming {
     /// VM dispatch throughput: instructions per second during the timed
     /// call (steps from [`Stats::steps`] over the median wall time).
     pub steps_per_sec: f64,
+    /// Inline-cache hits on `Generic` call sites during a hybrid run at
+    /// the same size ([`Stats::pic_hits`]).
+    pub pic_hits: u64,
+    /// Inline-cache misses during the same hybrid run
+    /// ([`Stats::pic_misses`]).
+    pub pic_misses: u64,
+    /// `pic_hits / (pic_hits + pic_misses)`, vacuously `1.0` when the
+    /// workload has no generic-site traffic (every call site is
+    /// statically bound, so no PIC is ever consulted).
+    pub pic_hit_rate: f64,
 }
 
-/// Serializes the sweep into the `sct-fig10/4` JSON document (see the
+/// Serializes the sweep into the `sct-fig10/5` JSON document (see the
 /// crate docs for the schema and its history). Hand-rolled because the
 /// workspace builds offline (no serde); all strings involved are static
 /// identifiers needing no escaping.
@@ -415,7 +448,7 @@ pub fn fig10_json(
 ) -> String {
     let mut out =
         String::with_capacity(160 + entries.len() * 96 + planning.len() * 72 + eval.len() * 128);
-    out.push_str("{\n  \"schema\": \"sct-fig10/4\",\n");
+    out.push_str("{\n  \"schema\": \"sct-fig10/5\",\n");
     out.push_str(&format!("  \"fast\": {fast},\n"));
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -446,13 +479,17 @@ pub fn fig10_json(
     for (i, e) in eval.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"workload\": \"{}\", \"n\": {}, \"reference_ns\": {}, \"vm_ns\": {}, \
-             \"speedup\": {:.4}, \"steps_per_sec\": {:.0} }}{}\n",
+             \"speedup\": {:.4}, \"steps_per_sec\": {:.0}, \"pic_hits\": {}, \
+             \"pic_misses\": {}, \"pic_hit_rate\": {:.4} }}{}\n",
             e.workload,
             e.n,
             e.reference_ns,
             e.vm_ns,
             e.speedup,
             e.steps_per_sec,
+            e.pic_hits,
+            e.pic_misses,
+            e.pic_hit_rate,
             if i + 1 < eval.len() { "," } else { "" }
         ));
     }

@@ -16,6 +16,7 @@
 //!    dynamic extent need graphs; for mutually recursive `even?`/`odd?`
 //!    called from top level, only `even?` is a loop entry.
 
+use crate::intern::FxBuildHasher;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -163,7 +164,7 @@ struct BackoffEntry {
 #[derive(Debug, Default)]
 pub struct Backoff<K> {
     policy: BackoffPolicy,
-    counters: HashMap<K, BackoffEntry>,
+    counters: HashMap<K, BackoffEntry, FxBuildHasher>,
 }
 
 impl<K: Hash + Eq + Clone> Backoff<K> {
@@ -171,7 +172,7 @@ impl<K: Hash + Eq + Clone> Backoff<K> {
     pub fn new(policy: BackoffPolicy) -> Backoff<K> {
         Backoff {
             policy,
-            counters: HashMap::new(),
+            counters: HashMap::default(),
         }
     }
 

@@ -332,12 +332,20 @@ impl<K: Hash + Eq + Clone, V> MutScTable<K, V> {
         args: Rc<[V]>,
         order: &O,
     ) -> Result<TableUndo<K, V>, ScViolation> {
-        let entry = match self.map.get(&key) {
-            None => FnEntry::first_call(args),
-            Some(prev) => prev.step_in(args, order, &self.interner)?,
-        };
-        let prev = self.map.insert(key.clone(), entry);
-        Ok(TableUndo { key, prev })
+        match self.map.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let next = slot.get().step_in(args, order, &self.interner)?;
+                let prev = slot.insert(next);
+                Ok(TableUndo {
+                    key,
+                    prev: Some(prev),
+                })
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(FnEntry::first_call(args));
+                Ok(TableUndo { key, prev: None })
+            }
+        }
     }
 
     /// In-place `ext` (Figure 6): records the call *without* the `prog?`

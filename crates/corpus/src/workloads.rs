@@ -115,8 +115,8 @@ fn ack_args(n: u64) -> Vec<Value> {
 
 fn check_ack(n: u64, v: &Value) -> bool {
     // ack(2, n) = 2n + 3.
-    let Value::Int(got) = v else { return false };
-    *got == Int::from(2 * n as i64 + 3)
+    let Some(got) = v.to_int() else { return false };
+    got == Int::from(2 * n as i64 + 3)
 }
 
 fn random_int_list(n: u64) -> Value {
@@ -164,18 +164,18 @@ fn tree_args(n: u64) -> Vec<Value> {
 }
 
 fn check_fact(n: u64, v: &Value) -> bool {
-    let Value::Int(got) = v else { return false };
+    let Some(got) = v.to_int() else { return false };
     let mut expect = Int::one();
     for i in 1..=n as i64 {
         expect = &expect * &Int::from(i);
     }
-    *got == expect
+    got == expect
 }
 
 fn check_sum(n: u64, v: &Value) -> bool {
-    let Value::Int(got) = v else { return false };
+    let Some(got) = v.to_int() else { return false };
     let n = n as i64;
-    *got == Int::from(n * (n + 1) / 2)
+    got == Int::from(n * (n + 1) / 2)
 }
 
 fn check_sorted_ints(n: u64, v: &Value) -> bool {
@@ -186,8 +186,11 @@ fn check_sorted_ints(n: u64, v: &Value) -> bool {
         return false;
     }
     items.windows(2).all(|w| match (&w[0], &w[1]) {
-        (Value::Int(a), Value::Int(b)) => a <= b,
-        _ => false,
+        (Value::Fix(a), Value::Fix(b)) => a <= b,
+        (a, b) => match (a.to_int(), b.to_int()) {
+            (Some(a), Some(b)) => a <= b,
+            _ => false,
+        },
     })
 }
 
@@ -266,9 +269,9 @@ pub fn fig10() -> Vec<Workload> {
             order: OrderSpec::Extended,
             make_args: int_arg,
             check: |n, v| {
-                let Value::Int(got) = v else { return false };
+                let Some(got) = v.to_int() else { return false };
                 let n = n as i64;
-                *got == Int::from(n * (n + 1) / 2)
+                got == Int::from(n * (n + 1) / 2)
             },
             sig: None,
         },

@@ -11,7 +11,8 @@
 //!
 //! * [`gen_case`] — the fuzzer's *schema* generator: structurally
 //!   descending recursion schemas (nat, accumulator, list, tree, mutual,
-//!   higher-order combinators) that terminate by construction, optionally
+//!   higher-order combinators, megamorphic combinator towers) that
+//!   terminate by construction, optionally
 //!   transformed by one [`Mutation`] with a declared
 //!   effect. The resulting [`GenCase`] carries an [`Oracle`]: either
 //!   *terminating* or *diverging with blame inside a known define group,
@@ -280,17 +281,22 @@ pub enum SchemaKind {
     Mutual,
     /// A higher-order iterate combinator threading a function argument.
     HigherOrder,
+    /// A megamorphic combinator tower: one first-class call site driven
+    /// by 3–6 distinct step globals, exercising inline-cache fill and
+    /// overflow (and, under [`Mutation::SetRebind`], invalidation).
+    Mega,
 }
 
 impl SchemaKind {
     /// Every schema, in the order the summary line reports them.
-    pub const ALL: [SchemaKind; 6] = [
+    pub const ALL: [SchemaKind; 7] = [
         SchemaKind::Nat,
         SchemaKind::Acc,
         SchemaKind::List,
         SchemaKind::Tree,
         SchemaKind::Mutual,
         SchemaKind::HigherOrder,
+        SchemaKind::Mega,
     ];
 
     /// Stable name used in summaries and reports.
@@ -302,6 +308,7 @@ impl SchemaKind {
             SchemaKind::Tree => "tree",
             SchemaKind::Mutual => "mutual",
             SchemaKind::HigherOrder => "higher-order",
+            SchemaKind::Mega => "mega",
         }
     }
 }
@@ -743,6 +750,79 @@ fn emit_higher_order(rng: &mut Rng, idx: usize, m: Mutation) -> Instance {
     }
 }
 
+/// Megamorphic combinator tower: the iterate combinator of
+/// [`emit_higher_order`], but driven through **one** first-class `(f x)`
+/// site by 3–6 distinct step functions bound to globals — enough callees
+/// to fill and overflow the VM's 4-way inline cache at a single site.
+/// Under [`Mutation::SetRebind`] the entry sweeps the tower over every
+/// step, `set!`-rebinds one step global to another (both terminate, so
+/// the oracle is unchanged), and sweeps again: warm cache entries must be
+/// re-resolved against the bumped store epoch, never reused stale.
+fn emit_mega(rng: &mut Rng, idx: usize, m: Mutation) -> Instance {
+    let mut name = format!("mega{idx}");
+    if m == Mutation::Rename {
+        name.push('r');
+    }
+    let f = format!("f{idx}");
+    let n = format!("n{idx}");
+    let x = format!("x{idx}");
+    let d = 1 + rng.below(2);
+    let guard = nat_guard(rng, &n, d, m);
+    // Distinct *defines* give distinct λ identities at the dispatch site
+    // regardless of body; the linear bodies keep iterated application
+    // small and monitor-clean (same rule as the higher-order schema).
+    let y = format!("y{idx}");
+    let bodies = [
+        "(+ Y 1)", "(+ Y 2)", "(+ Y Y)", "(* 2 Y)", "(+ Y 3)", "(* 3 Y)",
+    ];
+    let k = 3 + rng.below(4) as usize;
+    let mut defines = String::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut steps: Vec<String> = Vec::new();
+    for s in 0..k {
+        let sname = format!("mega{idx}s{s}");
+        let fbody = bodies[s % bodies.len()].replace('Y', &y);
+        defines.push_str(&format!("(define ({sname} {y}) {fbody})\n"));
+        names.push(sname.clone());
+        steps.push(sname);
+    }
+    let args = vec![f.clone(), format!("(- {n} {d})"), format!("({f} {x})")];
+    let rec = rec_call(&name, idx, &args, &n, 1, m);
+    let mut body = if m == Mutation::DropBase {
+        rec.clone()
+    } else {
+        format!("(if {guard} {x} {rec})")
+    };
+    if m == Mutation::DeadBranch {
+        body = dead_branch(rng, &format!("({name} {f} {n} {x})"), body);
+    }
+    let label = maybe_label(rng, idx);
+    names.push(name.clone());
+    defines.push_str(&define_fn(&name, &[f, n, x], &body, &label));
+    // One sweep drives the tower once per step function — k distinct
+    // callees through the tower's single `(f x)` site.
+    let sweep = |rng: &mut Rng| -> String {
+        let calls: Vec<String> = steps
+            .iter()
+            .map(|s| format!("({name} {s} {} {})", nat_entry(rng, d), rng.below(5)))
+            .collect();
+        format!("(+ {})", calls.join(" "))
+    };
+    let entry = if m == Mutation::SetRebind {
+        let before = sweep(rng);
+        let after = sweep(rng);
+        format!("(begin {before} (set! {} {}) {after})", steps[0], steps[1])
+    } else {
+        sweep(rng)
+    };
+    Instance {
+        defines,
+        names,
+        entry,
+        label,
+    }
+}
+
 fn emit(kind: SchemaKind, rng: &mut Rng, idx: usize, m: Mutation) -> Instance {
     match kind {
         SchemaKind::Nat => emit_nat(rng, idx, m),
@@ -751,6 +831,7 @@ fn emit(kind: SchemaKind, rng: &mut Rng, idx: usize, m: Mutation) -> Instance {
         SchemaKind::Tree => emit_tree(rng, idx, m),
         SchemaKind::Mutual => emit_mutual(rng, idx, m),
         SchemaKind::HigherOrder => emit_higher_order(rng, idx, m),
+        SchemaKind::Mega => emit_mega(rng, idx, m),
     }
 }
 

@@ -10,6 +10,7 @@
 //! | `EtaExpand`     | preserving | route the recursive call through a fresh λ       |
 //! | `DeadBranch`    | preserving | guard a non-descending self-call by a statically false test |
 //! | `PermuteArgs`   | preserving | permute parameters *and* every call site to match |
+//! | `SetRebind`     | preserving | `set!` one step global to another between tower sweeps (mega only) |
 //! | `SwapArgSelf`   | breaking   | replace the descending argument with the original parameter |
 //! | `DropBase`      | breaking   | delete the base case (numeric schemas only)      |
 //! | `UnsatGuard`    | breaking   | replace the base guard with a never-true test (numeric schemas only) |
@@ -35,6 +36,11 @@ pub enum Mutation {
     DeadBranch,
     /// Permute the parameter list, rewriting all call sites to match.
     PermuteArgs,
+    /// `set!`-rebind one step global to another between two tower sweeps
+    /// (mega schema only): both steps terminate, so the program stays
+    /// clean, but the rebinding bumps the store epoch mid-run — every
+    /// warm inline-cache entry must be re-resolved, never reused stale.
+    SetRebind,
     /// Swap the decreasing argument for the original parameter.
     SwapArgSelf,
     /// Drop the base case entirely.
@@ -50,6 +56,7 @@ impl Mutation {
         Mutation::EtaExpand,
         Mutation::DeadBranch,
         Mutation::PermuteArgs,
+        Mutation::SetRebind,
     ];
 
     /// The descent-breaking operators.
@@ -66,6 +73,7 @@ impl Mutation {
         Mutation::EtaExpand,
         Mutation::DeadBranch,
         Mutation::PermuteArgs,
+        Mutation::SetRebind,
         Mutation::SwapArgSelf,
         Mutation::DropBase,
         Mutation::UnsatGuard,
@@ -79,6 +87,7 @@ impl Mutation {
             Mutation::EtaExpand => "eta-expand",
             Mutation::DeadBranch => "dead-branch",
             Mutation::PermuteArgs => "permute-args",
+            Mutation::SetRebind => "set-rebind",
             Mutation::SwapArgSelf => "swap-arg-self",
             Mutation::DropBase => "drop-base",
             Mutation::UnsatGuard => "unsat-guard",
@@ -97,6 +106,9 @@ impl Mutation {
     /// Whether the operator is meaningful on the given schema.
     ///
     /// * `PermuteArgs` needs a multi-parameter schema.
+    /// * `SetRebind` needs the mega schema's pool of interchangeable step
+    ///   globals — no other schema defines two functions of the same
+    ///   shape that can be swapped without changing the oracle.
     /// * `DropBase` / `UnsatGuard` need a *numeric* descent: on list and
     ///   tree schemas, removing the base case produces `errorRT` (`car`
     ///   of a non-pair) rather than divergence, which would falsify the
@@ -106,9 +118,14 @@ impl Mutation {
             Mutation::PermuteArgs => {
                 matches!(kind, SchemaKind::Acc | SchemaKind::HigherOrder)
             }
+            Mutation::SetRebind => kind == SchemaKind::Mega,
             Mutation::DropBase | Mutation::UnsatGuard => matches!(
                 kind,
-                SchemaKind::Nat | SchemaKind::Acc | SchemaKind::Mutual | SchemaKind::HigherOrder
+                SchemaKind::Nat
+                    | SchemaKind::Acc
+                    | SchemaKind::Mutual
+                    | SchemaKind::HigherOrder
+                    | SchemaKind::Mega
             ),
             _ => true,
         }

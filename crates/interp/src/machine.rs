@@ -34,10 +34,11 @@ use crate::prims::{call_prim, PrimEffect};
 use crate::value::{mix2, Closure, ClosureEnv, ContractData, Slot, Value, WrapKind, WrappedData};
 use sct_bignum::Int;
 use sct_core::graph::ScGraph;
-use sct_core::intern::Interner;
+use sct_core::intern::{FxBuildHasher, Interner};
 use sct_core::monitor::{Backoff, KeyStrategy, MonitorConfig, TableStrategy};
 use sct_core::plan::{EnforcementPlan, PlanDomain};
 use sct_core::table::{MutScTable, ScTable, TableUndo};
+use sct_ir::pic::{Pic, PicAction, PicEntry};
 use sct_ir::{CapSrc, CompiledProgram, Instr, SiteAction, TopCode};
 use sct_lang::ast::Program;
 use sct_lang::{LambdaDef, Prim};
@@ -93,6 +94,15 @@ pub struct MachineConfig {
     /// work; first-class applications of discharged λs still take the
     /// per-λ fast path. `None` is plain monitoring.
     pub plan: Option<Rc<EnforcementPlan>>,
+    /// Disables the polymorphic inline caches on `Generic` call sites,
+    /// falling back to the per-λ fast-path probe on every call. The
+    /// differential oracle runs every case both ways; results must be
+    /// identical.
+    pub disable_pics: bool,
+    /// When true, count dynamically adjacent instruction pairs (by
+    /// mnemonic) so the superinstruction set can be justified against a
+    /// real dispatch profile; see [`Machine::pair_profile`].
+    pub profile_pairs: bool,
 }
 
 impl MachineConfig {
@@ -142,6 +152,18 @@ pub struct Stats {
     /// `lambda`/`let`/`letrec` frame in the reference machine — the
     /// allocation win of flat frames, reported by `report_fig10`.
     pub env_frames_allocated: u64,
+    /// Applications dispatched through a `Generic` call site while
+    /// monitoring was active (the calls a PIC can serve). With PICs on,
+    /// `pic_hits + pic_misses == generic_calls` — the oracle asserts it.
+    pub generic_calls: u64,
+    /// Generic-site calls answered by a valid PIC entry.
+    pub pic_hits: u64,
+    /// Generic-site calls that re-resolved the fast path from the plan
+    /// (cold, evicted, or freshly invalidated entries).
+    pub pic_misses: u64,
+    /// Cached PIC entries found stale (plan stamp mismatch) and
+    /// re-resolved; each one also counts as a miss.
+    pub pic_invalidations: u64,
     /// High-water mark of the continuation stack.
     pub max_kont_depth: usize,
     /// High-water mark of the continuation-mark stack.
@@ -180,11 +202,21 @@ pub(crate) enum FastGuard {
 /// structural descent is well-founded on every value and the proof's
 /// descent facts hold regardless of what the tail turns out to be.
 pub(crate) fn in_domain(d: PlanDomain, v: &Value) -> bool {
+    // A canonical Value::Big is always outside i64 range, hence nonzero,
+    // so non-negative bigs are both Nat and Pos.
     match d {
         PlanDomain::Any => true,
-        PlanDomain::Int => matches!(v, Value::Int(_)),
-        PlanDomain::Nat => matches!(v, Value::Int(i) if !i.is_negative()),
-        PlanDomain::Pos => matches!(v, Value::Int(i) if !i.is_negative() && !i.is_zero()),
+        PlanDomain::Int => matches!(v, Value::Fix(_) | Value::Big(_)),
+        PlanDomain::Nat => match v {
+            Value::Fix(n) => *n >= 0,
+            Value::Big(b) => !b.is_negative(),
+            _ => false,
+        },
+        PlanDomain::Pos => match v {
+            Value::Fix(n) => *n > 0,
+            Value::Big(b) => !b.is_negative(),
+            _ => false,
+        },
         PlanDomain::List => matches!(v, Value::Nil | Value::Pair(_)),
     }
 }
@@ -204,6 +236,23 @@ pub(crate) fn fast_guard_passes(rule: Option<&FastGuard>, args: &[Value]) -> boo
         Some(FastGuard::Always) => true,
         Some(FastGuard::Domains(doms)) => guard_passes(doms, args),
     }
+}
+
+/// Per-λ fast-path rules derived from an enforcement plan.
+fn build_fast_path(plan: Option<&EnforcementPlan>, lambdas: usize) -> Vec<Option<FastGuard>> {
+    let mut fast_path: Vec<Option<FastGuard>> = (0..lambdas).map(|_| None).collect();
+    if let Some(plan) = plan {
+        for (id, guard) in plan.static_lambdas() {
+            let rule = match guard {
+                None => FastGuard::Always,
+                Some(doms) => FastGuard::Domains(Rc::from(doms)),
+            };
+            if let Some(entry) = fast_path.get_mut(id as usize) {
+                *entry = Some(rule);
+            }
+        }
+    }
+    fast_path
 }
 
 /// The machine's continuation frames. `Return` replaces the tree-walker's
@@ -292,6 +341,22 @@ pub struct Machine<'p> {
     // (a direct load instead of the tree-walker's per-call map probes).
     whitelisted: Vec<bool>,
     fast_path: Vec<Option<FastGuard>>,
+    // Live per-site enforcement decisions, seeded from the baked
+    // `code.sites` actions. `install_plan` re-derives them from the new
+    // plan, so the hot loop never reads a stale baked decision.
+    site_actions: Vec<SiteAction>,
+    // One polymorphic inline cache per call site (only `Generic` sites
+    // ever populate theirs).
+    pics: Vec<Pic>,
+    // PIC validity stamp: mix of the installed plan's decisions
+    // fingerprint and the global-`set!` epoch. Any entry stamped
+    // differently re-resolves before it can skip enforcement.
+    plan_fingerprint: u64,
+    store_epoch: u64,
+    plan_stamp: u64,
+    // Dynamic adjacent-pair dispatch profile (config.profile_pairs).
+    pair_profile: HashMap<(&'static str, &'static str), u64>,
+    prof_prev: Option<(usize, &'static str)>,
     // Dynamic state.
     stack: Vec<Value>,
     locals: Vec<Slot>,
@@ -302,8 +367,8 @@ pub struct Machine<'p> {
     alloc_counter: u64,
     backoff: Backoff<u64>,
     // Loop-entry detection state (§5).
-    designated: HashSet<u64>,
-    last_seen_tick: HashMap<u64, u64>,
+    designated: HashSet<u64, FxBuildHasher>,
+    last_seen_tick: HashMap<u64, u64, FxBuildHasher>,
     guard_tick: u64,
     // Shared graph pool (see `Interner::global`).
     interner: Interner,
@@ -376,19 +441,9 @@ impl<'p> Machine<'p> {
                 None => false,
             })
             .collect();
-        let mut fast_path: Vec<Option<FastGuard>> =
-            (0..code.templates.len()).map(|_| None).collect();
-        if let Some(plan) = &config.plan {
-            for (id, guard) in plan.static_lambdas() {
-                let rule = match guard {
-                    None => FastGuard::Always,
-                    Some(doms) => FastGuard::Domains(Rc::from(doms)),
-                };
-                if let Some(entry) = fast_path.get_mut(id as usize) {
-                    *entry = Some(rule);
-                }
-            }
-        }
+        let fast_path = build_fast_path(config.plan.as_deref(), code.templates.len());
+        let site_actions: Vec<SiteAction> = code.sites.iter().map(|s| s.action.clone()).collect();
+        let pics = vec![Pic::new(); code.sites.len()];
         let consts = code.consts.iter().map(|d| datum_to_value(d)).collect();
         let backoff = Backoff::new(config.monitor.backoff);
         // The thread-local pool: `std::mem::take` on the imperative table
@@ -407,6 +462,13 @@ impl<'p> Machine<'p> {
             consts,
             whitelisted,
             fast_path,
+            site_actions,
+            pics,
+            plan_fingerprint: config_token,
+            store_epoch: 0,
+            plan_stamp: mix2(config_token, 0),
+            pair_profile: HashMap::new(),
+            prof_prev: None,
             stack: Vec::new(),
             locals: Vec::new(),
             locals_base: 0,
@@ -415,8 +477,8 @@ impl<'p> Machine<'p> {
             caps: Rc::from(Vec::new()),
             alloc_counter: 0,
             backoff,
-            designated: HashSet::new(),
-            last_seen_tick: HashMap::new(),
+            designated: HashSet::default(),
+            last_seen_tick: HashMap::default(),
             guard_tick: 0,
             imp_table: MutScTable::with_interner(interner.clone()),
             interner,
@@ -429,6 +491,55 @@ impl<'p> Machine<'p> {
     /// The compiled IR image this machine dispatches over.
     pub fn compiled(&self) -> &CompiledProgram {
         &self.code
+    }
+
+    /// Installs a (possibly different) enforcement plan on a live machine
+    /// — the incremental re-plan path. The per-λ fast path and every
+    /// baked site decision are re-derived from the new plan, and when its
+    /// decisions fingerprint differs the PIC stamp moves, so every cached
+    /// entry re-resolves before it can skip enforcement again. A no-op
+    /// re-plan (same decisions) keeps the caches warm.
+    pub fn install_plan(&mut self, plan: Option<Rc<EnforcementPlan>>) {
+        let fp = plan
+            .as_deref()
+            .map_or(0, EnforcementPlan::decisions_fingerprint);
+        if fp != self.plan_fingerprint {
+            self.plan_fingerprint = fp;
+            self.plan_stamp = mix2(fp, self.store_epoch);
+        }
+        self.fast_path = build_fast_path(plan.as_deref(), self.code.templates.len());
+        // Re-derive each statically bound site's action for the λ the
+        // compiler bound it to; a λ the new plan no longer discharges
+        // goes back to Monitored, one it newly discharges skips.
+        for (i, site) in self.code.sites.iter().enumerate() {
+            let lambda = match site.action {
+                SiteAction::Generic => continue,
+                SiteAction::Skip { lambda }
+                | SiteAction::Guarded { lambda, .. }
+                | SiteAction::Monitored { lambda } => lambda,
+            };
+            self.site_actions[i] = match self.fast_path[lambda as usize].as_ref() {
+                Some(FastGuard::Always) => SiteAction::Skip { lambda },
+                Some(FastGuard::Domains(doms)) => SiteAction::Guarded {
+                    lambda,
+                    doms: doms.clone(),
+                },
+                None => SiteAction::Monitored { lambda },
+            };
+        }
+        self.config.plan = plan;
+    }
+
+    /// The dynamic adjacent-pair dispatch profile collected under
+    /// [`MachineConfig::profile_pairs`], hottest pair first. Pairs are
+    /// only counted when the second instruction was reached by falling
+    /// through from the first (jump targets never pair with their
+    /// predecessor), which is exactly the fusibility condition the
+    /// linker's superinstruction pass needs.
+    pub fn pair_profile(&self) -> Vec<((&'static str, &'static str), u64)> {
+        let mut pairs: Vec<_> = self.pair_profile.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs
     }
 
     /// Runs all top-level forms; the result is the last expression's value
@@ -519,6 +630,18 @@ impl<'p> Machine<'p> {
                 }
             }
             let instr = code.code[self.pc];
+            if self.config.profile_pairs {
+                let at = self.pc;
+                let m = instr.mnemonic();
+                if let Some((prev_pc, prev_m)) = self.prof_prev {
+                    // Only fall-through adjacency counts: a pair split by
+                    // a taken jump could not be fused anyway.
+                    if prev_pc + 1 == at {
+                        *self.pair_profile.entry((prev_m, m)).or_insert(0) += 1;
+                    }
+                }
+                self.prof_prev = Some((at, m));
+            }
             self.pc += 1;
             match instr {
                 Instr::Const(ix) => self.stack.push(self.consts[ix as usize].clone()),
@@ -602,6 +725,11 @@ impl<'p> Machine<'p> {
                 Instr::StoreGlobal(g) => {
                     let v = self.stack.pop().expect("store operand");
                     self.globals[g as usize] = v;
+                    // A rebound global changes which callees flow into
+                    // generic sites; bumping the epoch moves the plan
+                    // stamp so every cached PIC entry re-resolves.
+                    self.store_epoch += 1;
+                    self.plan_stamp = mix2(self.plan_fingerprint, self.store_epoch);
                     self.stack.push(Value::Void);
                 }
                 Instr::PrimVal(p) => self.stack.push(Value::Prim(p)),
@@ -676,6 +804,80 @@ impl<'p> Machine<'p> {
                 }
                 Instr::Return => {
                     let v = self.stack.pop().expect("return value");
+                    if let Some(done) = self.unwind(v)? {
+                        return Ok(done);
+                    }
+                }
+                // Superinstructions: each executes both fused operations
+                // and then skips the intact second slot (`pc += 1`), so a
+                // jump into that slot still runs the original instruction.
+                Instr::LoadLocal2(a, b) => {
+                    let base = self.locals_base;
+                    let Slot::Val(va) = &self.locals[base + a as usize] else {
+                        unreachable!("plain load from cell slot");
+                    };
+                    let va = va.clone();
+                    let Slot::Val(vb) = &self.locals[base + b as usize] else {
+                        unreachable!("plain load from cell slot");
+                    };
+                    let vb = vb.clone();
+                    self.stack.push(va);
+                    self.stack.push(vb);
+                    self.pc += 1;
+                }
+                Instr::LoadLocalCallPrim { local, prim, argc } => {
+                    let Slot::Val(v) = &self.locals[self.locals_base + local as usize] else {
+                        unreachable!("plain load from cell slot");
+                    };
+                    self.stack.push(v.clone());
+                    let args_start = self.stack.len() - argc as usize;
+                    let result = call_prim(prim, &self.stack[args_start..])?;
+                    self.stack.truncate(args_start);
+                    match result {
+                        PrimEffect::Value(v) => self.stack.push(v),
+                        PrimEffect::Output(text, v) => {
+                            self.output.push_str(&text);
+                            self.stack.push(v);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::ConstCallPrim { cix, prim, argc } => {
+                    self.stack.push(self.consts[cix as usize].clone());
+                    let args_start = self.stack.len() - argc as usize;
+                    let result = call_prim(prim, &self.stack[args_start..])?;
+                    self.stack.truncate(args_start);
+                    match result {
+                        PrimEffect::Value(v) => self.stack.push(v),
+                        PrimEffect::Output(text, v) => {
+                            self.output.push_str(&text);
+                            self.stack.push(v);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::CallPrimJumpIfFalse { prim, argc, target } => {
+                    let args_start = self.stack.len() - argc as usize;
+                    let result = call_prim(prim, &self.stack[args_start..])?;
+                    self.stack.truncate(args_start);
+                    let v = match result {
+                        PrimEffect::Value(v) => v,
+                        PrimEffect::Output(text, v) => {
+                            self.output.push_str(&text);
+                            v
+                        }
+                    };
+                    if v.is_truthy() {
+                        self.pc += 1;
+                    } else {
+                        self.pc = target as usize;
+                    }
+                }
+                Instr::LoadLocalReturn(i) => {
+                    let Slot::Val(v) = &self.locals[self.locals_base + i as usize] else {
+                        unreachable!("plain load from cell slot");
+                    };
+                    let v = v.clone();
                     if let Some(done) = self.unwind(v)? {
                         return Ok(done);
                     }
@@ -875,7 +1077,7 @@ impl<'p> Machine<'p> {
         self.stats.applications += 1;
         if self.monitoring_active() && !self.whitelisted[clo.def.id as usize] {
             let args_start = self.stack.len() - argc;
-            let action = &self.code.sites[site].action;
+            let action = &self.site_actions[site];
             match action {
                 SiteAction::Skip { lambda } if *lambda == clo.def.id => {
                     self.stats.static_skips += 1;
@@ -892,16 +1094,61 @@ impl<'p> Machine<'p> {
                 }
                 _ => {
                     // First-class callee (or a site whose static binding
-                    // does not match): the per-λ fast-path probe.
-                    if self.probe_discharged(&clo, args_start) {
-                        self.stats.static_skips += 1;
+                    // does not match): resolve through the site's PIC, or
+                    // — with caches disabled — the per-λ fast-path probe.
+                    self.stats.generic_calls += 1;
+                    if self.config.disable_pics {
+                        if self.probe_discharged(&clo, args_start) {
+                            self.stats.static_skips += 1;
+                        } else {
+                            self.monitor_call_stack(&clo, args_start)?;
+                        }
                     } else {
-                        self.monitor_call_stack(&clo, args_start)?;
+                        match self.pic_action(site, &clo) {
+                            PicAction::Skip => self.stats.static_skips += 1,
+                            PicAction::Guard(doms) => {
+                                if guard_passes(&doms, &self.stack[args_start..]) {
+                                    self.stats.static_skips += 1;
+                                } else {
+                                    self.monitor_call_stack(&clo, args_start)?;
+                                }
+                            }
+                            PicAction::Monitor => self.monitor_call_stack(&clo, args_start)?,
+                        }
                     }
                 }
             }
         }
         self.bind_stack_args(&clo, argc, tail)
+    }
+
+    /// Resolves (through the site's PIC) the fast path for this callee. A
+    /// valid cached entry is a hit; a stamp mismatch counts an
+    /// invalidation and re-resolves; anything else is a plain miss. The
+    /// resolved action is re-cached under the current stamp, so the
+    /// steady state is one λ-id comparison per call.
+    fn pic_action(&mut self, site: usize, clo: &Closure) -> PicAction {
+        let lambda = clo.def.id;
+        let stamp = self.plan_stamp;
+        if let Some(entry) = self.pics[site].lookup(lambda) {
+            if entry.stamp == stamp {
+                self.stats.pic_hits += 1;
+                return entry.action.clone();
+            }
+            self.stats.pic_invalidations += 1;
+        }
+        self.stats.pic_misses += 1;
+        let action = match self.fast_path[lambda as usize].as_ref() {
+            Some(FastGuard::Always) => PicAction::Skip,
+            Some(FastGuard::Domains(doms)) => PicAction::Guard(doms.clone()),
+            None => PicAction::Monitor,
+        };
+        self.pics[site].insert(PicEntry {
+            lambda,
+            action: action.clone(),
+            stamp,
+        });
+        action
     }
 
     /// True when the enforcement plan statically discharged this λ and the
@@ -1459,7 +1706,7 @@ pub fn wrap_terminating(v: Value, label: Rc<str>) -> Value {
 pub fn datum_to_value(d: &Datum) -> Value {
     match d {
         Datum::Int(n) => Value::int(*n),
-        Datum::BigInt(s) => Value::Int(s.parse::<Int>().expect("lexer produced valid bigint")),
+        Datum::BigInt(s) => Value::from_int(s.parse::<Int>().expect("lexer produced valid bigint")),
         Datum::Bool(b) => Value::Bool(*b),
         Datum::Char(c) => Value::Char(*c),
         Datum::Str(s) => Value::str(s),

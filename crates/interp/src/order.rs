@@ -16,18 +16,38 @@ use std::rc::Rc;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DefaultOrder;
 
+/// `|new| < |old|` on two integer values (`None` when either is not an
+/// integer), with a direct `i64` path for two fixnums.
+fn int_abs_rel(old: &Value, new: &Value) -> Option<SizeChange> {
+    match (old, new) {
+        (Value::Fix(a), Value::Fix(b)) => Some(if a == b {
+            SizeChange::Equal
+        } else if b.unsigned_abs() < a.unsigned_abs() {
+            SizeChange::Descend
+        } else {
+            SizeChange::Unknown
+        }),
+        (Value::Fix(_) | Value::Big(_), Value::Fix(_) | Value::Big(_)) => {
+            let a = old.to_int().expect("matched integer");
+            let b = new.to_int().expect("matched integer");
+            Some(if a == b {
+                SizeChange::Equal
+            } else if b.cmp_abs(&a) == std::cmp::Ordering::Less {
+                SizeChange::Descend
+            } else {
+                SizeChange::Unknown
+            })
+        }
+        _ => None,
+    }
+}
+
 impl WellFoundedOrder<Value> for DefaultOrder {
     fn relate(&self, old: &Value, new: &Value) -> SizeChange {
+        if let Some(sc) = int_abs_rel(old, new) {
+            return sc;
+        }
         match (old, new) {
-            (Value::Int(a), Value::Int(b)) => {
-                if a == b {
-                    SizeChange::Equal
-                } else if b.cmp_abs(a) == std::cmp::Ordering::Less {
-                    SizeChange::Descend
-                } else {
-                    SizeChange::Unknown
-                }
-            }
             // Structural containment: new ≺ old when new is a proper
             // subterm of the pair old; one walk answers both the equality
             // and the subterm question.
@@ -119,16 +139,10 @@ pub struct ExtendedOrder;
 impl ExtendedOrder {
     /// `new ⪯ old` under the extended order, with the strictness recorded.
     fn compare(&self, old: &Value, new: &Value) -> SizeChange {
+        if let Some(sc) = int_abs_rel(old, new) {
+            return sc;
+        }
         match (old, new) {
-            (Value::Int(a), Value::Int(b)) => {
-                if a == b {
-                    SizeChange::Equal
-                } else if b.cmp_abs(a) == std::cmp::Ordering::Less {
-                    SizeChange::Descend
-                } else {
-                    SizeChange::Unknown
-                }
-            }
             (Value::Pair(p), _) => {
                 // Subterm rule first (cheap for list tails); the same walk
                 // settles equality.
@@ -197,7 +211,18 @@ pub struct ReverseIntOrder;
 impl WellFoundedOrder<Value> for ReverseIntOrder {
     fn relate(&self, old: &Value, new: &Value) -> SizeChange {
         match (old, new) {
-            (Value::Int(a), Value::Int(b)) => {
+            (Value::Fix(a), Value::Fix(b)) => {
+                if a == b {
+                    SizeChange::Equal
+                } else if b > a {
+                    SizeChange::Descend
+                } else {
+                    SizeChange::Unknown
+                }
+            }
+            (Value::Fix(_) | Value::Big(_), Value::Fix(_) | Value::Big(_)) => {
+                let a = old.to_int().expect("matched integer");
+                let b = new.to_int().expect("matched integer");
                 if a == b {
                     SizeChange::Equal
                 } else if b > a {

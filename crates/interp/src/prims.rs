@@ -29,9 +29,12 @@ fn rt(msg: impl Into<String>) -> RtError {
     RtError::new(msg)
 }
 
-fn want_int(p: Prim, v: &Value) -> Result<&Int, RtError> {
+fn want_int(p: Prim, v: &Value) -> Result<Int, RtError> {
+    // Returns an owned Int: an i64 copy for fixnums, an Rc clone for
+    // bignums — both cheap.
     match v {
-        Value::Int(n) => Ok(n),
+        Value::Fix(n) => Ok(Int::Small(*n)),
+        Value::Big(b) => Ok(Int::Big(b.clone())),
         other => Err(rt(format!(
             "{}: expected integer, got {}",
             p.name(),
@@ -127,11 +130,16 @@ fn val(v: Value) -> PrimEffect {
 fn chained_int_cmp(
     p: Prim,
     args: &[Value],
+    fix: impl Fn(i64, i64) -> bool,
     cmp: impl Fn(&Int, &Int) -> bool,
 ) -> Result<PrimEffect, RtError> {
+    // Fixnum fast path for the overwhelmingly common two-argument case.
+    if let [Value::Fix(a), Value::Fix(b)] = args {
+        return Ok(bool_val(fix(*a, *b)));
+    }
     at_least(p, args, 2)?;
     for w in args.windows(2) {
-        if !cmp(want_int(p, &w[0])?, want_int(p, &w[1])?) {
+        if !cmp(&want_int(p, &w[0])?, &want_int(p, &w[1])?) {
             return Ok(bool_val(false));
         }
     }
@@ -213,79 +221,106 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
     match p {
         // ----- numeric ---------------------------------------------------
         Prim::Add => {
+            // Two fixnums in, fixnum out: no Int round-trip. Overflow
+            // falls through to the bignum path.
+            if let [Value::Fix(a), Value::Fix(b)] = args {
+                if let Some(n) = a.checked_add(*b) {
+                    return Ok(val(Value::Fix(n)));
+                }
+            }
             let mut acc = Int::zero();
             for a in args {
-                acc = &acc + want_int(p, a)?;
+                acc = &acc + &want_int(p, a)?;
             }
-            Ok(val(Value::Int(acc)))
+            Ok(val(Value::from_int(acc)))
         }
         Prim::Sub => {
+            if let [Value::Fix(a), Value::Fix(b)] = args {
+                if let Some(n) = a.checked_sub(*b) {
+                    return Ok(val(Value::Fix(n)));
+                }
+            }
             at_least(p, args, 1)?;
-            let first = want_int(p, &args[0])?.clone();
+            let first = want_int(p, &args[0])?;
             if args.len() == 1 {
-                return Ok(val(Value::Int(-&first)));
+                return Ok(val(Value::from_int(-&first)));
             }
             let mut acc = first;
             for a in &args[1..] {
-                acc = &acc - want_int(p, a)?;
+                acc = &acc - &want_int(p, a)?;
             }
-            Ok(val(Value::Int(acc)))
+            Ok(val(Value::from_int(acc)))
         }
         Prim::Mul => {
+            if let [Value::Fix(a), Value::Fix(b)] = args {
+                if let Some(n) = a.checked_mul(*b) {
+                    return Ok(val(Value::Fix(n)));
+                }
+            }
             let mut acc = Int::one();
             for a in args {
-                acc = &acc * want_int(p, a)?;
+                acc = &acc * &want_int(p, a)?;
             }
-            Ok(val(Value::Int(acc)))
+            Ok(val(Value::from_int(acc)))
         }
         Prim::Quotient | Prim::Remainder | Prim::Modulo => {
             arity(p, args, 2)?;
             let a = want_int(p, &args[0])?;
             let b = want_int(p, &args[1])?;
             let r = match p {
-                Prim::Quotient => a.checked_quotient(b),
-                Prim::Remainder => a.checked_remainder(b),
-                _ => a.checked_modulo(b),
+                Prim::Quotient => a.checked_quotient(&b),
+                Prim::Remainder => a.checked_remainder(&b),
+                _ => a.checked_modulo(&b),
             };
             match r {
-                Some(n) => Ok(val(Value::Int(n))),
+                Some(n) => Ok(val(Value::from_int(n))),
                 None => Err(rt(format!("{}: division by zero", p.name()))),
             }
         }
         Prim::Abs => {
             arity(p, args, 1)?;
-            Ok(val(Value::Int(want_int(p, &args[0])?.abs())))
+            Ok(val(Value::from_int(want_int(p, &args[0])?.abs())))
         }
         Prim::Min | Prim::Max => {
             at_least(p, args, 1)?;
-            let mut best = want_int(p, &args[0])?.clone();
+            let mut best = want_int(p, &args[0])?;
             for a in &args[1..] {
                 let n = want_int(p, a)?;
-                let take = if p == Prim::Min { n < &best } else { n > &best };
+                let take = if p == Prim::Min { n < best } else { n > best };
                 if take {
-                    best = n.clone();
+                    best = n;
                 }
             }
-            Ok(val(Value::Int(best)))
+            Ok(val(Value::from_int(best)))
         }
         Prim::Add1 => {
+            if let [Value::Fix(n)] = args {
+                if let Some(n) = n.checked_add(1) {
+                    return Ok(val(Value::Fix(n)));
+                }
+            }
             arity(p, args, 1)?;
-            Ok(val(Value::Int(want_int(p, &args[0])? + &Int::one())))
+            Ok(val(Value::from_int(&want_int(p, &args[0])? + &Int::one())))
         }
         Prim::Sub1 => {
+            if let [Value::Fix(n)] = args {
+                if let Some(n) = n.checked_sub(1) {
+                    return Ok(val(Value::Fix(n)));
+                }
+            }
             arity(p, args, 1)?;
-            Ok(val(Value::Int(want_int(p, &args[0])? - &Int::one())))
+            Ok(val(Value::from_int(&want_int(p, &args[0])? - &Int::one())))
         }
         Prim::Gcd => {
             let mut acc = Int::zero();
             for a in args {
-                acc = acc.gcd(want_int(p, a)?);
+                acc = acc.gcd(&want_int(p, a)?);
             }
-            Ok(val(Value::Int(acc)))
+            Ok(val(Value::from_int(acc)))
         }
         Prim::Expt => {
             arity(p, args, 2)?;
-            let base = want_int(p, &args[0])?.clone();
+            let base = want_int(p, &args[0])?;
             let exp = want_int(p, &args[1])?;
             if exp.is_negative() {
                 return Err(rt("expt: negative exponent on exact integer"));
@@ -302,14 +337,17 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
                 b = &b * &b;
                 e >>= 1;
             }
-            Ok(val(Value::Int(acc)))
+            Ok(val(Value::from_int(acc)))
         }
-        Prim::NumEq => chained_int_cmp(p, args, |a, b| a == b),
-        Prim::Lt => chained_int_cmp(p, args, |a, b| a < b),
-        Prim::Le => chained_int_cmp(p, args, |a, b| a <= b),
-        Prim::Gt => chained_int_cmp(p, args, |a, b| a > b),
-        Prim::Ge => chained_int_cmp(p, args, |a, b| a >= b),
+        Prim::NumEq => chained_int_cmp(p, args, |a, b| a == b, |a, b| a == b),
+        Prim::Lt => chained_int_cmp(p, args, |a, b| a < b, |a, b| a < b),
+        Prim::Le => chained_int_cmp(p, args, |a, b| a <= b, |a, b| a <= b),
+        Prim::Gt => chained_int_cmp(p, args, |a, b| a > b, |a, b| a > b),
+        Prim::Ge => chained_int_cmp(p, args, |a, b| a >= b, |a, b| a >= b),
         Prim::IsZero => {
+            if let [Value::Fix(n)] = args {
+                return Ok(bool_val(*n == 0));
+            }
             arity(p, args, 1)?;
             Ok(bool_val(want_int(p, &args[0])?.is_zero()))
         }
@@ -332,7 +370,7 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
         }
         Prim::IsNumber | Prim::IsInteger => {
             arity(p, args, 1)?;
-            Ok(bool_val(matches!(args[0], Value::Int(_))))
+            Ok(bool_val(matches!(args[0], Value::Fix(_) | Value::Big(_))))
         }
 
         // ----- pairs and lists -------------------------------------------
@@ -619,7 +657,7 @@ pub fn call_prim(p: Prim, args: &[Value]) -> Result<PrimEffect, RtError> {
         Prim::StringToNumber => {
             arity(p, args, 1)?;
             match want_str(p, &args[0])?.parse::<Int>() {
-                Ok(n) => Ok(val(Value::Int(n))),
+                Ok(n) => Ok(val(Value::from_int(n))),
                 Err(_) => Ok(bool_val(false)),
             }
         }

@@ -8,7 +8,7 @@
 //! proportional to the number of free variables — the implementation trick
 //! behind §5's "we hash the closure".
 
-use sct_bignum::Int;
+use sct_bignum::{BigInt, Int};
 use sct_lang::{LambdaDef, Prim};
 use sct_persist::PMap;
 use std::fmt;
@@ -16,10 +16,20 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 /// A λSCT run-time value.
+///
+/// Exact integers are split across two variants mirroring
+/// [`Int`]'s canonical form: [`Value::Fix`] for `i64`-range fixnums
+/// (tagged inline — no allocation, no double dispatch through a nested
+/// enum) and [`Value::Big`] for everything else. The canonical-form
+/// invariant — `Big` never holds a value in `i64` range — is what makes
+/// single-variant matches, structural equality, and hashing correct.
 #[derive(Clone)]
 pub enum Value {
-    /// Exact integer.
-    Int(Int),
+    /// Exact integer in `i64` range (canonical: [`Value::Big`] is never
+    /// used for these).
+    Fix(i64),
+    /// Exact integer outside `i64` range.
+    Big(Rc<BigInt>),
     /// Boolean.
     Bool(bool),
     /// Character.
@@ -228,7 +238,24 @@ pub struct WrappedData {
 impl Value {
     /// Builds an integer value from `i64`.
     pub fn int(n: i64) -> Value {
-        Value::Int(Int::from(n))
+        Value::Fix(n)
+    }
+
+    /// Builds an integer value from an [`Int`], preserving canonical form.
+    pub fn from_int(n: Int) -> Value {
+        match n {
+            Int::Small(n) => Value::Fix(n),
+            Int::Big(b) => Value::Big(b),
+        }
+    }
+
+    /// The value as an [`Int`], when it is an integer.
+    pub fn to_int(&self) -> Option<Int> {
+        match self {
+            Value::Fix(n) => Some(Int::Small(*n)),
+            Value::Big(b) => Some(Int::Big(b.clone())),
+            _ => None,
+        }
     }
 
     /// Builds a string value.
@@ -297,7 +324,7 @@ impl Value {
     /// Type name for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {
-            Value::Int(_) => "integer",
+            Value::Fix(_) | Value::Big(_) => "integer",
             Value::Bool(_) => "boolean",
             Value::Char(_) => "char",
             Value::Str(_) => "string",
@@ -332,10 +359,12 @@ impl Value {
 /// Structural hash of any value (cached on compound values).
 pub fn value_hash(v: &Value) -> u64 {
     match v {
-        Value::Int(Int::Small(n)) => mix2(1, *n as u64),
-        Value::Int(big) => {
+        Value::Fix(n) => mix2(1, *n as u64),
+        Value::Big(b) => {
+            // Canonical form keeps Fix and Big disjoint, so only
+            // in-process consistency for equal bignums is needed.
             let mut h = std::collections::hash_map::DefaultHasher::new();
-            big.hash(&mut h);
+            b.hash(&mut h);
             mix2(1, h.finish())
         }
         Value::Bool(b) => mix2(2, *b as u64),
@@ -380,7 +409,10 @@ pub(crate) fn mix2(a: u64, b: u64) -> u64 {
 /// value.
 pub fn eqv(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Int(x), Value::Int(y)) => x == y,
+        // Canonical form: an i64-range integer is always Fix, so a
+        // Fix/Big cross pairing is never equal and falls to the catchall.
+        (Value::Fix(x), Value::Fix(y)) => x == y,
+        (Value::Big(x), Value::Big(y)) => x == y,
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Char(x), Value::Char(y)) => x == y,
         (Value::Sym(x), Value::Sym(y)) => x == y,
@@ -474,7 +506,8 @@ impl Hash for Value {
 
 fn write_value(out: &mut String, v: &Value, write_mode: bool) {
     match v {
-        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Fix(n) => out.push_str(&n.to_string()),
+        Value::Big(b) => out.push_str(&b.to_string()),
         Value::Bool(true) => out.push_str("#t"),
         Value::Bool(false) => out.push_str("#f"),
         Value::Char(c) => {

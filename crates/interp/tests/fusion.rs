@@ -1,0 +1,98 @@
+//! Superinstruction honesty checks: the pair set baked into the IR
+//! linker's fusion pass must track what the dispatch loop actually
+//! executes, and fusing must change dispatch counts only — never results.
+
+use sct_interp::{Machine, MachineConfig, Value};
+use sct_lang::compile_program;
+use std::rc::Rc;
+
+/// A workload shaped like the fig10 inner loops: tight arithmetic
+/// recursion (locals into primitives into branches) plus a list walk.
+const HOT_LOOP: &str = "
+(define (fact n acc) (if (zero? n) acc (fact (- n 1) (* n acc))))
+(define (count xs n) (if (null? xs) n (count (cdr xs) (+ n 1))))
+(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+(+ (fact 200 1) (count (build 150) 0))
+";
+
+/// The mnemonic pairs the linker fuses (see `fuse_pairs` in `sct-ir`).
+const FUSED: [(&str, &str); 5] = [
+    ("load-local", "load-local"),
+    ("load-local", "call-prim"),
+    ("const", "call-prim"),
+    ("call-prim", "jump-if-false"),
+    ("load-local", "return"),
+];
+
+fn run(code: sct_ir::CompiledProgram, profile: bool) -> (Value, Machine<'static>) {
+    let prog = Box::leak(Box::new(compile_program(HOT_LOOP).expect("compiles")));
+    let mut m = Machine::with_code(
+        prog,
+        Rc::new(code),
+        MachineConfig {
+            profile_pairs: profile,
+            ..MachineConfig::standard()
+        },
+    );
+    let v = m.run().expect("runs clean");
+    (v, m)
+}
+
+/// The fused pair set covers the hottest dynamic fall-through pairs of
+/// the *unfused* instruction stream: if dispatch profiles drift (new
+/// compiler output, new workload shapes), this fails and the pair set
+/// needs re-deriving.
+#[test]
+fn fused_pairs_cover_hot_profile() {
+    let prog = compile_program(HOT_LOOP).expect("compiles");
+    let code = sct_ir::compile_unfused(&prog, None);
+    let (_, m) = run(code, true);
+    let profile = m.pair_profile();
+    assert!(!profile.is_empty(), "profiling must observe pairs");
+    let total: u64 = profile.iter().map(|(_, n)| n).sum();
+    let covered: u64 = profile
+        .iter()
+        .filter(|(p, _)| FUSED.contains(p))
+        .map(|(_, n)| n)
+        .sum();
+    // The top three pairs of this loop-shaped workload must all be
+    // fusible, and the fused set must cover a meaningful share of all
+    // fall-through dispatch.
+    for (pair, count) in profile.iter().take(3) {
+        assert!(
+            FUSED.contains(pair),
+            "hot pair {pair:?} ({count} occurrences) is not in the fused set"
+        );
+    }
+    assert!(
+        covered * 3 >= total,
+        "fused pairs cover {covered}/{total} fall-through dispatches; \
+         expected at least a third"
+    );
+}
+
+/// Fusion is observationally invisible and strictly reduces dispatch:
+/// same value, same output, fewer executed instructions.
+#[test]
+fn fusion_preserves_results_and_reduces_steps() {
+    let prog = compile_program(HOT_LOOP).expect("compiles");
+    let (v_unfused, unfused) = run(sct_ir::compile_unfused(&prog, None), false);
+    let (v_fused, fused) = run(sct_ir::compile(&prog, None), false);
+    assert_eq!(v_fused.to_write_string(), v_unfused.to_write_string());
+    assert_eq!(fused.output, unfused.output);
+    assert!(
+        fused.stats.steps < unfused.stats.steps,
+        "fusion must reduce dispatch count ({} !< {})",
+        fused.stats.steps,
+        unfused.stats.steps
+    );
+}
+
+/// The profile hook is pay-for-use: disabled (the default), it observes
+/// nothing.
+#[test]
+fn pair_profile_empty_when_disabled() {
+    let prog = compile_program(HOT_LOOP).expect("compiles");
+    let (_, m) = run(sct_ir::compile_unfused(&prog, None), false);
+    assert!(m.pair_profile().is_empty());
+}

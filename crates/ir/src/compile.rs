@@ -18,7 +18,17 @@
 //! 3. **Link** — per-function blocks concatenate into one arena; jump
 //!    targets are rebased and then jump-threaded (a branch to an
 //!    unconditional jump lands directly at the final target, which is
-//!    what flattens desugared `cond` chains).
+//!    what flattens desugared `cond` chains). Finally the hottest
+//!    adjacent instruction pairs — chosen from dispatch-pair profiles of
+//!    the fig10 workloads — are fused into superinstructions: the fused
+//!    variant replaces the *first* instruction of the pair and the second
+//!    stays in place (the machine skips it), so jump targets into the
+//!    second slot keep their original semantics with no remapping.
+//!
+//! Call sites are allocated one per application *expression* (deduplicated
+//! only for statically bound globals, whose baked action is identical at
+//! every site), so every [`SiteAction::Generic`] site owns a private
+//! polymorphic inline cache in the machine (see [`crate::pic`]).
 
 use crate::{
     CallSite, CapSrc, CompiledProgram, ConstIx, Instr, LabelIx, SiteAction, SiteIx, Template,
@@ -45,6 +55,20 @@ use std::rc::Rc;
 /// the resolver's own `u16` per-frame slots). No hand-written program
 /// approaches this; a generator that does should split the function.
 pub fn compile(program: &Program, plan: Option<&EnforcementPlan>) -> CompiledProgram {
+    compile_inner(program, plan, true)
+}
+
+/// As [`compile`] but skipping the superinstruction fusion pass.
+///
+/// The unfused stream is what dispatch-pair profiling runs over (see
+/// `MachineConfig::profile_pairs` in `sct-interp`): measuring pair
+/// frequencies on already-fused code would hide exactly the pairs the
+/// fusion set was chosen from.
+pub fn compile_unfused(program: &Program, plan: Option<&EnforcementPlan>) -> CompiledProgram {
+    compile_inner(program, plan, false)
+}
+
+fn compile_inner(program: &Program, plan: Option<&EnforcementPlan>, fuse: bool) -> CompiledProgram {
     let mut b = Builder {
         consts: Vec::new(),
         const_ix: HashMap::new(),
@@ -80,6 +104,7 @@ pub fn compile(program: &Program, plan: Option<&EnforcementPlan>) -> CompiledPro
         top,
         plan.is_some(),
         plan.map_or(0, EnforcementPlan::decisions_fingerprint),
+        fuse,
     )
 }
 
@@ -129,10 +154,16 @@ impl Builder {
     }
 
     /// The call-site index for an application whose operator is `func`.
+    /// Statically bound globals share one site per global (the baked
+    /// action is identical everywhere); every other operator — first
+    /// class, or a global that is rebound or not lambda-bound — gets a
+    /// *fresh* `Generic` site so it owns a private inline cache.
     fn site_for(&mut self, func: &Expr) -> SiteIx {
-        let Expr::Global(g) = func else { return 0 };
+        let Expr::Global(g) = func else {
+            return self.fresh_generic();
+        };
         let Some(action) = self.global_actions.get(g).cloned() else {
-            return 0;
+            return self.fresh_generic();
         };
         if let Some(&ix) = self.site_ix.get(g) {
             return ix;
@@ -140,6 +171,14 @@ impl Builder {
         let ix = self.sites.len() as SiteIx;
         self.sites.push(CallSite { action });
         self.site_ix.insert(*g, ix);
+        ix
+    }
+
+    fn fresh_generic(&mut self) -> SiteIx {
+        let ix = self.sites.len() as SiteIx;
+        self.sites.push(CallSite {
+            action: SiteAction::Generic,
+        });
         ix
     }
 }
@@ -652,7 +691,13 @@ fn gen(b: &mut Builder, st: &mut FnState, e: &Expr, tail: bool) {
 // Link: concatenate blocks, rebase branches, thread jump chains.
 // ---------------------------------------------------------------------
 
-fn link(b: Builder, mut top: Vec<TopCode>, planned: bool, plan_token: u64) -> CompiledProgram {
+fn link(
+    b: Builder,
+    mut top: Vec<TopCode>,
+    planned: bool,
+    plan_token: u64,
+    fuse: bool,
+) -> CompiledProgram {
     let mut templates: Vec<Template> = b
         .templates
         .into_iter()
@@ -693,6 +738,9 @@ fn link(b: Builder, mut top: Vec<TopCode>, planned: bool, plan_token: u64) -> Co
             }
         }
     }
+    if fuse {
+        fuse_pairs(&mut code);
+    }
     CompiledProgram {
         code,
         consts: b.consts,
@@ -702,5 +750,44 @@ fn link(b: Builder, mut top: Vec<TopCode>, planned: bool, plan_token: u64) -> Co
         sites: b.sites,
         planned,
         plan_token,
+    }
+}
+
+/// Superinstruction fusion, "pad with skip" style: the fused variant
+/// replaces the first instruction of a hot adjacent pair; the second
+/// instruction keeps its arena slot and the machine steps over it after
+/// the fused handler runs. Control flow that *enters* at the second slot
+/// executes the original instruction there, so no jump target needs
+/// remapping and fusion can never change semantics — only dispatch count.
+///
+/// The pair set was chosen from dynamic dispatch-pair profiles of the
+/// fig10 workloads (`MachineConfig::profile_pairs` over the unfused
+/// stream); the interp-crate test `fused_pairs_cover_hot_profile` keeps
+/// the choice honest. The scan is greedy left-to-right without overlap:
+/// after a fusion the second slot is skipped as a further first operand.
+fn fuse_pairs(code: &mut [Instr]) {
+    let mut i = 0;
+    while i + 1 < code.len() {
+        let fused = match (code[i], code[i + 1]) {
+            (Instr::LoadLocal(a), Instr::LoadLocal(b)) => Some(Instr::LoadLocal2(a, b)),
+            (Instr::LoadLocal(local), Instr::CallPrim { prim, argc }) => {
+                Some(Instr::LoadLocalCallPrim { local, prim, argc })
+            }
+            (Instr::Const(cix), Instr::CallPrim { prim, argc }) => {
+                Some(Instr::ConstCallPrim { cix, prim, argc })
+            }
+            (Instr::CallPrim { prim, argc }, Instr::JumpIfFalse(target)) => {
+                Some(Instr::CallPrimJumpIfFalse { prim, argc, target })
+            }
+            (Instr::LoadLocal(local), Instr::Return) => Some(Instr::LoadLocalReturn(local)),
+            _ => None,
+        };
+        match fused {
+            Some(f) => {
+                code[i] = f;
+                i += 2;
+            }
+            None => i += 1,
+        }
     }
 }

@@ -100,12 +100,30 @@ fn render(cp: &CompiledProgram, i: Instr) -> String {
             format!("tail-call     argc={argc} {}", site_text(cp, site))
         }
         Instr::Return => "return".into(),
+        Instr::LoadLocal2(a, b) => format!("load-local2   {a} {b}"),
+        Instr::LoadLocalCallPrim { local, prim, argc } => {
+            format!("load-local+call-prim {local} {} argc={argc}", prim.name())
+        }
+        Instr::ConstCallPrim { cix, prim, argc } => format!(
+            "const+call-prim {} {} argc={argc}",
+            cp.consts[cix as usize],
+            prim.name()
+        ),
+        Instr::CallPrimJumpIfFalse { prim, argc, target } => {
+            format!(
+                "call-prim+jump-if-false {} argc={argc} {target}",
+                prim.name()
+            )
+        }
+        Instr::LoadLocalReturn(i) => format!("load-local+return {i}"),
     }
 }
 
 fn site_text(cp: &CompiledProgram, site: u32) -> String {
     match &cp.sites[site as usize].action {
-        SiteAction::Generic => "site=generic".into(),
+        // Every generic site owns a polymorphic inline cache in the
+        // machine; the site index identifies it.
+        SiteAction::Generic => format!("site=generic(pic {site})"),
         SiteAction::Skip { lambda } => format!("site=skip(lambda {lambda})"),
         SiteAction::Guarded { lambda, doms } => {
             let d: Vec<&str> = doms.iter().map(|d| d.label()).collect();

@@ -44,8 +44,9 @@
 
 mod compile;
 mod dump;
+pub mod pic;
 
-pub use compile::compile;
+pub use compile::{compile, compile_unfused};
 pub use dump::dump;
 
 use sct_core::plan::PlanDomain;
@@ -59,7 +60,11 @@ use std::rc::Rc;
 /// `sct-symbolic` mixes it into every plan-cache digest, so a bump
 /// invalidates persisted plans rather than letting them drive a machine
 /// they were not planned for.
-pub const CODEGEN_VERSION: u32 = 1;
+///
+/// v2: every application expression owns a distinct call site (so each
+/// `Generic` site carries its own polymorphic inline cache), and the
+/// linker fuses hot adjacent instruction pairs into superinstructions.
+pub const CODEGEN_VERSION: u32 = 2;
 
 /// A flat local index within the current activation's frame.
 pub type LocalIx = u16;
@@ -169,6 +174,85 @@ pub enum Instr {
     /// Pop the return value and unwind to the caller (or finish the
     /// current top-level form).
     Return,
+    // ----- superinstructions (link-time fusion) ----------------------
+    //
+    // Each fused variant replaces the *first* instruction of a hot
+    // adjacent pair; the second instruction stays in its arena slot and
+    // the machine skips it (`pc += 1`) after executing the fused
+    // handler. Jumps into the second slot therefore keep their original
+    // semantics without any target remapping ("pad with skip").
+    /// Fused `LoadLocal a; LoadLocal b`.
+    LoadLocal2(LocalIx, LocalIx),
+    /// Fused `LoadLocal i; CallPrim prim argc`.
+    LoadLocalCallPrim {
+        /// The local pushed first.
+        local: LocalIx,
+        /// The primitive.
+        prim: Prim,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Fused `Const i; CallPrim prim argc`.
+    ConstCallPrim {
+        /// The constant pushed first.
+        cix: ConstIx,
+        /// The primitive.
+        prim: Prim,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Fused `CallPrim prim argc; JumpIfFalse target`.
+    CallPrimJumpIfFalse {
+        /// The primitive.
+        prim: Prim,
+        /// Argument count.
+        argc: u16,
+        /// Branch target when the result is `#f`.
+        target: u32,
+    },
+    /// Fused `LoadLocal i; Return`.
+    LoadLocalReturn(LocalIx),
+}
+
+impl Instr {
+    /// Short mnemonic for profiling output and dump listings.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Const(_) => "const",
+            Instr::Void => "void",
+            Instr::LoadLocal(_) => "load-local",
+            Instr::LoadLocalChecked(_) => "load-local-checked",
+            Instr::LoadLocalCell(_) => "load-cell",
+            Instr::LoadCapture(_) => "load-capture",
+            Instr::LoadCaptureCell(_) => "load-capture-cell",
+            Instr::StoreLocal(_) => "store-local",
+            Instr::StoreLocalCell(_) => "store-cell",
+            Instr::StoreCaptureCell(_) => "store-capture-cell",
+            Instr::LoadGlobal(_) => "load-global",
+            Instr::StoreGlobal(_) => "store-global",
+            Instr::PrimVal(_) => "prim",
+            Instr::MakeClosure(_) => "make-closure",
+            Instr::Jump(_) => "jump",
+            Instr::JumpIfFalse(_) => "jump-if-false",
+            Instr::Pop => "pop",
+            Instr::PopLocal(_) => "pop-local",
+            Instr::PopLocalCell(_) => "pop-cell",
+            Instr::InitLocalCell(_) => "init-cell",
+            Instr::ClearLocal(_) => "clear-local",
+            Instr::MakeCell(_) => "make-cell",
+            Instr::BoxLocal(_) => "box-local",
+            Instr::WrapTerm(_) => "wrap-term",
+            Instr::CallPrim { .. } => "call-prim",
+            Instr::Call { .. } => "call",
+            Instr::TailCall { .. } => "tail-call",
+            Instr::Return => "return",
+            Instr::LoadLocal2(..) => "load-local2",
+            Instr::LoadLocalCallPrim { .. } => "load-local+call-prim",
+            Instr::ConstCallPrim { .. } => "const+call-prim",
+            Instr::CallPrimJumpIfFalse { .. } => "call-prim+jump-if-false",
+            Instr::LoadLocalReturn(_) => "load-local+return",
+        }
+    }
 }
 
 /// Where one captured slot of a closure template comes from, relative to

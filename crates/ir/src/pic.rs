@@ -1,0 +1,142 @@
+//! Polymorphic inline caches for [`SiteAction::Generic`](crate::SiteAction::Generic)
+//! call sites.
+//!
+//! A generic site cannot bake an enforcement decision in at compile time:
+//! its callee is first class (a parameter, a `set!`-rebound global, a
+//! closure pulled out of a data structure). Such a site still tends to
+//! see very few distinct callees at run time, so the machine attaches a
+//! small per-site cache keyed on the callee's λ id. After the first
+//! observation of a callee, the cache stores the *resolved* fast path —
+//! skip the monitor, check an inline domain guard, or monitor — so the
+//! steady state replays one comparison instead of re-deriving the
+//! decision from the enforcement plan.
+//!
+//! Every entry is stamped with the machine's current plan stamp (a mix of
+//! the installed plan's decisions fingerprint and a global-`set!` epoch).
+//! A changed plan or a rebound global therefore *invalidates* stale
+//! entries — the next call re-resolves and overwrites — instead of
+//! silently skipping enforcement that the new plan no longer discharges.
+
+use sct_core::plan::PlanDomain;
+use sct_lang::ast::LambdaId;
+use std::rc::Rc;
+
+/// Number of ways per site: callee λs cached before replacement starts.
+/// Small on purpose — monomorphic and lightly polymorphic sites dominate,
+/// and a megamorphic site degrades gracefully to round-robin replacement.
+pub const PIC_WAYS: usize = 4;
+
+/// The resolved fast path cached for one callee λ at one call site —
+/// the specialization lattice of the plan-directed compiler, re-derived
+/// dynamically: `Skip` ⊐ `Guard` ⊐ `Monitor`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PicAction {
+    /// The plan discharged the λ unconditionally: no monitor work.
+    Skip,
+    /// The plan discharged the λ under per-parameter domain assumptions:
+    /// evaluate the guard inline; in-domain calls skip the monitor.
+    Guard(Rc<[PlanDomain]>),
+    /// The λ stays monitored.
+    Monitor,
+}
+
+/// One cached observation: callee, resolved action, and the plan stamp
+/// the resolution is valid under.
+#[derive(Debug, Clone)]
+pub struct PicEntry {
+    /// The observed callee λ.
+    pub lambda: LambdaId,
+    /// The fast path resolved for it.
+    pub action: PicAction,
+    /// Plan stamp at resolution time; a mismatch invalidates the entry.
+    pub stamp: u64,
+}
+
+/// A polymorphic inline cache: up to [`PIC_WAYS`] entries plus a
+/// round-robin replacement cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Pic {
+    ways: [Option<PicEntry>; PIC_WAYS],
+    next: u8,
+}
+
+impl Pic {
+    /// An empty cache.
+    pub fn new() -> Pic {
+        Pic::default()
+    }
+
+    /// The cached entry for `lambda`, stale or not (the caller compares
+    /// the stamp and decides between hit and invalidation).
+    pub fn lookup(&self, lambda: LambdaId) -> Option<&PicEntry> {
+        self.ways.iter().flatten().find(|e| e.lambda == lambda)
+    }
+
+    /// Inserts (or refreshes) the entry for `entry.lambda`. An existing
+    /// way for the same λ is overwritten in place; otherwise the first
+    /// empty way fills; a full cache replaces round-robin.
+    pub fn insert(&mut self, entry: PicEntry) {
+        if let Some(slot) = self
+            .ways
+            .iter_mut()
+            .find(|w| w.as_ref().is_some_and(|e| e.lambda == entry.lambda))
+        {
+            *slot = Some(entry);
+            return;
+        }
+        if let Some(slot) = self.ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(entry);
+            return;
+        }
+        let victim = self.next as usize % PIC_WAYS;
+        self.ways[victim] = Some(entry);
+        self.next = self.next.wrapping_add(1);
+    }
+
+    /// Number of filled ways.
+    pub fn filled(&self) -> usize {
+        self.ways.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lambda: LambdaId, stamp: u64) -> PicEntry {
+        PicEntry {
+            lambda,
+            action: PicAction::Skip,
+            stamp,
+        }
+    }
+
+    #[test]
+    fn fill_then_overflow_round_robin() {
+        let mut pic = Pic::new();
+        for id in 0..PIC_WAYS as u32 {
+            pic.insert(entry(id, 7));
+        }
+        assert_eq!(pic.filled(), PIC_WAYS);
+        assert!(pic.lookup(0).is_some());
+        // Overflow evicts one way but never grows past PIC_WAYS.
+        pic.insert(entry(99, 7));
+        assert_eq!(pic.filled(), PIC_WAYS);
+        assert!(pic.lookup(99).is_some());
+    }
+
+    #[test]
+    fn same_lambda_overwrites_in_place() {
+        let mut pic = Pic::new();
+        pic.insert(entry(3, 1));
+        pic.insert(PicEntry {
+            lambda: 3,
+            action: PicAction::Monitor,
+            stamp: 2,
+        });
+        assert_eq!(pic.filled(), 1);
+        let e = pic.lookup(3).unwrap();
+        assert_eq!(e.stamp, 2);
+        assert_eq!(e.action, PicAction::Monitor);
+    }
+}

@@ -875,7 +875,7 @@ fn is_int_like(solver: &Solver<'_>, path: &Path, v: &SValue) -> bool {
                 | Prim::Expt,
             _
         )
-    ) || matches!(path.resolve(v), SValue::Conc(Value::Int(_)))
+    ) || matches!(path.resolve(v), SValue::Conc(Value::Fix(_) | Value::Big(_)))
 }
 
 /// All non-empty suffixes of a value with a fully known spine.

@@ -62,7 +62,9 @@ impl<'a> Solver<'a> {
     pub fn linearize(&self, path: &Path, v: &SValue) -> Option<Lin> {
         let v = path.resolve(v);
         match &v {
-            SValue::Conc(Value::Int(n)) => Some(Lin::constant(n.to_i64()? as i128)),
+            SValue::Conc(Value::Fix(n)) => Some(Lin::constant(*n as i128)),
+            // A canonical Big is outside i64 range: not linearizable.
+            SValue::Conc(Value::Big(_)) => None,
             SValue::Atom(a) if self.kind(*a) == AtomKind::Int => Some(Lin::var(*a)),
             SValue::Term(p, args) => match p {
                 Prim::Add => {

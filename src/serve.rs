@@ -557,6 +557,11 @@ struct Counters {
     /// calls the residual monitor still guarded.
     static_skips: u64,
     monitored_calls: u64,
+    /// Aggregate polymorphic-inline-cache traffic on generic call sites
+    /// across every `run`/`hybrid` execution.
+    pic_hits: u64,
+    pic_misses: u64,
+    pic_invalidations: u64,
 }
 
 /// How many of `plan`'s decisions were degraded to `Monitor` by a
@@ -989,6 +994,9 @@ impl Server {
             let mut c = lock_or_recover(&self.counters);
             c.static_skips += machine.stats.static_skips;
             c.monitored_calls += machine.stats.monitored_calls;
+            c.pic_hits += machine.stats.pic_hits;
+            c.pic_misses += machine.stats.pic_misses;
+            c.pic_invalidations += machine.stats.pic_invalidations;
             if matches!(result, Err(EvalError::Deadline)) {
                 c.deadline_exceeded += 1;
             }
@@ -1063,6 +1071,19 @@ impl Server {
                 ]),
             ),
             (
+                // Aggregate inline-cache traffic, mirroring the CLI's
+                // `; pic: H hits, M misses, I invalidations` line.
+                "pic".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Int(c.pic_hits as i64)),
+                    ("misses".into(), Json::Int(c.pic_misses as i64)),
+                    (
+                        "invalidations".into(),
+                        Json::Int(c.pic_invalidations as i64),
+                    ),
+                ]),
+            ),
+            (
                 "cache_dir".into(),
                 opt_str(self.cache_dir.as_ref().and_then(|p| p.to_str())),
             ),
@@ -1120,6 +1141,12 @@ fn stats_json(s: &Stats) -> Json {
         ("monitored".into(), Json::Int(s.monitored_calls as i64)),
         ("checks".into(), Json::Int(s.checks as i64)),
         ("static_skips".into(), Json::Int(s.static_skips as i64)),
+        ("pic_hits".into(), Json::Int(s.pic_hits as i64)),
+        ("pic_misses".into(), Json::Int(s.pic_misses as i64)),
+        (
+            "pic_invalidations".into(),
+            Json::Int(s.pic_invalidations as i64),
+        ),
         ("max_kont".into(), Json::Int(s.max_kont_depth as i64)),
     ])
 }

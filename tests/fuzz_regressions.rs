@@ -67,4 +67,26 @@ fn seeded_shapes_keep_their_verdicts() {
     assert_eq!(bar.to_write_string(), "3");
     let poly = sct_contracts::run_monitored(&read("isabelle-poly.sct")).expect("poly terminates");
     assert_eq!(poly.to_write_string(), "14");
+
+    // The megamorphic tower keeps both its value and its cache shape:
+    // five distinct callees through one generic site (fill + overflow of
+    // the 4-way cache) and a mid-run `set!` whose epoch bump invalidates
+    // the entries cached before the store changed.
+    let mega = read("mega-set-rebind.sct");
+    let prog = sct_contracts::lang::compile_program(&mega).expect("mega compiles");
+    let mut m = sct_contracts::Machine::new(
+        &prog,
+        sct_contracts::MachineConfig::monitored(sct_contracts::TableStrategy::Imperative),
+    );
+    let v = m.run().expect("mega terminates");
+    assert_eq!(v.to_write_string(), "346");
+    assert!(
+        m.stats.pic_misses >= 5,
+        "five distinct callees through one site cannot all hit"
+    );
+    assert!(
+        m.stats.pic_invalidations >= 1,
+        "the set! rebinding must stamp out warm entries"
+    );
+    assert_eq!(m.stats.pic_hits + m.stats.pic_misses, m.stats.generic_calls);
 }

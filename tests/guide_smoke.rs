@@ -30,6 +30,7 @@ fn guide_examples_exist() {
         "sum.sct",
         "pair.sct",
         "pair-edit.sct",
+        "iterate.sct",
     ] {
         let p = Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("examples/guide")
@@ -93,6 +94,10 @@ fn guide_hybrid_sum_discharged() {
         err.contains("monitored=0 checks=0 static-skips=100001"),
         "guide counters drifted: {err}"
     );
+    assert!(
+        err.contains("; pic: 0 hits, 0 misses, 0 invalidations"),
+        "direct calls consult no inline cache: {err}"
+    );
 
     // The plain monitor pays for every one of those calls.
     let mon = sct(&["monitor", "examples/guide/sum.sct"]);
@@ -139,6 +144,10 @@ fn guide_hybrid_dump_ir() {
         "both sum call sites carry the inline guard: {ir}"
     );
     assert!(ir.contains("tail-call"), "{ir}");
+    assert!(
+        ir.contains("load-local+call-prim") && ir.contains("const+call-prim"),
+        "the guide shows the fused superinstructions: {ir}"
+    );
 }
 
 /// §5 of the guide: the edit → incremental re-plan loop. Replays the
@@ -215,6 +224,29 @@ fn guide_serve_stdio_transcript() {
         "{line}"
     );
     assert!(line.contains("[[\"len\",false]]"), "{line}");
+}
+
+/// §4, "Inline caches" subsection: the iterate transcript — two misses
+/// (one per distinct callee through the generic site), the rest hits,
+/// no invalidations — and the `site=generic(pic N)` IR annotation.
+#[test]
+fn guide_hybrid_pic_transcript() {
+    let h = sct(&["hybrid", "examples/guide/iterate.sct"]);
+    assert!(h.status.success(), "{}", stderr(&h));
+    assert_eq!(stdout(&h).trim(), "1035");
+    let err = stderr(&h);
+    assert!(
+        err.contains("; pic: 18 hits, 2 misses, 0 invalidations"),
+        "guide PIC counters drifted: {err}"
+    );
+
+    let d = sct(&["hybrid", "examples/guide/iterate.sct", "--dump-ir"]);
+    assert!(d.status.success(), "{}", stderr(&d));
+    let ir = stdout(&d);
+    assert!(
+        ir.contains("site=generic(pic 2)"),
+        "the (f x) site owns an inline cache: {ir}"
+    );
 }
 
 /// §4: hybrid refutes spin before running, with the monitor's blame label.

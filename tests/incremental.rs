@@ -115,8 +115,9 @@ fn editing_a_shared_helper_reverifies_its_dependents_only() {
 }
 
 /// The committed benchmark artifact must carry the planning trajectory:
-/// schema `sct-fig10/4` with warm planning measurably faster than cold on
-/// every workload (the number the persistence subsystem exists to win).
+/// schema `sct-fig10/5` with warm planning measurably faster than cold on
+/// every workload (the number the persistence subsystem exists to win) —
+/// and, since PR 8, per-workload inline-cache hit rates on the eval rows.
 #[test]
 fn committed_bench_artifact_pins_warm_planning_speedup() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_fig10.json");
@@ -124,7 +125,7 @@ fn committed_bench_artifact_pins_warm_planning_speedup() {
     let doc = sct_contracts::core::json::parse(&text).expect("artifact parses");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some("sct-fig10/4"),
+        Some("sct-fig10/5"),
         "schema drifted"
     );
     let planning = doc
@@ -141,5 +142,24 @@ fn committed_bench_artifact_pins_warm_planning_speedup() {
             warm < cold,
             "{workload}: warm planning ({warm}ms) not faster than cold ({cold}ms)"
         );
+    }
+    // Schema /5: every eval row carries the inline-cache accounting, and
+    // the meta-circular interpreter workloads (the only ones with hot
+    // first-class dispatch) cache effectively.
+    let evals = doc
+        .get("eval")
+        .and_then(|e| e.as_arr())
+        .expect("eval array present");
+    assert!(!evals.is_empty());
+    for e in evals {
+        let workload = e.get("workload").and_then(|w| w.as_str()).unwrap();
+        let hits = e.get("pic_hits").and_then(|v| v.as_f64()).unwrap();
+        let misses = e.get("pic_misses").and_then(|v| v.as_f64()).unwrap();
+        let rate = e.get("pic_hit_rate").and_then(|v| v.as_f64()).unwrap();
+        assert!((0.0..=1.0).contains(&rate), "{workload}: rate {rate}");
+        if workload.starts_with("interp-") {
+            assert!(hits + misses > 0.0, "{workload}: no generic dispatch");
+            assert!(rate >= 0.9, "{workload}: ineffective caches ({rate})");
+        }
     }
 }

@@ -27,22 +27,33 @@
 //! programs run fully monitored, so Theorem 3.1 guarantees termination
 //! without a fuel bound (a fuel bound would itself diverge between the
 //! machines, since their step granularities differ).
+//!
+//! Since PR 8 every differential case additionally runs the VM twice —
+//! polymorphic inline caches enabled and disabled — asserting the two
+//! runs produce identical values, output, blame, and semantic counters,
+//! and that `pic_hits + pic_misses` accounts for every `Generic`-site
+//! application. The caches are a pure dispatch optimization; any
+//! divergence they introduce is an enforcement-soundness bug.
 
 use proptest::prelude::*;
 use sct_contracts::corpus::{diverging, table1, workloads};
 use sct_contracts::{plan_program, MachineConfig, PlanConfig, SemanticsMode, TableStrategy};
-use sct_fuzz::harness::{run_reference, run_vm, Outcome};
+use sct_fuzz::harness::{assert_pic_transparent, run_reference, run_vm_stats, Outcome};
 use sct_fuzz::ExprGen;
 use std::rc::Rc;
 use std::time::Duration;
 
 /// Runs `source` through both machines under `config` and asserts (or,
-/// for the proptest driver, returns) outcome equality.
+/// for the proptest driver, returns) outcome equality. Every case runs
+/// the VM *twice* — inline caches enabled and disabled — and asserts the
+/// two runs agree on values, output, blame, and the semantic counters,
+/// with `pic_hits + pic_misses` accounting for every `Generic`-site
+/// application (see `assert_pic_transparent`).
 fn outcomes(source: &str, config: &MachineConfig) -> (Outcome, Outcome) {
     let prog = sct_contracts::lang::compile_program(source)
         .unwrap_or_else(|e| panic!("compile failed: {e}\n{source}"));
     (
-        run_vm(&prog, config.clone()),
+        assert_pic_transparent(&prog, config, "oracle case"),
         run_reference(&prog, config.clone()),
     )
 }
@@ -166,6 +177,63 @@ fn diverging_corpus_agrees_on_blame() {
 }
 
 // ---------------------------------------------------------------------
+// PIC transparency.
+// ---------------------------------------------------------------------
+
+/// A megamorphic first-class call site — one `Generic` site dispatching
+/// to five distinct callees, overflowing the 4-way cache — plus a `set!`
+/// rebinding mid-run: the canonical PIC fill/overflow/invalidation
+/// shapes, checked on top of the per-case transparency sweep that
+/// [`outcomes`] already applies everywhere. Counter arithmetic is
+/// asserted exactly: every generic-site application is a hit or a miss,
+/// and a `set!` of a monitored global forces re-resolution (stamp
+/// invalidation) rather than a silently stale fast path.
+#[test]
+fn pic_on_off_outcomes_agree_and_counters_reconcile() {
+    let source = r#"
+(define (f1 n) (if (zero? n) 0 (f1 (- n 1))))
+(define (f2 n) (if (zero? n) 0 (f2 (- n 1))))
+(define (f3 n) (if (zero? n) 1 (f3 (- n 1))))
+(define (f4 n) (if (zero? n) 1 (f4 (- n 1))))
+(define (f5 n) (if (zero? n) 2 (f5 (- n 1))))
+(define (call f n) (f n))
+(define (sweep k)
+  (if (zero? k)
+      0
+      (+ (call f1 k) (call f2 k) (call f3 k) (call f4 k) (call f5 k)
+         (sweep (- k 1)))))
+(display (sweep 12))
+(set! f3 f5)
+(display (sweep 12))
+"#;
+    let prog = sct_contracts::lang::compile_program(source).expect("compiles");
+    for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
+        let config = MachineConfig::monitored(strategy);
+        let vm = assert_pic_transparent(&prog, &config, "megamorphic sweep");
+        let reference = run_reference(&prog, config.clone());
+        assert_eq!(vm, reference, "megamorphic sweep under {strategy:?}");
+        let (_, stats) = run_vm_stats(&prog, config);
+        assert!(
+            stats.generic_calls > 0,
+            "the sweep must exercise generic sites"
+        );
+        assert_eq!(
+            stats.pic_hits + stats.pic_misses,
+            stats.generic_calls,
+            "every generic-site application is a hit or a miss"
+        );
+        assert!(
+            stats.pic_misses >= 5,
+            "five distinct callees through one site cannot all hit"
+        );
+        assert!(
+            stats.pic_invalidations > 0,
+            "the set! rebinding must invalidate cached entries"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Seeded random-program sweep.
 // ---------------------------------------------------------------------
 
@@ -185,7 +253,7 @@ proptest! {
         };
         for strategy in [TableStrategy::Imperative, TableStrategy::ContinuationMark] {
             let config = MachineConfig::monitored(strategy);
-            let vm = run_vm(&prog, config.clone());
+            let vm = assert_pic_transparent(&prog, &config, "generated");
             let reference = run_reference(&prog, config);
             prop_assert_eq!(&vm, &reference, "strategy {:?}\n{}", strategy, &source);
         }
@@ -194,7 +262,7 @@ proptest! {
             plan: Some(plan),
             ..MachineConfig::monitored(TableStrategy::Imperative)
         };
-        let vm = run_vm(&prog, config.clone());
+        let vm = assert_pic_transparent(&prog, &config, "generated hybrid");
         let reference = run_reference(&prog, config);
         prop_assert_eq!(&vm, &reference, "hybrid\n{}", &source);
     }
