@@ -506,6 +506,14 @@ pub fn fig10_json_path() -> std::path::PathBuf {
         .join("BENCH_fig10.json")
 }
 
+/// Default output path for `BENCH_serve.json` (the `report_serve` load
+/// driver's `sct-serve/1` document), repo root as above.
+pub fn serve_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json")
+}
+
 /// Formats a duration in the paper's milliseconds-with-log-axis spirit.
 pub fn fmt_ms(d: Duration) -> String {
     let ms = d.as_secs_f64() * 1e3;

@@ -108,6 +108,39 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Observability handles a store mirrors its traffic into: the same
+/// counters as [`CacheStats`] plus load/store latency histograms, all
+/// registered under `cache.*` in an [`sct_obs::Registry`]. Attach with
+/// [`DiskCache::with_obs`] / [`MemStore::with_obs`]; stores built
+/// without one record nothing.
+#[derive(Debug, Clone)]
+pub struct CacheObs {
+    hits: sct_obs::Counter,
+    misses: sct_obs::Counter,
+    rejected: sct_obs::Counter,
+    quarantined: sct_obs::Counter,
+    stores: sct_obs::Counter,
+    write_errors: sct_obs::Counter,
+    load_us: sct_obs::Histogram,
+    store_us: sct_obs::Histogram,
+}
+
+impl CacheObs {
+    /// Register the `cache.*` metric family in `reg` and return handles.
+    pub fn register(reg: &sct_obs::Registry) -> CacheObs {
+        CacheObs {
+            hits: reg.counter("cache.hits"),
+            misses: reg.counter("cache.misses"),
+            rejected: reg.counter("cache.rejected"),
+            quarantined: reg.counter("cache.quarantined"),
+            stores: reg.counter("cache.stores"),
+            write_errors: reg.counter("cache.write_errors"),
+            load_us: reg.histogram("cache.load_us"),
+            store_us: reg.histogram("cache.store_us"),
+        }
+    }
+}
+
 /// Process-wide counter for temp-file names: two [`DiskCache`] handles in
 /// one process (two servers, or library use from multiple threads) must
 /// never build the same `.tmp-<pid>-<n>-<key>` name, or one handle's
@@ -119,6 +152,7 @@ static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new
 pub struct DiskCache {
     dir: PathBuf,
     stats: CacheStats,
+    obs: Option<CacheObs>,
 }
 
 impl DiskCache {
@@ -135,7 +169,15 @@ impl DiskCache {
         Ok(DiskCache {
             dir,
             stats: CacheStats::default(),
+            obs: None,
         })
+    }
+
+    /// Mirror this store's traffic (and load/store latency) into
+    /// registered `cache.*` metrics.
+    pub fn with_obs(mut self, obs: CacheObs) -> DiskCache {
+        self.obs = Some(obs);
+        self
     }
 
     /// The cache's root directory.
@@ -187,6 +229,9 @@ impl DiskCache {
         let bad = path.with_extension("quarantine");
         if fs::rename(path, &bad).is_ok() {
             self.stats.quarantined += 1;
+            if let Some(o) = &self.obs {
+                o.quarantined.inc();
+            }
             true
         } else {
             fs::remove_file(path).ok();
@@ -210,39 +255,52 @@ impl DiskCache {
 
 impl DecisionStore for DiskCache {
     fn load(&mut self, key: &str) -> Option<PortableDecision> {
+        let start = std::time::Instant::now();
         let path = self.entry_path(key);
         // Failpoint: a read that fails (EIO, permission flaps) is a miss,
         // exactly like an absent file — the planner recomputes.
-        if sct_faults::io_check("cache.load.read").is_err() {
+        let result = if sct_faults::io_check("cache.load.read").is_err() {
             self.stats.misses += 1;
-            return None;
-        }
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(_) => {
-                self.stats.misses += 1;
-                return None;
+            None
+        } else {
+            match fs::read_to_string(&path) {
+                Err(_) => {
+                    self.stats.misses += 1;
+                    None
+                }
+                Ok(text) => match decode_entry(&text) {
+                    Ok(entry) => {
+                        self.stats.hits += 1;
+                        Some(entry)
+                    }
+                    Err(_) => {
+                        // Truncated / corrupt / version-mismatched:
+                        // quarantine the bad bytes and recompute. Never a
+                        // crash, and a stale replay is impossible — the
+                        // key commits to the decision's inputs.
+                        self.stats.misses += 1;
+                        self.stats.rejected += 1;
+                        if let Some(o) = &self.obs {
+                            o.rejected.inc();
+                        }
+                        self.quarantine(&path);
+                        None
+                    }
+                },
             }
         };
-        match decode_entry(&text) {
-            Ok(entry) => {
-                self.stats.hits += 1;
-                Some(entry)
+        if let Some(o) = &self.obs {
+            match result {
+                Some(_) => o.hits.inc(),
+                None => o.misses.inc(),
             }
-            Err(_) => {
-                // Truncated / corrupt / version-mismatched: quarantine the
-                // bad bytes and recompute. Never a crash, and a stale
-                // replay is impossible — the key commits to the decision's
-                // inputs.
-                self.stats.misses += 1;
-                self.stats.rejected += 1;
-                self.quarantine(&path);
-                None
-            }
+            o.load_us.record_elapsed_us(start);
         }
+        result
     }
 
     fn store(&mut self, key: &str, entry: &PortableDecision) {
+        let start = std::time::Instant::now();
         let path = self.entry_path(key);
         let tmp_counter = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let write = || -> io::Result<()> {
@@ -283,9 +341,17 @@ impl DecisionStore for DiskCache {
             })?;
             Ok(())
         };
-        match write() {
-            Ok(()) => self.stats.stores += 1,
-            Err(_) => self.stats.write_errors += 1,
+        let write_ok = write().is_ok();
+        match write_ok {
+            true => self.stats.stores += 1,
+            false => self.stats.write_errors += 1,
+        }
+        if let Some(o) = &self.obs {
+            match write_ok {
+                true => o.stores.inc(),
+                false => o.write_errors.inc(),
+            }
+            o.store_us.record_elapsed_us(start);
         }
     }
 }
@@ -297,12 +363,19 @@ impl DecisionStore for DiskCache {
 pub struct MemStore {
     entries: HashMap<String, PortableDecision>,
     stats: CacheStats,
+    obs: Option<CacheObs>,
 }
 
 impl MemStore {
     /// An empty store.
     pub fn new() -> MemStore {
         MemStore::default()
+    }
+
+    /// Mirror this store's traffic into registered `cache.*` metrics.
+    pub fn with_obs(mut self, obs: CacheObs) -> MemStore {
+        self.obs = Some(obs);
+        self
     }
 
     /// Traffic counters so far.
@@ -323,7 +396,8 @@ impl MemStore {
 
 impl DecisionStore for MemStore {
     fn load(&mut self, key: &str) -> Option<PortableDecision> {
-        match self.entries.get(key) {
+        let start = std::time::Instant::now();
+        let result = match self.entries.get(key) {
             Some(e) => {
                 self.stats.hits += 1;
                 Some(e.clone())
@@ -332,12 +406,25 @@ impl DecisionStore for MemStore {
                 self.stats.misses += 1;
                 None
             }
+        };
+        if let Some(o) = &self.obs {
+            match result {
+                Some(_) => o.hits.inc(),
+                None => o.misses.inc(),
+            }
+            o.load_us.record_elapsed_us(start);
         }
+        result
     }
 
     fn store(&mut self, key: &str, entry: &PortableDecision) {
+        let start = std::time::Instant::now();
         self.stats.stores += 1;
         self.entries.insert(key.to_string(), entry.clone());
+        if let Some(o) = &self.obs {
+            o.stores.inc();
+            o.store_us.record_elapsed_us(start);
+        }
     }
 }
 

@@ -170,6 +170,40 @@ pub struct Stats {
     pub max_marks: usize,
 }
 
+impl Stats {
+    /// Mirror this run's counters into the `vm.*` metric family of an
+    /// observability registry: one `vm.runs` bump plus the semantic and
+    /// PIC counters, so a `metrics` snapshot shows cumulative VM work
+    /// and the PIC accounting identity
+    /// (`vm.pic_hits + vm.pic_misses == vm.generic_calls`) stays
+    /// checkable from the snapshot alone. High-water marks are exported
+    /// as gauges holding the maximum seen across published runs.
+    pub fn publish(&self, reg: &sct_obs::Registry) {
+        reg.counter("vm.runs").inc();
+        for (name, v) in [
+            ("vm.steps", self.steps),
+            ("vm.applications", self.applications),
+            ("vm.monitored_calls", self.monitored_calls),
+            ("vm.checks", self.checks),
+            ("vm.static_skips", self.static_skips),
+            ("vm.env_frames", self.env_frames_allocated),
+            ("vm.generic_calls", self.generic_calls),
+            ("vm.pic_hits", self.pic_hits),
+            ("vm.pic_misses", self.pic_misses),
+            ("vm.pic_invalidations", self.pic_invalidations),
+        ] {
+            reg.counter(name).add(v);
+        }
+        for (name, v) in [
+            ("vm.max_kont_depth", self.max_kont_depth as i64),
+            ("vm.max_marks", self.max_marks as i64),
+        ] {
+            let g = reg.gauge(name);
+            g.set(g.get().max(v));
+        }
+    }
+}
+
 /// One record of a checked call, for Figure 1-style traces.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {

@@ -1,0 +1,346 @@
+//! Structured-event tracer: JSONL spans with monotonic timestamps,
+//! trace/span ids, and `key=value` fields, written to a process-global
+//! sink (`sct serve --trace-out FILE`).
+//!
+//! # Record shapes
+//!
+//! One JSON object per line, three event kinds:
+//!
+//! ```text
+//! {"ts_us":N,"ev":"start","trace":"<16 hex>","span":S,"parent":P,"name":"serve.request",...fields}
+//! {"ts_us":N,"ev":"event","trace":"<16 hex>","span":S,"name":"monitor.blame",...fields}
+//! {"ts_us":N,"ev":"end","trace":"<16 hex>","span":S,"name":"serve.request","dur_us":D}
+//! ```
+//!
+//! `ts_us` is microseconds since process start (monotonic clock, never
+//! wall time). `parent` is omitted on root spans. Field keys must avoid
+//! the reserved set (`ts_us`, `ev`, `trace`, `span`, `parent`, `name`,
+//! `dur_us`); values are JSON-escaped and truncated at
+//! [`MAX_FIELD_BYTES`].
+//!
+//! # Ids without a sink
+//!
+//! [`Span::root`] always allocates a fresh trace id — `sct serve` echoes
+//! it in every response whether or not tracing is armed — but events are
+//! rendered and written only while a sink is installed, so the disarmed
+//! cost is one relaxed atomic load plus two id bumps per request.
+//!
+//! # Bounded buffering
+//!
+//! The sink buffers up to [`BUFFER_BYTES`] and flushes on overflow, on
+//! [`flush`], and when the sink is replaced. A write error drops the
+//! event and bumps [`dropped`]; tracing never panics the host.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// Sink buffer capacity: events accumulate up to this many bytes before
+/// a flush is forced.
+pub const BUFFER_BYTES: usize = 32 * 1024;
+
+/// Per-field value cap: longer values (a rendered witness graph, a huge
+/// source form) are truncated with a `…` marker so one event cannot
+/// balloon the sink.
+pub const MAX_FIELD_BYTES: usize = 2048;
+
+/// Fast armed gate, mirroring `sct_faults::ANY_ARMED`.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+static SPAN_SEQ: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+struct Sink {
+    out: Box<dyn Write + Send>,
+    buf: String,
+}
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn ts_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// splitmix64 — the same mixer `sct-faults` uses; spreads the sequential
+/// trace counter into visually distinct 16-hex ids.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Install a JSONL sink writing to `path` (created or truncated). Any
+/// previous sink is flushed and replaced.
+pub fn to_file(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    to_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Install an arbitrary sink (tests use in-memory writers). Any previous
+/// sink is flushed and replaced.
+pub fn to_writer(out: Box<dyn Write + Send>) {
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(old) = guard.as_mut() {
+        let _ = drain(old);
+    }
+    *guard = Some(Sink {
+        out,
+        buf: String::with_capacity(BUFFER_BYTES),
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Flush and remove the sink; subsequent events are discarded cheaply.
+pub fn disarm() {
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(old) = guard.as_mut() {
+        let _ = drain(old);
+    }
+    *guard = None;
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Whether a sink is installed.
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Events dropped because the sink's writer failed.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Flush buffered events through to the sink's writer.
+pub fn flush() {
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(s) = guard.as_mut() {
+        let _ = drain(s);
+    }
+}
+
+fn drain(s: &mut Sink) -> io::Result<()> {
+    if !s.buf.is_empty() {
+        let r = s.out.write_all(s.buf.as_bytes());
+        s.buf.clear();
+        r?;
+    }
+    s.out.flush()
+}
+
+fn emit(line: String) {
+    if !enabled() {
+        return;
+    }
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    let Some(s) = guard.as_mut() else { return };
+    s.buf.push_str(&line);
+    s.buf.push('\n');
+    if s.buf.len() >= BUFFER_BYTES && drain(s).is_err() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn push_fields(out: &mut String, fields: &[(&str, &str)]) {
+    for (k, v) in fields {
+        let v = if v.len() > MAX_FIELD_BYTES {
+            let mut end = MAX_FIELD_BYTES;
+            while !v.is_char_boundary(end) {
+                end -= 1;
+            }
+            format!("{}…", &v[..end])
+        } else {
+            (*v).to_string()
+        };
+        out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(&v)));
+    }
+}
+
+/// A span: a named interval tied to a trace id. Emits a `start` record
+/// on creation (when armed) and an `end` record with `dur_us` on drop.
+#[derive(Debug)]
+pub struct Span {
+    trace_id: u64,
+    id: u64,
+    name: &'static str,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Open a root span with a fresh trace id. Ids are allocated even
+    /// when tracing is disarmed, so callers can echo them unconditionally.
+    pub fn root(name: &'static str, fields: &[(&str, &str)]) -> Span {
+        let trace_id = mix(TRACE_SEQ.fetch_add(1, Ordering::Relaxed).wrapping_add(1));
+        Span::open(trace_id, None, name, fields)
+    }
+
+    /// Open a child span within this span's trace.
+    pub fn child(&self, name: &'static str, fields: &[(&str, &str)]) -> Span {
+        Span::open(self.trace_id, Some(self.id), name, fields)
+    }
+
+    fn open(
+        trace_id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        fields: &[(&str, &str)],
+    ) -> Span {
+        let id = SPAN_SEQ.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        let armed = enabled();
+        if armed {
+            let mut line = format!(
+                "{{\"ts_us\":{},\"ev\":\"start\",\"trace\":\"{:016x}\",\"span\":{}",
+                ts_us(),
+                trace_id,
+                id
+            );
+            if let Some(p) = parent {
+                line.push_str(&format!(",\"parent\":{p}"));
+            }
+            line.push_str(&format!(",\"name\":\"{}\"", json_escape(name)));
+            push_fields(&mut line, fields);
+            line.push('}');
+            emit(line);
+        }
+        Span {
+            trace_id,
+            id,
+            name,
+            start: Instant::now(),
+            armed,
+        }
+    }
+
+    /// The 16-hex trace id, as echoed in serve responses.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Emit a point event inside this span (a blame report, a shed
+    /// decision). No-op while disarmed.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        if !enabled() {
+            return;
+        }
+        let mut line = format!(
+            "{{\"ts_us\":{},\"ev\":\"event\",\"trace\":\"{:016x}\",\"span\":{},\"name\":\"{}\"",
+            ts_us(),
+            self.trace_id,
+            self.id,
+            json_escape(name)
+        );
+        push_fields(&mut line, fields);
+        line.push('}');
+        emit(line);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        // Close only spans that opened with a `start` record, so a sink
+        // installed mid-span never sees an orphan `end`.
+        if self.armed && enabled() {
+            emit(format!(
+                "{{\"ts_us\":{},\"ev\":\"end\",\"trace\":\"{:016x}\",\"span\":{},\"name\":\"{}\",\"dur_us\":{}}}",
+                ts_us(),
+                self.trace_id,
+                self.id,
+                json_escape(self.name),
+                self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The sink is process-global state; serialize tests that install one.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_render_jsonl() {
+        let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let cap = Capture::default();
+        to_writer(Box::new(cap.clone()));
+        {
+            let root = Span::root("serve.request", &[("op", "plan")]);
+            {
+                let child = root.child("plan", &[]);
+                child.event("monitor.blame", &[("function", "f\"g")]);
+            }
+        }
+        disarm();
+        let text = cap.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+        assert!(lines[0].contains("\"ev\":\"start\"") && lines[0].contains("\"op\":\"plan\""));
+        assert!(lines[1].contains("\"parent\":"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ev\":\"event\"") && lines[2].contains("f\\\"g"));
+        assert!(lines[3].contains("\"ev\":\"end\"") && lines[3].contains("\"name\":\"plan\""));
+        // child end comes before root end
+        assert!(lines[4].contains("\"ev\":\"end\"") && lines[4].contains("serve.request"));
+    }
+
+    #[test]
+    fn ids_flow_without_a_sink() {
+        let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        disarm();
+        let a = Span::root("x", &[]);
+        let b = Span::root("x", &[]);
+        assert_eq!(a.trace_hex().len(), 16);
+        assert_ne!(a.trace_hex(), b.trace_hex());
+    }
+
+    #[test]
+    fn long_fields_are_truncated() {
+        let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let cap = Capture::default();
+        to_writer(Box::new(cap.clone()));
+        let big = "x".repeat(MAX_FIELD_BYTES * 2);
+        {
+            let s = Span::root("big", &[("blob", big.as_str())]);
+            drop(s);
+        }
+        disarm();
+        let text = cap.text();
+        assert!(text.contains('…'), "truncation marker missing");
+        assert!(text.len() < MAX_FIELD_BYTES * 2, "field was not truncated");
+    }
+}

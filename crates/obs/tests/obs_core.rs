@@ -1,0 +1,125 @@
+//! Obs-core coverage: histogram bucket boundaries, quantile estimates
+//! property-tested against a sorted reference, and snapshot coherence
+//! under concurrent increments.
+
+use proptest::prelude::*;
+use sct_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, Registry, BUCKETS};
+
+#[test]
+fn bucket_boundaries_are_log2() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(1023), 10);
+    assert_eq!(bucket_index(1024), 11);
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    // Every bucket's bounds bracket exactly the values indexed into it.
+    for i in 0..BUCKETS {
+        assert_eq!(bucket_index(bucket_lower(i)), i, "lower bound of {i}");
+        assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound of {i}");
+    }
+    // Buckets tile the u64 range with no gaps.
+    for i in 1..BUCKETS {
+        assert_eq!(bucket_upper(i - 1) + 1, bucket_lower(i), "gap before {i}");
+    }
+}
+
+/// The quantile estimate must land inside the bucket that contains the
+/// true (sorted-reference) quantile — the strongest guarantee a
+/// log2-bucketed sketch can make.
+fn check_quantiles(samples: &[u64]) {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, samples.len() as u64);
+    assert_eq!(
+        snap.sum,
+        samples.iter().copied().fold(0u64, u64::wrapping_add)
+    );
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in [0.5, 0.9, 0.99, 1.0] {
+        let est = snap.quantile(q).expect("non-empty");
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let b = bucket_index(truth);
+        assert!(
+            (bucket_lower(b)..=bucket_upper(b)).contains(&est),
+            "q={q}: estimate {est} outside bucket {b} of true quantile {truth}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn quantile_estimates_track_sorted_reference(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        check_quantiles(&samples);
+    }
+
+    #[test]
+    fn quantile_estimates_survive_extreme_values(
+        samples in proptest::collection::vec(any::<u64>(), 1..64)
+    ) {
+        check_quantiles(&samples);
+    }
+}
+
+#[test]
+fn snapshot_coherent_under_concurrent_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = std::sync::Arc::new(Registry::new());
+    let hits = reg.counter("hits");
+    let level = reg.gauge("level");
+    let lat = reg.histogram("lat_us");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (hits, level, lat) = (hits.clone(), level.clone(), lat.clone());
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    hits.inc();
+                    level.add(if i % 2 == 0 { 1 } else { -1 });
+                    lat.record((t as u64 + 1) * (i % 1024));
+                }
+            })
+        })
+        .collect();
+    // Snapshots taken mid-run never exceed the final totals and stay
+    // monotone: nothing recorded is lost, nothing is double-counted.
+    let observer = {
+        let reg = std::sync::Arc::clone(&reg);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let snap = reg.snapshot();
+                let c = snap.counter("hits").unwrap();
+                assert!(c >= last, "counter went backwards: {last} -> {c}");
+                assert!(c <= (THREADS as u64) * PER_THREAD);
+                let h = snap.histogram("lat_us").unwrap();
+                assert!(h.count <= (THREADS as u64) * PER_THREAD);
+                assert!(h.buckets.iter().sum::<u64>() <= (THREADS as u64) * PER_THREAD);
+                last = c;
+            }
+        })
+    };
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    observer.join().unwrap();
+    // After the writers join, the snapshot is exact.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hits"), Some(THREADS as u64 * PER_THREAD));
+    assert_eq!(snap.gauge("level"), Some(0));
+    let h = snap.histogram("lat_us").unwrap();
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+}

@@ -148,6 +148,12 @@ impl<'p> Executor<'p> {
         ex
     }
 
+    /// Steps executed so far — the fuel drawn against
+    /// [`ExecConfig::step_budget`].
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
     /// Sets the entry invariant checked at summarized entry self-calls.
     pub fn set_entry(&mut self, entry: EntryInvariant) {
         self.entry = Some(entry);

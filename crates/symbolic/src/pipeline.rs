@@ -81,6 +81,83 @@ use std::time::{Duration, Instant};
 /// result domain assumed at summarized self-calls.
 pub type Signature = (Vec<SymDomain>, SymDomain);
 
+/// Observability hook for the planner: when armed with a registry, the
+/// hybrid pre-pass records per-define plan time (`plan.define_us`),
+/// per-ladder-rung attempt/discharge counters
+/// (`plan.rung.<any|nat|pos|signature>.{attempts,discharged}`), and
+/// symbolic-executor fuel (`plan.fuel_used`). The disabled default
+/// records nothing. Carried inside [`PlanConfig`], so it crosses worker
+/// threads with the config clone; excluded from the cache content key
+/// (`digest::hash_config` selects fields explicitly) because metrics
+/// wiring cannot change a decision.
+#[derive(Debug, Clone, Default)]
+pub struct PlanObs {
+    reg: Option<RegRef>,
+}
+
+/// Where an armed [`PlanObs`] records: the process-global registry or a
+/// shared per-server one.
+#[derive(Debug, Clone)]
+enum RegRef {
+    Global,
+    Shared(std::sync::Arc<sct_obs::Registry>),
+}
+
+impl PlanObs {
+    /// The inert hook: every record is a no-op.
+    pub fn disabled() -> PlanObs {
+        PlanObs::default()
+    }
+
+    /// A hook recording into a shared registry (a serve daemon's own).
+    pub fn registered(reg: std::sync::Arc<sct_obs::Registry>) -> PlanObs {
+        PlanObs {
+            reg: Some(RegRef::Shared(reg)),
+        }
+    }
+
+    /// A hook recording into [`sct_obs::Registry::global`] (CLI paths).
+    pub fn global_registry() -> PlanObs {
+        PlanObs {
+            reg: Some(RegRef::Global),
+        }
+    }
+
+    /// The registry this hook records into, when armed.
+    pub fn registry(&self) -> Option<&sct_obs::Registry> {
+        match &self.reg {
+            None => None,
+            Some(RegRef::Global) => Some(sct_obs::Registry::global()),
+            Some(RegRef::Shared(a)) => Some(a),
+        }
+    }
+
+    fn define_done(&self, micros: u64) {
+        if let Some(r) = self.registry() {
+            r.counter("plan.defines").inc();
+            r.histogram("plan.define_us").record(micros);
+        }
+    }
+
+    fn rung_attempt(&self, rung: &str) {
+        if let Some(r) = self.registry() {
+            r.counter(&format!("plan.rung.{rung}.attempts")).inc();
+        }
+    }
+
+    fn rung_discharged(&self, rung: &str) {
+        if let Some(r) = self.registry() {
+            r.counter(&format!("plan.rung.{rung}.discharged")).inc();
+        }
+    }
+
+    fn fuel(&self, steps: u64) {
+        if let Some(r) = self.registry() {
+            r.counter("plan.fuel_used").add(steps);
+        }
+    }
+}
+
 /// Configuration for [`plan_program`].
 #[derive(Debug, Clone)]
 pub struct PlanConfig {
@@ -122,6 +199,10 @@ pub struct PlanConfig {
     /// not pin one slow moment's pessimism. Excluded from the content key
     /// for the same reason (see `digest::hash_config`).
     pub deadline: Option<Instant>,
+    /// Metrics hook — [`PlanObs::disabled`] by default. Excluded from
+    /// the content key like `deadline`: observability wiring reflects
+    /// the host process, not program content.
+    pub obs: PlanObs,
 }
 
 impl Default for PlanConfig {
@@ -133,6 +214,7 @@ impl Default for PlanConfig {
             refute: true,
             signatures: HashMap::new(),
             deadline: None,
+            obs: PlanObs::disabled(),
         }
     }
 }
@@ -737,6 +819,9 @@ fn plan_function(
     };
     let finish = |mut d: FnDecision| -> FnDecision {
         d.micros = start.elapsed().as_micros();
+        config
+            .obs
+            .define_done(d.micros.min(u128::from(u64::MAX)) as u64);
         d
     };
 
@@ -790,6 +875,16 @@ fn plan_function(
             }
         }
         attempts += 1;
+        let rung = if config.signatures.contains_key(name) {
+            "signature"
+        } else {
+            match domains.first() {
+                Some(SymDomain::Nat) => "nat",
+                Some(SymDomain::Pos) => "pos",
+                _ => "any",
+            }
+        };
+        config.obs.rung_attempt(rung);
         let (attempt, exploration) = run_attempt(
             program,
             name,
@@ -800,8 +895,12 @@ fn plan_function(
             cache,
             names.clone(),
         );
+        if let Some(ex) = &exploration {
+            config.obs.fuel(ex.steps);
+        }
         match attempt {
             Attempt::Verified { detail } => {
+                config.obs.rung_discharged(rung);
                 let guard: Vec<PlanDomain> = domains.iter().map(|d| plan_domain(*d)).collect();
                 let unconditional = guard.iter().all(|g| *g == PlanDomain::Any);
                 let mut d = base;

@@ -99,6 +99,11 @@ pub struct Exploration {
     /// for [`verify_function`]'s §4 verdict, insufficient for the hybrid
     /// pipeline to skip run-time monitoring.
     pub opaque_calls: u64,
+    /// Symbolic-executor steps this exploration consumed — the *fuel*
+    /// drawn against the per-attempt step budget. The hybrid pre-pass
+    /// sums it into the `plan.fuel_used` metric so a `metrics` snapshot
+    /// shows where verification effort went.
+    pub steps: u64,
 }
 
 impl Exploration {
@@ -216,6 +221,7 @@ pub(crate) fn explore_with_names(
         graphs,
         names,
         opaque_calls: ex.opaque_applications,
+        steps: ex.steps(),
     })
 }
 

@@ -1,14 +1,14 @@
 //! `sct` — command-line front end for the termination-contract system.
 //!
 //! ```text
-//! sct run <file.sct>                       # standard semantics (λCSCT)
+//! sct run <file.sct> [--metrics]           # standard semantics (λCSCT)
 //! sct monitor <file.sct> [options]         # fully monitored (λSCT)
 //! sct hybrid <file.sct> [--plan] [--dump-ir] [options] # static pre-pass + residual monitor
 //! sct verify <file.sct> <function> [sig]   # static verification (§4)
 //! sct trace <file.sct>                     # monitored run + Figure-1 trace
 //! sct serve [--socket PATH] [--cache-dir DIR] [--threads N]
 //!           [--deadline-ms MS] [--max-queue N] [--max-inflight-per-client N]
-//!           [--faults SPEC]
+//!           [--faults SPEC] [--trace-out FILE]
 //! sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--out DIR]
 //! ```
 //!
@@ -19,6 +19,12 @@
 //!   --loop-entries                monitor loop entries only
 //!   --fuel N                      step budget
 //!   --cache-dir DIR               (hybrid) persistent plan cache
+//!   --metrics                     print the final `sct-obs` registry
+//!                                 snapshot as `; metric NAME VALUE`
+//!                                 lines after the answer (plan time,
+//!                                 ladder rungs, cache traffic, VM
+//!                                 counters; histogram counts only —
+//!                                 durations are nondeterministic)
 //!
 //! `hybrid` first plans the program: every `define` is run through the §4
 //! verifier (with a fuel budget); proved functions skip the monitor at run
@@ -35,16 +41,20 @@
 //! reuse.
 //!
 //! `serve` starts the long-running daemon: newline-delimited JSON
-//! requests (`plan`, `run`, `hybrid`, `stats`, `shutdown`) over stdio or
-//! a Unix socket, planning fanned out across a warm worker pool — see
-//! `sct_contracts::serve` for the wire protocol. `--deadline-ms` bounds
-//! each request's wall clock (planning past it degrades to monitored
-//! decisions; execution past it stops with a `deadline exceeded` error),
-//! `--max-queue` / `--max-inflight-per-client` shed excess load with
+//! requests (`plan`, `run`, `hybrid`, `stats`, `metrics`, `shutdown`)
+//! over stdio or a Unix socket, planning fanned out across a warm
+//! worker pool — see `sct_contracts::serve` for the wire protocol.
+//! `--deadline-ms` bounds each request's wall clock (planning past it
+//! degrades to monitored decisions; execution past it stops with a
+//! `deadline exceeded` error), `--max-queue` /
+//! `--max-inflight-per-client` shed excess load with
 //! `{"ok":false,"shed":true}` responses, and `--faults SPEC` (or the
 //! `SCT_FAULTS` env var) arms the deterministic fault-injection layer
 //! (`sct-faults`) for chaos testing, e.g.
-//! `--faults 'cache.store.write=enospc@500;seed=7'`.
+//! `--faults 'cache.store.write=enospc@500;seed=7'`. `--trace-out FILE`
+//! arms the structured tracer (`sct_obs::trace`): one JSONL event per
+//! request span start/end, appended to `FILE`; every response's
+//! `"trace"` field names its spans' trace id.
 //!
 //! `fuzz` runs the differential soundness campaign (`sct-fuzz`): `N`
 //! seeded cases with constructed termination oracles, each checked
@@ -62,12 +72,15 @@
 //! refutation, a runtime error, `not verified`; `2` usage or I/O — bad
 //! flags, unreadable files, compile errors, bind failures.
 
+use sct_cache::CacheObs;
 use sct_contracts::interp::{ExtendedOrder, OrderHandle, ReverseIntOrder};
 use sct_contracts::serve::{serve_stdio, serve_unix, ServeOptions, Server};
 use sct_contracts::{
     plan_program_incremental, refutation_error, BackoffPolicy, DiskCache, EvalError, Machine,
     MachineConfig, PlanCache, PlanConfig, SemanticsMode, SymDomain, TableStrategy, VerifyConfig,
 };
+use sct_obs::trace;
+use sct_symbolic::pipeline::PlanObs;
 use sct_symbolic::NullStore as SymNullStore;
 use std::process::ExitCode;
 use std::rc::Rc;
@@ -82,12 +95,12 @@ const EXIT_USAGE: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sct run <file>\n  sct monitor <file> [--strategy imperative|cm] \
+        "usage:\n  sct run <file> [--metrics]\n  sct monitor <file> [--strategy imperative|cm] \
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
-         sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [monitor options]\n  \
+         sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [--metrics] [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
          sct serve [--socket PATH] [--cache-dir DIR] [--threads N] [--deadline-ms MS] \
-         [--max-queue N] [--max-inflight-per-client N] [--faults SPEC]\n  \
+         [--max-queue N] [--max-inflight-per-client N] [--faults SPEC] [--trace-out FILE]\n  \
          sct fuzz [--seed S] [--cases N] [--budget-ms B] [--no-minimize] [--verbose] [--out DIR]"
     );
     ExitCode::from(EXIT_USAGE)
@@ -103,6 +116,7 @@ struct Options {
     dump_ir: bool,
     custom_order: bool,
     cache_dir: Option<String>,
+    metrics: bool,
 }
 
 impl Options {
@@ -117,6 +131,7 @@ impl Options {
             dump_ir: false,
             custom_order: false,
             cache_dir: None,
+            metrics: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -162,6 +177,7 @@ impl Options {
                 "--cache-dir" => {
                     o.cache_dir = Some(it.next().ok_or("missing --cache-dir value")?.clone())
                 }
+                "--metrics" => o.metrics = true,
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -211,10 +227,35 @@ fn report(result: Result<sct_contracts::Value, EvalError>, output: &str) -> Exit
     }
 }
 
+/// Prints the process-global [`sct_obs::Registry`] snapshot as
+/// `; metric NAME VALUE` lines on stderr, one per counter and gauge (in
+/// name order — the snapshot is sorted), plus each histogram's
+/// observation count as `NAME.count`. Histogram durations are elapsed
+/// wall-clock and vary run to run, so only the deterministic count is
+/// printed — the smoke tests replay these lines verbatim.
+fn print_metrics() {
+    let snap = sct_obs::Registry::global().snapshot();
+    for (name, v) in &snap.counters {
+        eprintln!("; metric {name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        eprintln!("; metric {name} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        eprintln!("; metric {name}.count {}", h.count);
+    }
+}
+
 /// Runs the machine and prints the shared `; applications=… …` counter
 /// line (with the hybrid-only `static-skips` column when a plan is
-/// active), then reports the result.
-fn run_and_report(program: &sct_contracts::lang::ast::Program, config: MachineConfig) -> ExitCode {
+/// active), then reports the result. With `metrics`, the machine's
+/// statistics are published to the process-global registry and the
+/// whole snapshot is printed after the counter lines.
+fn run_and_report(
+    program: &sct_contracts::lang::ast::Program,
+    config: MachineConfig,
+    metrics: bool,
+) -> ExitCode {
     let hybrid = config.plan.is_some();
     let trace = config.trace;
     let mut m = Machine::new(program, config);
@@ -253,7 +294,12 @@ fn run_and_report(program: &sct_contracts::lang::ast::Program, config: MachineCo
         );
     }
     let out = m.output.clone();
-    report(r, &out)
+    let code = report(r, &out);
+    if metrics {
+        m.stats.publish(sct_obs::Registry::global());
+        print_metrics();
+    }
+    code
 }
 
 fn serve_cmd(rest: &[String]) -> ExitCode {
@@ -316,6 +362,18 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
                     return usage();
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(path) => {
+                    if let Err(e) = trace::to_file(std::path::Path::new(path)) {
+                        eprintln!("cannot open trace file {path}: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+                None => {
+                    eprintln!("missing --trace-out value");
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return usage();
@@ -343,6 +401,15 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
         Some(path) => serve_unix(Arc::new(server), std::path::Path::new(&path)),
         None => serve_stdio(&server),
     };
+    // Drain the trace sink's buffer before exiting — a bounded buffer
+    // holds up to 32 KiB of events that have not hit the file yet.
+    trace::flush();
+    if trace::dropped() > 0 {
+        eprintln!(
+            "sct serve: {} trace events dropped (sink write failures)",
+            trace::dropped()
+        );
+    }
     match served {
         Ok(()) => ExitCode::from(EXIT_OK),
         Err(e) => {
@@ -466,10 +533,25 @@ fn main() -> ExitCode {
 
     match cmd {
         "run" => {
+            let mut metrics = false;
+            for a in &rest[1..] {
+                match a.as_str() {
+                    "--metrics" => metrics = true,
+                    other => {
+                        eprintln!("unknown option {other}");
+                        return usage();
+                    }
+                }
+            }
             let mut m = Machine::new(&program, MachineConfig::standard());
             let r = m.run();
             let out = m.output.clone();
-            report(r, &out)
+            let code = report(r, &out);
+            if metrics {
+                m.stats.publish(sct_obs::Registry::global());
+                print_metrics();
+            }
+            code
         }
         "monitor" | "trace" | "hybrid" => {
             let opts = match Options::parse(&rest[1..]) {
@@ -492,7 +574,7 @@ fn main() -> ExitCode {
                     eprintln!("--cache-dir is only valid with `sct hybrid` and `sct serve`");
                     return usage();
                 }
-                return run_and_report(&program, opts.machine_config(cmd == "trace"));
+                return run_and_report(&program, opts.machine_config(cmd == "trace"), opts.metrics);
             }
 
             // Eager refutation presumes the default order of Figure 5; a
@@ -500,6 +582,14 @@ fn main() -> ExitCode {
             // rejects, so only the proof side of the plan is kept then.
             let plan_config = PlanConfig {
                 refute: !opts.custom_order,
+                // `--metrics` routes planner observability (plan time,
+                // ladder rungs, fuel) into the global registry the final
+                // snapshot prints from.
+                obs: if opts.metrics {
+                    PlanObs::global_registry()
+                } else {
+                    PlanObs::disabled()
+                },
                 ..PlanConfig::default()
             };
             let mut disk;
@@ -507,7 +597,11 @@ fn main() -> ExitCode {
             let store: &mut dyn sct_symbolic::DecisionStore = match &opts.cache_dir {
                 Some(dir) => match DiskCache::open(dir) {
                     Ok(c) => {
-                        disk = c;
+                        disk = if opts.metrics {
+                            c.with_obs(CacheObs::register(sct_obs::Registry::global()))
+                        } else {
+                            c
+                        };
                         &mut disk
                     }
                     Err(e) => {
@@ -543,7 +637,7 @@ fn main() -> ExitCode {
             }
             let mut config = opts.machine_config(false);
             config.plan = Some(Rc::new(plan));
-            run_and_report(&program, config)
+            run_and_report(&program, config, opts.metrics)
         }
         "verify" => {
             let Some(function) = rest.get(1) else {

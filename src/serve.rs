@@ -29,6 +29,7 @@
 //! {"op":"run",    "source":"…", "fuel":100000}
 //! {"op":"hybrid", "source":"…"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -57,9 +58,24 @@
 //! * `stats` → request counters, aggregate cache traffic
 //!   ([`sct_cache::CacheStats`]), the aggregate plan effect
 //!   (`"plan":{"static_skips":…,"monitored_calls":…}` summed over every
-//!   execution served), worker count, uptime.
+//!   execution served), worker count, uptime, and per-op latency
+//!   summaries (`"latency":{"plan":{"count":…,"p50_us":…,…},…}`).
+//! * `metrics` → `{"ok":true,"op":"metrics","metrics":<sct-obs
+//!   snapshot>}` — the server's full [`sct_obs::Registry`] snapshot:
+//!   every `serve.*`, `cache.*`, `plan.*`, and `vm.*` counter, gauge,
+//!   and histogram, coherent at one point in time. With
+//!   `"format":"prometheus"` the snapshot arrives instead as
+//!   Prometheus-style exposition text under `"text"`. The `stats` op
+//!   and the `metrics` op read the *same* atomics, so their counts
+//!   always reconcile.
 //! * `shutdown` → `{"ok":true,"op":"shutdown"}`, then the daemon exits
 //!   (stdio: the loop returns; socket: the process terminates).
+//!
+//! Every response also carries `"trace"`: the 16-hex-digit trace id of
+//! the request's root span. With `--trace-out FILE` the daemon appends
+//! one JSONL event per span start/end (and per notable event — shed
+//! decisions, monitor blame with the call-sequence witness) to `FILE`;
+//! the echoed id is the join key between a response and its spans.
 //!
 //! Malformed lines never kill the connection: they produce
 //! `{"ok":false,"error":…}` and the daemon keeps reading.
@@ -116,16 +132,17 @@
 //! assert!(out.contains("\"value\":\"3\""), "{out}");
 //! ```
 
-use sct_cache::{CacheStats, DiskCache, MemStore};
+use sct_cache::{CacheObs, CacheStats, DiskCache, MemStore};
 use sct_core::json::{parse, Json};
 use sct_core::monitor::TableStrategy;
 use sct_core::plan::{Decision, EnforcementPlan, FnDecision};
 use sct_interp::{EvalError, Machine, MachineConfig, SemanticsMode, Stats};
 use sct_ir::CompiledProgram;
 use sct_lang::ast::{Program, TopForm};
+use sct_obs::{trace, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use sct_symbolic::pipeline::{
     monitor_fallback_decisions, plan_program_subset, DecisionStore, IncrementalStats, PlanCache,
-    PlanConfig, DEADLINE_REASON,
+    PlanConfig, PlanObs, DEADLINE_REASON,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
@@ -136,7 +153,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -292,8 +309,33 @@ struct PoolShared {
     store: Arc<Mutex<StoreKind>>,
     jobs_rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     /// Worker threads respawned after dying mid-job (surfaced in
-    /// `stats` as `worker_restarts`).
-    restarts: AtomicU64,
+    /// `stats` as `worker_restarts` — the handle is the server's
+    /// `serve.worker_restarts` registry counter).
+    restarts: Counter,
+    /// Death notes: one message per worker that dies mid-job, sent
+    /// during its unwind *before* the job's reply sender drops. That
+    /// ordering is the supervision guarantee — by the time any client
+    /// observes a `worker died` disconnect, the note is already queued,
+    /// so the next [`PlanPool::ensure_workers`] respawns
+    /// deterministically instead of racing `JoinHandle::is_finished`
+    /// against the tail of the unwind.
+    deaths_tx: mpsc::Sender<()>,
+}
+
+/// Armed while a worker holds a job: its `Drop` runs during an unwind
+/// and files the death note. Defused after the reply is sent, so normal
+/// completion (and clean shutdown) files nothing.
+struct DeathNote {
+    tx: mpsc::Sender<()>,
+    armed: bool,
+}
+
+impl Drop for DeathNote {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send(());
+        }
+    }
 }
 
 /// One worker's receive-plan-reply loop.
@@ -308,6 +350,12 @@ fn worker_body(shared: &PoolShared) {
             guard.recv()
         };
         let Ok(job) = job else { return };
+        // Declared after `job` so the unwind drops it *first*: the death
+        // note reaches the supervisor before the reply sender disconnects.
+        let mut note = DeathNote {
+            tx: shared.deaths_tx.clone(),
+            armed: true,
+        };
         // Fault-injection site *outside* the recovery guard: a `panic`
         // action here kills the whole worker thread while it holds the
         // job, dropping the reply sender — the exact shape supervision
@@ -335,6 +383,7 @@ fn worker_body(shared: &PoolShared) {
         });
         // A gone receiver just means the client hung up.
         let _ = job.reply.send(result);
+        note.armed = false;
     }
 }
 
@@ -343,6 +392,32 @@ fn spawn_worker(label: u64, shared: Arc<PoolShared>) -> thread::JoinHandle<()> {
         .name(format!("sct-plan-{label}"))
         .spawn(move || worker_body(&shared))
         .expect("spawning plan worker")
+}
+
+/// RAII debt against the `serve.queue_depth` gauge: one unit per job a
+/// request has dispatched and not yet collected. Drop settles whatever
+/// is still outstanding, so every exit path — success, worker death,
+/// deadline fabrication — restores the gauge.
+struct QueueDebt<'a> {
+    gauge: &'a Gauge,
+    outstanding: i64,
+}
+
+impl QueueDebt<'_> {
+    fn incur(&mut self) {
+        self.gauge.inc();
+        self.outstanding += 1;
+    }
+    fn settle(&mut self) {
+        self.gauge.dec();
+        self.outstanding -= 1;
+    }
+}
+
+impl Drop for QueueDebt<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-self.outstanding);
+    }
 }
 
 /// What [`PlanPool::plan`] produced for one request.
@@ -361,15 +436,27 @@ struct PlanPool {
     threads: usize,
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Receives one note per worker death (see [`PoolShared::deaths_tx`]).
+    deaths_rx: Mutex<mpsc::Receiver<()>>,
+    /// `serve.queue_depth`: planning jobs dispatched to the pool and not
+    /// yet answered (or fabricated past their deadline).
+    queue_depth: Gauge,
 }
 
 impl PlanPool {
-    fn new(threads: usize, store: Arc<Mutex<StoreKind>>) -> PlanPool {
+    fn new(
+        threads: usize,
+        store: Arc<Mutex<StoreKind>>,
+        restarts: Counter,
+        queue_depth: Gauge,
+    ) -> PlanPool {
         let (tx, rx) = mpsc::channel::<Job>();
+        let (deaths_tx, deaths_rx) = mpsc::channel::<()>();
         let shared = Arc::new(PoolShared {
             store,
             jobs_rx: Arc::new(Mutex::new(rx)),
-            restarts: AtomicU64::new(0),
+            restarts,
+            deaths_tx,
         });
         let workers = (0..threads)
             .map(|i| spawn_worker(i as u64, Arc::clone(&shared)))
@@ -379,30 +466,45 @@ impl PlanPool {
             threads,
             shared,
             workers: Mutex::new(workers),
+            deaths_rx: Mutex::new(deaths_rx),
+            queue_depth,
         }
     }
 
     /// Lifetime count of worker respawns.
     fn restarts(&self) -> u64 {
-        self.shared.restarts.load(Ordering::Relaxed)
+        self.shared.restarts.get()
     }
 
-    /// Supervision: reap dead workers and respawn replacements, keeping
-    /// the pool at its configured width. Called before every dispatch,
-    /// so a crashed worker costs at most the one request that was on it.
+    /// Supervision: respawn a replacement per filed death note and reap
+    /// finished handles, keeping the pool at its configured width.
+    /// Called before every dispatch, so a crashed worker costs at most
+    /// the one request that was on it. Counting from the notes (not
+    /// from `is_finished`) makes `worker_restarts` deterministic: the
+    /// note is queued before the dying worker's reply disconnect is
+    /// observable, while the thread itself may still be unwinding.
     fn ensure_workers(&self) {
         let mut workers = lock_or_recover(&self.workers);
+        loop {
+            let death = lock_or_recover(&self.deaths_rx).try_recv();
+            if death.is_err() {
+                break;
+            }
+            self.shared.restarts.inc();
+            let n = self.shared.restarts.get();
+            eprintln!("sct serve: plan worker died; respawning (restart #{n})");
+            workers.push(spawn_worker(
+                self.threads as u64 + n,
+                Arc::clone(&self.shared),
+            ));
+        }
+        // The dead thread may lag its note while the panic unwinds;
+        // sweep whatever has finished by now (the rest on a later call).
         let mut i = 0;
         while i < workers.len() {
             if workers[i].is_finished() {
                 let dead = workers.swap_remove(i);
                 let _ = dead.join();
-                let n = self.shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!("sct serve: plan worker died; respawning (restart #{n})");
-                workers.push(spawn_worker(
-                    self.threads as u64 + n,
-                    Arc::clone(&self.shared),
-                ));
             } else {
                 i += 1;
             }
@@ -449,6 +551,10 @@ impl PlanPool {
         let source: Arc<str> = Arc::from(source);
         let (reply_tx, reply_rx) = mpsc::channel();
         let mut sent = 0usize;
+        let mut debt = QueueDebt {
+            gauge: &self.queue_depth,
+            outstanding: 0,
+        };
         for chunk in chunks.into_iter().filter(|c| !c.is_empty()) {
             self.jobs
                 .send(Job {
@@ -458,6 +564,7 @@ impl PlanPool {
                     reply: reply_tx.clone(),
                 })
                 .map_err(|_| "planning pool is gone".to_string())?;
+            debt.incur();
             sent += 1;
         }
         drop(reply_tx);
@@ -480,6 +587,7 @@ impl PlanPool {
             match reply_rx.recv_timeout(timeout) {
                 Ok(Ok(slice)) => {
                     all.extend(slice);
+                    debt.settle();
                     received += 1;
                 }
                 Ok(Err(e)) => return Err(e),
@@ -541,27 +649,93 @@ impl PlanPool {
     }
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    plan: u64,
-    run: u64,
-    hybrid: u64,
-    stats: u64,
-    errors: u64,
+/// The daemon's metric handles, registered once at construction on the
+/// server's **own** [`Registry`] (never the process-global one: the test
+/// suite runs many servers in one process, and their counts must not
+/// bleed into each other). Every former `Counters` field is now a
+/// lock-free atomic; the `stats` op and the `metrics` op read the *same*
+/// atomics, so their numbers reconcile exactly by construction.
+struct ServerMetrics {
+    /// The server's registry — also handed to the cache ([`CacheObs`])
+    /// and the planner ([`PlanObs`]), and published to by the VM after
+    /// each execution, so one snapshot covers every layer.
+    registry: Arc<Registry>,
+    plan: Counter,
+    run: Counter,
+    hybrid: Counter,
+    stats: Counter,
+    metrics: Counter,
+    errors: Counter,
     /// Requests refused at admission (queue or per-client bound).
-    shed: u64,
+    shed: Counter,
     /// Requests whose deadline fired — a degraded plan or a stopped run.
-    deadline_exceeded: u64,
+    deadline_exceeded: Counter,
     /// Aggregate run-time plan effect across every `run`/`hybrid`
     /// execution this daemon served: calls the static proofs absorbed vs.
     /// calls the residual monitor still guarded.
-    static_skips: u64,
-    monitored_calls: u64,
+    static_skips: Counter,
+    monitored_calls: Counter,
     /// Aggregate polymorphic-inline-cache traffic on generic call sites
     /// across every `run`/`hybrid` execution.
-    pic_hits: u64,
-    pic_misses: u64,
-    pic_invalidations: u64,
+    pic_hits: Counter,
+    pic_misses: Counter,
+    pic_invalidations: Counter,
+    /// Lifetime planning-worker respawns (shared with the pool).
+    worker_restarts: Counter,
+    /// Expensive requests currently admitted (mirrors the admission
+    /// control's own atomic).
+    inflight: Gauge,
+    /// Planning jobs currently queued or running in the worker pool.
+    queue_depth: Gauge,
+    /// Per-op request latency, microseconds, whole-request (parse to
+    /// response).
+    latency_plan: Histogram,
+    latency_run: Histogram,
+    latency_hybrid: Histogram,
+    latency_stats: Histogram,
+    latency_metrics: Histogram,
+}
+
+impl ServerMetrics {
+    fn register(registry: Arc<Registry>) -> ServerMetrics {
+        ServerMetrics {
+            plan: registry.counter("serve.requests.plan"),
+            run: registry.counter("serve.requests.run"),
+            hybrid: registry.counter("serve.requests.hybrid"),
+            stats: registry.counter("serve.requests.stats"),
+            metrics: registry.counter("serve.requests.metrics"),
+            errors: registry.counter("serve.errors"),
+            shed: registry.counter("serve.shed"),
+            deadline_exceeded: registry.counter("serve.deadline_exceeded"),
+            static_skips: registry.counter("serve.static_skips"),
+            monitored_calls: registry.counter("serve.monitored_calls"),
+            pic_hits: registry.counter("serve.pic_hits"),
+            pic_misses: registry.counter("serve.pic_misses"),
+            pic_invalidations: registry.counter("serve.pic_invalidations"),
+            worker_restarts: registry.counter("serve.worker_restarts"),
+            inflight: registry.gauge("serve.inflight"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            latency_plan: registry.histogram("serve.latency.plan_us"),
+            latency_run: registry.histogram("serve.latency.run_us"),
+            latency_hybrid: registry.histogram("serve.latency.hybrid_us"),
+            latency_stats: registry.histogram("serve.latency.stats_us"),
+            latency_metrics: registry.histogram("serve.latency.metrics_us"),
+            registry,
+        }
+    }
+
+    /// The latency histogram for a known op (`None` for `shutdown`,
+    /// unknown ops, and unparseable lines).
+    fn latency_for(&self, op: &str) -> Option<&Histogram> {
+        match op {
+            "plan" => Some(&self.latency_plan),
+            "run" => Some(&self.latency_run),
+            "hybrid" => Some(&self.latency_hybrid),
+            "stats" => Some(&self.latency_stats),
+            "metrics" => Some(&self.latency_metrics),
+            _ => None,
+        }
+    }
 }
 
 /// How many of `plan`'s decisions were degraded to `Monitor` by a
@@ -638,13 +812,13 @@ fn compiled_for(
     })
 }
 
-/// The daemon state: worker pool, shared decision store, counters. One
+/// The daemon state: worker pool, shared decision store, metrics. One
 /// `Server` serves any number of sequential or concurrent clients; see
 /// the module docs for the protocol.
 pub struct Server {
     pool: PlanPool,
     store: Arc<Mutex<StoreKind>>,
-    counters: Mutex<Counters>,
+    metrics: ServerMetrics,
     cache_dir: Option<PathBuf>,
     deadline_ms: Option<u64>,
     max_queue: usize,
@@ -668,6 +842,7 @@ struct Admitted<'a> {
 impl Drop for Admitted<'_> {
     fn drop(&mut self) {
         self.server.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.server.metrics.inflight.dec();
         let mut per = lock_or_recover(&self.server.per_client);
         match per.get_mut(&self.client) {
             Some(n) if *n > 1 => *n -= 1,
@@ -696,9 +871,16 @@ impl Server {
     ///
     /// Propagates the I/O error when `cache_dir` cannot be created.
     pub fn new(options: ServeOptions) -> io::Result<Server> {
+        // The server's own registry — every layer below (cache, planner,
+        // VM publishes) reports into it, so one `metrics` snapshot covers
+        // the whole daemon, and `stats` reads the same atomics.
+        let registry = Arc::new(Registry::new());
+        let metrics = ServerMetrics::register(Arc::clone(&registry));
         let store = match &options.cache_dir {
-            Some(dir) => StoreKind::Disk(DiskCache::open(dir)?),
-            None => StoreKind::Mem(MemStore::new()),
+            Some(dir) => {
+                StoreKind::Disk(DiskCache::open(dir)?.with_obs(CacheObs::register(&registry)))
+            }
+            None => StoreKind::Mem(MemStore::new().with_obs(CacheObs::register(&registry))),
         };
         let store = Arc::new(Mutex::new(store));
         let threads = if options.threads == 0 {
@@ -707,9 +889,14 @@ impl Server {
             options.threads
         };
         Ok(Server {
-            pool: PlanPool::new(threads, Arc::clone(&store)),
+            pool: PlanPool::new(
+                threads,
+                Arc::clone(&store),
+                metrics.worker_restarts.clone(),
+                metrics.queue_depth.clone(),
+            ),
             store,
-            counters: Mutex::new(Counters::default()),
+            metrics,
             cache_dir: options.cache_dir,
             deadline_ms: options.deadline_ms,
             max_queue: options.max_queue,
@@ -747,6 +934,7 @@ impl Server {
         }
         *per.entry(client.to_string()).or_insert(0) += 1;
         self.inflight.fetch_add(1, Ordering::SeqCst);
+        self.metrics.inflight.inc();
         Ok(Admitted {
             server: self,
             client: client.to_string(),
@@ -787,7 +975,7 @@ impl Server {
         let (response, quit) = match parse(line) {
             Ok(req) => self.dispatch(&req, client),
             Err(e) => {
-                lock_or_recover(&self.counters).errors += 1;
+                self.metrics.errors.inc();
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(false)),
@@ -809,6 +997,11 @@ impl Server {
     fn dispatch(&self, req: &Json, client: &str) -> (Json, bool) {
         let op = req.get("op").and_then(Json::as_str).unwrap_or("");
         let id = req.get("id").cloned();
+        let started = Instant::now();
+        // One root span per request. Ids are always allocated (the trace
+        // id is echoed in the response either way); events only reach the
+        // sink when `--trace-out` armed it.
+        let span = trace::Span::root("serve.request", &[("op", op), ("client", client)]);
         let mut quit = false;
         let mut members: Vec<(String, Json)> = Vec::new();
         match op {
@@ -818,22 +1011,20 @@ impl Server {
                 let bucket = req.get("client").and_then(Json::as_str).unwrap_or(client);
                 match self.admit(bucket) {
                     Ok(_slot) => {
-                        {
-                            let mut c = lock_or_recover(&self.counters);
-                            match op {
-                                "plan" => c.plan += 1,
-                                "run" => c.run += 1,
-                                _ => c.hybrid += 1,
-                            }
+                        match op {
+                            "plan" => self.metrics.plan.inc(),
+                            "run" => self.metrics.run.inc(),
+                            _ => self.metrics.hybrid.inc(),
                         }
                         members = match op {
-                            "plan" => self.op_plan(req),
-                            "run" => self.op_run(req, false),
-                            _ => self.op_run(req, true),
+                            "plan" => self.op_plan(req, &span),
+                            "run" => self.op_run(req, false, &span),
+                            _ => self.op_run(req, true, &span),
                         };
                     }
                     Err(reason) => {
-                        lock_or_recover(&self.counters).shed += 1;
+                        self.metrics.shed.inc();
+                        span.event("shed", &[("reason", &reason)]);
                         members.push(("ok".into(), Json::Bool(false)));
                         members.push(("error".into(), Json::str(reason)));
                         members.push(("shed".into(), Json::Bool(true)));
@@ -841,8 +1032,12 @@ impl Server {
                 }
             }
             "stats" => {
-                lock_or_recover(&self.counters).stats += 1;
+                self.metrics.stats.inc();
                 members = self.op_stats();
+            }
+            "metrics" => {
+                self.metrics.metrics.inc();
+                members = self.op_metrics(req);
             }
             "shutdown" => {
                 self.quitting.store(true, Ordering::SeqCst);
@@ -850,12 +1045,12 @@ impl Server {
                 quit = true;
             }
             other => {
-                lock_or_recover(&self.counters).errors += 1;
+                self.metrics.errors.inc();
                 members.push(("ok".into(), Json::Bool(false)));
                 members.push((
                     "error".into(),
                     Json::str(format!(
-                        "unknown op {other:?} (expected plan|run|hybrid|stats|shutdown)"
+                        "unknown op {other:?} (expected plan|run|hybrid|stats|metrics|shutdown)"
                     )),
                 ));
             }
@@ -872,8 +1067,14 @@ impl Server {
             full.push(("id".into(), id));
         }
         full.extend(members);
+        // Per-request correlation: the response always names its trace id
+        // so a client can find this request's spans in the JSONL sink.
+        full.push(("trace".into(), Json::str(span.trace_hex())));
         // Normalize: "ok" first for human eyeballs on the wire.
         full.sort_by_key(|(k, _)| k != "ok");
+        if let Some(h) = self.metrics.latency_for(op) {
+            h.record_elapsed_us(started);
+        }
         (Json::Obj(full), quit)
     }
 
@@ -884,6 +1085,7 @@ impl Server {
             .ok_or("missing \"source\"")?;
         let config = PlanConfig {
             deadline,
+            obs: PlanObs::registered(Arc::clone(&self.metrics.registry)),
             ..PlanConfig::default()
         };
         self.pool.plan(source, &config)
@@ -894,13 +1096,16 @@ impl Server {
     fn note_degraded(&self, plan: &EnforcementPlan) -> usize {
         let degraded = degraded_count(plan);
         if degraded > 0 {
-            lock_or_recover(&self.counters).deadline_exceeded += 1;
+            self.metrics.deadline_exceeded.inc();
         }
         degraded
     }
 
-    fn op_plan(&self, req: &Json) -> Vec<(String, Json)> {
-        match self.plan_source(req, self.request_deadline(req)) {
+    fn op_plan(&self, req: &Json, span: &trace::Span) -> Vec<(String, Json)> {
+        let plan_span = span.child("plan", &[]);
+        let planned = self.plan_source(req, self.request_deadline(req));
+        drop(plan_span);
+        match planned {
             Ok(planned) => {
                 let degraded = self.note_degraded(&planned.plan);
                 let plan_doc = parse(&planned.plan.to_json()).expect("plan JSON is well-formed");
@@ -918,7 +1123,7 @@ impl Server {
 
     /// `run` (standard semantics) and `hybrid` (plan + monitored run with
     /// the static fast path) share everything but the planning step.
-    fn op_run(&self, req: &Json, hybrid: bool) -> Vec<(String, Json)> {
+    fn op_run(&self, req: &Json, hybrid: bool, span: &trace::Span) -> Vec<(String, Json)> {
         let Some(source) = req.get("source").and_then(Json::as_str) else {
             return fail("missing \"source\"");
         };
@@ -930,7 +1135,10 @@ impl Server {
         // compiles here. Either way the program is compiled exactly once
         // per request on the request thread.
         let (program, planned) = if hybrid {
-            match self.plan_source(req, deadline) {
+            let plan_span = span.child("plan", &[]);
+            let planned = self.plan_source(req, deadline);
+            drop(plan_span);
+            match planned {
                 Ok(planned) => {
                     self.note_degraded(&planned.plan);
                     (planned.program, Some((planned.plan, planned.stats)))
@@ -989,18 +1197,25 @@ impl Server {
         };
         let (code, ir_cached) = compiled_for(source, &program, config.plan.as_deref());
         let mut machine = Machine::with_code(&program, code, config);
+        let exec_span = span.child("execute", &[]);
         let result = machine.run();
-        {
-            let mut c = lock_or_recover(&self.counters);
-            c.static_skips += machine.stats.static_skips;
-            c.monitored_calls += machine.stats.monitored_calls;
-            c.pic_hits += machine.stats.pic_hits;
-            c.pic_misses += machine.stats.pic_misses;
-            c.pic_invalidations += machine.stats.pic_invalidations;
-            if matches!(result, Err(EvalError::Deadline)) {
-                c.deadline_exceeded += 1;
-            }
+        drop(exec_span);
+        self.metrics.static_skips.add(machine.stats.static_skips);
+        self.metrics
+            .monitored_calls
+            .add(machine.stats.monitored_calls);
+        self.metrics.pic_hits.add(machine.stats.pic_hits);
+        self.metrics.pic_misses.add(machine.stats.pic_misses);
+        self.metrics
+            .pic_invalidations
+            .add(machine.stats.pic_invalidations);
+        if matches!(result, Err(EvalError::Deadline)) {
+            self.metrics.deadline_exceeded.inc();
         }
+        // The full per-run VM statistics land in the registry too, so a
+        // `metrics` snapshot shows aggregate `vm.*` across every
+        // execution this daemon served.
+        machine.stats.publish(&self.metrics.registry);
         let mut out: Vec<(String, Json)> = Vec::new();
         match result {
             Ok(v) => {
@@ -1012,6 +1227,18 @@ impl Server {
                     EvalError::Sc(info) => info.blame.clone(),
                     _ => None,
                 };
+                if let EvalError::Sc(info) = &e {
+                    // The monitor's verdict as a trace event, carrying the
+                    // call-sequence witness that convicted the function.
+                    span.event(
+                        "monitor.blame",
+                        &[
+                            ("function", &info.function),
+                            ("blame", blame.as_deref().unwrap_or("whole-program")),
+                            ("witness", &info.violation.to_string()),
+                        ],
+                    );
+                }
                 out.push(("ok".into(), Json::Bool(false)));
                 out.push(("error".into(), Json::str(e.to_string())));
                 out.push(("blame".into(), opt_str(blame.as_deref())));
@@ -1029,23 +1256,22 @@ impl Server {
     }
 
     fn op_stats(&self) -> Vec<(String, Json)> {
-        let c = lock_or_recover(&self.counters);
+        let m = &self.metrics;
         let traffic = lock_or_recover(&self.store).traffic();
+        let ci = |c: &Counter| Json::Int(c.get().min(i64::MAX as u64) as i64);
         vec![
             ("ok".into(), Json::Bool(true)),
             (
                 "requests".into(),
                 Json::Obj(vec![
-                    ("plan".into(), Json::Int(c.plan as i64)),
-                    ("run".into(), Json::Int(c.run as i64)),
-                    ("hybrid".into(), Json::Int(c.hybrid as i64)),
-                    ("stats".into(), Json::Int(c.stats as i64)),
-                    ("errors".into(), Json::Int(c.errors as i64)),
-                    ("shed".into(), Json::Int(c.shed as i64)),
-                    (
-                        "deadline_exceeded".into(),
-                        Json::Int(c.deadline_exceeded as i64),
-                    ),
+                    ("plan".into(), ci(&m.plan)),
+                    ("run".into(), ci(&m.run)),
+                    ("hybrid".into(), ci(&m.hybrid)),
+                    ("stats".into(), ci(&m.stats)),
+                    ("metrics".into(), ci(&m.metrics)),
+                    ("errors".into(), ci(&m.errors)),
+                    ("shed".into(), ci(&m.shed)),
+                    ("deadline_exceeded".into(), ci(&m.deadline_exceeded)),
                 ]),
             ),
             (
@@ -1063,11 +1289,8 @@ impl Server {
                 // `; plan: S static skips, M monitored calls` line.
                 "plan".into(),
                 Json::Obj(vec![
-                    ("static_skips".into(), Json::Int(c.static_skips as i64)),
-                    (
-                        "monitored_calls".into(),
-                        Json::Int(c.monitored_calls as i64),
-                    ),
+                    ("static_skips".into(), ci(&m.static_skips)),
+                    ("monitored_calls".into(), ci(&m.monitored_calls)),
                 ]),
             ),
             (
@@ -1075,12 +1298,9 @@ impl Server {
                 // `; pic: H hits, M misses, I invalidations` line.
                 "pic".into(),
                 Json::Obj(vec![
-                    ("hits".into(), Json::Int(c.pic_hits as i64)),
-                    ("misses".into(), Json::Int(c.pic_misses as i64)),
-                    (
-                        "invalidations".into(),
-                        Json::Int(c.pic_invalidations as i64),
-                    ),
+                    ("hits".into(), ci(&m.pic_hits)),
+                    ("misses".into(), ci(&m.pic_misses)),
+                    ("invalidations".into(), ci(&m.pic_invalidations)),
                 ]),
             ),
             (
@@ -1096,7 +1316,45 @@ impl Server {
                 "uptime_ms".into(),
                 Json::Int(self.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
             ),
+            (
+                // Per-op request latency summaries from the same
+                // histograms the `metrics` op exposes in full.
+                "latency".into(),
+                Json::Obj(
+                    [
+                        ("plan", &m.latency_plan),
+                        ("run", &m.latency_run),
+                        ("hybrid", &m.latency_hybrid),
+                        ("stats", &m.latency_stats),
+                        ("metrics", &m.latency_metrics),
+                    ]
+                    .into_iter()
+                    .map(|(op, h)| (op.to_string(), latency_json(&h.snapshot())))
+                    .collect(),
+                ),
+            ),
         ]
+    }
+
+    /// The `metrics` op: a coherent point-in-time snapshot of the
+    /// server's whole registry — every counter, gauge, and histogram
+    /// across serve, cache, planner, and VM — as the `sct-obs` JSON
+    /// document, or as Prometheus-style text when the request carries
+    /// `"format":"prometheus"`.
+    fn op_metrics(&self, req: &Json) -> Vec<(String, Json)> {
+        let snap = self.metrics.registry.snapshot();
+        let mut out = vec![("ok".into(), Json::Bool(true))];
+        match req.get("format").and_then(Json::as_str) {
+            Some("prometheus") => {
+                out.push(("format".into(), Json::str("prometheus")));
+                out.push(("text".into(), Json::str(snap.to_prometheus())));
+            }
+            _ => {
+                let doc = parse(&snap.to_json()).expect("snapshot JSON is well-formed");
+                out.push(("metrics".into(), doc));
+            }
+        }
+        out
     }
 }
 
@@ -1112,6 +1370,21 @@ fn opt_str(s: Option<&str>) -> Json {
         Some(s) => Json::str(s),
         None => Json::Null,
     }
+}
+
+/// `{count, p50_us, p90_us, p99_us}` for one latency histogram; the
+/// quantile keys are omitted while the histogram is empty.
+fn latency_json(snap: &HistogramSnapshot) -> Json {
+    let mut members = vec![(
+        "count".into(),
+        Json::Int(snap.count.min(i64::MAX as u64) as i64),
+    )];
+    for (key, q) in [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)] {
+        if let Some(v) = snap.quantile(q) {
+            members.push((key.into(), Json::Int(v.min(i64::MAX as u64) as i64)));
+        }
+    }
+    Json::Obj(members)
 }
 
 fn cache_json(stats: &IncrementalStats) -> Json {
@@ -1306,7 +1579,7 @@ pub fn serve_unix(server: Arc<Server>, path: &std::path::Path) -> io::Result<()>
             if clients[i].0.is_finished() {
                 let (handle, _) = clients.swap_remove(i);
                 if handle.join().is_err() {
-                    lock_or_recover(&server.counters).errors += 1;
+                    server.metrics.errors.inc();
                     eprintln!("sct serve: client thread panicked; connection dropped");
                 }
             } else {
@@ -1675,5 +1948,103 @@ mod tests {
         assert!(outcome.quit);
         assert!(outcome.response.unwrap().contains("\"ok\":true"));
         assert!(s.handle_line("").response.is_none());
+    }
+
+    /// The acceptance criterion: `stats` and `metrics` read the same
+    /// atomics, so a snapshot taken on a quiet daemon reconciles with
+    /// the `stats` counters *exactly* — not approximately.
+    #[test]
+    fn metrics_snapshot_reconciles_with_stats_counters() {
+        let s = server();
+        ok_line(
+            &s,
+            r#"{"op":"hybrid","source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i)))) (sum 50 0)"}"#,
+        );
+        ok_line(&s, r#"{"op":"plan","source":"(define (id x) x)"}"#);
+        ok_line(&s, "definitely not json");
+        let stats = ok_line(&s, r#"{"op":"stats"}"#);
+        let snap = ok_line(&s, r#"{"op":"metrics"}"#);
+        assert_eq!(snap.get("ok"), Some(&Json::Bool(true)), "{snap:?}");
+        let m = snap.get("metrics").unwrap();
+        let counters = m.get("counters").unwrap();
+        let counter = |name: &str| counters.get(name).and_then(Json::as_i64).unwrap_or(0);
+        let req = stats.get("requests").unwrap();
+        let stat = |obj: &Json, name: &str| obj.get(name).and_then(Json::as_i64).unwrap();
+        assert_eq!(counter("serve.requests.plan"), stat(req, "plan"));
+        assert_eq!(counter("serve.requests.hybrid"), stat(req, "hybrid"));
+        assert_eq!(counter("serve.requests.stats"), stat(req, "stats"));
+        assert_eq!(counter("serve.errors"), stat(req, "errors"));
+        assert_eq!(counter("serve.shed"), stat(req, "shed"));
+        let plan = stats.get("plan").unwrap();
+        assert_eq!(counter("serve.static_skips"), stat(plan, "static_skips"));
+        assert_eq!(
+            counter("serve.monitored_calls"),
+            stat(plan, "monitored_calls")
+        );
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(counter("cache.hits"), stat(cache, "hits"));
+        assert_eq!(counter("cache.misses"), stat(cache, "misses"));
+        assert_eq!(counter("cache.stores"), stat(cache, "stores"));
+        // The VM published into the same registry: the hybrid run above
+        // took steps and skipped checks statically.
+        assert!(counter("vm.runs") >= 1, "{m:?}");
+        assert!(counter("vm.steps") > 0, "{m:?}");
+        assert!(counter("vm.static_skips") > 0, "{m:?}");
+        // The planner reported its ladder work.
+        assert!(counter("plan.defines") >= 2, "{m:?}");
+        // Latency histograms saw every op this test issued.
+        let hists = m.get("histograms").unwrap();
+        for op in ["plan", "hybrid", "stats"] {
+            let h = hists.get(&format!("serve.latency.{op}_us")).unwrap();
+            assert!(
+                h.get("count").and_then(Json::as_i64).unwrap() >= 1,
+                "{op}: {h:?}"
+            );
+        }
+    }
+
+    /// Two servers in one process must not share counters: the registry
+    /// is per-server, not process-global.
+    #[test]
+    fn servers_do_not_share_metrics() {
+        let a = server();
+        let b = server();
+        ok_line(&a, r#"{"op":"plan","source":"(define (id x) x)"}"#);
+        let snap = ok_line(&b, r#"{"op":"metrics"}"#);
+        let counters = snap.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("serve.requests.plan")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            0
+        );
+    }
+
+    #[test]
+    fn metrics_prometheus_format_renders_text() {
+        let s = server();
+        ok_line(&s, r#"{"op":"stats"}"#);
+        let out = ok_line(&s, r#"{"op":"metrics","format":"prometheus"}"#);
+        assert_eq!(out.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(out.get("format").and_then(Json::as_str), Some("prometheus"));
+        let text = out.get("text").and_then(Json::as_str).unwrap();
+        assert!(
+            text.contains("# TYPE serve_requests_stats counter"),
+            "{text}"
+        );
+        assert!(text.contains("serve_requests_stats 1"), "{text}");
+    }
+
+    #[test]
+    fn responses_echo_a_trace_id() {
+        let s = server();
+        let out = ok_line(&s, r#"{"op":"stats"}"#);
+        let trace = out.get("trace").and_then(Json::as_str).unwrap();
+        assert_eq!(trace.len(), 16, "{trace}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{trace}");
+        // Distinct requests get distinct ids.
+        let out2 = ok_line(&s, r#"{"op":"stats"}"#);
+        assert_ne!(out2.get("trace").and_then(Json::as_str).unwrap(), trace);
     }
 }

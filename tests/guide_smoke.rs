@@ -108,6 +108,64 @@ fn guide_hybrid_sum_discharged() {
     );
 }
 
+/// §5, "Observability" subsection: `--metrics` prints the registry
+/// snapshot after the answer, and the counter values the guide shows
+/// replay deterministically — exact step, skip, rung, and fuel counts.
+#[test]
+fn guide_hybrid_metrics_replays_deterministically() {
+    let h = sct(&["hybrid", "examples/guide/sum.sct", "--metrics"]);
+    assert!(h.status.success(), "{}", stderr(&h));
+    // The answer stays on stdout; the snapshot is stderr diagnostics.
+    assert_eq!(stdout(&h).trim(), "5000050000");
+    let err = stderr(&h);
+    for line in [
+        "; metric plan.defines 1",
+        "; metric plan.fuel_used 32",
+        "; metric plan.rung.nat.attempts 1",
+        "; metric plan.rung.nat.discharged 1",
+        "; metric vm.runs 1",
+        "; metric vm.applications 100001",
+        "; metric vm.static_skips 100001",
+        "; metric vm.steps 800011",
+        "; metric vm.checks 0",
+        "; metric plan.define_us.count 1",
+    ] {
+        assert!(
+            err.contains(line),
+            "guide metric drifted, wanted {line:?} in: {err}"
+        );
+    }
+    // The metrics print after the answer's own diagnostics: a consumer
+    // can split the stream at the first `; metric`.
+    let first_metric = err.find("; metric").expect("metric lines present");
+    assert!(
+        err[..first_metric].contains("; pic: 0 hits"),
+        "snapshot must follow the standard report: {err}"
+    );
+
+    // Without the flag, nothing changes — no metric lines at all.
+    let plain = sct(&["hybrid", "examples/guide/sum.sct"]);
+    assert!(!stderr(&plain).contains("; metric"), "{}", stderr(&plain));
+
+    // `sct run --metrics` snapshots the fully dynamic regime: every ack
+    // application monitored and checked, pinned to the guide's counts.
+    let r = sct(&["run", "examples/guide/ack.sct", "--metrics"]);
+    assert!(r.status.success(), "{}", stderr(&r));
+    assert_eq!(stdout(&r).trim(), "9");
+    let err = stderr(&r);
+    for line in [
+        "; metric vm.monitored_calls 44",
+        "; metric vm.checks 44",
+        "; metric vm.steps 450",
+        "; metric vm.max_kont_depth 18",
+    ] {
+        assert!(
+            err.contains(line),
+            "guide metric drifted, wanted {line:?} in: {err}"
+        );
+    }
+}
+
 /// §4: the `--plan` JSON dump, with the nat guard the guide explains.
 #[test]
 fn guide_hybrid_plan_json() {

@@ -162,3 +162,50 @@ fn set_rebind_bumps_epoch_and_invalidates_pics() {
     );
     assert_eq!(m.stats.pic_hits + m.stats.pic_misses, m.stats.generic_calls);
 }
+
+/// The PIC identity, observed the way a dashboard would: through the
+/// `sct-obs` registry snapshot after `Stats::publish`, not the machine's
+/// own fields. `vm.pic_hits + vm.pic_misses == vm.generic_calls` must
+/// hold in the exported numbers — the export is a faithful copy, not a
+/// re-derivation that could drift.
+#[test]
+fn pic_identity_holds_in_the_registry_snapshot() {
+    let source = r#"
+(define (g n) (if (zero? n) 0 (g (- n 1))))
+(define (h n) (if (zero? n) 1 (h (- n 1))))
+(define (call fn n) (fn n))
+(define (drive n) (+ (call g n) (call h n)))
+(drive 6)
+(drive 6)
+"#;
+    let prog = sct_contracts::lang::compile_program(source).expect("compiles");
+    let mut m = Machine::new(&prog, MachineConfig::monitored(TableStrategy::Imperative));
+    m.run().expect("program runs clean");
+    assert!(m.stats.generic_calls > 0, "call's site is first-class");
+
+    let registry = sct_obs::Registry::new();
+    m.stats.publish(&registry);
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no {name} in snapshot"))
+            .1
+    };
+    let (hits, misses, generic) = (
+        counter("vm.pic_hits"),
+        counter("vm.pic_misses"),
+        counter("vm.generic_calls"),
+    );
+    assert!(hits > 0, "second drive is served from the warm caches");
+    assert_eq!(
+        hits + misses,
+        generic,
+        "every generic-site application is a hit or a miss, as exported"
+    );
+    // And the export matches the machine's own accounting exactly.
+    assert_eq!(hits, m.stats.pic_hits);
+    assert_eq!(misses, m.stats.pic_misses);
+    assert_eq!(generic, m.stats.generic_calls);
+}

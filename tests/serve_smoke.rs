@@ -320,3 +320,265 @@ fn socket_stress_concurrent_clients_get_independent_results() {
     std::fs::remove_dir_all(&cache_dir).ok();
     std::fs::remove_file(&socket).ok();
 }
+
+/// The `metrics` op over the socket: a well-formed registry snapshot.
+/// The self-healing counters (`shed`, `deadline_exceeded`,
+/// `worker_restarts`, `quarantined`) are pre-registered, so they appear
+/// even at zero, and the per-op latency histograms account for the
+/// traffic that preceded the snapshot.
+#[test]
+fn socket_metrics_op_returns_registry_snapshot() {
+    use sct_core::json::{parse, Json};
+
+    let socket = scratch("metrics").with_extension("socket");
+    let cache_dir = scratch("metrics-cache");
+    let mut child: Child = sct()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve --socket");
+    let mut stream = connect_with_retry(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Real traffic first, so the histograms have something to show.
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        r#"{"op":"hybrid","source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i)))) (sum 50 0)"}"#,
+    );
+    assert_line(&resp, r#""value":"1275""#);
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        r#"{"op":"plan","source":"(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))"}"#,
+    );
+    assert_line(&resp, r#""ok":true"#);
+
+    let line = request(&mut stream, &mut reader, r#"{"op":"metrics"}"#);
+    let doc = parse(line.trim()).expect("metrics response must be well-formed JSON");
+    assert_eq!(
+        doc.get("ok"),
+        Some(&Json::Bool(true)),
+        "metrics op failed: {line}"
+    );
+    let metrics = doc.get("metrics").expect("metrics payload");
+    let counters = metrics.get("counters").expect("counters in snapshot");
+    // The self-healing story is only observable if its counters exist
+    // *before* anything goes wrong — a dashboard reading zero is not the
+    // same as a dashboard reading nothing.
+    for key in [
+        "serve.shed",
+        "serve.deadline_exceeded",
+        "serve.worker_restarts",
+        "cache.quarantined",
+    ] {
+        assert!(
+            counters.get(key).and_then(Json::as_i64).is_some(),
+            "pre-registered counter {key} missing from snapshot: {line}"
+        );
+    }
+    // This healthy session sheds and restarts nothing.
+    assert_eq!(counters.get("serve.shed").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        counters.get("serve.worker_restarts").and_then(Json::as_i64),
+        Some(0)
+    );
+    let gauges = metrics.get("gauges").expect("gauges in snapshot");
+    for key in ["serve.inflight", "serve.queue_depth"] {
+        assert!(
+            gauges.get(key).and_then(Json::as_i64).is_some(),
+            "gauge {key} missing from snapshot: {line}"
+        );
+    }
+    let hists = metrics.get("histograms").expect("histograms in snapshot");
+    for op in ["hybrid", "plan"] {
+        let h = hists
+            .get(&format!("serve.latency.{op}_us"))
+            .unwrap_or_else(|| panic!("no latency histogram for {op}: {line}"));
+        assert_eq!(
+            h.get("count").and_then(Json::as_i64),
+            Some(1),
+            "one {op} request was served: {line}"
+        );
+        assert!(
+            h.get("p50").and_then(Json::as_i64).is_some(),
+            "a non-empty histogram reports quantiles: {line}"
+        );
+    }
+
+    let shutdown = request(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    assert_line(&shutdown, r#""ok":true"#);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "daemon exited {status:?}");
+                break;
+            }
+            None if Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("daemon did not exit after shutdown");
+            }
+            None => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    std::fs::remove_dir_all(&cache_dir).ok();
+    std::fs::remove_file(&socket).ok();
+}
+
+/// Chaos run under the tracer: inject a one-shot worker panic with
+/// `--faults` while `--trace-out` records the session. The daemon must
+/// absorb the panic (restart the worker, answer every request), and the
+/// trace file must be parseable JSONL whose spans nest correctly —
+/// every `end`/`event` names a span that was `start`ed in the same
+/// trace, every child's parent exists — with the per-response trace ids
+/// resolving to root `serve.request` spans in the file.
+#[test]
+fn chaos_run_with_trace_out_emits_well_nested_jsonl() {
+    use sct_core::json::{parse, Json};
+    use std::collections::{HashMap, HashSet};
+
+    let trace_path = scratch("trace").with_extension("jsonl");
+    let requests = concat!(
+        r#"{"op":"plan","id":1,"source":"(define (dec n) (if (zero? n) 0 (dec (- n 1))))"}"#,
+        "\n",
+        r#"{"op":"plan","id":2,"source":"(define (dec n) (if (zero? n) 0 (dec (- n 1))))"}"#,
+        "\n",
+        r#"{"op":"hybrid","id":3,"source":"(define (sum i a) (if (zero? i) a (sum (- i 1) (+ a i)))) (sum 10 0)"}"#,
+        "\n",
+        r#"{"op":"metrics","id":4}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n",
+    );
+    let mut child = sct()
+        .args([
+            "serve",
+            "--threads",
+            "2",
+            "--faults",
+            "seed=3;serve.pool.worker=panic*1",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning sct serve with faults and tracer");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+    let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 5, "one response per request: {lines:#?}");
+
+    // Every dispatched response echoes a 16-hex trace id.
+    let mut response_traces: Vec<String> = Vec::new();
+    for line in &lines {
+        let doc = parse(line).expect("response is JSON");
+        let trace = doc
+            .get("trace")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no trace id in response: {line}"));
+        assert_eq!(trace.len(), 16, "{line}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{line}");
+        response_traces.push(trace.to_owned());
+    }
+
+    // The injected panic was absorbed: the worker restarted and the
+    // session went on to answer everything, including a healthy replan.
+    assert_line(&lines[1], r#""ok":true"#);
+    assert_line(&lines[1], r#""name":"dec""#);
+    assert_line(&lines[2], r#""value":"55""#);
+    let metrics = parse(&lines[3]).expect("metrics response is JSON");
+    let restarts = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.worker_restarts"))
+        .and_then(Json::as_i64)
+        .expect("worker_restarts counter");
+    assert!(restarts >= 1, "the injected panic restarted a worker");
+
+    // The trace file: parseable JSONL, correctly nesting spans.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(!text.is_empty(), "tracer produced no events");
+    let mut started: HashMap<i64, (String, String)> = HashMap::new(); // span → (trace, name)
+    let mut ended: HashSet<i64> = HashSet::new();
+    for line in text.lines() {
+        let ev = parse(line).unwrap_or_else(|e| panic!("unparseable trace line ({e}): {line}"));
+        assert!(
+            ev.get("ts_us").and_then(Json::as_i64).is_some(),
+            "no monotonic timestamp: {line}"
+        );
+        let kind = ev.get("ev").and_then(Json::as_str).expect("ev kind");
+        let trace = ev.get("trace").and_then(Json::as_str).expect("trace id");
+        let span = ev.get("span").and_then(Json::as_i64).expect("span id");
+        let name = ev.get("name").and_then(Json::as_str).expect("span name");
+        match kind {
+            "start" => {
+                if let Some(parent) = ev.get("parent").and_then(Json::as_i64) {
+                    let (parent_trace, _) = started
+                        .get(&parent)
+                        .unwrap_or_else(|| panic!("parent {parent} never started: {line}"));
+                    assert_eq!(parent_trace, trace, "child crossed traces: {line}");
+                }
+                started.insert(span, (trace.to_owned(), name.to_owned()));
+            }
+            "event" => {
+                let (span_trace, _) = started
+                    .get(&span)
+                    .unwrap_or_else(|| panic!("event on unopened span: {line}"));
+                assert_eq!(span_trace, trace, "event crossed traces: {line}");
+            }
+            "end" => {
+                let (span_trace, span_name) = started
+                    .get(&span)
+                    .unwrap_or_else(|| panic!("end without start: {line}"));
+                assert_eq!(span_trace, trace, "end crossed traces: {line}");
+                assert_eq!(span_name, name, "end renamed its span: {line}");
+                assert!(
+                    ev.get("dur_us").and_then(Json::as_i64).is_some(),
+                    "no duration on end: {line}"
+                );
+                assert!(ended.insert(span), "span ended twice: {line}");
+            }
+            other => panic!("unknown event kind {other:?}: {line}"),
+        }
+    }
+    assert_eq!(
+        started.len(),
+        ended.len(),
+        "every span that started also ended"
+    );
+    // Each response's trace id resolves to a root serve.request span.
+    let root_traces: HashSet<&str> = started
+        .values()
+        .filter(|(_, name)| name == "serve.request")
+        .map(|(trace, _)| trace.as_str())
+        .collect();
+    for trace in &response_traces {
+        assert!(
+            root_traces.contains(trace.as_str()),
+            "response trace {trace} has no serve.request span in the file"
+        );
+    }
+    std::fs::remove_file(&trace_path).ok();
+}
