@@ -514,6 +514,15 @@ pub fn serve_json_path() -> std::path::PathBuf {
         .join("BENCH_serve.json")
 }
 
+/// Default output path for `BENCH_plan.json` (the `report_plan` contract
+/// summary scaling driver's `sct-plan-bench/1` document), repo root as
+/// above.
+pub fn plan_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_plan.json")
+}
+
 /// Formats a duration in the paper's milliseconds-with-log-axis spirit.
 pub fn fmt_ms(d: Duration) -> String {
     let ms = d.as_secs_f64() * 1e3;

@@ -69,6 +69,7 @@
 #![deny(missing_docs)]
 
 use sct_core::plan_codec::{decode_entry, encode_entry, PortableDecision};
+use sct_core::summary_codec::{decode_summary, encode_summary, PortableSummary};
 use sct_symbolic::pipeline::DecisionStore;
 use std::collections::HashMap;
 use std::fmt;
@@ -96,6 +97,15 @@ pub struct CacheStats {
     /// I/O failures swallowed while writing (the cache degrades to
     /// recompute-every-time rather than failing the plan).
     pub write_errors: u64,
+    /// Contract-summary loads answered from a persisted `.sum` entry.
+    /// Tracked separately from decision traffic so the CLI/daemon hit
+    /// ratios keep meaning "decisions served without verifier work".
+    pub summary_hits: u64,
+    /// Contract-summary loads that found nothing usable (absent, corrupt,
+    /// or unreadable `.sum` file — all degrade to full descent).
+    pub summary_misses: u64,
+    /// Contract summaries written.
+    pub summary_stores: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -203,6 +213,26 @@ impl DiskCache {
     pub fn entry_path(&self, key: &str) -> PathBuf {
         let shard = key.get(0..2).unwrap_or("xx");
         self.dir.join(shard).join(format!("{key}.plan"))
+    }
+
+    /// The path a contract summary for `key` lives at:
+    /// `<dir>/<k[0..2]>/<k>.sum` — same shard as the decision, same
+    /// content address, different artifact.
+    pub fn summary_path(&self, key: &str) -> PathBuf {
+        self.entry_path(key).with_extension("sum")
+    }
+
+    /// Number of `.sum` entries currently on disk (test/diagnostic aid).
+    pub fn summary_count(&self) -> usize {
+        let Ok(shards) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|s| fs::read_dir(s.path()).ok())
+            .flat_map(|files| files.flatten())
+            .filter(|f| f.path().extension().is_some_and(|e| e == "sum"))
+            .count()
     }
 
     /// Number of `.plan` entries currently on disk (test/diagnostic aid;
@@ -354,6 +384,72 @@ impl DecisionStore for DiskCache {
             o.store_us.record_elapsed_us(start);
         }
     }
+
+    fn load_summary(&mut self, key: &str) -> Option<PortableSummary> {
+        let path = self.summary_path(key);
+        // Failpoint distinct from `cache.load.read` so chaos scenarios can
+        // fail summary I/O without perturbing decision-cache fault budgets.
+        if sct_faults::io_check("cache.summary.load").is_err() {
+            self.stats.summary_misses += 1;
+            return None;
+        }
+        let summary = fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| match decode_summary(&text) {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    // A corrupt summary is pure cache, not evidence: delete
+                    // it (no quarantine — `<k>.quarantine` is the decision
+                    // entry's slot) and let the planner re-descend.
+                    fs::remove_file(&path).ok();
+                    None
+                }
+            });
+        match summary.is_some() {
+            true => self.stats.summary_hits += 1,
+            false => self.stats.summary_misses += 1,
+        }
+        summary
+    }
+
+    fn store_summary(&mut self, key: &str, summary: &PortableSummary) {
+        let path = self.summary_path(key);
+        let tmp_counter = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let write = || -> io::Result<()> {
+            let parent = path.parent().expect("summary path has a shard parent");
+            fs::create_dir_all(parent)?;
+            let tmp = parent.join(format!(
+                ".tmp-sum-{}-{tmp_counter:x}-{key}",
+                std::process::id()
+            ));
+            let bytes = encode_summary(summary);
+            // Same torn/error/ENOSPC repertoire as `cache.store.write`,
+            // under its own name: a torn `.sum` publish must degrade to a
+            // summary miss (full descent), never a wrong plan.
+            let bytes: &[u8] = match sct_faults::check("cache.summary.store") {
+                sct_faults::Action::Torn => &bytes.as_bytes()[..bytes.len() / 2],
+                sct_faults::Action::Error => {
+                    return Err(io::Error::other("injected fault at cache.summary.store"))
+                }
+                sct_faults::Action::Enospc => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        "injected ENOSPC at cache.summary.store",
+                    ))
+                }
+                _ => bytes.as_bytes(),
+            };
+            fs::write(&tmp, bytes)?;
+            fs::rename(&tmp, &path).inspect_err(|_| {
+                fs::remove_file(&tmp).ok();
+            })?;
+            Ok(())
+        };
+        match write().is_ok() {
+            true => self.stats.summary_stores += 1,
+            false => self.stats.write_errors += 1,
+        }
+    }
 }
 
 /// An in-memory [`DecisionStore`] with the same hit/miss accounting as
@@ -362,6 +458,7 @@ impl DecisionStore for DiskCache {
 #[derive(Debug, Default)]
 pub struct MemStore {
     entries: HashMap<String, PortableDecision>,
+    summaries: HashMap<String, PortableSummary>,
     stats: CacheStats,
     obs: Option<CacheObs>,
 }
@@ -391,6 +488,13 @@ impl MemStore {
     /// True when no entries are held.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The contract summaries held, by content key. Exposed so
+    /// invalidation tests can assert exactly *which* defines re-summarized
+    /// after an edit.
+    pub fn summary_entries(&self) -> &HashMap<String, PortableSummary> {
+        &self.summaries
     }
 }
 
@@ -425,6 +529,20 @@ impl DecisionStore for MemStore {
             o.stores.inc();
             o.store_us.record_elapsed_us(start);
         }
+    }
+
+    fn load_summary(&mut self, key: &str) -> Option<PortableSummary> {
+        let result = self.summaries.get(key).cloned();
+        match result.is_some() {
+            true => self.stats.summary_hits += 1,
+            false => self.stats.summary_misses += 1,
+        }
+        result
+    }
+
+    fn store_summary(&mut self, key: &str, summary: &PortableSummary) {
+        self.stats.summary_stores += 1;
+        self.summaries.insert(key.to_string(), summary.clone());
     }
 }
 

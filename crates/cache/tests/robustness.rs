@@ -177,8 +177,9 @@ fn plan_disk(
     (disk, plan, h, m)
 }
 
-/// Applies `vandalize` to every entry file in the cache, returning how
-/// many were touched.
+/// Applies `vandalize` to every entry file in the cache — decision
+/// `.plan`s *and* contract-summary `.sum`s, which must degrade just as
+/// gracefully — returning how many `.plan` entries were touched.
 fn vandalize_entries(dir: &PathBuf, vandalize: impl Fn(&str) -> Option<String>) -> usize {
     let mut touched = 0;
     for shard in fs::read_dir(dir).unwrap().flatten() {
@@ -191,7 +192,9 @@ fn vandalize_entries(dir: &PathBuf, vandalize: impl Fn(&str) -> Option<String>) 
                 Some(new_text) => fs::write(file.path(), new_text).unwrap(),
                 None => fs::remove_file(file.path()).unwrap(),
             }
-            touched += 1;
+            if file.path().extension().is_some_and(|e| e == "plan") {
+                touched += 1;
+            }
         }
     }
     touched

@@ -76,6 +76,7 @@ pub mod plan;
 pub mod plan_codec;
 pub mod seq;
 pub mod stable;
+pub mod summary_codec;
 pub mod table;
 
 pub use blame::BlameLabel;

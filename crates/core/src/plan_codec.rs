@@ -123,7 +123,7 @@ impl PortableDecision {
     }
 }
 
-fn graph_to_json(g: &ScGraph) -> Json {
+pub(crate) fn graph_to_json(g: &ScGraph) -> Json {
     let arcs = g
         .arcs()
         .map(|a| {
@@ -144,7 +144,7 @@ fn graph_to_json(g: &ScGraph) -> Json {
     ])
 }
 
-fn graph_from_json(j: &Json) -> Result<ScGraph, String> {
+pub(crate) fn graph_from_json(j: &Json) -> Result<ScGraph, String> {
     let rows = j
         .get("rows")
         .and_then(Json::as_u64)
@@ -232,7 +232,7 @@ pub fn encode_entry(d: &PortableDecision) -> String {
     out
 }
 
-fn domain_from_label(s: &str) -> Result<PlanDomain, String> {
+pub(crate) fn domain_from_label(s: &str) -> Result<PlanDomain, String> {
     match s {
         "nat" => Ok(PlanDomain::Nat),
         "pos" => Ok(PlanDomain::Pos),

@@ -210,6 +210,10 @@ pub enum ViolationKind {
     PicMismatch,
     /// Warm re-plan differed from the cold plan (or re-verified).
     CacheMismatch,
+    /// A plan built with contract summaries (verified callees stubbed at
+    /// their application sites) differed structurally from the
+    /// full-descent plan — the summary machinery changed a verdict.
+    SummaryMismatch,
     /// A monitored run exhausted its fuel — Theorem 3.1 says it must
     /// terminate (for generated cases: also a terminating oracle that ran
     /// away).
@@ -238,6 +242,7 @@ impl ViolationKind {
             ViolationKind::MachineMismatch => "machine-mismatch",
             ViolationKind::PicMismatch => "pic-mismatch",
             ViolationKind::CacheMismatch => "cache-mismatch",
+            ViolationKind::SummaryMismatch => "summary-mismatch",
             ViolationKind::UncaughtDivergence => "uncaught-divergence",
             ViolationKind::FalseRefutation => "false-refutation",
             ViolationKind::StaticBlamed => "static-blamed",
@@ -259,6 +264,7 @@ impl ViolationKind {
                 | ViolationKind::MachineMismatch
                 | ViolationKind::PicMismatch
                 | ViolationKind::CacheMismatch
+                | ViolationKind::SummaryMismatch
                 | ViolationKind::UncaughtDivergence
                 | ViolationKind::FalseRefutation
                 | ViolationKind::StaticBlamed
@@ -336,6 +342,10 @@ struct Evaluated {
     plan: Rc<EnforcementPlan>,
     warm_structural: bool,
     warm_misses: usize,
+    /// Whether the plan built with contract summaries enabled equals the
+    /// full-descent plan (summaries force the same verdicts by
+    /// construction; this is the differential check that they did).
+    summary_structural: bool,
     runs: Vec<RunPair>,
 }
 
@@ -354,6 +364,16 @@ fn evaluate(source: &str, cfg: &FuzzConfig) -> Result<Evaluated, Violation> {
     let (plan, _) = plan_program_incremental(&prog, &cfg.plan, &mut PlanCache::new(), &mut store);
     let (warm, warm_stats) =
         plan_program_incremental(&prog, &cfg.plan, &mut PlanCache::new(), &mut store);
+    // Differential A/B on the summary machinery: the same program planned
+    // with the opposite `summaries` setting (against a fresh store) must
+    // produce a structurally identical plan — stubbing verified callees
+    // is an optimization, never a verdict change.
+    let flipped = PlanConfig {
+        summaries: !cfg.plan.summaries,
+        ..cfg.plan.clone()
+    };
+    let (alt, _) =
+        plan_program_incremental(&prog, &flipped, &mut PlanCache::new(), &mut MemStore::new());
     let plan = Rc::new(plan);
     let fueled = |mut config: MachineConfig| {
         config.fuel = Some(cfg.fuel);
@@ -417,6 +437,7 @@ fn evaluate(source: &str, cfg: &FuzzConfig) -> Result<Evaluated, Violation> {
     Ok(Evaluated {
         warm_structural: warm.structurally_eq(plan.as_ref()),
         warm_misses: warm_stats.misses(),
+        summary_structural: alt.structurally_eq(plan.as_ref()),
         plan,
         runs,
     })
@@ -462,6 +483,14 @@ fn consistency_violations(ev: &Evaluated, source: &str) -> Vec<Violation> {
                 },
                 ev.warm_misses
             ),
+            source,
+        ));
+    }
+    if !ev.summary_structural {
+        out.push(violation(
+            ViolationKind::SummaryMismatch,
+            "plan with contract summaries differs structurally from the full-descent plan"
+                .to_string(),
             source,
         ));
     }

@@ -16,7 +16,7 @@ use crate::sym::{extend, lookup, AtomId, AtomKind, Path, SClosure, SEnv, SValue}
 use sct_core::graph::ScGraph;
 use sct_core::order::{SizeChange, WellFoundedOrder};
 use sct_interp::{datum_to_value, Value};
-use sct_lang::ast::{Expr, Program, TopForm};
+use sct_lang::ast::{Expr, LambdaDef, Program, TopForm};
 use sct_lang::{LambdaId, Prim};
 use sct_persist::PMap;
 use std::collections::HashMap;
@@ -77,6 +77,37 @@ pub struct EntryInvariant {
     pub result: SymDomain,
 }
 
+/// A verified callee's contract summary, as consumed by the executor: the
+/// domain assumptions its proof was discharged under, the result domain a
+/// call lands in, and the size-change graph sets its own exploration
+/// discovered (Ben-Amram 2010: a function's size-change behavior is fully
+/// captured by its set of call-site graphs). `crate::pipeline` registers
+/// one per already-planned `Static` define; the executor's application
+/// path then *stubs* applications of the callee — merging `graphs` into the
+/// caller's discovered sets and returning a fresh `result`-domain value —
+/// instead of descending into the body.
+#[derive(Debug, Clone)]
+pub struct CalleeSummary {
+    /// Domain assumption per parameter (the discharged ladder rung). A
+    /// stub fires only when every argument is *provably* inside these.
+    pub domains: Vec<SymDomain>,
+    /// The domain every application of the callee lands in.
+    pub result: SymDomain,
+    /// Discovered size-change graph sets, per λ — possibly spanning
+    /// several defines (transitively stubbed explorations inherit their
+    /// callees' graphs).
+    pub graphs: Vec<(LambdaId, Vec<ScGraph>)>,
+    /// Global indices transitively referenced by the callee, sorted. A
+    /// caller the callee can reach back into (mutual recursion) must not
+    /// stub it: the callee's graphs were discovered against *its* entry,
+    /// and hiding the cycle from the caller's own exploration would lose
+    /// the very self-calls being judged.
+    pub reachable: Rc<Vec<u32>>,
+}
+
+/// Registered summaries, keyed by the summarized define's entry λ id.
+pub type SummaryTable = HashMap<LambdaId, Rc<CalleeSummary>>;
+
 /// One evaluation outcome along a path.
 #[derive(Debug, Clone)]
 pub enum SOut {
@@ -111,10 +142,53 @@ pub struct Executor<'p> {
     /// opaque calls would go uncaught); `crate::pipeline` keeps any
     /// function with a nonzero count on the monitored path.
     pub opaque_applications: u64,
-    globals: Vec<SValue>,
+    /// Number of applications answered from a registered [`CalleeSummary`]
+    /// instead of body descent. Unlike opaque applications these carry no
+    /// soundness debt — the summary *is* a termination proof for the
+    /// callee — but the pipeline tracks the count for observability and
+    /// to know when a non-verified outcome must be re-derived without
+    /// stubs to stay bit-identical to full descent.
+    pub stubbed_applications: u64,
+    /// The evaluated top-level environment. Never written after
+    /// [`Executor::new`] finishes, so explorations of the same program
+    /// share one allocation through [`GlobalSnapshot`].
+    globals: Rc<Vec<SValue>>,
     steps: u64,
     havoc_left: u32,
     entry: Option<EntryInvariant>,
+    summaries: Option<&'p SummaryTable>,
+    /// Global index of the define under exploration, for the
+    /// mutual-recursion check against [`CalleeSummary::reachable`].
+    caller_global: Option<u32>,
+}
+
+/// The evaluated top-level environment of a program, extracted from one
+/// [`Executor::new`] and shared by every later
+/// [`Executor::with_snapshot`]. Evaluating the definitions costs
+/// O(defines); before this existed each per-`define` exploration paid it
+/// again, which made whole-program planning quadratic in program size.
+/// The snapshot restores the exact post-`eval_globals` executor state —
+/// same values, same atom numbering, same step count, same incomplete
+/// marker — so a snapshot-seeded exploration is bit-identical to a
+/// fresh one.
+pub struct GlobalSnapshot {
+    globals: Rc<Vec<SValue>>,
+    atom_kinds: Vec<AtomKind>,
+    incomplete: Option<String>,
+    steps: u64,
+}
+
+impl GlobalSnapshot {
+    /// Evaluates `program`'s definitions once.
+    pub fn build(program: &Program, config: &ExecConfig) -> GlobalSnapshot {
+        let ex = Executor::new(program, config.clone());
+        GlobalSnapshot {
+            globals: ex.globals.clone(),
+            atom_kinds: ex.atom_kinds.clone(),
+            incomplete: ex.incomplete.clone(),
+            steps: ex.steps,
+        }
+    }
 }
 
 struct PathOrder<'a> {
@@ -138,13 +212,45 @@ impl<'p> Executor<'p> {
             graphs: HashMap::new(),
             incomplete: None,
             opaque_applications: 0,
-            globals: vec![SValue::Conc(Value::Undefined); program.global_names.len()],
+            stubbed_applications: 0,
+            globals: Rc::new(vec![
+                SValue::Conc(Value::Undefined);
+                program.global_names.len()
+            ]),
             steps: 0,
             havoc_left: 0,
             entry: None,
+            summaries: None,
+            caller_global: None,
         };
         ex.havoc_left = ex.config.havoc_budget;
         ex.eval_globals();
+        ex
+    }
+
+    /// Creates an executor starting from a prebuilt [`GlobalSnapshot`] of
+    /// the same program, skipping the O(defines) definition re-evaluation.
+    pub fn with_snapshot(
+        program: &'p Program,
+        config: ExecConfig,
+        snapshot: &GlobalSnapshot,
+    ) -> Executor<'p> {
+        let mut ex = Executor {
+            program,
+            config,
+            atom_kinds: snapshot.atom_kinds.clone(),
+            graphs: HashMap::new(),
+            incomplete: snapshot.incomplete.clone(),
+            opaque_applications: 0,
+            stubbed_applications: 0,
+            globals: snapshot.globals.clone(),
+            steps: snapshot.steps,
+            havoc_left: 0,
+            entry: None,
+            summaries: None,
+            caller_global: None,
+        };
+        ex.havoc_left = ex.config.havoc_budget;
         ex
     }
 
@@ -159,10 +265,26 @@ impl<'p> Executor<'p> {
         self.entry = Some(entry);
     }
 
+    /// Registers verified callee summaries for this exploration.
+    /// `caller_global` is the global index of the define under exploration
+    /// (when it has one): a summary whose `reachable` set contains it is
+    /// never stubbed, so mutual recursion always descends.
+    pub fn set_summaries(&mut self, table: &'p SummaryTable, caller_global: Option<u32>) {
+        self.summaries = Some(table);
+        self.caller_global = caller_global;
+    }
+
     /// The current value of a global, by name.
     pub fn global(&self, name: &str) -> Option<SValue> {
         let i = self.program.global_index(name)?;
         Some(self.globals[i as usize].clone())
+    }
+
+    /// The current value of a global, by index — [`Executor::global`]
+    /// without the linear name scan, for callers that already resolved
+    /// the index (a planning pass visiting every define).
+    pub fn global_at(&self, i: u32) -> Option<SValue> {
+        self.globals.get(i as usize).cloned()
     }
 
     /// Allocates a fresh atom.
@@ -205,14 +327,16 @@ impl<'p> Executor<'p> {
             if let TopForm::Define { index, expr } = form {
                 let outs = self.eval(expr, &None, Path::new(), &PMap::new());
                 match outs.as_slice() {
-                    [(_, SOut::Val(v))] => self.globals[*index as usize] = v.clone(),
+                    [(_, SOut::Val(v))] => {
+                        Rc::make_mut(&mut self.globals)[*index as usize] = v.clone()
+                    }
                     _ => {
                         self.note_incomplete(format!(
                             "definition of {} did not evaluate deterministically",
                             self.program.global_names[*index as usize]
                         ));
                         let v = self.fresh(AtomKind::Any);
-                        self.globals[*index as usize] = v;
+                        Rc::make_mut(&mut self.globals)[*index as usize] = v;
                     }
                 }
             }
@@ -516,6 +640,9 @@ impl<'p> Executor<'p> {
             let (r, path) = self.fresh_in_domain(result_domain, &path);
             return vec![(path, SOut::Val(r))];
         }
+        if let Some(out) = self.try_stub(&def, &args, &path) {
+            return out;
+        }
         if chain.len() >= self.config.max_chain {
             self.note_incomplete("chain depth cap exceeded");
             let r = self.fresh(AtomKind::Any);
@@ -530,6 +657,65 @@ impl<'p> Executor<'p> {
         self.eval(&def.body, &env, path, &chain2)
     }
 
+    /// Answers an application from a registered [`CalleeSummary`] when
+    /// that is sound, or `None` to descend into the body as usual.
+    ///
+    /// Soundness conditions (see ARCHITECTURE.md, "Contract summaries"):
+    /// the callee must have a verified summary (only `Static` defines get
+    /// one, so opaque- and mutation-tainted callees always descend); it
+    /// must not be the entry λ (the entry's own self-calls are the very
+    /// thing being judged) nor able to reach back into the caller (mutual
+    /// recursion must expose its cycle to the caller's exploration); the
+    /// application must match the summarized arity exactly; and every
+    /// argument must be *provably* inside the summary's guard domain on
+    /// the current path — the same entailment the summarized self-call
+    /// check uses, because the callee's proof only covers those inputs.
+    ///
+    /// The stub merges the summary's graph sets into the caller's
+    /// discovered sets (graph composition at the apply site, instead of
+    /// rediscovery by descent) — except any set for the entry λ itself,
+    /// which must only ever contain self-calls this exploration actually
+    /// observed — and returns a fresh value in the summary's result
+    /// domain, exactly like a summarized self-call returns a fresh value
+    /// in the entry's declared result domain.
+    fn try_stub(&mut self, def: &Rc<LambdaDef>, args: &[SValue], path: &Path) -> Option<Outcomes> {
+        let s = self.summaries?.get(&def.id)?.clone();
+        if def.variadic || args.len() != s.domains.len() {
+            return None;
+        }
+        let entry_id = self.entry.as_ref().map(|e| e.id);
+        if entry_id == Some(def.id) {
+            return None;
+        }
+        if let Some(caller) = self.caller_global {
+            if s.reachable.binary_search(&caller).is_ok() {
+                return None;
+            }
+        }
+        {
+            let solver = Solver::new(&self.atom_kinds);
+            for (d, arg) in s.domains.iter().zip(args.iter()) {
+                if !in_domain(&solver, path, arg, *d, &self.atom_kinds) {
+                    return None;
+                }
+            }
+        }
+        self.stubbed_applications += 1;
+        for (id, set) in &s.graphs {
+            if Some(*id) == entry_id {
+                continue;
+            }
+            let own = self.graphs.entry(*id).or_default();
+            for g in set {
+                if !own.contains(g) {
+                    own.push(g.clone());
+                }
+            }
+        }
+        let (r, path) = self.fresh_in_domain(s.result, path);
+        Some(vec![(path, SOut::Val(r))])
+    }
+
     /// At a summarized self-call, the one symbolic body execution covers
     /// all reachable entries only when the new arguments still satisfy the
     /// entry condition (§4.2). For the entry function we re-check the
@@ -541,18 +727,7 @@ impl<'p> Executor<'p> {
             if let Some(entry) = self.entry.as_ref() {
                 if entry.id == id {
                     for (d, arg) in entry.domains.iter().zip(new.iter()) {
-                        let ok = match d {
-                            SymDomain::Nat => solver.linearize(path, arg).is_some_and(|l| {
-                                crate::linear::entails(&path.lin, &LinCon::ge0(l))
-                            }),
-                            SymDomain::Pos => solver.linearize(path, arg).is_some_and(|l| {
-                                crate::linear::entails(&path.lin, &LinCon::gt0(l))
-                            }),
-                            SymDomain::Int => is_int_like(&solver, path, arg),
-                            SymDomain::List => is_list_like(path, arg, &self.atom_kinds),
-                            SymDomain::Any => true,
-                        };
-                        if !ok {
+                        if !in_domain(&solver, path, arg, *d, &self.atom_kinds) {
                             failures.push(format!(
                                 "recursive call argument {} may leave the entry domain {:?}",
                                 arg.show(),
@@ -859,6 +1034,32 @@ fn list_elements(path: &Path, v: &SValue) -> Option<Vec<SValue>> {
 
 /// True when a value is integer-valued on every concretization: a linear
 /// term, or any arithmetic primitive application (total on integers).
+/// Is `v` *provably* inside domain `d` on `path`? The entailment behind
+/// both the summarized-self-call invariant re-check (§4.2) and the
+/// callee-stub guard check: `Nat`/`Pos` demand the path's linear facts
+/// entail the sign, `Int`/`List` demand the matching kind evidence, `Any`
+/// is trivially true. "Don't know" is `false` — the callers' fallbacks
+/// (note incompleteness; descend into the body) are always sound.
+fn in_domain(
+    solver: &Solver<'_>,
+    path: &Path,
+    v: &SValue,
+    d: SymDomain,
+    kinds: &[AtomKind],
+) -> bool {
+    match d {
+        SymDomain::Nat => solver
+            .linearize(path, v)
+            .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::ge0(l))),
+        SymDomain::Pos => solver
+            .linearize(path, v)
+            .is_some_and(|l| crate::linear::entails(&path.lin, &LinCon::gt0(l))),
+        SymDomain::Int => is_int_like(solver, path, v),
+        SymDomain::List => is_list_like(path, v, kinds),
+        SymDomain::Any => true,
+    }
+}
+
 fn is_int_like(solver: &Solver<'_>, path: &Path, v: &SValue) -> bool {
     if solver.linearize(path, v).is_some() {
         return true;

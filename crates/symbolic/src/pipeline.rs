@@ -66,10 +66,11 @@
 //! ```
 
 use crate::digest::ProgramDigests;
-use crate::exec::SymDomain;
+use crate::exec::{CalleeSummary, GlobalSnapshot, SummaryTable, SymDomain};
 use crate::verify::{explore_with_names, lambda_names, Exploration, VerifyConfig};
 use sct_core::plan::{CheckedClosure, Decision, EnforcementPlan, FnDecision, PlanDomain};
 use sct_core::plan_codec::PortableDecision;
+use sct_core::summary_codec::{LambdaRef, PortableSummary};
 use sct_core::ScGraph;
 use sct_lang::ast::{Expr, LambdaDef, LambdaId, Program, TopForm};
 use std::collections::HashMap;
@@ -156,6 +157,36 @@ impl PlanObs {
             r.counter("plan.fuel_used").add(steps);
         }
     }
+
+    /// Pre-registers the `plan.summary.*` family so a `metrics` snapshot
+    /// shows the counters (at zero) even before any summary traffic.
+    fn summary_touch(&self) {
+        if let Some(r) = self.registry() {
+            r.counter("plan.summary.hits").add(0);
+            r.counter("plan.summary.misses").add(0);
+            r.counter("plan.summary.stubbed_applications").add(0);
+        }
+    }
+
+    fn summary_hit(&self) {
+        if let Some(r) = self.registry() {
+            r.counter("plan.summary.hits").inc();
+        }
+    }
+
+    fn summary_miss(&self) {
+        if let Some(r) = self.registry() {
+            r.counter("plan.summary.misses").inc();
+        }
+    }
+
+    fn summary_stubbed(&self, n: u64) {
+        if n > 0 {
+            if let Some(r) = self.registry() {
+                r.counter("plan.summary.stubbed_applications").add(n);
+            }
+        }
+    }
 }
 
 /// Configuration for [`plan_program`].
@@ -203,6 +234,17 @@ pub struct PlanConfig {
     /// the content key like `deadline`: observability wiring reflects
     /// the host process, not program content.
     pub obs: PlanObs,
+    /// When true (the default), already-planned `Static` recursive defines
+    /// are registered as contract summaries and later explorations *stub*
+    /// applications of them with the summary graphs instead of descending
+    /// into their bodies — making per-define exploration local and
+    /// whole-program planning near-linear. Sound by construction (only
+    /// verified callees are stubbed, only for provably in-domain
+    /// arguments), and any non-verified outcome of a stubbed ladder is
+    /// re-derived stub-free, so Monitor/Refuted verdicts are bit-identical
+    /// to full descent. Excluded from the content key: both modes compute
+    /// the same decisions, so they may share persisted entries.
+    pub summaries: bool,
 }
 
 impl Default for PlanConfig {
@@ -215,6 +257,7 @@ impl Default for PlanConfig {
             signatures: HashMap::new(),
             deadline: None,
             obs: PlanObs::disabled(),
+            summaries: true,
         }
     }
 }
@@ -276,6 +319,18 @@ pub trait DecisionStore {
     fn wants_keys(&self) -> bool {
         true
     }
+    /// Fetch the contract summary persisted under `key`, if any survives.
+    /// Summaries share the decision's content address (the `sct-plan-summary/1`
+    /// entry rides the same digest), so editing a define invalidates its
+    /// summary and its dependents' exactly like its decision. The default
+    /// never hits: a store without summary support merely forfeits
+    /// cross-process stub reuse, never soundness.
+    fn load_summary(&mut self, _key: &str) -> Option<PortableSummary> {
+        None
+    }
+    /// Persist `summary` under `key`. Failures must be swallowed, like
+    /// [`DecisionStore::store`]. The default drops it.
+    fn store_summary(&mut self, _key: &str, _summary: &PortableSummary) {}
 }
 
 /// The no-op [`DecisionStore`]: never hits, never persists.
@@ -386,6 +441,10 @@ fn plan_positions(
     let mut out = Vec::new();
     // One AST walk for λ display names, shared by every attempt below.
     let names = Rc::new(lambda_names(program));
+    // One evaluation of the top-level environment, shared by every
+    // exploration below — re-evaluating all N definitions per define
+    // made whole-program planning quadratic.
+    let snapshot = GlobalSnapshot::build(program, &config.verify.exec);
     // Content addressing costs a structural hash of the whole program;
     // skip it when the store cannot use keys anyway (NullStore).
     let digests = store.wants_keys().then(|| ProgramDigests::new(program));
@@ -397,6 +456,18 @@ fn plan_positions(
             &mutation_owned
         }
     };
+    // Contract summaries: already-planned `Static` recursive defines are
+    // registered here, and later explorations in this same pass stub
+    // applications of them (see `Executor::try_stub`). The table lives
+    // for this pass; the store carries summaries *across* passes (and
+    // across a serve daemon's workers) under the same content keys as
+    // decisions.
+    let summaries_on = config.summaries;
+    if summaries_on {
+        config.obs.summary_touch();
+    }
+    let lambda_index = (summaries_on && store.wants_keys()).then(|| LambdaIndex::build(program));
+    let mut summary_table: SummaryTable = HashMap::new();
     // Occurrence counter per global: a shadowed name yields one decision
     // per `define` form, and those must not alias in the store.
     let mut occurrence: HashMap<u32, u32> = HashMap::new();
@@ -412,12 +483,28 @@ fn plan_positions(
         let occ = occurrence.entry(*index).or_insert(0);
         let this_occ = *occ;
         *occ += 1;
-        if !filter(pos) {
-            continue;
-        }
         let key = digests
             .as_ref()
             .map(|d| d.key_at(program, *index, this_occ, config));
+        if !filter(pos) {
+            // Not this caller's slice (a serve worker planning a subset):
+            // still try to consume a peer's persisted summary, so fan-out
+            // workers stop re-exploring the shared helpers they do not
+            // own. A miss just means full descent — never an error.
+            if summaries_on {
+                register_summary_from_store(
+                    store,
+                    key.as_deref(),
+                    def,
+                    *index,
+                    lambda_index.as_ref(),
+                    mutation,
+                    &mut summary_table,
+                    &config.obs,
+                );
+            }
+            continue;
+        }
         let nested = nested_lambda_ids(def);
         if let Some(key) = &key {
             if let Some(portable) = store.load(key) {
@@ -425,6 +512,22 @@ fn plan_positions(
                 // so a rebind failure can only mean corruption — fall
                 // through to recompute.
                 if let Some(decision) = portable.rebind(def.id, &nested) {
+                    // A hit decision needs no verification, but its
+                    // summary (Static defines only) still feeds later
+                    // defines' stubs — that is what makes a warm
+                    // incremental replan near-linear.
+                    if summaries_on && matches!(decision.decision, Decision::Static { .. }) {
+                        register_summary_from_store(
+                            store,
+                            Some(key),
+                            def,
+                            *index,
+                            lambda_index.as_ref(),
+                            mutation,
+                            &mut summary_table,
+                            &config.obs,
+                        );
+                    }
                     out.push((pos, decision, true));
                     continue;
                 }
@@ -447,7 +550,7 @@ fn plan_positions(
         // the program `set!`s, a later rebinding could invalidate the
         // discharge at run time — e.g. a helper swapped for one that no
         // longer descends. Such functions stay monitored.
-        let (decision, cacheable) = if let Some(reason) = mutation.taints(*index) {
+        let (decision, cacheable, summary_data) = if let Some(reason) = mutation.taints(*index) {
             (
                 FnDecision {
                     name: name.to_string(),
@@ -461,9 +564,21 @@ fn plan_positions(
                     micros: 0,
                 },
                 true,
+                None,
             )
         } else {
-            plan_function(program, name, def, blame, config, cache, names.clone())
+            plan_function(
+                program,
+                name,
+                def,
+                blame,
+                config,
+                cache,
+                names.clone(),
+                summaries_on.then_some(&summary_table),
+                Some(*index),
+                &snapshot,
+            )
         };
         // A decision reached only because the wall clock truncated the
         // ladder depends on machine load, not on the inputs the key
@@ -473,6 +588,41 @@ fn plan_positions(
         if cacheable {
             if let Some(key) = &key {
                 store.store(key, &PortableDecision::from_decision(&decision, &nested));
+            }
+        }
+        // Register (and, when cacheable, persist) the freshly verified
+        // define's contract summary. Only `Static` decisions produce one
+        // — opaque-tainted defines end Inconclusive and mutation-tainted
+        // ones Monitor, so neither is ever stubbed — and only *recursive*
+        // callees are registered: a non-recursive body is cheap to
+        // descend, and its concrete results can be load-bearing for a
+        // caller's own descent proof. The truncation rule mirrors
+        // decisions: a summary from a budget- or deadline-degraded ladder
+        // is never persisted (such ladders cannot end `Static` at all).
+        if summaries_on {
+            if let Some(data) = summary_data {
+                let recursive = data
+                    .graphs
+                    .iter()
+                    .any(|(id, set)| *id == def.id && !set.is_empty());
+                if recursive {
+                    if cacheable {
+                        if let (Some(key), Some(li)) = (&key, &lambda_index) {
+                            if let Some(portable) = portable_summary(name, &data, li, program) {
+                                store.store_summary(key, &portable);
+                            }
+                        }
+                    }
+                    summary_table.insert(
+                        def.id,
+                        Rc::new(CalleeSummary {
+                            domains: data.domains,
+                            result: data.result,
+                            graphs: data.graphs,
+                            reachable: Rc::new(mutation.reachable_from(*index)),
+                        }),
+                    );
+                }
             }
         }
         out.push((pos, decision, false));
@@ -536,6 +686,160 @@ pub fn monitor_fallback_decisions(
         out.push((pos, monitor_fallback(name, def, blame, reason), false));
     }
     out
+}
+
+/// Compile-independent λ addressing for summary persistence: every λ of
+/// the *last* `define` form of each global maps to `(global, traversal
+/// idx)` — idx 0 is the define's entry λ, nested λs follow in source
+/// order — which is the basis [`LambdaRef`] is expressed in. λs of
+/// shadowed earlier defines and of top-level expressions have no portable
+/// address (the executor's global table keeps the last binding, so only
+/// it can be applied by name); a summary mentioning one stays in-memory
+/// for the current pass instead of being persisted.
+struct LambdaIndex {
+    by_id: HashMap<LambdaId, (u32, u32)>,
+    by_global: HashMap<u32, Vec<LambdaId>>,
+    /// Global name → index, because [`Program::global_index`] is a linear
+    /// scan: resolving the hundreds of [`LambdaRef`]s in each of N
+    /// summaries through it made warm replay quadratic in program size.
+    global_of: HashMap<String, u32>,
+}
+
+impl LambdaIndex {
+    fn build(program: &Program) -> LambdaIndex {
+        let mut by_global: HashMap<u32, Vec<LambdaId>> = HashMap::new();
+        for form in &program.top_level {
+            let TopForm::Define { index, expr } = form else {
+                continue;
+            };
+            let Some((def, _)) = unwrap_termc(expr) else {
+                continue;
+            };
+            let mut ids = vec![def.id];
+            ids.extend(nested_lambda_ids(def));
+            by_global.insert(*index, ids);
+        }
+        let mut by_id = HashMap::new();
+        for (gi, ids) in &by_global {
+            for (i, id) in ids.iter().enumerate() {
+                by_id.insert(*id, (*gi, i as u32));
+            }
+        }
+        let global_of = program
+            .global_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        LambdaIndex {
+            by_id,
+            by_global,
+            global_of,
+        }
+    }
+
+    fn lambda_ref(&self, id: LambdaId, program: &Program) -> Option<LambdaRef> {
+        let (gi, idx) = self.by_id.get(&id)?;
+        Some(LambdaRef {
+            global: program.global_names[*gi as usize].clone(),
+            idx: *idx,
+        })
+    }
+
+    fn resolve(&self, lr: &LambdaRef) -> Option<LambdaId> {
+        let gi = self.global_of.get(&lr.global)?;
+        self.by_global.get(gi)?.get(lr.idx as usize).copied()
+    }
+}
+
+/// The ingredients of a freshly verified define's contract summary, as
+/// returned by `plan_function` alongside every `Static` decision: the
+/// discharged rung's domains and the exploration's full graph map.
+struct SummaryData {
+    domains: Vec<SymDomain>,
+    result: SymDomain,
+    graphs: Vec<(LambdaId, Vec<ScGraph>)>,
+}
+
+/// Encodes a summary for persistence, or `None` when some graph set
+/// belongs to a λ without a portable address (see [`LambdaIndex`]).
+fn portable_summary(
+    name: &str,
+    data: &SummaryData,
+    li: &LambdaIndex,
+    program: &Program,
+) -> Option<PortableSummary> {
+    let mut graphs = Vec::with_capacity(data.graphs.len());
+    for (id, set) in &data.graphs {
+        graphs.push((li.lambda_ref(*id, program)?, set.clone()));
+    }
+    Some(PortableSummary {
+        name: name.to_string(),
+        guard: data.domains.iter().map(|d| plan_domain(*d)).collect(),
+        result: plan_domain(data.result),
+        graphs,
+    })
+}
+
+/// Rebinds a persisted summary against the current compile, or `None`
+/// when it does not fit this define (treated as a miss). The content
+/// address makes a true mismatch corruption, exactly as for decisions.
+fn rebind_summary(
+    p: &PortableSummary,
+    def: &LambdaDef,
+    li: &LambdaIndex,
+    mutation: &MutationMap,
+    index: u32,
+) -> Option<CalleeSummary> {
+    if def.variadic || p.guard.len() != def.params as usize {
+        return None;
+    }
+    let mut graphs = Vec::with_capacity(p.graphs.len());
+    for (lr, set) in &p.graphs {
+        graphs.push((li.resolve(lr)?, set.clone()));
+    }
+    // Only recursive summaries are persisted (only they are worth
+    // stubbing); anything else is corruption.
+    if !graphs
+        .iter()
+        .any(|(id, set)| *id == def.id && !set.is_empty())
+    {
+        return None;
+    }
+    Some(CalleeSummary {
+        domains: p.guard.iter().map(|d| sym_domain(*d)).collect(),
+        result: sym_domain(p.result),
+        graphs,
+        reachable: Rc::new(mutation.reachable_from(index)),
+    })
+}
+
+/// Tries to register a persisted contract summary for `def` from the
+/// store, counting the outcome in `plan.summary.{hits,misses}`.
+#[allow(clippy::too_many_arguments)]
+fn register_summary_from_store(
+    store: &mut dyn DecisionStore,
+    key: Option<&str>,
+    def: &Rc<LambdaDef>,
+    index: u32,
+    lambda_index: Option<&LambdaIndex>,
+    mutation: &MutationMap,
+    table: &mut SummaryTable,
+    obs: &PlanObs,
+) {
+    let (Some(key), Some(li)) = (key, lambda_index) else {
+        return;
+    };
+    let summary = store
+        .load_summary(key)
+        .and_then(|p| rebind_summary(&p, def, li, mutation, index));
+    match summary {
+        Some(s) => {
+            obs.summary_hit();
+            table.insert(def.id, Rc::new(s));
+        }
+        None => obs.summary_miss(),
+    }
 }
 
 /// Which globals the program mutates (`set!` anywhere — top level, define
@@ -725,6 +1029,9 @@ fn run_attempt(
     config: &PlanConfig,
     cache: &mut PlanCache,
     names: Rc<HashMap<LambdaId, String>>,
+    summaries: Option<&SummaryTable>,
+    caller_global: Option<u32>,
+    snapshot: &GlobalSnapshot,
 ) -> (Attempt, Option<Exploration>) {
     let exploration = match explore_with_names(
         program,
@@ -734,6 +1041,9 @@ fn run_attempt(
         &config.verify,
         names,
         Some(entry_id),
+        summaries,
+        caller_global,
+        Some(snapshot),
     ) {
         Ok(e) => e,
         Err(reason) => return (Attempt::Inconclusive { reason }, None),
@@ -795,6 +1105,126 @@ fn run_attempt(
     )
 }
 
+/// The winning rung of a ladder run: everything needed to build both the
+/// `Static` decision and the define's contract summary.
+struct VerifiedRung {
+    detail: String,
+    domains: Vec<SymDomain>,
+    result: SymDomain,
+    exploration: Exploration,
+}
+
+/// One complete pass over the candidate ladder.
+struct LadderOutcome {
+    verified: Option<VerifiedRung>,
+    violations: Vec<(ScGraph, String, bool)>,
+    last_reason: String,
+    attempts: usize,
+    truncated: bool,
+    /// Whether any attempt answered an application from a callee summary.
+    /// A non-verified outcome with stubs is re-derived stub-free so that
+    /// Monitor/Refuted verdicts stay bit-identical to full descent.
+    stubbed: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ladder(
+    program: &Program,
+    name: &str,
+    def: &Rc<LambdaDef>,
+    candidates: &[Signature],
+    start: Instant,
+    config: &PlanConfig,
+    cache: &mut PlanCache,
+    names: &Rc<HashMap<LambdaId, String>>,
+    summaries: Option<&SummaryTable>,
+    caller_global: Option<u32>,
+    snapshot: &GlobalSnapshot,
+) -> LadderOutcome {
+    let mut out = LadderOutcome {
+        verified: None,
+        violations: Vec::new(),
+        last_reason: String::new(),
+        attempts: 0,
+        truncated: false,
+        stubbed: false,
+    };
+    for (domains, result) in candidates {
+        if let Some(budget) = config.time_budget {
+            if out.attempts > 0 && start.elapsed() > budget {
+                out.truncated = true;
+                out.last_reason = format!(
+                    "time budget ({}ms) exhausted after {} attempt(s)",
+                    budget.as_millis(),
+                    out.attempts
+                );
+                break;
+            }
+        }
+        out.attempts += 1;
+        let rung = if config.signatures.contains_key(name) {
+            "signature"
+        } else {
+            match domains.first() {
+                Some(SymDomain::Nat) => "nat",
+                Some(SymDomain::Pos) => "pos",
+                _ => "any",
+            }
+        };
+        config.obs.rung_attempt(rung);
+        let (attempt, exploration) = run_attempt(
+            program,
+            name,
+            def.id,
+            domains,
+            *result,
+            config,
+            cache,
+            names.clone(),
+            summaries,
+            caller_global,
+            snapshot,
+        );
+        match &exploration {
+            Some(ex) => {
+                config.obs.fuel(ex.steps);
+                config.obs.summary_stubbed(ex.stubbed);
+                out.stubbed |= ex.stubbed > 0;
+            }
+            // The exploration itself errored, so its stub count is lost.
+            // With a live summary table the error text can embed
+            // stub-influenced symbolic-atom numbering, so conservatively
+            // flag the run as stubbed: the stub-free fallback then
+            // re-derives the canonical reason (and if no stub actually
+            // fired, the re-run is identical — just redundant).
+            None => out.stubbed |= summaries.is_some_and(|t| !t.is_empty()),
+        }
+        match attempt {
+            Attempt::Verified { detail } => {
+                config.obs.rung_discharged(rung);
+                out.verified = Some(VerifiedRung {
+                    detail,
+                    domains: domains.clone(),
+                    result: *result,
+                    exploration: exploration.expect("verified attempt has an exploration"),
+                });
+                break;
+            }
+            Attempt::Violation {
+                witness,
+                culprit,
+                definite,
+            } => {
+                out.violations.push((witness, culprit, definite));
+            }
+            Attempt::Inconclusive { reason } => {
+                out.last_reason = reason;
+            }
+        }
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn plan_function(
     program: &Program,
@@ -804,7 +1234,10 @@ fn plan_function(
     config: &PlanConfig,
     cache: &mut PlanCache,
     names: Rc<HashMap<LambdaId, String>>,
-) -> (FnDecision, bool) {
+    summaries: Option<&SummaryTable>,
+    caller_global: Option<u32>,
+    snapshot: &GlobalSnapshot,
+) -> (FnDecision, bool, Option<SummaryData>) {
     let start = Instant::now();
     let base = FnDecision {
         name: name.to_string(),
@@ -830,7 +1263,7 @@ fn plan_function(
         let mut d = base;
         d.detail = reason.clone();
         d.decision = Decision::Monitor { reason };
-        return (finish(d), true);
+        return (finish(d), true, None);
     }
 
     let params = def.params as usize;
@@ -857,84 +1290,75 @@ fn plan_function(
         }
     };
 
-    let mut violations: Vec<(ScGraph, String, bool)> = Vec::new();
-    let mut last_reason = String::new();
-    let mut attempts = 0usize;
-    // Whether the wall clock cut the ladder short: such a decision
-    // reflects machine load, so the caller must not persist it.
-    let mut truncated = false;
-    for (domains, result) in &candidates {
-        if let Some(budget) = config.time_budget {
-            if attempts > 0 && start.elapsed() > budget {
-                truncated = true;
-                last_reason = format!(
-                    "time budget ({}ms) exhausted after {attempts} attempt(s)",
-                    budget.as_millis()
-                );
-                break;
-            }
-        }
-        attempts += 1;
-        let rung = if config.signatures.contains_key(name) {
-            "signature"
-        } else {
-            match domains.first() {
-                Some(SymDomain::Nat) => "nat",
-                Some(SymDomain::Pos) => "pos",
-                _ => "any",
-            }
-        };
-        config.obs.rung_attempt(rung);
-        let (attempt, exploration) = run_attempt(
+    let mut outcome = run_ladder(
+        program,
+        name,
+        def,
+        &candidates,
+        start,
+        config,
+        cache,
+        &names,
+        summaries,
+        caller_global,
+        snapshot,
+    );
+    // Stubbing may only ever *improve* a verdict (it prunes paths and
+    // borrows the callee's already-verified graphs), so a Verified rung
+    // stands. But a non-Static verdict reached via stubs could differ from
+    // full descent in witness/reason wording, so re-derive it stub-free —
+    // unless the wall clock already cut the ladder short, in which case
+    // the decision is tainted (not persisted) either way.
+    if outcome.verified.is_none() && outcome.stubbed && !outcome.truncated {
+        outcome = run_ladder(
             program,
             name,
-            def.id,
-            domains,
-            *result,
+            def,
+            &candidates,
+            start,
             config,
             cache,
-            names.clone(),
+            &names,
+            None,
+            None,
+            snapshot,
         );
-        if let Some(ex) = &exploration {
-            config.obs.fuel(ex.steps);
-        }
-        match attempt {
-            Attempt::Verified { detail } => {
-                config.obs.rung_discharged(rung);
-                let guard: Vec<PlanDomain> = domains.iter().map(|d| plan_domain(*d)).collect();
-                let unconditional = guard.iter().all(|g| *g == PlanDomain::Any);
-                let mut d = base;
-                // Helper λs nested inside this define are covered by the
-                // same exploration; λ ids belonging to *other* globals are
-                // not (they may be called from unexplored contexts).
-                if unconditional {
-                    if let Some(ex) = &exploration {
-                        let nested = nested_lambda_ids(def);
-                        d.covers = ex
-                            .graphs
-                            .iter()
-                            .map(|(id, _)| *id)
-                            .filter(|id| *id != def.id && nested.contains(id))
-                            .collect();
-                    }
-                }
-                d.decision = Decision::Static { guard };
-                d.detail = detail;
-                return (finish(d), true);
-            }
-            Attempt::Violation {
-                witness,
-                culprit,
-                definite,
-            } => {
-                violations.push((witness, culprit, definite));
-            }
-            Attempt::Inconclusive { reason } => {
-                last_reason = reason;
-            }
-        }
     }
 
+    if let Some(rung) = outcome.verified {
+        let guard: Vec<PlanDomain> = rung.domains.iter().map(|d| plan_domain(*d)).collect();
+        let unconditional = guard.iter().all(|g| *g == PlanDomain::Any);
+        let mut d = base;
+        // Helper λs nested inside this define are covered by the
+        // same exploration; λ ids belonging to *other* globals are
+        // not (they may be called from unexplored contexts).
+        if unconditional {
+            let nested = nested_lambda_ids(def);
+            d.covers = rung
+                .exploration
+                .graphs
+                .iter()
+                .map(|(id, _)| *id)
+                .filter(|id| *id != def.id && nested.contains(id))
+                .collect();
+        }
+        d.decision = Decision::Static { guard };
+        d.detail = rung.detail;
+        let summary = SummaryData {
+            domains: rung.domains,
+            result: rung.result,
+            graphs: rung.exploration.graphs,
+        };
+        return (finish(d), true, Some(summary));
+    }
+
+    let LadderOutcome {
+        mut violations,
+        mut last_reason,
+        attempts,
+        truncated,
+        ..
+    } = outcome;
     let mut d = base;
     // Refute only when the FULL ladder ran (a time-budget break must not
     // turn a would-be discharge on a later rung into a rejection — the
@@ -968,7 +1392,19 @@ fn plan_function(
             reason: last_reason,
         };
     }
-    (finish(d), !truncated)
+    (finish(d), !truncated, None)
+}
+
+/// The inverse of [`plan_domain`]: rebinding a persisted summary's guard
+/// back into executor domains.
+fn sym_domain(d: PlanDomain) -> SymDomain {
+    match d {
+        PlanDomain::Nat => SymDomain::Nat,
+        PlanDomain::Pos => SymDomain::Pos,
+        PlanDomain::Int => SymDomain::Int,
+        PlanDomain::List => SymDomain::List,
+        PlanDomain::Any => SymDomain::Any,
+    }
 }
 
 fn plan_domain(d: SymDomain) -> PlanDomain {
@@ -1128,6 +1564,7 @@ mod tests {
     #[derive(Default)]
     struct TestStore {
         map: HashMap<String, PortableDecision>,
+        summaries: HashMap<String, PortableSummary>,
     }
 
     impl DecisionStore for TestStore {
@@ -1136,6 +1573,12 @@ mod tests {
         }
         fn store(&mut self, key: &str, entry: &PortableDecision) {
             self.map.insert(key.to_string(), entry.clone());
+        }
+        fn load_summary(&mut self, key: &str) -> Option<PortableSummary> {
+            self.summaries.get(key).cloned()
+        }
+        fn store_summary(&mut self, key: &str, summary: &PortableSummary) {
+            self.summaries.insert(key.to_string(), summary.clone());
         }
     }
 
@@ -1160,7 +1603,11 @@ mod tests {
             store.map.is_empty(),
             "load-dependent decision must not be cached"
         );
-        // An untruncated run persists as usual.
+        assert!(
+            store.summaries.is_empty(),
+            "a truncated ladder must not publish a contract summary either"
+        );
+        // An untruncated run persists as usual — decision and summary.
         let (_, stats) = plan_program_incremental(
             &prog,
             &PlanConfig::default(),
@@ -1169,6 +1616,101 @@ mod tests {
         );
         assert_eq!(stats.misses(), 1);
         assert_eq!(store.map.len(), 1);
+        assert_eq!(store.summaries.len(), 1, "sum is recursive and Static");
+    }
+
+    #[test]
+    fn persisted_summaries_stub_edited_callers() {
+        // Cold-plan a program whose caller `f` folds over a recursive
+        // helper `len`; then edit only `f` and re-plan against the same
+        // store. The helper's decision hits; its persisted summary rebinds
+        // (one `plan.summary.hits`); and re-planning the edited caller
+        // answers `(len l)` from the summary instead of descending
+        // (`plan.summary.stubbed_applications` > 0).
+        let v1 = "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+                  (define (f l) (if (null? l) 0 (+ (len (cdr l)) (f (cdr l)))))";
+        let v2 = "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+                  (define (f l) (if (null? l) 0 (+ 1 (len (cdr l)) (f (cdr l)))))";
+        let mut store = TestStore::default();
+        let cold = compile_program(v1).unwrap();
+        let (plan, _) = plan_program_incremental(
+            &cold,
+            &PlanConfig::default(),
+            &mut PlanCache::new(),
+            &mut store,
+        );
+        assert_eq!(plan.count("static"), 2, "{:?}", plan.decisions);
+        assert_eq!(store.summaries.len(), 2, "both defines are recursive");
+
+        let reg = std::sync::Arc::new(sct_obs::Registry::new());
+        let cfg = PlanConfig {
+            obs: PlanObs::registered(reg.clone()),
+            ..PlanConfig::default()
+        };
+        let edited = compile_program(v2).unwrap();
+        let (replanned, stats) =
+            plan_program_incremental(&edited, &cfg, &mut PlanCache::new(), &mut store);
+        assert_eq!((stats.hits(), stats.misses()), (1, 1), "only f re-plans");
+        assert_eq!(replanned.count("static"), 2, "{:?}", replanned.decisions);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("plan.summary.hits"), Some(1), "len rebinds");
+        assert!(
+            snap.counter("plan.summary.stubbed_applications").unwrap() > 0,
+            "f's re-plan must answer (len l) from the summary"
+        );
+
+        // The stubbed plan must be structurally identical to full descent.
+        let descent = PlanConfig {
+            summaries: false,
+            ..PlanConfig::default()
+        };
+        let full = plan_program(&edited, &descent);
+        assert!(replanned.structurally_eq(&full));
+    }
+
+    #[test]
+    fn stub_proofs_are_never_weaker_than_descent() {
+        // A modular proof can be strictly *stronger* than whole-body
+        // descent: here full descent of `f` dies on an executor
+        // limitation at the Any rung (the callee's recursion argument
+        // changes kind under the caller's path constraints) and only
+        // discharges under a Nat guard, while the stubbed exploration
+        // discharges unconditionally. Both are sound; the stub side must
+        // never be the weaker one (a *verdict downgrade* would be a bug,
+        // and an upgrade past Static is impossible). The fuzz harness's
+        // `summary-mismatch` differential keeps divergence like this out
+        // of the generated corpus entirely.
+        let src = "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+                   (define (f l acc) (if (null? l) acc (f (cdr l) (+ acc (len l)))))";
+        let prog = compile_program(src).unwrap();
+        let on = plan_program(&prog, &PlanConfig::default());
+        let off = plan_program(
+            &prog,
+            &PlanConfig {
+                summaries: false,
+                ..PlanConfig::default()
+            },
+        );
+        let rank = |d: &Decision| match d {
+            Decision::Static { guard } if guard.iter().all(|g| *g == PlanDomain::Any) => 3,
+            Decision::Static { .. } => 2,
+            Decision::Monitor { .. } => 1,
+            Decision::Refuted { .. } => 0,
+        };
+        for (a, b) in on.decisions.iter().zip(off.decisions.iter()) {
+            assert!(
+                rank(&a.decision) >= rank(&b.decision),
+                "{}: stubbed {:?} weaker than descent {:?}",
+                a.name,
+                a.decision,
+                b.decision
+            );
+        }
+        // And this program is exactly the strictly-stronger case.
+        assert!(matches!(&on.decisions[1].decision,
+            Decision::Static { guard } if guard.iter().all(|g| *g == PlanDomain::Any)));
+        assert!(matches!(&off.decisions[1].decision,
+            Decision::Static { guard } if guard.iter().any(|g| *g != PlanDomain::Any)));
     }
 
     #[test]
@@ -1222,6 +1764,10 @@ mod tests {
             );
         }
         assert!(store.map.is_empty(), "degraded decisions must not persist");
+        assert!(
+            store.summaries.is_empty(),
+            "deadline-degraded passes must not publish contract summaries"
+        );
         assert_eq!(stats.hits(), 0);
 
         // Store hits are honored even past the deadline: persist with a

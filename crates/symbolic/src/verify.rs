@@ -2,7 +2,9 @@
 //! monitored semantics plus the Lee–Jones–Ben-Amram check over the
 //! discovered graph sets.
 
-use crate::exec::{EntryInvariant, ExecConfig, Executor, SOut, SymDomain};
+use crate::exec::{
+    EntryInvariant, ExecConfig, Executor, GlobalSnapshot, SOut, SummaryTable, SymDomain,
+};
 use crate::sym::{Path, SValue};
 use sct_core::graph::ScGraph;
 use sct_core::ljb::{closure_check, ClosureResult};
@@ -104,6 +106,13 @@ pub struct Exploration {
     /// sums it into the `plan.fuel_used` metric so a `metrics` snapshot
     /// shows where verification effort went.
     pub steps: u64,
+    /// How many applications were answered from a registered callee
+    /// summary instead of body descent (zero unless the caller passed a
+    /// [`SummaryTable`]). Unlike `opaque_calls` this is not a soundness
+    /// taint — each stub carries its callee's termination proof — but the
+    /// hybrid pipeline re-derives any *non*-verified outcome without stubs
+    /// so Monitor/Refuted verdicts stay bit-identical to full descent.
+    pub stubbed: u64,
 }
 
 impl Exploration {
@@ -146,6 +155,9 @@ pub fn explore_function(
         config,
         Rc::new(lambda_names(program)),
         None,
+        None,
+        None,
+        None,
     )
 }
 
@@ -157,6 +169,11 @@ pub fn explore_function(
 /// `define`'s own λ, because the executor's global table keeps the *last*
 /// binding — without the pin, a shadowed earlier definition would inherit
 /// a proof of its replacement and skip monitoring unsoundly.
+///
+/// When `summaries` is set, applications of already-summarized callees are
+/// stubbed with their contract summaries instead of descending (see
+/// [`Executor::set_summaries`]); `caller_global` is the explored define's
+/// global index, used to refuse stubs that could reach back into it.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explore_with_names(
     program: &Program,
@@ -166,10 +183,27 @@ pub(crate) fn explore_with_names(
     config: &VerifyConfig,
     names: Rc<HashMap<LambdaId, String>>,
     expected_entry: Option<LambdaId>,
+    summaries: Option<&SummaryTable>,
+    caller_global: Option<u32>,
+    snapshot: Option<&GlobalSnapshot>,
 ) -> Result<Exploration, String> {
-    let mut ex = Executor::new(program, config.exec.clone());
+    // A planning pass shares one evaluated top-level environment across
+    // all of its explorations; one-off entry points evaluate their own.
+    let mut ex = match snapshot {
+        Some(snap) => Executor::with_snapshot(program, config.exec.clone(), snap),
+        None => Executor::new(program, config.exec.clone()),
+    };
+    if let Some(table) = summaries {
+        ex.set_summaries(table, caller_global);
+    }
 
-    let Some(entry_value) = ex.global(function) else {
+    // `caller_global` is the already-resolved index of `function` when
+    // the caller is a planning pass; prefer it over the linear name scan.
+    let entry_lookup = match caller_global {
+        Some(gi) => ex.global_at(gi),
+        None => ex.global(function),
+    };
+    let Some(entry_value) = entry_lookup else {
         return Err(format!("no global named {function}"));
     };
     let SValue::SClosure(ref clo) = entry_value else {
@@ -222,6 +256,7 @@ pub(crate) fn explore_with_names(
         names,
         opaque_calls: ex.opaque_applications,
         steps: ex.steps(),
+        stubbed: ex.stubbed_applications,
     })
 }
 

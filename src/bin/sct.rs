@@ -19,6 +19,11 @@
 //!   --loop-entries                monitor loop entries only
 //!   --fuel N                      step budget
 //!   --cache-dir DIR               (hybrid) persistent plan cache
+//!   --no-summaries                (hybrid) disable contract summaries:
+//!                                 every application descends into the
+//!                                 callee's body instead of stubbing
+//!                                 already-verified callees (the A/B
+//!                                 baseline for `report_plan`)
 //!   --metrics                     print the final `sct-obs` registry
 //!                                 snapshot as `; metric NAME VALUE`
 //!                                 lines after the answer (plan time,
@@ -97,7 +102,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sct run <file> [--metrics]\n  sct monitor <file> [--strategy imperative|cm] \
          [--order default|reverse-int|extended] [--backoff N] [--loop-entries] [--fuel N]\n  \
-         sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [--metrics] [monitor options]\n  \
+         sct hybrid <file> [--plan] [--dump-ir] [--cache-dir DIR] [--no-summaries] [--metrics] \
+         [monitor options]\n  \
          sct verify <file> <function> [domains [-> result]]\n  sct trace <file>\n  \
          sct serve [--socket PATH] [--cache-dir DIR] [--threads N] [--deadline-ms MS] \
          [--max-queue N] [--max-inflight-per-client N] [--faults SPEC] [--trace-out FILE]\n  \
@@ -117,6 +123,7 @@ struct Options {
     custom_order: bool,
     cache_dir: Option<String>,
     metrics: bool,
+    no_summaries: bool,
 }
 
 impl Options {
@@ -132,6 +139,7 @@ impl Options {
             custom_order: false,
             cache_dir: None,
             metrics: false,
+            no_summaries: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -178,6 +186,7 @@ impl Options {
                     o.cache_dir = Some(it.next().ok_or("missing --cache-dir value")?.clone())
                 }
                 "--metrics" => o.metrics = true,
+                "--no-summaries" => o.no_summaries = true,
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -574,6 +583,10 @@ fn main() -> ExitCode {
                     eprintln!("--cache-dir is only valid with `sct hybrid` and `sct serve`");
                     return usage();
                 }
+                if opts.no_summaries {
+                    eprintln!("--no-summaries is only valid with `sct hybrid`");
+                    return usage();
+                }
                 return run_and_report(&program, opts.machine_config(cmd == "trace"), opts.metrics);
             }
 
@@ -582,6 +595,10 @@ fn main() -> ExitCode {
             // rejects, so only the proof side of the plan is kept then.
             let plan_config = PlanConfig {
                 refute: !opts.custom_order,
+                // `--no-summaries` forces full body descent at every
+                // application — the A/B switch `report_plan` benches and
+                // the soundness oracle tests compare against.
+                summaries: !opts.no_summaries,
                 // `--metrics` routes planner observability (plan time,
                 // ladder rungs, fuel) into the global registry the final
                 // snapshot prints from.

@@ -275,6 +275,18 @@ impl DecisionStore for StoreKind {
             StoreKind::Mem(m) => m.store(key, entry),
         }
     }
+    fn load_summary(&mut self, key: &str) -> Option<sct_core::summary_codec::PortableSummary> {
+        match self {
+            StoreKind::Disk(d) => d.load_summary(key),
+            StoreKind::Mem(m) => m.load_summary(key),
+        }
+    }
+    fn store_summary(&mut self, key: &str, summary: &sct_core::summary_codec::PortableSummary) {
+        match self {
+            StoreKind::Disk(d) => d.store_summary(key, summary),
+            StoreKind::Mem(m) => m.store_summary(key, summary),
+        }
+    }
 }
 
 /// A [`DecisionStore`] view over the shared store: workers lock per
@@ -288,6 +300,12 @@ impl DecisionStore for SharedStore {
     }
     fn store(&mut self, key: &str, entry: &sct_core::plan_codec::PortableDecision) {
         lock_or_recover(&self.0).store(key, entry)
+    }
+    fn load_summary(&mut self, key: &str) -> Option<sct_core::summary_codec::PortableSummary> {
+        lock_or_recover(&self.0).load_summary(key)
+    }
+    fn store_summary(&mut self, key: &str, summary: &sct_core::summary_codec::PortableSummary) {
+        lock_or_recover(&self.0).store_summary(key, summary)
     }
 }
 

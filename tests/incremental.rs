@@ -114,6 +114,54 @@ fn editing_a_shared_helper_reverifies_its_dependents_only() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn editing_a_helper_recomputes_exactly_its_dependents_summaries() {
+    // Contract summaries ride the same content address as decisions, so
+    // the same invalidation frontier applies: editing `len` re-keys len
+    // and its dependent msort. Of the two, only len is *summarizable*
+    // (msort discharges vacuously under its Nat rung — no self-recursion
+    // graphs survive, and only recursive Static defines carry a summary),
+    // so exactly one new summary key must appear, and it must be len's.
+    let cfg = PlanConfig::default();
+    let mut store = sct_cache::MemStore::new();
+
+    let before = sct_lang::compile_program(&fig10_scale(0)).unwrap();
+    plan_program_incremental(&before, &cfg, &mut PlanCache::new(), &mut store);
+    let initial: std::collections::HashMap<String, String> = store
+        .summary_entries()
+        .iter()
+        .map(|(k, s)| (k.clone(), s.name.clone()))
+        .collect();
+    // The fig10-scale program's summarizable defines: every recursive
+    // Static one. (ack stays monitored; msort's discharge is vacuous.)
+    let mut names: Vec<&str> = initial.values().map(String::as_str).collect();
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        ["drop", "fact", "last", "len", "merge", "rev-app", "sum", "take"],
+        "summarizable set drifted"
+    );
+
+    let after = sct_lang::compile_program(&fig10_scale(0).replace(
+        "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))",
+        "(define (len l) (if (null? l) 1 (+ 1 (len (cdr l)))))",
+    ))
+    .unwrap();
+    let (_, stats) = plan_program_incremental(&after, &cfg, &mut PlanCache::new(), &mut store);
+    assert_eq!(stats.missed_names(), vec!["len", "msort"], "{stats:?}");
+    let recomputed: Vec<&str> = store
+        .summary_entries()
+        .iter()
+        .filter(|(k, _)| !initial.contains_key(*k))
+        .map(|(_, s)| s.name.as_str())
+        .collect();
+    assert_eq!(
+        recomputed,
+        vec!["len"],
+        "exactly the edited helper's summary recomputes"
+    );
+}
+
 /// The committed benchmark artifact must carry the planning trajectory:
 /// schema `sct-fig10/5` with warm planning measurably faster than cold on
 /// every workload (the number the persistence subsystem exists to win) —

@@ -1,0 +1,182 @@
+//! The contract-summary soundness oracle: planning with verified-callee
+//! stubbing enabled must produce plans *structurally equal* (decision,
+//! guard, covers, blame, and detail — everything but timing) to planning
+//! with full body descent, across
+//!
+//! * the Figure-10 workload corpus (each workload alone and the
+//!   fig10-scale ten-define composite, with and without signature pins),
+//! * a 128-case seeded sweep of the fuzz generator's schemas (the same
+//!   `sct_fuzz::gen_case` space the `sct fuzz` campaign patrols — its
+//!   `summary-mismatch` differential runs this check on every fuzzed
+//!   case forever after).
+//!
+//! Equality rather than mere agreement-on-verdict is deliberate: the
+//! summary machinery is a pure optimization of *how* the verifier reaches
+//! a decision, so any observable drift — a different rung, different
+//! covers, different blame — is a bug in the stubbing soundness
+//! conditions, not an acceptable improvement. (One known, pinned
+//! exception class exists where modular proofs are strictly stronger than
+//! whole-body descent; see `stub_proofs_are_never_weaker_than_descent`
+//! in `sct-symbolic`. The corpora here are the shapes the system
+//! supports, and on them the plans are bit-identical.)
+
+use sct_cache::MemStore;
+use sct_contracts::{plan_program_incremental, PlanCache, PlanConfig, SymDomain};
+use sct_core::plan::EnforcementPlan;
+use sct_corpus::workloads;
+use sct_fuzz::gen_case;
+
+/// Plans `source` twice — summaries on (against a fresh `MemStore`, so
+/// the in-pass table *and* the persisted round-trip are exercised) and
+/// summaries off — and returns both plans.
+fn plan_both(source: &str, base: &PlanConfig) -> (EnforcementPlan, EnforcementPlan) {
+    let prog = sct_lang::compile_program(source).expect(source);
+    let on_cfg = PlanConfig {
+        summaries: true,
+        ..base.clone()
+    };
+    let off_cfg = PlanConfig {
+        summaries: false,
+        ..base.clone()
+    };
+    let mut store = MemStore::new();
+    let (on, _) = plan_program_incremental(&prog, &on_cfg, &mut PlanCache::new(), &mut store);
+    // A second summaries-on pass against the now-warm store: every
+    // decision hits, and stubbing for any *edited* caller would come from
+    // the persisted summaries. Here nothing changed, so it must replay.
+    let (replay, _) = plan_program_incremental(&prog, &on_cfg, &mut PlanCache::new(), &mut store);
+    assert!(
+        on.structurally_eq(&replay),
+        "warm summary replay drifted:\n{source}"
+    );
+    let (off, _) =
+        plan_program_incremental(&prog, &off_cfg, &mut PlanCache::new(), &mut MemStore::new());
+    (on, off)
+}
+
+fn assert_modes_agree(source: &str, base: &PlanConfig, tag: &str) {
+    let (on, off) = plan_both(source, base);
+    assert!(
+        on.structurally_eq(&off),
+        "{tag}: summary-stubbed plan differs from full descent\n\
+         with summaries: {on}\nfull descent:  {off}\nprogram:\n{source}"
+    );
+}
+
+/// A fig10-scale composite: every direct Figure-10 workload's defines in
+/// one program, so cross-define applications (merge-sort's helpers, the
+/// interpreters' dispatch) plan against already-summarized callees.
+fn fig10_composite() -> String {
+    workloads::fig10()
+        .iter()
+        .filter(|w| !w.id.starts_with("interp"))
+        .map(|w| w.source.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fig10_workloads_plan_identically_with_summaries() {
+    for w in workloads::fig10() {
+        assert_modes_agree(&w.source, &PlanConfig::default(), w.id);
+    }
+}
+
+#[test]
+fn fig10_workloads_with_signature_pins_plan_identically() {
+    for w in workloads::fig10() {
+        let mut cfg = PlanConfig::default();
+        if let Some((params, result)) = w.sig {
+            let to_sym = |d: &sct_corpus::Domain| match d {
+                sct_corpus::Domain::Nat => SymDomain::Nat,
+                sct_corpus::Domain::Pos => SymDomain::Pos,
+                sct_corpus::Domain::Int => SymDomain::Int,
+                sct_corpus::Domain::List => SymDomain::List,
+                sct_corpus::Domain::Any => SymDomain::Any,
+            };
+            cfg.signatures.insert(
+                w.entry.to_string(),
+                (params.iter().map(to_sym).collect(), to_sym(&result)),
+            );
+        }
+        assert_modes_agree(&w.source, &cfg, w.id);
+    }
+}
+
+#[test]
+fn fig10_composite_plans_identically_with_summaries() {
+    assert_modes_agree(
+        &fig10_composite(),
+        &PlanConfig::default(),
+        "fig10-composite",
+    );
+}
+
+/// The committed `BENCH_plan.json` artifact must carry the scaling
+/// story the summary subsystem exists to win: schema `sct-plan-bench/1`,
+/// a ≥5× cold-plan speedup on the smallest corpus, warm and
+/// summaries-on planning beating full descent at every size, and
+/// sub-quadratic cold-plan growth across corpus sizes.
+#[test]
+fn committed_plan_bench_artifact_pins_summary_speedup() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_plan.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_plan.json at the repo root");
+    let doc = sct_contracts::core::json::parse(&text).expect("artifact parses");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("sct-plan-bench/1"),
+        "schema drifted"
+    );
+    let corpora = doc
+        .get("corpora")
+        .and_then(|c| c.as_arr())
+        .expect("corpora array present");
+    assert!(!corpora.is_empty());
+    let mut prev: Option<(f64, f64)> = None;
+    for (i, c) in corpora.iter().enumerate() {
+        let defines = c.get("defines").and_then(|v| v.as_f64()).unwrap();
+        let summary = c.get("cold_summary_ms").and_then(|v| v.as_f64()).unwrap();
+        let warm = c.get("warm_ms").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            summary > 0.0 && warm > 0.0,
+            "{defines}: non-positive timings"
+        );
+        if let Some(full) = c.get("cold_full_ms").and_then(|v| v.as_f64()) {
+            assert!(
+                summary < full && warm < full,
+                "{defines} defines: summaries ({summary}ms) or warm ({warm}ms) \
+                 not faster than full descent ({full}ms)"
+            );
+            if i == 0 {
+                let speedup = c.get("speedup").and_then(|v| v.as_f64()).unwrap();
+                assert!(speedup >= 5.0, "cold-plan speedup {speedup} below 5x");
+            }
+        }
+        if let Some((pd, ps)) = prev {
+            // Sub-quadratic: time may grow no faster than size^1.5.
+            let size_ratio = defines / pd;
+            let time_ratio = summary / ps;
+            assert!(
+                time_ratio < size_ratio.powf(1.5),
+                "cold summary planning grew {time_ratio:.1}x over a \
+                 {size_ratio:.1}x corpus — not sub-quadratic"
+            );
+        }
+        prev = Some((defines, summary));
+    }
+}
+
+#[test]
+fn fuzz_schema_sweep_plans_identically_with_summaries() {
+    // 128 seeded cases across every generator schema and mutation — the
+    // same space `sct fuzz` draws from, pinned here so the invariant is
+    // checked in tier-1 even without running the campaign binary.
+    for seed in 0..128u64 {
+        let case = gen_case(seed);
+        assert_modes_agree(
+            &case.source,
+            &PlanConfig::default(),
+            &format!("seed {seed} ({})", case.schema.name()),
+        );
+    }
+}
